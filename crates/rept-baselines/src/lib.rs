@@ -1,0 +1,41 @@
+//! Baseline streaming triangle counters from the paper's evaluation.
+//!
+//! The paper compares REPT against three state-of-the-art one-pass
+//! samplers, each "parallelized in a direct manner" (`c` independent
+//! instances whose estimates are averaged):
+//!
+//! * [`mascot`] — MASCOT (Lim & Kang, KDD 2015): Bernoulli edge sampling.
+//!   Both the basic variant (`MASCOT-C`) and the improved variant the
+//!   paper benchmarks (count *before* the sampling decision, weight
+//!   `p⁻²`).
+//! * [`triest`] — TRIÈST (De Stefani et al., KDD 2016): reservoir
+//!   sampling with a fixed edge budget. Base and IMPR variants; the paper
+//!   benchmarks IMPR.
+//! * [`gps`] — Graph Priority Sampling, in-stream variant (Ahmed et al.,
+//!   VLDB 2017): weighted priority sampling with Horvitz–Thompson
+//!   estimation. Run with half the edge budget in memory-equalised
+//!   comparisons, as the paper prescribes (§IV-B).
+//! * [`parallel`] — the direct-parallelisation driver (independent seeds,
+//!   averaged estimates) and its threaded twin.
+//! * [`scaled`] — the single-threaded memory-equalised variants MASCOT-S /
+//!   TRIÈST-S / GPS-S of §IV-E.
+//! * [`traits`] — the [`traits::StreamingTriangleCounter`]
+//!   interface every baseline implements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod doulion;
+pub mod gps;
+pub mod mascot;
+pub mod parallel;
+pub mod scaled;
+pub mod traits;
+pub mod triest;
+
+pub use doulion::{Doulion, ExactAdapter};
+pub use gps::Gps;
+pub use mascot::{Mascot, MascotBasic};
+pub use parallel::ParallelAveraged;
+pub use traits::StreamingTriangleCounter;
+pub use triest::{TriestBase, TriestImpr};

@@ -1,0 +1,315 @@
+//! MASCOT — memory-efficient Bernoulli edge sampling (Lim & Kang, KDD'15).
+//!
+//! Two variants:
+//!
+//! * [`MascotBasic`] (the paper calls it MASCOT-C): flip the coin *first*;
+//!   only sampled edges are processed. A fully sampled triangle is seen
+//!   when its last edge is kept and both earlier edges are resident —
+//!   probability `p³` — so raw counts are scaled by `p⁻³`.
+//! * [`Mascot`] (the improved variant benchmarked in the REPT paper):
+//!   count common neighbors among *sampled* edges on **every** arriving
+//!   edge, weight each discovery by `p⁻²`, then flip the coin for storage.
+//!   A triangle is counted exactly when its first two stream edges were
+//!   sampled — probability `p²` — giving an unbiased estimate with
+//!   variance `τ(p⁻²−1) + 2η(p⁻¹−1)` (the formula quoted in REPT §I).
+//!
+//! The sampling decision is driven by a seeded RNG, so a `(seed, stream)`
+//! pair fully determines the run; parallel MASCOT feeds each instance a
+//! distinct seed.
+
+use rept_graph::adjacency::DynamicAdjacency;
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::FxHashMap;
+use rept_hash::rng::SplitMix64;
+
+use crate::traits::StreamingTriangleCounter;
+
+/// The improved MASCOT estimator (count-then-sample, weight `p⁻²`).
+#[derive(Debug, Clone)]
+pub struct Mascot {
+    p: f64,
+    inv_p2: f64,
+    sample: DynamicAdjacency,
+    rng: SplitMix64,
+    tau: f64,
+    tau_v: FxHashMap<NodeId, f64>,
+    track_locals: bool,
+    scratch: Vec<NodeId>,
+}
+
+impl Mascot {
+    /// Creates an instance with sampling probability `p` and RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 1`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1]");
+        Self {
+            p,
+            inv_p2: (p * p).recip(),
+            sample: DynamicAdjacency::new(),
+            rng: SplitMix64::new(seed),
+            tau: 0.0,
+            tau_v: FxHashMap::default(),
+            track_locals: true,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Disables local tracking (saves the per-node map).
+    pub fn without_locals(mut self) -> Self {
+        self.track_locals = false;
+        self
+    }
+
+    /// Number of currently sampled edges.
+    pub fn sampled_edges(&self) -> usize {
+        self.sample.edge_count()
+    }
+}
+
+impl StreamingTriangleCounter for Mascot {
+    fn process(&mut self, e: Edge) {
+        let (u, v) = e.endpoints();
+        self.scratch.clear();
+        let scratch = &mut self.scratch;
+        self.sample.for_each_common_neighbor(u, v, |w| scratch.push(w));
+        if !self.scratch.is_empty() {
+            let closed = self.scratch.len() as f64;
+            self.tau += closed * self.inv_p2;
+            if self.track_locals {
+                *self.tau_v.entry(u).or_insert(0.0) += closed * self.inv_p2;
+                *self.tau_v.entry(v).or_insert(0.0) += closed * self.inv_p2;
+                for &w in &self.scratch {
+                    *self.tau_v.entry(w).or_insert(0.0) += self.inv_p2;
+                }
+            }
+        }
+        // Sample *after* counting: the estimator counts semi-triangles.
+        if self.rng.coin(self.p) {
+            self.sample.insert(e);
+        }
+    }
+
+    fn global_estimate(&self) -> f64 {
+        self.tau
+    }
+
+    fn local_estimate(&self, v: NodeId) -> f64 {
+        self.tau_v.get(&v).copied().unwrap_or(0.0)
+    }
+
+    fn local_estimates(&self) -> FxHashMap<NodeId, f64> {
+        self.tau_v.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "MASCOT"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.sample.approx_bytes()
+            + self.tau_v.capacity() * (size_of::<NodeId>() + size_of::<f64>() + 1)
+    }
+}
+
+/// The basic MASCOT variant (sample-then-count, scale `p⁻³`).
+#[derive(Debug, Clone)]
+pub struct MascotBasic {
+    p: f64,
+    sample: DynamicAdjacency,
+    rng: SplitMix64,
+    raw_tau: u64,
+    raw_tau_v: FxHashMap<NodeId, u64>,
+    scratch: Vec<NodeId>,
+}
+
+impl MascotBasic {
+    /// Creates an instance with sampling probability `p` and RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 1`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1]");
+        Self {
+            p,
+            sample: DynamicAdjacency::new(),
+            rng: SplitMix64::new(seed),
+            raw_tau: 0,
+            raw_tau_v: FxHashMap::default(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl StreamingTriangleCounter for MascotBasic {
+    fn process(&mut self, e: Edge) {
+        if !self.rng.coin(self.p) {
+            return;
+        }
+        let (u, v) = e.endpoints();
+        self.scratch.clear();
+        let scratch = &mut self.scratch;
+        self.sample.for_each_common_neighbor(u, v, |w| scratch.push(w));
+        let closed = self.scratch.len() as u64;
+        if closed > 0 {
+            self.raw_tau += closed;
+            *self.raw_tau_v.entry(u).or_insert(0) += closed;
+            *self.raw_tau_v.entry(v).or_insert(0) += closed;
+            for &w in &self.scratch {
+                *self.raw_tau_v.entry(w).or_insert(0) += 1;
+            }
+        }
+        self.sample.insert(e);
+    }
+
+    fn global_estimate(&self) -> f64 {
+        self.raw_tau as f64 / (self.p * self.p * self.p)
+    }
+
+    fn local_estimate(&self, v: NodeId) -> f64 {
+        self.raw_tau_v.get(&v).copied().unwrap_or(0) as f64 / (self.p * self.p * self.p)
+    }
+
+    fn local_estimates(&self) -> FxHashMap<NodeId, f64> {
+        let scale = (self.p * self.p * self.p).recip();
+        self.raw_tau_v
+            .iter()
+            .map(|(&v, &c)| (v, c as f64 * scale))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "MASCOT-C"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.sample.approx_bytes()
+            + self.raw_tau_v.capacity() * (size_of::<NodeId>() + size_of::<u64>() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_gen::complete;
+
+    #[test]
+    fn p_one_is_exact() {
+        // With p = 1 the improved variant stores everything and weights by
+        // 1 — it becomes the exact counter.
+        let mut m = Mascot::new(1.0, 0);
+        m.process_stream(complete(8));
+        assert_eq!(m.global_estimate(), 56.0); // C(8,3)
+        for v in 0..8 {
+            assert_eq!(m.local_estimate(v), 21.0); // C(7,2)
+        }
+    }
+
+    #[test]
+    fn basic_p_one_is_exact() {
+        let mut m = MascotBasic::new(1.0, 0);
+        m.process_stream(complete(8));
+        assert_eq!(m.global_estimate(), 56.0);
+        assert_eq!(m.local_estimate(3), 21.0);
+    }
+
+    #[test]
+    fn improved_is_unbiased() {
+        let stream = complete(12); // τ = 220
+        let trials = 800;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                let mut m = Mascot::new(0.4, s);
+                m.process_stream(stream.iter().copied());
+                m.global_estimate()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 220.0).abs() < 220.0 * 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn basic_is_unbiased() {
+        let stream = complete(12);
+        let trials = 800;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                let mut m = MascotBasic::new(0.5, s);
+                m.process_stream(stream.iter().copied());
+                m.global_estimate()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 220.0).abs() < 220.0 * 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn improved_variance_matches_lemma6() {
+        // Var = τ(p⁻²−1) + 2η(p⁻¹−1) on a stream with known τ and η.
+        let stream = complete(10); // fixed order; compute η exactly
+        let mut exact = rept_exact::StreamingExact::new();
+        exact.process_stream(stream.iter().copied());
+        let (tau, eta) = (exact.global() as f64, exact.eta() as f64);
+        let p: f64 = 0.5;
+        let expected = tau * (p.powi(-2) - 1.0) + 2.0 * eta * (p.recip() - 1.0);
+
+        let trials = 3000;
+        let estimates: Vec<f64> = (0..trials)
+            .map(|s| {
+                let mut m = Mascot::new(p, s);
+                m.process_stream(stream.iter().copied());
+                m.global_estimate()
+            })
+            .collect();
+        let mean = estimates.iter().sum::<f64>() / trials as f64;
+        let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
+            / (trials - 1) as f64;
+        assert!(
+            (var - expected).abs() < expected * 0.15,
+            "empirical {var} vs theory {expected}"
+        );
+    }
+
+    #[test]
+    fn locals_sum_to_three_tau_for_improved() {
+        let mut m = Mascot::new(0.3, 7);
+        m.process_stream(complete(15));
+        let sum: f64 = m.local_estimates().values().sum();
+        assert!((sum - 3.0 * m.global_estimate()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_rate_respected() {
+        let mut m = Mascot::new(0.2, 3);
+        m.process_stream(complete(60)); // 1770 edges
+        let rate = m.sampled_edges() as f64 / 1770.0;
+        assert!((rate - 0.2).abs() < 0.05, "sample rate {rate}");
+    }
+
+    #[test]
+    fn without_locals_reports_zero() {
+        let mut m = Mascot::new(1.0, 0).without_locals();
+        m.process_stream(complete(6));
+        assert!(m.global_estimate() > 0.0);
+        assert_eq!(m.local_estimate(0), 0.0);
+        assert!(m.local_estimates().is_empty());
+    }
+
+    #[test]
+    fn triangle_free_estimates_zero() {
+        let mut m = Mascot::new(0.5, 1);
+        m.process_stream(rept_gen::star(30));
+        assert_eq!(m.global_estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_panics() {
+        Mascot::new(0.0, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Direct parallelisation: independent instances, averaged estimates.
+//!
+//! This is the strawman REPT is measured against (paper §I, §III-C): run
+//! `c` independent copies of a sampler — one per processor, each with its
+//! own seed — and average their estimates. Variance drops by exactly `1/c`
+//! and not a hair more; in particular the covariance term `2η(p⁻¹−1)`
+//! survives inside each copy, which is the gap REPT closes.
+
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::FxHashMap;
+
+use crate::traits::StreamingTriangleCounter;
+
+/// `c` independent instances of a counter with averaged estimates.
+#[derive(Debug, Clone)]
+pub struct ParallelAveraged<A> {
+    instances: Vec<A>,
+}
+
+impl<A: StreamingTriangleCounter> ParallelAveraged<A> {
+    /// Builds `c` instances via `factory(processor_index)`. The factory
+    /// must give each instance an independent seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0`.
+    pub fn new(c: usize, factory: impl FnMut(usize) -> A) -> Self {
+        assert!(c > 0, "need at least one instance");
+        Self {
+            instances: (0..c).map(factory).collect(),
+        }
+    }
+
+    /// The number of instances.
+    pub fn count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Access to the underlying instances (diagnostics).
+    pub fn instances(&self) -> &[A] {
+        &self.instances
+    }
+}
+
+impl<A: StreamingTriangleCounter> StreamingTriangleCounter for ParallelAveraged<A> {
+    fn process(&mut self, e: Edge) {
+        for inst in &mut self.instances {
+            inst.process(e);
+        }
+    }
+
+    fn global_estimate(&self) -> f64 {
+        self.instances.iter().map(|i| i.global_estimate()).sum::<f64>()
+            / self.instances.len() as f64
+    }
+
+    fn local_estimate(&self, v: NodeId) -> f64 {
+        self.instances.iter().map(|i| i.local_estimate(v)).sum::<f64>()
+            / self.instances.len() as f64
+    }
+
+    fn local_estimates(&self) -> FxHashMap<NodeId, f64> {
+        let mut acc: FxHashMap<NodeId, f64> = FxHashMap::default();
+        for inst in &self.instances {
+            for (v, est) in inst.local_estimates() {
+                *acc.entry(v).or_insert(0.0) += est;
+            }
+        }
+        let c = self.instances.len() as f64;
+        acc.values_mut().for_each(|e| *e /= c);
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel-averaged"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.instances.iter().map(|i| i.memory_bytes()).sum()
+    }
+}
+
+/// Runs `c` independent instances over the stream on `threads` OS threads
+/// and returns the finished instances. Results are identical to feeding a
+/// [`ParallelAveraged`] sequentially (instances are deterministic given
+/// their seeds), so tests can cross-check the two paths.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `threads == 0`.
+pub fn run_parallel_threaded<A, F>(
+    c: usize,
+    threads: usize,
+    stream: &[Edge],
+    factory: F,
+) -> Vec<A>
+where
+    A: StreamingTriangleCounter + Send,
+    F: Fn(usize) -> A + Sync,
+{
+    assert!(c > 0, "need at least one instance");
+    assert!(threads > 0, "need at least one thread");
+    let chunk = c.div_ceil(threads);
+    let mut out: Vec<Option<A>> = (0..c).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let factory = &factory;
+        let mut handles = Vec::new();
+        for (slot_chunk, base) in out.chunks_mut(chunk).zip((0..c).step_by(chunk)) {
+            handles.push(scope.spawn(move || {
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let mut inst = factory(base + off);
+                    for &e in stream {
+                        inst.process(e);
+                    }
+                    *slot = Some(inst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("baseline worker thread panicked");
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every slot filled by its thread"))
+        .collect()
+}
+
+/// Averages the global estimates of finished instances.
+pub fn average_global<A: StreamingTriangleCounter>(instances: &[A]) -> f64 {
+    assert!(!instances.is_empty());
+    instances.iter().map(|i| i.global_estimate()).sum::<f64>() / instances.len() as f64
+}
+
+/// Averages the local estimates of finished instances.
+pub fn average_locals<A: StreamingTriangleCounter>(instances: &[A]) -> FxHashMap<NodeId, f64> {
+    assert!(!instances.is_empty());
+    let mut acc: FxHashMap<NodeId, f64> = FxHashMap::default();
+    for inst in instances {
+        for (v, est) in inst.local_estimates() {
+            *acc.entry(v).or_insert(0.0) += est;
+        }
+    }
+    let c = instances.len() as f64;
+    acc.values_mut().for_each(|e| *e /= c);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mascot::Mascot;
+    use rept_gen::complete;
+
+    #[test]
+    fn averaging_reduces_variance() {
+        let stream = complete(12); // τ = 220
+        let trials = 300;
+        let var_of = |c: usize| {
+            let estimates: Vec<f64> = (0..trials)
+                .map(|t| {
+                    let mut p = ParallelAveraged::new(c, |i| {
+                        Mascot::new(0.3, (t * 1000 + i) as u64)
+                    });
+                    p.process_stream(stream.iter().copied());
+                    p.global_estimate()
+                })
+                .collect();
+            let mean = estimates.iter().sum::<f64>() / trials as f64;
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (trials - 1) as f64
+        };
+        let v1 = var_of(1);
+        let v8 = var_of(8);
+        // Var should shrink ≈ 8×; allow slack for Monte-Carlo noise.
+        assert!(
+            v8 < v1 / 4.0,
+            "averaging 8 instances: {v8} should be ≪ {v1}"
+        );
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let stream = complete(10);
+        let mut seq = ParallelAveraged::new(6, |i| Mascot::new(0.5, i as u64));
+        seq.process_stream(stream.iter().copied());
+        let thr = run_parallel_threaded(6, 3, &stream, |i| Mascot::new(0.5, i as u64));
+        assert_eq!(average_global(&thr), seq.global_estimate());
+        assert_eq!(average_locals(&thr), seq.local_estimates());
+    }
+
+    #[test]
+    fn locals_average_correctly() {
+        let stream = complete(8); // τ_v = 21 each
+        let mut p = ParallelAveraged::new(4, |i| Mascot::new(1.0, i as u64));
+        p.process_stream(stream.iter().copied());
+        // p = 1 instances are exact, so the average is exact too.
+        for v in 0..8 {
+            assert_eq!(p.local_estimate(v), 21.0);
+        }
+        assert_eq!(p.local_estimates().len(), 8);
+    }
+
+    #[test]
+    fn memory_sums_over_instances() {
+        let mut p = ParallelAveraged::new(3, |i| Mascot::new(0.5, i as u64));
+        p.process_stream(complete(10));
+        let total = p.memory_bytes();
+        let individual: usize = p.instances().iter().map(|m| m.memory_bytes()).sum();
+        assert_eq!(total, individual);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_panics() {
+        ParallelAveraged::<Mascot>::new(0, |i| Mascot::new(0.5, i as u64));
+    }
+}

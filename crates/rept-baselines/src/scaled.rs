@@ -1,0 +1,96 @@
+//! Memory-equalised single-threaded variants (paper §IV-E).
+//!
+//! Fig. 8 compares REPT (`c` processors, probability `p` each) against
+//! *single-threaded* baselines given the **same total memory**:
+//!
+//! * `MASCOT-S` — one MASCOT instance with sampling probability `c·p`;
+//! * `TRIÈST-S` — one reservoir with budget `c·p·|E|`;
+//! * `GPS-S` — one GPS instance with budget `c·p·|E| / 2` (weights cost
+//!   the other half, §IV-B).
+//!
+//! These constructors encode that parameter mapping so experiment code
+//! cannot get it subtly wrong.
+
+use crate::gps::Gps;
+use crate::mascot::Mascot;
+use crate::triest::TriestImpr;
+
+/// Builds `MASCOT-S`: single instance at probability `min(1, c·p)`.
+///
+/// # Panics
+///
+/// Panics if `p ≤ 0` or `c == 0`.
+pub fn mascot_s(p: f64, c: u64, seed: u64) -> Mascot {
+    assert!(p > 0.0, "p must be positive");
+    assert!(c > 0, "c must be positive");
+    Mascot::new((p * c as f64).min(1.0), seed)
+}
+
+/// Builds `TRIÈST-S`: single reservoir with budget `c·p·|E|` (at least 3).
+///
+/// # Panics
+///
+/// Panics if `p ≤ 0`, `c == 0`, or `stream_edges == 0`.
+pub fn triest_s(p: f64, c: u64, stream_edges: usize, seed: u64) -> TriestImpr {
+    assert!(p > 0.0 && c > 0 && stream_edges > 0);
+    let budget = ((p * c as f64 * stream_edges as f64).round() as usize).max(3);
+    TriestImpr::new(budget.min(stream_edges.max(3)), seed)
+}
+
+/// Builds `GPS-S`: single GPS instance with *half* the edge budget.
+///
+/// # Panics
+///
+/// Panics if `p ≤ 0`, `c == 0`, or `stream_edges == 0`.
+pub fn gps_s(p: f64, c: u64, stream_edges: usize, seed: u64) -> Gps {
+    assert!(p > 0.0 && c > 0 && stream_edges > 0);
+    let budget = ((p * c as f64 * stream_edges as f64 / 2.0).round() as usize).max(3);
+    Gps::new(budget.min(stream_edges.max(3)), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::StreamingTriangleCounter;
+    use rept_gen::complete;
+
+    #[test]
+    fn mascot_s_probability_caps_at_one() {
+        let stream = complete(9);
+        // c·p = 20 × 0.1 = 2 → capped to 1 → exact.
+        let mut m = mascot_s(0.1, 20, 0);
+        m.process_stream(stream);
+        assert_eq!(m.global_estimate(), 84.0);
+    }
+
+    #[test]
+    fn triest_s_budget_mapping() {
+        let stream = complete(12); // 66 edges
+        let mut t = triest_s(0.1, 5, 66, 1);
+        // Budget = 0.1 · 5 · 66 = 33.
+        t.process_stream(stream);
+        assert!(t.sampled_edges() <= 33);
+    }
+
+    #[test]
+    fn gps_s_gets_half_budget() {
+        let stream = complete(12);
+        let mut g = gps_s(0.1, 5, 66, 1);
+        // Budget = 33 / 2 ≈ 17 (rounded).
+        g.process_stream(stream);
+        assert!(g.sampled_edges() <= 17);
+    }
+
+    #[test]
+    fn budgets_never_exceed_stream() {
+        let mut t = triest_s(0.9, 10, 50, 0); // 450 > 50 edges
+        t.process_stream(complete(11)); // 55 edges
+        assert!(t.sampled_edges() <= 55);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_c_panics() {
+        mascot_s(0.1, 0, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The common interface of all streaming triangle counters.
+
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::FxHashMap;
+
+/// A one-pass streaming estimator of global and local triangle counts.
+///
+/// Implementations process each stream element exactly once, in order, and
+/// can be queried at any time (estimates are valid for the prefix seen so
+/// far — all algorithms here are "anytime" estimators).
+pub trait StreamingTriangleCounter {
+    /// Processes the next stream edge.
+    fn process(&mut self, e: Edge);
+
+    /// Current estimate `τ̂` of the global triangle count.
+    fn global_estimate(&self) -> f64;
+
+    /// Current estimate `τ̂_v` for one node (0 for unseen nodes).
+    fn local_estimate(&self, v: NodeId) -> f64;
+
+    /// All nonzero local estimates.
+    fn local_estimates(&self) -> FxHashMap<NodeId, f64>;
+
+    /// Short display name ("MASCOT", "TRIEST-IMPR", …).
+    fn name(&self) -> &'static str;
+
+    /// Approximate heap footprint in bytes — the memory-equalised
+    /// comparisons of §IV-B/E budget against this.
+    fn memory_bytes(&self) -> usize;
+
+    /// Processes a whole stream in order (convenience).
+    fn process_stream<I: IntoIterator<Item = Edge>>(&mut self, stream: I)
+    where
+        Self: Sized,
+    {
+        for e in stream {
+            self.process(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal fake counter to exercise the default method.
+    struct CountingFake {
+        edges: u64,
+    }
+
+    impl StreamingTriangleCounter for CountingFake {
+        fn process(&mut self, _e: Edge) {
+            self.edges += 1;
+        }
+        fn global_estimate(&self) -> f64 {
+            self.edges as f64
+        }
+        fn local_estimate(&self, _v: NodeId) -> f64 {
+            0.0
+        }
+        fn local_estimates(&self) -> FxHashMap<NodeId, f64> {
+            FxHashMap::default()
+        }
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn memory_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn process_stream_feeds_in_order() {
+        let mut c = CountingFake { edges: 0 };
+        c.process_stream((0..5u32).map(|i| Edge::new(i, i + 1)));
+        assert_eq!(c.global_estimate(), 5.0);
+    }
+}

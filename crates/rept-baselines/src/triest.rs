@@ -1,0 +1,337 @@
+//! TRIÈST — reservoir-sampled triangle counting with a fixed edge budget
+//! (De Stefani, Epasto, Riondato & Upfal, KDD 2016).
+//!
+//! * [`TriestBase`]: keep a uniform reservoir of `M` edges; count the
+//!   triangles *inside the reservoir* as edges enter/leave, and rescale by
+//!   `ξ(t) = max(1, t(t−1)(t−2) / (M(M−1)(M−2)))` — the inverse
+//!   probability that all three triangle edges are resident at time `t`.
+//! * [`TriestImpr`]: the improved variant the REPT paper benchmarks.
+//!   On *every* arriving edge (before the reservoir decision) add
+//!   `w(t) = max(1, (t−1)(t−2) / (M(M−1)))` for each closed wedge, and
+//!   never decrement on eviction. Unbiased with strictly lower variance
+//!   than base; at budget `p·|E|` its accuracy matches MASCOT with
+//!   probability `p` at end of stream (REPT §III-C quotes this match).
+//!
+//! The REPT paper parallelizes TRIÈST by averaging `c` independent
+//! reservoirs, each with budget `p·|E|` (§IV-B).
+
+use rept_graph::adjacency::DynamicAdjacency;
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::FxHashMap;
+use rept_hash::reservoir::{ReservoirDecision, ReservoirSampler};
+
+use crate::traits::StreamingTriangleCounter;
+
+/// TRIÈST-IMPR: weighted counting before the reservoir decision.
+#[derive(Debug, Clone)]
+pub struct TriestImpr {
+    reservoir: ReservoirSampler<Edge>,
+    adj: DynamicAdjacency,
+    t: u64,
+    tau: f64,
+    tau_v: FxHashMap<NodeId, f64>,
+    track_locals: bool,
+    scratch: Vec<NodeId>,
+}
+
+impl TriestImpr {
+    /// Creates an instance with edge budget `budget` and RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget < 3` (no triangle fits in the reservoir).
+    pub fn new(budget: usize, seed: u64) -> Self {
+        assert!(budget >= 3, "TRIÈST needs a budget of at least 3 edges");
+        Self {
+            reservoir: ReservoirSampler::new(budget, seed),
+            adj: DynamicAdjacency::new(),
+            t: 0,
+            tau: 0.0,
+            tau_v: FxHashMap::default(),
+            track_locals: true,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Disables local tracking.
+    pub fn without_locals(mut self) -> Self {
+        self.track_locals = false;
+        self
+    }
+
+    /// The IMPR per-wedge weight `max(1, (t−1)(t−2)/(M(M−1)))`.
+    fn weight(&self) -> f64 {
+        let m = self.reservoir.budget() as f64;
+        let t = self.t as f64;
+        (((t - 1.0) * (t - 2.0)) / (m * (m - 1.0))).max(1.0)
+    }
+
+    /// Number of edges currently in the reservoir.
+    pub fn sampled_edges(&self) -> usize {
+        self.reservoir.items().len()
+    }
+}
+
+impl StreamingTriangleCounter for TriestImpr {
+    fn process(&mut self, e: Edge) {
+        self.t += 1;
+        let w_t = self.weight();
+        let (u, v) = e.endpoints();
+        self.scratch.clear();
+        let scratch = &mut self.scratch;
+        self.adj.for_each_common_neighbor(u, v, |w| scratch.push(w));
+        if !self.scratch.is_empty() {
+            let closed = self.scratch.len() as f64;
+            self.tau += closed * w_t;
+            if self.track_locals {
+                *self.tau_v.entry(u).or_insert(0.0) += closed * w_t;
+                *self.tau_v.entry(v).or_insert(0.0) += closed * w_t;
+                for &w in &self.scratch {
+                    *self.tau_v.entry(w).or_insert(0.0) += w_t;
+                }
+            }
+        }
+        // Reservoir decision; IMPR never decrements on eviction.
+        match self.reservoir.offer(e) {
+            ReservoirDecision::Inserted => {
+                self.adj.insert(e);
+            }
+            ReservoirDecision::Replaced(old) => {
+                self.adj.remove(old);
+                self.adj.insert(e);
+            }
+            ReservoirDecision::Rejected => {}
+        }
+    }
+
+    fn global_estimate(&self) -> f64 {
+        self.tau
+    }
+
+    fn local_estimate(&self, v: NodeId) -> f64 {
+        self.tau_v.get(&v).copied().unwrap_or(0.0)
+    }
+
+    fn local_estimates(&self) -> FxHashMap<NodeId, f64> {
+        self.tau_v.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "TRIEST-IMPR"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.adj.approx_bytes()
+            + self.reservoir.budget() * size_of::<Edge>()
+            + self.tau_v.capacity() * (size_of::<NodeId>() + size_of::<f64>() + 1)
+    }
+}
+
+/// TRIÈST-base: unweighted in-reservoir counting with global rescaling.
+#[derive(Debug, Clone)]
+pub struct TriestBase {
+    reservoir: ReservoirSampler<Edge>,
+    adj: DynamicAdjacency,
+    t: u64,
+    raw_tau: i64,
+    raw_tau_v: FxHashMap<NodeId, i64>,
+    scratch: Vec<NodeId>,
+}
+
+impl TriestBase {
+    /// Creates an instance with edge budget `budget` and RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget < 3`.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        assert!(budget >= 3, "TRIÈST needs a budget of at least 3 edges");
+        Self {
+            reservoir: ReservoirSampler::new(budget, seed),
+            adj: DynamicAdjacency::new(),
+            t: 0,
+            raw_tau: 0,
+            raw_tau_v: FxHashMap::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// `ξ(t) = max(1, t(t−1)(t−2) / (M(M−1)(M−2)))`.
+    fn xi(&self) -> f64 {
+        let m = self.reservoir.budget() as f64;
+        let t = self.t as f64;
+        ((t * (t - 1.0) * (t - 2.0)) / (m * (m - 1.0) * (m - 2.0))).max(1.0)
+    }
+
+    fn bump(&mut self, e: Edge, delta: i64) {
+        let (u, v) = e.endpoints();
+        self.scratch.clear();
+        let scratch = &mut self.scratch;
+        self.adj.for_each_common_neighbor(u, v, |w| scratch.push(w));
+        let closed = self.scratch.len() as i64;
+        if closed != 0 {
+            self.raw_tau += closed * delta;
+            *self.raw_tau_v.entry(u).or_insert(0) += closed * delta;
+            *self.raw_tau_v.entry(v).or_insert(0) += closed * delta;
+            for &w in &self.scratch {
+                *self.raw_tau_v.entry(w).or_insert(0) += delta;
+            }
+        }
+    }
+}
+
+impl StreamingTriangleCounter for TriestBase {
+    fn process(&mut self, e: Edge) {
+        self.t += 1;
+        match self.reservoir.offer(e) {
+            ReservoirDecision::Inserted => {
+                self.bump(e, 1);
+                self.adj.insert(e);
+            }
+            ReservoirDecision::Replaced(old) => {
+                self.adj.remove(old);
+                self.bump(old, -1);
+                self.bump(e, 1);
+                self.adj.insert(e);
+            }
+            ReservoirDecision::Rejected => {}
+        }
+    }
+
+    fn global_estimate(&self) -> f64 {
+        (self.raw_tau.max(0)) as f64 * self.xi()
+    }
+
+    fn local_estimate(&self, v: NodeId) -> f64 {
+        (self.raw_tau_v.get(&v).copied().unwrap_or(0).max(0)) as f64 * self.xi()
+    }
+
+    fn local_estimates(&self) -> FxHashMap<NodeId, f64> {
+        let xi = self.xi();
+        self.raw_tau_v
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&v, &c)| (v, c as f64 * xi))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "TRIEST-BASE"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.adj.approx_bytes()
+            + self.reservoir.budget() * size_of::<Edge>()
+            + self.raw_tau_v.capacity() * (size_of::<NodeId>() + size_of::<i64>() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_gen::complete;
+
+    #[test]
+    fn budget_above_stream_is_exact_impr() {
+        // Budget ≥ stream length keeps every edge and all weights at 1.
+        let stream = complete(9); // 36 edges, τ = 84
+        let mut t = TriestImpr::new(100, 0);
+        t.process_stream(stream);
+        assert_eq!(t.global_estimate(), 84.0);
+        assert_eq!(t.local_estimate(0), 28.0); // C(8,2)
+    }
+
+    #[test]
+    fn budget_above_stream_is_exact_base() {
+        let stream = complete(9);
+        let mut t = TriestBase::new(100, 0);
+        t.process_stream(stream);
+        assert_eq!(t.global_estimate(), 84.0);
+        assert_eq!(t.local_estimate(4), 28.0);
+    }
+
+    #[test]
+    fn impr_is_unbiased_under_eviction() {
+        let stream = complete(12); // 66 edges, τ = 220
+        let trials = 1200;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                let mut t = TriestImpr::new(30, s);
+                t.process_stream(stream.iter().copied());
+                t.global_estimate()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 220.0).abs() < 220.0 * 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn base_is_approximately_unbiased() {
+        let stream = complete(12);
+        let trials = 1500;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                let mut t = TriestBase::new(30, s);
+                t.process_stream(stream.iter().copied());
+                t.global_estimate()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 220.0).abs() < 220.0 * 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn impr_variance_beats_base() {
+        let stream = complete(12);
+        let trials = 800;
+        let var = |make: &dyn Fn(u64) -> f64| {
+            let est: Vec<f64> = (0..trials).map(make).collect();
+            let mean = est.iter().sum::<f64>() / trials as f64;
+            est.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (trials - 1) as f64
+        };
+        let v_impr = var(&|s| {
+            let mut t = TriestImpr::new(30, s);
+            t.process_stream(stream.iter().copied());
+            t.global_estimate()
+        });
+        let v_base = var(&|s| {
+            let mut t = TriestBase::new(30, s);
+            t.process_stream(stream.iter().copied());
+            t.global_estimate()
+        });
+        assert!(
+            v_impr < v_base,
+            "IMPR variance {v_impr} should beat base {v_base}"
+        );
+    }
+
+    #[test]
+    fn reservoir_never_exceeds_budget() {
+        let mut t = TriestImpr::new(20, 3);
+        t.process_stream(complete(30));
+        assert!(t.sampled_edges() <= 20);
+    }
+
+    #[test]
+    fn locals_sum_to_three_tau_impr() {
+        let mut t = TriestImpr::new(25, 9);
+        t.process_stream(complete(14));
+        let sum: f64 = t.local_estimates().values().sum();
+        assert!((sum - 3.0 * t.global_estimate()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_free_is_zero() {
+        let mut t = TriestImpr::new(10, 0);
+        t.process_stream(rept_gen::star(40));
+        assert_eq!(t.global_estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_budget_panics() {
+        TriestImpr::new(2, 0);
+    }
+}

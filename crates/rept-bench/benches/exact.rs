@@ -1,0 +1,36 @@
+//! Exact-counting benchmarks: the streaming counter (with η tracking)
+//! against the static forward algorithm.
+//!
+//! Ground truth is recomputed for every experiment configuration, so its
+//! cost matters for iteration speed; the forward algorithm should be
+//! several times faster than the streaming counter (which pays for η).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rept_exact::{forward_count, StreamingExact};
+use rept_gen::{barabasi_albert, GeneratorConfig};
+use rept_graph::csr::CsrGraph;
+
+fn bench_exact(c: &mut Criterion) {
+    let stream = barabasi_albert(&GeneratorConfig::new(2_000, 9), 6);
+    let csr = CsrGraph::from_edges(&stream);
+
+    let mut group = c.benchmark_group("exact");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("streaming-with-eta", |b| {
+        b.iter(|| {
+            let mut s = StreamingExact::new();
+            s.process_stream(stream.iter().copied());
+            (s.global(), s.eta())
+        })
+    });
+    group.bench_function("forward-static", |b| {
+        b.iter(|| forward_count(&csr).global)
+    });
+    group.bench_function("csr-construction", |b| {
+        b.iter(|| CsrGraph::from_edges(&stream).edge_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Hashing and partitioning micro-benchmarks.
+//!
+//! The partition hash runs once per edge per group; the Fx map probes run
+//! several times per edge. Both must stay in the few-nanosecond range for
+//! the per-edge costs in Fig. 7 to hold.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rept_hash::fx::FxHashMap;
+use rept_hash::mix::splitmix64;
+use rept_hash::{EdgeHashFamily, PartitionHasher};
+use std::hint::black_box;
+
+fn bench_edge_hash(c: &mut Criterion) {
+    let hasher = EdgeHashFamily::new(1).member(0);
+    let ph = PartitionHasher::new(hasher, 100);
+    let pairs: Vec<(u64, u64)> = (0..1024u64)
+        .map(|i| (splitmix64(i), splitmix64(i ^ 0xFF)))
+        .collect();
+
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("edge-hash64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(u, v) in &pairs {
+                acc ^= hasher.hash64(u, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("partition-cell", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(u, v) in &pairs {
+                acc += ph.cell(u, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fx_map(c: &mut Criterion) {
+    let keys: Vec<u32> = (0..4096u32).collect();
+    let mut group = c.benchmark_group("fx-map");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("insert-4096", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+            for &k in &keys {
+                m.insert(k, k);
+            }
+            black_box(m.len())
+        })
+    });
+    group.bench_function("probe-hit", |b| {
+        let m: FxHashMap<u32, u32> = keys.iter().map(|&k| (k, k)).collect();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &k in &keys {
+                acc ^= *m.get(&k).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("probe-miss", |b| {
+        let m: FxHashMap<u32, u32> = keys.iter().map(|&k| (k, k)).collect();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &k in &keys {
+                acc ^= m.get(&(k + 1_000_000)).copied().unwrap_or(1);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_hash, bench_fx_map);
+criterion_main!(benches);

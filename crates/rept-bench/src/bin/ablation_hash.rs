@@ -1,0 +1,106 @@
+//! **Ablation** — partition-hash quality.
+//!
+//! Theorem 1 requires the partition hash to place edges uniformly and
+//! pairwise-independently; everything in §III rests on it. This binary
+//! re-runs the REPT(c ≤ m) loop with a deliberately weak "hash"
+//! (`(u + v) mod m` — the kind of shortcut a careless implementation
+//! might take) and compares estimate quality against the real seeded
+//! family. Structured node ids make the weak hash's cells correlate with
+//! graph structure, so its estimates are biased and/or high-variance.
+//!
+//! Run: `cargo run --release -p rept-bench --bin ablation_hash`
+
+use rept_bench::{Args, ExperimentContext};
+use rept_core::worker::SemiTriangleWorker;
+use rept_core::EtaMode;
+use rept_gen::DatasetId;
+use rept_graph::edge::Edge;
+use rept_metrics::report::{fmt_num, Table};
+use rept_metrics::ErrorStats;
+
+/// REPT(c = m) with an arbitrary edge→cell function.
+fn run_partitioned(stream: &[Edge], m: u64, cell_of: impl Fn(Edge) -> u64) -> f64 {
+    let mut workers: Vec<SemiTriangleWorker> = (0..m)
+        .map(|_| SemiTriangleWorker::new(false, false, EtaMode::PaperInit))
+        .collect();
+    for &e in stream {
+        let target = cell_of(e) as usize;
+        for (i, w) in workers.iter_mut().enumerate() {
+            let closed = w.observe(e);
+            if i == target {
+                w.store(e, closed);
+            }
+        }
+    }
+    let sum: u64 = workers.iter().map(|w| w.tau()).sum();
+    m as f64 * sum as f64
+}
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials_or(150);
+    let ctx = ExperimentContext::load(
+        args.datasets_or(&[DatasetId::WebGoogleSim])[0],
+        args.scale_or(0.1),
+    );
+    let stream = &ctx.dataset.stream;
+    let tau = ctx.gt.tau as f64;
+
+    let mut table = Table::new(vec![
+        "m", "hash", "mean", "rel-bias", "nrmse", "trials",
+    ]);
+
+    for m in [4u64, 8] {
+        // Strong seeded family: vary the seed across trials.
+        let strong: Vec<f64> = (0..trials)
+            .map(|t| {
+                let hasher = rept_hash::EdgeHashFamily::new(args.seed + t).member(0);
+                let ph = rept_hash::PartitionHasher::new(hasher, m);
+                run_partitioned(stream, m, |e| {
+                    let (u, v) = e.as_u64_pair();
+                    ph.cell(u, v)
+                })
+            })
+            .collect();
+        // Weak modulo hash: deterministic, so "trials" vary nothing — one
+        // run, but offset node ids per trial to give it its best shot at
+        // looking random.
+        let weak: Vec<f64> = (0..trials)
+            .map(|t| {
+                run_partitioned(stream, m, |e| {
+                    let (u, v) = e.as_u64_pair();
+                    (u + v + t) % m
+                })
+            })
+            .collect();
+
+        for (label, samples) in [("seeded-family", &strong), ("modulo-sum", &weak)] {
+            let stats = ErrorStats::from_samples(samples, tau);
+            table.push_row(vec![
+                m.to_string(),
+                label.to_string(),
+                fmt_num(stats.mean),
+                fmt_num(stats.relative_bias()),
+                fmt_num(stats.nrmse),
+                trials.to_string(),
+            ]);
+            eprintln!(
+                "  m={m} {label}: mean {} vs τ {}, NRMSE {}",
+                fmt_num(stats.mean),
+                fmt_num(tau),
+                fmt_num(stats.nrmse)
+            );
+        }
+    }
+
+    println!(
+        "Ablation: partition-hash quality on {} (τ = {}, {} trials)",
+        ctx.dataset.name(),
+        ctx.gt.tau,
+        trials
+    );
+    println!("{}", table.render());
+    let path = args.out.join("ablation_hash.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

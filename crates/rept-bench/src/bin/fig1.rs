@@ -1,0 +1,62 @@
+//! **Figure 1** — why the covariance term dominates.
+//!
+//! Panel (a): `τ` vs `η` per dataset. Panels (b–d): the two variance terms
+//! of (parallel) MASCOT — `τ(p⁻²−1)` against the covariance-induced
+//! `2η(p⁻¹−1)` — for `p ∈ {0.1, 0.05, 0.01}`. The paper's observation is
+//! that the second term is 2–355× larger at `p = 0.1` and still dominant
+//! for several graphs at `p = 0.01`; the registry analogs must land in the
+//! same regime for the accuracy experiments to be meaningful.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig1 [--scale F]`
+
+use rept_bench::{Args, ExperimentContext};
+use rept_gen::DatasetId;
+use rept_metrics::report::{fmt_num, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale_or(1.0);
+    let datasets = args.datasets_or(&DatasetId::all());
+
+    let ps: [(f64, &str); 3] = [(0.1, "p=0.1"), (0.05, "p=0.05"), (0.01, "p=0.01")];
+
+    let mut table = Table::new(vec![
+        "dataset".to_string(),
+        "tau".to_string(),
+        "eta".to_string(),
+        "eta/tau".to_string(),
+        "term1(p=0.1)".to_string(),
+        "term2(p=0.1)".to_string(),
+        "ratio(p=0.1)".to_string(),
+        "term1(p=0.05)".to_string(),
+        "term2(p=0.05)".to_string(),
+        "ratio(p=0.05)".to_string(),
+        "term1(p=0.01)".to_string(),
+        "term2(p=0.01)".to_string(),
+        "ratio(p=0.01)".to_string(),
+    ]);
+
+    for id in datasets {
+        let ctx = ExperimentContext::load(id, scale);
+        let mut row = vec![
+            id.name().to_string(),
+            ctx.gt.tau.to_string(),
+            ctx.gt.eta.to_string(),
+            fmt_num(ctx.gt.eta_tau_ratio().unwrap_or(f64::NAN)),
+        ];
+        for (p, _) in ps {
+            let m = (1.0 / p).round() as u64;
+            let (t1, t2) = ctx.gt.mascot_variance_terms(m);
+            row.push(fmt_num(t1));
+            row.push(fmt_num(t2));
+            row.push(fmt_num(if t1 > 0.0 { t2 / t1 } else { f64::NAN }));
+        }
+        table.push_row(row);
+    }
+
+    println!("Figure 1 — τ vs η and MASCOT variance terms (term2/term1 > 1 ⇒ covariance dominates)");
+    println!("{}", table.render());
+    let path = args.out.join("fig1.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

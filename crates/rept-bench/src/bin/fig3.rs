@@ -1,0 +1,40 @@
+//! **Figure 3** — global NRMSE vs processor count, `p = 0.01`.
+//!
+//! Sweeps `c ∈ {20, 80, 160, 240, 320}` (the paper's x-axis range) at
+//! `m = 100` and reports the global NRMSE of REPT, parallel MASCOT,
+//! parallel TRIÈST and parallel GPS, plus the Theorem-3 / §III-C theory
+//! curves. Expected shape: REPT below every baseline, with the gap
+//! widening as `c` grows; GPS worst (half budget).
+//!
+//! Defaults are laptop-sized (two datasets, scale 0.25, 20 trials);
+//! `--full` runs all eight registry datasets at full scale.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig3 [--full]`
+
+use rept_bench::sweep::{nrmse_sweep, MethodSet};
+use rept_bench::{Args, ExperimentContext};
+use rept_gen::DatasetId;
+
+fn main() {
+    let args = Args::from_env();
+    let datasets = args.datasets_or(&[DatasetId::FlickrSim, DatasetId::WebGoogleSim]);
+    let scale = args.scale_or(0.25);
+    let trials = args.trials_or(20);
+
+    let contexts = ExperimentContext::load_all(&datasets, scale);
+    let table = nrmse_sweep(
+        &contexts,
+        100, // p = 0.01
+        &[20, 80, 160, 240, 320],
+        MethodSet::WithGps,
+        false,
+        trials,
+        args.seed,
+    );
+
+    println!("Figure 3 — global NRMSE, p = 0.01 (m = 100), {trials} trials");
+    println!("{}", table.render());
+    let path = args.out.join("fig3.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

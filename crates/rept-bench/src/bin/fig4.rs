@@ -1,0 +1,36 @@
+//! **Figure 4** — global NRMSE vs processor count, `p = 0.1`.
+//!
+//! As Figure 3 but with the coarser sampling probability `p = 0.1`
+//! (`m = 10`) and `c ∈ {2, 8, 16, 24, 32}`. The paper reports, e.g., REPT
+//! ≈ 26.9× more accurate than MASCOT/TRIÈST on Twitter at `c = 32`; on the
+//! registry analogs the same ordering and growth pattern must appear.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig4 [--full]`
+
+use rept_bench::sweep::{nrmse_sweep, MethodSet};
+use rept_bench::{Args, ExperimentContext};
+use rept_gen::DatasetId;
+
+fn main() {
+    let args = Args::from_env();
+    let datasets = args.datasets_or(&[DatasetId::FlickrSim, DatasetId::WebGoogleSim]);
+    let scale = args.scale_or(0.25);
+    let trials = args.trials_or(30);
+
+    let contexts = ExperimentContext::load_all(&datasets, scale);
+    let table = nrmse_sweep(
+        &contexts,
+        10, // p = 0.1
+        &[2, 8, 16, 24, 32],
+        MethodSet::WithGps,
+        false,
+        trials,
+        args.seed,
+    );
+
+    println!("Figure 4 — global NRMSE, p = 0.1 (m = 10), {trials} trials");
+    println!("{}", table.render());
+    let path = args.out.join("fig4.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! **Figure 5** — local NRMSE vs processor count, `p = 0.01`.
+//!
+//! Same sweep as Figure 3 but reporting the *local* metric: mean per-node
+//! NRMSE over nodes with `τ_v > 0`. GPS is omitted, matching the paper
+//! (its local estimates are not evaluated there). Expected shape: REPT
+//! significantly below MASCOT/TRIÈST at every `c`, with the reduction
+//! growing with `c`.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig5 [--full]`
+
+use rept_bench::sweep::{nrmse_sweep, MethodSet};
+use rept_bench::{Args, ExperimentContext};
+use rept_gen::DatasetId;
+
+fn main() {
+    let args = Args::from_env();
+    let datasets = args.datasets_or(&[DatasetId::FlickrSim, DatasetId::WebGoogleSim]);
+    let scale = args.scale_or(0.25);
+    let trials = args.trials_or(15);
+
+    let contexts = ExperimentContext::load_all(&datasets, scale);
+    let table = nrmse_sweep(
+        &contexts,
+        100, // p = 0.01
+        &[20, 80, 160, 240, 320],
+        MethodSet::WithoutGps,
+        true,
+        trials,
+        args.seed,
+    );
+
+    println!("Figure 5 — local NRMSE (mean over τ_v > 0 nodes), p = 0.01, {trials} trials");
+    println!("{}", table.render());
+    let path = args.out.join("fig5.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,33 @@
+//! **Figure 6** — local NRMSE vs processor count, `p = 0.1`.
+//!
+//! As Figure 5 with `p = 0.1` (`m = 10`) and `c ∈ {2, 8, 16, 24, 32}`.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig6 [--full]`
+
+use rept_bench::sweep::{nrmse_sweep, MethodSet};
+use rept_bench::{Args, ExperimentContext};
+use rept_gen::DatasetId;
+
+fn main() {
+    let args = Args::from_env();
+    let datasets = args.datasets_or(&[DatasetId::FlickrSim, DatasetId::WebGoogleSim]);
+    let scale = args.scale_or(0.25);
+    let trials = args.trials_or(20);
+
+    let contexts = ExperimentContext::load_all(&datasets, scale);
+    let table = nrmse_sweep(
+        &contexts,
+        10, // p = 0.1
+        &[2, 8, 16, 24, 32],
+        MethodSet::WithoutGps,
+        true,
+        trials,
+        args.seed,
+    );
+
+    println!("Figure 6 — local NRMSE (mean over τ_v > 0 nodes), p = 0.1, {trials} trials");
+    println!("{}", table.render());
+    let path = args.out.join("fig6.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

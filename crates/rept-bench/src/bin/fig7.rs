@@ -1,0 +1,77 @@
+//! **Figure 7** — runtime vs `1/p`, `c = 10` processors.
+//!
+//! The paper fixes `c = 10` and varies `1/p ∈ {2 … 32}`, reporting the
+//! running time of REPT, parallel MASCOT, parallel TRIÈST and parallel
+//! GPS. Expected shape (paper §IV-D): REPT ≈ MASCOT, TRIÈST 2–4× slower
+//! (reservoir bookkeeping), GPS 4–10× slower (weight computation), and
+//! everything gets faster as `1/p` grows (smaller samples ⇒ smaller
+//! intersections).
+//!
+//! Runtime model: per-processor work is measured individually and the
+//! simulated wall-clock is `max_i(work_i)` — see `rept-metrics::timer` and
+//! EXPERIMENTS.md. The `cpu-total` column is what a fully serial execution
+//! costs.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig7 [--scale F]`
+
+use rept_baselines::{Gps, Mascot, TriestImpr};
+use rept_bench::timing::{baseline_runtime, rept_runtime};
+use rept_bench::{Args, ExperimentContext};
+use rept_gen::DatasetId;
+use rept_metrics::report::{fmt_num, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let datasets = args.datasets_or(&[DatasetId::WebGoogleSim]);
+    let scale = args.scale_or(0.25);
+    const C: u64 = 10;
+
+    let contexts = ExperimentContext::load_all(&datasets, scale);
+    let mut table = Table::new(vec![
+        "dataset", "1/p", "method", "wall-seconds", "cpu-total-seconds", "speedup",
+    ]);
+
+    for ctx in &contexts {
+        let stream = &ctx.dataset.stream;
+        let edges = stream.len();
+        for inv_p in [2u64, 4, 8, 16, 32] {
+            let p = 1.0 / inv_p as f64;
+            let budget_triest = ((p * edges as f64).round() as usize).max(3);
+            let budget_gps = ((p * edges as f64 / 2.0).round() as usize).max(3);
+
+            let cells: Vec<(&str, rept_metrics::timer::RuntimeModel)> = vec![
+                ("MASCOT", baseline_runtime(stream, C, args.seed, |s| {
+                    Mascot::new(p, s)
+                })),
+                ("TRIEST", baseline_runtime(stream, C, args.seed, |s| {
+                    TriestImpr::new(budget_triest, s)
+                })),
+                ("GPS", baseline_runtime(stream, C, args.seed, |s| {
+                    Gps::new(budget_gps, s)
+                })),
+                ("REPT", rept_runtime(stream, inv_p, C, args.seed)),
+            ];
+            for (name, model) in cells {
+                table.push_row(vec![
+                    ctx.dataset.name().to_string(),
+                    inv_p.to_string(),
+                    name.to_string(),
+                    fmt_num(model.simulated_wall().as_secs_f64()),
+                    fmt_num(model.total_cpu().as_secs_f64()),
+                    fmt_num(model.speedup()),
+                ]);
+                eprintln!(
+                    "  [{}] 1/p={inv_p} {name}: wall {:?}",
+                    ctx.dataset.name(),
+                    model.simulated_wall()
+                );
+            }
+        }
+    }
+
+    println!("Figure 7 — runtime, c = {C} processors (simulated wall = max per-processor work)");
+    println!("{}", table.render());
+    let path = args.out.join("fig7.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

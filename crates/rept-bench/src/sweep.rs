@@ -1,0 +1,142 @@
+//! Shared NRMSE-vs-`c` sweeps behind Figures 3–6.
+//!
+//! Figures 3/4 (global) and 5/6 (local) have identical structure: fix the
+//! sampling probability `p = 1/m`, sweep the processor count `c`, and plot
+//! one NRMSE curve per method and dataset. These helpers produce the
+//! table; the binaries only choose parameters.
+
+use rept_metrics::report::{fmt_num, Table};
+
+use crate::context::ExperimentContext;
+use crate::runners::{gps_cell, mascot_cell, rept_cell, triest_cell, CellOptions};
+
+/// Which methods a sweep includes (Figs. 5/6 drop GPS, matching the
+/// paper, which does not evaluate GPS's local estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodSet {
+    /// MASCOT, TRIÈST, GPS, REPT (Figs. 3/4).
+    WithGps,
+    /// MASCOT, TRIÈST, REPT (Figs. 5/6).
+    WithoutGps,
+}
+
+impl MethodSet {
+    fn names(&self) -> &'static [&'static str] {
+        match self {
+            MethodSet::WithGps => &["MASCOT", "TRIEST", "GPS", "REPT"],
+            MethodSet::WithoutGps => &["MASCOT", "TRIEST", "REPT"],
+        }
+    }
+}
+
+/// Runs the sweep and returns a long-format table with columns
+/// `dataset, c, method, nrmse[, local_nrmse], trials`.
+///
+/// When `locals` is true the reported NRMSE column is the *local* metric
+/// (mean per-node NRMSE over triangle nodes); otherwise it is the global
+/// NRMSE. The theoretical REPT/MASCOT global predictions are appended for
+/// global sweeps so the plots can be compared against Theorem 3.
+pub fn nrmse_sweep(
+    contexts: &[ExperimentContext],
+    m: u64,
+    cs: &[u64],
+    methods: MethodSet,
+    locals: bool,
+    trials: u64,
+    base_seed: u64,
+) -> Table {
+    let p = 1.0 / m as f64;
+    let mut header = vec![
+        "dataset".to_string(),
+        "c".to_string(),
+        "method".to_string(),
+        "nrmse".to_string(),
+        "trials".to_string(),
+    ];
+    if locals {
+        // Secondary view: heavy nodes (τ_v ≥ HEAVY_TAU), where η_v > 0
+        // and the methods separate — see rept-metrics::local_error.
+        header.push("nrmse-heavy".to_string());
+    } else {
+        header.push("theory-nrmse".to_string());
+    }
+    let mut table = Table::new(header);
+
+    for ctx in contexts {
+        let stream = &ctx.dataset.stream;
+        let gt = &ctx.gt;
+        for &c in cs {
+            let opts = CellOptions {
+                locals,
+                trials,
+                base_seed: base_seed ^ (c << 17),
+            };
+            for &method in methods.names() {
+                let result = match method {
+                    "MASCOT" => mascot_cell(stream, gt, p, c, opts),
+                    "TRIEST" => triest_cell(stream, gt, p, c, opts),
+                    "GPS" => gps_cell(stream, gt, p, c, opts),
+                    "REPT" => rept_cell(stream, gt, m, c, opts),
+                    _ => unreachable!("method list is fixed"),
+                };
+                let metric = if locals {
+                    result.local_nrmse.unwrap_or(f64::NAN)
+                } else {
+                    result.global.nrmse
+                };
+                let mut row = vec![
+                    ctx.dataset.name().to_string(),
+                    c.to_string(),
+                    method.to_string(),
+                    fmt_num(metric),
+                    trials.to_string(),
+                ];
+                if locals {
+                    row.push(fmt_num(result.local_nrmse_heavy.unwrap_or(f64::NAN)));
+                }
+                if !locals {
+                    let theory_var = match method {
+                        "REPT" => rept_core::variance::rept_variance(
+                            gt.tau as f64,
+                            gt.eta as f64,
+                            m,
+                            c,
+                        ),
+                        // MASCOT's theory curve also predicts TRIÈST (and
+                        // loosely GPS); print it for every baseline.
+                        _ => rept_core::variance::parallel_mascot_variance(
+                            gt.tau as f64,
+                            gt.eta as f64,
+                            m,
+                            c,
+                        ),
+                    };
+                    row.push(fmt_num(
+                        rept_core::variance::nrmse_of_unbiased(theory_var, gt.tau as f64)
+                            .unwrap_or(f64::NAN),
+                    ));
+                }
+                table.push_row(row);
+                eprintln!(
+                    "  [{}] c={c} {method}: nrmse = {}",
+                    ctx.dataset.name(),
+                    fmt_num(metric)
+                );
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_gen::DatasetId;
+
+    #[test]
+    fn tiny_sweep_produces_rows() {
+        let ctx = vec![ExperimentContext::load(DatasetId::YoutubeSim, 0.05)];
+        let t = nrmse_sweep(&ctx, 2, &[1, 2], MethodSet::WithoutGps, false, 3, 1);
+        assert_eq!(t.len(), 2 * 3); // 2 c-values × 3 methods
+    }
+}

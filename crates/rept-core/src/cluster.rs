@@ -1,0 +1,274 @@
+//! Simulated distributed deployment of REPT.
+//!
+//! The paper's conclusion lists "extend our algorithm to distributed
+//! platforms" as future work; this module builds that extension as a
+//! message-passing simulation: each *machine* is an OS thread owning a
+//! contiguous range of processors, the coordinator broadcasts the stream
+//! in batches over bounded crossbeam channels (modelling a network link
+//! with finite buffering), and every machine enforces a per-machine memory
+//! budget the way §III assumes ("each machine has enough memory to store
+//! p×100% of edges" — here we *check* instead of assume).
+//!
+//! The estimate is bit-identical to [`Rept::run_sequential`] — REPT's
+//! processors never exchange state during the stream, so distribution is
+//! purely an execution-layout concern. What the simulation adds is
+//! fidelity on the operational side: batching, backpressure and memory
+//! accounting.
+
+use crossbeam::channel::{bounded, Sender};
+use rept_graph::edge::Edge;
+
+use crate::estimate::ReptEstimate;
+use crate::estimator::Rept;
+use crate::worker::SemiTriangleWorker;
+
+/// Deployment parameters of the simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of machines; REPT's `c` processors are spread round-robin in
+    /// contiguous blocks over them.
+    pub machines: usize,
+    /// Edges per broadcast message.
+    pub batch_size: usize,
+    /// Channel capacity in *batches* (bounded ⇒ backpressure, like a
+    /// finite socket buffer).
+    pub channel_capacity: usize,
+    /// Optional per-machine memory budget in bytes. Exceeding it does not
+    /// abort the run — it is reported, mirroring how a real deployment
+    /// would alert.
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            machines: 4,
+            batch_size: 1024,
+            channel_capacity: 8,
+            memory_budget: None,
+        }
+    }
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The combined estimate (identical to the sequential driver's).
+    pub estimate: ReptEstimate,
+    /// Peak approximate memory per machine (bytes), sampled at batch
+    /// boundaries.
+    pub peak_bytes_per_machine: Vec<usize>,
+    /// Machines that exceeded the configured budget at any sample point.
+    pub budget_exceeded: Vec<usize>,
+    /// Batches broadcast.
+    pub batches_sent: usize,
+}
+
+/// Runs REPT on the simulated cluster.
+///
+/// # Panics
+///
+/// Panics if `cluster.machines == 0` or `cluster.batch_size == 0`.
+pub fn run_cluster(rept: &Rept, stream: &[Edge], cluster: &ClusterConfig) -> ClusterReport {
+    assert!(cluster.machines > 0, "need at least one machine");
+    assert!(cluster.batch_size > 0, "batch size must be positive");
+
+    let groups = rept.groups();
+    let c = rept.config().c as usize;
+    let machines = cluster.machines.min(c);
+    let per_machine = c.div_ceil(machines);
+
+    // worker index -> owning group index.
+    let worker_group: Vec<usize> = {
+        let mut wg = vec![0usize; c];
+        for (gi, g) in groups.iter().enumerate() {
+            wg[g.start..g.start + g.size].fill(gi);
+        }
+        wg
+    };
+
+    struct MachineResult {
+        workers: Vec<SemiTriangleWorker>,
+        peak_bytes: usize,
+    }
+
+    let (results, batches_sent) = std::thread::scope(|scope| {
+        let groups = &groups;
+        let worker_group = &worker_group;
+        let cfg = *rept.config();
+
+        let mut senders: Vec<Sender<Vec<Edge>>> = Vec::with_capacity(machines);
+        let mut handles = Vec::with_capacity(machines);
+        for machine in 0..machines {
+            let (tx, rx) = bounded::<Vec<Edge>>(cluster.channel_capacity);
+            senders.push(tx);
+            let start = machine * per_machine;
+            let end = ((machine + 1) * per_machine).min(c);
+            handles.push(scope.spawn(move || {
+                let mut workers: Vec<SemiTriangleWorker> = (start..end)
+                    .map(|_| {
+                        SemiTriangleWorker::new(
+                            cfg.track_locals,
+                            cfg.needs_eta(),
+                            cfg.eta_mode,
+                        )
+                    })
+                    .collect();
+                let mut peak = 0usize;
+                while let Ok(batch) = rx.recv() {
+                    for e in batch {
+                        let (u, v) = e.as_u64_pair();
+                        let mut cached = (usize::MAX, 0usize);
+                        for (off, w) in workers.iter_mut().enumerate() {
+                            let i = start + off;
+                            let gi = worker_group[i];
+                            if cached.0 != gi {
+                                cached = (gi, groups[gi].hasher.cell(u, v) as usize);
+                            }
+                            let closed = w.observe(e);
+                            if i - groups[gi].start == cached.1 {
+                                w.store(e, closed);
+                            }
+                        }
+                    }
+                    let bytes: usize = workers.iter().map(|w| w.approx_bytes()).sum();
+                    peak = peak.max(bytes);
+                }
+                MachineResult {
+                    workers,
+                    peak_bytes: peak,
+                }
+            }));
+        }
+
+        // Coordinator: broadcast the stream in batches.
+        let mut batches = 0usize;
+        for chunk in stream.chunks(cluster.batch_size) {
+            for tx in &senders {
+                tx.send(chunk.to_vec())
+                    .expect("machine thread hung up prematurely");
+            }
+            batches += 1;
+        }
+        drop(senders); // close channels, machines drain and exit
+
+        let results: Vec<MachineResult> = handles
+            .into_iter()
+            .map(|h| h.join().expect("machine thread panicked"))
+            .collect();
+        (results, batches)
+    });
+
+    let peak_bytes_per_machine: Vec<usize> = results.iter().map(|r| r.peak_bytes).collect();
+    let budget_exceeded = match cluster.memory_budget {
+        Some(budget) => peak_bytes_per_machine
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > budget)
+            .map(|(i, _)| i)
+            .collect(),
+        None => Vec::new(),
+    };
+
+    let workers: Vec<SemiTriangleWorker> =
+        results.into_iter().flat_map(|r| r.workers).collect();
+    ClusterReport {
+        estimate: rept.finalize(workers),
+        peak_bytes_per_machine,
+        budget_exceeded,
+        batches_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReptConfig;
+    use rept_gen::{barabasi_albert, GeneratorConfig};
+
+    fn stream() -> Vec<Edge> {
+        barabasi_albert(&GeneratorConfig::new(200, 3), 4)
+    }
+
+    #[test]
+    fn cluster_matches_sequential() {
+        let stream = stream();
+        for (m, c) in [(4u64, 4u64), (3, 8), (2, 5)] {
+            let rept = Rept::new(ReptConfig::new(m, c).with_seed(7));
+            let seq = rept.run_sequential(stream.iter().copied());
+            let report = run_cluster(
+                &rept,
+                &stream,
+                &ClusterConfig {
+                    machines: 3,
+                    batch_size: 64,
+                    ..ClusterConfig::default()
+                },
+            );
+            assert_eq!(report.estimate.global, seq.global, "m={m} c={c}");
+            assert_eq!(report.estimate.locals, seq.locals);
+        }
+    }
+
+    #[test]
+    fn batching_covers_stream() {
+        let stream = stream();
+        let rept = Rept::new(ReptConfig::new(3, 3).with_seed(1));
+        let report = run_cluster(
+            &rept,
+            &stream,
+            &ClusterConfig {
+                machines: 2,
+                batch_size: 100,
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(report.batches_sent, stream.len().div_ceil(100));
+    }
+
+    #[test]
+    fn memory_budget_reporting() {
+        let stream = stream();
+        let rept = Rept::new(ReptConfig::new(2, 2).with_seed(2));
+        // 1-byte budget: every machine must exceed it.
+        let tight = run_cluster(
+            &rept,
+            &stream,
+            &ClusterConfig {
+                machines: 2,
+                memory_budget: Some(1),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(tight.budget_exceeded, vec![0, 1]);
+        // Generous budget: nobody exceeds.
+        let loose = run_cluster(
+            &rept,
+            &stream,
+            &ClusterConfig {
+                machines: 2,
+                memory_budget: Some(1 << 30),
+                ..ClusterConfig::default()
+            },
+        );
+        assert!(loose.budget_exceeded.is_empty());
+        assert!(loose.peak_bytes_per_machine.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn more_machines_than_processors_is_clamped() {
+        let stream = stream();
+        let rept = Rept::new(ReptConfig::new(3, 2).with_seed(4));
+        let report = run_cluster(
+            &rept,
+            &stream,
+            &ClusterConfig {
+                machines: 16,
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(report.peak_bytes_per_machine.len(), 2);
+        let seq = rept.run_sequential(stream.iter().copied());
+        assert_eq!(report.estimate.global, seq.global);
+    }
+}

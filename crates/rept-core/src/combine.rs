@@ -1,0 +1,150 @@
+//! Graybill–Deal combination of independent unbiased estimates.
+//!
+//! Paper §III-B: for `c = c₁m + c₂` with `c₂ ≠ 0`, REPT forms
+//!
+//! * `τ̂⁽¹⁾` from the `c₁` full groups — variance `τ(m−1)/c₁`, and
+//! * `τ̂⁽²⁾` from the remainder group — variance
+//!   `(τ(m²−c₂) + 2η(m−c₂))/c₂`,
+//!
+//! and combines them with inverse-variance weights (Graybill & Deal,
+//! *Biometrics* 1959):
+//! `τ̂ = (Var₂·τ̂⁽¹⁾ + Var₁·τ̂⁽²⁾) / (Var₁ + Var₂)`.
+//! The true variances are unknown, so the paper plugs `τ̂⁽¹⁾` in for `τ`
+//! and `η̂` for `η`. This module implements the weighted combination with
+//! the degenerate cases made explicit.
+
+/// Result of a combination attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Combined {
+    /// Weighted combination succeeded.
+    Weighted(f64),
+    /// Both plug-in variances were zero/non-finite; the caller should fall
+    /// back to a pooled estimator.
+    Degenerate,
+}
+
+/// Combines estimates `est1` (plug-in variance `var1`) and `est2`
+/// (plug-in variance `var2`).
+///
+/// Conventions for degenerate inputs:
+/// * a non-finite or negative variance is treated as "no information"
+///   (infinite variance) for that estimate;
+/// * exactly one zero variance → that estimate is returned (infinite
+///   weight);
+/// * both zero / both uninformative → [`Combined::Degenerate`].
+pub fn graybill_deal(est1: f64, var1: f64, est2: f64, var2: f64) -> Combined {
+    let v1_ok = var1.is_finite() && var1 >= 0.0;
+    let v2_ok = var2.is_finite() && var2 >= 0.0;
+    match (v1_ok, v2_ok) {
+        (false, false) => Combined::Degenerate,
+        (true, false) => Combined::Weighted(est1),
+        (false, true) => Combined::Weighted(est2),
+        (true, true) => {
+            if var1 == 0.0 && var2 == 0.0 {
+                if est1 == est2 {
+                    Combined::Weighted(est1)
+                } else {
+                    Combined::Degenerate
+                }
+            } else if var1 == 0.0 {
+                Combined::Weighted(est1)
+            } else if var2 == 0.0 {
+                Combined::Weighted(est2)
+            } else {
+                // τ̂ = (v2·e1 + v1·e2) / (v1 + v2)
+                Combined::Weighted((var2 * est1 + var1 * est2) / (var1 + var2))
+            }
+        }
+    }
+}
+
+/// The variance of the optimal combination: `v₁v₂/(v₁+v₂)` (both must be
+/// positive and finite, else `None`).
+pub fn combined_variance(var1: f64, var2: f64) -> Option<f64> {
+    if var1 > 0.0 && var2 > 0.0 && var1.is_finite() && var2.is_finite() {
+        Some(var1 * var2 / (var1 + var2))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_variances_average() {
+        assert_eq!(
+            graybill_deal(10.0, 4.0, 20.0, 4.0),
+            Combined::Weighted(15.0)
+        );
+    }
+
+    #[test]
+    fn lower_variance_dominates() {
+        // var1 = 1, var2 = 9 → weights 0.9 / 0.1.
+        let Combined::Weighted(w) = graybill_deal(10.0, 1.0, 20.0, 9.0) else {
+            panic!("expected weighted");
+        };
+        assert!((w - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_wins_outright() {
+        assert_eq!(
+            graybill_deal(10.0, 0.0, 99.0, 5.0),
+            Combined::Weighted(10.0)
+        );
+        assert_eq!(
+            graybill_deal(10.0, 5.0, 99.0, 0.0),
+            Combined::Weighted(99.0)
+        );
+    }
+
+    #[test]
+    fn both_zero_agreeing_is_fine() {
+        assert_eq!(graybill_deal(7.0, 0.0, 7.0, 0.0), Combined::Weighted(7.0));
+    }
+
+    #[test]
+    fn both_zero_disagreeing_degenerates() {
+        assert_eq!(graybill_deal(7.0, 0.0, 8.0, 0.0), Combined::Degenerate);
+    }
+
+    #[test]
+    fn bad_variances_are_uninformative() {
+        assert_eq!(
+            graybill_deal(1.0, f64::NAN, 2.0, 3.0),
+            Combined::Weighted(2.0)
+        );
+        assert_eq!(
+            graybill_deal(1.0, 3.0, 2.0, f64::INFINITY),
+            Combined::Weighted(1.0)
+        );
+        assert_eq!(
+            graybill_deal(1.0, -1.0, 2.0, f64::NAN),
+            Combined::Degenerate
+        );
+    }
+
+    #[test]
+    fn combination_variance_formula() {
+        assert_eq!(combined_variance(2.0, 2.0), Some(1.0));
+        assert_eq!(combined_variance(0.0, 2.0), None);
+        assert_eq!(combined_variance(f64::NAN, 2.0), None);
+        // Combined variance is below the smaller input.
+        let v = combined_variance(3.0, 7.0).unwrap();
+        assert!(v < 3.0);
+    }
+
+    #[test]
+    fn combination_is_convex() {
+        // The weighted estimate must lie between the two inputs.
+        for &(v1, v2) in &[(1.0, 2.0), (0.5, 8.0), (10.0, 0.1)] {
+            let Combined::Weighted(w) = graybill_deal(5.0, v1, 15.0, v2) else {
+                panic!();
+            };
+            assert!((5.0..=15.0).contains(&w), "w = {w} for ({v1}, {v2})");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Result types returned by the REPT estimator.
+
+use rept_graph::edge::NodeId;
+use rept_hash::fx::FxHashMap;
+
+/// Full output of one REPT run.
+#[derive(Debug, Clone)]
+pub struct ReptEstimate {
+    /// `τ̂` — the global triangle count estimate.
+    pub global: f64,
+    /// `τ̂_v` — local estimates; empty when local tracking was off. Nodes
+    /// with estimate 0 are omitted (exactly the nodes no processor saw a
+    /// semi-triangle for).
+    pub locals: FxHashMap<NodeId, f64>,
+    /// `η̂` — the pair-count estimate, present when η was tracked.
+    pub eta_hat: Option<f64>,
+    /// Per-run diagnostics.
+    pub diagnostics: Diagnostics,
+}
+
+impl ReptEstimate {
+    /// The local estimate for `v` (0 for unseen nodes).
+    pub fn local(&self, v: NodeId) -> f64 {
+        self.locals.get(&v).copied().unwrap_or(0.0)
+    }
+}
+
+/// Diagnostics describing how the estimate was assembled.
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// Partition size `m`.
+    pub m: u64,
+    /// Processor count `c`.
+    pub c: u64,
+    /// Raw per-processor semi-triangle counts `τ⁽ⁱ⁾`.
+    pub per_processor_tau: Vec<u64>,
+    /// Edges stored by each processor at the end of the stream.
+    pub stored_edges: Vec<usize>,
+    /// Approximate total heap use of all processors (bytes).
+    pub total_bytes: usize,
+    /// Which combination path produced the global estimate.
+    pub combination: CombinationPath,
+    /// The two sub-estimates when Graybill–Deal combining ran.
+    pub sub_estimates: Option<(f64, f64)>,
+}
+
+/// The estimator branch that produced `τ̂` (paper §III-A/B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinationPath {
+    /// `c ≤ m`: single partition, `τ̂ = m²/c Σ τ⁽ⁱ⁾`.
+    SingleGroup,
+    /// `c = c₁m`: plain average of full-group estimates.
+    FullGroups,
+    /// `c = c₁m + c₂, c₂ ≠ 0`: Graybill–Deal weighted combination.
+    GraybillDeal,
+    /// Weighted combination degenerated (all-zero weights); fell back to
+    /// the pooled unbiased estimator `m²/c Σ τ⁽ⁱ⁾`.
+    PooledFallback,
+}
+
+impl Diagnostics {
+    /// Maximum stored edges over processors — the per-processor memory
+    /// requirement of §III (`O(p·|E|)` expected).
+    pub fn max_stored_edges(&self) -> usize {
+        self.stored_edges.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of raw per-processor semi-triangle counts.
+    pub fn total_semi_triangles(&self) -> u64 {
+        self.per_processor_tau.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_defaults_to_zero() {
+        let est = ReptEstimate {
+            global: 5.0,
+            locals: FxHashMap::default(),
+            eta_hat: None,
+            diagnostics: Diagnostics {
+                m: 2,
+                c: 2,
+                per_processor_tau: vec![1, 2],
+                stored_edges: vec![3, 4],
+                total_bytes: 0,
+                combination: CombinationPath::SingleGroup,
+                sub_estimates: None,
+            },
+        };
+        assert_eq!(est.local(42), 0.0);
+        assert_eq!(est.diagnostics.max_stored_edges(), 4);
+        assert_eq!(est.diagnostics.total_semi_triangles(), 3);
+    }
+}

@@ -1,0 +1,547 @@
+//! The REPT estimator: Algorithm 1 (`c ≤ m`) and Algorithm 2 (`c > m`).
+//!
+//! Structure: processors are grouped. For `c ≤ m` there is a single group
+//! of `c` processors sharing one partition hash over `m` cells — processor
+//! `i` stores the edges hashed to cell `i` (cells `c..m` are unowned, which
+//! is precisely how REPT subsamples). For `c > m` there are `c₁ = ⌊c/m⌋`
+//! full groups of `m` processors plus, when `c₂ = c mod m ≠ 0`, one
+//! remainder group of `c₂` processors; each group has an independent hash
+//! from the same seeded family, so group estimates are independent and the
+//! paper's Graybill–Deal combination applies.
+//!
+//! Two drivers produce **bit-identical** results:
+//! * [`Rept::run_sequential`] simulates all processors in one thread;
+//! * [`Rept::run_threaded`] spreads processors over OS threads
+//!   (`std::thread::scope`); workers are deterministic given the hash
+//!   seed, so scheduling cannot affect the output — a property the
+//!   integration tests assert.
+
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::edge_hash::{EdgeHashFamily, PartitionHasher};
+use rept_hash::fx::FxHashMap;
+
+use crate::combine::{graybill_deal, Combined};
+use crate::config::ReptConfig;
+use crate::estimate::{CombinationPath, Diagnostics, ReptEstimate};
+use crate::worker::SemiTriangleWorker;
+
+/// A group of processors sharing one partition hash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupSpec {
+    /// Index of the group's first worker.
+    pub start: usize,
+    /// Number of workers in the group (`≤ m`).
+    pub size: usize,
+    /// The group's hash (member `group_index` of the family).
+    pub hasher: PartitionHasher,
+}
+
+/// The REPT estimator.
+///
+/// ```
+/// use rept_core::{Rept, ReptConfig};
+/// use rept_graph::Edge;
+///
+/// // A triangle plus a dangling edge.
+/// let stream = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2), Edge::new(2, 3)];
+/// // m = 2 (p = 1/2), c = 2 processors: every edge is stored by exactly
+/// // one processor, and over many seeds the estimate averages to τ = 1.
+/// let mean: f64 = (0..200)
+///     .map(|seed| {
+///         Rept::new(ReptConfig::new(2, 2).with_seed(seed))
+///             .run_sequential(stream.iter().copied())
+///             .global
+///     })
+///     .sum::<f64>() / 200.0;
+/// assert!((mean - 1.0).abs() < 0.3, "unbiased: mean {mean}");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Rept {
+    cfg: ReptConfig,
+}
+
+impl Rept {
+    /// Creates an estimator from a validated config.
+    pub fn new(cfg: ReptConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReptConfig {
+        &self.cfg
+    }
+
+    /// Per-processor `(partition hash, owned cell)` assignments.
+    ///
+    /// Runtime harnesses use this to execute processors *independently*
+    /// (processor `i` = "observe every edge; store when
+    /// `hasher.cell(e) = cell`"), which is how per-processor work is timed
+    /// for the simulated-wall-clock model (Figs. 7/8).
+    pub fn processor_assignments(&self) -> Vec<(PartitionHasher, u64)> {
+        self.groups()
+            .iter()
+            .flat_map(|g| (0..g.size as u64).map(|cell| (g.hasher, cell)))
+            .collect()
+    }
+
+    pub(crate) fn groups(&self) -> Vec<GroupSpec> {
+        let family = EdgeHashFamily::new(self.cfg.seed);
+        let m = self.cfg.m;
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        if self.cfg.c <= m {
+            groups.push(GroupSpec {
+                start,
+                size: self.cfg.c as usize,
+                hasher: PartitionHasher::new(family.member(0), m),
+            });
+        } else {
+            let (c1, c2) = (self.cfg.c1(), self.cfg.c2());
+            for k in 0..c1 {
+                groups.push(GroupSpec {
+                    start,
+                    size: m as usize,
+                    hasher: PartitionHasher::new(family.member(k), m),
+                });
+                start += m as usize;
+            }
+            if c2 != 0 {
+                groups.push(GroupSpec {
+                    start,
+                    size: c2 as usize,
+                    hasher: PartitionHasher::new(family.member(c1), m),
+                });
+            }
+        }
+        groups
+    }
+
+    fn make_workers(&self) -> Vec<SemiTriangleWorker> {
+        let track_eta = self.cfg.needs_eta();
+        (0..self.cfg.c)
+            .map(|_| {
+                SemiTriangleWorker::new(self.cfg.track_locals, track_eta, self.cfg.eta_mode)
+            })
+            .collect()
+    }
+
+    /// Runs the estimator over a stream in one thread, simulating all `c`
+    /// processors. Deterministic given `cfg.seed`.
+    pub fn run_sequential<I: IntoIterator<Item = Edge>>(&self, stream: I) -> ReptEstimate {
+        let groups = self.groups();
+        let mut workers = self.make_workers();
+        for e in stream {
+            let (u, v) = e.as_u64_pair();
+            for g in &groups {
+                // Every processor in the group observes the edge …
+                let cell = g.hasher.cell(u, v) as usize;
+                for (off, w) in workers[g.start..g.start + g.size].iter_mut().enumerate() {
+                    let closed = w.observe(e);
+                    // … and the one owning the edge's cell stores it.
+                    if off == cell {
+                        w.store(e, closed);
+                    }
+                }
+            }
+        }
+        self.finalize(workers)
+    }
+
+    /// Runs the estimator with processors spread over `threads` OS
+    /// threads. Produces exactly the same estimate as
+    /// [`Self::run_sequential`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_threaded(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
+        assert!(threads > 0, "need at least one thread");
+        let groups = self.groups();
+        let mut workers = self.make_workers();
+
+        // Partition workers into contiguous chunks, one per thread. Each
+        // chunk processes the whole stream against its own workers only —
+        // REPT processors never communicate during the stream, so this is
+        // exactly the paper's parallelism model.
+        let c = workers.len();
+        let chunk_len = c.div_ceil(threads);
+        // (group, cell-offset) of each worker, for the store decision.
+        let worker_group: Vec<usize> = {
+            let mut wg = vec![0usize; c];
+            for (gi, g) in groups.iter().enumerate() {
+                wg[g.start..g.start + g.size].fill(gi);
+            }
+            wg
+        };
+
+        std::thread::scope(|scope| {
+            let groups = &groups;
+            let worker_group = &worker_group;
+            let mut handles = Vec::new();
+            for (chunk_idx, chunk) in workers.chunks_mut(chunk_len).enumerate() {
+                let start = chunk_idx * chunk_len;
+                handles.push(scope.spawn(move || {
+                    for &e in stream {
+                        let (u, v) = e.as_u64_pair();
+                        // Hash once per group that appears in this chunk.
+                        // Chunks are contiguous so at most a few groups are
+                        // touched; recomputing per worker would also be
+                        // correct, just slower.
+                        let mut cached: (usize, usize) = (usize::MAX, 0);
+                        for (off, w) in chunk.iter_mut().enumerate() {
+                            let i = start + off;
+                            let gi = worker_group[i];
+                            if cached.0 != gi {
+                                cached = (gi, groups[gi].hasher.cell(u, v) as usize);
+                            }
+                            let closed = w.observe(e);
+                            if i - groups[gi].start == cached.1 {
+                                w.store(e, closed);
+                            }
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("REPT worker thread panicked");
+            }
+        });
+        self.finalize(workers)
+    }
+
+    /// Assembles the final estimate from finished workers (paper
+    /// Algorithm 1's and Algorithm 2's tail sections).
+    pub(crate) fn finalize(&self, workers: Vec<SemiTriangleWorker>) -> ReptEstimate {
+        let m = self.cfg.m as f64;
+        let c = self.cfg.c as f64;
+        let per_processor_tau: Vec<u64> = workers.iter().map(|w| w.tau()).collect();
+        let stored_edges: Vec<usize> = workers.iter().map(|w| w.stored_edges()).collect();
+        let total_bytes: usize = workers.iter().map(|w| w.approx_bytes()).sum();
+
+        let eta_hat = self.cfg.needs_eta().then(|| {
+            let sum: u64 = workers.iter().map(|w| w.eta()).sum();
+            m * m * m * sum as f64 / c
+        });
+
+        let (global, combination, sub_estimates, locals);
+        if self.cfg.c <= self.cfg.m {
+            // τ̂ = m²/c · Σ τ⁽ⁱ⁾ (Algorithm 1).
+            let sum: u64 = per_processor_tau.iter().sum();
+            global = m * m / c * sum as f64;
+            combination = CombinationPath::SingleGroup;
+            sub_estimates = None;
+            locals = self.locals_scaled(&workers, 0..workers.len(), m * m / c);
+        } else if self.cfg.c2() == 0 {
+            // τ̂ = m/c₁ · Σ τ⁽ⁱ⁾.
+            let c1 = self.cfg.c1() as f64;
+            let sum: u64 = per_processor_tau.iter().sum();
+            global = m / c1 * sum as f64;
+            combination = CombinationPath::FullGroups;
+            sub_estimates = None;
+            locals = self.locals_scaled(&workers, 0..workers.len(), m / c1);
+        } else {
+            let (c1, c2) = (self.cfg.c1() as f64, self.cfg.c2() as f64);
+            let split = (self.cfg.c1() * self.cfg.m) as usize;
+            let sum1: u64 = per_processor_tau[..split].iter().sum();
+            let sum2: u64 = per_processor_tau[split..].iter().sum();
+            let t1 = m / c1 * sum1 as f64;
+            let t2 = m * m / c2 * sum2 as f64;
+            let eta = eta_hat.expect("needs_eta() is true on this path");
+            // Plug-in weights (§III-B): τ ← τ̂⁽¹⁾, η ← η̂.
+            let w1 = t1 * (m - 1.0) / c1;
+            let w2 = (t1 * (m * m - c2) + 2.0 * eta * (m - c2)) / c2;
+            match graybill_deal(t1, w1, t2, w2) {
+                Combined::Weighted(v) => {
+                    global = v;
+                    combination = CombinationPath::GraybillDeal;
+                }
+                Combined::Degenerate => {
+                    // Pooled unbiased fallback: every triangle is counted
+                    // with expectation c/m² across all processors.
+                    let sum: u64 = per_processor_tau.iter().sum();
+                    global = m * m / c * sum as f64;
+                    combination = CombinationPath::PooledFallback;
+                }
+            }
+            sub_estimates = Some((t1, t2));
+            locals = self.locals_combined(&workers, split);
+        }
+
+        ReptEstimate {
+            global,
+            locals,
+            eta_hat,
+            diagnostics: Diagnostics {
+                m: self.cfg.m,
+                c: self.cfg.c,
+                per_processor_tau,
+                stored_edges,
+                total_bytes,
+                combination,
+                sub_estimates,
+            },
+        }
+    }
+
+    /// Locals for the single-scale paths: `τ̂_v = scale · Σ τ⁽ⁱ⁾_v`.
+    fn locals_scaled(
+        &self,
+        workers: &[SemiTriangleWorker],
+        range: std::ops::Range<usize>,
+        scale: f64,
+    ) -> FxHashMap<NodeId, f64> {
+        if !self.cfg.track_locals {
+            return FxHashMap::default();
+        }
+        let mut acc: FxHashMap<NodeId, u64> = FxHashMap::default();
+        for w in &workers[range] {
+            if let Some(tv) = w.tau_v() {
+                for (&v, &count) in tv {
+                    *acc.entry(v).or_insert(0) += count;
+                }
+            }
+        }
+        acc.into_iter()
+            .map(|(v, count)| (v, scale * count as f64))
+            .collect()
+    }
+
+    /// Locals for the mixed-group path: per-node Graybill–Deal with
+    /// plug-in weights (`τ ← τ̂⁽¹⁾_v`, `η ← η̂_v`), pooled fallback.
+    fn locals_combined(
+        &self,
+        workers: &[SemiTriangleWorker],
+        split: usize,
+    ) -> FxHashMap<NodeId, f64> {
+        if !self.cfg.track_locals {
+            return FxHashMap::default();
+        }
+        let m = self.cfg.m as f64;
+        let c = self.cfg.c as f64;
+        let (c1, c2) = (self.cfg.c1() as f64, self.cfg.c2() as f64);
+
+        #[derive(Default, Clone, Copy)]
+        struct NodeAcc {
+            sum1: u64,
+            sum2: u64,
+            eta_sum: u64,
+        }
+        let mut acc: FxHashMap<NodeId, NodeAcc> = FxHashMap::default();
+        for (i, w) in workers.iter().enumerate() {
+            if let Some(tv) = w.tau_v() {
+                for (&v, &count) in tv {
+                    let a = acc.entry(v).or_default();
+                    if i < split {
+                        a.sum1 += count;
+                    } else {
+                        a.sum2 += count;
+                    }
+                }
+            }
+            if let Some(ev) = w.eta_v() {
+                for (&v, &count) in ev {
+                    acc.entry(v).or_default().eta_sum += count;
+                }
+            }
+        }
+
+        acc.into_iter()
+            .map(|(v, a)| {
+                let t1 = m / c1 * a.sum1 as f64;
+                let t2 = m * m / c2 * a.sum2 as f64;
+                let eta_v = m * m * m * a.eta_sum as f64 / c;
+                let w1 = t1 * (m - 1.0) / c1;
+                let w2 = (t1 * (m * m - c2) + 2.0 * eta_v * (m - c2)) / c2;
+                let est = match graybill_deal(t1, w1, t2, w2) {
+                    Combined::Weighted(x) => x,
+                    Combined::Degenerate => m * m / c * (a.sum1 + a.sum2) as f64,
+                };
+                (v, est)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReptConfig;
+    use rept_gen::{complete, GeneratorConfig};
+
+    #[test]
+    fn groups_layout_c_le_m() {
+        let r = Rept::new(ReptConfig::new(10, 4));
+        let g = r.groups();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].size, 4);
+        assert_eq!(g[0].hasher.cells(), 10);
+    }
+
+    #[test]
+    fn groups_layout_c_gt_m() {
+        let r = Rept::new(ReptConfig::new(4, 11)); // c1 = 2, c2 = 3
+        let g = r.groups();
+        assert_eq!(g.len(), 3);
+        assert_eq!((g[0].start, g[0].size), (0, 4));
+        assert_eq!((g[1].start, g[1].size), (4, 4));
+        assert_eq!((g[2].start, g[2].size), (8, 3));
+    }
+
+    #[test]
+    fn full_partition_c_equals_m_is_exact_within_partition() {
+        // With c = m every edge is stored by exactly one processor; the
+        // estimate is m²/m Σ τ⁽ⁱ⁾ = m·Σ. Semi-triangles only close when
+        // their first two edges share a cell — randomness remains, but the
+        // estimate must be unbiased: check with many seeds.
+        let stream = complete(10);
+        let tau = 120.0; // C(10,3)
+        let (m, c) = (3u64, 3u64);
+        let trials = 400;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                Rept::new(ReptConfig::new(m, c).with_seed(s))
+                    .run_sequential(stream.iter().copied())
+                    .global
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - tau).abs() < tau * 0.1,
+            "mean {mean} too far from τ = {tau}"
+        );
+    }
+
+    #[test]
+    fn unbiased_for_c_less_than_m() {
+        let stream = complete(12); // τ = 220
+        let tau = 220.0;
+        let trials = 600;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                Rept::new(ReptConfig::new(4, 2).with_seed(s))
+                    .run_sequential(stream.iter().copied())
+                    .global
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - tau).abs() < tau * 0.15,
+            "mean {mean} vs τ = {tau}"
+        );
+    }
+
+    #[test]
+    fn unbiased_for_full_groups() {
+        let stream = complete(12);
+        let tau = 220.0;
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                Rept::new(ReptConfig::new(3, 6).with_seed(s)) // c = 2m
+                    .run_sequential(stream.iter().copied())
+                    .global
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - tau).abs() < tau * 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn mixed_groups_estimate_is_reasonable() {
+        let stream = complete(14); // τ = 364
+        let tau = 364.0;
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|s| {
+                Rept::new(ReptConfig::new(3, 7).with_seed(s)) // c1=2, c2=1
+                    .run_sequential(stream.iter().copied())
+                    .global
+            })
+            .sum::<f64>()
+            / trials as f64;
+        // Plug-in weights make this slightly biased; allow a loose band.
+        assert!(
+            (mean - tau).abs() < tau * 0.2,
+            "mean {mean} vs τ = {tau}"
+        );
+    }
+
+    #[test]
+    fn locals_sum_tracks_three_tau() {
+        // Σ_v τ̂_v should be ≈ 3τ̂ for the single-group path (each
+        // semi-triangle contributes to exactly 3 nodes with equal scaling).
+        let stream = complete(10);
+        let est = Rept::new(ReptConfig::new(3, 3).with_seed(5))
+            .run_sequential(stream.iter().copied());
+        let local_sum: f64 = est.locals.values().sum();
+        assert!(
+            (local_sum - 3.0 * est.global).abs() < 1e-6,
+            "Σ τ̂_v = {local_sum} vs 3τ̂ = {}",
+            3.0 * est.global
+        );
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let cfg = GeneratorConfig::new(300, 11);
+        let stream = rept_gen::barabasi_albert(&cfg, 4);
+        for (m, c) in [(4u64, 3u64), (3, 3), (3, 7), (2, 8)] {
+            let r = Rept::new(ReptConfig::new(m, c).with_seed(42).with_eta(true));
+            let seq = r.run_sequential(stream.iter().copied());
+            for threads in [1, 2, 5] {
+                let thr = r.run_threaded(&stream, threads);
+                assert_eq!(seq.global, thr.global, "m={m} c={c} threads={threads}");
+                assert_eq!(seq.eta_hat, thr.eta_hat);
+                assert_eq!(seq.locals, thr.locals);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let est = Rept::new(ReptConfig::new(5, 13).with_seed(0))
+            .run_sequential(std::iter::empty());
+        assert_eq!(est.global, 0.0);
+        assert!(est.locals.is_empty());
+    }
+
+    #[test]
+    fn triangle_free_stream_estimates_zero() {
+        let stream = rept_gen::star(50);
+        let est = Rept::new(ReptConfig::new(4, 4).with_seed(3))
+            .run_sequential(stream.iter().copied());
+        assert_eq!(est.global, 0.0);
+    }
+
+    #[test]
+    fn locals_disabled_yields_empty_map() {
+        let stream = complete(8);
+        let est = Rept::new(ReptConfig::new(3, 3).with_seed(1).with_locals(false))
+            .run_sequential(stream.iter().copied());
+        assert!(est.locals.is_empty());
+        assert!(est.global > 0.0);
+    }
+
+    #[test]
+    fn stored_edges_partition_the_sampled_stream() {
+        // Across one full group (c = m) every edge is stored exactly once.
+        let stream = complete(20); // 190 edges
+        let est = Rept::new(ReptConfig::new(5, 5).with_seed(9))
+            .run_sequential(stream.iter().copied());
+        let total: usize = est.diagnostics.stored_edges.iter().sum();
+        assert_eq!(total, 190);
+    }
+
+    #[test]
+    fn c_le_m_stores_c_over_m_fraction() {
+        let stream = complete(40); // 780 edges
+        let est = Rept::new(ReptConfig::new(10, 3).with_seed(2))
+            .run_sequential(stream.iter().copied());
+        let total: usize = est.diagnostics.stored_edges.iter().sum();
+        let expected = 780.0 * 3.0 / 10.0;
+        assert!(
+            (total as f64 - expected).abs() < expected * 0.25,
+            "stored {total}, expected ≈ {expected}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! **REPT** — Random Edge Partition and Triangle counting.
+//!
+//! The paper's contribution (Wang et al., ICDE 2019): a one-pass parallel
+//! streaming estimator of global and local triangle counts whose processors
+//! share *one random edge partition* instead of running independent
+//! samples, which removes most (for `c = m`, all) of the covariance between
+//! sampled triangles that dominates the error of parallelized MASCOT /
+//! TRIÈST.
+//!
+//! * [`worker`] — `SemiTriangleWorker`, one
+//!   logical processor: observes every stream edge, stores its partition
+//!   cell, counts semi-triangles and (optionally) η-pairs. Implements the
+//!   paper's `UpdateTriangleCNT` / `UpdateTrianglePairCNT`.
+//! * [`config`] — [`ReptConfig`]: `m`, `c`, seeds,
+//!   tracking switches, η bookkeeping mode.
+//! * [`estimator`] — [`Rept`]: Algorithm 1 (`c ≤ m`) and
+//!   Algorithm 2 (`c > m`, grouped hashes + Graybill–Deal combination),
+//!   sequential and threaded drivers.
+//! * [`combine`] — inverse-variance combination of the two sub-estimates
+//!   with plug-in weights, exactly as §III-B prescribes.
+//! * [`variance`] — closed-form variances (Theorem 3 and §III-B/C) for
+//!   REPT and parallel MASCOT; used by tests and the figure binaries.
+//! * [`estimate`] — result types (notably [`ReptEstimate`]).
+//! * [`cluster`] — a message-passing simulated cluster (the paper's
+//!   "future work: distributed platforms" extension) with per-machine
+//!   memory accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod combine;
+pub mod config;
+pub mod estimate;
+pub mod estimator;
+pub mod interval;
+pub mod planning;
+pub mod resume;
+pub mod variance;
+pub mod worker;
+
+pub use config::{EtaMode, ReptConfig};
+pub use estimate::ReptEstimate;
+pub use estimator::Rept;

@@ -1,0 +1,463 @@
+//! Incremental driving and checkpoint/resume.
+//!
+//! The batch drivers ([`Rept::run_sequential`] etc.) consume a whole
+//! stream; an operational deployment (the paper's router scenario) instead
+//! receives edges *as they arrive* and must survive restarts. This module
+//! provides both:
+//!
+//! * [`ResumableRun`] — push-style driver: `process(edge)` as edges
+//!   arrive, `finalize()` whenever an estimate is needed;
+//! * checkpointing — [`ResumableRun::checkpoint_bytes`] serialises the
+//!   entire processor state (sampled adjacencies and all counters) into a
+//!   self-describing binary blob; [`ResumableRun::from_checkpoint_bytes`]
+//!   reconstructs it. Resuming from a checkpoint and processing the
+//!   remaining edges is **bit-identical** to an uninterrupted run — the
+//!   property the tests pin down.
+//!
+//! The format is hand-rolled little-endian (no serde-format dependency):
+//! magic, version, config, then per-worker sections. It is a snapshot
+//! format, not an archival one — the version field guards against reading
+//! snapshots across incompatible releases.
+
+use rept_graph::edge::{Edge, NodeId};
+
+use crate::config::{EtaMode, ReptConfig};
+use crate::estimate::ReptEstimate;
+use crate::estimator::Rept;
+use crate::worker::SemiTriangleWorker;
+
+/// Magic bytes of the checkpoint format.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RPCK";
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Blob too short / cut off mid-field.
+    Truncated,
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// A decoded value violated an invariant (description).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "checkpoint truncated"),
+            SnapshotError::BadMagic => write!(f, "not a REPT checkpoint"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            SnapshotError::Invalid(what) => write!(f, "invalid checkpoint field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Little-endian reader over a byte slice.
+pub(crate) struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.0.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A push-style REPT driver whose state can be checkpointed.
+#[derive(Debug, Clone)]
+pub struct ResumableRun {
+    rept: Rept,
+    workers: Vec<SemiTriangleWorker>,
+    /// (hasher, owned cell) per worker, rebuilt from the config.
+    assignments: Vec<(rept_hash::edge_hash::PartitionHasher, u64)>,
+    position: u64,
+}
+
+impl ResumableRun {
+    /// Starts a fresh run.
+    pub fn new(rept: Rept) -> Self {
+        let cfg = *rept.config();
+        let workers = (0..cfg.c)
+            .map(|_| SemiTriangleWorker::new(cfg.track_locals, cfg.needs_eta(), cfg.eta_mode))
+            .collect();
+        let assignments = rept.processor_assignments();
+        Self {
+            rept,
+            workers,
+            assignments,
+            position: 0,
+        }
+    }
+
+    /// Processes one arriving edge on all processors.
+    pub fn process(&mut self, e: Edge) {
+        let (u, v) = e.as_u64_pair();
+        self.position += 1;
+        for (w, (hasher, cell)) in self.workers.iter_mut().zip(&self.assignments) {
+            let closed = w.observe(e);
+            if hasher.cell(u, v) == *cell {
+                w.store(e, closed);
+            }
+        }
+    }
+
+    /// Number of edges processed so far.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReptConfig {
+        self.rept.config()
+    }
+
+    /// Produces the estimate for the stream seen so far (non-consuming —
+    /// all estimators here are anytime).
+    pub fn estimate(&self) -> ReptEstimate {
+        self.rept.finalize(self.workers.clone())
+    }
+
+    /// Consumes the run and produces the final estimate.
+    pub fn finalize(self) -> ReptEstimate {
+        self.rept.finalize(self.workers)
+    }
+
+    /// Serialises the complete state.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let cfg = self.rept.config();
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&cfg.m.to_le_bytes());
+        out.extend_from_slice(&cfg.c.to_le_bytes());
+        out.extend_from_slice(&cfg.seed.to_le_bytes());
+        out.push(cfg.track_locals as u8);
+        out.push(cfg.track_eta as u8);
+        out.push(match cfg.eta_mode {
+            EtaMode::PaperInit => 0,
+            EtaMode::StrictNonLast => 1,
+        });
+        out.extend_from_slice(&self.position.to_le_bytes());
+        for w in &self.workers {
+            w.write_snapshot(&mut out);
+        }
+        out
+    }
+
+    /// Reconstructs a run from [`Self::checkpoint_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on malformed input.
+    pub fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader(bytes);
+        if r.take(4)? != CHECKPOINT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let m = r.u64()?;
+        let c = r.u64()?;
+        let seed = r.u64()?;
+        if m < 2 || c < 1 {
+            return Err(SnapshotError::Invalid("config out of range"));
+        }
+        let track_locals = r.u8()? != 0;
+        let track_eta = r.u8()? != 0;
+        let eta_mode = match r.u8()? {
+            0 => EtaMode::PaperInit,
+            1 => EtaMode::StrictNonLast,
+            _ => return Err(SnapshotError::Invalid("eta mode")),
+        };
+        let position = r.u64()?;
+        let cfg = ReptConfig {
+            m,
+            c,
+            seed,
+            track_locals,
+            track_eta,
+            eta_mode,
+        };
+        let rept = Rept::new(cfg);
+        let mut workers = Vec::with_capacity(c as usize);
+        for _ in 0..c {
+            workers.push(SemiTriangleWorker::read_snapshot(
+                &mut r,
+                cfg.track_locals,
+                cfg.needs_eta(),
+                cfg.eta_mode,
+            )?);
+        }
+        if !r.done() {
+            return Err(SnapshotError::Invalid("trailing bytes"));
+        }
+        let assignments = rept.processor_assignments();
+        Ok(Self {
+            rept,
+            workers,
+            assignments,
+            position,
+        })
+    }
+}
+
+// ---- worker snapshot plumbing -------------------------------------------
+
+impl SemiTriangleWorker {
+    /// Appends this worker's full state to `out` (format documented in
+    /// [`crate::resume`]).
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tau().to_le_bytes());
+        // Stored edges.
+        let edges: Vec<Edge> = self.stored_edge_list();
+        out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        for e in &edges {
+            out.extend_from_slice(&e.u().to_le_bytes());
+            out.extend_from_slice(&e.v().to_le_bytes());
+        }
+        // Local counters.
+        let write_node_map = |out: &mut Vec<u8>, map: Option<Vec<(NodeId, u64)>>| {
+            match map {
+                Some(entries) => {
+                    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                    for (n, v) in entries {
+                        out.extend_from_slice(&n.to_le_bytes());
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+            }
+        };
+        write_node_map(out, self.tau_v_entries());
+        out.extend_from_slice(&self.eta().to_le_bytes());
+        write_node_map(out, self.eta_v_entries());
+        match self.edge_counter_entries() {
+            Some(entries) => {
+                out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (e, v) in entries {
+                    out.extend_from_slice(&e.u().to_le_bytes());
+                    out.extend_from_slice(&e.v().to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+        }
+    }
+
+    /// Reads a worker back (counterpart of [`Self::write_snapshot`]).
+    pub(crate) fn read_snapshot(
+        r: &mut Reader<'_>,
+        track_locals: bool,
+        track_eta: bool,
+        eta_mode: EtaMode,
+    ) -> Result<Self, SnapshotError> {
+        let tau = r.u64()?;
+        let edge_count = r.u64()? as usize;
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            let u = r.u32()?;
+            let v = r.u32()?;
+            let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop edge"))?;
+            edges.push(e);
+        }
+        let read_node_map = |r: &mut Reader<'_>| -> Result<Option<Vec<(NodeId, u64)>>, SnapshotError> {
+            let len = r.u64()?;
+            if len == u64::MAX {
+                return Ok(None);
+            }
+            let mut entries = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                let n = r.u32()?;
+                let v = r.u64()?;
+                entries.push((n, v));
+            }
+            Ok(Some(entries))
+        };
+        let tau_v = read_node_map(r)?;
+        let eta = r.u64()?;
+        let eta_v = read_node_map(r)?;
+        let per_edge = {
+            let len = r.u64()?;
+            if len == u64::MAX {
+                None
+            } else {
+                let mut entries = Vec::with_capacity(len as usize);
+                for _ in 0..len {
+                    let u = r.u32()?;
+                    let v = r.u32()?;
+                    let cnt = r.u64()?;
+                    let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop key"))?;
+                    entries.push((e, cnt));
+                }
+                Some(entries)
+            }
+        };
+        // Consistency: a tracked-eta worker must have eta sections and
+        // vice versa; mismatches mean the config bytes were corrupted.
+        if track_eta != per_edge.is_some() {
+            return Err(SnapshotError::Invalid("eta section/config mismatch"));
+        }
+        if track_locals != tau_v.is_some() {
+            return Err(SnapshotError::Invalid("locals section/config mismatch"));
+        }
+        Ok(SemiTriangleWorker::from_snapshot_parts(
+            track_locals,
+            track_eta,
+            eta_mode,
+            tau,
+            edges,
+            tau_v,
+            eta,
+            eta_v,
+            per_edge,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_gen::{barabasi_albert, stream_order, GeneratorConfig};
+
+    fn stream() -> Vec<Edge> {
+        stream_order(barabasi_albert(&GeneratorConfig::new(300, 3), 4), 2)
+    }
+
+    fn cfg() -> ReptConfig {
+        ReptConfig::new(3, 7).with_seed(11).with_eta(true)
+    }
+
+    #[test]
+    fn push_driver_matches_batch_driver() {
+        let stream = stream();
+        let rept = Rept::new(cfg());
+        let batch = rept.run_sequential(stream.iter().copied());
+        let mut run = ResumableRun::new(rept);
+        for &e in &stream {
+            run.process(e);
+        }
+        assert_eq!(run.position(), stream.len() as u64);
+        let push = run.finalize();
+        assert_eq!(push.global, batch.global);
+        assert_eq!(push.locals, batch.locals);
+        assert_eq!(push.eta_hat, batch.eta_hat);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let stream = stream();
+        let rept = Rept::new(cfg());
+        let uninterrupted = rept.run_sequential(stream.iter().copied());
+
+        let mut first = ResumableRun::new(rept);
+        let split = stream.len() / 2;
+        for &e in &stream[..split] {
+            first.process(e);
+        }
+        let blob = first.checkpoint_bytes();
+        drop(first);
+
+        let mut resumed = ResumableRun::from_checkpoint_bytes(&blob).expect("valid blob");
+        assert_eq!(resumed.position(), split as u64);
+        assert_eq!(resumed.config(), &cfg());
+        for &e in &stream[split..] {
+            resumed.process(e);
+        }
+        let final_est = resumed.finalize();
+        assert_eq!(final_est.global, uninterrupted.global);
+        assert_eq!(final_est.locals, uninterrupted.locals);
+        assert_eq!(final_est.eta_hat, uninterrupted.eta_hat);
+    }
+
+    #[test]
+    fn anytime_estimate_is_available_mid_stream() {
+        let stream = stream();
+        let mut run = ResumableRun::new(Rept::new(cfg()));
+        for &e in &stream[..stream.len() / 3] {
+            run.process(e);
+        }
+        let early = run.estimate();
+        assert!(early.global >= 0.0);
+        for &e in &stream[stream.len() / 3..] {
+            run.process(e);
+        }
+        // The run is still usable after the interim estimate.
+        assert_eq!(run.position(), stream.len() as u64);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(b"nop").err(),
+            Some(SnapshotError::Truncated),
+            "3 bytes cannot even hold the magic"
+        );
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(b"nope").err(),
+            Some(SnapshotError::BadMagic)
+        );
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(b"XXXX\x01\x00\x00\x00").err(),
+            Some(SnapshotError::BadMagic),
+        );
+        let mut blob = ResumableRun::new(Rept::new(cfg())).checkpoint_bytes();
+        // Corrupt the version.
+        blob[4] = 99;
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&blob).err(),
+            Some(SnapshotError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let stream = stream();
+        let mut run = ResumableRun::new(Rept::new(cfg()));
+        for &e in &stream[..100] {
+            run.process(e);
+        }
+        let blob = run.checkpoint_bytes();
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&blob[..blob.len() - 1]).err(),
+            Some(SnapshotError::Truncated)
+        );
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&extended).err(),
+            Some(SnapshotError::Invalid("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SnapshotError::BadVersion(7).to_string().contains('7'));
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Closed-form estimator variances from the paper.
+//!
+//! These functions evaluate the theory of §III with the *true* `τ` and `η`
+//! plugged in. They serve three purposes: the empirical-variance tests
+//! (`Var̂(τ̂) ≈` closed form over many trials), the predicted curves the
+//! figure binaries print next to measured NRMSE, and the accuracy
+//! comparison of §III-C (REPT vs parallel MASCOT).
+
+/// `Var(τ̂)` of REPT with parameters `m`, `c` (Theorem 3 and §III-B).
+///
+/// Covers all three cases:
+/// * `c ≤ m` — `(τ(m²−c) + 2η(m−c))/c`;
+/// * `c = c₁m` — `τ(m−1)/c₁`;
+/// * `c = c₁m + c₂, c₂ ≠ 0` — variance of the optimal Graybill–Deal
+///   combination, `v₁v₂/(v₁+v₂)`.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `c < 1`.
+pub fn rept_variance(tau: f64, eta: f64, m: u64, c: u64) -> f64 {
+    assert!(m >= 2, "m must be at least 2");
+    assert!(c >= 1, "c must be at least 1");
+    let mf = m as f64;
+    if c <= m {
+        let cf = c as f64;
+        return (tau * (mf * mf - cf) + 2.0 * eta * (mf - cf)) / cf;
+    }
+    let c1 = (c / m) as f64;
+    let c2 = c % m;
+    let v1 = tau * (mf - 1.0) / c1;
+    if c2 == 0 {
+        return v1;
+    }
+    let c2f = c2 as f64;
+    let v2 = (tau * (mf * mf - c2f) + 2.0 * eta * (mf - c2f)) / c2f;
+    // τ = η = 0 degenerates to None: variance is exactly 0.
+    crate::combine::combined_variance(v1, v2).unwrap_or(0.0)
+}
+
+/// `Var(1/c Σ τ̃⁽ⁱ⁾)` of parallel MASCOT with `p = 1/m` on `c` processors
+/// (§III-C): `(τ(m²−1) + 2η(m−1))/c`. TRIÈST-IMPR at an equal budget has
+/// the same leading behaviour (paper §III-C cites the TRIÈST paper for the match).
+pub fn parallel_mascot_variance(tau: f64, eta: f64, m: u64, c: u64) -> f64 {
+    assert!(m >= 2 && c >= 1);
+    let mf = m as f64;
+    (tau * (mf * mf - 1.0) + 2.0 * eta * (mf - 1.0)) / c as f64
+}
+
+/// Single-instance MASCOT variance `τ(p⁻²−1) + 2η(p⁻¹−1)` (Lemma 6 of the
+/// MASCOT paper, as quoted in §I).
+pub fn mascot_variance(tau: f64, eta: f64, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be a probability");
+    tau * (p.powi(-2) - 1.0) + 2.0 * eta * (p.recip() - 1.0)
+}
+
+/// The NRMSE an *unbiased* estimator with this variance attains:
+/// `√Var / τ`. Returns `None` when `τ = 0`.
+pub fn nrmse_of_unbiased(variance: f64, tau: f64) -> Option<f64> {
+    if tau > 0.0 {
+        Some(variance.sqrt() / tau)
+    } else {
+        None
+    }
+}
+
+/// The variance-reduction factor REPT achieves over parallel MASCOT at the
+/// same `(m, c)` — the headline quantity of the paper.
+pub fn rept_gain(tau: f64, eta: f64, m: u64, c: u64) -> f64 {
+    let rept = rept_variance(tau, eta, m, c);
+    if rept == 0.0 {
+        f64::INFINITY
+    } else {
+        parallel_mascot_variance(tau, eta, m, c) / rept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_c_equals_m_eliminates_eta() {
+        // Var = τ(m−1), independent of η.
+        let v = rept_variance(100.0, 1_000_000.0, 10, 10);
+        assert_eq!(v, 100.0 * 9.0);
+    }
+
+    #[test]
+    fn case_c_below_m() {
+        // (τ(m²−c) + 2η(m−c))/c with τ=10, η=50, m=10, c=5:
+        // (10·95 + 100·5)/5 = (950 + 500)/5 = 290.
+        assert_eq!(rept_variance(10.0, 50.0, 10, 5), 290.0);
+    }
+
+    #[test]
+    fn case_full_groups() {
+        // c = 3m → τ(m−1)/3.
+        assert_eq!(rept_variance(90.0, 1e9, 10, 30), 90.0 * 9.0 / 3.0);
+    }
+
+    #[test]
+    fn case_mixed_groups_below_both_components() {
+        let (tau, eta, m, c) = (1000.0, 50_000.0, 10u64, 32u64);
+        let v = rept_variance(tau, eta, m, c);
+        let v1 = tau * 9.0 / 3.0;
+        let c2 = 2.0;
+        let v2 = (tau * (100.0 - c2) + 2.0 * eta * (10.0 - c2)) / c2;
+        assert!(v < v1 && v < v2, "combination beats both parts");
+        assert!((v - v1 * v2 / (v1 + v2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_zero_graph() {
+        assert_eq!(rept_variance(0.0, 0.0, 10, 32), 0.0);
+    }
+
+    #[test]
+    fn c_equals_one_matches_single_mascot() {
+        // REPT with one processor is exactly MASCOT with p = 1/m:
+        // (τ(m²−1) + 2η(m−1))/1.
+        let (tau, eta, m) = (123.0, 456.0, 7u64);
+        assert_eq!(
+            rept_variance(tau, eta, m, 1),
+            mascot_variance(tau, eta, 1.0 / m as f64)
+        );
+    }
+
+    #[test]
+    fn rept_never_worse_than_parallel_mascot() {
+        for &(tau, eta) in &[(10.0, 0.0), (100.0, 1e4), (1e5, 1e8)] {
+            for &m in &[2u64, 10, 100] {
+                for &c in &[1u64, 2, 5, 10, 32, 100, 320] {
+                    let r = rept_variance(tau, eta, m, c);
+                    let p = parallel_mascot_variance(tau, eta, m, c);
+                    assert!(
+                        r <= p + 1e-9,
+                        "REPT worse at τ={tau} η={eta} m={m} c={c}: {r} > {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gain_grows_with_c_up_to_m() {
+        let (tau, eta, m) = (1e4, 1e7, 100u64);
+        let gains: Vec<f64> = [2u64, 10, 50, 100]
+            .iter()
+            .map(|&c| rept_gain(tau, eta, m, c))
+            .collect();
+        for w in gains.windows(2) {
+            assert!(w[1] > w[0], "gain must increase with c: {gains:?}");
+        }
+    }
+
+    #[test]
+    fn nrmse_helper() {
+        assert_eq!(nrmse_of_unbiased(400.0, 10.0), Some(2.0));
+        assert_eq!(nrmse_of_unbiased(400.0, 0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn mascot_bad_p_panics() {
+        mascot_variance(1.0, 1.0, 0.0);
+    }
+}

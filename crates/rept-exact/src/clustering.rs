@@ -1,0 +1,117 @@
+//! Clustering coefficients derived from exact triangle counts.
+//!
+//! The paper's motivating applications (spam detection, social-role
+//! identification) consume triangle counts through clustering coefficients,
+//! so the library exposes them as a convenience layer on top of the exact
+//! counters. Estimated coefficients can be formed the same way from any
+//! estimator's output.
+
+use rept_graph::csr::CsrGraph;
+use rept_graph::edge::NodeId;
+
+use crate::static_count::{forward_count, StaticCounts};
+
+/// Global clustering coefficient (transitivity): `3τ / #wedges`.
+///
+/// Returns `None` for wedge-free graphs, where the coefficient is
+/// undefined.
+pub fn global_clustering(g: &CsrGraph) -> Option<f64> {
+    let counts = forward_count(g);
+    global_clustering_from(g, &counts)
+}
+
+/// As [`global_clustering`], reusing precomputed counts.
+pub fn global_clustering_from(g: &CsrGraph, counts: &StaticCounts) -> Option<f64> {
+    let wedges: u64 = (0..g.node_count())
+        .map(|v| {
+            let d = g.degree(v as NodeId) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        None
+    } else {
+        Some(3.0 * counts.global as f64 / wedges as f64)
+    }
+}
+
+/// Local clustering coefficient of one node: `τ_v / C(d_v, 2)`.
+///
+/// Returns `None` when `d_v < 2` (no wedge at `v`).
+pub fn local_clustering(g: &CsrGraph, counts: &StaticCounts, v: NodeId) -> Option<f64> {
+    let d = g.degree(v) as u64;
+    if d < 2 {
+        return None;
+    }
+    let wedges = d * (d - 1) / 2;
+    Some(counts.local[v as usize] as f64 / wedges as f64)
+}
+
+/// Average local clustering coefficient over nodes with degree ≥ 2
+/// (Watts–Strogatz definition restricted to defined values).
+pub fn average_local_clustering(g: &CsrGraph) -> Option<f64> {
+    let counts = forward_count(g);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in 0..g.node_count() as NodeId {
+        if let Some(c) = local_clustering(g, &counts, v) {
+            sum += c;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_graph::edge::Edge;
+
+    fn csr(pairs: &[(NodeId, NodeId)]) -> CsrGraph {
+        CsrGraph::from_edges(&pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let mut pairs = Vec::new();
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                pairs.push((u, v));
+            }
+        }
+        let g = csr(&pairs);
+        assert_eq!(global_clustering(&g), Some(1.0));
+        assert_eq!(average_local_clustering(&g), Some(1.0));
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = csr(&[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(global_clustering(&g), Some(0.0));
+        let counts = forward_count(&g);
+        assert_eq!(local_clustering(&g, &counts, 0), Some(0.0));
+        assert_eq!(local_clustering(&g, &counts, 1), None, "degree-1 leaf");
+    }
+
+    #[test]
+    fn wedge_free_graph_is_undefined() {
+        let g = csr(&[(0, 1), (2, 3)]);
+        assert_eq!(global_clustering(&g), None);
+        assert_eq!(average_local_clustering(&g), None);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 plus edge 2-3.
+        let g = csr(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let counts = forward_count(&g);
+        // Node 2 has degree 3 -> 3 wedges, 1 triangle.
+        assert_eq!(local_clustering(&g, &counts, 2), Some(1.0 / 3.0));
+        // Global: 5 wedges (1 each at 0,1 plus 3 at 2), 1 triangle.
+        assert_eq!(global_clustering(&g), Some(3.0 / 5.0));
+    }
+}

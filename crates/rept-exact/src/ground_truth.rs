@@ -1,0 +1,176 @@
+//! Bundled ground truth for one (stream, order) pair.
+//!
+//! The Monte-Carlo harness evaluates thousands of estimator runs against
+//! the same exact values; [`GroundTruth`] computes everything once:
+//! `τ`, `τ_v`, `η`, `η_v`, and the theoretical-variance inputs used by the
+//! `variance_check` and figure binaries. It also cross-checks the streaming
+//! counter against the independent forward algorithm at construction time
+//! (a cheap invariant that has caught real bugs in development — the two
+//! implementations share no code).
+
+use rept_graph::csr::CsrGraph;
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::FxHashMap;
+
+use crate::static_count::forward_count;
+use crate::streaming::StreamingExact;
+
+/// Exact statistics of a finished stream.
+///
+/// ```
+/// use rept_exact::GroundTruth;
+/// use rept_graph::Edge;
+///
+/// // Two triangles sharing edge (0,1), which is non-last in both.
+/// let stream = [
+///     Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2),
+///     Edge::new(0, 3), Edge::new(1, 3),
+/// ];
+/// let gt = GroundTruth::compute(&stream);
+/// assert_eq!(gt.tau, 2);
+/// assert_eq!(gt.eta, 1);          // one shared-non-last pair
+/// assert_eq!(gt.local(0), 2);     // node 0 is in both triangles
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Global triangle count `τ`.
+    pub tau: u64,
+    /// Global pair count `η` (stream-order dependent).
+    pub eta: u64,
+    /// Local triangle counts (nodes absent from any triangle are omitted).
+    pub tau_v: FxHashMap<NodeId, u64>,
+    /// Local pair counts.
+    pub eta_v: FxHashMap<NodeId, u64>,
+    /// Number of distinct edges in the stream.
+    pub edges: u64,
+    /// Number of distinct nodes touched by the stream.
+    pub nodes: u64,
+}
+
+impl GroundTruth {
+    /// Computes ground truth by replaying `stream` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streaming counter and the static forward algorithm
+    /// disagree — that would mean a bug in one of them, and no experiment
+    /// result downstream could be trusted.
+    pub fn compute(stream: &[Edge]) -> Self {
+        let mut s = StreamingExact::new();
+        s.process_stream(stream.iter().copied());
+
+        // Cross-check τ and τ_v against the independent implementation.
+        let csr = CsrGraph::from_edges(stream);
+        let fwd = forward_count(&csr);
+        assert_eq!(
+            s.global(),
+            fwd.global,
+            "streaming vs forward τ mismatch — exact counter bug"
+        );
+        debug_assert!(
+            fwd.local
+                .iter()
+                .enumerate()
+                .all(|(v, &l)| l == s.local(v as NodeId)),
+            "streaming vs forward τ_v mismatch"
+        );
+        assert_eq!(
+            s.eta(),
+            s.eta_from_identity(),
+            "η accumulator vs Σ C(t_g,2) identity mismatch"
+        );
+
+        Self {
+            tau: s.global(),
+            eta: s.eta(),
+            tau_v: s.locals().clone(),
+            eta_v: s.eta_locals().clone(),
+            edges: s.edges_processed(),
+            nodes: s.graph().node_count() as u64,
+        }
+    }
+
+    /// Local triangle count of `v` (0 if absent).
+    pub fn local(&self, v: NodeId) -> u64 {
+        self.tau_v.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Local pair count of `v` (0 if absent).
+    pub fn eta_local(&self, v: NodeId) -> u64 {
+        self.eta_v.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Nodes participating in at least one triangle, sorted ascending —
+    /// the population the paper's local-NRMSE figures aggregate over.
+    pub fn triangle_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.tau_v.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The η/τ ratio highlighted in paper Fig. 1 (`None` when `τ = 0`).
+    pub fn eta_tau_ratio(&self) -> Option<f64> {
+        if self.tau == 0 {
+            None
+        } else {
+            Some(self.eta as f64 / self.tau as f64)
+        }
+    }
+
+    /// The two variance terms of parallel MASCOT from Fig. 1(b-d):
+    /// `(τ(p⁻²−1), 2η(p⁻¹−1))` for sampling probability `p = 1/m`.
+    pub fn mascot_variance_terms(&self, m: u64) -> (f64, f64) {
+        let m = m as f64;
+        (
+            self.tau as f64 * (m * m - 1.0),
+            2.0 * self.eta as f64 * (m - 1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(pairs: &[(NodeId, NodeId)]) -> Vec<Edge> {
+        pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect()
+    }
+
+    #[test]
+    fn compute_single_triangle() {
+        let gt = GroundTruth::compute(&stream(&[(0, 1), (1, 2), (0, 2)]));
+        assert_eq!(gt.tau, 1);
+        assert_eq!(gt.eta, 0);
+        assert_eq!(gt.edges, 3);
+        assert_eq!(gt.nodes, 3);
+        assert_eq!(gt.local(1), 1);
+        assert_eq!(gt.triangle_nodes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ratio_and_variance_terms() {
+        // Two triangles sharing a non-last edge: τ=2, η=1.
+        let gt = GroundTruth::compute(&stream(&[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]));
+        assert_eq!(gt.tau, 2);
+        assert_eq!(gt.eta, 1);
+        assert_eq!(gt.eta_tau_ratio(), Some(0.5));
+        let (t1, t2) = gt.mascot_variance_terms(10);
+        assert_eq!(t1, 2.0 * 99.0);
+        assert_eq!(t2, 2.0 * 9.0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let gt = GroundTruth::compute(&[]);
+        assert_eq!(gt.tau, 0);
+        assert_eq!(gt.eta_tau_ratio(), None);
+        assert!(gt.triangle_nodes().is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_inflate() {
+        let gt = GroundTruth::compute(&stream(&[(0, 1), (1, 2), (0, 2), (0, 1)]));
+        assert_eq!(gt.tau, 1);
+        assert_eq!(gt.edges, 3);
+    }
+}

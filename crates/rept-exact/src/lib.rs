@@ -1,0 +1,33 @@
+//! Exact triangle ground truth for the REPT evaluation.
+//!
+//! Every experiment in the paper reports errors *relative to exact values*:
+//! NRMSE needs `τ` and `τ_v`, and the variance analysis (and Fig. 1) needs
+//! the pair-count `η` — the number of unordered pairs of distinct triangles
+//! that share an edge which is the last edge of *neither* triangle on the
+//! stream. `η` depends on the stream **order**, not just the graph, so the
+//! exact counter must replay the stream.
+//!
+//! * [`streaming`] — [`streaming::StreamingExact`]: one pass
+//!   over the stream computing `τ`, `τ_v`, `η`, `η_v` and per-edge
+//!   "non-last" counters. This is paper Algorithm 2 with sampling
+//!   probability 1 (every edge stored).
+//! * [`static_count`] — degree-ordered forward algorithm over a CSR graph:
+//!   order-independent `τ`/`τ_v` in `O(m³ᐟ²)`; used to cross-check the
+//!   streaming counter and by tests.
+//! * [`ground_truth`] — [`ground_truth::GroundTruth`] bundles
+//!   everything a Monte-Carlo experiment needs.
+//! * [`clustering`] — global/local clustering coefficients (API bonus built
+//!   on exact counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod ground_truth;
+pub mod node_iterator;
+pub mod static_count;
+pub mod streaming;
+
+pub use ground_truth::GroundTruth;
+pub use static_count::forward_count;
+pub use streaming::StreamingExact;

@@ -1,0 +1,198 @@
+//! Order-independent exact triangle counting on a static graph.
+//!
+//! The degree-ordered *forward* algorithm (Schank & Wagner 2005; also the
+//! "compact-forward" of Latapy 2008): orient every edge from the endpoint
+//! with lower `(degree, id)` rank to the higher one. Every triangle then has
+//! exactly one "apex" ordering, so intersecting the out-neighborhoods of an
+//! edge's endpoints counts each triangle exactly once. Out-degrees are
+//! bounded by `O(√m)`, giving `O(m^{3/2})` total work — fast enough to
+//! ground-truth every dataset in the registry in milliseconds.
+//!
+//! This module is the *cross-check* for [`crate::streaming`]: the two
+//! implementations share no code, so agreement on random graphs is strong
+//! evidence both are right (the property tests rely on this).
+
+use rept_graph::csr::CsrGraph;
+use rept_graph::edge::NodeId;
+
+/// Exact global and local triangle counts of a static graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticCounts {
+    /// Global triangle count `τ`.
+    pub global: u64,
+    /// `local[v]` = `τ_v` for every node id in `0..n`.
+    pub local: Vec<u64>,
+}
+
+/// Runs the forward algorithm over a CSR graph.
+pub fn forward_count(g: &CsrGraph) -> StaticCounts {
+    let n = g.node_count();
+    // Rank = position in (degree, id)-sorted order; lower rank = "smaller".
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_unstable_by_key(|&v| (g.degree(v), v));
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+
+    // Out-neighbors: edges oriented low rank -> high rank, sorted by rank
+    // so intersections can merge.
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n as NodeId {
+        for &w in g.neighbors(v) {
+            if rank[v as usize] < rank[w as usize] {
+                out[v as usize].push(w);
+            }
+        }
+    }
+    for list in &mut out {
+        list.sort_unstable_by_key(|&w| rank[w as usize]);
+    }
+
+    let mut global = 0u64;
+    let mut local = vec![0u64; n];
+    // For each oriented edge u -> v, intersect out(u) and out(v); each
+    // common out-neighbor w closes the triangle {u, v, w} at its unique
+    // apex orientation.
+    for u in 0..n as NodeId {
+        for &v in &out[u as usize] {
+            let (a, b) = (&out[u as usize], &out[v as usize]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                let (ra, rb) = (rank[a[i] as usize], rank[b[j] as usize]);
+                match ra.cmp(&rb) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = a[i];
+                        global += 1;
+                        local[u as usize] += 1;
+                        local[v as usize] += 1;
+                        local[w as usize] += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    StaticCounts { global, local }
+}
+
+/// Brute-force `O(n³)` triangle counter — reference implementation for
+/// tests only. Checks all node triples against the adjacency oracle.
+pub fn brute_force_count(g: &CsrGraph) -> StaticCounts {
+    let n = g.node_count();
+    let mut global = 0u64;
+    let mut local = vec![0u64; n];
+    for a in 0..n as NodeId {
+        for b in (a + 1)..n as NodeId {
+            if !g.has_edge(a, b) {
+                continue;
+            }
+            for c in (b + 1)..n as NodeId {
+                if g.has_edge(a, c) && g.has_edge(b, c) {
+                    global += 1;
+                    local[a as usize] += 1;
+                    local[b as usize] += 1;
+                    local[c as usize] += 1;
+                }
+            }
+        }
+    }
+    StaticCounts { global, local }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_graph::edge::Edge;
+
+    fn csr(edges: &[(NodeId, NodeId)]) -> CsrGraph {
+        CsrGraph::from_edges(&edges.iter().map(|&(u, v)| Edge::new(u, v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn triangle() {
+        let g = csr(&[(0, 1), (1, 2), (0, 2)]);
+        let c = forward_count(&g);
+        assert_eq!(c.global, 1);
+        assert_eq!(c.local, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn k5() {
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = csr(&edges);
+        let c = forward_count(&g);
+        assert_eq!(c.global, 10); // C(5,3)
+        assert!(c.local.iter().all(|&l| l == 6)); // C(4,2)
+    }
+
+    #[test]
+    fn triangle_free() {
+        // A 4-cycle.
+        let g = csr(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c = forward_count(&g);
+        assert_eq!(c.global, 0);
+        assert_eq!(c.local, vec![0; 4]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_structured_graphs() {
+        let cases: Vec<Vec<(NodeId, NodeId)>> = vec![
+            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+            vec![(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)],
+            // Two K4s sharing a node.
+            vec![
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6),
+            ],
+        ];
+        for edges in cases {
+            let g = csr(&edges);
+            assert_eq!(forward_count(&g), brute_force_count(&g), "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_graphs() {
+        // Deterministic pseudo-random G(n, p)-ish graphs via hashing.
+        for seed in 0..5u64 {
+            let n: NodeId = 24;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let h = rept_hash::mix::splitmix64(
+                        seed ^ ((u as u64) << 32 | v as u64),
+                    );
+                    if h % 100 < 25 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = csr(&edges);
+            assert_eq!(forward_count(&g), brute_force_count(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(&[]);
+        let c = forward_count(&g);
+        assert_eq!(c.global, 0);
+        assert!(c.local.is_empty());
+    }
+
+    #[test]
+    fn local_sums_to_three_tau() {
+        let g = csr(&[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        let c = forward_count(&g);
+        assert_eq!(c.local.iter().sum::<u64>(), 3 * c.global);
+    }
+}

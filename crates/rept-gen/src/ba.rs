@@ -1,0 +1,108 @@
+//! Barabási–Albert preferential attachment.
+
+use rept_graph::edge::Edge;
+use rept_hash::fx::FxHashSet;
+
+use crate::config::GeneratorConfig;
+
+/// Grows a Barabási–Albert graph: nodes arrive one at a time and attach to
+/// `m0` distinct existing nodes chosen proportionally to degree.
+///
+/// Implementation uses the classic endpoint-list trick: every inserted edge
+/// pushes both endpoints onto a list, and sampling a uniform list element
+/// samples a node with probability proportional to its degree. The first
+/// `m0 + 1` nodes form a seed clique so early attachments are well-defined.
+///
+/// The returned order is the *growth* order — edges of node `t` appear
+/// before edges of node `t+1` — which mimics how real social streams grow.
+///
+/// # Panics
+///
+/// Panics if `m0 == 0` or `cfg.nodes ≤ m0 + 1`.
+pub fn barabasi_albert(cfg: &GeneratorConfig, m0: usize) -> Vec<Edge> {
+    let n = cfg.nodes as usize;
+    assert!(m0 >= 1, "attachment count must be ≥ 1");
+    assert!(n > m0 + 1, "need more than m0+1 = {} nodes", m0 + 1);
+    let mut rng = cfg.rng(0xBA);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m0);
+    let mut out = Vec::with_capacity(n * m0);
+
+    // Seed clique on nodes 0..=m0.
+    for u in 0..=(m0 as u32) {
+        for v in (u + 1)..=(m0 as u32) {
+            out.push(Edge::new(u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: FxHashSet<u32> = FxHashSet::default();
+    for new in (m0 as u32 + 1)..(n as u32) {
+        targets.clear();
+        // Draw m0 distinct targets by preferential attachment.
+        while targets.len() < m0 {
+            let t = endpoints[rng.next_below(endpoints.len() as u64) as usize];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            out.push(Edge::new(new, t));
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        let cfg = GeneratorConfig::new(100, 5);
+        let m0 = 4;
+        let edges = barabasi_albert(&cfg, m0);
+        // Seed clique C(m0+1, 2) plus m0 per additional node.
+        let expected = (m0 + 1) * m0 / 2 + (100 - m0 - 1) * m0;
+        assert_eq!(edges.len(), expected);
+    }
+
+    #[test]
+    fn simple_graph() {
+        let cfg = GeneratorConfig::new(200, 1);
+        let edges = barabasi_albert(&cfg, 3);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len(), "no duplicates");
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let cfg = GeneratorConfig::new(2000, 7);
+        let edges = barabasi_albert(&cfg, 3);
+        let mut deg = vec![0u32; 2000];
+        for e in &edges {
+            deg[e.u() as usize] += 1;
+            deg[e.v() as usize] += 1;
+        }
+        let mean = deg.iter().sum::<u32>() as f64 / 2000.0;
+        let max = *deg.iter().max().unwrap() as f64;
+        // Preferential attachment should produce hubs far above the mean
+        // (an ER graph of the same density would stay below ~3× mean).
+        assert!(
+            max > mean * 8.0,
+            "expected a hub: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GeneratorConfig::new(80, 3);
+        assert_eq!(barabasi_albert(&cfg, 2), barabasi_albert(&cfg, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than m0+1")]
+    fn too_few_nodes_panics() {
+        barabasi_albert(&GeneratorConfig::new(4, 0), 4);
+    }
+}

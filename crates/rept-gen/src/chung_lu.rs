@@ -1,0 +1,120 @@
+//! Chung–Lu power-law random graphs.
+//!
+//! Draws edges with endpoint probabilities proportional to prescribed
+//! node weights `w_v ∝ (v + v₀)^{-1/(γ-1)}` — the standard recipe for an
+//! expected power-law degree distribution with exponent `γ`. Social graphs
+//! in the paper's Table II (Orkut, Pokec, Wiki-Talk) live in this regime.
+
+use rept_graph::edge::Edge;
+use rept_hash::fx::FxHashSet;
+
+use crate::config::GeneratorConfig;
+
+/// Generates `edges` distinct edges on `cfg.nodes` nodes with a power-law
+/// expected degree sequence of exponent `gamma` (typical social range
+/// 2.0–3.0). Larger `offset` flattens the head of the distribution
+/// (reduces the dominance of the very first nodes).
+///
+/// # Panics
+///
+/// Panics if `gamma ≤ 1`, fewer than 2 nodes, or the request is too dense
+/// for rejection sampling.
+pub fn chung_lu(cfg: &GeneratorConfig, edges: usize, gamma: f64, offset: f64) -> Vec<Edge> {
+    let n = cfg.nodes as usize;
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(n >= 2, "need at least two nodes");
+    assert!(offset >= 0.0, "offset must be non-negative");
+    let possible = (n as u64) * (n as u64 - 1) / 2;
+    assert!(
+        (edges as u64) <= possible / 4,
+        "too dense for rejection sampling"
+    );
+
+    // Cumulative weight table for O(log n) endpoint draws.
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for v in 0..n {
+        total += (v as f64 + 1.0 + offset).powf(-alpha);
+        cumulative.push(total);
+    }
+
+    let mut rng = cfg.rng(0xC417);
+    let draw = |rng: &mut rept_hash::rng::SplitMix64| -> u32 {
+        let x = rng.next_f64() * total;
+        // partition_point: first index with cumulative[i] >= x.
+        cumulative.partition_point(|&c| c < x).min(n - 1) as u32
+    };
+
+    let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(edges * 2);
+    let mut out = Vec::with_capacity(edges);
+    while out.len() < edges {
+        let u = draw(&mut rng);
+        let v = draw(&mut rng);
+        if let Some(e) = Edge::try_new(u, v) {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_simple_edges() {
+        let cfg = GeneratorConfig::new(500, 2);
+        let edges = chung_lu(&cfg, 2000, 2.2, 5.0);
+        assert_eq!(edges.len(), 2000);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn low_ids_are_hubs() {
+        let cfg = GeneratorConfig::new(1000, 4);
+        let edges = chung_lu(&cfg, 5000, 2.1, 1.0);
+        let mut deg = vec![0u32; 1000];
+        for e in &edges {
+            deg[e.u() as usize] += 1;
+            deg[e.v() as usize] += 1;
+        }
+        let head: u32 = deg[..10].iter().sum();
+        let tail: u32 = deg[990..].iter().sum();
+        assert!(
+            head > tail * 10,
+            "head degree mass {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GeneratorConfig::new(100, 8);
+        assert_eq!(chung_lu(&cfg, 300, 2.5, 2.0), chung_lu(&cfg, 300, 2.5, 2.0));
+    }
+
+    #[test]
+    fn larger_gamma_flattens_distribution() {
+        let cfg = GeneratorConfig::new(1000, 6);
+        let steep = chung_lu(&cfg, 4000, 2.0, 1.0);
+        let flat = chung_lu(&cfg, 4000, 3.5, 1.0);
+        let max_deg = |edges: &[Edge]| {
+            let mut d = vec![0u32; 1000];
+            for e in edges {
+                d[e.u() as usize] += 1;
+                d[e.v() as usize] += 1;
+            }
+            *d.iter().max().unwrap()
+        };
+        assert!(max_deg(&steep) > max_deg(&flat));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn gamma_one_panics() {
+        chung_lu(&GeneratorConfig::new(10, 0), 5, 1.0, 0.0);
+    }
+}

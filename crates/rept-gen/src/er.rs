@@ -1,0 +1,84 @@
+//! Erdős–Rényi `G(n, M)` generator.
+
+use rept_graph::edge::Edge;
+use rept_hash::fx::FxHashSet;
+
+use crate::config::GeneratorConfig;
+
+/// Samples `edges` distinct uniform random edges on `cfg.nodes` nodes.
+///
+/// Rejection-samples node pairs, so the density must stay well below the
+/// complete graph.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 nodes, or if `edges` exceeds half the number of
+/// possible edges (rejection would stall).
+pub fn erdos_renyi(cfg: &GeneratorConfig, edges: usize) -> Vec<Edge> {
+    let n = cfg.nodes as u64;
+    assert!(n >= 2, "need at least two nodes");
+    let possible = n * (n - 1) / 2;
+    assert!(
+        (edges as u64) <= possible / 2,
+        "requested {edges} edges; rejection sampling needs ≤ {}",
+        possible / 2
+    );
+    let mut rng = cfg.rng(0x0E_12);
+    let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(edges * 2);
+    let mut out = Vec::with_capacity(edges);
+    while out.len() < edges {
+        let u = rng.next_below(n) as u32;
+        let v = rng.next_below(n) as u32;
+        if let Some(e) = Edge::try_new(u, v) {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_simple_edges() {
+        let cfg = GeneratorConfig::new(100, 1);
+        let edges = erdos_renyi(&cfg, 500);
+        assert_eq!(edges.len(), 500);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 500, "all distinct");
+        assert!(edges.iter().all(|e| e.v() < 100));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GeneratorConfig::new(50, 9);
+        assert_eq!(erdos_renyi(&cfg, 100), erdos_renyi(&cfg, 100));
+        let other = GeneratorConfig::new(50, 10);
+        assert_ne!(erdos_renyi(&cfg, 100), erdos_renyi(&other, 100));
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let cfg = GeneratorConfig::new(200, 3);
+        let edges = erdos_renyi(&cfg, 2000);
+        let mut deg = vec![0u32; 200];
+        for e in &edges {
+            deg[e.u() as usize] += 1;
+            deg[e.v() as usize] += 1;
+        }
+        let mean = 2.0 * 2000.0 / 200.0; // 20
+        let max = *deg.iter().max().unwrap() as f64;
+        // Binomial(199, ~0.1): max should stay well below 3x mean.
+        assert!(max < mean * 3.0, "max degree {max} too skewed for ER");
+    }
+
+    #[test]
+    #[should_panic(expected = "rejection sampling")]
+    fn overdense_request_panics() {
+        let cfg = GeneratorConfig::new(4, 0);
+        erdos_renyi(&cfg, 5); // possible = 6, limit = 3
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic graph-stream generators and the dataset registry.
+//!
+//! The paper evaluates on eight SNAP graphs up to 1.2 B edges (Table II).
+//! Those downloads are neither shippable nor laptop-friendly, so this crate
+//! provides deterministic generators spanning the same *structural regimes*
+//! — in particular the η/τ ratios of paper Fig. 1, which drive every
+//! accuracy result — plus a [`datasets`] registry of eight named analogs
+//! with fixed seeds (see DESIGN.md §4 for the substitution argument).
+//!
+//! All generators:
+//!
+//! * are **deterministic** given a [`GeneratorConfig`] (seeded SplitMix64 /
+//!   xoshiro256++ from `rept-hash`, no global RNG);
+//! * emit **simple** streams (no self-loops, no duplicate edges);
+//! * return edges in a generation-dependent order — callers who need the
+//!   paper's "arbitrary arrival order" shuffle via [`stream_order`].
+//!
+//! Generators: [`erdos_renyi`], [`barabasi_albert`], [`rmat()`](rmat::rmat),
+//! [`watts_strogatz`], [`chung_lu()`](chung_lu::chung_lu), [`planted_cliques`], [`complete`],
+//! [`star`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod chung_lu;
+pub mod config;
+pub mod datasets;
+pub mod er;
+pub mod hubs;
+pub mod planted;
+pub mod rmat;
+pub mod simple;
+pub mod ws;
+
+pub use ba::barabasi_albert;
+pub use chung_lu::chung_lu;
+pub use config::{stream_order, GeneratorConfig};
+pub use datasets::{Dataset, DatasetId};
+pub use er::erdos_renyi;
+pub use hubs::hub_pairs;
+pub use planted::planted_cliques;
+pub use rmat::{rmat, RmatParams};
+pub use simple::{complete, star};
+pub use ws::watts_strogatz;

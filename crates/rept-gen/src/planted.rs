@@ -1,0 +1,137 @@
+//! Planted-clique overlays — extreme-clustering streams.
+//!
+//! A clique of size `s` contributes `C(s,3)` triangles and every clique
+//! edge sits in `s−2` of them, so `η` grows roughly with `s⁴` per clique
+//! while `τ` grows with `s³`: planting cliques is the cleanest way to
+//! reach the very high η/τ ratios of the paper's Flickr row (η/τ in the
+//! thousands), which is where REPT's advantage over parallel MASCOT is
+//! most dramatic.
+
+use rept_graph::edge::Edge;
+use rept_hash::fx::FxHashSet;
+
+use crate::config::GeneratorConfig;
+
+/// Plants `cliques` disjoint cliques of size `clique_size` on a random
+/// subset of nodes, plus `background_edges` uniform random edges over all
+/// nodes. Returns clique edges first, then background (callers shuffle via
+/// [`crate::config::stream_order`]).
+///
+/// # Panics
+///
+/// Panics if the cliques need more nodes than `cfg.nodes`, or if
+/// `clique_size < 3`.
+pub fn planted_cliques(
+    cfg: &GeneratorConfig,
+    cliques: usize,
+    clique_size: usize,
+    background_edges: usize,
+) -> Vec<Edge> {
+    let n = cfg.nodes as u64;
+    assert!(clique_size >= 3, "cliques below size 3 contain no triangle");
+    assert!(
+        (cliques * clique_size) as u64 <= n,
+        "cliques need {} nodes but only {n} exist",
+        cliques * clique_size
+    );
+    let mut rng = cfg.rng(0x9_1A47ED);
+
+    // Choose disjoint clique members via a partial Fisher–Yates over the
+    // node id space.
+    let mut ids: Vec<u32> = (0..cfg.nodes).collect();
+    let take = cliques * clique_size;
+    for i in 0..take {
+        let j = i as u64 + rng.next_below(n - i as u64);
+        ids.swap(i, j as usize);
+    }
+
+    let mut seen: FxHashSet<Edge> = FxHashSet::default();
+    let mut out = Vec::new();
+    for c in 0..cliques {
+        let members = &ids[c * clique_size..(c + 1) * clique_size];
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                let e = Edge::new(u, v);
+                seen.insert(e);
+                out.push(e);
+            }
+        }
+    }
+
+    // Background noise.
+    let mut added = 0usize;
+    while added < background_edges {
+        let u = rng.next_below(n) as u32;
+        let v = rng.next_below(n) as u32;
+        if let Some(e) = Edge::try_new(u, v) {
+            if seen.insert(e) {
+                out.push(e);
+                added += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count() {
+        let cfg = GeneratorConfig::new(200, 1);
+        let edges = planted_cliques(&cfg, 3, 10, 100);
+        assert_eq!(edges.len(), 3 * 45 + 100);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+    }
+
+    #[test]
+    fn cliques_are_disjoint_and_complete() {
+        let cfg = GeneratorConfig::new(100, 3);
+        let edges = planted_cliques(&cfg, 4, 5, 0);
+        // 4 cliques of K5 = 4 * 10 edges; every node participates in
+        // exactly one clique, so degrees are exactly 4 for members.
+        let mut deg = std::collections::HashMap::new();
+        for e in &edges {
+            *deg.entry(e.u()).or_insert(0) += 1;
+            *deg.entry(e.v()).or_insert(0) += 1;
+        }
+        assert_eq!(deg.len(), 20, "exactly 20 clique members");
+        assert!(deg.values().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn triangle_count_matches_formula() {
+        use rept_exact::GroundTruth;
+        let cfg = GeneratorConfig::new(100, 7);
+        let edges = planted_cliques(&cfg, 2, 8, 0);
+        let gt = GroundTruth::compute(&edges);
+        assert_eq!(gt.tau, 2 * 56); // 2 * C(8,3)
+    }
+
+    #[test]
+    fn eta_is_large_relative_to_tau() {
+        use rept_exact::GroundTruth;
+        let cfg = GeneratorConfig::new(200, 9);
+        let edges = crate::config::stream_order(planted_cliques(&cfg, 2, 20, 50), 1);
+        let gt = GroundTruth::compute(&edges);
+        // K20: τ = 2·C(20,3) = 2280; η/τ should be an order of magnitude+.
+        assert!(gt.eta_tau_ratio().unwrap() > 5.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GeneratorConfig::new(100, 5);
+        assert_eq!(
+            planted_cliques(&cfg, 2, 6, 30),
+            planted_cliques(&cfg, 2, 6, 30)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn too_many_clique_nodes_panics() {
+        planted_cliques(&GeneratorConfig::new(10, 0), 3, 5, 0);
+    }
+}

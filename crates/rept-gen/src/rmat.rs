@@ -1,0 +1,173 @@
+//! R-MAT / Kronecker-style recursive matrix generator.
+//!
+//! R-MAT (Chakrabarti, Zhan & Faloutsos, SDM 2004) drops each edge into the
+//! adjacency matrix by recursively descending into one of four quadrants
+//! with probabilities `(a, b, c, d)`. With a skewed `a` this yields the
+//! heavy-tailed, hub-dominated structure of web/social graphs — the regime
+//! where `η/τ` explodes (hub edges sit in many triangles), which is exactly
+//! what the Twitter-like rows of paper Fig. 1 exhibit.
+
+use rept_graph::edge::Edge;
+use rept_hash::fx::FxHashSet;
+
+use crate::config::GeneratorConfig;
+
+/// Quadrant probabilities for R-MAT. Must be positive and sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "hub attractor").
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic skewed parameterisation `(0.57, 0.19, 0.19, 0.05)`.
+    pub fn skewed() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// Uniform quadrants — degenerates to (near) Erdős–Rényi.
+    pub fn uniform() -> Self {
+        Self {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT quadrant probabilities must sum to 1, got {sum}"
+        );
+        assert!(
+            self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0,
+            "R-MAT quadrant probabilities must be positive"
+        );
+    }
+}
+
+/// Generates `edges` distinct undirected R-MAT edges on `2^scale` nodes.
+///
+/// `cfg.nodes` is ignored for the id space (R-MAT requires a power of two)
+/// but asserted to equal `2^scale` to keep configs honest. Self-loops and
+/// duplicates are rejection-sampled away.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes != 2^scale`, if parameters are invalid, or if the
+/// requested count exceeds a quarter of all possible edges.
+pub fn rmat(cfg: &GeneratorConfig, scale: u32, edges: usize, params: RmatParams) -> Vec<Edge> {
+    params.validate();
+    let n = 1u64 << scale;
+    assert_eq!(
+        cfg.nodes as u64, n,
+        "cfg.nodes must equal 2^scale = {n}"
+    );
+    assert!(
+        (edges as u64) <= n * (n - 1) / 8,
+        "too dense for rejection sampling"
+    );
+    let mut rng = cfg.rng(0x12_3A7);
+    let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(edges * 2);
+    let mut out = Vec::with_capacity(edges);
+    let (pa, pab, pabc) = (params.a, params.a + params.b, params.a + params.b + params.c);
+    while out.len() < edges {
+        let (mut row, mut col) = (0u64, 0u64);
+        for level in (0..scale).rev() {
+            let r = rng.next_f64();
+            let bit = 1u64 << level;
+            if r < pa {
+                // top-left: nothing set
+            } else if r < pab {
+                col |= bit;
+            } else if r < pabc {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+        if let Some(e) = Edge::try_new(row as u32, col as u32) {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_edges() {
+        let cfg = GeneratorConfig::new(1 << 10, 2);
+        let edges = rmat(&cfg, 10, 3000, RmatParams::skewed());
+        assert_eq!(edges.len(), 3000);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 3000);
+        assert!(edges.iter().all(|e| e.v() < 1 << 10));
+    }
+
+    #[test]
+    fn skewed_params_make_hubs() {
+        let cfg = GeneratorConfig::new(1 << 12, 3);
+        let skew = rmat(&cfg, 12, 8000, RmatParams::skewed());
+        let unif = rmat(&cfg, 12, 8000, RmatParams::uniform());
+        let max_deg = |edges: &[Edge]| {
+            let mut d = vec![0u32; 1 << 12];
+            for e in edges {
+                d[e.u() as usize] += 1;
+                d[e.v() as usize] += 1;
+            }
+            *d.iter().max().unwrap()
+        };
+        assert!(
+            max_deg(&skew) > 3 * max_deg(&unif),
+            "skewed R-MAT should have much larger hubs: {} vs {}",
+            max_deg(&skew),
+            max_deg(&unif)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GeneratorConfig::new(1 << 8, 5);
+        assert_eq!(
+            rmat(&cfg, 8, 500, RmatParams::skewed()),
+            rmat(&cfg, 8, 500, RmatParams::skewed())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal 2^scale")]
+    fn node_count_mismatch_panics() {
+        rmat(&GeneratorConfig::new(100, 0), 8, 10, RmatParams::skewed());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_panic() {
+        let bad = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+        };
+        rmat(&GeneratorConfig::new(1 << 8, 0), 8, 10, bad);
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic elementary graphs — exact-count fixtures for tests.
+
+use rept_graph::edge::Edge;
+
+/// The complete graph `K_n` in lexicographic edge order.
+///
+/// `τ = C(n,3)`, `τ_v = C(n−1, 2)` — closed forms the estimator tests
+/// validate against.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: u32) -> Vec<Edge> {
+    assert!(n >= 2, "complete graph needs at least 2 nodes");
+    let mut out = Vec::with_capacity((n as usize) * (n as usize - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            out.push(Edge::new(u, v));
+        }
+    }
+    out
+}
+
+/// A star with `leaves` leaves around hub 0 — triangle-free, used to test
+/// that estimators report zero.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+pub fn star(leaves: u32) -> Vec<Edge> {
+    assert!(leaves >= 1, "star needs at least one leaf");
+    (1..=leaves).map(|v| Edge::new(0, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(5).len(), 10);
+        assert_eq!(complete(2).len(), 1);
+    }
+
+    #[test]
+    fn complete_k5_triangles() {
+        use rept_exact::GroundTruth;
+        let gt = GroundTruth::compute(&complete(5));
+        assert_eq!(gt.tau, 10);
+        for v in 0..5 {
+            assert_eq!(gt.local(v), 6);
+        }
+    }
+
+    #[test]
+    fn star_is_triangle_free() {
+        use rept_exact::GroundTruth;
+        let gt = GroundTruth::compute(&star(10));
+        assert_eq!(gt.tau, 0);
+        assert_eq!(gt.eta, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_complete_panics() {
+        complete(1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Watts–Strogatz small-world generator.
+
+use rept_graph::edge::Edge;
+use rept_hash::fx::FxHashSet;
+
+use crate::config::GeneratorConfig;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// node connects to its `k/2` nearest neighbors on each side, then every
+/// edge's far endpoint is rewired with probability `beta` to a uniform
+/// random node (avoiding self-loops and duplicates).
+///
+/// Low `beta` keeps the lattice's dense local clustering — lots of
+/// triangles whose edges are shared by neighboring triangles, i.e. a
+/// *moderate* η/τ regime resembling locally-clustered web graphs
+/// (Web-Google in the paper's Table II).
+///
+/// # Panics
+///
+/// Panics unless `k` is even, `k ≥ 2`, `cfg.nodes > k`, and
+/// `0 ≤ beta ≤ 1`.
+pub fn watts_strogatz(cfg: &GeneratorConfig, k: usize, beta: f64) -> Vec<Edge> {
+    let n = cfg.nodes as u64;
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
+    assert!(n > k as u64, "need more nodes than k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = cfg.rng(0x3A77);
+
+    let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(cfg.nodes as usize * k);
+    let mut out: Vec<Edge> = Vec::with_capacity(cfg.nodes as usize * k / 2);
+    for u in 0..n {
+        for hop in 1..=(k as u64 / 2) {
+            let v = (u + hop) % n;
+            let edge = if rng.coin(beta) {
+                // Rewire: keep u, draw a fresh far endpoint.
+                let mut w;
+                loop {
+                    w = rng.next_below(n);
+                    if w != u {
+                        if let Some(e) = Edge::try_new(u as u32, w as u32) {
+                            if !seen.contains(&e) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Edge::new(u as u32, w as u32)
+            } else {
+                Edge::new(u as u32, v as u32)
+            };
+            if seen.insert(edge) {
+                out.push(edge);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrewired_lattice_has_exact_count() {
+        let cfg = GeneratorConfig::new(50, 1);
+        let edges = watts_strogatz(&cfg, 6, 0.0);
+        assert_eq!(edges.len(), 50 * 3);
+    }
+
+    #[test]
+    fn unrewired_lattice_is_clustered() {
+        // k=4 ring lattice: each node's 4 neighbors form 3 triangles per
+        // node — verify a specific known triangle exists.
+        let cfg = GeneratorConfig::new(20, 1);
+        let edges = watts_strogatz(&cfg, 4, 0.0);
+        let set: std::collections::HashSet<_> = edges.into_iter().collect();
+        assert!(set.contains(&Edge::new(0, 1)));
+        assert!(set.contains(&Edge::new(1, 2)));
+        assert!(set.contains(&Edge::new(0, 2)));
+    }
+
+    #[test]
+    fn rewiring_keeps_graph_simple() {
+        let cfg = GeneratorConfig::new(100, 9);
+        let edges = watts_strogatz(&cfg, 8, 0.3);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+    }
+
+    #[test]
+    fn full_rewire_destroys_lattice() {
+        let cfg = GeneratorConfig::new(500, 2);
+        let lattice = watts_strogatz(&cfg, 4, 0.0);
+        let random = watts_strogatz(&cfg, 4, 1.0);
+        let lattice_set: std::collections::HashSet<_> = lattice.into_iter().collect();
+        let surviving = random
+            .iter()
+            .filter(|e| lattice_set.contains(e))
+            .count();
+        // With β=1 every edge rewired; only chance overlaps remain.
+        assert!(
+            surviving < random.len() / 5,
+            "{surviving} lattice edges survived full rewiring"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GeneratorConfig::new(60, 4);
+        assert_eq!(watts_strogatz(&cfg, 4, 0.2), watts_strogatz(&cfg, 4, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        watts_strogatz(&GeneratorConfig::new(10, 0), 3, 0.0);
+    }
+}

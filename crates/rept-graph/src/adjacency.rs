@@ -1,0 +1,273 @@
+//! Incremental adjacency sets — the inner data structure of every
+//! streaming triangle counter.
+//!
+//! Each algorithm in this workspace maintains the graph induced by its
+//! *sampled* edges and, for every arriving stream edge `(u, v)`, needs
+//! `N_u ∩ N_v` over that sampled graph (paper Alg. 1, `UpdateTriangleCNT`).
+//! That intersection is the hot loop of the entire system, so:
+//!
+//! * neighbor sets are [`FxHashSet`]s (integer-keyed, Fx-hashed — see
+//!   `rept-hash::fx` for why);
+//! * the intersection iterates the *smaller* set and probes the larger,
+//!   giving `O(min(deg u, deg v))` per edge;
+//! * removal fully cleans up empty sets so memory tracks the live sample
+//!   (TRIÈST and GPS evict edges).
+
+use rept_hash::fx::{FxHashMap, FxHashSet};
+
+use crate::edge::{Edge, NodeId};
+
+/// A mutable undirected graph stored as per-node hash sets.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicAdjacency {
+    neighbors: FxHashMap<NodeId, FxHashSet<NodeId>>,
+    edge_count: usize,
+}
+
+impl DynamicAdjacency {
+    /// Creates an empty adjacency structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the edge; returns `false` if it was already present.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        let fresh = self.neighbors.entry(u).or_default().insert(v);
+        if fresh {
+            self.neighbors.entry(v).or_default().insert(u);
+            self.edge_count += 1;
+        }
+        fresh
+    }
+
+    /// Removes the edge; returns `false` if it was not present.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        let present = match self.neighbors.get_mut(&u) {
+            Some(set) => set.remove(&v),
+            None => false,
+        };
+        if present {
+            if self.neighbors.get(&u).is_some_and(|s| s.is_empty()) {
+                self.neighbors.remove(&u);
+            }
+            let vs = self
+                .neighbors
+                .get_mut(&v)
+                .expect("undirected invariant: reverse direction present");
+            vs.remove(&u);
+            if vs.is_empty() {
+                self.neighbors.remove(&v);
+            }
+            self.edge_count -= 1;
+        }
+        present
+    }
+
+    /// True if the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        self.neighbors.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// The degree of `n` (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors.get(&n).map_or(0, |s| s.len())
+    }
+
+    /// Number of edges currently stored.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbors of `n`, if any.
+    pub fn neighbors(&self, n: NodeId) -> Option<&FxHashSet<NodeId>> {
+        self.neighbors.get(&n)
+    }
+
+    /// Calls `f(w)` for every common neighbor `w ∈ N_u ∩ N_v` and returns
+    /// the size of the intersection.
+    ///
+    /// This *is* `UpdateTriangleCNT`'s `N⁽ⁱ⁾_{u,v}` computation from the
+    /// paper: each common neighbor is one semi-triangle closed by the
+    /// arriving edge `(u, v)`.
+    #[inline]
+    pub fn for_each_common_neighbor<F: FnMut(NodeId)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        mut f: F,
+    ) -> usize {
+        let (Some(nu), Some(nv)) = (self.neighbors.get(&u), self.neighbors.get(&v)) else {
+            return 0;
+        };
+        // Iterate the smaller set, probe the larger.
+        let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+        let mut count = 0;
+        for &w in small {
+            if large.contains(&w) {
+                f(w);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Collects `N_u ∩ N_v` into a vector (test/diagnostic helper; the hot
+    /// paths use [`Self::for_each_common_neighbor`] to avoid allocation).
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_common_neighbor(u, v, |w| out.push(w));
+        out
+    }
+
+    /// Iterates all stored edges in canonical form (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.neighbors.iter().flat_map(|(&u, set)| {
+            set.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge::new(u, v))
+        })
+    }
+
+    /// Iterates all nodes with at least one incident edge.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors.keys().copied()
+    }
+
+    /// Removes everything, keeping allocated capacity where possible.
+    pub fn clear(&mut self) {
+        self.neighbors.clear();
+        self.edge_count = 0;
+    }
+
+    /// Approximate heap footprint in bytes (sets + map overhead). Used by
+    /// the memory-equalised comparisons of paper §IV-E.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_entry = size_of::<NodeId>() + 1; // value + hashbrown ctrl byte
+        let sets: usize = self
+            .neighbors
+            .values()
+            .map(|s| s.capacity() * per_entry + size_of::<FxHashSet<NodeId>>())
+            .sum();
+        let map = self.neighbors.capacity()
+            * (size_of::<NodeId>() + size_of::<FxHashSet<NodeId>>() + 1);
+        sets + map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(u: NodeId, v: NodeId) -> Edge {
+        Edge::new(u, v)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut a = DynamicAdjacency::new();
+        assert!(a.insert(edge(1, 2)));
+        assert!(!a.insert(edge(2, 1)), "duplicate in reverse order");
+        assert!(a.contains(edge(1, 2)));
+        assert_eq!(a.edge_count(), 1);
+        assert_eq!(a.node_count(), 2);
+    }
+
+    #[test]
+    fn degree_tracks_insertions() {
+        let mut a = DynamicAdjacency::new();
+        a.insert(edge(0, 1));
+        a.insert(edge(0, 2));
+        a.insert(edge(0, 3));
+        assert_eq!(a.degree(0), 3);
+        assert_eq!(a.degree(1), 1);
+        assert_eq!(a.degree(9), 0);
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut a = DynamicAdjacency::new();
+        a.insert(edge(1, 2));
+        a.insert(edge(2, 3));
+        assert!(a.remove(edge(1, 2)));
+        assert!(!a.remove(edge(1, 2)), "double remove");
+        assert!(!a.contains(edge(1, 2)));
+        assert_eq!(a.edge_count(), 1);
+        // Node 1 has no remaining edges and must be dropped entirely.
+        assert_eq!(a.node_count(), 2);
+        assert!(a.neighbors(1).is_none());
+    }
+
+    #[test]
+    fn common_neighbors_triangle() {
+        let mut a = DynamicAdjacency::new();
+        a.insert(edge(1, 2));
+        a.insert(edge(1, 3));
+        a.insert(edge(2, 3));
+        // Arriving edge (2,3): common neighbors of 2 and 3 = {1}.
+        assert_eq!(a.common_neighbors(2, 3), vec![1]);
+        assert_eq!(a.for_each_common_neighbor(2, 3, |_| {}), 1);
+    }
+
+    #[test]
+    fn common_neighbors_of_unknown_nodes_is_empty() {
+        let a = DynamicAdjacency::new();
+        assert_eq!(a.for_each_common_neighbor(5, 6, |_| panic!()), 0);
+    }
+
+    #[test]
+    fn common_neighbors_complete_graph() {
+        // K5: any pair shares the other 3 nodes.
+        let mut a = DynamicAdjacency::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                a.insert(edge(u, v));
+            }
+        }
+        let mut c = a.common_neighbors(0, 1);
+        c.sort_unstable();
+        assert_eq!(c, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let mut a = DynamicAdjacency::new();
+        let inserted = [edge(1, 2), edge(2, 3), edge(1, 3), edge(4, 5)];
+        for &e in &inserted {
+            a.insert(e);
+        }
+        let mut got: Vec<Edge> = a.edges().collect();
+        got.sort();
+        let mut want = inserted.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = DynamicAdjacency::new();
+        a.insert(edge(1, 2));
+        a.clear();
+        assert_eq!(a.edge_count(), 0);
+        assert_eq!(a.node_count(), 0);
+        assert!(!a.contains(edge(1, 2)));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut a = DynamicAdjacency::new();
+        let empty = a.approx_bytes();
+        for i in 0..1000 {
+            a.insert(edge(i, i + 1));
+        }
+        assert!(a.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,172 @@
+//! Normalisation of raw edge input into clean streams.
+//!
+//! External edge lists (and some generators) produce node ids with gaps,
+//! duplicate edges, and self-loops. The paper's model assumes a *simple*
+//! undirected stream, and the sampling analysis assumes each edge appears
+//! once. [`GraphBuilder`] enforces that: it deduplicates (keeping first
+//! occurrence order — the stream order matters for `η`!), drops self-loops,
+//! and optionally relabels nodes to the dense range `0..n`.
+
+use rept_hash::fx::{FxHashMap, FxHashSet};
+
+use crate::edge::{Edge, NodeId};
+
+/// Accumulates raw `(u, v)` pairs into a clean edge stream.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    seen: FxHashSet<Edge>,
+    self_loops_dropped: usize,
+    duplicates_dropped: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `edges` insertions.
+    pub fn with_capacity(edges: usize) -> Self {
+        Self {
+            edges: Vec::with_capacity(edges),
+            seen: rept_hash::fx::fx_set_with_capacity(edges * 2),
+            self_loops_dropped: 0,
+            duplicates_dropped: 0,
+        }
+    }
+
+    /// Adds a raw pair; self-loops and repeats are counted and dropped.
+    /// Returns `true` if the edge was accepted.
+    pub fn add(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(e) = Edge::try_new(u, v) else {
+            self.self_loops_dropped += 1;
+            return false;
+        };
+        if self.seen.insert(e) {
+            self.edges.push(e);
+            true
+        } else {
+            self.duplicates_dropped += 1;
+            false
+        }
+    }
+
+    /// Number of accepted edges so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Self-loops dropped so far.
+    pub fn self_loops_dropped(&self) -> usize {
+        self.self_loops_dropped
+    }
+
+    /// Duplicate edges dropped so far.
+    pub fn duplicates_dropped(&self) -> usize {
+        self.duplicates_dropped
+    }
+
+    /// Finishes, returning the clean stream in first-occurrence order.
+    pub fn build(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Finishes and relabels node ids to the dense range `0..n` in order of
+    /// first appearance. Returns the stream and the `old → new` mapping.
+    pub fn build_relabeled(self) -> (Vec<Edge>, FxHashMap<NodeId, NodeId>) {
+        let mut mapping: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        let mut next: NodeId = 0;
+        let mut relabel = |id: NodeId, mapping: &mut FxHashMap<NodeId, NodeId>| -> NodeId {
+            *mapping.entry(id).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        };
+        let edges = self
+            .edges
+            .into_iter()
+            .map(|e| {
+                // Relabel in stream-appearance order of the *original*
+                // endpoints, so the mapping is deterministic.
+                let (u, v) = e.endpoints();
+                let nu = relabel(u, &mut mapping);
+                let nv = relabel(v, &mut mapping);
+                Edge::new(nu, nv)
+            })
+            .collect();
+        (edges, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new();
+        assert!(b.add(1, 2));
+        assert!(!b.add(2, 1), "reverse duplicate");
+        assert!(!b.add(3, 3), "self-loop");
+        assert!(b.add(2, 3));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.duplicates_dropped(), 1);
+        assert_eq!(b.self_loops_dropped(), 1);
+        assert_eq!(b.build(), vec![Edge::new(1, 2), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn preserves_first_occurrence_order() {
+        let mut b = GraphBuilder::new();
+        b.add(5, 9);
+        b.add(1, 2);
+        b.add(9, 5); // dup of first
+        b.add(0, 7);
+        assert_eq!(
+            b.build(),
+            vec![Edge::new(5, 9), Edge::new(1, 2), Edge::new(0, 7)]
+        );
+    }
+
+    #[test]
+    fn relabeling_is_dense_and_order_stable() {
+        let mut b = GraphBuilder::new();
+        b.add(100, 50);
+        b.add(50, 7);
+        b.add(7, 100);
+        let (edges, map) = b.build_relabeled();
+        // First edge (100,50) canonicalises to (50,100): 50 first, then 100.
+        assert_eq!(map[&50], 0);
+        assert_eq!(map[&100], 1);
+        assert_eq!(map[&7], 2);
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]
+        );
+    }
+
+    #[test]
+    fn with_capacity_works() {
+        let mut b = GraphBuilder::with_capacity(10);
+        for i in 0..10 {
+            b.add(i, i + 1);
+        }
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new();
+        assert!(b.is_empty());
+        let (edges, map) = b.build_relabeled();
+        assert!(edges.is_empty());
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Compressed sparse row (CSR) static graph.
+//!
+//! The exact forward algorithm (`rept-exact::static_count`) and the
+//! statistics module want a compact immutable view with *sorted* neighbor
+//! slices, so common-neighbor queries can run as linear merges instead of
+//! hash probes. Construction is `O(m log m)`; the structure is two flat
+//! vectors (offsets + neighbor ids), the standard layout for in-memory
+//! graph analytics.
+
+use crate::edge::{Edge, NodeId};
+
+/// An immutable undirected graph in CSR form.
+///
+/// Nodes are `0..node_count`; isolated ids in that range are permitted and
+/// simply have empty neighbor slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list.
+    ///
+    /// Duplicate edges are collapsed; the input does not need to be sorted.
+    /// `node_count` is inferred as `max id + 1` (0 for an empty list).
+    pub fn from_edges(edges: &[Edge]) -> Self {
+        let n = edges
+            .iter()
+            .map(|e| e.v() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Self::from_edges_with_nodes(edges, n)
+    }
+
+    /// Builds a CSR graph with an explicit node-id space `0..node_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `≥ node_count`.
+    pub fn from_edges_with_nodes(edges: &[Edge], node_count: usize) -> Self {
+        // Dedup on a sorted copy of canonical edges.
+        let mut sorted: Vec<Edge> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for e in &sorted {
+            assert!(
+                (e.v() as usize) < node_count,
+                "edge {e} out of node range {node_count}"
+            );
+        }
+
+        // Counting pass over both directions.
+        let mut degree = vec![0usize; node_count];
+        for e in &sorted {
+            degree[e.u() as usize] += 1;
+            degree[e.v() as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![0 as NodeId; offsets[node_count]];
+        let mut cursor = offsets[..node_count].to_vec();
+        for e in &sorted {
+            let (u, v) = e.endpoints();
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each neighbor slice so intersections can merge.
+        for v in 0..node_count {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Self {
+            offsets,
+            neighbors,
+            edge_count: sorted.len(),
+        }
+    }
+
+    /// Number of nodes (the id space `0..n`).
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the node range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// True if the edge `{u, v}` exists (binary search on the smaller
+    /// neighbor slice).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Counts `|N_u ∩ N_v|` by merging the two sorted slices.
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        let mut count = 0;
+        self.for_each_common_neighbor(u, v, |_| count += 1);
+        count
+    }
+
+    /// Calls `f` for every common neighbor of `u` and `v` (sorted order).
+    pub fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, mut f: F) {
+        let (mut a, mut b) = (self.neighbors(u).iter(), self.neighbors(v).iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        while let (Some(&i), Some(&j)) = (x, y) {
+            match i.cmp(&j) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => {
+                    f(i);
+                    x = a.next();
+                    y = b.next();
+                }
+            }
+        }
+    }
+
+    /// Iterates all edges in canonical form, ordered by `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            self.neighbors(u as NodeId)
+                .iter()
+                .filter(move |&&v| (u as NodeId) < v)
+                .map(move |&v| Edge::new(u as NodeId, v))
+        })
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 0-2 (triangle), 2-3 (tail)
+        CsrGraph::from_edges(&[
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 2),
+            Edge::new(2, 3),
+        ])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = CsrGraph::from_edges(&[Edge::new(0, 1), Edge::new(1, 0), Edge::new(0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.common_neighbor_count(0, 1), 1); // node 2
+        assert_eq!(g.common_neighbor_count(0, 3), 1); // node 2
+        assert_eq!(g.common_neighbor_count(1, 3), 1); // node 2
+        let mut common = Vec::new();
+        g.for_each_common_neighbor(0, 1, |w| common.push(w));
+        assert_eq!(common, vec![2]);
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let input = vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+        ];
+        let g = CsrGraph::from_edges(&input);
+        let out: Vec<Edge> = g.edges().collect();
+        assert_eq!(out, input); // already canonical-sorted
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(&[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = CsrGraph::from_edges_with_nodes(&[Edge::new(0, 1)], 5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4), &[] as &[NodeId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of node range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges_with_nodes(&[Edge::new(0, 9)], 5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Graph and edge-stream substrate for the REPT triangle-counting stack.
+//!
+//! The paper's model (§II): a *graph stream* `Π` is a sequence of undirected
+//! edges `e(1) … e(tmax)`; `G = (V, E)` is the graph formed by all edges
+//! that occur in `Π`. Everything downstream — the exact counter, REPT and
+//! the baselines — consumes streams of [`Edge`] values and maintains some
+//! sampled adjacency structure.
+//!
+//! Modules:
+//!
+//! * [`edge`] — canonical undirected [`Edge`] and the [`NodeId`] alias.
+//! * [`stream`] — stream utilities: windowing, deduplication, materialised
+//!   streams with provenance.
+//! * [`adjacency`] — [`adjacency::DynamicAdjacency`], the
+//!   hash-based incremental adjacency used by every streaming algorithm
+//!   (common-neighbor queries are the inner loop of the whole system).
+//! * [`csr`] — [`csr::CsrGraph`], a compact sorted-neighbor static
+//!   graph for the exact forward algorithm and statistics.
+//! * [`builder`] — [`builder::GraphBuilder`] normalises raw
+//!   pairs (dedup, self-loop removal, dense relabeling).
+//! * [`io`] — text and binary edge-list readers/writers.
+//! * [`stats`] — degree and wedge statistics used in experiment reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod builder;
+pub mod csr;
+pub mod duplicates;
+pub mod edge;
+pub mod io;
+pub mod stats;
+pub mod stream;
+pub mod timed;
+
+pub use adjacency::DynamicAdjacency;
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use edge::{Edge, NodeId};

@@ -1,0 +1,143 @@
+//! Degree and wedge statistics for experiment reports.
+//!
+//! Table II of the paper reports nodes/edges/triangles per dataset; the
+//! analysis sections reason about wedges (paths of length 2), since
+//! `η` pairs live inside wedge-rich neighborhoods. [`GraphStats`] bundles
+//! the cheap structural numbers; triangle counts come from `rept-exact`.
+
+use crate::csr::CsrGraph;
+
+/// Structural summary of a static graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes with the id space `0..n`.
+    pub nodes: usize,
+    /// Number of distinct undirected edges.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree `2m/n` (0 for the empty graph).
+    pub mean_degree: f64,
+    /// Number of wedges `Σ_v C(d_v, 2)` — the denominator of the global
+    /// clustering coefficient and an upper bound on `3τ`.
+    pub wedges: u64,
+}
+
+impl GraphStats {
+    /// Computes statistics from a CSR graph.
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut wedges = 0u64;
+        let mut max_degree = 0usize;
+        for v in 0..n {
+            let d = g.degree(v as u32) as u64;
+            wedges += d * d.saturating_sub(1) / 2;
+            max_degree = max_degree.max(d as usize);
+        }
+        Self {
+            nodes: n,
+            edges: m,
+            max_degree,
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            wedges,
+        }
+    }
+}
+
+/// Degree histogram: `histogram[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut h = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.node_count() {
+        h[g.degree(v as u32)] += 1;
+    }
+    h
+}
+
+/// Estimated power-law exponent of the degree distribution via the
+/// Newman/Clauset MLE `γ = 1 + n / Σ ln(d_i / d_min)`, over nodes with
+/// degree ≥ `d_min`. Returns `None` when fewer than 10 nodes qualify.
+///
+/// Used only as a descriptive statistic in the dataset registry report —
+/// it confirms that the synthetic analogs have heavy-tailed degrees like
+/// the originals.
+pub fn power_law_exponent(g: &CsrGraph, d_min: usize) -> Option<f64> {
+    assert!(d_min >= 1, "d_min must be at least 1");
+    let mut n = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in 0..g.node_count() {
+        let d = g.degree(v as u32);
+        if d >= d_min {
+            n += 1;
+            log_sum += (d as f64 / d_min as f64).ln();
+        }
+    }
+    if n < 10 || log_sum == 0.0 {
+        None
+    } else {
+        Some(1.0 + n as f64 / log_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn star(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(&(1..=n).map(|i| Edge::new(0, i)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = star(5);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.max_degree, 5);
+        // Wedges: C(5,2) at the hub = 10.
+        assert_eq!(s.wedges, 10);
+        assert!((s.mean_degree - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_triangle() {
+        let g = CsrGraph::from_edges(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.wedges, 3);
+        assert_eq!(s.mean_degree, 2.0);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let g = CsrGraph::from_edges(&[]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.wedges, 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = star(7);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.node_count());
+        assert_eq!(h[1], 7, "leaves");
+        assert_eq!(h[7], 1, "hub");
+    }
+
+    #[test]
+    fn power_law_needs_enough_nodes() {
+        assert_eq!(power_law_exponent(&star(3), 1), None);
+    }
+
+    #[test]
+    fn power_law_on_uniform_degrees_is_large() {
+        // A cycle has all degrees = 2; with d_min = 2 the MLE diverges
+        // (log_sum = 0) and must return None.
+        let n = 50u32;
+        let edges: Vec<Edge> = (0..n).map(|i| Edge::new(i, (i + 1) % n)).collect();
+        let g = CsrGraph::from_edges(&edges);
+        assert_eq!(power_law_exponent(&g, 2), None);
+    }
+}

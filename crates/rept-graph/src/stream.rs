@@ -1,0 +1,137 @@
+//! Edge-stream utilities.
+//!
+//! A *stream* in this workspace is anything that yields [`Edge`]s in a
+//! defined order — usually a `Vec<Edge>` from the generators, since every
+//! experiment replays the same stream for many trials. This module adds
+//! the transformations the experiments and examples need:
+//!
+//! * [`windows`] — split a stream into consecutive fixed-size intervals,
+//!   matching the paper's motivating use case ("compute τ and τ_v for each
+//!   time interval", §II).
+//! * [`dedup_stream`] — one-pass duplicate filtering (the paper assumes
+//!   simple streams; external data may not be).
+//! * [`EdgeStreamExt`] — iterator adapters for stream post-processing.
+
+use rept_hash::fx::FxHashSet;
+
+use crate::edge::Edge;
+
+/// Splits a stream into consecutive windows of `window_len` edges.
+///
+/// The final window may be shorter. This models the paper's interval-based
+/// monitoring scenario: each window is analysed as an independent stream.
+///
+/// # Panics
+///
+/// Panics if `window_len == 0`.
+pub fn windows(stream: &[Edge], window_len: usize) -> impl Iterator<Item = &[Edge]> {
+    assert!(window_len > 0, "window length must be positive");
+    stream.chunks(window_len)
+}
+
+/// Removes repeated edges from a stream, keeping first occurrences and the
+/// original relative order.
+pub fn dedup_stream(stream: &[Edge]) -> Vec<Edge> {
+    let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(stream.len() * 2);
+    stream
+        .iter()
+        .copied()
+        .filter(|e| seen.insert(*e))
+        .collect()
+}
+
+/// Counts distinct edges in a stream without materialising the result.
+pub fn distinct_edge_count(stream: &[Edge]) -> usize {
+    let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(stream.len() * 2);
+    stream.iter().filter(|e| seen.insert(**e)).count()
+}
+
+/// Extension adapters over edge iterators.
+pub trait EdgeStreamExt: Iterator<Item = Edge> + Sized {
+    /// Keeps only edges whose canonical endpoints are both `< limit` —
+    /// used to restrict a stream to a node prefix (subgraph experiments).
+    fn restrict_nodes(self, limit: crate::edge::NodeId) -> RestrictNodes<Self> {
+        RestrictNodes { inner: self, limit }
+    }
+}
+
+impl<I: Iterator<Item = Edge>> EdgeStreamExt for I {}
+
+/// Iterator adapter returned by [`EdgeStreamExt::restrict_nodes`].
+#[derive(Debug, Clone)]
+pub struct RestrictNodes<I> {
+    inner: I,
+    limit: crate::edge::NodeId,
+}
+
+impl<I: Iterator<Item = Edge>> Iterator for RestrictNodes<I> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        self.inner.find(|e| e.v() < self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn stream() -> Vec<Edge> {
+        vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 1), // dup
+            Edge::new(2, 3),
+            Edge::new(3, 4),
+        ]
+    }
+
+    #[test]
+    fn windows_cover_stream() {
+        let s = stream();
+        let w: Vec<&[Edge]> = windows(&s, 2).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].len(), 2);
+        assert_eq!(w[2].len(), 1, "final short window");
+        let total: usize = w.iter().map(|c| c.len()).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_window_panics() {
+        let s = stream();
+        let _ = windows(&s, 0).count();
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_order() {
+        let d = dedup_stream(&stream());
+        assert_eq!(
+            d,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_count_matches_dedup() {
+        let s = stream();
+        assert_eq!(distinct_edge_count(&s), dedup_stream(&s).len());
+    }
+
+    #[test]
+    fn restrict_nodes_filters() {
+        let s = stream();
+        let kept: Vec<Edge> = s.iter().copied().restrict_nodes(3).collect();
+        assert_eq!(
+            kept,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 1)]
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! A seeded Bloom filter over 64-bit keys.
+//!
+//! Substrate for duplicate-robust streaming (see
+//! `rept-graph::duplicates`): real edge streams repeat edges, the REPT
+//! analysis assumes simple streams, and an exact seen-set costs `O(|E|)`
+//! memory — defeating the point of sampling. A Bloom filter gives
+//! fixed-memory dedup at the cost of a controlled false-positive rate
+//! (a false positive *drops a genuine new edge*, which slightly biases
+//! estimates down; the duplicates module quantifies this).
+
+use crate::mix::{reduce_range, splitmix64};
+
+/// Fixed-size Bloom filter with `k` hash functions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    bit_count: u64,
+    hashes: u32,
+    seed: u64,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `bits` bits (rounded up to a multiple of 64)
+    /// and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `hashes == 0`.
+    pub fn new(bits: u64, hashes: u32, seed: u64) -> Self {
+        assert!(bits > 0, "need at least one bit");
+        assert!(hashes > 0, "need at least one hash");
+        let words = bits.div_ceil(64);
+        Self {
+            bits: vec![0u64; words as usize],
+            bit_count: words * 64,
+            hashes,
+            seed,
+            inserted: 0,
+        }
+    }
+
+    /// Sizes a filter for `expected_items` at roughly the given false
+    /// positive rate, using the standard `m = −n·ln(fp)/ln(2)²`,
+    /// `k = (m/n)·ln 2` formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fp_rate < 1` and `expected_items > 0`.
+    pub fn with_rate(expected_items: u64, fp_rate: f64, seed: u64) -> Self {
+        assert!(expected_items > 0, "need at least one expected item");
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "fp rate must be in (0,1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(expected_items as f64) * fp_rate.ln() / (ln2 * ln2)).ceil() as u64;
+        let k = ((m as f64 / expected_items as f64) * ln2).round().max(1.0) as u32;
+        Self::new(m.max(64), k, seed)
+    }
+
+    #[inline]
+    fn bit_index(&self, key: u64, i: u32) -> u64 {
+        // Kirsch–Mitzenmacher double hashing: h1 + i·h2.
+        let h1 = splitmix64(key ^ self.seed);
+        let h2 = splitmix64(key.wrapping_add(0x9E37_79B9_7F4A_7C15) ^ self.seed.rotate_left(17))
+            | 1; // odd, so strides cover the table
+        reduce_range(h1.wrapping_add((i as u64).wrapping_mul(h2)), self.bit_count)
+    }
+
+    /// Inserts a key; returns `true` if it was (probably) new, i.e. at
+    /// least one of its bits was previously unset.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut fresh = false;
+        for i in 0..self.hashes {
+            let idx = self.bit_index(key, i);
+            let (word, bit) = ((idx / 64) as usize, idx % 64);
+            if self.bits[word] & (1 << bit) == 0 {
+                fresh = true;
+                self.bits[word] |= 1 << bit;
+            }
+        }
+        if fresh {
+            self.inserted += 1;
+        }
+        fresh
+    }
+
+    /// True if the key is possibly present (false positives possible,
+    /// false negatives impossible).
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.hashes).all(|i| {
+            let idx = self.bit_index(key, i);
+            self.bits[(idx / 64) as usize] & (1 << (idx % 64)) != 0
+        })
+    }
+
+    /// Number of keys that inserted at least one new bit.
+    pub fn distinct_inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Memory footprint of the bit array in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Estimated false-positive probability at the current fill, via
+    /// `(set_bits / m)^k`.
+    pub fn estimated_fp_rate(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        (set as f64 / self.bit_count as f64).powi(self.hashes as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilter::new(4096, 3, 1);
+        for k in 0..200u64 {
+            b.insert(k * 7);
+        }
+        for k in 0..200u64 {
+            assert!(b.contains(k * 7), "false negative for {}", k * 7);
+        }
+        assert_eq!(b.distinct_inserted(), 200);
+    }
+
+    #[test]
+    fn insert_reports_duplicates() {
+        let mut b = BloomFilter::new(4096, 3, 2);
+        assert!(b.insert(42));
+        assert!(!b.insert(42), "exact duplicate must report seen");
+    }
+
+    #[test]
+    fn fp_rate_near_target() {
+        let n = 10_000u64;
+        let mut b = BloomFilter::with_rate(n, 0.01, 3);
+        for k in 0..n {
+            b.insert(k);
+        }
+        // Probe keys never inserted.
+        let fps = (n..2 * n).filter(|&k| b.contains(k)).count();
+        let rate = fps as f64 / n as f64;
+        assert!(rate < 0.03, "fp rate {rate} far above the 1% target");
+        assert!(b.estimated_fp_rate() < 0.03);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let b = BloomFilter::new(1024, 4, 0);
+        let hits = (0..1000u64).filter(|&k| b.contains(k)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn sizing_formula_is_sane() {
+        let b = BloomFilter::with_rate(1000, 0.01, 0);
+        // ~9.6 bits/item for 1% → ≈ 1.2 KiB.
+        assert!(b.bytes() >= 1000 && b.bytes() < 4096, "{} bytes", b.bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "fp rate")]
+    fn bad_rate_panics() {
+        BloomFilter::with_rate(10, 1.5, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Seeded, symmetric edge-hash families.
+//!
+//! REPT's correctness rests on one primitive (paper §III-A): a hash function
+//! `h` that maps each *undirected* edge `(u, v)` uniformly and independently
+//! into `{1..m}`, i.e. `P(h(e) = i) = 1/m` and
+//! `P(h(e) = i ∧ h(e') = i') = 1/m²` for distinct edges. Theorem 1 — the
+//! probability that `r` distinct edges all land in the same cell among the
+//! first `c` is `c/mʳ` — follows from that uniformity, and every variance
+//! result in the paper follows from Theorem 1.
+//!
+//! Two practical constraints shape the implementation:
+//!
+//! * **Symmetry** — `(u, v)` and `(v, u)` are the same undirected edge and
+//!   must receive the same hash. We canonicalise to `(min, max)` before
+//!   mixing (mixing symmetrically, e.g. `f(u) ^ f(v)`, would be cheaper but
+//!   collapses edge pairs sharing an endpoint into correlated classes).
+//! * **Independent families** — the `c > m` algorithm (§III-B) needs
+//!   `c₁ + 1` hash functions `h₁ … h_{c₁+1}` that are mutually independent.
+//!   [`EdgeHashFamily::member`] derives them from one master seed by mixing
+//!   the member index through SplitMix64, giving stable per-group functions.
+
+use crate::mix::{combine2, reduce_range, splitmix64, to_unit_f64};
+
+/// A family of seeded symmetric edge-hash functions.
+///
+/// `family.member(k)` is the `k`-th function of the family; distinct `k`
+/// give (empirically verified) pairwise-independent functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeHashFamily {
+    master_seed: u64,
+}
+
+impl EdgeHashFamily {
+    /// Creates the family identified by `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Self { master_seed }
+    }
+
+    /// Returns the `index`-th member of the family.
+    pub fn member(&self, index: u64) -> EdgeHasher {
+        // Mix index and master seed so that families with nearby seeds do
+        // not share members.
+        EdgeHasher {
+            seed: splitmix64(self.master_seed ^ splitmix64(index.wrapping_mul(0xA24B_AED4_963E_E407))),
+        }
+    }
+}
+
+/// One symmetric edge-hash function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeHasher {
+    seed: u64,
+}
+
+impl EdgeHasher {
+    /// Creates a hasher directly from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Full 64-bit hash of the undirected edge `{u, v}`.
+    #[inline]
+    pub fn hash64(&self, u: u64, v: u64) -> u64 {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        combine2(self.seed, a, b)
+    }
+
+    /// Hash mapped to a float uniform in `[0, 1)` — used by the Bernoulli
+    /// samplers when the decision must be a pure function of the edge.
+    #[inline]
+    pub fn unit(&self, u: u64, v: u64) -> f64 {
+        to_unit_f64(self.hash64(u, v))
+    }
+}
+
+/// The partition hash `h : E → {0..m-1}` from paper Algorithm 1.
+///
+/// Note the off-by-one convention: the paper indexes processors `1..=m`;
+/// we use `0..m` throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionHasher {
+    hasher: EdgeHasher,
+    m: u64,
+}
+
+impl PartitionHasher {
+    /// Creates a partition hash with `m` cells from the given edge hasher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(hasher: EdgeHasher, m: u64) -> Self {
+        assert!(m > 0, "partition hash needs at least one cell");
+        Self { hasher, m }
+    }
+
+    /// Number of cells `m`.
+    #[inline]
+    pub fn cells(&self) -> u64 {
+        self.m
+    }
+
+    /// The cell of edge `{u, v}`, in `0..m`.
+    #[inline]
+    pub fn cell(&self, u: u64, v: u64) -> u64 {
+        reduce_range(self.hasher.hash64(u, v), self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_symmetric() {
+        let h = EdgeHashFamily::new(1).member(0);
+        for u in 0..50u64 {
+            for v in 0..50u64 {
+                assert_eq!(h.hash64(u, v), h.hash64(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_distinct_functions() {
+        let fam = EdgeHashFamily::new(42);
+        let h0 = fam.member(0);
+        let h1 = fam.member(1);
+        let agree = (0..1000u64)
+            .filter(|&i| h0.hash64(i, i + 1) == h1.hash64(i, i + 1))
+            .count();
+        assert_eq!(agree, 0);
+    }
+
+    #[test]
+    fn family_members_are_stable() {
+        let fam = EdgeHashFamily::new(42);
+        assert_eq!(fam.member(3).hash64(5, 9), fam.member(3).hash64(5, 9));
+    }
+
+    #[test]
+    fn partition_is_uniform() {
+        // Paper requirement: P(h(e) = i) = 1/m. Chi-square style check over
+        // m = 10 cells with 100k random edges.
+        let ph = PartitionHasher::new(EdgeHashFamily::new(7).member(0), 10);
+        let mut counts = [0u64; 10];
+        for i in 0..100_000u64 {
+            // Use mixed endpoints so the test isn't fooled by structured input.
+            let u = splitmix64(i);
+            let v = splitmix64(i ^ 0x5555);
+            counts[ph.cell(u, v) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 500.0,
+                "cell count {c} not uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_pairwise_independence() {
+        // Paper requirement: P(h(e)=i ∧ h(e')=i') = 1/m² for e ≠ e'.
+        // Estimate P(same cell) over random distinct edge pairs; must be
+        // ≈ 1/m.
+        let m = 8u64;
+        let ph = PartitionHasher::new(EdgeHashFamily::new(3).member(0), m);
+        let mut same = 0u64;
+        let trials = 200_000u64;
+        for i in 0..trials {
+            let e1 = (splitmix64(i), splitmix64(i ^ 0xAAAA));
+            let e2 = (splitmix64(i ^ 0x1111), splitmix64(i ^ 0xFFFF));
+            if ph.cell(e1.0, e1.1) == ph.cell(e2.0, e2.1) {
+                same += 1;
+            }
+        }
+        let rate = same as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / m as f64).abs() < 0.005,
+            "same-cell rate {rate} vs expected {}",
+            1.0 / m as f64
+        );
+    }
+
+    #[test]
+    fn theorem1_three_edges_same_cell() {
+        // Theorem 1 with r = 3, c = m: P(all three in same cell among all
+        // m cells) = m/m³ = 1/m². Empirical check for m = 4 → p = 1/16.
+        let m = 4u64;
+        let ph = PartitionHasher::new(EdgeHashFamily::new(11).member(0), m);
+        let mut hit = 0u64;
+        let trials = 200_000u64;
+        for i in 0..trials {
+            let c1 = ph.cell(splitmix64(3 * i), splitmix64(3 * i + 1_000_000));
+            let c2 = ph.cell(splitmix64(3 * i + 1), splitmix64(3 * i + 2_000_000));
+            let c3 = ph.cell(splitmix64(3 * i + 2), splitmix64(3 * i + 3_000_000));
+            if c1 == c2 && c2 == c3 {
+                hit += 1;
+            }
+        }
+        let rate = hit as f64 / trials as f64;
+        let expected = 1.0 / (m * m) as f64;
+        assert!(
+            (rate - expected).abs() < 0.003,
+            "rate {rate} vs theorem-1 value {expected}"
+        );
+    }
+
+    #[test]
+    fn unit_is_uniform_mean() {
+        let h = EdgeHashFamily::new(5).member(0);
+        let mean = (0..50_000u64).map(|i| h.unit(i, i + 7)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        PartitionHasher::new(EdgeHasher::from_seed(0), 0);
+    }
+}

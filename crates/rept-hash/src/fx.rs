@@ -1,0 +1,169 @@
+//! An FxHash-style hasher and hashmap/set aliases.
+//!
+//! Every adjacency structure in this workspace is keyed by integer node ids
+//! or `(u32, u32)` edge pairs, and per-edge processing does several hashmap
+//! probes. The default SipHash 1-3 hasher costs more than the triangle logic
+//! itself; the rustc "Fx" multiply-xor hasher is the standard remedy (see
+//! the Rust perf-book, "Hashing"). It is ~10 lines, so we implement it here
+//! instead of pulling in `rustc-hash` — the workspace dependency policy in
+//! DESIGN.md prefers in-repo primitives for anything this small.
+//!
+//! HashDoS resistance is irrelevant here: all keys come from trusted
+//! generators or local files, never from an adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply-rotate-xor hasher used by rustc.
+///
+/// State is folded one `u64` word at a time:
+/// `state = (rotl5(state) ^ word) * K` with `K = 0x51_7c_c1_b7_27_22_0a_95`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path, only hit for non-integer keys (rare in this
+        // workspace): fold 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fx's raw state has weak low bits for sequential keys; hashbrown
+        // uses the top 7 bits for its control bytes and the low bits for
+        // bucket indexing, so give the state one final strong mix.
+        crate::mix::splitmix64(self.hash)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Convenience constructor: an empty [`FxHashMap`] with `cap` capacity.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// Convenience constructor: an empty [`FxHashSet`] with `cap` capacity.
+pub fn fx_set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn set_behaves() {
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn sequential_keys_hash_apart() {
+        // The finalizer must spread sequential integers; count collisions
+        // in the low 16 bits (what a small table would use).
+        let mut low_bits = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for i in 0..4096u64 {
+            if !low_bits.insert(hash_one(i) & 0xFFFF) {
+                collisions += 1;
+            }
+        }
+        // Birthday bound for 4096 draws from 65536 slots: ~120 expected.
+        assert!(collisions < 300, "{collisions} low-bit collisions");
+    }
+
+    #[test]
+    fn tuple_and_parts_hash_differently() {
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn byte_path_matches_no_panic_and_is_stable() {
+        let a = hash_one("hello world");
+        let b = hash_one("hello world");
+        assert_eq!(a, b);
+        assert_ne!(hash_one("hello world"), hash_one("hello worlds"));
+    }
+
+    #[test]
+    fn with_capacity_helpers() {
+        let m: FxHashMap<u32, u32> = fx_map_with_capacity(100);
+        assert!(m.capacity() >= 100);
+        let s: FxHashSet<u32> = fx_set_with_capacity(50);
+        assert!(s.capacity() >= 50);
+    }
+}

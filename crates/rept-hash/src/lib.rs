@@ -1,0 +1,39 @@
+//! Hashing and sampling substrate for the REPT triangle-counting stack.
+//!
+//! This crate provides the randomness primitives every layer above it relies
+//! on:
+//!
+//! * [`mix`] — 64-bit avalanche mixers (SplitMix64, Murmur3 and
+//!   xxHash-style finalizers) used as building blocks everywhere else.
+//! * [`rng`] — a small, fast, deterministic [`rng::SplitMix64`]
+//!   generator plus a [`rng::Xoshiro256pp`] generator for
+//!   longer streams. Both are seedable and allocation-free, so hot loops do
+//!   not need the `rand` crate.
+//! * [`fx`] — an FxHash-style hasher (the rustc hasher) with
+//!   [`fx::FxHashMap`]/[`fx::FxHashSet`] aliases.
+//!   Implemented in-repo so the workspace needs no extra dependency; the
+//!   Rust perf-book recommends exactly this hasher for integer keys, which
+//!   is what all adjacency structures in this workspace use.
+//! * [`edge_hash`] — seeded, symmetric edge-hash families, including the
+//!   partition hash `h : E → {0..m-1}` at the heart of REPT (paper §III-A)
+//!   and independent per-group families for the `c > m` case (§III-B).
+//! * [`reservoir`] — Vitter's Algorithm R reservoir sampler, the substrate
+//!   of the TRIÈST baseline.
+//! * [`priority`] — a bounded priority sampler (min-heap with threshold
+//!   tracking), the substrate of the GPS baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod edge_hash;
+pub mod fx;
+pub mod mix;
+pub mod priority;
+pub mod reservoir;
+pub mod rng;
+pub mod tabulation;
+
+pub use edge_hash::{EdgeHashFamily, PartitionHasher};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use rng::SplitMix64;

@@ -1,0 +1,203 @@
+//! 64-bit avalanche mixers.
+//!
+//! These are the scalar building blocks for every hash in the workspace.
+//! All of them are bijections on `u64` (each step — xor-shift, or a
+//! multiplication by an odd constant — is invertible), which matters for the
+//! edge-hash family: a bijective finalizer cannot introduce collisions of its
+//! own, so collision behaviour is governed entirely by how the two endpoints
+//! are combined.
+
+/// The SplitMix64 finalizer (Steele, Lea & Flood, "Fast Splittable
+/// Pseudorandom Number Generators", OOPSLA 2014).
+///
+/// A high-quality 64-bit avalanche function: flipping any input bit flips
+/// each output bit with probability ≈ 1/2.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 64-bit finalizer from MurmurHash3 (Austin Appleby, public domain).
+#[inline]
+pub fn murmur3_fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^ (k >> 33)
+}
+
+/// David Stafford's "Mix13" variant of the Murmur3 finalizer — slightly
+/// better avalanche statistics than [`murmur3_fmix64`].
+#[inline]
+pub fn stafford_mix13(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An xxHash64-style avalanche step.
+#[inline]
+pub fn xxh64_avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^ (h >> 32)
+}
+
+/// Combines two 64-bit words into one, with a seed, using multiply-xor
+/// rounds. Not a bijection in the pair (it cannot be: 128 → 64 bits), but
+/// pairwise collisions behave like a random function for our purposes.
+#[inline]
+pub fn combine2(seed: u64, a: u64, b: u64) -> u64 {
+    // Two rounds of "xor, multiply by odd constant, rotate" keep the two
+    // inputs from commuting trivially while staying cheap (~3 ns).
+    let mut h = seed ^ 0x51_7C_C1_B7_27_22_0A_95u64;
+    h = (h ^ splitmix64(a)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.rotate_left(27);
+    h = (h ^ splitmix64(b)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    xxh64_avalanche(h)
+}
+
+/// Maps a 64-bit hash onto `0..n` without modulo bias, using Lemire's
+/// multiply-shift reduction ("Fast Random Integer Generation in an
+/// Interval", 2016).
+///
+/// The bias of this reduction is at most `n / 2^64`, which for every `n`
+/// used in this workspace (≤ a few thousand partitions) is far below any
+/// observable level.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[inline]
+pub fn reduce_range(hash: u64, n: u64) -> u64 {
+    assert!(n > 0, "reduce_range: empty range");
+    (((hash as u128) * (n as u128)) >> 64) as u64
+}
+
+/// Converts a 64-bit hash to a float uniform in `[0, 1)`.
+///
+/// Uses the top 53 bits so the result is an exactly representable dyadic
+/// rational; the distribution is uniform over the 2^53 grid.
+#[inline]
+pub fn to_unit_f64(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts a 64-bit hash to a float uniform in `(0, 1]` — useful when the
+/// value is used as a divisor (GPS priorities are `w / u` with `u ∈ (0,1]`).
+#[inline]
+pub fn to_unit_open_f64(hash: u64) -> f64 {
+    1.0 - to_unit_f64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_bijective_on_sample() {
+        // A bijection restricted to any set is injective; sample densely
+        // around a few regions to catch accidental truncation bugs.
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1 << 32, u64::MAX - 5000] {
+            for i in 0..5000 {
+                assert!(seen.insert(splitmix64(base.wrapping_add(i))));
+            }
+        }
+    }
+
+    #[test]
+    fn mixers_avalanche_roughly_half_bits() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        for mixer in [splitmix64, murmur3_fmix64, stafford_mix13, xxh64_avalanche] {
+            let mut total = 0u32;
+            let mut samples = 0u32;
+            for x in 1..256u64 {
+                let h = mixer(x);
+                for bit in 0..64 {
+                    total += (h ^ mixer(x ^ (1 << bit))).count_ones();
+                    samples += 1;
+                }
+            }
+            let avg = total as f64 / samples as f64;
+            assert!(
+                (avg - 32.0).abs() < 1.5,
+                "avalanche average {avg} too far from 32"
+            );
+        }
+    }
+
+    #[test]
+    fn combine2_is_order_sensitive() {
+        // (a, b) and (b, a) must hash differently (canonicalisation is the
+        // caller's job; the combiner itself must not be symmetric, or the
+        // two endpoints would collapse onto each other's hash classes).
+        let mut diff = 0;
+        for a in 0..50u64 {
+            for b in 0..50u64 {
+                if a != b && combine2(7, a, b) != combine2(7, b, a) {
+                    diff += 1;
+                }
+            }
+        }
+        assert_eq!(diff, 50 * 49);
+    }
+
+    #[test]
+    fn combine2_seed_changes_hash() {
+        let collisions = (0..1000u64)
+            .filter(|&i| combine2(1, i, i + 1) == combine2(2, i, i + 1))
+            .count();
+        assert!(collisions < 3, "seeds should give unrelated hash functions");
+    }
+
+    #[test]
+    fn reduce_range_is_in_bounds_and_roughly_uniform() {
+        let n = 7u64;
+        let mut counts = [0u64; 7];
+        for i in 0..70_000u64 {
+            let b = reduce_range(splitmix64(i), n);
+            assert!(b < n);
+            counts[b as usize] += 1;
+        }
+        let expected = 10_000.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < 500.0,
+                "bucket count {c} deviates from uniform"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn reduce_range_rejects_zero() {
+        reduce_range(1, 0);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        for i in 0..10_000u64 {
+            let h = splitmix64(i);
+            let closed = to_unit_f64(h);
+            let open = to_unit_open_f64(h);
+            assert!((0.0..1.0).contains(&closed));
+            assert!(open > 0.0 && open <= 1.0);
+        }
+    }
+
+    #[test]
+    fn unit_float_mean_is_half() {
+        let mean = (0..100_000u64)
+            .map(|i| to_unit_f64(splitmix64(i)))
+            .sum::<f64>()
+            / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+}

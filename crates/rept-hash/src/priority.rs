@@ -1,0 +1,276 @@
+//! Bounded priority sampling — the substrate of the GPS baseline.
+//!
+//! Graph Priority Sampling (Ahmed, Duffield, Willke & Rossi, VLDB 2017)
+//! keeps the `M` items with the highest *priority* `r(e) = w(e)/u(e)`,
+//! where `w(e)` is an application-supplied weight and `u(e) ~ Uniform(0,1]`.
+//! The running threshold `z*` is the highest priority ever evicted (i.e.
+//! the `(M+1)`-th largest priority seen); the Horvitz–Thompson inclusion
+//! probability of a resident item is `q(e) = min(1, w(e)/z*)`.
+//!
+//! This module implements the sampler itself; triangle-specific weighting
+//! lives in `rept-baselines::gps`.
+
+use std::collections::BinaryHeap;
+
+use crate::rng::SplitMix64;
+
+/// An entry in the priority sample.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityEntry<T> {
+    /// The sampled item.
+    pub item: T,
+    /// Weight it was offered with.
+    pub weight: f64,
+    /// Its drawn priority `w/u`.
+    pub priority: f64,
+}
+
+/// Min-heap wrapper ordering entries by ascending priority so that
+/// `BinaryHeap::pop` removes the lowest-priority resident.
+#[derive(Debug, Clone, Copy)]
+struct MinByPriority<T>(PriorityEntry<T>);
+
+impl<T> PartialEq for MinByPriority<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.priority == other.0.priority
+    }
+}
+impl<T> Eq for MinByPriority<T> {}
+impl<T> PartialOrd for MinByPriority<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MinByPriority<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: smallest priority = greatest heap element.
+        other.0.priority.total_cmp(&self.0.priority)
+    }
+}
+
+/// Outcome of offering an item to the [`PrioritySampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PriorityDecision<T> {
+    /// Item admitted; the sample was below budget.
+    Inserted,
+    /// Item admitted, evicting the returned lower-priority item.
+    Replaced(T),
+    /// Item rejected (its priority fell below the current minimum).
+    Rejected,
+}
+
+/// Fixed-budget priority sampler over items of type `T`.
+#[derive(Debug, Clone)]
+pub struct PrioritySampler<T> {
+    heap: BinaryHeap<MinByPriority<T>>,
+    budget: usize,
+    threshold: f64,
+    rng: SplitMix64,
+    seen: u64,
+}
+
+impl<T: Copy> PrioritySampler<T> {
+    /// Creates a sampler holding at most `budget` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        assert!(budget > 0, "priority sampler budget must be positive");
+        Self {
+            heap: BinaryHeap::with_capacity(budget + 1),
+            budget,
+            threshold: 0.0,
+            rng: SplitMix64::new(seed),
+            seen: 0,
+        }
+    }
+
+    /// Offers `item` with weight `weight > 0`; draws its priority and
+    /// returns the admission decision.
+    pub fn offer(&mut self, item: T, weight: f64) -> PriorityDecision<T> {
+        debug_assert!(weight > 0.0, "GPS weights must be positive");
+        self.seen += 1;
+        let u = self.rng.next_open_f64();
+        let priority = weight / u;
+        let entry = PriorityEntry {
+            item,
+            weight,
+            priority,
+        };
+        if self.heap.len() < self.budget {
+            self.heap.push(MinByPriority(entry));
+            return PriorityDecision::Inserted;
+        }
+        // Full: the arriving item competes with the lowest resident.
+        let min_priority = self
+            .heap
+            .peek()
+            .expect("non-empty: budget > 0 and heap is full")
+            .0
+            .priority;
+        if priority > min_priority {
+            let evicted = self.heap.pop().expect("checked non-empty").0;
+            self.threshold = self.threshold.max(evicted.priority);
+            self.heap.push(MinByPriority(entry));
+            PriorityDecision::Replaced(evicted.item)
+        } else {
+            self.threshold = self.threshold.max(priority);
+            PriorityDecision::Rejected
+        }
+    }
+
+    /// The current threshold `z*` (0 while nothing has been rejected or
+    /// evicted — in that regime every resident has inclusion probability 1).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Horvitz–Thompson inclusion probability `min(1, w/z*)` of a weight
+    /// under the current threshold.
+    pub fn inclusion_probability(&self, weight: f64) -> f64 {
+        if self.threshold <= 0.0 {
+            1.0
+        } else {
+            (weight / self.threshold).min(1.0)
+        }
+    }
+
+    /// Iterates over resident entries (arbitrary order).
+    pub fn entries(&self) -> impl Iterator<Item = &PriorityEntry<T>> {
+        self.heap.iter().map(|e| &e.0)
+    }
+
+    /// Number of resident items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no items are resident.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The stream clock: items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The configured budget `M`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_budget() {
+        let mut s = PrioritySampler::new(5, 1);
+        for i in 0..100u32 {
+            s.offer(i, 1.0);
+            assert!(s.len() <= 5);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.seen(), 100);
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_uniform_sampling() {
+        // With all weights equal, GPS is a uniform sample of size M:
+        // inclusion probability M/t for every item.
+        let trials = 20_000u64;
+        let mut counts = [0u32; 40];
+        for seed in 0..trials {
+            let mut s = PrioritySampler::new(8, seed);
+            for i in 0..40u32 {
+                s.offer(i, 1.0);
+            }
+            for e in s.entries() {
+                counts[e.item as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * 8.0 / 40.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.12,
+                "item {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_items_survive() {
+        // One item with weight 1000 among weight-1 items is (almost) always
+        // retained.
+        let mut kept = 0;
+        for seed in 0..500u64 {
+            let mut s = PrioritySampler::new(4, seed);
+            for i in 0..200u32 {
+                let w = if i == 50 { 1000.0 } else { 1.0 };
+                s.offer(i, w);
+            }
+            if s.entries().any(|e| e.item == 50) {
+                kept += 1;
+            }
+        }
+        assert!(kept >= 495, "heavy item kept only {kept}/500 times");
+    }
+
+    #[test]
+    fn threshold_grows_monotonically() {
+        let mut s = PrioritySampler::new(3, 9);
+        let mut last = 0.0;
+        for i in 0..500u32 {
+            s.offer(i, 1.0 + (i % 7) as f64);
+            assert!(s.threshold() >= last);
+            last = s.threshold();
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn inclusion_probability_is_one_before_evictions() {
+        let mut s = PrioritySampler::new(10, 0);
+        for i in 0..10u32 {
+            s.offer(i, 1.0);
+        }
+        assert_eq!(s.inclusion_probability(1.0), 1.0);
+    }
+
+    #[test]
+    fn inclusion_probability_caps_at_one() {
+        let mut s = PrioritySampler::new(2, 0);
+        for i in 0..50u32 {
+            s.offer(i, 1.0);
+        }
+        assert!(s.threshold() > 0.0);
+        assert_eq!(s.inclusion_probability(f64::MAX), 1.0);
+        assert!(s.inclusion_probability(0.001) < 1.0);
+    }
+
+    #[test]
+    fn replaced_reports_resident() {
+        let mut s = PrioritySampler::new(1, 5);
+        s.offer(0u32, 1.0);
+        let mut resident = 0u32;
+        for i in 1..100u32 {
+            match s.offer(i, 1.0) {
+                PriorityDecision::Replaced(old) => {
+                    assert_eq!(old, resident);
+                    resident = i;
+                }
+                PriorityDecision::Rejected => {}
+                PriorityDecision::Inserted => panic!("was already full"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_budget_rejected() {
+        PrioritySampler::<u32>::new(0, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fixed-budget reservoir sampling (Vitter's Algorithm R).
+//!
+//! This is the sampling substrate of the TRIÈST baseline (De Stefani et al.,
+//! KDD 2016): maintain a uniform sample of exactly `min(t, M)` of the first
+//! `t` stream items using `M` slots. At time `t > M`, the arriving item is
+//! kept with probability `M/t`, replacing a uniformly random resident.
+
+use crate::rng::SplitMix64;
+
+/// Decision returned by [`ReservoirSampler::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservoirDecision<T> {
+    /// The item was appended; the reservoir was not yet full.
+    Inserted,
+    /// The item replaced the returned evicted item.
+    Replaced(T),
+    /// The item was rejected; the reservoir is unchanged.
+    Rejected,
+}
+
+/// A uniform fixed-size reservoir over a stream of `T`.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    items: Vec<T>,
+    budget: usize,
+    /// Number of items offered so far (the stream clock `t`).
+    seen: u64,
+    rng: SplitMix64,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a reservoir with capacity `budget`, using the given seed for
+    /// all replacement decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        assert!(budget > 0, "reservoir budget must be positive");
+        Self {
+            items: Vec::with_capacity(budget),
+            budget,
+            seen: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Offers the next stream item; returns what happened to it.
+    pub fn offer(&mut self, item: T) -> ReservoirDecision<T>
+    where
+        T: Copy,
+    {
+        self.seen += 1;
+        if self.items.len() < self.budget {
+            self.items.push(item);
+            return ReservoirDecision::Inserted;
+        }
+        // Keep with probability M/t.
+        if self.rng.next_below(self.seen) < self.budget as u64 {
+            let slot = self.rng.next_below(self.budget as u64) as usize;
+            let evicted = std::mem::replace(&mut self.items[slot], item);
+            ReservoirDecision::Replaced(evicted)
+        } else {
+            ReservoirDecision::Rejected
+        }
+    }
+
+    /// Current sample contents (order is an implementation detail).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// The stream clock: number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The configured capacity `M`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// True once the reservoir holds `M` items.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_holds_budget() {
+        let mut r = ReservoirSampler::new(10, 1);
+        for i in 0..100u32 {
+            r.offer(i);
+            assert!(r.items().len() <= 10);
+        }
+        assert_eq!(r.items().len(), 10);
+        assert_eq!(r.seen(), 100);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn short_stream_keeps_everything() {
+        let mut r = ReservoirSampler::new(10, 2);
+        for i in 0..5u32 {
+            assert!(matches!(r.offer(i), ReservoirDecision::Inserted));
+        }
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Each of the first t items must be in the sample w.p. M/t.
+        // Stream of 50 items, M = 10 → every item included w.p. 0.2.
+        let trials = 20_000;
+        let mut counts = [0u32; 50];
+        for seed in 0..trials {
+            let mut r = ReservoirSampler::new(10, seed);
+            for i in 0..50u32 {
+                r.offer(i);
+            }
+            for &it in r.items() {
+                counts[it as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * 10.0 / 50.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.12,
+                "item {i} count {c}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn replacement_reports_evicted_item() {
+        let mut r = ReservoirSampler::new(1, 3);
+        assert!(matches!(r.offer(7u32), ReservoirDecision::Inserted));
+        // Offer many items; every acceptance must evict the current one.
+        let mut current = 7u32;
+        for i in 100..200u32 {
+            match r.offer(i) {
+                ReservoirDecision::Replaced(old) => {
+                    assert_eq!(old, current);
+                    current = i;
+                }
+                ReservoirDecision::Rejected => {}
+                ReservoirDecision::Inserted => panic!("reservoir was already full"),
+            }
+        }
+        assert_eq!(r.items(), &[current]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_budget_rejected() {
+        ReservoirSampler::<u32>::new(0, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Small deterministic pseudo-random generators.
+//!
+//! The experiment harness needs *reproducible* randomness: every trial is
+//! identified by a `u64` seed, and re-running a trial with the same seed must
+//! produce bit-identical estimates. These generators are tiny (2–4 words of
+//! state), allocation-free and fast enough for per-edge decisions in the
+//! sampling baselines.
+
+use crate::mix::{splitmix64, to_unit_f64, to_unit_open_f64};
+
+/// SplitMix64 generator (Steele, Lea & Flood 2014).
+///
+/// One addition and three xor-multiply rounds per output; passes BigCrush.
+/// Used for seeding and for all per-edge coin flips in the baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Distinct seeds give statistically
+    /// independent streams for all practical purposes.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        // splitmix64 adds the increment itself, so feed it the pre-increment
+        // state minus the constant to avoid double-stepping.
+        splitmix64(self.state.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Returns a float uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        to_unit_f64(self.next_u64())
+    }
+
+    /// Returns a float uniform in `(0, 1]` (safe to divide by).
+    #[inline]
+    pub fn next_open_f64(&mut self) -> f64 {
+        to_unit_open_f64(self.next_u64())
+    }
+
+    /// Returns an integer uniform in `0..n` (Lemire reduction, bias < n/2^64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        crate::mix::reduce_range(self.next_u64(), n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives a child generator; children with distinct `stream` ids are
+    /// independent of each other and of the parent. Used to hand each
+    /// processor / trial its own generator without sequential coupling.
+    #[inline]
+    pub fn fork(&self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(splitmix64(self.state ^ splitmix64(stream ^ 0xDEAD_BEEF_CAFE_F00D)))
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019) — a longer-period generator
+/// (2^256 − 1) for workloads that draw billions of variates, e.g. large
+/// synthetic graph generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the four state words via SplitMix64, as recommended by the
+    /// authors (avoids the all-zero state and correlated seeds).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a float uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        to_unit_f64(self.next_u64())
+    }
+
+    /// Returns an integer uniform in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        crate::mix::reduce_range(self.next_u64(), n)
+    }
+}
+
+/// Fisher–Yates shuffles a slice in place using the supplied generator.
+///
+/// Deterministic given the generator state — stream arrival orders in the
+/// dataset registry are produced this way.
+pub fn shuffle<T>(rng: &mut SplitMix64, items: &mut [T]) {
+    // Standard Fisher–Yates: uniform over all n! permutations.
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let equal = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn coin_matches_probability() {
+        let mut rng = SplitMix64::new(7);
+        let hits = (0..100_000).filter(|_| rng.coin(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn next_below_uniform() {
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[rng.next_below(5) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0);
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_uncorrelated() {
+        let parent = SplitMix64::new(99);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        let equal = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn fork_is_stable_for_same_stream() {
+        let parent = SplitMix64::new(99);
+        let mut a = parent.fork(5);
+        let mut b = parent.fork(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_mean_is_half() {
+        let mut rng = Xoshiro256pp::new(11);
+        let mean = (0..100_000).map(|_| rng.next_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn xoshiro_no_short_cycle() {
+        let mut rng = Xoshiro256pp::new(0);
+        let first = rng.next_u64();
+        let repeats = (0..10_000).filter(|_| rng.next_u64() == first).count();
+        assert!(repeats <= 1);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn shuffle_uniformity_on_three_elements() {
+        // 3! = 6 permutations; chi-square style tolerance check.
+        let mut counts = std::collections::HashMap::new();
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..60_000 {
+            let mut v = [0u8, 1, 2];
+            shuffle(&mut rng, &mut v);
+            *counts.entry(v).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&perm, &c) in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "permutation {perm:?} count {c}"
+            );
+        }
+    }
+}

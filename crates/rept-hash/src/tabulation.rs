@@ -1,0 +1,147 @@
+//! Simple tabulation hashing (Zobrist / Pǎtraşcu–Thorup).
+//!
+//! The multiply-mix family in [`crate::edge_hash`] is fast and passes
+//! every statistical test we throw at it, but carries no independence
+//! *proof*. Simple tabulation is the classic remedy: split the key into
+//! bytes, look each byte up in its own table of random 64-bit words, and
+//! XOR. The family is provably 3-independent (and behaves far better
+//! than that in practice — Pǎtraşcu & Thorup, "The Power of Simple
+//! Tabulation Hashing", STOC 2011), which covers the pairwise
+//! independence Theorem 1 needs with room to spare.
+//!
+//! REPT accepts either family; the `ablation_hash` experiment compares
+//! them (they are statistically indistinguishable on every registry
+//! stream, which is itself a useful sanity result — estimator quality is
+//! not an artifact of one hash construction).
+
+use crate::rng::SplitMix64;
+
+/// Tabulation hasher over 64-bit keys (8 tables × 256 words).
+#[derive(Debug, Clone)]
+pub struct TabulationHasher {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl TabulationHasher {
+    /// Builds the tables from a seed (16 KiB of seeded random words).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x07AB_1A71_04A5_4000u64);
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for table in tables.iter_mut() {
+            for word in table.iter_mut() {
+                *word = rng.next_u64();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Hashes a 64-bit key.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        let bytes = key.to_le_bytes();
+        let mut h = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            h ^= self.tables[i][b as usize];
+        }
+        h
+    }
+
+    /// Hashes an undirected edge `{u, v}` (canonicalised, endpoints
+    /// packed into one 64-bit key — node ids must fit in 32 bits, which
+    /// [`rept-graph`'s `NodeId`] guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an endpoint exceeds 32 bits.
+    #[inline]
+    pub fn hash_edge(&self, u: u64, v: u64) -> u64 {
+        debug_assert!(u <= u32::MAX as u64 && v <= u32::MAX as u64);
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.hash(a << 32 | b)
+    }
+
+    /// Maps an edge into `0..m` (Lemire reduction, like
+    /// [`crate::edge_hash::PartitionHasher`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[inline]
+    pub fn edge_cell(&self, u: u64, v: u64, m: u64) -> u64 {
+        crate::mix::reduce_range(self.hash_edge(u, v), m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = TabulationHasher::new(1);
+        let b = TabulationHasher::new(1);
+        let c = TabulationHasher::new(2);
+        assert_eq!(a.hash(12345), b.hash(12345));
+        assert_ne!(a.hash(12345), c.hash(12345));
+    }
+
+    #[test]
+    fn edge_hash_is_symmetric() {
+        let h = TabulationHasher::new(7);
+        for u in 0..40u64 {
+            for v in 0..40u64 {
+                assert_eq!(h.hash_edge(u, v), h.hash_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_structure_still_separates_near_keys() {
+        // Tabulation's weakness class is structured key sets; verify
+        // sequential keys don't collide in the low bits.
+        let h = TabulationHasher::new(3);
+        let mut low = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for i in 0..4096u64 {
+            if !low.insert(h.hash(i) & 0xFFFF) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions < 300, "{collisions} low-bit collisions");
+    }
+
+    #[test]
+    fn cells_are_uniform() {
+        let h = TabulationHasher::new(11);
+        let m = 10u64;
+        let mut counts = [0u64; 10];
+        for i in 0..100_000u64 {
+            counts[h.edge_cell(i, i + 1, m) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "cell count {c}");
+        }
+    }
+
+    #[test]
+    fn pairwise_independence_statistic() {
+        // P(two distinct edges share a cell) ≈ 1/m.
+        let h = TabulationHasher::new(5);
+        let m = 8u64;
+        let trials = 100_000u64;
+        let same = (0..trials)
+            .filter(|&i| {
+                h.edge_cell(2 * i, 2 * i + 1, m)
+                    == h.edge_cell(300_000 + 2 * i, 300_001 + 2 * i, m)
+            })
+            .count();
+        let rate = same as f64 / trials as f64;
+        assert!((rate - 1.0 / m as f64).abs() < 0.006, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_cells_rejected() {
+        TabulationHasher::new(0).edge_cell(1, 2, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error statistics of a sample of estimates against a known truth.
+
+use crate::welford::Welford;
+
+/// Summary statistics of repeated estimates `µ̂₁ … µ̂ₙ` of a truth `µ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// The true value `µ`.
+    pub truth: f64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Sample mean of the estimates.
+    pub mean: f64,
+    /// `mean − truth`.
+    pub bias: f64,
+    /// Unbiased sample variance of the estimates.
+    pub variance: f64,
+    /// Mean squared error `E[(µ̂ − µ)²]` (computed directly, not via the
+    /// variance decomposition, so it is exact for the sample).
+    pub mse: f64,
+    /// `√MSE / µ` — the paper's metric (§IV-C). `NaN` when `µ = 0`.
+    pub nrmse: f64,
+}
+
+impl ErrorStats {
+    /// Computes statistics from a sample of estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn from_samples(estimates: &[f64], truth: f64) -> Self {
+        assert!(!estimates.is_empty(), "need at least one trial");
+        let mut acc = Welford::new();
+        let mut sq_err = 0.0f64;
+        for &e in estimates {
+            acc.push(e);
+            sq_err += (e - truth) * (e - truth);
+        }
+        let mse = sq_err / estimates.len() as f64;
+        Self {
+            truth,
+            trials: estimates.len() as u64,
+            mean: acc.mean(),
+            bias: acc.mean() - truth,
+            variance: acc.variance().unwrap_or(0.0),
+            mse,
+            nrmse: if truth != 0.0 {
+                mse.sqrt() / truth
+            } else {
+                f64::NAN
+            },
+        }
+    }
+
+    /// Relative bias `|bias| / truth` (`NaN` when `truth = 0`).
+    pub fn relative_bias(&self) -> f64 {
+        if self.truth != 0.0 {
+            self.bias.abs() / self.truth
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// One-shot NRMSE of a sample (convenience wrapper).
+pub fn nrmse(estimates: &[f64], truth: f64) -> f64 {
+    ErrorStats::from_samples(estimates, truth).nrmse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let s = ErrorStats::from_samples(&[10.0, 10.0, 10.0], 10.0);
+        assert_eq!(s.bias, 0.0);
+        assert_eq!(s.mse, 0.0);
+        assert_eq!(s.nrmse, 0.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // Estimates 8 and 12 of truth 10: MSE = 4, NRMSE = 0.2.
+        let s = ErrorStats::from_samples(&[8.0, 12.0], 10.0);
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.bias, 0.0);
+        assert_eq!(s.mse, 4.0);
+        assert!((s.nrmse - 0.2).abs() < 1e-12);
+        assert_eq!(s.variance, 8.0); // unbiased: ((−2)² + 2²)/1
+    }
+
+    #[test]
+    fn mse_decomposition_holds() {
+        // MSE = population variance + bias².
+        let est = [1.0, 2.0, 4.0, 9.0];
+        let s = ErrorStats::from_samples(&est, 3.0);
+        let pop_var = est
+            .iter()
+            .map(|e| (e - s.mean) * (e - s.mean))
+            .sum::<f64>()
+            / est.len() as f64;
+        assert!((s.mse - (pop_var + s.bias * s.bias)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_gives_nan_nrmse() {
+        let s = ErrorStats::from_samples(&[0.5], 0.0);
+        assert!(s.nrmse.is_nan());
+        assert!(s.relative_bias().is_nan());
+    }
+
+    #[test]
+    fn nrmse_helper_matches_struct() {
+        let est = [9.0, 11.0, 10.5];
+        assert_eq!(nrmse(&est, 10.0), ErrorStats::from_samples(&est, 10.0).nrmse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn empty_sample_panics() {
+        ErrorStats::from_samples(&[], 1.0);
+    }
+}

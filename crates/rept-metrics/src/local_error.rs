@@ -1,0 +1,191 @@
+//! Local (per-node) NRMSE aggregation.
+//!
+//! Figures 5 and 6 of the paper report a single local-error number per
+//! `(method, dataset, c)` point. Following the convention of the MASCOT
+//! and TRIÈST papers, we compute per-node NRMSE over repeated trials and
+//! average it across the nodes that participate in **at least one
+//! triangle** (`τ_v > 0`; for other nodes NRMSE is undefined — division
+//! by zero truth).
+//!
+//! The accumulator stores one running sum of squared errors per triangle
+//! node, so memory is `O(|{v : τ_v > 0}|)` regardless of trial count.
+
+use rept_exact::GroundTruth;
+use rept_graph::edge::NodeId;
+use rept_hash::fx::FxHashMap;
+
+/// Accumulates per-node squared errors across trials.
+#[derive(Debug, Clone)]
+pub struct LocalErrorAccumulator {
+    /// Σ over trials of `(τ̂_v − τ_v)²`, for every triangle node.
+    sq_err: FxHashMap<NodeId, f64>,
+    trials: u64,
+}
+
+impl LocalErrorAccumulator {
+    /// Creates an accumulator for the triangle nodes of `gt`.
+    pub fn new(gt: &GroundTruth) -> Self {
+        let mut sq_err = FxHashMap::default();
+        sq_err.reserve(gt.tau_v.len());
+        for &v in gt.tau_v.keys() {
+            sq_err.insert(v, 0.0);
+        }
+        Self { sq_err, trials: 0 }
+    }
+
+    /// Records one trial's local estimates. Absent nodes count as
+    /// estimate 0 (exactly what every sampler reports for nodes it never
+    /// saw a semi-triangle for).
+    pub fn add_trial(&mut self, locals: &FxHashMap<NodeId, f64>, gt: &GroundTruth) {
+        self.trials += 1;
+        for (v, acc) in self.sq_err.iter_mut() {
+            let truth = gt.local(*v) as f64;
+            let est = locals.get(v).copied().unwrap_or(0.0);
+            *acc += (est - truth) * (est - truth);
+        }
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The aggregate metric: mean over triangle nodes of
+    /// `√(mean squared error) / τ_v`.
+    ///
+    /// Returns `None` when no trials were recorded or the graph has no
+    /// triangle nodes.
+    pub fn mean_nrmse(&self, gt: &GroundTruth) -> Option<f64> {
+        if self.trials == 0 || self.sq_err.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (v, &sq) in &self.sq_err {
+            let truth = gt.local(*v) as f64;
+            debug_assert!(truth > 0.0, "accumulator only tracks triangle nodes");
+            sum += (sq / self.trials as f64).sqrt() / truth;
+        }
+        Some(sum / self.sq_err.len() as f64)
+    }
+
+    /// As [`Self::mean_nrmse`], restricted to nodes with `τ_v ≥ min_tau`.
+    ///
+    /// The plain node-mean is dominated by the long tail of `τ_v ∈ {1, 2}`
+    /// nodes whose local η_v is zero — precisely the nodes where REPT's
+    /// covariance elimination cannot help, so method differences wash out
+    /// at small scale. Heavy nodes (large `τ_v`, nonzero `η_v`) are where
+    /// the paper's local-count use cases live (hubs, spam farms) and where
+    /// the variance theory separates the methods; the figure binaries
+    /// report both views.
+    pub fn mean_nrmse_min_tau(&self, gt: &GroundTruth, min_tau: u64) -> Option<f64> {
+        if self.trials == 0 {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (v, &sq) in &self.sq_err {
+            let truth = gt.local(*v);
+            if truth >= min_tau {
+                sum += (sq / self.trials as f64).sqrt() / truth as f64;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// Per-node NRMSE (diagnostic view), sorted by node id.
+    pub fn per_node_nrmse(&self, gt: &GroundTruth) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = self
+            .sq_err
+            .iter()
+            .map(|(&v, &sq)| {
+                let truth = gt.local(v) as f64;
+                (v, (sq / self.trials.max(1) as f64).sqrt() / truth)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(v, _)| v);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_graph::edge::Edge;
+
+    fn triangle_gt() -> GroundTruth {
+        GroundTruth::compute(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+    }
+
+    fn locals(vals: &[(NodeId, f64)]) -> FxHashMap<NodeId, f64> {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_locals_have_zero_error() {
+        let gt = triangle_gt();
+        let mut acc = LocalErrorAccumulator::new(&gt);
+        acc.add_trial(&locals(&[(0, 1.0), (1, 1.0), (2, 1.0)]), &gt);
+        acc.add_trial(&locals(&[(0, 1.0), (1, 1.0), (2, 1.0)]), &gt);
+        assert_eq!(acc.mean_nrmse(&gt), Some(0.0));
+    }
+
+    #[test]
+    fn missing_nodes_count_as_zero_estimate() {
+        let gt = triangle_gt(); // τ_v = 1 for each of three nodes
+        let mut acc = LocalErrorAccumulator::new(&gt);
+        acc.add_trial(&FxHashMap::default(), &gt);
+        // Every node: error = 1, NRMSE = 1; mean = 1.
+        assert_eq!(acc.mean_nrmse(&gt), Some(1.0));
+    }
+
+    #[test]
+    fn mixed_trials_average_per_node_then_across_nodes() {
+        let gt = triangle_gt();
+        let mut acc = LocalErrorAccumulator::new(&gt);
+        // Trial 1: node 0 estimate 2 (err 1), others exact.
+        acc.add_trial(&locals(&[(0, 2.0), (1, 1.0), (2, 1.0)]), &gt);
+        // Trial 2: all exact.
+        acc.add_trial(&locals(&[(0, 1.0), (1, 1.0), (2, 1.0)]), &gt);
+        // Node 0: RMSE = √(1/2); others 0; mean = √0.5 / 3.
+        let expected = (0.5f64).sqrt() / 3.0;
+        assert!((acc.mean_nrmse(&gt).unwrap() - expected).abs() < 1e-12);
+        let per = acc.per_node_nrmse(&gt);
+        assert_eq!(per.len(), 3);
+        assert!((per[0].1 - (0.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(per[1].1, 0.0);
+    }
+
+    #[test]
+    fn no_trials_yields_none() {
+        let gt = triangle_gt();
+        let acc = LocalErrorAccumulator::new(&gt);
+        assert_eq!(acc.mean_nrmse(&gt), None);
+    }
+
+    #[test]
+    fn triangle_free_graph_yields_none() {
+        let gt = GroundTruth::compute(&[Edge::new(0, 1), Edge::new(1, 2)]);
+        let mut acc = LocalErrorAccumulator::new(&gt);
+        acc.add_trial(&FxHashMap::default(), &gt);
+        assert_eq!(acc.mean_nrmse(&gt), None);
+    }
+
+    #[test]
+    fn extra_nodes_in_estimates_are_ignored() {
+        // Estimators can report spurious nonzero estimates for nodes with
+        // τ_v = 0 (semi-triangles that aren't real triangles); the metric
+        // is defined over τ_v > 0 nodes only.
+        let gt = triangle_gt();
+        let mut acc = LocalErrorAccumulator::new(&gt);
+        acc.add_trial(
+            &locals(&[(0, 1.0), (1, 1.0), (2, 1.0), (99, 5.0)]),
+            &gt,
+        );
+        assert_eq!(acc.mean_nrmse(&gt), Some(0.0));
+    }
+}

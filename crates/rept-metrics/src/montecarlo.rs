@@ -1,0 +1,157 @@
+//! Monte-Carlo trial runners.
+//!
+//! Every accuracy number in the evaluation is an expectation over the
+//! estimator's internal randomness (hash seeds, sampling coins) with the
+//! *stream held fixed*. These helpers run an estimator closure across
+//! seeds and fold the outputs into [`ErrorStats`] / local NRMSE.
+
+use rept_exact::GroundTruth;
+use rept_graph::edge::NodeId;
+use rept_hash::fx::FxHashMap;
+
+use crate::error::ErrorStats;
+use crate::local_error::LocalErrorAccumulator;
+
+/// Output of one estimator trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutput {
+    /// Global estimate `τ̂`.
+    pub global: f64,
+    /// Local estimates `τ̂_v` (empty if the estimator skipped locals).
+    pub locals: FxHashMap<NodeId, f64>,
+}
+
+/// Nodes with `τ_v` at or above this count as "heavy" in the secondary
+/// local metric (see
+/// [`LocalErrorAccumulator::mean_nrmse_min_tau`]).
+pub const HEAVY_TAU: u64 = 20;
+
+/// Result of a full Monte-Carlo evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Statistics of the global estimates.
+    pub global: ErrorStats,
+    /// Mean per-node NRMSE over triangle nodes (`None` when locals were
+    /// not produced or the graph is triangle-free).
+    pub local_nrmse: Option<f64>,
+    /// Mean per-node NRMSE over heavy nodes (`τ_v ≥` [`HEAVY_TAU`]);
+    /// `None` when locals were off or no node qualifies.
+    pub local_nrmse_heavy: Option<f64>,
+}
+
+/// Runs `trials` global-only trials; `runner(seed)` returns `τ̂`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn run_global_trials(
+    trials: u64,
+    truth: f64,
+    mut runner: impl FnMut(u64) -> f64,
+) -> ErrorStats {
+    assert!(trials > 0, "need at least one trial");
+    let estimates: Vec<f64> = (0..trials).map(&mut runner).collect();
+    ErrorStats::from_samples(&estimates, truth)
+}
+
+/// Runs `trials` full trials (global + locals) against ground truth.
+///
+/// Seeds are `base_seed + trial_index`, so experiments are reproducible
+/// and different methods can share the same seed sequence.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn run_trials(
+    trials: u64,
+    base_seed: u64,
+    gt: &GroundTruth,
+    mut runner: impl FnMut(u64) -> TrialOutput,
+) -> EvalResult {
+    assert!(trials > 0, "need at least one trial");
+    let mut globals = Vec::with_capacity(trials as usize);
+    let mut local_acc = LocalErrorAccumulator::new(gt);
+    let mut any_locals = false;
+    for t in 0..trials {
+        let out = runner(base_seed.wrapping_add(t));
+        globals.push(out.global);
+        if !out.locals.is_empty() {
+            any_locals = true;
+        }
+        local_acc.add_trial(&out.locals, gt);
+    }
+    EvalResult {
+        global: ErrorStats::from_samples(&globals, gt.tau as f64),
+        local_nrmse: if any_locals {
+            local_acc.mean_nrmse(gt)
+        } else {
+            None
+        },
+        local_nrmse_heavy: if any_locals {
+            local_acc.mean_nrmse_min_tau(gt, HEAVY_TAU)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_graph::edge::Edge;
+
+    fn gt() -> GroundTruth {
+        GroundTruth::compute(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+    }
+
+    #[test]
+    fn global_trials_fold_correctly() {
+        // Estimates alternate 0 and 2 around truth 1 → MSE 1, NRMSE 1.
+        let stats = run_global_trials(100, 1.0, |seed| (seed % 2) as f64 * 2.0);
+        assert_eq!(stats.trials, 100);
+        assert!((stats.nrmse - 1.0).abs() < 1e-12);
+        assert!((stats.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_trials_produce_both_metrics() {
+        let gt = gt();
+        let result = run_trials(10, 0, &gt, |seed| TrialOutput {
+            global: 1.0 + (seed % 2) as f64, // alternates 1, 2
+            locals: [(0u32, 1.0), (1, 1.0), (2, 1.0)].into_iter().collect(),
+        });
+        assert_eq!(result.global.truth, 1.0);
+        assert!(result.global.nrmse > 0.0);
+        assert_eq!(result.local_nrmse, Some(0.0));
+    }
+
+    #[test]
+    fn seeds_are_sequential_from_base() {
+        let gt = gt();
+        let mut seen = Vec::new();
+        let _ = run_trials(5, 100, &gt, |seed| {
+            seen.push(seed);
+            TrialOutput {
+                global: 1.0,
+                locals: FxHashMap::default(),
+            }
+        });
+        assert_eq!(seen, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn empty_locals_suppress_local_metric() {
+        let gt = gt();
+        let result = run_trials(3, 0, &gt, |_| TrialOutput {
+            global: 1.0,
+            locals: FxHashMap::default(),
+        });
+        assert_eq!(result.local_nrmse, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        run_global_trials(0, 1.0, |_| 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Ranking quality of local-count estimates.
+//!
+//! The paper's motivating local-count applications (spam/sybil detection,
+//! social-role identification) consume `τ̂_v` through *rankings* — "which
+//! nodes have the most triangles" — not through the raw values. These
+//! metrics quantify how well an estimated ranking matches the exact one:
+//!
+//! * [`precision_at_k`] — fraction of the true top-k recovered in the
+//!   estimated top-k (the spam-detection yardstick);
+//! * [`kendall_tau_top`] — Kendall rank correlation restricted to the true
+//!   top-k (order quality among the heavy hitters).
+
+use rept_graph::edge::NodeId;
+use rept_hash::fx::{FxHashMap, FxHashSet};
+
+/// Sorts nodes by score descending, breaking ties by ascending node id
+/// (deterministic rankings for equal scores).
+fn ranked(scores: &FxHashMap<NodeId, f64>) -> Vec<NodeId> {
+    let mut v: Vec<(NodeId, f64)> = scores.iter().map(|(&n, &s)| (n, s)).collect();
+    v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.into_iter().map(|(n, _)| n).collect()
+}
+
+/// Precision@k: `|top_k(estimates) ∩ top_k(truth)| / k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k` exceeds either population size.
+pub fn precision_at_k(
+    estimates: &FxHashMap<NodeId, f64>,
+    truth: &FxHashMap<NodeId, f64>,
+    k: usize,
+) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        k <= truth.len(),
+        "k = {k} exceeds truth population {}",
+        truth.len()
+    );
+    let top_true: FxHashSet<NodeId> = ranked(truth).into_iter().take(k).collect();
+    let hits = ranked(estimates)
+        .into_iter()
+        .take(k)
+        .filter(|n| top_true.contains(n))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Kendall's τ-a over the true top-`k` nodes: concordant minus discordant
+/// pairs, over all pairs, comparing the estimated scores' order with the
+/// true scores' order. Returns a value in `[−1, 1]`; ties in either score
+/// count as discordant-neutral (0 contribution).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the truth population.
+pub fn kendall_tau_top(
+    estimates: &FxHashMap<NodeId, f64>,
+    truth: &FxHashMap<NodeId, f64>,
+    k: usize,
+) -> f64 {
+    assert!(k >= 2, "need at least two nodes for rank correlation");
+    assert!(k <= truth.len(), "k exceeds truth population");
+    let top: Vec<NodeId> = ranked(truth).into_iter().take(k).collect();
+    let est_of = |n: NodeId| estimates.get(&n).copied().unwrap_or(0.0);
+    let truth_of = |n: NodeId| truth[&n];
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..top.len() {
+        for j in (i + 1)..top.len() {
+            let dt = truth_of(top[i]) - truth_of(top[j]);
+            let de = est_of(top[i]) - est_of(top[j]);
+            let prod = dt * de;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (k * (k - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(vals: &[(NodeId, f64)]) -> FxHashMap<NodeId, f64> {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking() {
+        let truth = scores(&[(0, 30.0), (1, 20.0), (2, 10.0), (3, 1.0)]);
+        assert_eq!(precision_at_k(&truth, &truth, 2), 1.0);
+        assert_eq!(kendall_tau_top(&truth, &truth, 4), 1.0);
+    }
+
+    #[test]
+    fn disjoint_topk_is_zero_precision() {
+        let truth = scores(&[(0, 30.0), (1, 20.0), (2, 1.0), (3, 0.5)]);
+        let est = scores(&[(0, 0.0), (1, 0.0), (2, 9.0), (3, 8.0)]);
+        assert_eq!(precision_at_k(&est, &truth, 2), 0.0);
+    }
+
+    #[test]
+    fn reversed_order_is_negative_tau() {
+        let truth = scores(&[(0, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)]);
+        let est = scores(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        assert_eq!(kendall_tau_top(&est, &truth, 4), -1.0);
+    }
+
+    #[test]
+    fn missing_estimates_count_as_zero() {
+        let truth = scores(&[(0, 10.0), (1, 5.0), (2, 2.0)]);
+        let est = scores(&[(0, 10.0)]); // nodes 1, 2 unseen
+        // Node 0 ordered above both zeros: 2 concordant pairs; the (1,2)
+        // pair ties at 0 → neutral. τ = 2/3.
+        assert!((kendall_tau_top(&est, &truth, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&est, &truth, 1), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let truth = scores(&[(0, 9.0), (1, 8.0), (2, 7.0), (3, 1.0)]);
+        let est = scores(&[(0, 9.0), (3, 8.0), (2, 7.0), (1, 1.0)]);
+        // top-2(truth) = {0,1}; top-2(est) = {0,3} → precision 0.5.
+        assert_eq!(precision_at_k(&est, &truth, 2), 0.5);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let t = scores(&[(5, 1.0), (2, 1.0), (9, 1.0)]);
+        assert_eq!(ranked(&t), vec![2, 5, 9], "ascending id among ties");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let t = scores(&[(0, 1.0)]);
+        precision_at_k(&t, &t, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds truth")]
+    fn oversized_k_panics() {
+        let t = scores(&[(0, 1.0)]);
+        precision_at_k(&t, &t, 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime measurement and the simulated parallel wall-clock model.
+//!
+//! The paper's runtime experiments (Figs. 7–8) ran on a multi-core Xeon.
+//! The reproduction host may have a single core, so real wall-clock for a
+//! `c`-thread run would serialise and tell us nothing about the paper's
+//! claim. We therefore measure **per-processor CPU work** and report the
+//! *simulated* wall-clock of an ideal `c`-way machine:
+//!
+//! `simulated_wall = max_i(work_i)` for processors that run concurrently,
+//! plus any sequential coordinator work. This is exactly the quantity the
+//! paper's figures compare, because REPT/MASCOT/TRIÈST/GPS processors
+//! never synchronise during the stream. EXPERIMENTS.md documents the model
+//! next to every runtime table.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its output and the elapsed wall time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Accumulates per-processor work durations and produces the simulated
+/// parallel wall-clock.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeModel {
+    per_processor: Vec<Duration>,
+    sequential: Duration,
+}
+
+impl RuntimeModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the measured work of one processor.
+    pub fn record_processor(&mut self, work: Duration) {
+        self.per_processor.push(work);
+    }
+
+    /// Records work that cannot be parallelised (stream ingestion,
+    /// estimate combination).
+    pub fn record_sequential(&mut self, work: Duration) {
+        self.sequential += work;
+    }
+
+    /// Number of processors recorded.
+    pub fn processors(&self) -> usize {
+        self.per_processor.len()
+    }
+
+    /// The simulated wall-clock: `max(processor work) + sequential work`.
+    pub fn simulated_wall(&self) -> Duration {
+        self.per_processor.iter().max().copied().unwrap_or_default() + self.sequential
+    }
+
+    /// Total CPU work across processors plus sequential work — what a
+    /// single-core execution would take.
+    pub fn total_cpu(&self) -> Duration {
+        self.per_processor.iter().sum::<Duration>() + self.sequential
+    }
+
+    /// Parallel speedup this workload would enjoy on `processors()` cores:
+    /// `total_cpu / simulated_wall` (1.0 when nothing was recorded).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.simulated_wall().as_secs_f64();
+        if wall == 0.0 {
+            1.0
+        } else {
+            self.total_cpu().as_secs_f64() / wall
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (out, d) = time(|| {
+            let mut x = 0u64;
+            for i in 0..100_000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert_eq!(out, 4999950000);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn simulated_wall_is_max_plus_sequential() {
+        let mut m = RuntimeModel::new();
+        m.record_processor(Duration::from_millis(10));
+        m.record_processor(Duration::from_millis(30));
+        m.record_processor(Duration::from_millis(20));
+        m.record_sequential(Duration::from_millis(5));
+        assert_eq!(m.simulated_wall(), Duration::from_millis(35));
+        assert_eq!(m.total_cpu(), Duration::from_millis(65));
+        assert_eq!(m.processors(), 3);
+    }
+
+    #[test]
+    fn speedup_reflects_balance() {
+        let mut balanced = RuntimeModel::new();
+        for _ in 0..4 {
+            balanced.record_processor(Duration::from_millis(10));
+        }
+        assert!((balanced.speedup() - 4.0).abs() < 1e-9);
+
+        let mut skewed = RuntimeModel::new();
+        skewed.record_processor(Duration::from_millis(40));
+        skewed.record_processor(Duration::from_millis(1));
+        assert!(skewed.speedup() < 1.1);
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = RuntimeModel::new();
+        assert_eq!(m.simulated_wall(), Duration::ZERO);
+        assert_eq!(m.speedup(), 1.0);
+    }
+}

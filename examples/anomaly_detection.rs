@@ -1,0 +1,77 @@
+//! Interval-based network monitoring — the paper's motivating scenario.
+//!
+//! §II motivates REPT with "Π is a network packet stream collected on a
+//! router in a time interval … one wants to compute global and local
+//! triangle counts for each interval". Sudden triangle-density spikes are
+//! a classic signature of coordinated behaviour (botnets, link farms).
+//!
+//! This example builds a stream of 8 equal intervals of background
+//! traffic, injects a dense clique ("coordinated attack") into interval 5,
+//! runs REPT independently per interval, and flags intervals whose
+//! estimated triangle count exceeds a running robust threshold.
+//!
+//! Run: `cargo run --release --example anomaly_detection`
+
+use rept::core::{Rept, ReptConfig};
+use rept::exact::GroundTruth;
+use rept::gen::{erdos_renyi, planted_cliques, stream_order, GeneratorConfig};
+use rept::graph::edge::Edge;
+
+const INTERVALS: usize = 8;
+const EDGES_PER_INTERVAL: usize = 4_000;
+const ATTACK_INTERVAL: usize = 5;
+
+fn main() {
+    // Background: sparse ER traffic, fresh seed per interval.
+    let mut intervals: Vec<Vec<Edge>> = (0..INTERVALS)
+        .map(|i| {
+            let cfg = GeneratorConfig::new(2_000, 1000 + i as u64);
+            erdos_renyi(&cfg, EDGES_PER_INTERVAL)
+        })
+        .collect();
+
+    // The attack: a 30-clique (435 edges) among otherwise normal traffic.
+    let attack_cfg = GeneratorConfig::new(2_000, 77);
+    let clique = planted_cliques(&attack_cfg, 1, 30, 0);
+    intervals[ATTACK_INTERVAL].truncate(EDGES_PER_INTERVAL - clique.len());
+    intervals[ATTACK_INTERVAL].extend(clique);
+    let attacked = stream_order(std::mem::take(&mut intervals[ATTACK_INTERVAL]), 5);
+    intervals[ATTACK_INTERVAL] = attacked;
+
+    println!("interval   τ̂(REPT)    τ(exact)   flagged");
+    let mut history: Vec<f64> = Vec::new();
+    let mut flagged = Vec::new();
+    for (i, interval) in intervals.iter().enumerate() {
+        // Fresh estimator per interval — the streaming state resets at
+        // interval boundaries, exactly like the paper's router scenario.
+        let rept = Rept::new(ReptConfig::new(4, 4).with_seed(9 + i as u64).with_locals(false));
+        let est = rept.run_sequential(interval.iter().copied()).global;
+        let exact = GroundTruth::compute(interval).tau;
+
+        // Robust threshold: 5× the median of past intervals (needs ≥ 2).
+        let is_anomaly = if history.len() >= 2 {
+            let mut sorted = history.clone();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            est > 5.0 * median.max(1.0)
+        } else {
+            false
+        };
+        if is_anomaly {
+            flagged.push(i);
+        } else {
+            history.push(est);
+        }
+        println!(
+            "{i:>8}   {est:>8.0}   {exact:>9}   {}",
+            if is_anomaly { "<-- ANOMALY" } else { "" }
+        );
+    }
+
+    assert_eq!(
+        flagged,
+        vec![ATTACK_INTERVAL],
+        "detector should flag exactly the attack interval"
+    );
+    println!("\nflagged interval {ATTACK_INTERVAL} — the planted 30-clique. Detection succeeded.");
+}

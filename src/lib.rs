@@ -1,0 +1,51 @@
+//! # rept — parallel streaming triangle counting
+//!
+//! A Rust implementation of **REPT** (*Random Edge Partition and Triangle
+//! counting*), the one-pass parallel streaming algorithm for approximating
+//! global and local triangle counts from:
+//!
+//! > Pinghui Wang, Peng Jia, Yiyan Qi, Yu Sun, Jing Tao, Xiaohong Guan.
+//! > "REPT: A Streaming Algorithm of Approximating Global and Local Triangle
+//! > Counts in Parallel." ICDE 2019.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — edge/stream/adjacency substrate ([`rept_graph`])
+//! * [`hash`] — hashing & sampling primitives ([`rept_hash`])
+//! * [`gen`] — synthetic graph generators & dataset registry ([`rept_gen`])
+//! * [`exact`] — exact ground-truth counting incl. `η` ([`rept_exact`])
+//! * [`core`] — the REPT estimator itself ([`rept_core`])
+//! * [`baselines`] — MASCOT, TRIÈST, GPS and parallel averaging
+//!   ([`rept_baselines`])
+//! * [`metrics`] — NRMSE & Monte-Carlo experiment harness ([`rept_metrics`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rept::core::{Rept, ReptConfig};
+//! use rept::gen::{GeneratorConfig, barabasi_albert};
+//! use rept::exact::StreamingExact;
+//!
+//! // A small synthetic stream.
+//! let stream = barabasi_albert(&GeneratorConfig::new(500, 42), 5);
+//!
+//! // Ground truth.
+//! let mut exact = StreamingExact::new();
+//! for &e in &stream { exact.process(e); }
+//!
+//! // REPT with m = 4 (sampling probability 1/4) and c = 4 processors.
+//! let cfg = ReptConfig::new(4, 4).with_seed(7);
+//! let est = Rept::new(cfg).run_sequential(stream.iter().copied());
+//!
+//! let tau = exact.global() as f64;
+//! let rel_err = (est.global - tau).abs() / tau;
+//! assert!(rel_err < 0.5, "estimate {} vs exact {tau}", est.global);
+//! ```
+
+pub use rept_baselines as baselines;
+pub use rept_core as core;
+pub use rept_exact as exact;
+pub use rept_gen as gen;
+pub use rept_graph as graph;
+pub use rept_hash as hash;
+pub use rept_metrics as metrics;

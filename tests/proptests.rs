@@ -1,0 +1,161 @@
+//! Property-based tests over the whole stack (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rept::core::{EtaMode, Rept, ReptConfig};
+use rept::exact::static_count::brute_force_count;
+use rept::exact::{forward_count, GroundTruth, StreamingExact};
+use rept::gen::stream_order;
+use rept::graph::csr::CsrGraph;
+use rept::graph::edge::Edge;
+use rept::graph::stream::dedup_stream;
+
+/// Strategy: a random simple stream on up to `n` nodes.
+fn arb_stream(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    vec((0..n, 0..n), 1..max_edges).prop_map(|pairs| {
+        let mut b = rept::graph::GraphBuilder::new();
+        for (u, v) in pairs {
+            b.add(u, v);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The streaming exact counter agrees with the independent forward
+    /// algorithm on τ and every τ_v, for any stream.
+    #[test]
+    fn streaming_matches_forward(stream in arb_stream(24, 120)) {
+        let mut s = StreamingExact::new();
+        s.process_stream(stream.iter().copied());
+        let csr = CsrGraph::from_edges(&stream);
+        let fwd = forward_count(&csr);
+        prop_assert_eq!(s.global(), fwd.global);
+        for v in 0..csr.node_count() as u32 {
+            prop_assert_eq!(s.local(v), fwd.local[v as usize]);
+        }
+    }
+
+    /// … and the forward algorithm agrees with brute force.
+    #[test]
+    fn forward_matches_brute_force(stream in arb_stream(16, 60)) {
+        let csr = CsrGraph::from_edges(&stream);
+        prop_assert_eq!(forward_count(&csr), brute_force_count(&csr));
+    }
+
+    /// The η accumulator always satisfies η = Σ_g C(t_g, 2).
+    #[test]
+    fn eta_identity(stream in arb_stream(20, 100)) {
+        let mut s = StreamingExact::new();
+        s.process_stream(stream.iter().copied());
+        prop_assert_eq!(s.eta(), s.eta_from_identity());
+    }
+
+    /// η is invariant under relabeling but NOT under reordering; τ is
+    /// invariant under both. (Reordering invariance of τ is the property
+    /// actually asserted; η's order-dependence is witnessed elsewhere.)
+    #[test]
+    fn tau_is_order_invariant(stream in arb_stream(20, 80), seed in any::<u64>()) {
+        let reordered = stream_order(stream.clone(), seed);
+        let a = GroundTruth::compute(&stream);
+        let b = GroundTruth::compute(&reordered);
+        prop_assert_eq!(a.tau, b.tau);
+        for (v, t) in &a.tau_v {
+            prop_assert_eq!(b.local(*v), *t);
+        }
+    }
+
+    /// A REPT worker that stores everything reproduces the exact counter,
+    /// for any stream (worker ≡ Algorithm 2 at p = 1).
+    #[test]
+    fn worker_at_p1_is_exact(stream in arb_stream(20, 80)) {
+        use rept::core::worker::SemiTriangleWorker;
+        let mut w = SemiTriangleWorker::new(true, true, EtaMode::StrictNonLast);
+        let mut exact = StreamingExact::new();
+        for &e in &stream {
+            let closed = w.observe(e);
+            w.store(e, closed);
+            exact.process(e);
+        }
+        prop_assert_eq!(w.tau(), exact.global());
+        prop_assert_eq!(w.eta(), exact.eta());
+    }
+
+    /// REPT's sequential and threaded drivers agree for arbitrary
+    /// streams and processor layouts.
+    #[test]
+    fn drivers_agree(
+        stream in arb_stream(30, 120),
+        m in 2u64..6,
+        c in 1u64..14,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let rept = Rept::new(ReptConfig::new(m, c).with_seed(seed));
+        let seq = rept.run_sequential(stream.iter().copied());
+        let thr = rept.run_threaded(&stream, threads);
+        prop_assert_eq!(seq.global, thr.global);
+        prop_assert_eq!(seq.locals, thr.locals);
+    }
+
+    /// REPT's global estimate is always non-negative and zero on
+    /// triangle-free streams.
+    #[test]
+    fn estimates_are_sane(stream in arb_stream(30, 100), seed in any::<u64>()) {
+        let est = Rept::new(ReptConfig::new(3, 5).with_seed(seed))
+            .run_sequential(stream.iter().copied());
+        prop_assert!(est.global >= 0.0);
+        let gt = GroundTruth::compute(&stream);
+        if gt.tau == 0 {
+            prop_assert_eq!(est.global, 0.0);
+        }
+        // Locals are non-negative and only present for seen nodes.
+        for &l in est.locals.values() {
+            prop_assert!(l >= 0.0);
+        }
+    }
+
+    /// Deduplication is idempotent and order-preserving.
+    #[test]
+    fn dedup_idempotent(stream in arb_stream(20, 80)) {
+        let once = dedup_stream(&stream);
+        let twice = dedup_stream(&once);
+        prop_assert_eq!(&once, &twice);
+        // The fixture streams are already simple, so dedup is identity.
+        prop_assert_eq!(once, stream);
+    }
+
+    /// CSR construction is stable under permutation of the input edges.
+    #[test]
+    fn csr_is_order_independent(stream in arb_stream(20, 80), seed in any::<u64>()) {
+        let shuffled = stream_order(stream.clone(), seed);
+        let a = CsrGraph::from_edges(&stream);
+        let b = CsrGraph::from_edges(&shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The binary I/O format round-trips arbitrary simple streams.
+    #[test]
+    fn binary_io_roundtrip(stream in arb_stream(40, 100)) {
+        let mut buf = Vec::new();
+        rept::graph::io::write_binary(&mut buf, &stream).unwrap();
+        let back = rept::graph::io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, stream);
+    }
+
+    /// The partition hash distributes any edge set across cells with no
+    /// empty cell for reasonably large inputs (sanity floor — uniformity
+    /// is tested statistically in rept-hash).
+    #[test]
+    fn partition_covers_cells(seed in any::<u64>()) {
+        use rept::hash::{EdgeHashFamily, PartitionHasher};
+        let ph = PartitionHasher::new(EdgeHashFamily::new(seed).member(0), 4);
+        let mut hit = [false; 4];
+        for i in 0..400u64 {
+            hit[ph.cell(i, i + 1) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h));
+    }
+}
