@@ -74,7 +74,8 @@ impl StreamingTriangleCounter for Mascot {
         let (u, v) = e.endpoints();
         self.scratch.clear();
         let scratch = &mut self.scratch;
-        self.sample.for_each_common_neighbor(u, v, |w| scratch.push(w));
+        self.sample
+            .for_each_common_neighbor(u, v, |w| scratch.push(w));
         if !self.scratch.is_empty() {
             let closed = self.scratch.len() as f64;
             self.tau += closed * self.inv_p2;
@@ -153,7 +154,8 @@ impl StreamingTriangleCounter for MascotBasic {
         let (u, v) = e.endpoints();
         self.scratch.clear();
         let scratch = &mut self.scratch;
-        self.sample.for_each_common_neighbor(u, v, |w| scratch.push(w));
+        self.sample
+            .for_each_common_neighbor(u, v, |w| scratch.push(w));
         let closed = self.scratch.len() as u64;
         if closed > 0 {
             self.raw_tau += closed;
@@ -267,8 +269,7 @@ mod tests {
             })
             .collect();
         let mean = estimates.iter().sum::<f64>() / trials as f64;
-        let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-            / (trials - 1) as f64;
+        let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
         assert!(
             (var - expected).abs() < expected * 0.15,
             "empirical {var} vs theory {expected}"

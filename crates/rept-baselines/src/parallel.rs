@@ -50,12 +50,18 @@ impl<A: StreamingTriangleCounter> StreamingTriangleCounter for ParallelAveraged<
     }
 
     fn global_estimate(&self) -> f64 {
-        self.instances.iter().map(|i| i.global_estimate()).sum::<f64>()
+        self.instances
+            .iter()
+            .map(|i| i.global_estimate())
+            .sum::<f64>()
             / self.instances.len() as f64
     }
 
     fn local_estimate(&self, v: NodeId) -> f64 {
-        self.instances.iter().map(|i| i.local_estimate(v)).sum::<f64>()
+        self.instances
+            .iter()
+            .map(|i| i.local_estimate(v))
+            .sum::<f64>()
             / self.instances.len() as f64
     }
 
@@ -88,12 +94,7 @@ impl<A: StreamingTriangleCounter> StreamingTriangleCounter for ParallelAveraged<
 /// # Panics
 ///
 /// Panics if `c == 0` or `threads == 0`.
-pub fn run_parallel_threaded<A, F>(
-    c: usize,
-    threads: usize,
-    stream: &[Edge],
-    factory: F,
-) -> Vec<A>
+pub fn run_parallel_threaded<A, F>(c: usize, threads: usize, stream: &[Edge], factory: F) -> Vec<A>
 where
     A: StreamingTriangleCounter + Send,
     F: Fn(usize) -> A + Sync,
@@ -158,9 +159,8 @@ mod tests {
         let var_of = |c: usize| {
             let estimates: Vec<f64> = (0..trials)
                 .map(|t| {
-                    let mut p = ParallelAveraged::new(c, |i| {
-                        Mascot::new(0.3, (t * 1000 + i) as u64)
-                    });
+                    let mut p =
+                        ParallelAveraged::new(c, |i| Mascot::new(0.3, (t * 1000 + i) as u64));
                     p.process_stream(stream.iter().copied());
                     p.global_estimate()
                 })

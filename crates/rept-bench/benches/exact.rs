@@ -23,9 +23,7 @@ fn bench_exact(c: &mut Criterion) {
             (s.global(), s.eta())
         })
     });
-    group.bench_function("forward-static", |b| {
-        b.iter(|| forward_count(&csr).global)
-    });
+    group.bench_function("forward-static", |b| b.iter(|| forward_count(&csr).global));
     group.bench_function("csr-construction", |b| {
         b.iter(|| CsrGraph::from_edges(&stream).edge_count())
     });

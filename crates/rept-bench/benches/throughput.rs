@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rept_baselines::traits::StreamingTriangleCounter;
 use rept_baselines::{Gps, Mascot, TriestImpr};
 use rept_core::worker::SemiTriangleWorker;
-use rept_core::{EtaMode, Rept, ReptConfig};
+use rept_core::{Engine, EtaMode, Rept, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
 use rept_graph::edge::Edge;
 use rept_hash::{EdgeHashFamily, PartitionHasher};
@@ -90,5 +90,25 @@ fn bench_rept_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_methods, bench_rept_scaling);
+/// Per-worker vs fused engine at growing processor counts — the cost of
+/// `c` independent intersections per edge against one cell-tagged pass
+/// per hash group (`⌈c/m⌉` passes). The gap should widen with `c`.
+fn bench_engines(c: &mut Criterion) {
+    let stream = stream();
+    let edges = stream.len() as u64;
+    let m = 10u64;
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(edges));
+    for &procs in &[4u64, 10, 40] {
+        for engine in [Engine::PerWorker, Engine::Fused] {
+            let rept = Rept::new(ReptConfig::new(m, procs).with_seed(3).with_locals(false));
+            group.bench_with_input(BenchmarkId::new(engine.name(), procs), &procs, |b, _| {
+                b.iter(|| rept.run(engine, &stream).global)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_rept_scaling, bench_engines);
 criterion_main!(benches);

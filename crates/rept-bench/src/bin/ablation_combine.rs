@@ -28,7 +28,13 @@ fn main() {
     let tau = ctx.gt.tau as f64;
 
     let mut table = Table::new(vec![
-        "m", "c", "c1", "c2", "nrmse-graybill-deal", "nrmse-pooled", "improvement",
+        "m",
+        "c",
+        "c1",
+        "c2",
+        "nrmse-graybill-deal",
+        "nrmse-pooled",
+        "improvement",
     ]);
 
     for (m, c) in [(4u64, 6u64), (4, 10), (8, 12), (8, 20), (10, 25)] {

@@ -34,7 +34,13 @@ fn main() {
     let (tau, eta) = (ctx.gt.tau as f64, ctx.gt.eta as f64);
 
     let mut table = Table::new(vec![
-        "mode", "m", "c", "mean-eta-hat", "true-eta", "eta-rel-bias", "tau-nrmse",
+        "mode",
+        "m",
+        "c",
+        "mean-eta-hat",
+        "true-eta",
+        "eta-rel-bias",
+        "tau-nrmse",
     ]);
 
     for (m, c) in [(4u64, 10u64), (8, 20)] {

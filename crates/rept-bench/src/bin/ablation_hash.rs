@@ -46,9 +46,7 @@ fn main() {
     let stream = &ctx.dataset.stream;
     let tau = ctx.gt.tau as f64;
 
-    let mut table = Table::new(vec![
-        "m", "hash", "mean", "rel-bias", "nrmse", "trials",
-    ]);
+    let mut table = Table::new(vec!["m", "hash", "mean", "rel-bias", "nrmse", "trials"]);
 
     for m in [4u64, 8] {
         // Strong seeded family: vary the seed across trials.

@@ -1,0 +1,136 @@
+//! Machine-readable engine-throughput benchmark.
+//!
+//! Measures end-to-end edges/second of the two execution engines
+//! (per-worker reference vs fused group) on a fixed Barabási–Albert
+//! stream at `c ∈ {8, 64, 256}` processors with `m = 64`, and writes the
+//! results as JSON so the performance trajectory stays comparable across
+//! PRs. `c = 8` exercises the single-group `c ≤ m` path, `c = 64` the
+//! full-partition `c = m` point where REPT's variance is lowest, and
+//! `c = 256` four full groups (Algorithm 2).
+//!
+//! Run: `cargo run --release --bin bench_throughput [-- --out FILE]`
+//! (default output: `BENCH_throughput.json`). `--nodes N` scales the
+//! stream; measurements keep the best of three repetitions to strip
+//! scheduler noise.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use rept_core::{Engine, Rept, ReptConfig};
+use rept_gen::{barabasi_albert, GeneratorConfig};
+use rept_graph::edge::Edge;
+
+const M: u64 = 64;
+const PROCESSOR_COUNTS: [u64; 3] = [8, 64, 256];
+const REPS: usize = 3;
+
+struct Measurement {
+    engine: Engine,
+    c: u64,
+    seconds: f64,
+    edges_per_sec: f64,
+}
+
+fn measure(rept: &Rept, engine: Engine, stream: &[Edge]) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        sink += rept.run(engine, stream).global;
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    // Consume the estimates so the optimiser cannot elide the runs.
+    assert!(sink.is_finite());
+    (best, stream.len() as f64 / best)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut nodes = 20_000u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--nodes" => {
+                nodes = args
+                    .next()
+                    .expect("--nodes needs a value")
+                    .parse()
+                    .expect("--nodes must be an integer")
+            }
+            other => panic!("unknown flag {other} (supported: --out, --nodes)"),
+        }
+    }
+
+    let gen_cfg = GeneratorConfig::new(nodes, 42);
+    let stream = barabasi_albert(&gen_cfg, 5);
+    eprintln!(
+        "stream: barabasi_albert(n = {nodes}, attach = 5) → {} edges; m = {M}",
+        stream.len()
+    );
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &c in &PROCESSOR_COUNTS {
+        let rept = Rept::new(ReptConfig::new(M, c).with_seed(7).with_locals(false));
+        for engine in [Engine::PerWorker, Engine::Fused] {
+            let (seconds, edges_per_sec) = measure(&rept, engine, &stream);
+            eprintln!(
+                "  c = {c:>3} {:>10}: {seconds:8.3} s  ({edges_per_sec:.3e} edges/s)",
+                engine.name()
+            );
+            results.push(Measurement {
+                engine,
+                c,
+                seconds,
+                edges_per_sec,
+            });
+        }
+    }
+
+    // Hand-rolled JSON, matching the workspace's no-serde convention.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"engine_throughput\",\n");
+    json.push_str(&format!(
+        "  \"stream\": {{\"generator\": \"barabasi_albert\", \"nodes\": {nodes}, \"attach\": 5, \"seed\": 42, \"edges\": {}}},\n",
+        stream.len()
+    ));
+    json.push_str(&format!("  \"m\": {M},\n"));
+    json.push_str("  \"track_locals\": false,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"c\": {}, \"seconds\": {:.6}, \"edges_per_sec\": {:.1}}}{}\n",
+            r.engine.name(),
+            r.c,
+            r.seconds,
+            r.edges_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_fused_over_per_worker\": {");
+    let mut first = true;
+    for &c in &PROCESSOR_COUNTS {
+        let rate = |e: Engine| {
+            results
+                .iter()
+                .find(|r| r.c == c && r.engine == e)
+                .expect("measured above")
+                .edges_per_sec
+        };
+        let speedup = rate(Engine::Fused) / rate(Engine::PerWorker);
+        eprintln!("  c = {c:>3}: fused is {speedup:.2}x per-worker");
+        if !first {
+            json.push_str(", ");
+        }
+        first = false;
+        json.push_str(&format!("\"{c}\": {speedup:.3}"));
+    }
+    json.push_str("}\n}\n");
+
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write failed");
+    eprintln!("wrote {out_path}");
+}

@@ -54,7 +54,9 @@ fn main() {
         table.push_row(row);
     }
 
-    println!("Figure 1 — τ vs η and MASCOT variance terms (term2/term1 > 1 ⇒ covariance dominates)");
+    println!(
+        "Figure 1 — τ vs η and MASCOT variance terms (term2/term1 > 1 ⇒ covariance dominates)"
+    );
     println!("{}", table.render());
     let path = args.out.join("fig1.csv");
     table.write_csv(&path).expect("write CSV");

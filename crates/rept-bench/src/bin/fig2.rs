@@ -123,7 +123,12 @@ fn main() {
             fmt_num(theory),
             if ok { "matches" } else { "MISMATCH" }.to_string(),
         ]);
-        eprintln!("  {}: cov {} vs {}", case.name, fmt_num(cov), fmt_num(theory));
+        eprintln!(
+            "  {}: cov {} vs {}",
+            case.name,
+            fmt_num(cov),
+            fmt_num(theory)
+        );
         assert!(ok, "case {:?} deviates from Theorem 3's proof", case.name);
     }
 

@@ -28,7 +28,12 @@ fn main() {
 
     let contexts = ExperimentContext::load_all(&datasets, scale);
     let mut table = Table::new(vec![
-        "dataset", "1/p", "method", "wall-seconds", "cpu-total-seconds", "speedup",
+        "dataset",
+        "1/p",
+        "method",
+        "wall-seconds",
+        "cpu-total-seconds",
+        "speedup",
     ]);
 
     for ctx in &contexts {
@@ -40,15 +45,18 @@ fn main() {
             let budget_gps = ((p * edges as f64 / 2.0).round() as usize).max(3);
 
             let cells: Vec<(&str, rept_metrics::timer::RuntimeModel)> = vec![
-                ("MASCOT", baseline_runtime(stream, C, args.seed, |s| {
-                    Mascot::new(p, s)
-                })),
-                ("TRIEST", baseline_runtime(stream, C, args.seed, |s| {
-                    TriestImpr::new(budget_triest, s)
-                })),
-                ("GPS", baseline_runtime(stream, C, args.seed, |s| {
-                    Gps::new(budget_gps, s)
-                })),
+                (
+                    "MASCOT",
+                    baseline_runtime(stream, C, args.seed, |s| Mascot::new(p, s)),
+                ),
+                (
+                    "TRIEST",
+                    baseline_runtime(stream, C, args.seed, |s| TriestImpr::new(budget_triest, s)),
+                ),
+                (
+                    "GPS",
+                    baseline_runtime(stream, C, args.seed, |s| Gps::new(budget_gps, s)),
+                ),
                 ("REPT", rept_runtime(stream, inv_p, C, args.seed)),
             ];
             for (name, model) in cells {

@@ -23,16 +23,11 @@ fn main() {
     let args = Args::from_env();
     let scale = args.scale_or(0.25);
     let trials = args.trials_or(15);
-    let ctx = ExperimentContext::load(
-        args.datasets_or(&[DatasetId::FlickrSim])[0],
-        scale,
-    );
+    let ctx = ExperimentContext::load(args.datasets_or(&[DatasetId::FlickrSim])[0], scale);
     let stream = &ctx.dataset.stream;
     let edges = stream.len();
 
-    let mut table = Table::new(vec![
-        "panel", "1/p", "c", "method", "wall-seconds", "nrmse",
-    ]);
+    let mut table = Table::new(vec!["panel", "1/p", "c", "method", "wall-seconds", "nrmse"]);
 
     for (panel, inv_p, cs) in [
         ("a/c", 10u64, vec![2u64, 4, 6, 8, 10]),

@@ -31,8 +31,16 @@ fn main() {
     let datasets = args.datasets_or(&DatasetId::all());
 
     let mut table = Table::new(vec![
-        "dataset", "mimics", "nodes", "edges", "triangles", "eta", "eta/tau",
-        "paper-nodes", "paper-edges", "paper-triangles",
+        "dataset",
+        "mimics",
+        "nodes",
+        "edges",
+        "triangles",
+        "eta",
+        "eta/tau",
+        "paper-nodes",
+        "paper-edges",
+        "paper-triangles",
     ]);
     for id in datasets {
         let ctx = ExperimentContext::load(id, scale);

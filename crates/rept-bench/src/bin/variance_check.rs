@@ -29,7 +29,15 @@ fn main() {
     let (tau, eta) = (ctx.gt.tau as f64, ctx.gt.eta as f64);
 
     let mut table = Table::new(vec![
-        "method", "m", "c", "case", "empirical-var", "theory-var", "ratio", "mean", "tau",
+        "method",
+        "m",
+        "c",
+        "case",
+        "empirical-var",
+        "theory-var",
+        "ratio",
+        "mean",
+        "tau",
     ]);
 
     // The three REPT regimes plus MASCOT, at modest m so that trials are
@@ -49,11 +57,10 @@ fn main() {
             use rept_baselines::traits::StreamingTriangleCounter;
             for t in 0..trials {
                 let root = rept_hash::SplitMix64::new(args.seed + t);
-                let mut par =
-                    rept_baselines::ParallelAveraged::new(c as usize, |i| {
-                        rept_baselines::Mascot::new(1.0 / m as f64, root.fork(i as u64).next_u64())
-                            .without_locals()
-                    });
+                let mut par = rept_baselines::ParallelAveraged::new(c as usize, |i| {
+                    rept_baselines::Mascot::new(1.0 / m as f64, root.fork(i as u64).next_u64())
+                        .without_locals()
+                });
                 for &e in stream {
                     par.process(e);
                 }
@@ -74,7 +81,12 @@ fn main() {
             rept_variance(tau, eta, m, c)
         };
         table.push_row(vec![
-            if case == "parallel-mascot" { "MASCOT" } else { "REPT" }.to_string(),
+            if case == "parallel-mascot" {
+                "MASCOT"
+            } else {
+                "REPT"
+            }
+            .to_string(),
             m.to_string(),
             c.to_string(),
             case.to_string(),
@@ -84,7 +96,10 @@ fn main() {
             fmt_num(acc.mean()),
             fmt_num(tau),
         ]);
-        eprintln!("  {case}: empirical/theory = {}", fmt_num(empirical / theory));
+        eprintln!(
+            "  {case}: empirical/theory = {}",
+            fmt_num(empirical / theory)
+        );
     }
 
     println!(

@@ -57,9 +57,8 @@ impl Args {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value_of = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value_of =
+                |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--trials" => {
                     out.trials = Some(
@@ -191,8 +190,16 @@ mod tests {
     #[test]
     fn explicit_values_win() {
         let a = parse(&[
-            "--trials", "7", "--scale", "0.5", "--datasets", "flickr-sim,pokec-sim",
-            "--seed", "99", "--out", "/tmp/x",
+            "--trials",
+            "7",
+            "--scale",
+            "0.5",
+            "--datasets",
+            "flickr-sim,pokec-sim",
+            "--seed",
+            "99",
+            "--out",
+            "/tmp/x",
         ])
         .unwrap();
         assert_eq!(a.trials_or(25), 7);

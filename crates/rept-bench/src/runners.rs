@@ -12,7 +12,7 @@
 use rept_baselines::parallel::{average_global, average_locals, ParallelAveraged};
 use rept_baselines::traits::StreamingTriangleCounter;
 use rept_baselines::{Gps, Mascot, TriestImpr};
-use rept_core::{Rept, ReptConfig};
+use rept_core::{Engine, Rept, ReptConfig};
 use rept_exact::GroundTruth;
 use rept_graph::edge::Edge;
 use rept_hash::rng::SplitMix64;
@@ -30,7 +30,8 @@ pub struct CellOptions {
     pub base_seed: u64,
 }
 
-/// Evaluates REPT at `(m, c)`.
+/// Evaluates REPT at `(m, c)` with the default engine (fused — the two
+/// engines are bit-identical, so accuracy cells just take the fast one).
 pub fn rept_cell(
     stream: &[Edge],
     gt: &GroundTruth,
@@ -38,9 +39,24 @@ pub fn rept_cell(
     c: u64,
     opts: CellOptions,
 ) -> EvalResult {
+    rept_cell_with_engine(stream, gt, m, c, opts, Engine::default())
+}
+
+/// Evaluates REPT at `(m, c)` on an explicit [`Engine`] — lets figures
+/// and throughput benches compare the per-worker and fused paths.
+pub fn rept_cell_with_engine(
+    stream: &[Edge],
+    gt: &GroundTruth,
+    m: u64,
+    c: u64,
+    opts: CellOptions,
+    engine: Engine,
+) -> EvalResult {
     run_trials(opts.trials, opts.base_seed, gt, |seed| {
-        let cfg = ReptConfig::new(m, c).with_seed(seed).with_locals(opts.locals);
-        let est = Rept::new(cfg).run_sequential(stream.iter().copied());
+        let cfg = ReptConfig::new(m, c)
+            .with_seed(seed)
+            .with_locals(opts.locals);
+        let est = Rept::new(cfg).run(engine, stream);
         TrialOutput {
             global: est.global,
             locals: est.locals,
@@ -164,9 +180,7 @@ pub fn run_baseline_once<A: StreamingTriangleCounter>(
     mut factory: impl FnMut(u64) -> A,
 ) -> (f64, Vec<A>) {
     let root = SplitMix64::new(seed);
-    let mut instances: Vec<A> = (0..c)
-        .map(|i| factory(root.fork(i).next_u64()))
-        .collect();
+    let mut instances: Vec<A> = (0..c).map(|i| factory(root.fork(i).next_u64())).collect();
     for inst in &mut instances {
         for &e in stream {
             inst.process(e);
@@ -208,6 +222,20 @@ mod tests {
     }
 
     #[test]
+    fn engines_produce_identical_cells() {
+        // Bit-identical estimators must yield bit-identical NRMSE cells.
+        let stream = complete(12);
+        let gt = GroundTruth::compute(&stream);
+        let o = opts(6, true);
+        for (m, c) in [(3u64, 4u64), (3, 3), (2, 5)] {
+            let a = rept_cell_with_engine(&stream, &gt, m, c, o, Engine::PerWorker);
+            let b = rept_cell_with_engine(&stream, &gt, m, c, o, Engine::Fused);
+            assert_eq!(a.global.nrmse, b.global.nrmse, "m={m} c={c}");
+            assert_eq!(a.local_nrmse, b.local_nrmse, "m={m} c={c}");
+        }
+    }
+
+    #[test]
     fn locals_off_suppresses_local_metric() {
         let stream = complete(10);
         let gt = GroundTruth::compute(&stream);
@@ -230,8 +258,7 @@ mod tests {
         // drops to τ(m−1) while MASCOT keeps the 2η(m−1) term. This is the
         // paper's headline claim in miniature.
         let cfg = rept_gen::GeneratorConfig::new(120, 5);
-        let stream =
-            rept_gen::stream_order(rept_gen::planted_cliques(&cfg, 3, 14, 100), 9);
+        let stream = rept_gen::stream_order(rept_gen::planted_cliques(&cfg, 3, 14, 100), 9);
         let gt = GroundTruth::compute(&stream);
         assert!(gt.eta > gt.tau, "need a covariance-dominated stream");
         let o = opts(40, false);

@@ -96,12 +96,9 @@ pub fn nrmse_sweep(
                 }
                 if !locals {
                     let theory_var = match method {
-                        "REPT" => rept_core::variance::rept_variance(
-                            gt.tau as f64,
-                            gt.eta as f64,
-                            m,
-                            c,
-                        ),
+                        "REPT" => {
+                            rept_core::variance::rept_variance(gt.tau as f64, gt.eta as f64, m, c)
+                        }
                         // MASCOT's theory curve also predicts TRIÈST (and
                         // loosely GPS); print it for every baseline.
                         _ => rept_core::variance::parallel_mascot_variance(

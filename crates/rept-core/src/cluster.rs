@@ -4,8 +4,8 @@
 //! platforms" as future work; this module builds that extension as a
 //! message-passing simulation: each *machine* is an OS thread owning a
 //! contiguous range of processors, the coordinator broadcasts the stream
-//! in batches over bounded crossbeam channels (modelling a network link
-//! with finite buffering), and every machine enforces a per-machine memory
+//! in batches over bounded `std::sync::mpsc` channels (modelling a network
+//! link with finite buffering), and every machine enforces a per-machine memory
 //! budget the way §III assumes ("each machine has enough memory to store
 //! p×100% of edges" — here we *check* instead of assume).
 //!
@@ -15,7 +15,8 @@
 //! fidelity on the operational side: batching, backpressure and memory
 //! accounting.
 
-use crossbeam::channel::{bounded, Sender};
+use std::sync::mpsc::{sync_channel, SyncSender};
+
 use rept_graph::edge::Edge;
 
 use crate::estimate::ReptEstimate;
@@ -97,21 +98,17 @@ pub fn run_cluster(rept: &Rept, stream: &[Edge], cluster: &ClusterConfig) -> Clu
         let worker_group = &worker_group;
         let cfg = *rept.config();
 
-        let mut senders: Vec<Sender<Vec<Edge>>> = Vec::with_capacity(machines);
+        let mut senders: Vec<SyncSender<Vec<Edge>>> = Vec::with_capacity(machines);
         let mut handles = Vec::with_capacity(machines);
         for machine in 0..machines {
-            let (tx, rx) = bounded::<Vec<Edge>>(cluster.channel_capacity);
+            let (tx, rx) = sync_channel::<Vec<Edge>>(cluster.channel_capacity);
             senders.push(tx);
             let start = machine * per_machine;
             let end = ((machine + 1) * per_machine).min(c);
             handles.push(scope.spawn(move || {
                 let mut workers: Vec<SemiTriangleWorker> = (start..end)
                     .map(|_| {
-                        SemiTriangleWorker::new(
-                            cfg.track_locals,
-                            cfg.needs_eta(),
-                            cfg.eta_mode,
-                        )
+                        SemiTriangleWorker::new(cfg.track_locals, cfg.needs_eta(), cfg.eta_mode)
                     })
                     .collect();
                 let mut peak = 0usize;
@@ -170,8 +167,7 @@ pub fn run_cluster(rept: &Rept, stream: &[Edge], cluster: &ClusterConfig) -> Clu
         None => Vec::new(),
     };
 
-    let workers: Vec<SemiTriangleWorker> =
-        results.into_iter().flat_map(|r| r.workers).collect();
+    let workers: Vec<SemiTriangleWorker> = results.into_iter().flat_map(|r| r.workers).collect();
     ClusterReport {
         estimate: rept.finalize(workers),
         peak_bytes_per_machine,

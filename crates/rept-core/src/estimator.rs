@@ -9,12 +9,20 @@
 //! from the same seeded family, so group estimates are independent and the
 //! paper's Graybill–Deal combination applies.
 //!
-//! Two drivers produce **bit-identical** results:
-//! * [`Rept::run_sequential`] simulates all processors in one thread;
-//! * [`Rept::run_threaded`] spreads processors over OS threads
-//!   (`std::thread::scope`); workers are deterministic given the hash
-//!   seed, so scheduling cannot affect the output — a property the
-//!   integration tests assert.
+//! Two execution [`Engine`]s produce **bit-identical** results:
+//!
+//! * **Per-worker** — every processor is a
+//!   [`SemiTriangleWorker`] with its own adjacency; each stream edge costs
+//!   one intersection *per processor*. This is the paper's cost model
+//!   executed literally and serves as the reference oracle.
+//!   Drivers: [`Rept::run_sequential`], [`Rept::run_threaded`].
+//! * **Fused** — each hash group keeps one shared cell-tagged adjacency
+//!   ([`crate::fused`]) and recovers all of its workers' counters from a
+//!   single matching-common-neighbor pass per edge.
+//!   Drivers: [`Rept::run_fused`], [`Rept::run_fused_threaded`].
+//!
+//! All drivers are deterministic given the hash seed, so scheduling cannot
+//! affect the output — a property the integration tests assert.
 
 use rept_graph::edge::{Edge, NodeId};
 use rept_hash::edge_hash::{EdgeHashFamily, PartitionHasher};
@@ -23,6 +31,7 @@ use rept_hash::fx::FxHashMap;
 use crate::combine::{graybill_deal, Combined};
 use crate::config::ReptConfig;
 use crate::estimate::{CombinationPath, Diagnostics, ReptEstimate};
+use crate::fused::FusedGroup;
 use crate::worker::SemiTriangleWorker;
 
 /// A group of processors sharing one partition hash.
@@ -34,6 +43,51 @@ pub(crate) struct GroupSpec {
     pub size: usize,
     /// The group's hash (member `group_index` of the family).
     pub hasher: PartitionHasher,
+}
+
+/// Finished counters of one hash group, produced by either engine and
+/// consumed by [`Rept::finalize_groups`]. The estimator only ever needs
+/// per-*group* sums of the per-node maps (split by group for the
+/// Graybill–Deal locals), so this is the natural combination boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupAggregate {
+    /// Index of the group's first worker (orders groups in diagnostics).
+    pub start: usize,
+    /// `τ⁽ⁱ⁾` per worker of the group.
+    pub tau: Vec<u64>,
+    /// Edges stored per worker of the group.
+    pub stored: Vec<usize>,
+    /// Approximate heap bytes held by the group's state.
+    pub bytes: usize,
+    /// `Σᵢ η⁽ⁱ⁾` over the group's workers.
+    pub eta_total: u64,
+    /// `Σᵢ τ⁽ⁱ⁾_v` over the group's workers (`None` if untracked).
+    pub tau_v: Option<FxHashMap<NodeId, u64>>,
+    /// `Σᵢ η⁽ⁱ⁾_v` over the group's workers (`None` if untracked).
+    pub eta_v: Option<FxHashMap<NodeId, u64>>,
+}
+
+/// Which execution engine drives a run. Both produce bit-identical
+/// estimates; they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One adjacency and one intersection per processor per edge — the
+    /// paper's cost model executed literally. Reference oracle.
+    PerWorker,
+    /// One shared cell-tagged adjacency and one intersection per hash
+    /// *group* per edge (see [`crate::fused`]). The fast engine.
+    #[default]
+    Fused,
+}
+
+impl Engine {
+    /// Short stable name (used by benches and result files).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::PerWorker => "per-worker",
+            Engine::Fused => "fused",
+        }
+    }
 }
 
 /// The REPT estimator.
@@ -55,48 +109,30 @@ pub(crate) struct GroupSpec {
 ///     .sum::<f64>() / 200.0;
 /// assert!((mean - 1.0).abs() < 0.3, "unbiased: mean {mean}");
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Rept {
     cfg: ReptConfig,
+    /// Group layout, built once at construction — `run_*` and
+    /// `processor_assignments` are called per trial in Monte-Carlo loops,
+    /// so rebuilding the hash family each time was measurable waste.
+    groups: Vec<GroupSpec>,
 }
 
 impl Rept {
     /// Creates an estimator from a validated config.
     pub fn new(cfg: ReptConfig) -> Self {
-        Self { cfg }
-    }
-
-    /// The configuration in use.
-    pub fn config(&self) -> &ReptConfig {
-        &self.cfg
-    }
-
-    /// Per-processor `(partition hash, owned cell)` assignments.
-    ///
-    /// Runtime harnesses use this to execute processors *independently*
-    /// (processor `i` = "observe every edge; store when
-    /// `hasher.cell(e) = cell`"), which is how per-processor work is timed
-    /// for the simulated-wall-clock model (Figs. 7/8).
-    pub fn processor_assignments(&self) -> Vec<(PartitionHasher, u64)> {
-        self.groups()
-            .iter()
-            .flat_map(|g| (0..g.size as u64).map(|cell| (g.hasher, cell)))
-            .collect()
-    }
-
-    pub(crate) fn groups(&self) -> Vec<GroupSpec> {
-        let family = EdgeHashFamily::new(self.cfg.seed);
-        let m = self.cfg.m;
+        let family = EdgeHashFamily::new(cfg.seed);
+        let m = cfg.m;
         let mut groups = Vec::new();
         let mut start = 0usize;
-        if self.cfg.c <= m {
+        if cfg.c <= m {
             groups.push(GroupSpec {
                 start,
-                size: self.cfg.c as usize,
+                size: cfg.c as usize,
                 hasher: PartitionHasher::new(family.member(0), m),
             });
         } else {
-            let (c1, c2) = (self.cfg.c1(), self.cfg.c2());
+            let (c1, c2) = (cfg.c1(), cfg.c2());
             for k in 0..c1 {
                 groups.push(GroupSpec {
                     start,
@@ -113,26 +149,69 @@ impl Rept {
                 });
             }
         }
-        groups
+        Self { cfg, groups }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReptConfig {
+        &self.cfg
+    }
+
+    /// Per-processor `(partition hash, owned cell)` assignments.
+    ///
+    /// Runtime harnesses use this to execute processors *independently*
+    /// (processor `i` = "observe every edge; store when
+    /// `hasher.cell(e) = cell`"), which is how per-processor work is timed
+    /// for the simulated-wall-clock model (Figs. 7/8).
+    pub fn processor_assignments(&self) -> Vec<(PartitionHasher, u64)> {
+        self.groups
+            .iter()
+            .flat_map(|g| (0..g.size as u64).map(|cell| (g.hasher, cell)))
+            .collect()
+    }
+
+    pub(crate) fn groups(&self) -> &[GroupSpec] {
+        &self.groups
     }
 
     fn make_workers(&self) -> Vec<SemiTriangleWorker> {
         let track_eta = self.cfg.needs_eta();
         (0..self.cfg.c)
-            .map(|_| {
-                SemiTriangleWorker::new(self.cfg.track_locals, track_eta, self.cfg.eta_mode)
-            })
+            .map(|_| SemiTriangleWorker::new(self.cfg.track_locals, track_eta, self.cfg.eta_mode))
             .collect()
     }
 
-    /// Runs the estimator over a stream in one thread, simulating all `c`
-    /// processors. Deterministic given `cfg.seed`.
+    /// Runs the selected engine single-threaded over a stream.
+    pub fn run(&self, engine: Engine, stream: &[Edge]) -> ReptEstimate {
+        match engine {
+            Engine::PerWorker => self.run_sequential(stream.iter().copied()),
+            // One thread, but through the threaded driver: its group-major
+            // batching keeps one group's adjacency cache-hot at a time,
+            // which matters once c > m yields several groups.
+            Engine::Fused => self.run_fused_threaded(stream, 1),
+        }
+    }
+
+    /// Runs the selected engine over `threads` OS threads.
+    pub fn run_threaded_with(
+        &self,
+        engine: Engine,
+        stream: &[Edge],
+        threads: usize,
+    ) -> ReptEstimate {
+        match engine {
+            Engine::PerWorker => self.run_threaded(stream, threads),
+            Engine::Fused => self.run_fused_threaded(stream, threads),
+        }
+    }
+
+    /// Runs the per-worker engine over a stream in one thread, simulating
+    /// all `c` processors. Deterministic given `cfg.seed`.
     pub fn run_sequential<I: IntoIterator<Item = Edge>>(&self, stream: I) -> ReptEstimate {
-        let groups = self.groups();
         let mut workers = self.make_workers();
         for e in stream {
             let (u, v) = e.as_u64_pair();
-            for g in &groups {
+            for g in &self.groups {
                 // Every processor in the group observes the edge …
                 let cell = g.hasher.cell(u, v) as usize;
                 for (off, w) in workers[g.start..g.start + g.size].iter_mut().enumerate() {
@@ -147,7 +226,7 @@ impl Rept {
         self.finalize(workers)
     }
 
-    /// Runs the estimator with processors spread over `threads` OS
+    /// Runs the per-worker engine with processors spread over `threads` OS
     /// threads. Produces exactly the same estimate as
     /// [`Self::run_sequential`].
     ///
@@ -175,7 +254,6 @@ impl Rept {
         };
 
         std::thread::scope(|scope| {
-            let groups = &groups;
             let worker_group = &worker_group;
             let mut handles = Vec::new();
             for (chunk_idx, chunk) in workers.chunks_mut(chunk_len).enumerate() {
@@ -209,17 +287,163 @@ impl Rept {
         self.finalize(workers)
     }
 
-    /// Assembles the final estimate from finished workers (paper
-    /// Algorithm 1's and Algorithm 2's tail sections).
+    /// Runs the fused engine over a stream in one thread: one shared
+    /// cell-tagged adjacency and one intersection pass per hash group per
+    /// edge. Bit-identical to [`Self::run_sequential`].
+    ///
+    /// Accepts any edge iterator, processing edge-major across groups —
+    /// the right shape for true streaming callers that never materialise
+    /// the stream. When you already hold a slice, prefer
+    /// [`Self::run`] / [`Self::run_fused_threaded`], whose group-major
+    /// batching keeps one group's adjacency cache-hot at a time.
+    pub fn run_fused<I: IntoIterator<Item = Edge>>(&self, stream: I) -> ReptEstimate {
+        let mut fused: Vec<FusedGroup> = self
+            .groups
+            .iter()
+            .map(|g| FusedGroup::new(*g, &self.cfg))
+            .collect();
+        for e in stream {
+            for g in &mut fused {
+                g.process(e);
+            }
+        }
+        self.finalize_groups(fused.into_iter().map(FusedGroup::into_aggregate).collect())
+    }
+
+    /// Edges per batch in [`Self::run_fused_threaded`]: small enough to
+    /// keep a batch L1/L2-resident, large enough to amortise the per-batch
+    /// group-loop overhead.
+    const FUSED_BATCH: usize = 4096;
+
+    /// Runs the fused engine with hash groups spread round-robin over
+    /// `threads` OS threads; each thread streams the input in
+    /// [`Self::FUSED_BATCH`]-edge batches, group-major within a batch, so
+    /// one group's adjacency stays hot while a batch is drained against
+    /// it. Produces exactly the same estimate as [`Self::run_fused`].
+    ///
+    /// Parallelism is bounded by the number of groups (`⌈c/m⌉`): a single
+    /// group — in particular every `c ≤ m` layout — runs on one thread,
+    /// because the shared adjacency makes within-group processing
+    /// inherently sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_fused_threaded(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
+        assert!(threads > 0, "need at least one thread");
+        let n_threads = threads.min(self.groups.len()).max(1);
+        if n_threads == 1 {
+            // Single worker (also every single-group layout): run the
+            // batch loop inline — a thread scope would be pure overhead
+            // for the Monte-Carlo callers that run one trial per seed.
+            let mut owned: Vec<FusedGroup> = self
+                .groups
+                .iter()
+                .map(|g| FusedGroup::new(*g, &self.cfg))
+                .collect();
+            Self::drive_batches(&mut owned, stream);
+            return self
+                .finalize_groups(owned.into_iter().map(FusedGroup::into_aggregate).collect());
+        }
+        // Threads may return their aggregates in any interleaving;
+        // `finalize_groups` re-orders by `GroupAggregate::start`.
+        let aggregates: Vec<GroupAggregate> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_threads);
+            for t in 0..n_threads {
+                let mut owned: Vec<FusedGroup> = self
+                    .groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(gi, _)| gi % n_threads == t)
+                    .map(|(_, g)| FusedGroup::new(*g, &self.cfg))
+                    .collect();
+                handles.push(scope.spawn(move || {
+                    Self::drive_batches(&mut owned, stream);
+                    owned
+                        .into_iter()
+                        .map(FusedGroup::into_aggregate)
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("REPT fused thread panicked"))
+                .collect()
+        });
+        self.finalize_groups(aggregates)
+    }
+
+    /// Drains the stream against a set of fused groups in
+    /// [`Self::FUSED_BATCH`]-edge batches, group-major within a batch.
+    fn drive_batches(groups: &mut [FusedGroup], stream: &[Edge]) {
+        for batch in stream.chunks(Self::FUSED_BATCH) {
+            for g in groups.iter_mut() {
+                for &e in batch {
+                    g.process(e);
+                }
+            }
+        }
+    }
+
+    /// Assembles the final estimate from finished per-worker state by
+    /// summing each group's maps into a [`GroupAggregate`].
     pub(crate) fn finalize(&self, workers: Vec<SemiTriangleWorker>) -> ReptEstimate {
+        let aggregates = self
+            .groups
+            .iter()
+            .map(|g| {
+                let members = &workers[g.start..g.start + g.size];
+                let merge = |maps: Vec<&FxHashMap<NodeId, u64>>| {
+                    let mut acc: FxHashMap<NodeId, u64> = FxHashMap::default();
+                    for m in maps {
+                        for (&n, &x) in m {
+                            *acc.entry(n).or_insert(0) += x;
+                        }
+                    }
+                    acc
+                };
+                let tau_v = members
+                    .iter()
+                    .map(|w| w.tau_v())
+                    .collect::<Option<Vec<_>>>()
+                    .map(merge);
+                let eta_v = members
+                    .iter()
+                    .map(|w| w.eta_v())
+                    .collect::<Option<Vec<_>>>()
+                    .map(merge);
+                GroupAggregate {
+                    start: g.start,
+                    tau: members.iter().map(|w| w.tau()).collect(),
+                    stored: members.iter().map(|w| w.stored_edges()).collect(),
+                    bytes: members.iter().map(|w| w.approx_bytes()).sum(),
+                    eta_total: members.iter().map(|w| w.eta()).sum(),
+                    tau_v,
+                    eta_v,
+                }
+            })
+            .collect();
+        self.finalize_groups(aggregates)
+    }
+
+    /// Assembles the final estimate from per-group aggregates (paper
+    /// Algorithm 1's and Algorithm 2's tail sections). Both engines end
+    /// here, which is what makes them bit-identical by construction: the
+    /// combination arithmetic runs on exactly the same integer sums.
+    pub(crate) fn finalize_groups(&self, mut groups: Vec<GroupAggregate>) -> ReptEstimate {
+        groups.sort_by_key(|g| g.start);
         let m = self.cfg.m as f64;
         let c = self.cfg.c as f64;
-        let per_processor_tau: Vec<u64> = workers.iter().map(|w| w.tau()).collect();
-        let stored_edges: Vec<usize> = workers.iter().map(|w| w.stored_edges()).collect();
-        let total_bytes: usize = workers.iter().map(|w| w.approx_bytes()).sum();
+        let per_processor_tau: Vec<u64> =
+            groups.iter().flat_map(|g| g.tau.iter().copied()).collect();
+        let stored_edges: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| g.stored.iter().copied())
+            .collect();
+        let total_bytes: usize = groups.iter().map(|g| g.bytes).sum();
 
         let eta_hat = self.cfg.needs_eta().then(|| {
-            let sum: u64 = workers.iter().map(|w| w.eta()).sum();
+            let sum: u64 = groups.iter().map(|g| g.eta_total).sum();
             m * m * m * sum as f64 / c
         });
 
@@ -230,7 +454,7 @@ impl Rept {
             global = m * m / c * sum as f64;
             combination = CombinationPath::SingleGroup;
             sub_estimates = None;
-            locals = self.locals_scaled(&workers, 0..workers.len(), m * m / c);
+            locals = self.locals_scaled(&groups, m * m / c);
         } else if self.cfg.c2() == 0 {
             // τ̂ = m/c₁ · Σ τ⁽ⁱ⁾.
             let c1 = self.cfg.c1() as f64;
@@ -238,7 +462,7 @@ impl Rept {
             global = m / c1 * sum as f64;
             combination = CombinationPath::FullGroups;
             sub_estimates = None;
-            locals = self.locals_scaled(&workers, 0..workers.len(), m / c1);
+            locals = self.locals_scaled(&groups, m / c1);
         } else {
             let (c1, c2) = (self.cfg.c1() as f64, self.cfg.c2() as f64);
             let split = (self.cfg.c1() * self.cfg.m) as usize;
@@ -264,7 +488,7 @@ impl Rept {
                 }
             }
             sub_estimates = Some((t1, t2));
-            locals = self.locals_combined(&workers, split);
+            locals = self.locals_combined(&groups, split);
         }
 
         ReptEstimate {
@@ -284,18 +508,13 @@ impl Rept {
     }
 
     /// Locals for the single-scale paths: `τ̂_v = scale · Σ τ⁽ⁱ⁾_v`.
-    fn locals_scaled(
-        &self,
-        workers: &[SemiTriangleWorker],
-        range: std::ops::Range<usize>,
-        scale: f64,
-    ) -> FxHashMap<NodeId, f64> {
+    fn locals_scaled(&self, groups: &[GroupAggregate], scale: f64) -> FxHashMap<NodeId, f64> {
         if !self.cfg.track_locals {
             return FxHashMap::default();
         }
         let mut acc: FxHashMap<NodeId, u64> = FxHashMap::default();
-        for w in &workers[range] {
-            if let Some(tv) = w.tau_v() {
+        for g in groups {
+            if let Some(tv) = &g.tau_v {
                 for (&v, &count) in tv {
                     *acc.entry(v).or_insert(0) += count;
                 }
@@ -308,11 +527,7 @@ impl Rept {
 
     /// Locals for the mixed-group path: per-node Graybill–Deal with
     /// plug-in weights (`τ ← τ̂⁽¹⁾_v`, `η ← η̂_v`), pooled fallback.
-    fn locals_combined(
-        &self,
-        workers: &[SemiTriangleWorker],
-        split: usize,
-    ) -> FxHashMap<NodeId, f64> {
+    fn locals_combined(&self, groups: &[GroupAggregate], split: usize) -> FxHashMap<NodeId, f64> {
         if !self.cfg.track_locals {
             return FxHashMap::default();
         }
@@ -327,18 +542,18 @@ impl Rept {
             eta_sum: u64,
         }
         let mut acc: FxHashMap<NodeId, NodeAcc> = FxHashMap::default();
-        for (i, w) in workers.iter().enumerate() {
-            if let Some(tv) = w.tau_v() {
+        for g in groups {
+            if let Some(tv) = &g.tau_v {
                 for (&v, &count) in tv {
                     let a = acc.entry(v).or_default();
-                    if i < split {
+                    if g.start < split {
                         a.sum1 += count;
                     } else {
                         a.sum2 += count;
                     }
                 }
             }
-            if let Some(ev) = w.eta_v() {
+            if let Some(ev) = &g.eta_v {
                 for (&v, &count) in ev {
                     acc.entry(v).or_default().eta_sum += count;
                 }
@@ -424,10 +639,7 @@ mod tests {
             })
             .sum::<f64>()
             / trials as f64;
-        assert!(
-            (mean - tau).abs() < tau * 0.15,
-            "mean {mean} vs τ = {tau}"
-        );
+        assert!((mean - tau).abs() < tau * 0.15, "mean {mean} vs τ = {tau}");
     }
 
     #[test]
@@ -460,10 +672,7 @@ mod tests {
             .sum::<f64>()
             / trials as f64;
         // Plug-in weights make this slightly biased; allow a loose band.
-        assert!(
-            (mean - tau).abs() < tau * 0.2,
-            "mean {mean} vs τ = {tau}"
-        );
+        assert!((mean - tau).abs() < tau * 0.2, "mean {mean} vs τ = {tau}");
     }
 
     #[test]
@@ -471,8 +680,8 @@ mod tests {
         // Σ_v τ̂_v should be ≈ 3τ̂ for the single-group path (each
         // semi-triangle contributes to exactly 3 nodes with equal scaling).
         let stream = complete(10);
-        let est = Rept::new(ReptConfig::new(3, 3).with_seed(5))
-            .run_sequential(stream.iter().copied());
+        let est =
+            Rept::new(ReptConfig::new(3, 3).with_seed(5)).run_sequential(stream.iter().copied());
         let local_sum: f64 = est.locals.values().sum();
         assert!(
             (local_sum - 3.0 * est.global).abs() < 1e-6,
@@ -498,18 +707,87 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_sequential_bit_for_bit() {
+        // The fused engine against the per-worker oracle on every
+        // combination path, with η and locals on, both drivers.
+        let cfg = GeneratorConfig::new(300, 11);
+        let stream = rept_gen::barabasi_albert(&cfg, 4);
+        for (m, c) in [(4u64, 3u64), (3, 3), (3, 7), (2, 8), (6, 1)] {
+            let r = Rept::new(ReptConfig::new(m, c).with_seed(42).with_eta(true));
+            let seq = r.run_sequential(stream.iter().copied());
+            let fused = r.run_fused(stream.iter().copied());
+            assert_eq!(seq.global, fused.global, "m={m} c={c}");
+            assert_eq!(seq.eta_hat, fused.eta_hat, "m={m} c={c}");
+            assert_eq!(seq.locals, fused.locals, "m={m} c={c}");
+            assert_eq!(
+                seq.diagnostics.per_processor_tau, fused.diagnostics.per_processor_tau,
+                "per-processor τ must agree, m={m} c={c}"
+            );
+            assert_eq!(seq.diagnostics.stored_edges, fused.diagnostics.stored_edges);
+            for threads in [1, 2, 5] {
+                let thr = r.run_fused_threaded(&stream, threads);
+                assert_eq!(seq.global, thr.global, "m={m} c={c} threads={threads}");
+                assert_eq!(seq.eta_hat, thr.eta_hat);
+                assert_eq!(seq.locals, thr.locals);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_selector_dispatches() {
+        let stream = complete(10);
+        let r = Rept::new(ReptConfig::new(3, 3).with_seed(5));
+        let a = r.run(Engine::PerWorker, &stream);
+        let b = r.run(Engine::Fused, &stream);
+        let c = r.run_threaded_with(Engine::Fused, &stream, 2);
+        assert_eq!(a.global, b.global);
+        assert_eq!(a.global, c.global);
+        assert_eq!(Engine::Fused.name(), "fused");
+        assert_eq!(Engine::PerWorker.name(), "per-worker");
+    }
+
+    #[test]
+    fn groups_are_cached_and_stable() {
+        // `groups()` must return the same layout object every call — it is
+        // built exactly once in `new` (the hash family derivation is pure,
+        // so equality of hashers certifies equality of layout).
+        let r = Rept::new(ReptConfig::new(4, 11).with_seed(9));
+        let first: Vec<_> = r
+            .groups()
+            .iter()
+            .map(|g| (g.start, g.size, g.hasher))
+            .collect();
+        let again: Vec<_> = r
+            .groups()
+            .iter()
+            .map(|g| (g.start, g.size, g.hasher))
+            .collect();
+        assert_eq!(first, again);
+        assert_eq!(r.processor_assignments().len(), 11);
+    }
+
+    #[test]
     fn empty_stream_estimates_zero() {
-        let est = Rept::new(ReptConfig::new(5, 13).with_seed(0))
-            .run_sequential(std::iter::empty());
+        let est = Rept::new(ReptConfig::new(5, 13).with_seed(0)).run_sequential(std::iter::empty());
         assert_eq!(est.global, 0.0);
         assert!(est.locals.is_empty());
     }
 
     #[test]
+    fn empty_stream_fused_estimates_zero() {
+        let r = Rept::new(ReptConfig::new(5, 13).with_seed(0));
+        let est = r.run_fused(std::iter::empty());
+        assert_eq!(est.global, 0.0);
+        assert!(est.locals.is_empty());
+        let est = r.run_fused_threaded(&[], 4);
+        assert_eq!(est.global, 0.0);
+    }
+
+    #[test]
     fn triangle_free_stream_estimates_zero() {
         let stream = rept_gen::star(50);
-        let est = Rept::new(ReptConfig::new(4, 4).with_seed(3))
-            .run_sequential(stream.iter().copied());
+        let est =
+            Rept::new(ReptConfig::new(4, 4).with_seed(3)).run_sequential(stream.iter().copied());
         assert_eq!(est.global, 0.0);
     }
 
@@ -526,8 +804,8 @@ mod tests {
     fn stored_edges_partition_the_sampled_stream() {
         // Across one full group (c = m) every edge is stored exactly once.
         let stream = complete(20); // 190 edges
-        let est = Rept::new(ReptConfig::new(5, 5).with_seed(9))
-            .run_sequential(stream.iter().copied());
+        let est =
+            Rept::new(ReptConfig::new(5, 5).with_seed(9)).run_sequential(stream.iter().copied());
         let total: usize = est.diagnostics.stored_edges.iter().sum();
         assert_eq!(total, 190);
     }
@@ -535,8 +813,8 @@ mod tests {
     #[test]
     fn c_le_m_stores_c_over_m_fraction() {
         let stream = complete(40); // 780 edges
-        let est = Rept::new(ReptConfig::new(10, 3).with_seed(2))
-            .run_sequential(stream.iter().copied());
+        let est =
+            Rept::new(ReptConfig::new(10, 3).with_seed(2)).run_sequential(stream.iter().copied());
         let total: usize = est.diagnostics.stored_edges.iter().sum();
         let expected = 780.0 * 3.0 / 10.0;
         assert!(

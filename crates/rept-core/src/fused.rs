@@ -1,0 +1,252 @@
+//! The fused group execution engine.
+//!
+//! The per-worker engine ([`crate::worker::SemiTriangleWorker`]) realises
+//! the paper's cost model literally: every processor of a hash group keeps
+//! its own adjacency over its partition cell and runs its own
+//! `N_u ∩ N_v` intersection per stream edge, so a group of `size` workers
+//! performs `size` hash-probing passes over what is collectively **one**
+//! partitioned edge set. This module fuses those passes: a
+//! [`FusedGroup`] stores the group's sampled edges once in a
+//! [`CellTaggedAdjacency`] (each neighbor entry tagged with its edge's
+//! partition cell) and recovers *every* worker's counters from a single
+//! common-neighbor pass — a common neighbor `w` of an arriving edge
+//! `(u, v)` closes a semi-triangle for worker `i` iff
+//! `cell(u, w) == cell(v, w) == i`.
+//!
+//! Per edge the cost drops from
+//! `O(Σᵢ |N⁽ⁱ⁾_u ∩ N⁽ⁱ⁾_v| probes)` — `size` lookups of (mostly tiny)
+//! per-worker neighbor sets plus `size` intersections — to **one**
+//! intersection over the union adjacency, `O(min(deg u, deg v))` probes
+//! total. The counters it produces (`τ⁽ⁱ⁾`, group-summed `τ⁽ⁱ⁾_v`,
+//! `η⁽ⁱ⁾`, `η⁽ⁱ⁾_v`, per-edge `τ⁽ⁱ⁾_(u,v)`) are **bit-identical** to the
+//! per-worker engine's: every counter is an exact `u64` sum over the same
+//! multiset of increments, and duplicate-edge and η-initialisation rules
+//! mirror [`SemiTriangleWorker::store`](crate::worker::SemiTriangleWorker::store)
+//! statement for statement. The integration proptests assert this across
+//! all three combination paths.
+
+use rept_graph::cell_tagged::{CellTag, CellTaggedAdjacency};
+use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::{table_bytes, FxHashMap};
+
+use crate::config::{EtaMode, ReptConfig};
+use crate::estimator::{GroupAggregate, GroupSpec};
+use crate::worker::update_eta_pair;
+
+/// One hash group's shared state under the fused engine: the cell-tagged
+/// union adjacency plus all `size` workers' counters.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedGroup {
+    spec: GroupSpec,
+    /// The union of all workers' `E⁽ⁱ⁾`, tagged by cell.
+    adj: CellTaggedAdjacency,
+    /// `τ⁽ⁱ⁾` per worker (indexed by cell offset).
+    tau: Vec<u64>,
+    /// Edges stored per worker.
+    stored: Vec<usize>,
+    /// Group-summed `Σᵢ τ⁽ⁱ⁾_v` (`None` if locals untracked). The
+    /// estimator only ever consumes per-group sums (split by group for the
+    /// Graybill–Deal path), so per-worker maps would be pure overhead.
+    tau_v: Option<FxHashMap<NodeId, u64>>,
+    /// η counters (`None` if untracked).
+    eta: Option<FusedEtaCounters>,
+    eta_mode: EtaMode,
+}
+
+/// Group-level η bookkeeping. `per_edge` can be one map for the whole
+/// group because each stored edge belongs to exactly one cell: worker
+/// `i`'s `τ⁽ⁱ⁾_(u,v)` entries are precisely the entries whose edge is
+/// tagged `i`, so the union of the per-worker maps is disjoint.
+#[derive(Debug, Clone, Default)]
+struct FusedEtaCounters {
+    /// `Σᵢ η⁽ⁱ⁾`.
+    total: u64,
+    /// `Σᵢ η⁽ⁱ⁾_v`.
+    per_node: FxHashMap<NodeId, u64>,
+    /// `τ⁽ⁱ⁾_(u,v)` for every stored edge (owning worker implied by tag).
+    per_edge: FxHashMap<Edge, u64>,
+}
+
+impl FusedGroup {
+    /// Creates the fused state for one group of `spec.size` workers.
+    pub(crate) fn new(spec: GroupSpec, cfg: &ReptConfig) -> Self {
+        assert!(
+            spec.size <= CellTag::MAX as usize,
+            "group size {} exceeds cell-tag range",
+            spec.size
+        );
+        Self {
+            spec,
+            adj: CellTaggedAdjacency::new(),
+            tau: vec![0; spec.size],
+            stored: vec![0; spec.size],
+            tau_v: cfg.track_locals.then(FxHashMap::default),
+            eta: cfg.needs_eta().then(FusedEtaCounters::default),
+            eta_mode: cfg.eta_mode,
+        }
+    }
+
+    /// Processes one stream edge: counts every worker's semi-triangle
+    /// closures in a single matching-common-neighbor pass, then stores the
+    /// edge if its cell is owned (`cell < size` — cells `size..m` are
+    /// REPT's subsampling and belong to no worker).
+    #[inline]
+    pub(crate) fn process(&mut self, e: Edge) {
+        let (u, v) = (e.u(), e.v());
+        let owner = self.spec.hasher.cell(u64::from(u), u64::from(v));
+
+        // Split borrows: the pass reads `adj` while updating the counter
+        // fields. `closed_owner` is |N⁽ᵒʷⁿᵉʳ⁾_{u,v}|, needed for the
+        // paper-faithful η initialisation of the stored edge.
+        let mut closed_owner = 0u64;
+        {
+            let tau = &mut self.tau;
+            let mut tau_v = self.tau_v.as_mut();
+            let mut eta = self.eta.as_mut();
+            self.adj.for_each_matching_common_neighbor(u, v, |w, cell| {
+                if u64::from(cell) == owner {
+                    closed_owner += 1;
+                }
+                tau[cell as usize] += 1;
+                if let Some(tv) = tau_v.as_deref_mut() {
+                    *tv.entry(u).or_insert(0) += 1;
+                    *tv.entry(v).or_insert(0) += 1;
+                    *tv.entry(w).or_insert(0) += 1;
+                }
+                if let Some(eta) = eta.as_deref_mut() {
+                    update_eta_pair(
+                        &mut eta.total,
+                        &mut eta.per_node,
+                        &mut eta.per_edge,
+                        u,
+                        v,
+                        w,
+                    );
+                }
+            });
+        }
+
+        // A duplicate stream edge fails the insert and is ignored, exactly
+        // like `SemiTriangleWorker::store`.
+        if (owner as usize) < self.spec.size && self.adj.insert(e, owner as CellTag) {
+            self.stored[owner as usize] += 1;
+            if let Some(eta) = &mut self.eta {
+                let init = match self.eta_mode {
+                    EtaMode::PaperInit => closed_owner,
+                    EtaMode::StrictNonLast => 0,
+                };
+                eta.per_edge.insert(e, init);
+            }
+        }
+    }
+
+    /// Finishes the group, yielding the aggregate the estimator combines.
+    pub(crate) fn into_aggregate(self) -> GroupAggregate {
+        let mut bytes = self.adj.approx_bytes();
+        if let Some(tv) = &self.tau_v {
+            bytes += table_bytes::<NodeId, u64>(tv.capacity());
+        }
+        if let Some(eta) = &self.eta {
+            bytes += table_bytes::<NodeId, u64>(eta.per_node.capacity());
+            bytes += table_bytes::<Edge, u64>(eta.per_edge.capacity());
+        }
+        GroupAggregate {
+            start: self.spec.start,
+            tau: self.tau,
+            stored: self.stored,
+            bytes,
+            eta_total: self.eta.as_ref().map_or(0, |e| e.total),
+            tau_v: self.tau_v,
+            eta_v: self.eta.map(|e| e.per_node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::Rept;
+    use crate::worker::SemiTriangleWorker;
+    use rept_gen::{barabasi_albert, GeneratorConfig};
+
+    /// The fused group's counters equal the per-worker counters on the
+    /// same group, field by field — including the per-edge η counters the
+    /// estimate never exposes directly.
+    #[test]
+    fn fused_group_counters_match_workers_exactly() {
+        let stream = barabasi_albert(&GeneratorConfig::new(250, 7), 5);
+        for (m, c) in [(4u64, 4u64), (6, 3), (5, 2)] {
+            for mode in [EtaMode::PaperInit, EtaMode::StrictNonLast] {
+                let cfg = ReptConfig::new(m, c)
+                    .with_seed(11)
+                    .with_eta(true)
+                    .with_eta_mode(mode);
+                let rept = Rept::new(cfg);
+                let spec = rept.groups()[0];
+
+                let mut fused = FusedGroup::new(spec, &cfg);
+                let mut workers: Vec<SemiTriangleWorker> = (0..spec.size)
+                    .map(|_| SemiTriangleWorker::new(true, true, mode))
+                    .collect();
+                for &e in &stream {
+                    fused.process(e);
+                    let (u, v) = e.as_u64_pair();
+                    let cell = spec.hasher.cell(u, v) as usize;
+                    for (off, w) in workers.iter_mut().enumerate() {
+                        let closed = w.observe(e);
+                        if off == cell {
+                            w.store(e, closed);
+                        }
+                    }
+                }
+
+                // Per-worker τ and stored-edge counts.
+                for (i, w) in workers.iter().enumerate() {
+                    assert_eq!(fused.tau[i], w.tau(), "τ({i}) m={m} c={c}");
+                    assert_eq!(fused.stored[i], w.stored_edges(), "stored({i})");
+                }
+                // Group sums of the per-node and per-edge maps.
+                let mut tau_v: FxHashMap<NodeId, u64> = FxHashMap::default();
+                let mut eta_v: FxHashMap<NodeId, u64> = FxHashMap::default();
+                let mut per_edge: FxHashMap<Edge, u64> = FxHashMap::default();
+                let mut eta_total = 0u64;
+                for w in &workers {
+                    eta_total += w.eta();
+                    for (&n, &x) in w.tau_v().unwrap() {
+                        *tau_v.entry(n).or_insert(0) += x;
+                    }
+                    for (&n, &x) in w.eta_v().unwrap() {
+                        *eta_v.entry(n).or_insert(0) += x;
+                    }
+                    for (e, x) in w.edge_counter_entries().unwrap() {
+                        *per_edge.entry(e).or_insert(0) += x;
+                    }
+                }
+                let eta = fused.eta.as_ref().unwrap();
+                assert_eq!(eta.total, eta_total, "η m={m} c={c} {mode:?}");
+                assert_eq!(fused.tau_v.as_ref().unwrap(), &tau_v);
+                assert_eq!(&eta.per_node, &eta_v);
+                assert_eq!(&eta.per_edge, &per_edge);
+            }
+        }
+    }
+
+    /// Unowned cells (`cell ≥ size`) must drop the edge in both engines.
+    #[test]
+    fn unowned_cells_store_nothing() {
+        let cfg = ReptConfig::new(8, 2).with_seed(3); // 6 of 8 cells unowned
+        let rept = Rept::new(cfg);
+        let spec = rept.groups()[0];
+        let stream = barabasi_albert(&GeneratorConfig::new(100, 1), 3);
+        let mut fused = FusedGroup::new(spec, &cfg);
+        for &e in &stream {
+            fused.process(e);
+        }
+        let expected: usize = stream
+            .iter()
+            .filter(|e| spec.hasher.cell(u64::from(e.u()), u64::from(e.v())) < 2)
+            .count();
+        assert_eq!(fused.adj.edge_count(), expected);
+        assert_eq!(fused.stored.iter().sum::<usize>(), expected);
+    }
+}

@@ -46,10 +46,7 @@ impl IntervalEstimator {
     pub fn config_for(&self, interval: u64) -> ReptConfig {
         // Independent hash per interval, derived from the base seed.
         let seed = SplitMix64::new(self.base.seed).fork(interval).next_u64();
-        ReptConfig {
-            seed,
-            ..self.base
-        }
+        ReptConfig { seed, ..self.base }
     }
 
     /// Estimates one interval's stream.

@@ -242,17 +242,15 @@ impl SemiTriangleWorker {
             out.extend_from_slice(&e.v().to_le_bytes());
         }
         // Local counters.
-        let write_node_map = |out: &mut Vec<u8>, map: Option<Vec<(NodeId, u64)>>| {
-            match map {
-                Some(entries) => {
-                    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-                    for (n, v) in entries {
-                        out.extend_from_slice(&n.to_le_bytes());
-                        out.extend_from_slice(&v.to_le_bytes());
-                    }
+        let write_node_map = |out: &mut Vec<u8>, map: Option<Vec<(NodeId, u64)>>| match map {
+            Some(entries) => {
+                out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (n, v) in entries {
+                    out.extend_from_slice(&n.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
                 }
-                None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
             }
+            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
         };
         write_node_map(out, self.tau_v_entries());
         out.extend_from_slice(&self.eta().to_le_bytes());
@@ -286,19 +284,20 @@ impl SemiTriangleWorker {
             let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop edge"))?;
             edges.push(e);
         }
-        let read_node_map = |r: &mut Reader<'_>| -> Result<Option<Vec<(NodeId, u64)>>, SnapshotError> {
-            let len = r.u64()?;
-            if len == u64::MAX {
-                return Ok(None);
-            }
-            let mut entries = Vec::with_capacity(len as usize);
-            for _ in 0..len {
-                let n = r.u32()?;
-                let v = r.u64()?;
-                entries.push((n, v));
-            }
-            Ok(Some(entries))
-        };
+        let read_node_map =
+            |r: &mut Reader<'_>| -> Result<Option<Vec<(NodeId, u64)>>, SnapshotError> {
+                let len = r.u64()?;
+                if len == u64::MAX {
+                    return Ok(None);
+                }
+                let mut entries = Vec::with_capacity(len as usize);
+                for _ in 0..len {
+                    let n = r.u32()?;
+                    let v = r.u64()?;
+                    entries.push((n, v));
+                }
+                Ok(Some(entries))
+            };
         let tau_v = read_node_map(r)?;
         let eta = r.u64()?;
         let eta_v = read_node_map(r)?;

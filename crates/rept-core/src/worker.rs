@@ -41,6 +41,33 @@ struct EtaCounters {
     per_edge: FxHashMap<Edge, u64>,
 }
 
+/// One η-pair update for common neighbor `w` of the arriving edge
+/// `(u, v)` — the inner statement sequence of `UpdateTrianglePairCNT`.
+/// Shared by the per-worker and fused engines so their bit-identical
+/// invariant cannot drift: both must read the two per-edge counters, bump
+/// the pair totals, and only then increment the counters.
+pub(crate) fn update_eta_pair(
+    total: &mut u64,
+    per_node: &mut FxHashMap<NodeId, u64>,
+    per_edge: &mut FxHashMap<Edge, u64>,
+    u: NodeId,
+    v: NodeId,
+    w: NodeId,
+) {
+    // Stored edges (u,w) and (v,w) always have counters: they were
+    // created when the edges entered the sampled set.
+    let e_uw = Edge::new(u, w);
+    let e_vw = Edge::new(v, w);
+    let t_uw = *per_edge.entry(e_uw).or_insert(0);
+    let t_vw = *per_edge.entry(e_vw).or_insert(0);
+    *total += t_uw + t_vw;
+    *per_node.entry(w).or_insert(0) += t_uw + t_vw;
+    *per_node.entry(u).or_insert(0) += t_uw;
+    *per_node.entry(v).or_insert(0) += t_vw;
+    *per_edge.get_mut(&e_uw).expect("entry created above") += 1;
+    *per_edge.get_mut(&e_vw).expect("entry created above") += 1;
+}
+
 impl SemiTriangleWorker {
     /// Creates a worker. `track_locals` enables `τ⁽ⁱ⁾_v`; `track_eta`
     /// enables `η⁽ⁱ⁾`, `η⁽ⁱ⁾_v` and the per-edge counters.
@@ -60,6 +87,14 @@ impl SemiTriangleWorker {
     /// edge. Returns `|N⁽ⁱ⁾_{u,v}|`, the number of semi-triangles closed.
     pub fn observe(&mut self, e: Edge) -> u64 {
         let (u, v) = e.endpoints();
+        // Count-only fast path: when neither locals nor η are tracked, the
+        // identities of the common neighbors are never consumed — only the
+        // intersection size is. Skip the scratch buffer entirely.
+        if self.tau_v.is_none() && self.eta.is_none() {
+            let closed = self.adj.for_each_common_neighbor(u, v, |_| {}) as u64;
+            self.tau += closed;
+            return closed;
+        }
         // Collect the common neighbors first; counter updates need &mut.
         self.scratch.clear();
         let scratch = &mut self.scratch;
@@ -79,18 +114,14 @@ impl SemiTriangleWorker {
         }
         if let Some(eta) = &mut self.eta {
             for &w in &self.scratch {
-                // Stored edges (u,w) and (v,w) always have counters: they
-                // were created when the edges entered E⁽ⁱ⁾.
-                let e_uw = Edge::new(u, w);
-                let e_vw = Edge::new(v, w);
-                let t_uw = *eta.per_edge.entry(e_uw).or_insert(0);
-                let t_vw = *eta.per_edge.entry(e_vw).or_insert(0);
-                eta.global += t_uw + t_vw;
-                *eta.per_node.entry(w).or_insert(0) += t_uw + t_vw;
-                *eta.per_node.entry(u).or_insert(0) += t_uw;
-                *eta.per_node.entry(v).or_insert(0) += t_vw;
-                *eta.per_edge.get_mut(&e_uw).expect("entry created above") += 1;
-                *eta.per_edge.get_mut(&e_vw).expect("entry created above") += 1;
+                update_eta_pair(
+                    &mut eta.global,
+                    &mut eta.per_node,
+                    &mut eta.per_edge,
+                    u,
+                    v,
+                    w,
+                );
             }
         }
         closed
@@ -222,14 +253,14 @@ impl SemiTriangleWorker {
     /// counter maps) — each paper processor needs `O(p·|E|)` memory and
     /// the memory-equalised experiments check this.
     pub fn approx_bytes(&self) -> usize {
-        use std::mem::size_of;
+        use rept_hash::fx::table_bytes;
         let mut total = self.adj.approx_bytes();
         if let Some(m) = &self.tau_v {
-            total += m.capacity() * (size_of::<NodeId>() + size_of::<u64>() + 1);
+            total += table_bytes::<NodeId, u64>(m.capacity());
         }
         if let Some(e) = &self.eta {
-            total += e.per_node.capacity() * (size_of::<NodeId>() + size_of::<u64>() + 1);
-            total += e.per_edge.capacity() * (size_of::<Edge>() + size_of::<u64>() + 1);
+            total += table_bytes::<NodeId, u64>(e.per_node.capacity());
+            total += table_bytes::<Edge, u64>(e.per_edge.capacity());
         }
         total
     }
@@ -252,7 +283,10 @@ mod tests {
 
     #[test]
     fn full_storage_counts_exactly() {
-        let w = exact_worker(&[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)], EtaMode::StrictNonLast);
+        let w = exact_worker(
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)],
+            EtaMode::StrictNonLast,
+        );
         assert_eq!(w.tau(), 2);
         assert_eq!(w.tau_of(0), 2);
         assert_eq!(w.tau_of(1), 2);

@@ -72,7 +72,12 @@ mod tests {
     use rept_graph::edge::Edge;
 
     fn csr(pairs: &[(NodeId, NodeId)]) -> CsrGraph {
-        CsrGraph::from_edges(&pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect::<Vec<_>>())
+        CsrGraph::from_edges(
+            &pairs
+                .iter()
+                .map(|&(u, v)| Edge::new(u, v))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]

@@ -71,7 +71,12 @@ mod tests {
     use crate::static_count::{brute_force_count, forward_count};
 
     fn csr(pairs: &[(NodeId, NodeId)]) -> CsrGraph {
-        CsrGraph::from_edges(&pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect::<Vec<_>>())
+        CsrGraph::from_edges(
+            &pairs
+                .iter()
+                .map(|&(u, v)| Edge::new(u, v))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -96,7 +101,9 @@ mod tests {
             let mut edges = Vec::new();
             for u in 0..n {
                 for v in (u + 1)..n {
-                    if rept_hash::mix::splitmix64(seed ^ ((u as u64) << 32 | v as u64)).is_multiple_of(5) {
+                    if rept_hash::mix::splitmix64(seed ^ ((u as u64) << 32 | v as u64))
+                        .is_multiple_of(5)
+                    {
                         edges.push((u, v));
                     }
                 }

@@ -109,7 +109,12 @@ mod tests {
     use rept_graph::edge::Edge;
 
     fn csr(edges: &[(NodeId, NodeId)]) -> CsrGraph {
-        CsrGraph::from_edges(&edges.iter().map(|&(u, v)| Edge::new(u, v)).collect::<Vec<_>>())
+        CsrGraph::from_edges(
+            &edges
+                .iter()
+                .map(|&(u, v)| Edge::new(u, v))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -150,8 +155,18 @@ mod tests {
             vec![(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)],
             // Two K4s sharing a node.
             vec![
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-                (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (3, 6),
+                (4, 5),
+                (4, 6),
+                (5, 6),
             ],
         ];
         for edges in cases {
@@ -168,9 +183,7 @@ mod tests {
             let mut edges = Vec::new();
             for u in 0..n {
                 for v in (u + 1)..n {
-                    let h = rept_hash::mix::splitmix64(
-                        seed ^ ((u as u64) << 32 | v as u64),
-                    );
+                    let h = rept_hash::mix::splitmix64(seed ^ ((u as u64) << 32 | v as u64));
                     if h % 100 < 25 {
                         edges.push((u, v));
                     }

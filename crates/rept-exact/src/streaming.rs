@@ -75,8 +75,14 @@ impl StreamingExact {
             *self.eta_v.entry(u).or_insert(0) += t_uw;
             *self.eta_v.entry(v).or_insert(0) += t_vw;
             *self.eta_v.entry(w).or_insert(0) += t_uw + t_vw;
-            *self.nonlast.get_mut(&Edge::new(u, w)).expect("just inserted") += 1;
-            *self.nonlast.get_mut(&Edge::new(v, w)).expect("just inserted") += 1;
+            *self
+                .nonlast
+                .get_mut(&Edge::new(u, w))
+                .expect("just inserted") += 1;
+            *self
+                .nonlast
+                .get_mut(&Edge::new(v, w))
+                .expect("just inserted") += 1;
         }
         self.adj.insert(e);
     }
@@ -136,7 +142,10 @@ impl StreamingExact {
     /// Recomputes `η` from the identity `η = Σ_g C(t_g, 2)` — an O(m)
     /// consistency check used by tests and the `variance_check` binary.
     pub fn eta_from_identity(&self) -> u64 {
-        self.nonlast.values().map(|&t| t * t.saturating_sub(1) / 2).sum()
+        self.nonlast
+            .values()
+            .map(|&t| t * t.saturating_sub(1) / 2)
+            .sum()
     }
 }
 
@@ -241,7 +250,16 @@ mod tests {
 
     #[test]
     fn local_sum_is_three_tau() {
-        let c = run(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 0), (4, 1)]);
+        let c = run(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 0),
+            (4, 1),
+        ]);
         let sum: u64 = c.locals().values().sum();
         assert_eq!(sum, 3 * c.global());
     }

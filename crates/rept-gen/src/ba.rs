@@ -88,10 +88,7 @@ mod tests {
         let max = *deg.iter().max().unwrap() as f64;
         // Preferential attachment should produce hubs far above the mean
         // (an ER graph of the same density would stay below ~3× mean).
-        assert!(
-            max > mean * 8.0,
-            "expected a hub: max {max}, mean {mean}"
-        );
+        assert!(max > mean * 8.0, "expected a hub: max {max}, mean {mean}");
     }
 
     #[test]

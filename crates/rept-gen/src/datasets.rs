@@ -115,7 +115,10 @@ pub struct Dataset {
 
 impl Dataset {
     fn new(id: DatasetId, frac: f64) -> Dataset {
-        assert!(frac > 0.0 && frac <= 1.0, "scale fraction must be in (0, 1]");
+        assert!(
+            frac > 0.0 && frac <= 1.0,
+            "scale fraction must be in (0, 1]"
+        );
         let s = |x: usize| ((x as f64 * frac).round() as usize).max(1);
         let (nodes, edges) = match id {
             DatasetId::TwitterSim => {
@@ -243,7 +246,11 @@ mod tests {
         use rept_exact::GroundTruth;
         let d = DatasetId::FlickrSim.dataset_scaled(0.3);
         let gt = GroundTruth::compute(&d.stream);
-        assert!(gt.tau > 1_000, "flickr-sim should be triangle-dense, got {}", gt.tau);
+        assert!(
+            gt.tau > 1_000,
+            "flickr-sim should be triangle-dense, got {}",
+            gt.tau
+        );
         assert!(gt.eta_tau_ratio().unwrap() > 10.0);
     }
 

@@ -116,7 +116,10 @@ mod tests {
             ratio_l > ratio_s * 2.5,
             "E[η/τ] should grow ≈ linearly in pages: {ratio_s:.1} → {ratio_l:.1}"
         );
-        assert!(ratio_l > 20.0, "200 pages should reach E[η/τ] > 20, got {ratio_l:.1}");
+        assert!(
+            ratio_l > 20.0,
+            "200 pages should reach E[η/τ] > 20, got {ratio_l:.1}"
+        );
     }
 
     #[test]

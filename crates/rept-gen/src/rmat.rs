@@ -72,10 +72,7 @@ impl RmatParams {
 pub fn rmat(cfg: &GeneratorConfig, scale: u32, edges: usize, params: RmatParams) -> Vec<Edge> {
     params.validate();
     let n = 1u64 << scale;
-    assert_eq!(
-        cfg.nodes as u64, n,
-        "cfg.nodes must equal 2^scale = {n}"
-    );
+    assert_eq!(cfg.nodes as u64, n, "cfg.nodes must equal 2^scale = {n}");
     assert!(
         (edges as u64) <= n * (n - 1) / 8,
         "too dense for rejection sampling"
@@ -83,7 +80,11 @@ pub fn rmat(cfg: &GeneratorConfig, scale: u32, edges: usize, params: RmatParams)
     let mut rng = cfg.rng(0x12_3A7);
     let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(edges * 2);
     let mut out = Vec::with_capacity(edges);
-    let (pa, pab, pabc) = (params.a, params.a + params.b, params.a + params.b + params.c);
+    let (pa, pab, pabc) = (
+        params.a,
+        params.a + params.b,
+        params.a + params.b + params.c,
+    );
     while out.len() < edges {
         let (mut row, mut col) = (0u64, 0u64);
         for level in (0..scale).rev() {

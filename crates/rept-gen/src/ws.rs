@@ -93,10 +93,7 @@ mod tests {
         let lattice = watts_strogatz(&cfg, 4, 0.0);
         let random = watts_strogatz(&cfg, 4, 1.0);
         let lattice_set: std::collections::HashSet<_> = lattice.into_iter().collect();
-        let surviving = random
-            .iter()
-            .filter(|e| lattice_set.contains(e))
-            .count();
+        let surviving = random.iter().filter(|e| lattice_set.contains(e)).count();
         // With β=1 every edge rewired; only chance overlaps remain.
         assert!(
             surviving < random.len() / 5,

@@ -108,7 +108,11 @@ impl DynamicAdjacency {
             return 0;
         };
         // Iterate the smaller set, probe the larger.
-        let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+        let (small, large) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
         let mut count = 0;
         for &w in small {
             if large.contains(&w) {
@@ -150,15 +154,14 @@ impl DynamicAdjacency {
     /// Approximate heap footprint in bytes (sets + map overhead). Used by
     /// the memory-equalised comparisons of paper §IV-E.
     pub fn approx_bytes(&self) -> usize {
+        use rept_hash::fx::table_bytes;
         use std::mem::size_of;
-        let per_entry = size_of::<NodeId>() + 1; // value + hashbrown ctrl byte
         let sets: usize = self
             .neighbors
             .values()
-            .map(|s| s.capacity() * per_entry + size_of::<FxHashSet<NodeId>>())
+            .map(|s| table_bytes::<NodeId, ()>(s.capacity()) + size_of::<FxHashSet<NodeId>>())
             .sum();
-        let map = self.neighbors.capacity()
-            * (size_of::<NodeId>() + size_of::<FxHashSet<NodeId>>() + 1);
+        let map = table_bytes::<NodeId, FxHashSet<NodeId>>(self.neighbors.capacity());
         sets + map
     }
 }

@@ -1,0 +1,269 @@
+//! Cell-tagged adjacency — the shared sampled graph of one REPT hash
+//! group.
+//!
+//! A hash group of `size` processors partitions the stream by one edge
+//! hash: processor `i` stores exactly the edges in cell `i`. Keeping
+//! `size` independent [`DynamicAdjacency`](crate::adjacency::DynamicAdjacency)
+//! structures — one per processor — makes every arriving edge pay `size`
+//! hash-set intersections over what is collectively *one* partitioned edge
+//! set. This structure stores that set once, tagging each neighbor entry
+//! with the cell of its edge: a common neighbor `w` of an arriving edge
+//! `(u, v)` closes a semi-triangle for processor `i` iff
+//! `cell(u, w) == cell(v, w) == i`, so **one** intersection pass yields
+//! every processor's closures at once.
+//!
+//! Only edges whose cell is owned by some processor are inserted (cells
+//! `size..m` are REPT's subsampling and belong to nobody), which keeps the
+//! matching rule a plain tag equality: both tags are always owned cells.
+
+use rept_hash::fx::FxHashMap;
+
+use crate::edge::{Edge, NodeId};
+
+/// The partition cell an edge was hashed to, as stored in neighbor lists.
+///
+/// `u32` bounds the number of processors per group at ~4.3 billion —
+/// far beyond any deployment — and keeps neighbor entries at 8 bytes.
+pub type CellTag = u32;
+
+/// A mutable undirected graph whose edges carry their partition cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellTaggedAdjacency {
+    neighbors: FxHashMap<NodeId, FxHashMap<NodeId, CellTag>>,
+    edge_count: usize,
+}
+
+impl CellTaggedAdjacency {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the edge tagged with `cell`; returns `false` (leaving the
+    /// existing tag untouched) if the edge was already present.
+    pub fn insert(&mut self, e: Edge, cell: CellTag) -> bool {
+        let (u, v) = (e.u(), e.v());
+        let fresh = match self.neighbors.entry(u).or_default().entry(v) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(cell);
+                true
+            }
+        };
+        if fresh {
+            self.neighbors.entry(v).or_default().insert(u, cell);
+            self.edge_count += 1;
+        }
+        fresh
+    }
+
+    /// The cell tag of the edge, if present.
+    pub fn cell_of(&self, e: Edge) -> Option<CellTag> {
+        self.neighbors
+            .get(&e.u())
+            .and_then(|n| n.get(&e.v()))
+            .copied()
+    }
+
+    /// True if the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.cell_of(e).is_some()
+    }
+
+    /// The degree of `n` (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors.get(&n).map_or(0, |m| m.len())
+    }
+
+    /// Number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Calls `f(w, cell)` for every common neighbor `w` of `u` and `v`
+    /// whose two incident edges `(u, w)` and `(v, w)` carry the **same**
+    /// tag, and returns the number of such matches.
+    ///
+    /// This is the fused form of `UpdateTriangleCNT`: each match is one
+    /// semi-triangle closed by the arriving edge `(u, v)` *for the
+    /// processor owning `cell`*. Iterates the smaller neighbor map and
+    /// probes the larger, so one call costs `O(min(deg u, deg v))` —
+    /// replacing `size` per-processor intersections of the same total
+    /// edge set.
+    #[inline]
+    pub fn for_each_matching_common_neighbor<F: FnMut(NodeId, CellTag)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        mut f: F,
+    ) -> usize {
+        let (Some(nu), Some(nv)) = (self.neighbors.get(&u), self.neighbors.get(&v)) else {
+            return 0;
+        };
+        let (small, large) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
+        let mut matches = 0;
+        for (&w, &cell) in small {
+            if large.get(&w) == Some(&cell) {
+                f(w, cell);
+                matches += 1;
+            }
+        }
+        matches
+    }
+
+    /// Iterates all stored edges with their tags (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = (Edge, CellTag)> + '_ {
+        self.neighbors.iter().flat_map(|(&u, map)| {
+            map.iter()
+                .filter(move |&(&v, _)| u < v)
+                .map(move |(&v, &cell)| (Edge::new(u, v), cell))
+        })
+    }
+
+    /// Number of stored edges tagged `cell` (diagnostic; linear scan).
+    pub fn edges_in_cell(&self, cell: CellTag) -> usize {
+        self.edges().filter(|&(_, c)| c == cell).count()
+    }
+
+    /// Removes everything, keeping allocated capacity where possible.
+    pub fn clear(&mut self) {
+        self.neighbors.clear();
+        self.edge_count = 0;
+    }
+
+    /// Approximate heap footprint in bytes, mirroring
+    /// [`DynamicAdjacency::approx_bytes`](crate::adjacency::DynamicAdjacency::approx_bytes)
+    /// so memory-equalised comparisons can include the fused engine.
+    pub fn approx_bytes(&self) -> usize {
+        use rept_hash::fx::table_bytes;
+        use std::mem::size_of;
+        let maps: usize = self
+            .neighbors
+            .values()
+            .map(|m| {
+                table_bytes::<NodeId, CellTag>(m.capacity())
+                    + size_of::<FxHashMap<NodeId, CellTag>>()
+            })
+            .sum();
+        let outer = table_bytes::<NodeId, FxHashMap<NodeId, CellTag>>(self.neighbors.capacity());
+        maps + outer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(u: NodeId, v: NodeId) -> Edge {
+        Edge::new(u, v)
+    }
+
+    #[test]
+    fn insert_and_tags() {
+        let mut a = CellTaggedAdjacency::new();
+        assert!(a.insert(edge(1, 2), 3));
+        assert!(!a.insert(edge(2, 1), 9), "duplicate in reverse order");
+        assert_eq!(a.cell_of(edge(1, 2)), Some(3), "first tag wins");
+        assert_eq!(a.edge_count(), 1);
+        assert_eq!(a.node_count(), 2);
+        assert_eq!(a.degree(1), 1);
+        assert!(!a.contains(edge(1, 3)));
+    }
+
+    #[test]
+    fn matching_requires_equal_tags() {
+        // Wedge 2–1–3 with both edges in cell 0, plus wedge 2–4–3 split
+        // across cells: only node 1 matches for the arriving edge (2,3).
+        let mut a = CellTaggedAdjacency::new();
+        a.insert(edge(1, 2), 0);
+        a.insert(edge(1, 3), 0);
+        a.insert(edge(4, 2), 0);
+        a.insert(edge(4, 3), 1);
+        let mut hits = Vec::new();
+        let n = a.for_each_matching_common_neighbor(2, 3, |w, c| hits.push((w, c)));
+        assert_eq!(n, 1);
+        assert_eq!(hits, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn matching_of_unknown_nodes_is_empty() {
+        let a = CellTaggedAdjacency::new();
+        assert_eq!(
+            a.for_each_matching_common_neighbor(5, 6, |_, _| panic!()),
+            0
+        );
+    }
+
+    #[test]
+    fn matches_per_cell_equal_split_adjacencies() {
+        // The defining property: matches with tag i over the shared
+        // structure == common neighbors in the cell-i-only adjacency.
+        use crate::adjacency::DynamicAdjacency;
+        use rept_hash::{EdgeHashFamily, PartitionHasher};
+        let cells = 4u64;
+        let ph = PartitionHasher::new(EdgeHashFamily::new(5).member(0), cells);
+        let mut fused = CellTaggedAdjacency::new();
+        let mut split: Vec<DynamicAdjacency> =
+            (0..cells).map(|_| DynamicAdjacency::new()).collect();
+        let mut edges = Vec::new();
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                edges.push(edge(u, v));
+            }
+        }
+        // Store the first half, query with the second half.
+        let (stored, queries) = edges.split_at(edges.len() / 2);
+        for &e in stored {
+            let cell = ph.cell(u64::from(e.u()), u64::from(e.v()));
+            fused.insert(e, cell as CellTag);
+            split[cell as usize].insert(e);
+        }
+        for &q in queries {
+            let mut per_cell = vec![0usize; cells as usize];
+            fused.for_each_matching_common_neighbor(q.u(), q.v(), |_, c| {
+                per_cell[c as usize] += 1;
+            });
+            for (i, s) in split.iter().enumerate() {
+                assert_eq!(
+                    per_cell[i],
+                    s.for_each_common_neighbor(q.u(), q.v(), |_| {}),
+                    "cell {i} query {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edges_roundtrip_with_tags() {
+        let mut a = CellTaggedAdjacency::new();
+        a.insert(edge(1, 2), 0);
+        a.insert(edge(2, 3), 1);
+        a.insert(edge(4, 5), 2);
+        let mut got: Vec<(Edge, CellTag)> = a.edges().collect();
+        got.sort();
+        assert_eq!(got, vec![(edge(1, 2), 0), (edge(2, 3), 1), (edge(4, 5), 2)]);
+        assert_eq!(a.edges_in_cell(1), 1);
+    }
+
+    #[test]
+    fn clear_and_bytes() {
+        let mut a = CellTaggedAdjacency::new();
+        let empty = a.approx_bytes();
+        for i in 0..500u32 {
+            a.insert(edge(i, i + 1), i % 7);
+        }
+        assert!(a.approx_bytes() > empty);
+        a.clear();
+        assert_eq!(a.edge_count(), 0);
+        assert_eq!(a.node_count(), 0);
+    }
+}

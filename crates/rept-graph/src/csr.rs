@@ -26,11 +26,7 @@ impl CsrGraph {
     /// Duplicate edges are collapsed; the input does not need to be sorted.
     /// `node_count` is inferred as `max id + 1` (0 for an empty list).
     pub fn from_edges(edges: &[Edge]) -> Self {
-        let n = edges
-            .iter()
-            .map(|e| e.v() as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|e| e.v() as usize + 1).max().unwrap_or(0);
         Self::from_edges_with_nodes(edges, n)
     }
 

@@ -115,14 +115,22 @@ impl BloomDedup {
 /// Convenience: filters a materialised stream through [`ExactDedup`].
 pub fn dedup_exact(stream: &[Edge]) -> Vec<Edge> {
     let mut filter = ExactDedup::new();
-    stream.iter().copied().filter(|&e| filter.admit(e)).collect()
+    stream
+        .iter()
+        .copied()
+        .filter(|&e| filter.admit(e))
+        .collect()
 }
 
 /// Convenience: filters a materialised stream through [`BloomDedup`]
 /// sized at `fp_rate` for the stream's length.
 pub fn dedup_bloom(stream: &[Edge], fp_rate: f64, seed: u64) -> Vec<Edge> {
     let mut filter = BloomDedup::new(stream.len().max(1) as u64, fp_rate, seed);
-    stream.iter().copied().filter(|&e| filter.admit(e)).collect()
+    stream
+        .iter()
+        .copied()
+        .filter(|&e| filter.admit(e))
+        .collect()
 }
 
 #[cfg(test)]

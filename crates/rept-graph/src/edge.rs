@@ -154,10 +154,7 @@ mod tests {
     fn ordering_is_lexicographic_on_canonical_pairs() {
         let mut v = vec![Edge::new(3, 1), Edge::new(1, 2), Edge::new(2, 3)];
         v.sort();
-        assert_eq!(
-            v,
-            vec![Edge::new(1, 2), Edge::new(1, 3), Edge::new(2, 3)]
-        );
+        assert_eq!(v, vec![Edge::new(1, 2), Edge::new(1, 3), Edge::new(2, 3)]);
     }
 
     #[test]

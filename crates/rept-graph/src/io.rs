@@ -171,15 +171,16 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<Edge>, IoError> {
     let mut edges = Vec::with_capacity(count);
     let mut pair = [0u8; 8];
     for i in 0..count {
-        r.read_exact(&mut pair).map_err(|e| {
-            IoError::BadHeader(format!("truncated at edge {i}/{count}: {e}"))
-        })?;
+        r.read_exact(&mut pair)
+            .map_err(|e| IoError::BadHeader(format!("truncated at edge {i}/{count}: {e}")))?;
         let u = u32::from_le_bytes(pair[..4].try_into().unwrap());
         let v = u32::from_le_bytes(pair[4..].try_into().unwrap());
         match Edge::try_new(u, v) {
             Some(e) => edges.push(e),
             None => {
-                return Err(IoError::BadHeader(format!("self-loop ({u},{v}) at edge {i}")))
+                return Err(IoError::BadHeader(format!(
+                    "self-loop ({u},{v}) at edge {i}"
+                )))
             }
         }
     }

@@ -14,6 +14,9 @@
 //! * [`adjacency`] — [`adjacency::DynamicAdjacency`], the
 //!   hash-based incremental adjacency used by every streaming algorithm
 //!   (common-neighbor queries are the inner loop of the whole system).
+//! * [`cell_tagged`] — [`cell_tagged::CellTaggedAdjacency`], the shared
+//!   cell-tagged adjacency of one REPT hash group, powering the fused
+//!   execution engine (one intersection pass serves all processors).
 //! * [`csr`] — [`csr::CsrGraph`], a compact sorted-neighbor static
 //!   graph for the exact forward algorithm and statistics.
 //! * [`builder`] — [`builder::GraphBuilder`] normalises raw
@@ -26,6 +29,7 @@
 
 pub mod adjacency;
 pub mod builder;
+pub mod cell_tagged;
 pub mod csr;
 pub mod duplicates;
 pub mod edge;
@@ -36,5 +40,6 @@ pub mod timed;
 
 pub use adjacency::DynamicAdjacency;
 pub use builder::GraphBuilder;
+pub use cell_tagged::{CellTag, CellTaggedAdjacency};
 pub use csr::CsrGraph;
 pub use edge::{Edge, NodeId};

@@ -39,7 +39,11 @@ impl GraphStats {
             nodes: n,
             edges: m,
             max_degree,
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             wedges,
         }
     }

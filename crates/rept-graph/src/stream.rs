@@ -33,11 +33,7 @@ pub fn windows(stream: &[Edge], window_len: usize) -> impl Iterator<Item = &[Edg
 /// original relative order.
 pub fn dedup_stream(stream: &[Edge]) -> Vec<Edge> {
     let mut seen: FxHashSet<Edge> = rept_hash::fx::fx_set_with_capacity(stream.len() * 2);
-    stream
-        .iter()
-        .copied()
-        .filter(|e| seen.insert(*e))
-        .collect()
+    stream.iter().copied().filter(|e| seen.insert(*e)).collect()
 }
 
 /// Counts distinct edges in a stream without materialising the result.

@@ -60,8 +60,8 @@ impl BloomFilter {
     fn bit_index(&self, key: u64, i: u32) -> u64 {
         // Kirsch–Mitzenmacher double hashing: h1 + i·h2.
         let h1 = splitmix64(key ^ self.seed);
-        let h2 = splitmix64(key.wrapping_add(0x9E37_79B9_7F4A_7C15) ^ self.seed.rotate_left(17))
-            | 1; // odd, so strides cover the table
+        let h2 =
+            splitmix64(key.wrapping_add(0x9E37_79B9_7F4A_7C15) ^ self.seed.rotate_left(17)) | 1; // odd, so strides cover the table
         reduce_range(h1.wrapping_add((i as u64).wrapping_mul(h2)), self.bit_count)
     }
 

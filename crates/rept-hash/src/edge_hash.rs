@@ -41,7 +41,9 @@ impl EdgeHashFamily {
         // Mix index and master seed so that families with nearby seeds do
         // not share members.
         EdgeHasher {
-            seed: splitmix64(self.master_seed ^ splitmix64(index.wrapping_mul(0xA24B_AED4_963E_E407))),
+            seed: splitmix64(
+                self.master_seed ^ splitmix64(index.wrapping_mul(0xA24B_AED4_963E_E407)),
+            ),
         }
     }
 }

@@ -101,6 +101,16 @@ pub fn fx_set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
     FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
 }
 
+/// Approximate heap bytes of a hashbrown-backed table with `capacity`
+/// slots holding `K` keys and `V` values (one control byte per slot).
+///
+/// The single source of truth for the workspace's memory accounting —
+/// the memory-equalised comparisons (paper §IV-E, Fig. 8) rely on every
+/// structure estimating with the same formula. Use `V = ()` for sets.
+pub fn table_bytes<K, V>(capacity: usize) -> usize {
+    capacity * (std::mem::size_of::<K>() + std::mem::size_of::<V>() + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

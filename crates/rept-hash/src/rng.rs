@@ -67,7 +67,9 @@ impl SplitMix64 {
     /// processor / trial its own generator without sequential coupling.
     #[inline]
     pub fn fork(&self, stream: u64) -> SplitMix64 {
-        SplitMix64::new(splitmix64(self.state ^ splitmix64(stream ^ 0xDEAD_BEEF_CAFE_F00D)))
+        SplitMix64::new(splitmix64(
+            self.state ^ splitmix64(stream ^ 0xDEAD_BEEF_CAFE_F00D),
+        ))
     }
 }
 

@@ -131,8 +131,7 @@ mod tests {
         let trials = 100_000u64;
         let same = (0..trials)
             .filter(|&i| {
-                h.edge_cell(2 * i, 2 * i + 1, m)
-                    == h.edge_cell(300_000 + 2 * i, 300_001 + 2 * i, m)
+                h.edge_cell(2 * i, 2 * i + 1, m) == h.edge_cell(300_000 + 2 * i, 300_001 + 2 * i, m)
             })
             .count();
         let rate = same as f64 / trials as f64;

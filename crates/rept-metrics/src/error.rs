@@ -96,11 +96,8 @@ mod tests {
         // MSE = population variance + bias².
         let est = [1.0, 2.0, 4.0, 9.0];
         let s = ErrorStats::from_samples(&est, 3.0);
-        let pop_var = est
-            .iter()
-            .map(|e| (e - s.mean) * (e - s.mean))
-            .sum::<f64>()
-            / est.len() as f64;
+        let pop_var =
+            est.iter().map(|e| (e - s.mean) * (e - s.mean)).sum::<f64>() / est.len() as f64;
         assert!((s.mse - (pop_var + s.bias * s.bias)).abs() < 1e-12);
     }
 
@@ -114,7 +111,10 @@ mod tests {
     #[test]
     fn nrmse_helper_matches_struct() {
         let est = [9.0, 11.0, 10.5];
-        assert_eq!(nrmse(&est, 10.0), ErrorStats::from_samples(&est, 10.0).nrmse);
+        assert_eq!(
+            nrmse(&est, 10.0),
+            ErrorStats::from_samples(&est, 10.0).nrmse
+        );
     }
 
     #[test]

@@ -182,10 +182,7 @@ mod tests {
         // is defined over τ_v > 0 nodes only.
         let gt = triangle_gt();
         let mut acc = LocalErrorAccumulator::new(&gt);
-        acc.add_trial(
-            &locals(&[(0, 1.0), (1, 1.0), (2, 1.0), (99, 5.0)]),
-            &gt,
-        );
+        acc.add_trial(&locals(&[(0, 1.0), (1, 1.0), (2, 1.0), (99, 5.0)]), &gt);
         assert_eq!(acc.mean_nrmse(&gt), Some(0.0));
     }
 }

@@ -115,8 +115,8 @@ mod tests {
     fn missing_estimates_count_as_zero() {
         let truth = scores(&[(0, 10.0), (1, 5.0), (2, 2.0)]);
         let est = scores(&[(0, 10.0)]); // nodes 1, 2 unseen
-        // Node 0 ordered above both zeros: 2 concordant pairs; the (1,2)
-        // pair ties at 0 → neutral. τ = 2/3.
+                                        // Node 0 ordered above both zeros: 2 concordant pairs; the (1,2)
+                                        // pair ties at 0 → neutral. τ = 2/3.
         assert!((kendall_tau_top(&est, &truth, 3) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(precision_at_k(&est, &truth, 1), 1.0);
     }

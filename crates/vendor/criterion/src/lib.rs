@@ -1,0 +1,214 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this crate vendors the
+//! subset of the Criterion API the workspace's `benches/` use:
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`Throughput`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model (much simpler than real Criterion, adequate for
+//! relative comparisons): after a warm-up, each benchmark runs `samples`
+//! batches sized to last roughly `batch_ms` each, and reports the
+//! **minimum** per-iteration time over batches — the standard way to strip
+//! scheduler noise from micro-measurements. Environment knobs:
+//! `CRITERION_SAMPLES` (default 10) and `CRITERION_BATCH_MS` (default 50).
+//! Passing `--quick` (or running with `CRITERION_SAMPLES=1`) trades
+//! precision for speed.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    samples: u32,
+    batch: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let env_u64 = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Self {
+            samples: if quick {
+                1
+            } else {
+                env_u64("CRITERION_SAMPLES", 10) as u32
+            },
+            batch: Duration::from_millis(env_u64("CRITERION_BATCH_MS", if quick { 5 } else { 50 })),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            harness: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. edges) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter.
+    pub fn new(name: &str, param: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            harness: self.harness,
+            best: Duration::MAX,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    /// Runs one benchmark closure with an input parameter.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            harness: self.harness,
+            best: Duration::MAX,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.best);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, per_iter: Duration) {
+        let ns = per_iter.as_secs_f64() * 1e9;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("  {id}: {ns:.1} ns/iter ({rate:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("  {id}: {ns:.1} ns/iter ({rate:.3e} B/s)");
+            }
+            _ => println!("  {id}: {ns:.1} ns/iter"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher<'a> {
+    harness: &'a Criterion,
+    best: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, keeping the minimum per-iteration time over samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it fills the
+        // target duration, so short closures are timed over many runs.
+        let mut iters: u64 = 1;
+        let batch = self.harness.batch;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch || iters >= 1 << 30 {
+                self.best = self.best.min(elapsed / iters as u32);
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                // Aim 20% past the target to cross it next round.
+                ((iters as f64 * 1.2 * batch.as_secs_f64() / elapsed.as_secs_f64()) as u64)
+                    .max(iters + 1)
+            };
+        }
+        for _ in 1..self.harness.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.best = self.best.min(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

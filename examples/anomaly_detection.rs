@@ -44,7 +44,11 @@ fn main() {
     for (i, interval) in intervals.iter().enumerate() {
         // Fresh estimator per interval — the streaming state resets at
         // interval boundaries, exactly like the paper's router scenario.
-        let rept = Rept::new(ReptConfig::new(4, 4).with_seed(9 + i as u64).with_locals(false));
+        let rept = Rept::new(
+            ReptConfig::new(4, 4)
+                .with_seed(9 + i as u64)
+                .with_locals(false),
+        );
         let est = rept.run_sequential(interval.iter().copied()).global;
         let exact = GroundTruth::compute(interval).tau;
 

@@ -68,7 +68,10 @@ fn main() {
 
     let rel = |x: f64| (x - gt.tau as f64) / gt.tau as f64 * 100.0;
     println!("\nestimates (τ = {}):", gt.tau);
-    println!("  naive on dirty stream : {naive:>10.0}  ({:+.1}%)", rel(naive));
+    println!(
+        "  naive on dirty stream : {naive:>10.0}  ({:+.1}%)",
+        rel(naive)
+    );
     println!(
         "  exact dedup           : {with_exact:>10.0}  ({:+.1}%)  [{} dupes dropped]",
         rel(with_exact),

@@ -47,7 +47,10 @@ fn main() {
         } else {
             ""
         };
-        println!("  machine {i}: peak ≈ {:.1} KiB{flag}", *bytes as f64 / 1024.0);
+        println!(
+            "  machine {i}: peak ≈ {:.1} KiB{flag}",
+            *bytes as f64 / 1024.0
+        );
     }
     let err = (report.estimate.global - gt.tau as f64).abs() / gt.tau as f64;
     println!("\nrelative error vs exact: {:.2}%", err * 100.0);

@@ -58,9 +58,8 @@ fn main() {
         (0..TRIALS)
             .map(|t| {
                 let root = SplitMix64::new(t);
-                let mut instances: Vec<Box<dyn StreamingTriangleCounter>> = (0..C)
-                    .map(|i| factory(root.fork(i).next_u64()))
-                    .collect();
+                let mut instances: Vec<Box<dyn StreamingTriangleCounter>> =
+                    (0..C).map(|i| factory(root.fork(i).next_u64())).collect();
                 for &e in stream {
                     for inst in &mut instances {
                         inst.process(e);
@@ -76,14 +75,22 @@ fn main() {
 
     let theory_mascot =
         nrmse_of_unbiased(parallel_mascot_variance(tau, gt.eta as f64, M, C), tau).unwrap();
-    let theory_rept =
-        nrmse_of_unbiased(rept_variance(tau, gt.eta as f64, M, C), tau).unwrap();
+    let theory_rept = nrmse_of_unbiased(rept_variance(tau, gt.eta as f64, M, C), tau).unwrap();
 
     println!("\nmethod    measured-NRMSE   theory-NRMSE");
-    println!("MASCOT    {:>14.4}   {theory_mascot:>12.4}", nrmse(&mascot, tau));
-    println!("TRIEST    {:>14.4}   {theory_mascot:>12.4}", nrmse(&triest, tau));
+    println!(
+        "MASCOT    {:>14.4}   {theory_mascot:>12.4}",
+        nrmse(&mascot, tau)
+    );
+    println!(
+        "TRIEST    {:>14.4}   {theory_mascot:>12.4}",
+        nrmse(&triest, tau)
+    );
     println!("GPS       {:>14.4}   {:>12}", nrmse(&gps, tau), "n/a");
-    println!("REPT      {:>14.4}   {theory_rept:>12.4}", nrmse(&rept_est, tau));
+    println!(
+        "REPT      {:>14.4}   {theory_rept:>12.4}",
+        nrmse(&rept_est, tau)
+    );
     println!(
         "\nREPT improvement over parallel MASCOT: {:.1}× (theory predicts {:.1}×)",
         nrmse(&mascot, tau) / nrmse(&rept_est, tau),

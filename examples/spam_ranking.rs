@@ -28,10 +28,7 @@ fn main() {
     // 406 for every member — far above organic local counts here).
     let farm_cfg = GeneratorConfig::new(n, 23);
     let farms = planted_cliques(&farm_cfg, 2, 30, 0);
-    let farm_members: HashSet<NodeId> = farms
-        .iter()
-        .flat_map(|e| [e.u(), e.v()])
-        .collect();
+    let farm_members: HashSet<NodeId> = farms.iter().flat_map(|e| [e.u(), e.v()]).collect();
     stream.extend(&farms);
     let stream = stream_order(stream, 3);
     println!(
@@ -47,14 +44,12 @@ fn main() {
     // Rank nodes by estimated local triangle count and score the ranking
     // against exact local counts with the library's ranking metrics.
     let gt = GroundTruth::compute(&stream);
-    let truth: FxHashMap<NodeId, f64> =
-        gt.tau_v.iter().map(|(&v, &t)| (v, t as f64)).collect();
+    let truth: FxHashMap<NodeId, f64> = gt.tau_v.iter().map(|(&v, &t)| (v, t as f64)).collect();
     let k = farm_members.len();
     let precision = precision_at_k(&est.locals, &truth, k);
     let tau_rank = kendall_tau_top(&est.locals, &truth, k);
 
-    let mut ranking: Vec<(f64, NodeId)> =
-        est.locals.iter().map(|(&v, &t)| (t, v)).collect();
+    let mut ranking: Vec<(f64, NodeId)> = est.locals.iter().map(|(&v, &t)| (t, v)).collect();
     ranking.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     println!("\ntop-10 by estimated τ̂_v:");
     println!("rank   node    τ̂_v    farm-member");

@@ -90,9 +90,8 @@ fn rept_and_baselines_are_all_roughly_unbiased_on_a_registry_stream() {
             .global
     });
     let mascot_mean = mean_of(&mut |s| {
-        let mut p = ParallelAveraged::new(4, |i| {
-            Mascot::new(0.25, s * 31 + i as u64).without_locals()
-        });
+        let mut p =
+            ParallelAveraged::new(4, |i| Mascot::new(0.25, s * 31 + i as u64).without_locals());
         p.process_stream(dataset.stream.iter().copied());
         p.global_estimate()
     });
@@ -157,7 +156,12 @@ fn windowed_streams_compose_with_estimators() {
             .run_sequential(window.iter().copied());
         if gt.tau > 200 {
             let rel = (est.global - gt.tau as f64).abs() / gt.tau as f64;
-            assert!(rel < 1.0, "window {i}: estimate {} vs {}", est.global, gt.tau);
+            assert!(
+                rel < 1.0,
+                "window {i}: estimate {} vs {}",
+                est.global,
+                gt.tau
+            );
         }
     }
 }

@@ -183,8 +183,7 @@ fn memory_accounting_is_comparable_across_methods() {
     for &e in &stream {
         mascot.process(e);
     }
-    let est = Rept::new(ReptConfig::new(4, 4).with_seed(3))
-        .run_sequential(stream.iter().copied());
+    let est = Rept::new(ReptConfig::new(4, 4).with_seed(3)).run_sequential(stream.iter().copied());
     let rept_per_proc = est.diagnostics.total_bytes / 4;
     let ratio = rept_per_proc as f64 / mascot.memory_bytes() as f64;
     assert!(

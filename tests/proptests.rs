@@ -2,7 +2,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rept::core::{EtaMode, Rept, ReptConfig};
+use rept::core::{Engine, EtaMode, Rept, ReptConfig};
 use rept::exact::static_count::brute_force_count;
 use rept::exact::{forward_count, GroundTruth, StreamingExact};
 use rept::gen::stream_order;
@@ -98,6 +98,38 @@ proptest! {
         let thr = rept.run_threaded(&stream, threads);
         prop_assert_eq!(seq.global, thr.global);
         prop_assert_eq!(seq.locals, thr.locals);
+    }
+
+    /// The fused engine — single-threaded and threaded — is bit-identical
+    /// to the per-worker oracle for arbitrary streams and processor
+    /// layouts. `m ∈ [2, 6)` × `c ∈ [1, 14)` covers all three combination
+    /// paths (`c ≤ m`, `c₂ = 0`, mixed Graybill–Deal), and η plus locals
+    /// are force-enabled so every counter the engines maintain is
+    /// exercised, not just the ones the layout strictly needs.
+    #[test]
+    fn fused_engines_agree_with_sequential(
+        stream in arb_stream(30, 120),
+        m in 2u64..6,
+        c in 1u64..14,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let rept = Rept::new(
+            ReptConfig::new(m, c).with_seed(seed).with_eta(true).with_locals(true),
+        );
+        let seq = rept.run_sequential(stream.iter().copied());
+        let fused = rept.run(Engine::Fused, &stream);
+        prop_assert_eq!(seq.global, fused.global);
+        prop_assert_eq!(&seq.locals, &fused.locals);
+        prop_assert_eq!(seq.eta_hat, fused.eta_hat);
+        prop_assert_eq!(
+            &seq.diagnostics.per_processor_tau,
+            &fused.diagnostics.per_processor_tau
+        );
+        let thr = rept.run_fused_threaded(&stream, threads);
+        prop_assert_eq!(seq.global, thr.global);
+        prop_assert_eq!(&seq.locals, &thr.locals);
+        prop_assert_eq!(seq.eta_hat, thr.eta_hat);
     }
 
     /// REPT's global estimate is always non-negative and zero on

@@ -86,9 +86,13 @@ fn full_groups_variance_scales_as_one_over_c1() {
             .global
     });
     let (_, var3) = empirical_variance(700, |s| {
-        Rept::new(ReptConfig::new(m, 3 * m).with_seed(s + 10_000).with_locals(false))
-            .run_sequential(stream.iter().copied())
-            .global
+        Rept::new(
+            ReptConfig::new(m, 3 * m)
+                .with_seed(s + 10_000)
+                .with_locals(false),
+        )
+        .run_sequential(stream.iter().copied())
+        .global
     });
     let ratio = var1 / var3;
     assert!(
@@ -184,8 +188,8 @@ fn local_estimates_are_unbiased_too() {
     let trials = 600;
     let mut acc = Welford::new();
     for s in 0..trials {
-        let est = Rept::new(ReptConfig::new(4, 4).with_seed(s))
-            .run_sequential(stream.iter().copied());
+        let est =
+            Rept::new(ReptConfig::new(4, 4).with_seed(s)).run_sequential(stream.iter().copied());
         acc.push(est.local(star_node));
     }
     let mean = acc.mean();
