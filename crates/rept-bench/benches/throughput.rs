@@ -100,7 +100,7 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.throughput(Throughput::Elements(edges));
     for &procs in &[4u64, 10, 40] {
-        for engine in [Engine::PerWorker, Engine::Fused] {
+        for engine in Engine::all() {
             let rept = Rept::new(ReptConfig::new(m, procs).with_seed(3).with_locals(false));
             group.bench_with_input(BenchmarkId::new(engine.name(), procs), &procs, |b, _| {
                 b.iter(|| rept.run(engine, &stream).global)

@@ -1,12 +1,19 @@
 //! Machine-readable engine-throughput benchmark.
 //!
-//! Measures end-to-end edges/second of the two execution engines
-//! (per-worker reference vs fused group) on a fixed Barabási–Albert
-//! stream at `c ∈ {8, 64, 256}` processors with `m = 64`, and writes the
-//! results as JSON so the performance trajectory stays comparable across
-//! PRs. `c = 8` exercises the single-group `c ≤ m` path, `c = 64` the
+//! Measures end-to-end edges/second of every execution engine
+//! (per-worker reference, fused over the hash layout, fused over the
+//! sorted struct-of-arrays layout) on a fixed Barabási–Albert stream at
+//! `c ∈ {8, 64, 256}` processors with `m = 64`, and writes the results
+//! as JSON so the performance trajectory stays comparable across PRs.
+//! `c = 8` exercises the single-group `c ≤ m` path, `c = 64` the
 //! full-partition `c = m` point where REPT's variance is lowest, and
 //! `c = 256` four full groups (Algorithm 2).
+//!
+//! A second section measures `run_fused_threaded` on the single-group
+//! `c = m` layout at 1 vs several threads — the within-group
+//! parallelism path, which only shows a wall-clock win when the host
+//! actually has multiple cores (the JSON records `host_cores` so the
+//! numbers can be read in context).
 //!
 //! Run: `cargo run --release --bin bench_throughput [-- --out FILE]`
 //! (default output: `BENCH_throughput.json`). `--nodes N` scales the
@@ -18,11 +25,12 @@ use std::time::Instant;
 
 use rept_core::{Engine, Rept, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
-use rept_graph::edge::Edge;
 
 const M: u64 = 64;
 const PROCESSOR_COUNTS: [u64; 3] = [8, 64, 256];
 const REPS: usize = 3;
+/// Threads for the within-group parallelism measurement.
+const SPLIT_THREADS: usize = 4;
 
 struct Measurement {
     engine: Engine,
@@ -31,17 +39,17 @@ struct Measurement {
     edges_per_sec: f64,
 }
 
-fn measure(rept: &Rept, engine: Engine, stream: &[Edge]) -> (f64, f64) {
+fn best_of<R: FnMut() -> f64>(mut run: R) -> f64 {
     let mut best = f64::INFINITY;
     let mut sink = 0.0;
     for _ in 0..REPS {
         let start = Instant::now();
-        sink += rept.run(engine, stream).global;
+        sink += run();
         best = best.min(start.elapsed().as_secs_f64());
     }
     // Consume the estimates so the optimiser cannot elide the runs.
     assert!(sink.is_finite());
-    (best, stream.len() as f64 / best)
+    best
 }
 
 fn main() {
@@ -64,28 +72,65 @@ fn main() {
 
     let gen_cfg = GeneratorConfig::new(nodes, 42);
     let stream = barabasi_albert(&gen_cfg, 5);
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
     eprintln!(
-        "stream: barabasi_albert(n = {nodes}, attach = 5) → {} edges; m = {M}",
+        "stream: barabasi_albert(n = {nodes}, attach = 5) → {} edges; m = {M}; host cores = {host_cores}",
         stream.len()
     );
 
     let mut results: Vec<Measurement> = Vec::new();
     for &c in &PROCESSOR_COUNTS {
         let rept = Rept::new(ReptConfig::new(M, c).with_seed(7).with_locals(false));
-        for engine in [Engine::PerWorker, Engine::Fused] {
-            let (seconds, edges_per_sec) = measure(&rept, engine, &stream);
-            eprintln!(
-                "  c = {c:>3} {:>10}: {seconds:8.3} s  ({edges_per_sec:.3e} edges/s)",
-                engine.name()
-            );
+        for engine in Engine::all() {
+            let seconds = best_of(|| rept.run(engine, &stream).global);
             results.push(Measurement {
                 engine,
                 c,
                 seconds,
-                edges_per_sec,
+                edges_per_sec: stream.len() as f64 / seconds,
             });
         }
     }
+    let rate = |c: u64, e: Engine| {
+        results
+            .iter()
+            .find(|r| r.c == c && r.engine == e)
+            .expect("measured above")
+            .edges_per_sec
+    };
+
+    // Per-engine comparison table (stderr, human-readable).
+    eprintln!(
+        "\n  {:>5} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "c", "per-worker", "fused-hash", "fused-sorted", "s/h", "s/w"
+    );
+    for &c in &PROCESSOR_COUNTS {
+        let (w, h, s) = (
+            rate(c, Engine::PerWorker),
+            rate(c, Engine::FusedHash),
+            rate(c, Engine::FusedSorted),
+        );
+        eprintln!(
+            "  {c:>5} {w:>12.3e}/s {h:>12.3e}/s {s:>12.3e}/s {:>7.2}x {:>7.2}x",
+            s / h,
+            s / w
+        );
+    }
+
+    // Within-group parallelism: single hash group (c = m), the layout
+    // that used to be pinned to one thread.
+    let single_group = Rept::new(ReptConfig::new(M, M).with_seed(7).with_locals(false));
+    let t1 = best_of(|| single_group.run_fused_threaded(&stream, 1).global);
+    let tn = best_of(|| {
+        single_group
+            .run_fused_threaded(&stream, SPLIT_THREADS)
+            .global
+    });
+    eprintln!(
+        "\n  single group (m = c = {M}), fused-sorted: 1 thread {t1:.3} s, \
+         {SPLIT_THREADS} threads {tn:.3} s ({:.2}x; host has {host_cores} core(s))",
+        t1 / tn
+    );
 
     // Hand-rolled JSON, matching the workspace's no-serde convention.
     let mut json = String::new();
@@ -97,6 +142,7 @@ fn main() {
     ));
     json.push_str(&format!("  \"m\": {M},\n"));
     json.push_str("  \"track_locals\": false,\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -109,25 +155,41 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str("  \"speedup_fused_over_per_worker\": {");
-    let mut first = true;
-    for &c in &PROCESSOR_COUNTS {
-        let rate = |e: Engine| {
-            results
-                .iter()
-                .find(|r| r.c == c && r.engine == e)
-                .expect("measured above")
-                .edges_per_sec
-        };
-        let speedup = rate(Engine::Fused) / rate(Engine::PerWorker);
-        eprintln!("  c = {c:>3}: fused is {speedup:.2}x per-worker");
-        if !first {
-            json.push_str(", ");
+    for (key, base, target) in [
+        (
+            "speedup_fused_hash_over_per_worker",
+            Engine::PerWorker,
+            Engine::FusedHash,
+        ),
+        (
+            "speedup_fused_sorted_over_per_worker",
+            Engine::PerWorker,
+            Engine::FusedSorted,
+        ),
+        (
+            "speedup_fused_sorted_over_fused_hash",
+            Engine::FusedHash,
+            Engine::FusedSorted,
+        ),
+    ] {
+        json.push_str(&format!("  \"{key}\": {{"));
+        let mut first = true;
+        for &c in &PROCESSOR_COUNTS {
+            if !first {
+                json.push_str(", ");
+            }
+            first = false;
+            json.push_str(&format!("\"{c}\": {:.3}", rate(c, target) / rate(c, base)));
         }
-        first = false;
-        json.push_str(&format!("\"{c}\": {speedup:.3}"));
+        json.push_str("},\n");
     }
-    json.push_str("}\n}\n");
+    json.push_str(&format!(
+        "  \"single_group_threads\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
+         \"seconds_1_thread\": {t1:.6}, \"seconds_{SPLIT_THREADS}_threads\": {tn:.6}, \
+         \"speedup\": {:.3}}}\n",
+        t1 / tn
+    ));
+    json.push_str("}\n");
 
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

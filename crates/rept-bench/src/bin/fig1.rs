@@ -7,8 +7,15 @@
 //! for several graphs at `p = 0.01`; the registry analogs must land in the
 //! same regime for the accuracy experiments to be meaningful.
 //!
-//! Run: `cargo run --release -p rept-bench --bin fig1 [--scale F]`
+//! As an empirical cross-check the table also reports REPT's measured
+//! NRMSE at `p = 0.1, c = 5` through
+//! [`rept_cell_with_engine`](rept_bench::runners::rept_cell_with_engine)
+//! — it should sit far below the MASCOT term ratios predict for an
+//! independent-samples method — with the engine used recorded per row.
+//!
+//! Run: `cargo run --release -p rept-bench --bin fig1 [--scale F] [--engine E]`
 
+use rept_bench::runners::{rept_cell_with_engine, CellOptions};
 use rept_bench::{Args, ExperimentContext};
 use rept_gen::DatasetId;
 use rept_metrics::report::{fmt_num, Table};
@@ -17,6 +24,8 @@ fn main() {
     let args = Args::from_env();
     let scale = args.scale_or(1.0);
     let datasets = args.datasets_or(&DatasetId::all());
+    let engine = args.engine_or_default();
+    let trials = args.trials_or(8);
 
     let ps: [(f64, &str); 3] = [(0.1, "p=0.1"), (0.05, "p=0.05"), (0.01, "p=0.01")];
 
@@ -34,6 +43,8 @@ fn main() {
         "term1(p=0.01)".to_string(),
         "term2(p=0.01)".to_string(),
         "ratio(p=0.01)".to_string(),
+        "rept-nrmse(p=0.1,c=5)".to_string(),
+        "engine".to_string(),
     ]);
 
     for id in datasets {
@@ -51,6 +62,14 @@ fn main() {
             row.push(fmt_num(t2));
             row.push(fmt_num(if t1 > 0.0 { t2 / t1 } else { f64::NAN }));
         }
+        let opts = CellOptions {
+            locals: false,
+            trials,
+            base_seed: args.seed,
+        };
+        let rept = rept_cell_with_engine(&ctx.dataset.stream, &ctx.gt, 10, 5, opts, engine);
+        row.push(fmt_num(rept.global.nrmse));
+        row.push(engine.name().to_string());
         table.push_row(row);
     }
 

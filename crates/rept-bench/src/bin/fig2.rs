@@ -13,7 +13,11 @@
 //! edges and their stream order, evaluates the sampling indicators
 //! `ζ_σ = [h(e₁) = h(e₂) < c]` over many hash seeds, and compares the
 //! empirical covariance with the claim. No estimator in the loop — this
-//! is the probabilistic core of the paper, isolated.
+//! is the probabilistic core of the paper, isolated, so the result is
+//! independent of the execution [`Engine`](rept_core::Engine). The CSV
+//! still records the suite's `--engine` selection (like every other
+//! figure) so a results directory documents one consistent
+//! configuration.
 //!
 //! Run: `cargo run --release -p rept-bench --bin fig2 [--trials N]`
 
@@ -79,6 +83,7 @@ fn main() {
     let theory_p = c as f64 / (m * m) as f64; // P(ζ = 1) = c/m²
     let theory_cov_pos = c as f64 / (m * m * m) as f64 - theory_p * theory_p;
 
+    let engine = args.engine_or_default();
     let mut table = Table::new(vec![
         "case",
         "E[zeta_sigma]",
@@ -86,6 +91,7 @@ fn main() {
         "empirical-cov",
         "theory-cov",
         "verdict",
+        "engine",
     ]);
 
     for case in &cases {
@@ -122,6 +128,7 @@ fn main() {
             fmt_num(cov),
             fmt_num(theory),
             if ok { "matches" } else { "MISMATCH" }.to_string(),
+            engine.name().to_string(),
         ]);
         eprintln!(
             "  {}: cov {} vs {}",

@@ -3,10 +3,15 @@
 //! The paper's Table II lists nodes/edges/triangles for the eight SNAP
 //! graphs. This binary prints the same columns for the synthetic registry
 //! analogs (plus `η` and `η/τ`, which Fig. 1 needs), alongside the paper's
-//! original values for orientation.
+//! original values for orientation, and a REPT sanity column: the mean
+//! estimate `τ̂` at `m = 10, c = 5` through
+//! [`rept_cell_with_engine`](rept_bench::runners::rept_cell_with_engine)
+//! (no per-processor timing needed here, so any engine works; the one
+//! used is recorded in the CSV).
 //!
-//! Run: `cargo run --release -p rept-bench --bin table2 [--scale F] [--datasets ...]`
+//! Run: `cargo run --release -p rept-bench --bin table2 [--scale F] [--datasets ...] [--engine E]`
 
+use rept_bench::runners::{rept_cell_with_engine, CellOptions};
 use rept_bench::{Args, ExperimentContext};
 use rept_gen::DatasetId;
 use rept_metrics::report::{fmt_num, Table};
@@ -29,6 +34,8 @@ fn main() {
     let args = Args::from_env();
     let scale = args.scale_or(1.0);
     let datasets = args.datasets_or(&DatasetId::all());
+    let engine = args.engine_or_default();
+    let trials = args.trials_or(8);
 
     let mut table = Table::new(vec![
         "dataset",
@@ -41,10 +48,18 @@ fn main() {
         "paper-nodes",
         "paper-edges",
         "paper-triangles",
+        "rept-tau-hat(m=10,c=5)",
+        "engine",
     ]);
     for id in datasets {
         let ctx = ExperimentContext::load(id, scale);
         let (pn, pe, pt) = paper_row(id);
+        let opts = CellOptions {
+            locals: false,
+            trials,
+            base_seed: args.seed,
+        };
+        let rept = rept_cell_with_engine(&ctx.dataset.stream, &ctx.gt, 10, 5, opts, engine);
         table.push_row(vec![
             id.name().to_string(),
             id.mimics().to_string(),
@@ -56,6 +71,8 @@ fn main() {
             pn.to_string(),
             pe.to_string(),
             pt.to_string(),
+            fmt_num(rept.global.mean),
+            engine.name().to_string(),
         ]);
     }
 

@@ -7,13 +7,19 @@
 //! * `--datasets a,b,c` — registry names to run (default: a fast subset);
 //! * `--full` — run all eight registry datasets at full scale;
 //! * `--seed S` — base seed for the trial sequence;
-//! * `--out DIR` — output directory for CSV files (default `results/`).
+//! * `--out DIR` — output directory for CSV files (default `results/`);
+//! * `--engine E` — REPT execution engine (`per-worker`, `fused-hash`,
+//!   `fused-sorted`) for binaries whose cells go through
+//!   [`rept_cell_with_engine`](crate::runners::rept_cell_with_engine);
+//!   all engines are bit-identical, so this only affects runtime, and
+//!   the chosen name is recorded in the CSV output.
 //!
 //! Hand-rolled on purpose: the approved dependency list has no CLI crate
 //! and the grammar is trivial.
 
 use std::path::PathBuf;
 
+use rept_core::Engine;
 use rept_gen::DatasetId;
 
 /// Parsed experiment arguments.
@@ -31,6 +37,8 @@ pub struct Args {
     pub seed: u64,
     /// CSV output directory.
     pub out: PathBuf,
+    /// Execution engine for REPT cells (`None` → binary default).
+    pub engine: Option<Engine>,
 }
 
 impl Default for Args {
@@ -42,6 +50,7 @@ impl Default for Args {
             full: false,
             seed: 0xEED5,
             out: PathBuf::from("results"),
+            engine: None,
         }
     }
 }
@@ -109,9 +118,23 @@ impl Args {
                         .map_err(|e| format!("--seed: {e}"))?;
                 }
                 "--out" => out.out = PathBuf::from(value_of("--out")?),
+                "--engine" => {
+                    let name = value_of("--engine")?;
+                    out.engine = Some(Engine::from_name(&name).ok_or_else(|| {
+                        format!(
+                            "unknown engine {name:?}; valid: {}",
+                            Engine::all()
+                                .iter()
+                                .map(|e| e.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "flags: --trials N  --scale F  --datasets a,b  --full  --seed S  --out DIR"
+                        "flags: --trials N  --scale F  --datasets a,b  --full  --seed S  \
+                         --out DIR  --engine E"
                             .into(),
                     )
                 }
@@ -159,6 +182,12 @@ impl Args {
     /// Trials to run: explicit or the supplied default.
     pub fn trials_or(&self, default: u64) -> u64 {
         self.trials.unwrap_or(default)
+    }
+
+    /// Engine to run REPT cells on: explicit or the workspace default
+    /// (the fastest engine — all engines are bit-identical).
+    pub fn engine_or_default(&self) -> Engine {
+        self.engine.unwrap_or_default()
     }
 }
 
@@ -218,6 +247,22 @@ mod tests {
         assert!(parse(&["--trials", "0"]).is_err());
         assert!(parse(&["--scale", "2.0"]).is_err());
         assert!(parse(&["--datasets", "bogus"]).is_err());
+        assert!(parse(&["--engine", "bogus"]).is_err());
         assert!(parse(&["--wat"]).is_err());
+    }
+
+    #[test]
+    fn engine_flag_parses_all_names() {
+        assert_eq!(parse(&[]).unwrap().engine_or_default(), Engine::default());
+        for engine in Engine::all() {
+            let a = parse(&["--engine", engine.name()]).unwrap();
+            assert_eq!(a.engine, Some(engine));
+            assert_eq!(a.engine_or_default(), engine);
+        }
+        // Legacy alias from the PR 1 result files.
+        assert_eq!(
+            parse(&["--engine", "fused"]).unwrap().engine,
+            Some(Engine::FusedSorted)
+        );
     }
 }

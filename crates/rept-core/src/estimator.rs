@@ -9,7 +9,7 @@
 //! from the same seeded family, so group estimates are independent and the
 //! paper's Graybill–Deal combination applies.
 //!
-//! Two execution [`Engine`]s produce **bit-identical** results:
+//! Three execution [`Engine`]s produce **bit-identical** results:
 //!
 //! * **Per-worker** — every processor is a
 //!   [`SemiTriangleWorker`] with its own adjacency; each stream edge costs
@@ -18,20 +18,35 @@
 //!   Drivers: [`Rept::run_sequential`], [`Rept::run_threaded`].
 //! * **Fused** — each hash group keeps one shared cell-tagged adjacency
 //!   ([`crate::fused`]) and recovers all of its workers' counters from a
-//!   single matching-common-neighbor pass per edge.
-//!   Drivers: [`Rept::run_fused`], [`Rept::run_fused_threaded`].
+//!   single matching-common-neighbor pass per edge. Two storage layouts
+//!   exist behind the same [`TaggedAdjacency`] contract: the original
+//!   hash-map-of-hash-maps ([`Engine::FusedHash`]) and the sorted
+//!   struct-of-arrays layout with merge/galloping intersection
+//!   ([`Engine::FusedSorted`], the default and fastest engine).
+//!   Drivers: [`Rept::run_fused`], [`Rept::run_fused_threaded`],
+//!   [`Rept::run_threaded_with`].
+//!
+//! Threaded fused runs parallelise over hash groups whenever the layout
+//! has more than one group (threads clamped to the group count — each
+//! group's full match-and-store pipeline runs concurrently); only
+//! single-group layouts — every `c ≤ m` configuration — switch to
+//! *within-group* parallelism, splitting each batch into a parallel
+//! read-only matching phase and a sequential store phase (see
+//! [`crate::fused`]).
 //!
 //! All drivers are deterministic given the hash seed, so scheduling cannot
 //! affect the output — a property the integration tests assert.
 
+use rept_graph::cell_tagged::{CellTaggedAdjacency, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
+use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 use rept_hash::edge_hash::{EdgeHashFamily, PartitionHasher};
 use rept_hash::fx::FxHashMap;
 
 use crate::combine::{graybill_deal, Combined};
 use crate::config::ReptConfig;
 use crate::estimate::{CombinationPath, Diagnostics, ReptEstimate};
-use crate::fused::FusedGroup;
+use crate::fused::{BatchScratch, FusedFullGroups, FusedGroup};
 use crate::worker::SemiTriangleWorker;
 
 /// A group of processors sharing one partition hash.
@@ -67,7 +82,7 @@ pub(crate) struct GroupAggregate {
     pub eta_v: Option<FxHashMap<NodeId, u64>>,
 }
 
-/// Which execution engine drives a run. Both produce bit-identical
+/// Which execution engine drives a run. All produce bit-identical
 /// estimates; they differ only in cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
@@ -75,9 +90,16 @@ pub enum Engine {
     /// paper's cost model executed literally. Reference oracle.
     PerWorker,
     /// One shared cell-tagged adjacency and one intersection per hash
-    /// *group* per edge (see [`crate::fused`]). The fast engine.
+    /// *group* per edge (see [`crate::fused`]), stored as
+    /// hash-map-of-hash-maps. PR 1's fused engine, kept as the
+    /// layout-comparison baseline.
+    FusedHash,
+    /// The fused engine over the sorted struct-of-arrays layout with
+    /// merge/galloping intersection
+    /// ([`rept_graph::sorted_tagged::SortedTaggedAdjacency`]). The fast
+    /// default.
     #[default]
-    Fused,
+    FusedSorted,
 }
 
 impl Engine {
@@ -85,7 +107,25 @@ impl Engine {
     pub fn name(self) -> &'static str {
         match self {
             Engine::PerWorker => "per-worker",
-            Engine::Fused => "fused",
+            Engine::FusedHash => "fused-hash",
+            Engine::FusedSorted => "fused-sorted",
+        }
+    }
+
+    /// Every engine, reference oracle first (benchmark iteration order).
+    pub fn all() -> [Engine; 3] {
+        [Engine::PerWorker, Engine::FusedHash, Engine::FusedSorted]
+    }
+
+    /// Parses a [`Self::name`] back to an engine. Accepts the pre-layout
+    /// name `"fused"` as an alias for the default fused engine so older
+    /// scripts keep working.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "per-worker" => Some(Engine::PerWorker),
+            "fused-hash" => Some(Engine::FusedHash),
+            "fused-sorted" | "fused" => Some(Engine::FusedSorted),
+            _ => None,
         }
     }
 }
@@ -188,7 +228,8 @@ impl Rept {
             // One thread, but through the threaded driver: its group-major
             // batching keeps one group's adjacency cache-hot at a time,
             // which matters once c > m yields several groups.
-            Engine::Fused => self.run_fused_threaded(stream, 1),
+            Engine::FusedHash => self.fused_threaded_impl::<CellTaggedAdjacency>(stream, 1),
+            Engine::FusedSorted => self.run_fused_sorted(stream, 1),
         }
     }
 
@@ -201,7 +242,8 @@ impl Rept {
     ) -> ReptEstimate {
         match engine {
             Engine::PerWorker => self.run_threaded(stream, threads),
-            Engine::Fused => self.run_fused_threaded(stream, threads),
+            Engine::FusedHash => self.fused_threaded_impl::<CellTaggedAdjacency>(stream, threads),
+            Engine::FusedSorted => self.run_fused_sorted(stream, threads),
         }
     }
 
@@ -287,9 +329,10 @@ impl Rept {
         self.finalize(workers)
     }
 
-    /// Runs the fused engine over a stream in one thread: one shared
-    /// cell-tagged adjacency and one intersection pass per hash group per
-    /// edge. Bit-identical to [`Self::run_sequential`].
+    /// Runs the default fused engine (sorted layout) over a stream in one
+    /// thread: one shared cell-tagged adjacency and one intersection pass
+    /// per hash group per edge. Bit-identical to
+    /// [`Self::run_sequential`].
     ///
     /// Accepts any edge iterator, processing edge-major across groups —
     /// the right shape for true streaming callers that never materialise
@@ -297,90 +340,170 @@ impl Rept {
     /// [`Self::run`] / [`Self::run_fused_threaded`], whose group-major
     /// batching keeps one group's adjacency cache-hot at a time.
     pub fn run_fused<I: IntoIterator<Item = Edge>>(&self, stream: I) -> ReptEstimate {
-        let mut fused: Vec<FusedGroup> = self
-            .groups
-            .iter()
-            .map(|g| FusedGroup::new(*g, &self.cfg))
-            .collect();
+        let mut fused = self.build_fused_groups::<SortedTaggedAdjacency>(|_| true);
         for e in stream {
             for g in &mut fused {
                 g.process(e);
             }
         }
-        self.finalize_groups(fused.into_iter().map(FusedGroup::into_aggregate).collect())
+        self.finalize_groups(Self::aggregate_fused(fused))
     }
 
-    /// Edges per batch in [`Self::run_fused_threaded`]: small enough to
+    /// Edges per batch in the group-major fused drivers: small enough to
     /// keep a batch L1/L2-resident, large enough to amortise the per-batch
     /// group-loop overhead.
     const FUSED_BATCH: usize = 4096;
 
-    /// Runs the fused engine with hash groups spread round-robin over
-    /// `threads` OS threads; each thread streams the input in
+    /// Edges per batch in the within-group split driver: larger than
+    /// [`Self::FUSED_BATCH`] because every batch pays one thread-scope
+    /// fork/join per group, and the sequential store phase touches the
+    /// intra-batch delta rather than the whole adjacency anyway.
+    const SPLIT_BATCH: usize = 16384;
+
+    /// Runs the default fused engine (sorted layout) over `threads` OS
+    /// threads. Produces exactly the same estimate as [`Self::run_fused`].
+    ///
+    /// Multi-group layouts (`⌈c/m⌉ > 1`) spread groups round-robin over
+    /// `min(threads, groups)` threads; each thread streams the input in
     /// [`Self::FUSED_BATCH`]-edge batches, group-major within a batch, so
     /// one group's adjacency stays hot while a batch is drained against
-    /// it. Produces exactly the same estimate as [`Self::run_fused`].
-    ///
-    /// Parallelism is bounded by the number of groups (`⌈c/m⌉`): a single
-    /// group — in particular every `c ≤ m` layout — runs on one thread,
-    /// because the shared adjacency makes within-group processing
-    /// inherently sequential.
+    /// it. Single-group layouts — every `c ≤ m` configuration — switch to
+    /// *within-group* parallelism instead: each
+    /// [`Self::SPLIT_BATCH`]-edge batch is matched read-only across all
+    /// threads, then stored sequentially (see [`crate::fused`]), keeping
+    /// the counters bit-identical.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn run_fused_threaded(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
-        assert!(threads > 0, "need at least one thread");
-        let n_threads = threads.min(self.groups.len()).max(1);
-        if n_threads == 1 {
-            // Single worker (also every single-group layout): run the
-            // batch loop inline — a thread scope would be pure overhead
-            // for the Monte-Carlo callers that run one trial per seed.
-            let mut owned: Vec<FusedGroup> = self
-                .groups
-                .iter()
-                .map(|g| FusedGroup::new(*g, &self.cfg))
-                .collect();
-            Self::drive_batches(&mut owned, stream);
-            return self
-                .finalize_groups(owned.into_iter().map(FusedGroup::into_aggregate).collect());
+        self.run_fused_sorted(stream, threads)
+    }
+
+    /// The sorted engine's driver. Single-threaded runs of layouts with
+    /// at least two **full** hash groups (`size = m`, so every edge is
+    /// stored — all such groups hold the identical edge set) take the
+    /// shared-structure path: one [`FusedFullGroups`] walks the common
+    /// neighbor structure once per edge for all full groups (see
+    /// [`crate::fused`]), while any remainder group (`c₂ ≠ 0`) runs its
+    /// own [`FusedGroup`] alongside. Everything else falls through to
+    /// the generic per-group driver. Bit-identical either way.
+    fn run_fused_sorted(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
+        let full: Vec<GroupSpec> = self
+            .groups
+            .iter()
+            .filter(|g| g.size as u64 == self.cfg.m)
+            .copied()
+            .collect();
+        if threads != 1 || full.len() < 2 {
+            return self.fused_threaded_impl::<SortedTaggedAdjacency>(stream, threads);
         }
-        // Threads may return their aggregates in any interleaving;
-        // `finalize_groups` re-orders by `GroupAggregate::start`.
-        let aggregates: Vec<GroupAggregate> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n_threads);
-            for t in 0..n_threads {
-                let mut owned: Vec<FusedGroup> = self
-                    .groups
-                    .iter()
-                    .enumerate()
-                    .filter(|(gi, _)| gi % n_threads == t)
-                    .map(|(_, g)| FusedGroup::new(*g, &self.cfg))
-                    .collect();
-                handles.push(scope.spawn(move || {
-                    Self::drive_batches(&mut owned, stream);
-                    owned
-                        .into_iter()
-                        .map(FusedGroup::into_aggregate)
-                        .collect::<Vec<_>>()
-                }));
+        let mut shared = FusedFullGroups::new(&full, &self.cfg);
+        let mut rest: Vec<FusedGroup<SortedTaggedAdjacency>> =
+            self.build_fused_groups(|gi| self.groups[gi].size as u64 != self.cfg.m);
+        for batch in stream.chunks(Self::FUSED_BATCH) {
+            for &e in batch {
+                shared.process(e);
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("REPT fused thread panicked"))
-                .collect()
-        });
+            shared.compact();
+            for g in rest.iter_mut() {
+                for &e in batch {
+                    g.process(e);
+                }
+                g.compact();
+            }
+        }
+        let mut aggregates = shared.into_aggregates();
+        aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
         self.finalize_groups(aggregates)
+    }
+
+    /// The engine-generic body behind every fused driver.
+    fn fused_threaded_impl<A: TaggedAdjacency>(
+        &self,
+        stream: &[Edge],
+        threads: usize,
+    ) -> ReptEstimate {
+        assert!(threads > 0, "need at least one thread");
+        let n_groups = self.groups.len();
+        if threads == 1 {
+            // Single worker: run the batch loop inline — a thread scope
+            // would be pure overhead for the Monte-Carlo callers that run
+            // one trial per seed.
+            let mut owned = self.build_fused_groups::<A>(|_| true);
+            Self::drive_batches(&mut owned, stream);
+            return self.finalize_groups(Self::aggregate_fused(owned));
+        }
+        if n_groups > 1 {
+            // Multi-group layout: spread groups round-robin, clamping to
+            // the group count — each group's full pipeline (match AND
+            // store) runs concurrently, which beats matching-only
+            // parallelism whenever there is more than one group.
+            // Threads may return their aggregates in any interleaving;
+            // `finalize_groups` re-orders by `GroupAggregate::start`.
+            let n_threads = threads.min(n_groups);
+            let aggregates: Vec<GroupAggregate> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_threads);
+                for t in 0..n_threads {
+                    let mut owned = self.build_fused_groups::<A>(|gi| gi % n_threads == t);
+                    handles.push(scope.spawn(move || {
+                        Self::drive_batches(&mut owned, stream);
+                        Self::aggregate_fused(owned)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("REPT fused thread panicked"))
+                    .collect()
+            });
+            return self.finalize_groups(aggregates);
+        }
+        // One group, several threads: within-group parallelism. Each
+        // batch is split into a parallel matching phase over all threads
+        // and a sequential store phase.
+        let mut owned = self.build_fused_groups::<A>(|_| true);
+        let mut scratch = BatchScratch::default();
+        for batch in stream.chunks(Self::SPLIT_BATCH) {
+            for g in owned.iter_mut() {
+                g.match_batch(batch, &mut scratch.lists, threads);
+                g.apply_batch(batch, &mut scratch);
+                g.compact();
+            }
+        }
+        self.finalize_groups(Self::aggregate_fused(owned))
+    }
+
+    /// Builds the fused state of every group whose index passes `keep` —
+    /// the one construction site all fused drivers share.
+    fn build_fused_groups<A: TaggedAdjacency>(
+        &self,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<FusedGroup<A>> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| keep(*gi))
+            .map(|(_, g)| FusedGroup::new(*g, &self.cfg))
+            .collect()
+    }
+
+    /// Finishes a set of fused groups into the aggregates
+    /// [`Self::finalize_groups`] combines.
+    fn aggregate_fused<A: TaggedAdjacency>(groups: Vec<FusedGroup<A>>) -> Vec<GroupAggregate> {
+        groups.into_iter().map(FusedGroup::into_aggregate).collect()
     }
 
     /// Drains the stream against a set of fused groups in
     /// [`Self::FUSED_BATCH`]-edge batches, group-major within a batch.
-    fn drive_batches(groups: &mut [FusedGroup], stream: &[Edge]) {
+    /// Each batch boundary compacts the group's adjacency, so the bulk
+    /// of every batch's matching runs on fully sorted state.
+    fn drive_batches<A: TaggedAdjacency>(groups: &mut [FusedGroup<A>], stream: &[Edge]) {
         for batch in stream.chunks(Self::FUSED_BATCH) {
             for g in groups.iter_mut() {
                 for &e in batch {
                     g.process(e);
                 }
+                g.compact();
             }
         }
     }
@@ -708,8 +831,10 @@ mod tests {
 
     #[test]
     fn fused_matches_sequential_bit_for_bit() {
-        // The fused engine against the per-worker oracle on every
-        // combination path, with η and locals on, both drivers.
+        // Both fused engines against the per-worker oracle on every
+        // combination path, with η and locals on, all drivers. Thread
+        // counts above the group count exercise the within-group split
+        // path (every layout here has ≤ 4 groups).
         let cfg = GeneratorConfig::new(300, 11);
         let stream = rept_gen::barabasi_albert(&cfg, 4);
         for (m, c) in [(4u64, 3u64), (3, 3), (3, 7), (2, 8), (6, 1)] {
@@ -724,12 +849,44 @@ mod tests {
                 "per-processor τ must agree, m={m} c={c}"
             );
             assert_eq!(seq.diagnostics.stored_edges, fused.diagnostics.stored_edges);
-            for threads in [1, 2, 5] {
-                let thr = r.run_fused_threaded(&stream, threads);
-                assert_eq!(seq.global, thr.global, "m={m} c={c} threads={threads}");
-                assert_eq!(seq.eta_hat, thr.eta_hat);
-                assert_eq!(seq.locals, thr.locals);
+            for engine in [Engine::FusedHash, Engine::FusedSorted] {
+                for threads in [1, 2, 5] {
+                    let thr = r.run_threaded_with(engine, &stream, threads);
+                    assert_eq!(
+                        seq.global,
+                        thr.global,
+                        "m={m} c={c} threads={threads} {}",
+                        engine.name()
+                    );
+                    assert_eq!(seq.eta_hat, thr.eta_hat);
+                    assert_eq!(seq.locals, thr.locals);
+                    assert_eq!(
+                        seq.diagnostics.per_processor_tau,
+                        thr.diagnostics.per_processor_tau
+                    );
+                }
             }
+        }
+    }
+
+    #[test]
+    fn within_group_threads_match_on_single_group_layout() {
+        // c ≤ m ⇒ one hash group; any threads > 1 must take the split
+        // match/apply path and still be bit-identical.
+        let stream = rept_gen::barabasi_albert(&GeneratorConfig::new(400, 9), 5);
+        let r = Rept::new(ReptConfig::new(8, 6).with_seed(13).with_eta(true));
+        assert_eq!(r.groups().len(), 1);
+        let one = r.run_fused_threaded(&stream, 1);
+        for threads in [2usize, 3, 8] {
+            let par = r.run_fused_threaded(&stream, threads);
+            assert_eq!(one.global, par.global, "threads={threads}");
+            assert_eq!(one.eta_hat, par.eta_hat);
+            assert_eq!(one.locals, par.locals);
+            assert_eq!(
+                one.diagnostics.per_processor_tau,
+                par.diagnostics.per_processor_tau
+            );
+            assert_eq!(one.diagnostics.stored_edges, par.diagnostics.stored_edges);
         }
     }
 
@@ -738,12 +895,21 @@ mod tests {
         let stream = complete(10);
         let r = Rept::new(ReptConfig::new(3, 3).with_seed(5));
         let a = r.run(Engine::PerWorker, &stream);
-        let b = r.run(Engine::Fused, &stream);
-        let c = r.run_threaded_with(Engine::Fused, &stream, 2);
-        assert_eq!(a.global, b.global);
-        assert_eq!(a.global, c.global);
-        assert_eq!(Engine::Fused.name(), "fused");
+        for engine in [Engine::FusedHash, Engine::FusedSorted] {
+            let b = r.run(engine, &stream);
+            let c = r.run_threaded_with(engine, &stream, 2);
+            assert_eq!(a.global, b.global, "{}", engine.name());
+            assert_eq!(a.global, c.global, "{}", engine.name());
+        }
+        assert_eq!(Engine::default(), Engine::FusedSorted);
+        assert_eq!(Engine::FusedSorted.name(), "fused-sorted");
+        assert_eq!(Engine::FusedHash.name(), "fused-hash");
         assert_eq!(Engine::PerWorker.name(), "per-worker");
+        for engine in Engine::all() {
+            assert_eq!(Engine::from_name(engine.name()), Some(engine));
+        }
+        assert_eq!(Engine::from_name("fused"), Some(Engine::FusedSorted));
+        assert_eq!(Engine::from_name("bogus"), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! performs `size` hash-probing passes over what is collectively **one**
 //! partitioned edge set. This module fuses those passes: a
 //! [`FusedGroup`] stores the group's sampled edges once in a
-//! [`CellTaggedAdjacency`] (each neighbor entry tagged with its edge's
+//! [`TaggedAdjacency`] (each neighbor entry tagged with its edge's
 //! partition cell) and recovers *every* worker's counters from a single
 //! common-neighbor pass — a common neighbor `w` of an arriving edge
 //! `(u, v)` closes a semi-triangle for worker `i` iff
@@ -16,30 +16,75 @@
 //! Per edge the cost drops from
 //! `O(Σᵢ |N⁽ⁱ⁾_u ∩ N⁽ⁱ⁾_v| probes)` — `size` lookups of (mostly tiny)
 //! per-worker neighbor sets plus `size` intersections — to **one**
-//! intersection over the union adjacency, `O(min(deg u, deg v))` probes
-//! total. The counters it produces (`τ⁽ⁱ⁾`, group-summed `τ⁽ⁱ⁾_v`,
-//! `η⁽ⁱ⁾`, `η⁽ⁱ⁾_v`, per-edge `τ⁽ⁱ⁾_(u,v)`) are **bit-identical** to the
-//! per-worker engine's: every counter is an exact `u64` sum over the same
-//! multiset of increments, and duplicate-edge and η-initialisation rules
-//! mirror [`SemiTriangleWorker::store`](crate::worker::SemiTriangleWorker::store)
+//! intersection over the union adjacency. The storage layout is generic:
+//! [`CellTaggedAdjacency`](rept_graph::cell_tagged::CellTaggedAdjacency)
+//! is the original hash-map backend,
+//! [`SortedTaggedAdjacency`](rept_graph::sorted_tagged::SortedTaggedAdjacency)
+//! the cache-friendly sorted struct-of-arrays one. The counters either
+//! backend produces (`τ⁽ⁱ⁾`, group-summed `τ⁽ⁱ⁾_v`, `η⁽ⁱ⁾`, `η⁽ⁱ⁾_v`,
+//! per-edge `τ⁽ⁱ⁾_(u,v)`) are **bit-identical** to the per-worker
+//! engine's: every counter is an exact `u64` sum over the same multiset
+//! of increments (match *order* may differ per layout, but within one
+//! arriving edge distinct common neighbors touch disjoint per-edge
+//! counters, so every fold commutes), and duplicate-edge and
+//! η-initialisation rules mirror
+//! [`SemiTriangleWorker::store`](crate::worker::SemiTriangleWorker::store)
 //! statement for statement. The integration proptests assert this across
 //! all three combination paths.
+//!
+//! # Within-group parallelism
+//!
+//! Group state is inherently sequential — edge `t`'s matching must see
+//! every stored edge `< t` — so the estimator's threaded driver used to
+//! parallelise over hash groups only, leaving `c ≤ m` layouts (one
+//! group) on a single thread. [`FusedGroup::match_batch`] /
+//! [`FusedGroup::apply_batch`] split each stream batch into
+//!
+//! 1. a **parallel, read-only matching phase**: every edge's matches
+//!    against the *batch-start snapshot* of the adjacency are collected
+//!    concurrently (no counter or adjacency mutation, so any number of
+//!    threads may share `&self`), and
+//! 2. a **sequential store phase**: edges are replayed in stream order,
+//!    folding the precomputed snapshot matches plus the matches through
+//!    edges stored *earlier in the same batch* (tracked in a small
+//!    [`DeltaAdjacency`]) into the counters, then storing owned edges.
+//!
+//! The intra-batch fix-up enumerates, for edge `(u, v)`, the delta
+//! neighbors of `u` against the full adjacency and the delta neighbors
+//! of `v` against the snapshot-only part — exactly the matches the
+//! snapshot pass missed, each exactly once — so the counter stream is
+//! identical to fully sequential processing, which keeps the η counters
+//! (whose updates read-then-increment and are therefore order-sensitive
+//! *across* edges) bit-identical.
 
-use rept_graph::cell_tagged::{CellTag, CellTaggedAdjacency};
+use rept_graph::cell_tagged::{CellTag, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
-use rept_hash::fx::{table_bytes, FxHashMap};
+use rept_graph::multi_tagged::MultiSortedTaggedAdjacency;
+use rept_hash::fx::{table_bytes, FxHashMap, FxHashSet};
 
 use crate::config::{EtaMode, ReptConfig};
 use crate::estimator::{GroupAggregate, GroupSpec};
 use crate::worker::update_eta_pair;
 
+/// The matches of one stream edge against a batch-start snapshot.
+pub(crate) type MatchList = Vec<(NodeId, CellTag)>;
+
 /// One hash group's shared state under the fused engine: the cell-tagged
 /// union adjacency plus all `size` workers' counters.
-#[derive(Debug, Clone)]
-pub(crate) struct FusedGroup {
+#[derive(Debug)]
+pub(crate) struct FusedGroup<A: TaggedAdjacency> {
     spec: GroupSpec,
     /// The union of all workers' `E⁽ⁱ⁾`, tagged by cell.
-    adj: CellTaggedAdjacency,
+    adj: A,
+    /// All counter state, split out so the matching pass can read `adj`
+    /// while folding into the counters.
+    counters: GroupCounters,
+}
+
+/// The counter half of a fused group (everything `process` mutates
+/// besides the adjacency itself).
+#[derive(Debug, Clone)]
+pub(crate) struct GroupCounters {
     /// `τ⁽ⁱ⁾` per worker (indexed by cell offset).
     tau: Vec<u64>,
     /// Edges stored per worker.
@@ -67,7 +112,141 @@ struct FusedEtaCounters {
     per_edge: FxHashMap<Edge, u64>,
 }
 
-impl FusedGroup {
+impl GroupCounters {
+    /// Fresh counters for one group of `size` workers.
+    fn new(size: usize, cfg: &ReptConfig) -> Self {
+        Self {
+            tau: vec![0; size],
+            stored: vec![0; size],
+            tau_v: cfg.track_locals.then(FxHashMap::default),
+            eta: cfg.needs_eta().then(FusedEtaCounters::default),
+            eta_mode: cfg.eta_mode,
+        }
+    }
+
+    /// Finishes this group's counters into the aggregate the estimator
+    /// combines. `bytes` starts at the counter maps' own footprint; the
+    /// caller adds its adjacency share.
+    fn into_aggregate(self, start: usize) -> GroupAggregate {
+        let mut bytes = 0;
+        if let Some(tv) = &self.tau_v {
+            bytes += table_bytes::<NodeId, u64>(tv.capacity());
+        }
+        if let Some(eta) = &self.eta {
+            bytes += table_bytes::<NodeId, u64>(eta.per_node.capacity());
+            bytes += table_bytes::<Edge, u64>(eta.per_edge.capacity());
+        }
+        GroupAggregate {
+            start,
+            tau: self.tau,
+            stored: self.stored,
+            bytes,
+            eta_total: self.eta.as_ref().map_or(0, |e| e.total),
+            tau_v: self.tau_v,
+            eta_v: self.eta.map(|e| e.per_node),
+        }
+    }
+
+    /// Folds one matched common neighbor `w` of the arriving edge
+    /// `(u, v)` into every counter — the single statement sequence both
+    /// the fully-sequential and the split match/apply drivers funnel
+    /// through, so the bit-identical invariant cannot drift between
+    /// them. `closed_owner` accumulates `|N⁽ᵒʷⁿᵉʳ⁾_{u,v}|` for the
+    /// paper-faithful η initialisation of the stored edge.
+    #[inline]
+    fn fold_match(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        w: NodeId,
+        cell: CellTag,
+        owner: u64,
+        closed_owner: &mut u64,
+    ) {
+        if u64::from(cell) == owner {
+            *closed_owner += 1;
+        }
+        self.tau[cell as usize] += 1;
+        if let Some(tv) = &mut self.tau_v {
+            *tv.entry(u).or_insert(0) += 1;
+            *tv.entry(v).or_insert(0) += 1;
+            *tv.entry(w).or_insert(0) += 1;
+        }
+        if let Some(eta) = &mut self.eta {
+            update_eta_pair(
+                &mut eta.total,
+                &mut eta.per_node,
+                &mut eta.per_edge,
+                u,
+                v,
+                w,
+            );
+        }
+    }
+
+    /// Counter bookkeeping for a freshly stored edge: bumps the owning
+    /// worker's stored count and initialises the per-edge η counter
+    /// (`|N⁽ᵒʷⁿᵉʳ⁾_{u,v}|` under the paper-faithful mode, 0 under the
+    /// strict mode) — mirroring `SemiTriangleWorker::store`.
+    #[inline]
+    fn record_store(&mut self, e: Edge, owner: usize, closed_owner: u64) {
+        self.stored[owner] += 1;
+        if let Some(eta) = &mut self.eta {
+            let init = match self.eta_mode {
+                EtaMode::PaperInit => closed_owner,
+                EtaMode::StrictNonLast => 0,
+            };
+            eta.per_edge.insert(e, init);
+        }
+    }
+}
+
+/// The edges one batch has stored so far, indexed both ways — the
+/// sequential store phase's record of what the parallel snapshot
+/// matching could not see. Bounded by the batch size and cleared per
+/// batch.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaAdjacency {
+    by_node: FxHashMap<NodeId, Vec<(NodeId, CellTag)>>,
+    edges: FxHashSet<Edge>,
+}
+
+impl DeltaAdjacency {
+    fn insert(&mut self, e: Edge, cell: CellTag) {
+        let (u, v) = e.endpoints();
+        self.edges.insert(e);
+        self.by_node.entry(u).or_default().push((v, cell));
+        self.by_node.entry(v).or_default().push((u, cell));
+    }
+
+    fn contains(&self, e: Edge) -> bool {
+        self.edges.contains(&e)
+    }
+
+    fn for_each_neighbor<F: FnMut(NodeId, CellTag)>(&self, n: NodeId, mut f: F) {
+        if let Some(nbrs) = self.by_node.get(&n) {
+            for &(w, cell) in nbrs {
+                f(w, cell);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.by_node.clear();
+        self.edges.clear();
+    }
+}
+
+/// Reusable scratch state of the split match/apply driver: the per-edge
+/// snapshot match lists (allocation reused across batches and groups)
+/// and the intra-batch delta.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    pub(crate) lists: Vec<MatchList>,
+    delta: DeltaAdjacency,
+}
+
+impl<A: TaggedAdjacency> FusedGroup<A> {
     /// Creates the fused state for one group of `spec.size` workers.
     pub(crate) fn new(spec: GroupSpec, cfg: &ReptConfig) -> Self {
         assert!(
@@ -77,88 +256,244 @@ impl FusedGroup {
         );
         Self {
             spec,
-            adj: CellTaggedAdjacency::new(),
-            tau: vec![0; spec.size],
-            stored: vec![0; spec.size],
-            tau_v: cfg.track_locals.then(FxHashMap::default),
-            eta: cfg.needs_eta().then(FusedEtaCounters::default),
-            eta_mode: cfg.eta_mode,
+            adj: A::default(),
+            counters: GroupCounters::new(spec.size, cfg),
         }
+    }
+
+    /// The edge's partition cell under this group's hash.
+    #[inline]
+    fn owner_of(&self, e: Edge) -> u64 {
+        let (u, v) = e.as_u64_pair();
+        self.spec.hasher.cell(u, v)
     }
 
     /// Processes one stream edge: counts every worker's semi-triangle
     /// closures in a single matching-common-neighbor pass, then stores the
     /// edge if its cell is owned (`cell < size` — cells `size..m` are
-    /// REPT's subsampling and belong to no worker).
+    /// REPT's subsampling and belong to no worker). Matching and store
+    /// run through the layout's fused
+    /// [`TaggedAdjacency::match_then_insert`], which lets it resolve
+    /// per-endpoint state once; a duplicate stream edge fails the insert
+    /// and is ignored, exactly like `SemiTriangleWorker::store`.
     #[inline]
     pub(crate) fn process(&mut self, e: Edge) {
-        let (u, v) = (e.u(), e.v());
-        let owner = self.spec.hasher.cell(u64::from(u), u64::from(v));
-
-        // Split borrows: the pass reads `adj` while updating the counter
-        // fields. `closed_owner` is |N⁽ᵒʷⁿᵉʳ⁾_{u,v}|, needed for the
-        // paper-faithful η initialisation of the stored edge.
+        let (u, v) = e.endpoints();
+        let owner = self.owner_of(e);
+        let store = ((owner as usize) < self.spec.size).then_some(owner as CellTag);
         let mut closed_owner = 0u64;
-        {
-            let tau = &mut self.tau;
-            let mut tau_v = self.tau_v.as_mut();
-            let mut eta = self.eta.as_mut();
-            self.adj.for_each_matching_common_neighbor(u, v, |w, cell| {
-                if u64::from(cell) == owner {
-                    closed_owner += 1;
-                }
-                tau[cell as usize] += 1;
-                if let Some(tv) = tau_v.as_deref_mut() {
-                    *tv.entry(u).or_insert(0) += 1;
-                    *tv.entry(v).or_insert(0) += 1;
-                    *tv.entry(w).or_insert(0) += 1;
-                }
-                if let Some(eta) = eta.as_deref_mut() {
-                    update_eta_pair(
-                        &mut eta.total,
-                        &mut eta.per_node,
-                        &mut eta.per_edge,
-                        u,
-                        v,
-                        w,
-                    );
-                }
-            });
+        let counters = &mut self.counters;
+        let stored = self.adj.match_then_insert(e, store, |w, cell| {
+            counters.fold_match(u, v, w, cell, owner, &mut closed_owner);
+        });
+        if stored {
+            self.counters.record_store(e, owner as usize, closed_owner);
         }
+    }
 
-        // A duplicate stream edge fails the insert and is ignored, exactly
-        // like `SemiTriangleWorker::store`.
+    /// The store half of split batch processing: a duplicate stream edge
+    /// fails the insert and is ignored, exactly like
+    /// `SemiTriangleWorker::store`; fresh stores are also recorded in the
+    /// batch delta.
+    #[inline]
+    fn store_if_owned(
+        &mut self,
+        e: Edge,
+        owner: u64,
+        closed_owner: u64,
+        delta: &mut DeltaAdjacency,
+    ) {
         if (owner as usize) < self.spec.size && self.adj.insert(e, owner as CellTag) {
-            self.stored[owner as usize] += 1;
-            if let Some(eta) = &mut self.eta {
-                let init = match self.eta_mode {
-                    EtaMode::PaperInit => closed_owner,
-                    EtaMode::StrictNonLast => 0,
-                };
-                eta.per_edge.insert(e, init);
-            }
+            self.counters.record_store(e, owner as usize, closed_owner);
+            delta.insert(e, owner as CellTag);
         }
+    }
+
+    /// Phase 1 of split batch processing: collects every batch edge's
+    /// matches against the **current** (batch-start) adjacency into
+    /// `lists`, fanning the read-only intersections out over `threads`
+    /// OS threads. Mutates nothing but the output lists.
+    pub(crate) fn match_batch(&self, batch: &[Edge], lists: &mut Vec<MatchList>, threads: usize) {
+        if lists.len() < batch.len() {
+            lists.resize_with(batch.len(), Vec::new);
+        }
+        let lists = &mut lists[..batch.len()];
+        for l in lists.iter_mut() {
+            l.clear();
+        }
+        let adj = &self.adj;
+        let run = |edges: &[Edge], out: &mut [MatchList]| {
+            for (e, list) in edges.iter().zip(out.iter_mut()) {
+                let (u, v) = e.endpoints();
+                adj.for_each_matching_common_neighbor(u, v, |w, cell| list.push((w, cell)));
+            }
+        };
+        if threads <= 1 || batch.len() < 2 {
+            run(batch, lists);
+            return;
+        }
+        let chunk = batch.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (edges, out) in batch.chunks(chunk).zip(lists.chunks_mut(chunk)) {
+                scope.spawn(move || run(edges, out));
+            }
+        });
+    }
+
+    /// Phase 2 of split batch processing: replays the batch in stream
+    /// order, folding each edge's snapshot matches (from
+    /// [`Self::match_batch`]) plus its intra-batch delta matches into the
+    /// counters, then storing owned edges. Sequential by construction —
+    /// this is what keeps the order-sensitive η counters bit-identical to
+    /// [`Self::process`] run edge by edge.
+    pub(crate) fn apply_batch(&mut self, batch: &[Edge], scratch: &mut BatchScratch) {
+        let BatchScratch { lists, delta } = scratch;
+        delta.clear();
+        for (e, snapshot_matches) in batch.iter().zip(lists.iter()) {
+            let (u, v) = e.endpoints();
+            let owner = self.owner_of(*e);
+            let mut closed_owner = 0u64;
+            for &(w, cell) in snapshot_matches {
+                self.counters
+                    .fold_match(u, v, w, cell, owner, &mut closed_owner);
+            }
+            {
+                let adj = &self.adj;
+                let counters = &mut self.counters;
+                // (u,w) stored this batch × (v,w) anywhere. `w == v`
+                // (the edge itself, possible on duplicates) closes
+                // nothing: `v` is never its own neighbor.
+                delta.for_each_neighbor(u, |w, cell_uw| {
+                    if w != v && adj.cell_of(Edge::new(v, w)) == Some(cell_uw) {
+                        counters.fold_match(u, v, w, cell_uw, owner, &mut closed_owner);
+                    }
+                });
+                // (v,w) stored this batch × (u,w) in the snapshot only —
+                // delta × delta pairs were counted by the arm above.
+                delta.for_each_neighbor(v, |w, cell_vw| {
+                    if w == u {
+                        return;
+                    }
+                    let e_uw = Edge::new(u, w);
+                    if adj.cell_of(e_uw) == Some(cell_vw) && !delta.contains(e_uw) {
+                        counters.fold_match(u, v, w, cell_vw, owner, &mut closed_owner);
+                    }
+                });
+            }
+            self.store_if_owned(*e, owner, closed_owner, delta);
+        }
+    }
+
+    /// Folds the adjacency's pending insertions into query-optimal form
+    /// (see [`TaggedAdjacency::compact`]) — called by the batch drivers
+    /// at batch boundaries so steady-state matching runs on compacted
+    /// state. A pure representation change; never affects counters.
+    #[inline]
+    pub(crate) fn compact(&mut self) {
+        self.adj.compact();
     }
 
     /// Finishes the group, yielding the aggregate the estimator combines.
     pub(crate) fn into_aggregate(self) -> GroupAggregate {
-        let mut bytes = self.adj.approx_bytes();
-        if let Some(tv) = &self.tau_v {
-            bytes += table_bytes::<NodeId, u64>(tv.capacity());
+        let adj_bytes = self.adj.approx_bytes();
+        let mut agg = self.counters.into_aggregate(self.spec.start);
+        agg.bytes += adj_bytes;
+        agg
+    }
+}
+
+/// All of a layout's **full** hash groups (size = `m`) fused over one
+/// shared neighbor structure. A full group owns every cell of its hash,
+/// so it stores every stream edge — all full groups therefore hold the
+/// identical edge set and differ only in tags, which
+/// [`MultiSortedTaggedAdjacency`] exploits: one structure walk per edge
+/// discovers the common neighbors for every group at once, and only the
+/// per-group tag comparisons and counter folds remain per group. The
+/// counters are maintained per group exactly as [`FusedGroup`] would,
+/// so the result is bit-identical to running the groups independently.
+#[derive(Debug)]
+pub(crate) struct FusedFullGroups {
+    specs: Vec<GroupSpec>,
+    adj: MultiSortedTaggedAdjacency,
+    counters: Vec<GroupCounters>,
+    /// Per-edge scratch: each group's owner cell (always owned — a full
+    /// group owns all `m` cells) …
+    owners: Vec<CellTag>,
+    /// … and each group's `|N⁽ᵒʷⁿᵉʳ⁾_{u,v}|` for η initialisation.
+    closed: Vec<u64>,
+}
+
+impl FusedFullGroups {
+    /// Creates the shared state for the given full groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group does not own all `m` cells of its hasher —
+    /// the sharing argument only holds for full groups.
+    pub(crate) fn new(specs: &[GroupSpec], cfg: &ReptConfig) -> Self {
+        assert!(!specs.is_empty());
+        for g in specs {
+            assert_eq!(
+                g.size as u64,
+                g.hasher.cells(),
+                "shared full-group state requires every cell to be owned"
+            );
         }
-        if let Some(eta) = &self.eta {
-            bytes += table_bytes::<NodeId, u64>(eta.per_node.capacity());
-            bytes += table_bytes::<Edge, u64>(eta.per_edge.capacity());
+        Self {
+            adj: MultiSortedTaggedAdjacency::new(specs.len()),
+            counters: specs
+                .iter()
+                .map(|g| GroupCounters::new(g.size, cfg))
+                .collect(),
+            owners: vec![0; specs.len()],
+            closed: vec![0; specs.len()],
+            specs: specs.to_vec(),
         }
-        GroupAggregate {
-            start: self.spec.start,
-            tau: self.tau,
-            stored: self.stored,
-            bytes,
-            eta_total: self.eta.as_ref().map_or(0, |e| e.total),
-            tau_v: self.tau_v,
-            eta_v: self.eta.map(|e| e.per_node),
+    }
+
+    /// Processes one stream edge for every full group in a single
+    /// structural matching pass; the edge is always stored (every cell
+    /// is owned) unless it is a duplicate.
+    #[inline]
+    pub(crate) fn process(&mut self, e: Edge) {
+        let (u, v) = e.endpoints();
+        let (uu, vv) = e.as_u64_pair();
+        for (owner, spec) in self.owners.iter_mut().zip(&self.specs) {
+            *owner = spec.hasher.cell(uu, vv) as CellTag;
         }
+        self.closed.fill(0);
+        let counters = &mut self.counters;
+        let closed = &mut self.closed;
+        let owners = &self.owners;
+        let stored = self.adj.match_then_insert(e, Some(owners), |g, w, cell| {
+            counters[g].fold_match(u, v, w, cell, u64::from(owners[g]), &mut closed[g]);
+        });
+        if stored {
+            for g in 0..self.specs.len() {
+                self.counters[g].record_store(e, self.owners[g] as usize, self.closed[g]);
+            }
+        }
+    }
+
+    /// Batch-boundary compaction (see [`FusedGroup::compact`]).
+    #[inline]
+    pub(crate) fn compact(&mut self) {
+        self.adj.compact();
+    }
+
+    /// Finishes all groups. The shared structure's bytes are split
+    /// evenly across the groups so layout-wide totals stay meaningful.
+    pub(crate) fn into_aggregates(self) -> Vec<GroupAggregate> {
+        let shared_bytes = self.adj.approx_bytes() / self.specs.len();
+        self.specs
+            .iter()
+            .zip(self.counters)
+            .map(|(spec, counters)| {
+                let mut agg = counters.into_aggregate(spec.start);
+                agg.bytes += shared_bytes;
+                agg
+            })
+            .collect()
     }
 }
 
@@ -168,12 +503,14 @@ mod tests {
     use crate::estimator::Rept;
     use crate::worker::SemiTriangleWorker;
     use rept_gen::{barabasi_albert, GeneratorConfig};
+    use rept_graph::cell_tagged::CellTaggedAdjacency;
+    use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 
     /// The fused group's counters equal the per-worker counters on the
     /// same group, field by field — including the per-edge η counters the
-    /// estimate never exposes directly.
-    #[test]
-    fn fused_group_counters_match_workers_exactly() {
+    /// estimate never exposes directly. Exercised for both adjacency
+    /// backends.
+    fn counters_match_workers_exactly<A: TaggedAdjacency>() {
         let stream = barabasi_albert(&GeneratorConfig::new(250, 7), 5);
         for (m, c) in [(4u64, 4u64), (6, 3), (5, 2)] {
             for mode in [EtaMode::PaperInit, EtaMode::StrictNonLast] {
@@ -184,7 +521,7 @@ mod tests {
                 let rept = Rept::new(cfg);
                 let spec = rept.groups()[0];
 
-                let mut fused = FusedGroup::new(spec, &cfg);
+                let mut fused = FusedGroup::<A>::new(spec, &cfg);
                 let mut workers: Vec<SemiTriangleWorker> = (0..spec.size)
                     .map(|_| SemiTriangleWorker::new(true, true, mode))
                     .collect();
@@ -202,8 +539,8 @@ mod tests {
 
                 // Per-worker τ and stored-edge counts.
                 for (i, w) in workers.iter().enumerate() {
-                    assert_eq!(fused.tau[i], w.tau(), "τ({i}) m={m} c={c}");
-                    assert_eq!(fused.stored[i], w.stored_edges(), "stored({i})");
+                    assert_eq!(fused.counters.tau[i], w.tau(), "τ({i}) m={m} c={c}");
+                    assert_eq!(fused.counters.stored[i], w.stored_edges(), "stored({i})");
                 }
                 // Group sums of the per-node and per-edge maps.
                 let mut tau_v: FxHashMap<NodeId, u64> = FxHashMap::default();
@@ -222,11 +559,71 @@ mod tests {
                         *per_edge.entry(e).or_insert(0) += x;
                     }
                 }
-                let eta = fused.eta.as_ref().unwrap();
+                let eta = fused.counters.eta.as_ref().unwrap();
                 assert_eq!(eta.total, eta_total, "η m={m} c={c} {mode:?}");
-                assert_eq!(fused.tau_v.as_ref().unwrap(), &tau_v);
+                assert_eq!(fused.counters.tau_v.as_ref().unwrap(), &tau_v);
                 assert_eq!(&eta.per_node, &eta_v);
                 assert_eq!(&eta.per_edge, &per_edge);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_backend_counters_match_workers_exactly() {
+        counters_match_workers_exactly::<CellTaggedAdjacency>();
+    }
+
+    #[test]
+    fn sorted_backend_counters_match_workers_exactly() {
+        counters_match_workers_exactly::<SortedTaggedAdjacency>();
+    }
+
+    /// The split match/apply driver equals edge-by-edge processing on the
+    /// same group, for any batch boundary — including batches containing
+    /// duplicate stream edges (which must store once and keep matching).
+    #[test]
+    fn split_batches_equal_sequential_processing() {
+        let mut stream = barabasi_albert(&GeneratorConfig::new(150, 3), 4);
+        // Duplicate a slice of the stream mid-way so duplicates land both
+        // within one batch and across batches.
+        let dup: Vec<Edge> = stream[10..40].to_vec();
+        stream.splice(60..60, dup);
+        for mode in [EtaMode::PaperInit, EtaMode::StrictNonLast] {
+            let cfg = ReptConfig::new(5, 4)
+                .with_seed(2)
+                .with_eta(true)
+                .with_eta_mode(mode);
+            let rept = Rept::new(cfg);
+            let spec = rept.groups()[0];
+
+            let mut sequential = FusedGroup::<SortedTaggedAdjacency>::new(spec, &cfg);
+            for &e in &stream {
+                sequential.process(e);
+            }
+
+            for batch_len in [1usize, 7, 64, stream.len()] {
+                for threads in [1usize, 3] {
+                    let mut split = FusedGroup::<SortedTaggedAdjacency>::new(spec, &cfg);
+                    let mut scratch = BatchScratch::default();
+                    for batch in stream.chunks(batch_len) {
+                        split.match_batch(batch, &mut scratch.lists, threads);
+                        split.apply_batch(batch, &mut scratch);
+                    }
+                    assert_eq!(
+                        split.counters.tau, sequential.counters.tau,
+                        "τ batch={batch_len} threads={threads} {mode:?}"
+                    );
+                    assert_eq!(split.counters.stored, sequential.counters.stored);
+                    assert_eq!(split.counters.tau_v, sequential.counters.tau_v);
+                    let (se, qe) = (
+                        split.counters.eta.as_ref().unwrap(),
+                        sequential.counters.eta.as_ref().unwrap(),
+                    );
+                    assert_eq!(se.total, qe.total, "η batch={batch_len} {mode:?}");
+                    assert_eq!(se.per_node, qe.per_node);
+                    assert_eq!(se.per_edge, qe.per_edge);
+                    assert_eq!(split.adj.edge_count(), sequential.adj.edge_count());
+                }
             }
         }
     }
@@ -238,7 +635,7 @@ mod tests {
         let rept = Rept::new(cfg);
         let spec = rept.groups()[0];
         let stream = barabasi_albert(&GeneratorConfig::new(100, 1), 3);
-        let mut fused = FusedGroup::new(spec, &cfg);
+        let mut fused = FusedGroup::<SortedTaggedAdjacency>::new(spec, &cfg);
         for &e in &stream {
             fused.process(e);
         }
@@ -247,6 +644,6 @@ mod tests {
             .filter(|e| spec.hasher.cell(u64::from(e.u()), u64::from(e.v())) < 2)
             .count();
         assert_eq!(fused.adj.edge_count(), expected);
-        assert_eq!(fused.stored.iter().sum::<usize>(), expected);
+        assert_eq!(fused.counters.stored.iter().sum::<usize>(), expected);
     }
 }

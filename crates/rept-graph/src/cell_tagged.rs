@@ -26,6 +26,79 @@ use crate::edge::{Edge, NodeId};
 /// far beyond any deployment — and keeps neighbor entries at 8 bytes.
 pub type CellTag = u32;
 
+/// The storage contract of one hash group's shared sampled graph — the
+/// exact API the fused execution engine drives, abstracted so the engine
+/// can swap neighbor layouts without touching its counting logic.
+///
+/// Implementations: [`CellTaggedAdjacency`] (hash-map-of-hash-maps, the
+/// original layout) and
+/// [`SortedTaggedAdjacency`](crate::sorted_tagged::SortedTaggedAdjacency)
+/// (sorted struct-of-arrays with merge/galloping intersection). Both
+/// must match **semantically bit-for-bit**: same duplicate handling
+/// (first tag wins, insert returns `false`), same matching rule (tag
+/// equality), same match multiset per query — match *order* may differ,
+/// which is fine because every consumer folds matches into commutative
+/// integer sums.
+///
+/// `Send + Sync` are required because the fused engine moves group state
+/// across worker threads and shares `&self` during its read-only
+/// parallel matching phase.
+pub trait TaggedAdjacency: Default + std::fmt::Debug + Send + Sync {
+    /// Short stable layout name (used in diagnostics and benches).
+    const NAME: &'static str;
+
+    /// Inserts the edge tagged with `cell`; returns `false` (leaving the
+    /// existing tag untouched) if the edge was already present.
+    fn insert(&mut self, e: Edge, cell: CellTag) -> bool;
+
+    /// The cell tag of the edge, if present.
+    fn cell_of(&self, e: Edge) -> Option<CellTag>;
+
+    /// Calls `f(w, cell)` for every common neighbor `w` of `u` and `v`
+    /// whose two incident edges carry the same tag; returns the match
+    /// count.
+    fn for_each_matching_common_neighbor<F: FnMut(NodeId, CellTag)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        f: F,
+    ) -> usize;
+
+    /// Number of stored edges.
+    fn edge_count(&self) -> usize;
+
+    /// Approximate heap footprint in bytes.
+    fn approx_bytes(&self) -> usize;
+
+    /// Folds any pending insertions into the layout's query-optimal form
+    /// (a pure representation change — answers are identical before and
+    /// after). The fused drivers call this at batch boundaries; layouts
+    /// with no deferred state (like the hash maps) keep the default
+    /// no-op.
+    fn compact(&mut self) {}
+
+    /// Processes one stream edge in a single call: matches common
+    /// neighbors (exactly like
+    /// [`Self::for_each_matching_common_neighbor`], against the state
+    /// *before* any insertion), then — when `store` carries the edge's
+    /// owned cell — inserts the edge. Returns whether the edge was
+    /// freshly stored (`false` for `store == None` and for duplicates).
+    ///
+    /// Semantically this IS the two-call sequence the default body
+    /// spells out; layouts override it to resolve their per-endpoint
+    /// state once instead of once per call (see
+    /// [`SortedTaggedAdjacency`](crate::sorted_tagged::SortedTaggedAdjacency)).
+    fn match_then_insert<F: FnMut(NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<CellTag>,
+        f: F,
+    ) -> bool {
+        self.for_each_matching_common_neighbor(e.u(), e.v(), f);
+        store.is_some_and(|cell| self.insert(e, cell))
+    }
+}
+
 /// A mutable undirected graph whose edges carry their partition cell.
 #[derive(Debug, Clone, Default)]
 pub struct CellTaggedAdjacency {
@@ -156,6 +229,31 @@ impl CellTaggedAdjacency {
             .sum();
         let outer = table_bytes::<NodeId, FxHashMap<NodeId, CellTag>>(self.neighbors.capacity());
         maps + outer
+    }
+}
+
+impl TaggedAdjacency for CellTaggedAdjacency {
+    const NAME: &'static str = "hash";
+
+    fn insert(&mut self, e: Edge, cell: CellTag) -> bool {
+        CellTaggedAdjacency::insert(self, e, cell)
+    }
+    fn cell_of(&self, e: Edge) -> Option<CellTag> {
+        CellTaggedAdjacency::cell_of(self, e)
+    }
+    fn for_each_matching_common_neighbor<F: FnMut(NodeId, CellTag)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        f: F,
+    ) -> usize {
+        CellTaggedAdjacency::for_each_matching_common_neighbor(self, u, v, f)
+    }
+    fn edge_count(&self) -> usize {
+        CellTaggedAdjacency::edge_count(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        CellTaggedAdjacency::approx_bytes(self)
     }
 }
 

@@ -16,7 +16,16 @@
 //!   (common-neighbor queries are the inner loop of the whole system).
 //! * [`cell_tagged`] — [`cell_tagged::CellTaggedAdjacency`], the shared
 //!   cell-tagged adjacency of one REPT hash group, powering the fused
-//!   execution engine (one intersection pass serves all processors).
+//!   execution engine (one intersection pass serves all processors), and
+//!   the [`cell_tagged::TaggedAdjacency`] trait both fused backends
+//!   implement.
+//! * [`sorted_tagged`] — [`sorted_tagged::SortedTaggedAdjacency`], the
+//!   sorted struct-of-arrays backend with merge/galloping intersection
+//!   (the fast fused layout).
+//! * [`multi_tagged`] — [`multi_tagged::MultiSortedTaggedAdjacency`],
+//!   the shared neighbor structure with one tag column per full hash
+//!   group (all full groups store the same edge set, so the structure
+//!   walk is paid once for all of them).
 //! * [`csr`] — [`csr::CsrGraph`], a compact sorted-neighbor static
 //!   graph for the exact forward algorithm and statistics.
 //! * [`builder`] — [`builder::GraphBuilder`] normalises raw
@@ -34,12 +43,16 @@ pub mod csr;
 pub mod duplicates;
 pub mod edge;
 pub mod io;
+pub mod multi_tagged;
+pub mod sorted_tagged;
 pub mod stats;
 pub mod stream;
 pub mod timed;
 
 pub use adjacency::DynamicAdjacency;
 pub use builder::GraphBuilder;
-pub use cell_tagged::{CellTag, CellTaggedAdjacency};
+pub use cell_tagged::{CellTag, CellTaggedAdjacency, TaggedAdjacency};
 pub use csr::CsrGraph;
 pub use edge::{Edge, NodeId};
+pub use multi_tagged::MultiSortedTaggedAdjacency;
+pub use sorted_tagged::SortedTaggedAdjacency;

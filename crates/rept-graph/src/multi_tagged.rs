@@ -1,0 +1,453 @@
+//! Shared sorted adjacency with one tag **column per hash group** — the
+//! full-group backend of the fused execution engine.
+//!
+//! REPT's Algorithm 2 (`c > m`) runs `⌊c/m⌋` *full* hash groups of `m`
+//! processors each. A full group owns every one of its hash's `m` cells,
+//! so it stores **every** stream edge — which means all full groups hold
+//! the *identical* edge set and differ only in the cell tag each group's
+//! hash assigns to an edge. Keeping one
+//! [`SortedTaggedAdjacency`](crate::sorted_tagged::SortedTaggedAdjacency)
+//! per group therefore rebuilds and re-intersects the same neighbor
+//! structure `⌊c/m⌋` times per edge.
+//!
+//! This structure stores the shared neighbor lists **once** and carries
+//! `width` parallel tag columns per neighbor entry (`tags[pos·width + g]`
+//! is entry `pos`'s tag under group `g`'s hash) — the struct-of-arrays
+//! idea taken across groups. One sorted-merge/gallop pass per edge
+//! discovers the structural common neighbors for *all* groups at once;
+//! per discovered neighbor only `width` tag equality checks remain. At
+//! `c = 4m` that deletes three of the four structure walks, duplicate
+//! checks, and insert passes the per-group layout performs.
+//!
+//! Insertion amortisation (unsorted tail bounded by
+//! [`TAIL_LIMIT`](crate::sorted_tagged), merged on overflow and at batch
+//! boundaries via [`MultiSortedTaggedAdjacency::compact`]) mirrors the
+//! single-group layout; see [`crate::sorted_tagged`] for the rationale.
+
+use rept_hash::fx::FxHashMap;
+
+use crate::cell_tagged::CellTag;
+use crate::edge::{Edge, NodeId};
+use crate::sorted_tagged::{for_each_common_position, position_in, TAIL_LIMIT};
+
+/// One node's neighbors: sorted prefix `[0, sorted_len)` plus an
+/// unsorted tail, with `width` tags per neighbor entry (strided).
+#[derive(Debug, Clone, Default)]
+struct MultiNodeList {
+    nbrs: Vec<NodeId>,
+    /// `nbrs.len() * width` tags; entry `pos`'s tags occupy
+    /// `tags[pos*width .. (pos+1)*width]`.
+    tags: Vec<CellTag>,
+    sorted_len: usize,
+}
+
+impl MultiNodeList {
+    /// Position of neighbor `w`, if present.
+    #[inline]
+    fn position(&self, w: NodeId) -> Option<usize> {
+        position_in(&self.nbrs, self.sorted_len, w)
+    }
+}
+
+/// A mutable undirected graph whose edges carry one partition-cell tag
+/// per hash group, stored once and shared by all groups.
+#[derive(Debug, Clone)]
+pub struct MultiSortedTaggedAdjacency {
+    /// Tag columns per neighbor entry (= number of full hash groups).
+    width: usize,
+    /// Node id → arena slot.
+    slots: FxHashMap<NodeId, u32>,
+    /// Per-node lists, indexed by slot.
+    lists: Vec<MultiNodeList>,
+    edge_count: usize,
+    /// Slots with pending tails (may contain duplicates; see
+    /// [`crate::sorted_tagged::SortedTaggedAdjacency`]).
+    dirty: Vec<u32>,
+    /// Reusable tail-merge scratch (`width` is runtime-sized, so the
+    /// single-group layout's stack buffer does not fit here).
+    scratch_nbrs: Vec<NodeId>,
+    scratch_tags: Vec<CellTag>,
+}
+
+impl MultiSortedTaggedAdjacency {
+    /// Creates an empty structure carrying `width` tag columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "need at least one tag column");
+        Self {
+            width,
+            slots: FxHashMap::default(),
+            lists: Vec::new(),
+            edge_count: 0,
+            dirty: Vec::new(),
+            scratch_nbrs: Vec::new(),
+            scratch_tags: Vec::new(),
+        }
+    }
+
+    /// Number of tag columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The degree of `n` (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.slots
+            .get(&n)
+            .map_or(0, |&s| self.lists[s as usize].nbrs.len())
+    }
+
+    /// The tag column of the edge under every group, if present.
+    pub fn tags_of(&self, e: Edge) -> Option<&[CellTag]> {
+        let s = *self.slots.get(&e.u())? as usize;
+        let list = &self.lists[s];
+        let pos = list.position(e.v())?;
+        Some(&list.tags[pos * self.width..(pos + 1) * self.width])
+    }
+
+    /// True if the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.tags_of(e).is_some()
+    }
+
+    #[inline]
+    fn ensure_slot(&mut self, n: NodeId) -> usize {
+        let next = self.lists.len() as u32;
+        let slot = *self.slots.entry(n).or_insert(next);
+        if slot == next {
+            self.lists.push(MultiNodeList {
+                nbrs: Vec::with_capacity(8),
+                tags: Vec::with_capacity(8 * self.width),
+                sorted_len: 0,
+            });
+        }
+        slot as usize
+    }
+
+    /// Appends `(w, tags)` to the slot's list, merging an overflowing
+    /// tail. Returns `true` when the push left a newly non-empty tail.
+    #[inline]
+    fn push_entry(&mut self, slot: usize, w: NodeId, tags: &[CellTag]) -> bool {
+        let list = &mut self.lists[slot];
+        let was_clean = list.sorted_len == list.nbrs.len();
+        list.nbrs.push(w);
+        list.tags.extend_from_slice(tags);
+        if list.nbrs.len() - list.sorted_len > TAIL_LIMIT {
+            self.merge_tail(slot);
+            return false;
+        }
+        was_clean
+    }
+
+    /// Merges the slot's unsorted tail into its sorted prefix: tail
+    /// entries are copied to the reusable scratch in neighbor-sorted
+    /// order, then back-merged from the highest index down (no element
+    /// is overwritten before it is read; see the single-group layout).
+    fn merge_tail(&mut self, slot: usize) {
+        let width = self.width;
+        let list = &mut self.lists[slot];
+        let s = list.sorted_len;
+        let n = list.nbrs.len();
+        if s == n {
+            return;
+        }
+        let mut order: [(NodeId, usize); TAIL_LIMIT + 1] = [(0, 0); TAIL_LIMIT + 1];
+        let order = &mut order[..n - s];
+        for (k, entry) in order.iter_mut().enumerate() {
+            *entry = (list.nbrs[s + k], s + k);
+        }
+        order.sort_unstable_by_key(|&(w, _)| w);
+        self.scratch_nbrs.clear();
+        self.scratch_tags.clear();
+        for &(w, pos) in order.iter() {
+            self.scratch_nbrs.push(w);
+            self.scratch_tags
+                .extend_from_slice(&list.tags[pos * width..(pos + 1) * width]);
+        }
+
+        let (mut a, mut t, mut write) = (s, order.len(), n);
+        while t > 0 {
+            let (src, from_tail) = if a > 0 && list.nbrs[a - 1] > self.scratch_nbrs[t - 1] {
+                a -= 1;
+                (a, false)
+            } else {
+                t -= 1;
+                (t, true)
+            };
+            write -= 1;
+            if from_tail {
+                list.nbrs[write] = self.scratch_nbrs[src];
+                let dst = write * width;
+                for g in 0..width {
+                    list.tags[dst + g] = self.scratch_tags[src * width + g];
+                }
+            } else {
+                list.nbrs[write] = list.nbrs[src];
+                list.tags
+                    .copy_within(src * width..(src + 1) * width, write * width);
+            }
+        }
+        list.sorted_len = n;
+    }
+
+    /// Merges every pending tail (the fused drivers call this at batch
+    /// boundaries; a pure representation change).
+    pub fn compact(&mut self) {
+        for i in 0..self.dirty.len() {
+            let slot = self.dirty[i] as usize;
+            self.merge_tail(slot);
+        }
+        self.dirty.clear();
+    }
+
+    /// Inserts the edge with one tag per group; returns `false` (leaving
+    /// the existing tags untouched) if the edge was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len() != width`.
+    pub fn insert(&mut self, e: Edge, tags: &[CellTag]) -> bool {
+        assert_eq!(tags.len(), self.width, "one tag per group required");
+        let (u, v) = e.endpoints();
+        let su = self.ensure_slot(u);
+        if self.lists[su].position(v).is_some() {
+            return false;
+        }
+        let sv = self.ensure_slot(v);
+        if self.push_entry(su, v, tags) {
+            self.dirty.push(su as u32);
+        }
+        if self.push_entry(sv, u, tags) {
+            self.dirty.push(sv as u32);
+        }
+        self.edge_count += 1;
+        true
+    }
+
+    /// Matches, then (when `store` carries the per-group owner tags)
+    /// inserts, in one call — the multi-group analogue of
+    /// [`TaggedAdjacency::match_then_insert`](crate::cell_tagged::TaggedAdjacency::match_then_insert).
+    ///
+    /// `f(g, w, cell)` fires for every structural common neighbor `w` of
+    /// `u` and `v` and every group `g` whose two tags agree (`cell` is
+    /// that shared tag) — exactly the matches `width` independent
+    /// single-group structures would produce, discovered with **one**
+    /// structure walk. Returns whether the edge was freshly stored.
+    pub fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<&[CellTag]>,
+        mut f: F,
+    ) -> bool {
+        let (u, v) = e.endpoints();
+        let (su, sv) = match store {
+            Some(tags) => {
+                assert_eq!(tags.len(), self.width, "one tag per group required");
+                // Fresh slots are empty lists: no matches contributed.
+                (self.ensure_slot(u), self.ensure_slot(v))
+            }
+            None => {
+                let (Some(&su), Some(&sv)) = (self.slots.get(&u), self.slots.get(&v)) else {
+                    return false;
+                };
+                (su as usize, sv as usize)
+            }
+        };
+        self.match_slots(su, sv, &mut f);
+        let Some(tags) = store else {
+            return false;
+        };
+        if self.lists[su].position(v).is_some() {
+            return false;
+        }
+        if self.push_entry(su, v, tags) {
+            self.dirty.push(su as u32);
+        }
+        if self.push_entry(sv, u, tags) {
+            self.dirty.push(sv as u32);
+        }
+        self.edge_count += 1;
+        true
+    }
+
+    /// The structural intersection of two slots' lists with per-group
+    /// tag filtering — the shared
+    /// [`for_each_common_position`] kernel (same code the single-group
+    /// layout runs), with the tag comparison layered per column.
+    #[inline]
+    fn match_slots<F: FnMut(usize, NodeId, CellTag)>(&self, sa: usize, sb: usize, f: &mut F) {
+        let width = self.width;
+        let (la, lb) = (&self.lists[sa], &self.lists[sb]);
+        for_each_common_position(
+            &la.nbrs,
+            la.sorted_len,
+            &lb.nbrs,
+            lb.sorted_len,
+            // For a structural common neighbor at (pa, pb), fire per
+            // group whose two tags agree.
+            &mut |pa, pb, w| {
+                let ta = &la.tags[pa * width..(pa + 1) * width];
+                let tb = &lb.tags[pb * width..(pb + 1) * width];
+                for g in 0..width {
+                    if ta[g] == tb[g] {
+                        f(g, w, ta[g]);
+                    }
+                }
+            },
+        );
+    }
+
+    /// Approximate heap footprint in bytes (neighbor arrays, tag arrays,
+    /// arena, id table) — the *shared* footprint; callers comparing
+    /// against per-group layouts should divide by [`Self::width`] per
+    /// group or report the total once.
+    pub fn approx_bytes(&self) -> usize {
+        use rept_hash::fx::table_bytes;
+        use std::mem::size_of;
+        let vecs: usize = self
+            .lists
+            .iter()
+            .map(|l| {
+                l.nbrs.capacity() * size_of::<NodeId>() + l.tags.capacity() * size_of::<CellTag>()
+            })
+            .sum();
+        let arena = self.lists.capacity() * size_of::<MultiNodeList>();
+        let ids = table_bytes::<NodeId, u32>(self.slots.capacity());
+        vecs + arena + ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorted_tagged::SortedTaggedAdjacency;
+    use rept_hash::rng::SplitMix64;
+
+    /// The defining property: a `width`-column shared structure answers
+    /// exactly like `width` independent single-group structures fed the
+    /// same edges with their respective tags.
+    #[test]
+    fn equivalent_to_independent_single_group_structures() {
+        for width in [1usize, 2, 4] {
+            let rng = SplitMix64::new(99 + width as u64);
+            let mut multi = MultiSortedTaggedAdjacency::new(width);
+            let mut singles: Vec<SortedTaggedAdjacency> =
+                (0..width).map(|_| SortedTaggedAdjacency::new()).collect();
+            let mut edges = Vec::new();
+            for i in 0..900u64 {
+                let r = rng.fork(i).next_u64();
+                let (u, v) = ((r % 60) as u32, ((r >> 16) % 60) as u32);
+                if let Some(e) = Edge::try_new(u, v) {
+                    let tags: Vec<CellTag> = (0..width)
+                        .map(|g| ((r >> (8 * g)) % 5) as CellTag)
+                        .collect();
+                    edges.push((e, tags));
+                }
+            }
+            let (stored, queries) = edges.split_at(edges.len() / 2);
+            for (k, (e, tags)) in stored.iter().enumerate() {
+                let fresh = multi.insert(*e, tags);
+                for (g, s) in singles.iter_mut().enumerate() {
+                    assert_eq!(s.insert(*e, tags[g]), fresh, "{e} group {g}");
+                }
+                if k % 111 == 0 {
+                    multi.compact();
+                }
+            }
+            assert_eq!(multi.edge_count(), singles[0].edge_count());
+            assert_eq!(multi.node_count(), singles[0].node_count());
+            for (q, _) in queries.iter().chain(stored.iter()) {
+                assert_eq!(
+                    multi.contains(*q),
+                    singles[0].contains(*q),
+                    "contains {q} width {width}"
+                );
+                if let Some(tags) = multi.tags_of(*q) {
+                    for (g, s) in singles.iter().enumerate() {
+                        assert_eq!(s.cell_of(*q), Some(tags[g]), "{q} group {g}");
+                    }
+                }
+                let mut got: Vec<Vec<(NodeId, CellTag)>> = vec![Vec::new(); width];
+                multi.match_then_insert(*q, None, |g, w, c| got[g].push((w, c)));
+                for (g, s) in singles.iter().enumerate() {
+                    let mut want = Vec::new();
+                    s.for_each_matching_common_neighbor(q.u(), q.v(), |w, c| {
+                        want.push((w, c));
+                    });
+                    got[g].sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got[g], want, "matches of {q} group {g} width {width}");
+                }
+            }
+        }
+    }
+
+    /// `match_then_insert` with store tags equals match-only followed by
+    /// `insert`, including duplicate edges.
+    #[test]
+    fn match_then_insert_equals_split_calls() {
+        let width = 3;
+        let rng = SplitMix64::new(5);
+        let mut fused = MultiSortedTaggedAdjacency::new(width);
+        let mut split = MultiSortedTaggedAdjacency::new(width);
+        for i in 0..700u64 {
+            let r = rng.fork(i).next_u64();
+            let Some(e) = Edge::try_new((r % 40) as u32, ((r >> 16) % 40) as u32) else {
+                continue;
+            };
+            let tags: Vec<CellTag> = (0..width)
+                .map(|g| ((r >> (4 * g)) % 6) as CellTag)
+                .collect();
+            let mut a = Vec::new();
+            let sa = fused.match_then_insert(e, Some(&tags), |g, w, c| a.push((g, w, c)));
+            let mut b = Vec::new();
+            split.match_then_insert(e, None, |g, w, c| b.push((g, w, c)));
+            let sb = split.insert(e, &tags);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "step {i}");
+            assert_eq!(sa, sb, "store outcome, step {i}");
+            if i % 131 == 0 {
+                fused.compact();
+                split.compact();
+            }
+        }
+        assert_eq!(fused.edge_count(), split.edge_count());
+    }
+
+    #[test]
+    fn rejects_wrong_tag_width_and_zero_width() {
+        let mut a = MultiSortedTaggedAdjacency::new(2);
+        assert!(a.insert(Edge::new(1, 2), &[0, 1]));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.insert(Edge::new(2, 3), &[0]);
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(|| MultiSortedTaggedAdjacency::new(0)).is_err());
+    }
+
+    #[test]
+    fn bytes_grow_and_width_reported() {
+        let mut a = MultiSortedTaggedAdjacency::new(4);
+        let empty = a.approx_bytes();
+        for i in 0..200u32 {
+            a.insert(Edge::new(i, i + 1), &[0, 1, 2, 3]);
+        }
+        assert!(a.approx_bytes() > empty);
+        assert_eq!(a.width(), 4);
+        assert_eq!(a.degree(1), 2);
+    }
+}

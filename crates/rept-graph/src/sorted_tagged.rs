@@ -1,0 +1,725 @@
+//! Sorted struct-of-arrays cell-tagged adjacency — the cache-friendly
+//! backend of the fused execution engine.
+//!
+//! [`CellTaggedAdjacency`](crate::cell_tagged::CellTaggedAdjacency) keeps
+//! one `FxHashMap<NodeId, CellTag>` per node inside an outer
+//! `FxHashMap<NodeId, …>`: every common-neighbor probe is a hash plus a
+//! random heap access, every node costs a table allocation, and each
+//! processed edge pays **four** probes of the big outer table (two to
+//! match, two to insert). This module replaces all of that with three
+//! dense structures:
+//!
+//! * an **id map** `FxHashMap<NodeId, u32>` from node id to arena slot —
+//!   9 bytes per entry, so even million-node graphs keep it in L2 where
+//!   the old outer table (with ~56-byte values) spilled to L3;
+//! * an **arena** `Vec<NodeList>` of per-node neighbor lists, indexed by
+//!   slot; and
+//! * per node, a sorted `Vec<NodeId>` with a parallel `Vec<CellTag>`
+//!   (struct of arrays, so intersections walk a dense `u32` array and
+//!   only touch the tags of confirmed matches).
+//!
+//! **Intersection** runs over the sorted arrays: a branchless linear
+//! merge when the two degrees are comparable, and galloping (exponential
+//! search, cf. timsort / Demaine–López-Ortiz–Munro adaptive set
+//! intersection) when they are skewed by more than [`GALLOP_RATIO`],
+//! which makes hub–leaf probes `O(min·log max)` instead of
+//! `O(min + max)`.
+//!
+//! **Insertion** stays amortised cheap via a small unsorted tail per
+//! node: new neighbors are appended and merged into the sorted prefix
+//! only when the tail exceeds [`TAIL_LIMIT`] entries, or when the fused
+//! driver calls [`SortedTaggedAdjacency::compact`] at a batch boundary
+//! (the "batched sort"), after which queries run on fully sorted state.
+//! Queries scan any pending tail linearly (bounded, cache-resident
+//! work), so the structure never needs `&mut self` to answer a lookup —
+//! which is what lets the fused engine's batch-matching phase run
+//! read-only across threads.
+//!
+//! The one mutating fast path,
+//! [`TaggedAdjacency::match_then_insert`], resolves each endpoint's
+//! arena slot **once** and reuses it for the duplicate check and both
+//! pushes — the hash layout's structure forces it to re-probe its outer
+//! table for every step instead.
+//!
+//! The API mirrors `CellTaggedAdjacency` exactly (both implement
+//! [`TaggedAdjacency`](crate::cell_tagged::TaggedAdjacency)); the
+//! equivalence tests below drive both structures with the same inserts
+//! and assert identical answers.
+
+use rept_hash::fx::FxHashMap;
+
+use crate::cell_tagged::{CellTag, TaggedAdjacency};
+use crate::edge::{Edge, NodeId};
+
+/// Maximum unsorted-tail length per node before the tail is merged into
+/// the sorted prefix. Small enough that tail scans stay in one or two
+/// cache lines; large enough that a node inserted into `k` times costs
+/// `O(k·deg/TAIL_LIMIT)` total merge work instead of `O(k·deg)`.
+pub(crate) const TAIL_LIMIT: usize = 16;
+
+/// Degree skew at which the sorted–sorted intersection switches from a
+/// linear merge to galloping: gallop when `max/min ≥ GALLOP_RATIO`.
+/// Below that ratio the merge's branchless linear walk wins.
+pub(crate) const GALLOP_RATIO: usize = 8;
+
+/// One node's neighbor list: sorted prefix `[0, sorted_len)` plus an
+/// unsorted tail, in two parallel arrays.
+#[derive(Debug, Clone, Default)]
+struct NodeList {
+    nbrs: Vec<NodeId>,
+    cells: Vec<CellTag>,
+    sorted_len: usize,
+}
+
+impl NodeList {
+    /// The cell tagged on neighbor `w`, if present (sorted prefix by
+    /// binary search, tail by linear scan).
+    #[inline]
+    fn lookup(&self, w: NodeId) -> Option<CellTag> {
+        position_in(&self.nbrs, self.sorted_len, w).map(|pos| self.cells[pos])
+    }
+
+    /// Appends a neighbor the caller has verified to be absent, merging
+    /// the tail when it outgrows [`TAIL_LIMIT`]. Returns `true` when the
+    /// push left a *newly* non-empty tail behind — the caller's cue to
+    /// register the node for the next [`SortedTaggedAdjacency::compact`].
+    fn push(&mut self, w: NodeId, cell: CellTag) -> bool {
+        let was_clean = self.sorted_len == self.nbrs.len();
+        self.nbrs.push(w);
+        self.cells.push(cell);
+        if self.nbrs.len() - self.sorted_len > TAIL_LIMIT {
+            self.merge_tail();
+            return false;
+        }
+        was_clean
+    }
+
+    /// Merges the unsorted tail into the sorted prefix in place: the tail
+    /// (≤ `TAIL_LIMIT + 1` entries) is copied to a stack buffer, sorted,
+    /// and back-merged from the highest index down, so no heap
+    /// allocation and no element is overwritten before it is read.
+    fn merge_tail(&mut self) {
+        let s = self.sorted_len;
+        let n = self.nbrs.len();
+        if s == n {
+            return;
+        }
+        let mut tail = [(0 as NodeId, 0 as CellTag); TAIL_LIMIT + 1];
+        let tail = &mut tail[..n - s];
+        for (slot, i) in tail.iter_mut().zip(s..n) {
+            *slot = (self.nbrs[i], self.cells[i]);
+        }
+        tail.sort_unstable_by_key(|&(w, _)| w);
+
+        let (mut a, mut t, mut write) = (s, tail.len(), n);
+        while t > 0 {
+            if a > 0 && self.nbrs[a - 1] > tail[t - 1].0 {
+                self.nbrs[write - 1] = self.nbrs[a - 1];
+                self.cells[write - 1] = self.cells[a - 1];
+                a -= 1;
+            } else {
+                self.nbrs[write - 1] = tail[t - 1].0;
+                self.cells[write - 1] = tail[t - 1].1;
+                t -= 1;
+            }
+            write -= 1;
+        }
+        self.sorted_len = n;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.nbrs.len()
+    }
+}
+
+/// First index `≥ start` in sorted `arr` whose value is `≥ target`,
+/// found by exponential probing then binary search within the bracketed
+/// run — `O(log gap)` where `gap` is the distance advanced, which is
+/// what makes repeated searches with a moving `start` total
+/// `O(min·log(max/min))` over an intersection.
+#[inline]
+pub(crate) fn gallop_lower_bound(arr: &[NodeId], target: NodeId, start: usize) -> usize {
+    if start >= arr.len() {
+        return arr.len();
+    }
+    let mut step = 1usize;
+    let mut lo = start;
+    let mut probe = start;
+    while probe < arr.len() && arr[probe] < target {
+        lo = probe + 1;
+        probe += step;
+        step *= 2;
+    }
+    let hi = probe.min(arr.len());
+    lo + arr[lo..hi].partition_point(|&x| x < target)
+}
+
+/// Position of `w` in a `(neighbors, sorted_len)` list: binary search in
+/// the sorted prefix, linear scan of the tail.
+#[inline]
+pub(crate) fn position_in(nbrs: &[NodeId], sorted_len: usize, w: NodeId) -> Option<usize> {
+    if let Ok(pos) = nbrs[..sorted_len].binary_search(&w) {
+        return Some(pos);
+    }
+    nbrs[sorted_len..]
+        .iter()
+        .position(|&x| x == w)
+        .map(|off| sorted_len + off)
+}
+
+/// Calls `f(pos_a, pos_b, w)` for every **structural** common neighbor
+/// of two `(neighbors, sorted_len)` lists — the one intersection kernel
+/// both the single-group and the multi-group (see
+/// [`crate::multi_tagged`]) layouts build on, so a tuning change cannot
+/// silently diverge them. Covers every (prefix|tail) × (prefix|tail)
+/// pairing exactly once: sorted×sorted by merge/gallop, `a`'s tail
+/// against all of `b`, `b`'s tail against `a`'s sorted prefix only. Tag
+/// filtering is the caller's job, via the emitted positions.
+#[inline]
+pub(crate) fn for_each_common_position<F: FnMut(usize, usize, NodeId)>(
+    a_nbrs: &[NodeId],
+    a_sorted: usize,
+    b_nbrs: &[NodeId],
+    b_sorted: usize,
+    f: &mut F,
+) {
+    // Sorted prefix × sorted prefix: merge or gallop by skew.
+    let (pa, pb) = (&a_nbrs[..a_sorted], &b_nbrs[..b_sorted]);
+    let a_is_small = pa.len() <= pb.len();
+    let (small, large) = if a_is_small { (pa, pb) } else { (pb, pa) };
+    if !small.is_empty() {
+        if small.len() * GALLOP_RATIO < large.len() {
+            let mut from = 0usize;
+            for (i, &w) in small.iter().enumerate() {
+                let pos = gallop_lower_bound(large, w, from);
+                if pos == large.len() {
+                    break;
+                }
+                if large[pos] == w {
+                    let (qa, qb) = if a_is_small { (i, pos) } else { (pos, i) };
+                    f(qa, qb, w);
+                    from = pos + 1;
+                } else {
+                    from = pos;
+                }
+            }
+        } else {
+            // Linear merge with *branchless* pointer advance: the
+            // `x < y` / `y < x` steps compile to setcc/add instead of a
+            // data-dependent jump, which matters because the comparison
+            // outcome is essentially random (one branch mispredict per
+            // element otherwise). Only the rare equality case takes a
+            // real branch.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < small.len() && j < large.len() {
+                let (x, y) = (small[i], large[j]);
+                if x == y {
+                    let (qa, qb) = if a_is_small { (i, j) } else { (j, i) };
+                    f(qa, qb, x);
+                    i += 1;
+                    j += 1;
+                } else {
+                    i += usize::from(x < y);
+                    j += usize::from(y < x);
+                }
+            }
+        }
+    }
+
+    // a's tail × all of b, then b's tail × a's sorted prefix only.
+    for (k, &w) in a_nbrs.iter().enumerate().skip(a_sorted) {
+        if let Some(pos) = position_in(b_nbrs, b_sorted, w) {
+            f(k, pos, w);
+        }
+    }
+    for (k, &w) in b_nbrs.iter().enumerate().skip(b_sorted) {
+        if let Ok(pos) = pa.binary_search(&w) {
+            f(pos, k, w);
+        }
+    }
+}
+
+/// Calls `f(w, cell)` for every common neighbor with equal tags across
+/// two node lists; returns the match count.
+#[inline]
+fn match_lists<F: FnMut(NodeId, CellTag)>(la: &NodeList, lb: &NodeList, f: &mut F) -> usize {
+    let mut matches = 0;
+    for_each_common_position(
+        &la.nbrs,
+        la.sorted_len,
+        &lb.nbrs,
+        lb.sorted_len,
+        &mut |pa, pb, w| {
+            let cell = la.cells[pa];
+            if cell == lb.cells[pb] {
+                f(w, cell);
+                matches += 1;
+            }
+        },
+    );
+    matches
+}
+
+/// A mutable undirected graph whose edges carry their partition cell,
+/// laid out for sequential scans. Drop-in alternative to
+/// [`CellTaggedAdjacency`](crate::cell_tagged::CellTaggedAdjacency).
+#[derive(Debug, Clone, Default)]
+pub struct SortedTaggedAdjacency {
+    /// Node id → arena slot. The only hashed structure on the hot path.
+    slots: FxHashMap<NodeId, u32>,
+    /// Per-node neighbor lists, indexed by slot.
+    lists: Vec<NodeList>,
+    edge_count: usize,
+    /// Slots whose tail became non-empty since the last
+    /// [`Self::compact`] — lets compaction touch exactly the lists with
+    /// pending work instead of scanning every node. May contain
+    /// duplicates (a node that crossed [`TAIL_LIMIT`], self-merged, and
+    /// went dirty again); merging a clean list is a no-op, so that is
+    /// harmless.
+    dirty: Vec<u32>,
+}
+
+impl SortedTaggedAdjacency {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The arena slot of `n`, if `n` has been seen.
+    #[inline]
+    fn slot_of(&self, n: NodeId) -> Option<usize> {
+        self.slots.get(&n).map(|&s| s as usize)
+    }
+
+    /// Initial capacity of a node's neighbor arrays. Covers the median
+    /// degree of the evaluation graphs in one allocation per array —
+    /// growing 1 → 2 → 4 → 8 instead costs four allocator round trips
+    /// per array per node, which profiling showed as the layout's single
+    /// largest overhead.
+    const INITIAL_NEIGHBOR_CAPACITY: usize = 8;
+
+    /// The arena slot of `n`, allocating an empty list on first sight.
+    #[inline]
+    fn ensure_slot(&mut self, n: NodeId) -> usize {
+        let next = self.lists.len() as u32;
+        let slot = *self.slots.entry(n).or_insert(next);
+        if slot == next {
+            self.lists.push(NodeList {
+                nbrs: Vec::with_capacity(Self::INITIAL_NEIGHBOR_CAPACITY),
+                cells: Vec::with_capacity(Self::INITIAL_NEIGHBOR_CAPACITY),
+                sorted_len: 0,
+            });
+        }
+        slot as usize
+    }
+
+    /// Appends the edge `(u, v)` (already verified absent) to both
+    /// endpoint lists, registering newly dirty slots for compaction.
+    #[inline]
+    fn push_pair(&mut self, su: usize, sv: usize, u: NodeId, v: NodeId, cell: CellTag) {
+        if self.lists[su].push(v, cell) {
+            self.dirty.push(su as u32);
+        }
+        if self.lists[sv].push(u, cell) {
+            self.dirty.push(sv as u32);
+        }
+        self.edge_count += 1;
+    }
+
+    /// Inserts the edge tagged with `cell`; returns `false` (leaving the
+    /// existing tag untouched) if the edge was already present.
+    pub fn insert(&mut self, e: Edge, cell: CellTag) -> bool {
+        let (u, v) = e.endpoints();
+        let su = self.ensure_slot(u);
+        if self.lists[su].lookup(v).is_some() {
+            return false;
+        }
+        let sv = self.ensure_slot(v);
+        self.push_pair(su, sv, u, v, cell);
+        true
+    }
+
+    /// Merges every pending unsorted tail into its sorted prefix — a
+    /// pure representation change; queries answer identically before and
+    /// after. The fused drivers call this at batch boundaries ("batched
+    /// sort"), so steady-state queries see empty tails and run on the
+    /// pure merge/gallop path; between compactions [`TAIL_LIMIT`] still
+    /// caps every tail, keeping worst-case query cost bounded.
+    pub fn compact(&mut self) {
+        for i in 0..self.dirty.len() {
+            let slot = self.dirty[i] as usize;
+            self.lists[slot].merge_tail();
+        }
+        self.dirty.clear();
+    }
+
+    /// The cell tag of the edge, if present.
+    pub fn cell_of(&self, e: Edge) -> Option<CellTag> {
+        self.slot_of(e.u())
+            .and_then(|s| self.lists[s].lookup(e.v()))
+    }
+
+    /// True if the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.cell_of(e).is_some()
+    }
+
+    /// The degree of `n` (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.slot_of(n).map_or(0, |s| self.lists[s].len())
+    }
+
+    /// Number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Calls `f(w, cell)` for every common neighbor `w` of `u` and `v`
+    /// whose two incident edges carry the **same** tag; returns the
+    /// number of such matches. Semantics identical to
+    /// [`CellTaggedAdjacency::for_each_matching_common_neighbor`](crate::cell_tagged::CellTaggedAdjacency::for_each_matching_common_neighbor);
+    /// cost is `O(min + max)` merge or `O(min·log max)` gallop over the
+    /// sorted prefixes, plus `O(TAIL_LIMIT)` bounded tail work.
+    #[inline]
+    pub fn for_each_matching_common_neighbor<F: FnMut(NodeId, CellTag)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        mut f: F,
+    ) -> usize {
+        let (Some(su), Some(sv)) = (self.slot_of(u), self.slot_of(v)) else {
+            return 0;
+        };
+        match_lists(&self.lists[su], &self.lists[sv], &mut f)
+    }
+
+    /// Iterates all stored edges with their tags (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = (Edge, CellTag)> + '_ {
+        self.slots.iter().flat_map(|(&u, &slot)| {
+            let list = &self.lists[slot as usize];
+            list.nbrs
+                .iter()
+                .zip(&list.cells)
+                .filter(move |&(&v, _)| u < v)
+                .map(move |(&v, &cell)| (Edge::new(u, v), cell))
+        })
+    }
+
+    /// Number of stored edges tagged `cell` (diagnostic; linear scan).
+    pub fn edges_in_cell(&self, cell: CellTag) -> usize {
+        self.edges().filter(|&(_, c)| c == cell).count()
+    }
+
+    /// Removes everything, keeping allocated capacity where possible.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.lists.clear();
+        self.edge_count = 0;
+        self.dirty.clear();
+    }
+
+    /// Approximate heap footprint in bytes, mirroring
+    /// [`CellTaggedAdjacency::approx_bytes`](crate::cell_tagged::CellTaggedAdjacency::approx_bytes):
+    /// the two per-node vectors, the list arena, and the id table.
+    pub fn approx_bytes(&self) -> usize {
+        use rept_hash::fx::table_bytes;
+        use std::mem::size_of;
+        let vecs: usize = self
+            .lists
+            .iter()
+            .map(|l| {
+                l.nbrs.capacity() * size_of::<NodeId>() + l.cells.capacity() * size_of::<CellTag>()
+            })
+            .sum();
+        let arena = self.lists.capacity() * size_of::<NodeList>();
+        let ids = table_bytes::<NodeId, u32>(self.slots.capacity());
+        vecs + arena + ids
+    }
+}
+
+impl TaggedAdjacency for SortedTaggedAdjacency {
+    const NAME: &'static str = "sorted";
+
+    fn insert(&mut self, e: Edge, cell: CellTag) -> bool {
+        SortedTaggedAdjacency::insert(self, e, cell)
+    }
+    fn cell_of(&self, e: Edge) -> Option<CellTag> {
+        SortedTaggedAdjacency::cell_of(self, e)
+    }
+    fn for_each_matching_common_neighbor<F: FnMut(NodeId, CellTag)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        f: F,
+    ) -> usize {
+        SortedTaggedAdjacency::for_each_matching_common_neighbor(self, u, v, f)
+    }
+    fn edge_count(&self) -> usize {
+        SortedTaggedAdjacency::edge_count(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        SortedTaggedAdjacency::approx_bytes(self)
+    }
+    fn compact(&mut self) {
+        SortedTaggedAdjacency::compact(self)
+    }
+
+    /// Single-probe fast path: the endpoint slots found for the matching
+    /// pass are reused for the duplicate check and both pushes, instead
+    /// of re-probing the id table.
+    fn match_then_insert<F: FnMut(NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<CellTag>,
+        mut f: F,
+    ) -> bool {
+        let (u, v) = e.endpoints();
+        let Some(cell) = store else {
+            self.for_each_matching_common_neighbor(u, v, &mut f);
+            return false;
+        };
+        // Allocating the slots before matching is harmless: a fresh slot
+        // is an empty list, which can contribute no matches.
+        let su = self.ensure_slot(u);
+        let sv = self.ensure_slot(v);
+        match_lists(&self.lists[su], &self.lists[sv], &mut f);
+        if self.lists[su].lookup(v).is_some() {
+            return false;
+        }
+        self.push_pair(su, sv, u, v, cell);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_tagged::CellTaggedAdjacency;
+    use rept_hash::rng::SplitMix64;
+
+    fn edge(u: NodeId, v: NodeId) -> Edge {
+        Edge::new(u, v)
+    }
+
+    #[test]
+    fn insert_and_tags() {
+        let mut a = SortedTaggedAdjacency::new();
+        assert!(a.insert(edge(1, 2), 3));
+        assert!(!a.insert(edge(2, 1), 9), "duplicate in reverse order");
+        assert_eq!(a.cell_of(edge(1, 2)), Some(3), "first tag wins");
+        assert_eq!(a.edge_count(), 1);
+        assert_eq!(a.node_count(), 2);
+        assert_eq!(a.degree(1), 1);
+        assert!(!a.contains(edge(1, 3)));
+    }
+
+    #[test]
+    fn matching_requires_equal_tags() {
+        let mut a = SortedTaggedAdjacency::new();
+        a.insert(edge(1, 2), 0);
+        a.insert(edge(1, 3), 0);
+        a.insert(edge(4, 2), 0);
+        a.insert(edge(4, 3), 1);
+        let mut hits = Vec::new();
+        let n = a.for_each_matching_common_neighbor(2, 3, |w, c| hits.push((w, c)));
+        assert_eq!(n, 1);
+        assert_eq!(hits, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn matching_of_unknown_nodes_is_empty() {
+        let a = SortedTaggedAdjacency::new();
+        assert_eq!(
+            a.for_each_matching_common_neighbor(5, 6, |_, _| panic!()),
+            0
+        );
+    }
+
+    #[test]
+    fn tail_merge_keeps_prefix_sorted_and_lookups_exact() {
+        // Insert far more than TAIL_LIMIT neighbors of node 0 in
+        // descending order (worst case for the back-merge), with a few
+        // duplicates sprinkled in.
+        let mut a = SortedTaggedAdjacency::new();
+        let mut inserted = 0;
+        for v in (1..100u32).rev() {
+            assert!(a.insert(edge(0, v), v % 5));
+            inserted += 1;
+            if v % 7 == 0 {
+                assert!(!a.insert(edge(0, v), 9), "duplicate {v}");
+            }
+        }
+        assert_eq!(a.degree(0), inserted);
+        for v in 1..100u32 {
+            assert_eq!(a.cell_of(edge(0, v)), Some(v % 5), "lookup {v}");
+        }
+        assert_eq!(a.cell_of(edge(0, 100)), None);
+    }
+
+    #[test]
+    fn gallop_lower_bound_agrees_with_partition_point() {
+        let arr: Vec<NodeId> = (0..200).map(|i| i * 3).collect();
+        for target in 0..620 {
+            for start in [0usize, 5, 150, 199, 200] {
+                let got = gallop_lower_bound(&arr, target, start);
+                let want = start + arr[start.min(arr.len())..].partition_point(|&x| x < target);
+                assert_eq!(got, want, "target {target} start {start}");
+            }
+        }
+    }
+
+    /// The defining property: on any insert sequence, the sorted layout
+    /// answers every query exactly like the hash-map layout — including
+    /// skewed degrees (galloping path) and unmerged tails.
+    #[test]
+    fn equivalent_to_hash_layout_on_random_streams() {
+        let rng = SplitMix64::new(0xC0FFEE);
+        let mut sorted = SortedTaggedAdjacency::new();
+        let mut hash = CellTaggedAdjacency::new();
+        // Hub-heavy edge distribution: node 0 collects a large degree so
+        // hub–leaf intersections exercise the gallop path.
+        let mut edges = Vec::new();
+        for i in 0..1500u64 {
+            let r = rng.fork(i).next_u64();
+            let (u, v) = if r.is_multiple_of(3) {
+                (0u32, 1 + (r >> 8) as u32 % 400)
+            } else {
+                (1 + (r >> 8) as u32 % 60, 1 + (r >> 40) as u32 % 400)
+            };
+            if u != v {
+                edges.push((Edge::new(u, v), (r >> 16) as CellTag % 7));
+            }
+        }
+        let (stored, queries) = edges.split_at(edges.len() * 2 / 3);
+        for &(e, cell) in stored {
+            assert_eq!(sorted.insert(e, cell), hash.insert(e, cell), "{e}");
+        }
+        assert_eq!(sorted.edge_count(), hash.edge_count());
+        assert_eq!(sorted.node_count(), hash.node_count());
+        for &(q, _) in queries.iter().chain(stored) {
+            assert_eq!(sorted.cell_of(q), hash.cell_of(q), "cell_of {q}");
+            let mut ms = Vec::new();
+            let ns = sorted.for_each_matching_common_neighbor(q.u(), q.v(), |w, c| {
+                ms.push((w, c));
+            });
+            let mut mh = Vec::new();
+            let nh = hash.for_each_matching_common_neighbor(q.u(), q.v(), |w, c| {
+                mh.push((w, c));
+            });
+            ms.sort_unstable();
+            mh.sort_unstable();
+            assert_eq!(ns, nh, "match count for {q}");
+            assert_eq!(ms, mh, "match set for {q}");
+        }
+        for (e, _) in hash.edges() {
+            assert_eq!(sorted.degree(e.u()), hash.degree(e.u()));
+        }
+    }
+
+    /// `match_then_insert` ≡ `for_each_matching_common_neighbor` followed
+    /// by `insert`, for owned, unowned, and duplicate edges alike.
+    #[test]
+    fn match_then_insert_equals_split_calls() {
+        let rng = SplitMix64::new(7);
+        let mut fused = SortedTaggedAdjacency::new();
+        let mut split = SortedTaggedAdjacency::new();
+        for i in 0..800u64 {
+            let r = rng.fork(i).next_u64();
+            let (u, v) = ((r % 50) as u32, ((r >> 16) % 50) as u32);
+            let Some(e) = Edge::try_new(u, v) else {
+                continue;
+            };
+            let cell = ((r >> 32) % 5) as CellTag;
+            let store = (!r.is_multiple_of(3)).then_some(cell);
+
+            let mut a = Vec::new();
+            let stored_a = TaggedAdjacency::match_then_insert(&mut fused, e, store, |w, c| {
+                a.push((w, c));
+            });
+            let mut b = Vec::new();
+            split.for_each_matching_common_neighbor(u, v, |w, c| {
+                b.push((w, c));
+            });
+            let stored_b = store.is_some_and(|c| split.insert(e, c));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "matches at step {i}");
+            assert_eq!(stored_a, stored_b, "store outcome at step {i}");
+            if i % 97 == 0 {
+                fused.compact();
+                split.compact();
+            }
+        }
+        assert_eq!(fused.edge_count(), split.edge_count());
+    }
+
+    #[test]
+    fn compact_is_a_pure_representation_change() {
+        // Same inserts, one side compacted at arbitrary points: every
+        // query must agree, and compacted lists must have empty tails.
+        let mut eager = SortedTaggedAdjacency::new();
+        let mut lazy = SortedTaggedAdjacency::new();
+        let edges: Vec<(Edge, CellTag)> = (0..300u32)
+            .map(|i| (Edge::new(i % 40, 40 + (i * 7) % 90), i % 6))
+            .collect();
+        for (i, &(e, cell)) in edges.iter().enumerate() {
+            assert_eq!(eager.insert(e, cell), lazy.insert(e, cell));
+            if i % 23 == 0 {
+                eager.compact();
+            }
+        }
+        eager.compact();
+        assert!(eager.lists.iter().all(|l| l.sorted_len == l.len()));
+        assert_eq!(eager.edge_count(), lazy.edge_count());
+        for u in 0..40u32 {
+            for v in 40..130u32 {
+                let q = Edge::new(u, v);
+                assert_eq!(eager.cell_of(q), lazy.cell_of(q), "{q}");
+            }
+            for w in (u + 1)..40 {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                eager.for_each_matching_common_neighbor(u, w, |x, c| a.push((x, c)));
+                lazy.for_each_matching_common_neighbor(u, w, |x, c| b.push((x, c)));
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "matches of ({u}, {w})");
+            }
+        }
+        // compact on an already-clean structure is a no-op.
+        let before = eager.edge_count();
+        eager.compact();
+        assert_eq!(eager.edge_count(), before);
+    }
+
+    #[test]
+    fn edges_roundtrip_with_tags() {
+        let mut a = SortedTaggedAdjacency::new();
+        a.insert(edge(1, 2), 0);
+        a.insert(edge(2, 3), 1);
+        a.insert(edge(4, 5), 2);
+        let mut got: Vec<(Edge, CellTag)> = a.edges().collect();
+        got.sort();
+        assert_eq!(got, vec![(edge(1, 2), 0), (edge(2, 3), 1), (edge(4, 5), 2)]);
+        assert_eq!(a.edges_in_cell(1), 1);
+    }
+
+    #[test]
+    fn clear_and_bytes() {
+        let mut a = SortedTaggedAdjacency::new();
+        let empty = a.approx_bytes();
+        for i in 0..500u32 {
+            a.insert(edge(i, i + 1), i % 7);
+        }
+        assert!(a.approx_bytes() > empty);
+        a.clear();
+        assert_eq!(a.edge_count(), 0);
+        assert_eq!(a.node_count(), 0);
+    }
+}

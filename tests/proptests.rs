@@ -21,6 +21,18 @@ fn arb_stream(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
     })
 }
 
+/// Strategy: a raw stream that KEEPS duplicate edges (only self-loops
+/// are dropped) — the engines' duplicate-handling paths only fire on
+/// repeated stream edges, which `arb_stream`'s builder dedups away.
+fn arb_stream_with_dups(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    vec((0..n, 0..n), 1..max_edges).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(u, v)| Edge::try_new(u, v))
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -100,12 +112,14 @@ proptest! {
         prop_assert_eq!(seq.locals, thr.locals);
     }
 
-    /// The fused engine — single-threaded and threaded — is bit-identical
-    /// to the per-worker oracle for arbitrary streams and processor
-    /// layouts. `m ∈ [2, 6)` × `c ∈ [1, 14)` covers all three combination
-    /// paths (`c ≤ m`, `c₂ = 0`, mixed Graybill–Deal), and η plus locals
-    /// are force-enabled so every counter the engines maintain is
-    /// exercised, not just the ones the layout strictly needs.
+    /// Both fused engines — single-threaded and threaded — are
+    /// bit-identical to the per-worker oracle for arbitrary streams and
+    /// processor layouts. `m ∈ [2, 6)` × `c ∈ [1, 14)` covers all three
+    /// combination paths (`c ≤ m`, `c₂ = 0`, mixed Graybill–Deal), and η
+    /// plus locals are force-enabled so every counter the engines
+    /// maintain is exercised, not just the ones the layout strictly
+    /// needs. Thread counts above the group count take the within-group
+    /// split match/apply path.
     #[test]
     fn fused_engines_agree_with_sequential(
         stream in arb_stream(30, 120),
@@ -118,18 +132,64 @@ proptest! {
             ReptConfig::new(m, c).with_seed(seed).with_eta(true).with_locals(true),
         );
         let seq = rept.run_sequential(stream.iter().copied());
-        let fused = rept.run(Engine::Fused, &stream);
-        prop_assert_eq!(seq.global, fused.global);
-        prop_assert_eq!(&seq.locals, &fused.locals);
-        prop_assert_eq!(seq.eta_hat, fused.eta_hat);
-        prop_assert_eq!(
-            &seq.diagnostics.per_processor_tau,
-            &fused.diagnostics.per_processor_tau
+        for engine in [Engine::FusedHash, Engine::FusedSorted] {
+            let fused = rept.run(engine, &stream);
+            prop_assert_eq!(seq.global, fused.global);
+            prop_assert_eq!(&seq.locals, &fused.locals);
+            prop_assert_eq!(seq.eta_hat, fused.eta_hat);
+            prop_assert_eq!(
+                &seq.diagnostics.per_processor_tau,
+                &fused.diagnostics.per_processor_tau
+            );
+            let thr = rept.run_threaded_with(engine, &stream, threads);
+            prop_assert_eq!(seq.global, thr.global);
+            prop_assert_eq!(&seq.locals, &thr.locals);
+            prop_assert_eq!(seq.eta_hat, thr.eta_hat);
+        }
+    }
+
+    /// The sorted-adjacency engine stays bit-identical to both the hash
+    /// fused engine and the per-worker oracle on streams that contain
+    /// **duplicate edges** — the duplicate-store rule ("first insert
+    /// wins, duplicates are ignored"), the unowned-cell drop
+    /// (`c < m` layouts), and every counter (η, locals, per-processor τ,
+    /// stored-edge counts) must agree across all three combination paths
+    /// and all drivers, including the within-group threaded one.
+    #[test]
+    fn sorted_engine_bit_identical_on_duplicate_streams(
+        stream in arb_stream_with_dups(20, 100),
+        m in 2u64..6,
+        c in 1u64..14,
+        seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let rept = Rept::new(
+            ReptConfig::new(m, c).with_seed(seed).with_eta(true).with_locals(true),
         );
-        let thr = rept.run_fused_threaded(&stream, threads);
-        prop_assert_eq!(seq.global, thr.global);
-        prop_assert_eq!(&seq.locals, &thr.locals);
-        prop_assert_eq!(seq.eta_hat, thr.eta_hat);
+        let oracle = rept.run_sequential(stream.iter().copied());
+        let hash = rept.run(Engine::FusedHash, &stream);
+        let sorted = rept.run(Engine::FusedSorted, &stream);
+        for fused in [&hash, &sorted] {
+            prop_assert_eq!(oracle.global, fused.global);
+            prop_assert_eq!(&oracle.locals, &fused.locals);
+            prop_assert_eq!(oracle.eta_hat, fused.eta_hat);
+            prop_assert_eq!(
+                &oracle.diagnostics.per_processor_tau,
+                &fused.diagnostics.per_processor_tau
+            );
+            prop_assert_eq!(
+                &oracle.diagnostics.stored_edges,
+                &fused.diagnostics.stored_edges
+            );
+        }
+        let thr = rept.run_threaded_with(Engine::FusedSorted, &stream, threads);
+        prop_assert_eq!(oracle.global, thr.global);
+        prop_assert_eq!(&oracle.locals, &thr.locals);
+        prop_assert_eq!(oracle.eta_hat, thr.eta_hat);
+        prop_assert_eq!(
+            &oracle.diagnostics.per_processor_tau,
+            &thr.diagnostics.per_processor_tau
+        );
     }
 
     /// REPT's global estimate is always non-negative and zero on
