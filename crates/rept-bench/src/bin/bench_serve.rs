@@ -1,0 +1,221 @@
+//! Machine-readable serving-subsystem benchmark.
+//!
+//! Measures, per execution engine, the two numbers a deployment cares
+//! about — each under load from the *other* side of the system:
+//!
+//! * **sustained ingest throughput** (edges/second) of a producer
+//!   streaming a fixed Barabási–Albert graph over TCP while a second
+//!   client hammers queries the whole time;
+//! * **query latency** (p50/p99) of `QUERY GLOBAL` / `TOPK` round
+//!   trips issued over TCP while ingestion is running, plus the
+//!   in-process snapshot-load latency (the pointer-swap path the
+//!   queries resolve against).
+//!
+//! Layouts: `m = 64` at `c = 64` (full partition — REPT's
+//! lowest-variance point, one hash group) and `c = 256` (four full
+//! groups — the sorted engine's shared-structure path), locals tracked,
+//! snapshots published every 4096 edges.
+//!
+//! Run: `cargo run --release --bin bench_serve [-- --out FILE --nodes N]`
+//! (default output: `BENCH_serve.json`).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use rept_core::{Engine, ReptConfig};
+use rept_gen::{barabasi_albert, GeneratorConfig};
+use rept_metrics::LatencyRecorder;
+use rept_serve::{Client, ServeConfig, Server};
+
+const M: u64 = 64;
+const PROCESSOR_COUNTS: [u64; 2] = [64, 256];
+const SNAPSHOT_EVERY: u64 = 4096;
+const INGEST_CHUNK: usize = 1024;
+
+struct Measurement {
+    engine: Engine,
+    c: u64,
+    ingest_secs: f64,
+    edges_per_sec: f64,
+    queries: usize,
+    query_p50_us: f64,
+    query_p99_us: f64,
+    snapshot_load_p50_us: f64,
+}
+
+fn micros(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut nodes = 20_000u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--nodes" => {
+                nodes = args
+                    .next()
+                    .expect("--nodes needs a value")
+                    .parse()
+                    .expect("--nodes must be an integer")
+            }
+            other => panic!("unknown flag {other} (supported: --out, --nodes)"),
+        }
+    }
+
+    let stream = barabasi_albert(&GeneratorConfig::new(nodes, 42), 5);
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "stream: barabasi_albert(n = {nodes}, attach = 5) → {} edges; m = {M}, \
+         c ∈ {PROCESSOR_COUNTS:?}; host cores = {host_cores}",
+        stream.len()
+    );
+
+    let mut results = Vec::new();
+    for (c, engine) in PROCESSOR_COUNTS
+        .into_iter()
+        .flat_map(|c| Engine::all().map(|e| (c, e)))
+    {
+        let cfg = ReptConfig::new(M, c).with_seed(7);
+        let serve_cfg = ServeConfig::new(cfg)
+            .with_engine(engine)
+            .with_snapshot_every(SNAPSHOT_EVERY)
+            .with_top_k(10);
+        let server = Server::start(serve_cfg, "127.0.0.1:0", 2).expect("bind server");
+        let addr = server.local_addr();
+
+        let done = AtomicBool::new(false);
+        let (ingest_secs, mut queries) = std::thread::scope(|scope| {
+            let done = &done;
+            let stream = &stream;
+            let producer = scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("producer connect");
+                let start = Instant::now();
+                for chunk in stream.chunks(INGEST_CHUNK) {
+                    client.ingest(chunk).expect("ingest");
+                }
+                client.flush().expect("flush");
+                let secs = start.elapsed().as_secs_f64();
+                done.store(true, Ordering::SeqCst);
+                secs
+            });
+            let querier = scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("query connect");
+                let mut rec = LatencyRecorder::new();
+                let mut alternate = false;
+                while !done.load(Ordering::SeqCst) {
+                    let t = Instant::now();
+                    if alternate {
+                        client.top_k(10).expect("topk");
+                    } else {
+                        client.query_global().expect("query");
+                    }
+                    rec.record(t.elapsed());
+                    alternate = !alternate;
+                }
+                rec
+            });
+            (
+                producer.join().expect("producer"),
+                querier.join().expect("querier"),
+            )
+        });
+
+        // In-process snapshot-load latency on the final state.
+        let mut loads = LatencyRecorder::new();
+        for _ in 0..10_000 {
+            let t = Instant::now();
+            let snap = server.core().snapshot();
+            std::hint::black_box(snap.global);
+            loads.record(t.elapsed());
+        }
+
+        let est = server.shutdown();
+        // Guard against dead-code elimination of the whole run.
+        assert!(est.global.is_finite());
+        if queries.count() == 0 {
+            // Extremely fast ingest can finish before the first query
+            // lands; measure the unloaded round trip instead so the
+            // JSON never holds nulls.
+            let server = Server::start(
+                ServeConfig::new(ReptConfig::new(M, c).with_seed(7)).with_engine(engine),
+                "127.0.0.1:0",
+                1,
+            )
+            .expect("bind fallback server");
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            for _ in 0..100 {
+                let t = Instant::now();
+                client.query_global().expect("query");
+                queries.record(t.elapsed());
+            }
+            drop(client);
+            server.shutdown();
+        }
+
+        let m = Measurement {
+            engine,
+            c,
+            ingest_secs,
+            edges_per_sec: stream.len() as f64 / ingest_secs,
+            queries: queries.count(),
+            query_p50_us: micros(queries.p50().expect("measured above")),
+            query_p99_us: micros(queries.p99().expect("measured above")),
+            snapshot_load_p50_us: micros(loads.p50().expect("measured above")),
+        };
+        eprintln!(
+            "  {:>12} c={:<3}: ingest {:>10.0} edges/s ({:.2} s), {} queries, \
+             p50 {:.0} µs, p99 {:.0} µs, snapshot load p50 {:.2} µs",
+            m.engine.name(),
+            m.c,
+            m.edges_per_sec,
+            m.ingest_secs,
+            m.queries,
+            m.query_p50_us,
+            m.query_p99_us,
+            m.snapshot_load_p50_us
+        );
+        results.push(m);
+    }
+
+    // Hand-rolled JSON, matching the workspace's no-serde convention.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve\",\n");
+    json.push_str(&format!(
+        "  \"stream\": {{\"generator\": \"barabasi_albert\", \"nodes\": {nodes}, \"attach\": 5, \"seed\": 42, \"edges\": {}}},\n",
+        stream.len()
+    ));
+    json.push_str(&format!("  \"m\": {M},\n"));
+    json.push_str(&format!("  \"snapshot_every\": {SNAPSHOT_EVERY},\n"));
+    json.push_str(&format!("  \"ingest_chunk\": {INGEST_CHUNK},\n"));
+    json.push_str("  \"transport\": \"tcp-loopback\",\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"c\": {}, \"ingest_edges_per_sec\": {:.1}, \
+             \"ingest_seconds\": {:.6}, \
+             \"queries\": {}, \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}, \
+             \"snapshot_load_p50_us\": {:.3}}}{}\n",
+            r.engine.name(),
+            r.c,
+            r.edges_per_sec,
+            r.ingest_secs,
+            r.queries,
+            r.query_p50_us,
+            r.query_p99_us,
+            r.snapshot_load_p50_us,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write failed");
+    eprintln!("wrote {out_path}");
+}

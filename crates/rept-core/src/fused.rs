@@ -71,14 +71,17 @@ pub(crate) type MatchList = Vec<(NodeId, CellTag)>;
 
 /// One hash group's shared state under the fused engine: the cell-tagged
 /// union adjacency plus all `size` workers' counters.
-#[derive(Debug)]
+///
+/// Fields are `pub(crate)` so [`crate::resume`] can serialise and restore
+/// the full group state for engine-aware checkpoints.
+#[derive(Debug, Clone)]
 pub(crate) struct FusedGroup<A: TaggedAdjacency> {
-    spec: GroupSpec,
+    pub(crate) spec: GroupSpec,
     /// The union of all workers' `E⁽ⁱ⁾`, tagged by cell.
-    adj: A,
+    pub(crate) adj: A,
     /// All counter state, split out so the matching pass can read `adj`
     /// while folding into the counters.
-    counters: GroupCounters,
+    pub(crate) counters: GroupCounters,
 }
 
 /// The counter half of a fused group (everything `process` mutates
@@ -86,16 +89,16 @@ pub(crate) struct FusedGroup<A: TaggedAdjacency> {
 #[derive(Debug, Clone)]
 pub(crate) struct GroupCounters {
     /// `τ⁽ⁱ⁾` per worker (indexed by cell offset).
-    tau: Vec<u64>,
+    pub(crate) tau: Vec<u64>,
     /// Edges stored per worker.
-    stored: Vec<usize>,
+    pub(crate) stored: Vec<usize>,
     /// Group-summed `Σᵢ τ⁽ⁱ⁾_v` (`None` if locals untracked). The
     /// estimator only ever consumes per-group sums (split by group for the
     /// Graybill–Deal path), so per-worker maps would be pure overhead.
-    tau_v: Option<FxHashMap<NodeId, u64>>,
+    pub(crate) tau_v: Option<FxHashMap<NodeId, u64>>,
     /// η counters (`None` if untracked).
-    eta: Option<FusedEtaCounters>,
-    eta_mode: EtaMode,
+    pub(crate) eta: Option<FusedEtaCounters>,
+    pub(crate) eta_mode: EtaMode,
 }
 
 /// Group-level η bookkeeping. `per_edge` can be one map for the whole
@@ -103,18 +106,18 @@ pub(crate) struct GroupCounters {
 /// `i`'s `τ⁽ⁱ⁾_(u,v)` entries are precisely the entries whose edge is
 /// tagged `i`, so the union of the per-worker maps is disjoint.
 #[derive(Debug, Clone, Default)]
-struct FusedEtaCounters {
+pub(crate) struct FusedEtaCounters {
     /// `Σᵢ η⁽ⁱ⁾`.
-    total: u64,
+    pub(crate) total: u64,
     /// `Σᵢ η⁽ⁱ⁾_v`.
-    per_node: FxHashMap<NodeId, u64>,
+    pub(crate) per_node: FxHashMap<NodeId, u64>,
     /// `τ⁽ⁱ⁾_(u,v)` for every stored edge (owning worker implied by tag).
-    per_edge: FxHashMap<Edge, u64>,
+    pub(crate) per_edge: FxHashMap<Edge, u64>,
 }
 
 impl GroupCounters {
     /// Fresh counters for one group of `size` workers.
-    fn new(size: usize, cfg: &ReptConfig) -> Self {
+    pub(crate) fn new(size: usize, cfg: &ReptConfig) -> Self {
         Self {
             tau: vec![0; size],
             stored: vec![0; size],
@@ -400,6 +403,16 @@ impl<A: TaggedAdjacency> FusedGroup<A> {
         agg.bytes += adj_bytes;
         agg
     }
+
+    /// Non-consuming version of [`Self::into_aggregate`] — clones the
+    /// counter state so an *anytime* estimate can be produced mid-stream
+    /// without stopping ingestion (the serving subsystem's query path).
+    pub(crate) fn snapshot_aggregate(&self) -> GroupAggregate {
+        let adj_bytes = self.adj.approx_bytes();
+        let mut agg = self.counters.clone().into_aggregate(self.spec.start);
+        agg.bytes += adj_bytes;
+        agg
+    }
 }
 
 /// All of a layout's **full** hash groups (size = `m`) fused over one
@@ -411,11 +424,11 @@ impl<A: TaggedAdjacency> FusedGroup<A> {
 /// per-group tag comparisons and counter folds remain per group. The
 /// counters are maintained per group exactly as [`FusedGroup`] would,
 /// so the result is bit-identical to running the groups independently.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct FusedFullGroups {
-    specs: Vec<GroupSpec>,
-    adj: MultiSortedTaggedAdjacency,
-    counters: Vec<GroupCounters>,
+    pub(crate) specs: Vec<GroupSpec>,
+    pub(crate) adj: MultiSortedTaggedAdjacency,
+    pub(crate) counters: Vec<GroupCounters>,
     /// Per-edge scratch: each group's owner cell (always owned — a full
     /// group owns all `m` cells) …
     owners: Vec<CellTag>,
@@ -494,6 +507,33 @@ impl FusedFullGroups {
                 agg
             })
             .collect()
+    }
+
+    /// Non-consuming version of [`Self::into_aggregates`] — anytime
+    /// estimates for the incremental driver.
+    pub(crate) fn snapshot_aggregates(&self) -> Vec<GroupAggregate> {
+        let shared_bytes = self.adj.approx_bytes() / self.specs.len();
+        self.specs
+            .iter()
+            .zip(&self.counters)
+            .map(|(spec, counters)| {
+                let mut agg = counters.clone().into_aggregate(spec.start);
+                agg.bytes += shared_bytes;
+                agg
+            })
+            .collect()
+    }
+
+    /// Restores one stored edge during checkpoint decode: recomputes
+    /// every group's tag from its hasher and inserts **without
+    /// counting** (the counters are restored separately). Returns
+    /// `false` on a duplicate.
+    pub(crate) fn insert_restored(&mut self, e: Edge) -> bool {
+        let (uu, vv) = e.as_u64_pair();
+        for (owner, spec) in self.owners.iter_mut().zip(&self.specs) {
+            *owner = spec.hasher.cell(uu, vv) as CellTag;
+        }
+        self.adj.insert(e, &self.owners)
     }
 }
 

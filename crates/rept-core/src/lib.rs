@@ -27,9 +27,8 @@
 //! * [`Engine::PerWorker`] ([`Rept::run_sequential`] /
 //!   [`Rept::run_threaded`]) gives every processor its own adjacency and
 //!   intersection — the paper's cost model executed literally. Pick it as
-//!   the reference oracle, for per-processor runtime accounting
-//!   (Figs. 7/8 simulate wall-clock from *independent* processor work),
-//!   and for checkpoint/resume, which snapshots per-worker state.
+//!   the reference oracle and for per-processor runtime accounting
+//!   (Figs. 7/8 simulate wall-clock from *independent* processor work).
 //! * [`Engine::FusedHash`] and [`Engine::FusedSorted`]
 //!   ([`Rept::run_fused`] / [`Rept::run_fused_threaded`] /
 //!   [`Rept::run_threaded_with`]) share one cell-tagged adjacency per
@@ -49,6 +48,11 @@
 //! * [`cluster`] — a message-passing simulated cluster (the paper's
 //!   "future work: distributed platforms" extension) with per-machine
 //!   memory accounting.
+//! * [`resume`] — the push-style incremental driver
+//!   ([`resume::ResumableRun`]), engine-aware: it drives any [`Engine`]
+//!   batch by batch and checkpoints/restores the complete state (RPCK
+//!   v2), so fused-engine deployments resume bit-identically. The
+//!   `rept-serve` crate builds its serving subsystem on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,35 +1,56 @@
-//! Incremental driving and checkpoint/resume.
+//! Incremental driving and engine-aware checkpoint/resume.
 //!
 //! The batch drivers ([`Rept::run_sequential`] etc.) consume a whole
 //! stream; an operational deployment (the paper's router scenario) instead
 //! receives edges *as they arrive* and must survive restarts. This module
 //! provides both:
 //!
-//! * [`ResumableRun`] — push-style driver: `process(edge)` as edges
-//!   arrive, `finalize()` whenever an estimate is needed;
+//! * [`ResumableRun`] — push-style driver: `process(edge)` /
+//!   [`ResumableRun::process_batch`] as edges arrive,
+//!   [`ResumableRun::estimate`] whenever an estimate is needed (anytime,
+//!   non-consuming), [`ResumableRun::finalize`] at end of stream. The
+//!   driver is **engine-aware**: it runs any [`Engine`] — the per-worker
+//!   reference, or either fused layout, incrementally in batches with
+//!   batch-boundary compaction, exactly like the whole-stream fused
+//!   drivers — and all engines stay bit-identical to
+//!   [`Rept::run_sequential`].
 //! * checkpointing — [`ResumableRun::checkpoint_bytes`] serialises the
-//!   entire processor state (sampled adjacencies and all counters) into a
+//!   entire estimator state (sampled adjacencies and all counters) into a
 //!   self-describing binary blob; [`ResumableRun::from_checkpoint_bytes`]
-//!   reconstructs it. Resuming from a checkpoint and processing the
+//!   reconstructs it, [`ResumableRun::checkpoint_to_file`] /
+//!   [`ResumableRun::from_checkpoint_file`] add crash-safe (write-then-
+//!   rename) persistence. Resuming from a checkpoint and processing the
 //!   remaining edges is **bit-identical** to an uninterrupted run — the
-//!   property the tests pin down.
+//!   property the tests pin down for every engine.
 //!
 //! The format is hand-rolled little-endian (no serde-format dependency):
-//! magic, version, config, then per-worker sections. It is a snapshot
-//! format, not an archival one — the version field guards against reading
-//! snapshots across incompatible releases.
+//! magic, version, config, engine, then per-worker or per-group sections.
+//! Version 2 (current) records the engine and, for fused engines, one
+//! section per hash group: the group's sampled edge set in canonical
+//! order (tags are not stored — a stored edge's tag is always
+//! `hasher.cell(e)`, so restore recomputes them) plus every counter.
+//! Version 1 blobs (which predate engine awareness) are still read and
+//! resume on the per-worker engine. It is a snapshot format, not an
+//! archival one — the version field guards against reading snapshots
+//! across incompatible releases.
 
+use std::path::{Path, PathBuf};
+
+use rept_graph::cell_tagged::{CellTag, CellTaggedAdjacency, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
+use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 
 use crate::config::{EtaMode, ReptConfig};
 use crate::estimate::ReptEstimate;
-use crate::estimator::Rept;
+use crate::estimator::{Engine, GroupSpec, Rept};
+use crate::fused::{FusedEtaCounters, FusedFullGroups, FusedGroup, GroupCounters};
 use crate::worker::SemiTriangleWorker;
 
 /// Magic bytes of the checkpoint format.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RPCK";
-/// Checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added the engine byte and
+/// fused-group sections; version 1 (per-worker only) is still readable.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +63,8 @@ pub enum SnapshotError {
     BadVersion(u32),
     /// A decoded value violated an invariant (description).
     Invalid(&'static str),
+    /// Filesystem error while reading a checkpoint file.
+    Io(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -51,6 +74,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a REPT checkpoint"),
             SnapshotError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             SnapshotError::Invalid(what) => write!(f, "invalid checkpoint field: {what}"),
+            SnapshotError::Io(err) => write!(f, "checkpoint i/o: {err}"),
         }
     }
 }
@@ -85,43 +109,283 @@ impl<'a> Reader<'a> {
     fn done(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Bytes left — bounds pre-allocations so a corrupted length field
+    /// yields [`SnapshotError::Truncated`] instead of an OOM abort.
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    /// A sane `Vec` pre-allocation for `len` entries of `entry_bytes`
+    /// each: never more than the blob could still hold.
+    fn capacity_for(&self, len: u64, entry_bytes: usize) -> usize {
+        (len as usize).min(self.remaining() / entry_bytes)
+    }
 }
 
-/// A push-style REPT driver whose state can be checkpointed.
+// ---- shared map section encoding ----------------------------------------
+
+/// Writes an optional node→count map: `u64::MAX` sentinel for `None`,
+/// else entry count followed by `(node, count)` pairs.
+fn write_opt_node_map(out: &mut Vec<u8>, map: Option<Vec<(NodeId, u64)>>) {
+    match map {
+        Some(entries) => {
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (n, v) in entries {
+                out.extend_from_slice(&n.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+    }
+}
+
+/// Counterpart of [`write_opt_node_map`].
+fn read_opt_node_map(r: &mut Reader<'_>) -> Result<Option<Vec<(NodeId, u64)>>, SnapshotError> {
+    let len = r.u64()?;
+    if len == u64::MAX {
+        return Ok(None);
+    }
+    let mut entries = Vec::with_capacity(r.capacity_for(len, 12));
+    for _ in 0..len {
+        let n = r.u32()?;
+        let v = r.u64()?;
+        entries.push((n, v));
+    }
+    Ok(Some(entries))
+}
+
+/// Writes an optional edge→count map, sentinel convention as above.
+fn write_opt_edge_map(out: &mut Vec<u8>, map: Option<Vec<(Edge, u64)>>) {
+    match map {
+        Some(entries) => {
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (e, v) in entries {
+                out.extend_from_slice(&e.u().to_le_bytes());
+                out.extend_from_slice(&e.v().to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+    }
+}
+
+/// Counterpart of [`write_opt_edge_map`].
+fn read_opt_edge_map(r: &mut Reader<'_>) -> Result<Option<Vec<(Edge, u64)>>, SnapshotError> {
+    let len = r.u64()?;
+    if len == u64::MAX {
+        return Ok(None);
+    }
+    let mut entries = Vec::with_capacity(r.capacity_for(len, 16));
+    for _ in 0..len {
+        let u = r.u32()?;
+        let v = r.u32()?;
+        let cnt = r.u64()?;
+        let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop key"))?;
+        entries.push((e, cnt));
+    }
+    Ok(Some(entries))
+}
+
+fn sorted_node_entries(map: &rept_hash::fx::FxHashMap<NodeId, u64>) -> Vec<(NodeId, u64)> {
+    let mut v: Vec<(NodeId, u64)> = map.iter().map(|(&n, &c)| (n, c)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn sorted_edge_entries(map: &rept_hash::fx::FxHashMap<Edge, u64>) -> Vec<(Edge, u64)> {
+    let mut v: Vec<(Edge, u64)> = map.iter().map(|(&e, &c)| (e, c)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Stable on-disk code of an engine (format field, must never change).
+fn engine_code(engine: Engine) -> u8 {
+    match engine {
+        Engine::PerWorker => 0,
+        Engine::FusedHash => 1,
+        Engine::FusedSorted => 2,
+    }
+}
+
+fn engine_from_code(code: u8) -> Result<Engine, SnapshotError> {
+    match code {
+        0 => Ok(Engine::PerWorker),
+        1 => Ok(Engine::FusedHash),
+        2 => Ok(Engine::FusedSorted),
+        _ => Err(SnapshotError::Invalid("engine code")),
+    }
+}
+
+/// The engine-specific half of a [`ResumableRun`]: per-worker state for
+/// the reference engine, one [`FusedGroup`] per hash group for the fused
+/// engines.
+#[derive(Debug, Clone)]
+enum EngineState {
+    PerWorker {
+        workers: Vec<SemiTriangleWorker>,
+        /// (hasher, owned cell) per worker, rebuilt from the config.
+        assignments: Vec<(rept_hash::edge_hash::PartitionHasher, u64)>,
+    },
+    FusedHash(Vec<FusedGroup<CellTaggedAdjacency>>),
+    /// The sorted engine mirrors [`Rept`]'s whole-stream driver: when a
+    /// layout has ≥ 2 **full** hash groups (all of which store the
+    /// identical edge set), they share one [`FusedFullGroups`] structure
+    /// — storing the sampled set once instead of `⌊c/m⌋` times — while
+    /// any remainder group runs alongside in `rest`. Otherwise `shared`
+    /// is `None` and `rest` holds every group.
+    FusedSorted {
+        shared: Option<Box<FusedFullGroups>>,
+        rest: Vec<FusedGroup<SortedTaggedAdjacency>>,
+    },
+}
+
+/// A push-style REPT driver whose state can be checkpointed, generic over
+/// the execution [`Engine`].
 #[derive(Debug, Clone)]
 pub struct ResumableRun {
     rept: Rept,
-    workers: Vec<SemiTriangleWorker>,
-    /// (hasher, owned cell) per worker, rebuilt from the config.
-    assignments: Vec<(rept_hash::edge_hash::PartitionHasher, u64)>,
+    engine: Engine,
+    state: EngineState,
     position: u64,
 }
 
 impl ResumableRun {
-    /// Starts a fresh run.
+    /// Starts a fresh run on the default engine
+    /// ([`Engine::FusedSorted`]).
     pub fn new(rept: Rept) -> Self {
+        Self::with_engine(rept, Engine::default())
+    }
+
+    /// Starts a fresh run on the given engine.
+    pub fn with_engine(rept: Rept, engine: Engine) -> Self {
         let cfg = *rept.config();
-        let workers = (0..cfg.c)
-            .map(|_| SemiTriangleWorker::new(cfg.track_locals, cfg.needs_eta(), cfg.eta_mode))
-            .collect();
-        let assignments = rept.processor_assignments();
+        let state = match engine {
+            Engine::PerWorker => EngineState::PerWorker {
+                workers: (0..cfg.c)
+                    .map(|_| {
+                        SemiTriangleWorker::new(cfg.track_locals, cfg.needs_eta(), cfg.eta_mode)
+                    })
+                    .collect(),
+                assignments: rept.processor_assignments(),
+            },
+            Engine::FusedHash => EngineState::FusedHash(Self::fresh_groups(&rept)),
+            Engine::FusedSorted => {
+                let (full, partial) = Self::split_specs(&rept);
+                if full.len() >= 2 {
+                    EngineState::FusedSorted {
+                        shared: Some(Box::new(FusedFullGroups::new(&full, &cfg))),
+                        rest: partial.iter().map(|g| FusedGroup::new(*g, &cfg)).collect(),
+                    }
+                } else {
+                    EngineState::FusedSorted {
+                        shared: None,
+                        rest: Self::fresh_groups(&rept),
+                    }
+                }
+            }
+        };
         Self {
             rept,
-            workers,
-            assignments,
+            engine,
+            state,
             position: 0,
         }
     }
 
+    fn fresh_groups<A: TaggedAdjacency>(rept: &Rept) -> Vec<FusedGroup<A>> {
+        let cfg = rept.config();
+        rept.groups()
+            .iter()
+            .map(|g| FusedGroup::new(*g, cfg))
+            .collect()
+    }
+
+    /// Splits the layout into its full groups (size = `m`) and the rest,
+    /// preserving [`Rept::groups`] order (full groups always precede any
+    /// remainder group).
+    fn split_specs(rept: &Rept) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
+        let m = rept.config().m;
+        rept.groups()
+            .iter()
+            .copied()
+            .partition(|g| g.size as u64 == m)
+    }
+
+    /// The engine driving this run.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Processes one arriving edge on all processors.
     pub fn process(&mut self, e: Edge) {
-        let (u, v) = e.as_u64_pair();
         self.position += 1;
-        for (w, (hasher, cell)) in self.workers.iter_mut().zip(&self.assignments) {
-            let closed = w.observe(e);
-            if hasher.cell(u, v) == *cell {
-                w.store(e, closed);
+        match &mut self.state {
+            EngineState::PerWorker {
+                workers,
+                assignments,
+            } => {
+                let (u, v) = e.as_u64_pair();
+                for (w, (hasher, cell)) in workers.iter_mut().zip(assignments.iter()) {
+                    let closed = w.observe(e);
+                    if hasher.cell(u, v) == *cell {
+                        w.store(e, closed);
+                    }
+                }
             }
+            EngineState::FusedHash(groups) => {
+                for g in groups.iter_mut() {
+                    g.process(e);
+                }
+            }
+            EngineState::FusedSorted { shared, rest } => {
+                if let Some(shared) = shared {
+                    shared.process(e);
+                }
+                for g in rest.iter_mut() {
+                    g.process(e);
+                }
+            }
+        }
+    }
+
+    /// Processes a batch of arriving edges — the incremental analogue of
+    /// the whole-stream fused drivers: fused engines run group-major
+    /// within the batch (one group's adjacency stays cache-hot while the
+    /// batch drains against it) and compact at the batch boundary, so
+    /// steady-state matching runs on fully sorted state. Results are
+    /// independent of how the stream is split into batches, which is what
+    /// makes checkpoint/resume at any batch boundary bit-identical.
+    pub fn process_batch(&mut self, batch: &[Edge]) {
+        match &mut self.state {
+            EngineState::PerWorker { .. } => {
+                for &e in batch {
+                    self.process(e);
+                }
+            }
+            EngineState::FusedHash(groups) => {
+                Self::drive_groups(groups, batch);
+                self.position += batch.len() as u64;
+            }
+            EngineState::FusedSorted { shared, rest } => {
+                if let Some(shared) = shared {
+                    for &e in batch {
+                        shared.process(e);
+                    }
+                    shared.compact();
+                }
+                Self::drive_groups(rest, batch);
+                self.position += batch.len() as u64;
+            }
+        }
+    }
+
+    fn drive_groups<A: TaggedAdjacency>(groups: &mut [FusedGroup<A>], batch: &[Edge]) {
+        for g in groups.iter_mut() {
+            for &e in batch {
+                g.process(e);
+            }
+            g.compact();
         }
     }
 
@@ -136,17 +400,42 @@ impl ResumableRun {
     }
 
     /// Produces the estimate for the stream seen so far (non-consuming —
-    /// all estimators here are anytime).
+    /// all estimators here are anytime). Routed through the engine
+    /// selector: every engine funnels into the same per-group aggregate
+    /// combination, so the estimate is identical across engines.
     pub fn estimate(&self) -> ReptEstimate {
-        self.rept.finalize(self.workers.clone())
+        match &self.state {
+            EngineState::PerWorker { workers, .. } => self.rept.finalize(workers.clone()),
+            EngineState::FusedHash(groups) => self
+                .rept
+                .finalize_groups(groups.iter().map(FusedGroup::snapshot_aggregate).collect()),
+            EngineState::FusedSorted { shared, rest } => {
+                let mut aggregates = shared
+                    .as_deref()
+                    .map(FusedFullGroups::snapshot_aggregates)
+                    .unwrap_or_default();
+                aggregates.extend(rest.iter().map(FusedGroup::snapshot_aggregate));
+                self.rept.finalize_groups(aggregates)
+            }
+        }
     }
 
     /// Consumes the run and produces the final estimate.
     pub fn finalize(self) -> ReptEstimate {
-        self.rept.finalize(self.workers)
+        match self.state {
+            EngineState::PerWorker { workers, .. } => self.rept.finalize(workers),
+            EngineState::FusedHash(groups) => self
+                .rept
+                .finalize_groups(groups.into_iter().map(FusedGroup::into_aggregate).collect()),
+            EngineState::FusedSorted { shared, rest } => {
+                let mut aggregates = shared.map(|s| s.into_aggregates()).unwrap_or_default();
+                aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
+                self.rept.finalize_groups(aggregates)
+            }
+        }
     }
 
-    /// Serialises the complete state.
+    /// Serialises the complete state (format version 2).
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         let cfg = self.rept.config();
         let mut out = Vec::new();
@@ -161,14 +450,24 @@ impl ResumableRun {
             EtaMode::PaperInit => 0,
             EtaMode::StrictNonLast => 1,
         });
+        out.push(engine_code(self.engine));
         out.extend_from_slice(&self.position.to_le_bytes());
-        for w in &self.workers {
-            w.write_snapshot(&mut out);
+        match &self.state {
+            EngineState::PerWorker { workers, .. } => {
+                for w in workers {
+                    w.write_snapshot(&mut out);
+                }
+            }
+            EngineState::FusedHash(groups) => write_fused_groups(groups, &mut out),
+            EngineState::FusedSorted { shared, rest } => {
+                write_sorted_state(shared.as_deref(), rest, &mut out)
+            }
         }
         out
     }
 
-    /// Reconstructs a run from [`Self::checkpoint_bytes`] output.
+    /// Reconstructs a run from [`Self::checkpoint_bytes`] output (or a
+    /// legacy version-1 blob, which resumes on the per-worker engine).
     ///
     /// # Errors
     ///
@@ -179,7 +478,7 @@ impl ResumableRun {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u32()?;
-        if version != CHECKPOINT_VERSION {
+        if version != 1 && version != CHECKPOINT_VERSION {
             return Err(SnapshotError::BadVersion(version));
         }
         let m = r.u64()?;
@@ -195,6 +494,12 @@ impl ResumableRun {
             1 => EtaMode::StrictNonLast,
             _ => return Err(SnapshotError::Invalid("eta mode")),
         };
+        // Version 1 predates the engine byte: always per-worker.
+        let engine = if version == 1 {
+            Engine::PerWorker
+        } else {
+            engine_from_code(r.u8()?)?
+        };
         let position = r.u64()?;
         let cfg = ReptConfig {
             m,
@@ -205,26 +510,307 @@ impl ResumableRun {
             eta_mode,
         };
         let rept = Rept::new(cfg);
-        let mut workers = Vec::with_capacity(c as usize);
-        for _ in 0..c {
-            workers.push(SemiTriangleWorker::read_snapshot(
-                &mut r,
-                cfg.track_locals,
-                cfg.needs_eta(),
-                cfg.eta_mode,
-            )?);
-        }
+        let state = match engine {
+            Engine::PerWorker => {
+                let mut workers = Vec::with_capacity(c as usize);
+                for _ in 0..c {
+                    workers.push(SemiTriangleWorker::read_snapshot(
+                        &mut r,
+                        cfg.track_locals,
+                        cfg.needs_eta(),
+                        cfg.eta_mode,
+                    )?);
+                }
+                let assignments = rept.processor_assignments();
+                EngineState::PerWorker {
+                    workers,
+                    assignments,
+                }
+            }
+            Engine::FusedHash => EngineState::FusedHash(read_fused_groups(&mut r, &rept)?),
+            Engine::FusedSorted => {
+                let (shared, rest) = read_sorted_state(&mut r, &rept)?;
+                EngineState::FusedSorted {
+                    shared: shared.map(Box::new),
+                    rest,
+                }
+            }
+        };
         if !r.done() {
             return Err(SnapshotError::Invalid("trailing bytes"));
         }
-        let assignments = rept.processor_assignments();
         Ok(Self {
             rept,
-            workers,
-            assignments,
+            engine,
+            state,
             position,
         })
     }
+
+    /// Writes a checkpoint to `path` crash-safely: the blob lands in a
+    /// sibling `*.tmp` file first, is fsynced, and is atomically renamed
+    /// into place, so neither a crash mid-write nor a power loss shortly
+    /// after the rename can corrupt an existing checkpoint.
+    pub fn checkpoint_to_file(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&self.checkpoint_bytes())?;
+        // The data must be durable before the rename makes it visible —
+        // otherwise a power loss can persist the rename while the data
+        // blocks are still in the page cache, replacing a good
+        // checkpoint with a truncated one.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Best-effort directory sync so the rename itself is durable.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a checkpoint written by [`Self::checkpoint_to_file`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be read, otherwise the
+    /// decoding errors of [`Self::from_checkpoint_bytes`].
+    pub fn from_checkpoint_file(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::from_checkpoint_bytes(&bytes)
+    }
+}
+
+// ---- fused group snapshot plumbing ---------------------------------------
+
+/// Serialises fused groups: group count, then per group the sampled edge
+/// set (canonical order; tags recomputed on restore) and every counter.
+fn write_fused_groups<A: TaggedAdjacency>(groups: &[FusedGroup<A>], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
+    for g in groups {
+        let mut edges: Vec<Edge> = Vec::with_capacity(g.adj.edge_count());
+        g.adj.for_each_edge(|e, _| edges.push(e));
+        edges.sort_unstable();
+        write_group_section(out, &edges, &g.counters);
+    }
+}
+
+/// Serialises the sorted engine's state. The shared full-group structure
+/// is written as one ordinary section per full group — the shared edge
+/// set repeated next to each group's counters — so the on-disk format is
+/// identical whether or not the writer used the shared representation.
+fn write_sorted_state(
+    shared: Option<&FusedFullGroups>,
+    rest: &[FusedGroup<SortedTaggedAdjacency>],
+    out: &mut Vec<u8>,
+) {
+    let shared_groups = shared.map_or(0, |s| s.specs.len());
+    out.extend_from_slice(&((shared_groups + rest.len()) as u64).to_le_bytes());
+    if let Some(shared) = shared {
+        let mut edges: Vec<Edge> = shared.adj.edges().collect();
+        edges.sort_unstable();
+        for counters in &shared.counters {
+            write_group_section(out, &edges, counters);
+        }
+    }
+    for g in rest {
+        let mut edges: Vec<Edge> = Vec::with_capacity(g.adj.edge_count());
+        g.adj.for_each_edge(|e, _| edges.push(e));
+        edges.sort_unstable();
+        write_group_section(out, &edges, &g.counters);
+    }
+}
+
+/// Writes one group section: edge list then every counter.
+fn write_group_section(out: &mut Vec<u8>, edges: &[Edge], counters: &GroupCounters) {
+    out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+    for e in edges {
+        out.extend_from_slice(&e.u().to_le_bytes());
+        out.extend_from_slice(&e.v().to_le_bytes());
+    }
+    for &t in &counters.tau {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    for &s in &counters.stored {
+        out.extend_from_slice(&(s as u64).to_le_bytes());
+    }
+    write_opt_node_map(out, counters.tau_v.as_ref().map(sorted_node_entries));
+    match &counters.eta {
+        Some(eta) => {
+            out.extend_from_slice(&eta.total.to_le_bytes());
+            write_opt_node_map(out, Some(sorted_node_entries(&eta.per_node)));
+            write_opt_edge_map(out, Some(sorted_edge_entries(&eta.per_edge)));
+        }
+        None => {
+            out.extend_from_slice(&0u64.to_le_bytes());
+            write_opt_node_map(out, None);
+            write_opt_edge_map(out, None);
+        }
+    }
+}
+
+/// Reads one group's edge list, validating each edge lands in a cell the
+/// group owns.
+fn read_group_edges(r: &mut Reader<'_>, spec: &GroupSpec) -> Result<Vec<Edge>, SnapshotError> {
+    let edge_count = r.u64()?;
+    let mut edges = Vec::with_capacity(r.capacity_for(edge_count, 8));
+    for _ in 0..edge_count {
+        let u = r.u32()?;
+        let v = r.u32()?;
+        let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop edge"))?;
+        let (uu, vv) = e.as_u64_pair();
+        if spec.hasher.cell(uu, vv) as usize >= spec.size {
+            return Err(SnapshotError::Invalid("edge outside owned cells"));
+        }
+        edges.push(e);
+    }
+    Ok(edges)
+}
+
+/// Reads one group's counter block, with the same section/config
+/// consistency checks the worker decoder applies.
+fn read_group_counters(
+    r: &mut Reader<'_>,
+    cfg: &ReptConfig,
+    size: usize,
+    edge_count: usize,
+) -> Result<GroupCounters, SnapshotError> {
+    let mut counters = GroupCounters::new(size, cfg);
+    for t in counters.tau.iter_mut() {
+        *t = r.u64()?;
+    }
+    let mut stored_total = 0usize;
+    for s in counters.stored.iter_mut() {
+        *s = r.u64()? as usize;
+        stored_total += *s;
+    }
+    if stored_total != edge_count {
+        return Err(SnapshotError::Invalid("stored counts/edge set mismatch"));
+    }
+    let tau_v = read_opt_node_map(r)?;
+    if cfg.track_locals != tau_v.is_some() {
+        return Err(SnapshotError::Invalid("locals section/config mismatch"));
+    }
+    counters.tau_v = tau_v.map(|entries| entries.into_iter().collect());
+    let eta_total = r.u64()?;
+    let eta_v = read_opt_node_map(r)?;
+    let per_edge = read_opt_edge_map(r)?;
+    counters.eta = match (cfg.needs_eta(), eta_v, per_edge) {
+        (true, Some(per_node), Some(per_edge)) => Some(FusedEtaCounters {
+            total: eta_total,
+            per_node: per_node.into_iter().collect(),
+            per_edge: per_edge.into_iter().collect(),
+        }),
+        (false, None, None) => None,
+        _ => return Err(SnapshotError::Invalid("eta section/config mismatch")),
+    };
+    Ok(counters)
+}
+
+/// Reads one independent fused group: rebuilds the adjacency by
+/// re-inserting its edges (tag = `hasher.cell(e)`, the invariant the
+/// engine maintains) and restores the counters.
+fn read_one_group<A: TaggedAdjacency>(
+    r: &mut Reader<'_>,
+    cfg: &ReptConfig,
+    spec: GroupSpec,
+) -> Result<FusedGroup<A>, SnapshotError> {
+    let edges = read_group_edges(r, &spec)?;
+    let mut g = FusedGroup::<A>::new(spec, cfg);
+    for &e in &edges {
+        let (uu, vv) = e.as_u64_pair();
+        if !g.adj.insert(e, spec.hasher.cell(uu, vv) as CellTag) {
+            return Err(SnapshotError::Invalid("duplicate edge in group"));
+        }
+    }
+    g.adj.compact();
+    g.counters = read_group_counters(r, cfg, spec.size, edges.len())?;
+    Ok(g)
+}
+
+/// Counterpart of [`write_fused_groups`].
+fn read_fused_groups<A: TaggedAdjacency>(
+    r: &mut Reader<'_>,
+    rept: &Rept,
+) -> Result<Vec<FusedGroup<A>>, SnapshotError> {
+    let cfg = *rept.config();
+    let n = r.u64()? as usize;
+    if n != rept.groups().len() {
+        return Err(SnapshotError::Invalid("group count/config mismatch"));
+    }
+    rept.groups()
+        .to_vec()
+        .into_iter()
+        .map(|spec| read_one_group(r, &cfg, spec))
+        .collect()
+}
+
+/// Counterpart of [`write_sorted_state`]: when the layout has ≥ 2 full
+/// groups, their sections (always first — [`Rept::groups`] orders full
+/// groups before the remainder) are folded into one shared
+/// [`FusedFullGroups`]; any remainder group reads as an independent
+/// [`FusedGroup`].
+fn read_sorted_state(
+    r: &mut Reader<'_>,
+    rept: &Rept,
+) -> Result<
+    (
+        Option<FusedFullGroups>,
+        Vec<FusedGroup<SortedTaggedAdjacency>>,
+    ),
+    SnapshotError,
+> {
+    let cfg = *rept.config();
+    let n = r.u64()? as usize;
+    if n != rept.groups().len() {
+        return Err(SnapshotError::Invalid("group count/config mismatch"));
+    }
+    let (full, partial): (Vec<GroupSpec>, Vec<GroupSpec>) = rept
+        .groups()
+        .iter()
+        .copied()
+        .partition(|g| g.size as u64 == cfg.m);
+    if full.len() < 2 {
+        let rest = rept
+            .groups()
+            .to_vec()
+            .into_iter()
+            .map(|spec| read_one_group(r, &cfg, spec))
+            .collect::<Result<_, _>>()?;
+        return Ok((None, rest));
+    }
+    let mut shared = FusedFullGroups::new(&full, &cfg);
+    for (gi, spec) in full.iter().enumerate() {
+        let edges = read_group_edges(r, spec)?;
+        if gi == 0 {
+            for &e in &edges {
+                if !shared.insert_restored(e) {
+                    return Err(SnapshotError::Invalid("duplicate edge in group"));
+                }
+            }
+            shared.compact();
+        } else if edges.len() != shared.adj.edge_count()
+            || edges.iter().any(|&e| !shared.adj.contains(e))
+        {
+            // Every full group stores every stream edge, so all full
+            // groups hold the identical edge set; a blob violating that
+            // cannot have come from any real run.
+            return Err(SnapshotError::Invalid(
+                "full groups must share one edge set",
+            ));
+        }
+        shared.counters[gi] = read_group_counters(r, &cfg, spec.size, edges.len())?;
+    }
+    let rest = partial
+        .into_iter()
+        .map(|spec| read_one_group(r, &cfg, spec))
+        .collect::<Result<_, _>>()?;
+    Ok((Some(shared), rest))
 }
 
 // ---- worker snapshot plumbing -------------------------------------------
@@ -242,30 +828,10 @@ impl SemiTriangleWorker {
             out.extend_from_slice(&e.v().to_le_bytes());
         }
         // Local counters.
-        let write_node_map = |out: &mut Vec<u8>, map: Option<Vec<(NodeId, u64)>>| match map {
-            Some(entries) => {
-                out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-                for (n, v) in entries {
-                    out.extend_from_slice(&n.to_le_bytes());
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
-            }
-            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
-        };
-        write_node_map(out, self.tau_v_entries());
+        write_opt_node_map(out, self.tau_v_entries());
         out.extend_from_slice(&self.eta().to_le_bytes());
-        write_node_map(out, self.eta_v_entries());
-        match self.edge_counter_entries() {
-            Some(entries) => {
-                out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-                for (e, v) in entries {
-                    out.extend_from_slice(&e.u().to_le_bytes());
-                    out.extend_from_slice(&e.v().to_le_bytes());
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
-            }
-            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
-        }
+        write_opt_node_map(out, self.eta_v_entries());
+        write_opt_edge_map(out, self.edge_counter_entries());
     }
 
     /// Reads a worker back (counterpart of [`Self::write_snapshot`]).
@@ -276,47 +842,18 @@ impl SemiTriangleWorker {
         eta_mode: EtaMode,
     ) -> Result<Self, SnapshotError> {
         let tau = r.u64()?;
-        let edge_count = r.u64()? as usize;
-        let mut edges = Vec::with_capacity(edge_count);
+        let edge_count = r.u64()?;
+        let mut edges = Vec::with_capacity(r.capacity_for(edge_count, 8));
         for _ in 0..edge_count {
             let u = r.u32()?;
             let v = r.u32()?;
             let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop edge"))?;
             edges.push(e);
         }
-        let read_node_map =
-            |r: &mut Reader<'_>| -> Result<Option<Vec<(NodeId, u64)>>, SnapshotError> {
-                let len = r.u64()?;
-                if len == u64::MAX {
-                    return Ok(None);
-                }
-                let mut entries = Vec::with_capacity(len as usize);
-                for _ in 0..len {
-                    let n = r.u32()?;
-                    let v = r.u64()?;
-                    entries.push((n, v));
-                }
-                Ok(Some(entries))
-            };
-        let tau_v = read_node_map(r)?;
+        let tau_v = read_opt_node_map(r)?;
         let eta = r.u64()?;
-        let eta_v = read_node_map(r)?;
-        let per_edge = {
-            let len = r.u64()?;
-            if len == u64::MAX {
-                None
-            } else {
-                let mut entries = Vec::with_capacity(len as usize);
-                for _ in 0..len {
-                    let u = r.u32()?;
-                    let v = r.u32()?;
-                    let cnt = r.u64()?;
-                    let e = Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop key"))?;
-                    entries.push((e, cnt));
-                }
-                Some(entries)
-            }
-        };
+        let eta_v = read_opt_node_map(r)?;
+        let per_edge = read_opt_edge_map(r)?;
         // Consistency: a tracked-eta worker must have eta sections and
         // vice versa; mismatches mean the config bytes were corrupted.
         if track_eta != per_edge.is_some() {
@@ -352,46 +889,131 @@ mod tests {
         ReptConfig::new(3, 7).with_seed(11).with_eta(true)
     }
 
-    #[test]
-    fn push_driver_matches_batch_driver() {
-        let stream = stream();
-        let rept = Rept::new(cfg());
-        let batch = rept.run_sequential(stream.iter().copied());
-        let mut run = ResumableRun::new(rept);
-        for &e in &stream {
-            run.process(e);
-        }
-        assert_eq!(run.position(), stream.len() as u64);
-        let push = run.finalize();
-        assert_eq!(push.global, batch.global);
-        assert_eq!(push.locals, batch.locals);
-        assert_eq!(push.eta_hat, batch.eta_hat);
+    fn assert_estimates_equal(a: &ReptEstimate, b: &ReptEstimate, what: &str) {
+        assert_eq!(a.global, b.global, "{what}: global");
+        assert_eq!(a.locals, b.locals, "{what}: locals");
+        assert_eq!(a.eta_hat, b.eta_hat, "{what}: eta");
+        assert_eq!(
+            a.diagnostics.per_processor_tau, b.diagnostics.per_processor_tau,
+            "{what}: per-processor tau"
+        );
+        assert_eq!(
+            a.diagnostics.stored_edges, b.diagnostics.stored_edges,
+            "{what}: stored edges"
+        );
     }
 
     #[test]
-    fn checkpoint_resume_is_bit_identical() {
+    fn push_driver_matches_batch_driver_on_every_engine() {
+        let stream = stream();
+        let rept = Rept::new(cfg());
+        let batch = rept.run_sequential(stream.iter().copied());
+        for engine in Engine::all() {
+            let mut run = ResumableRun::with_engine(rept.clone(), engine);
+            assert_eq!(run.engine(), engine);
+            for &e in &stream {
+                run.process(e);
+            }
+            assert_eq!(run.position(), stream.len() as u64);
+            let push = run.finalize();
+            assert_estimates_equal(&push, &batch, engine.name());
+        }
+    }
+
+    #[test]
+    fn batched_ingest_matches_edge_by_edge() {
+        let stream = stream();
+        let rept = Rept::new(cfg());
+        let oracle = rept.run_sequential(stream.iter().copied());
+        for engine in Engine::all() {
+            for batch_len in [1usize, 17, 1000, stream.len()] {
+                let mut run = ResumableRun::with_engine(rept.clone(), engine);
+                for chunk in stream.chunks(batch_len) {
+                    run.process_batch(chunk);
+                }
+                assert_eq!(run.position(), stream.len() as u64);
+                let est = run.estimate();
+                assert_estimates_equal(
+                    &est,
+                    &oracle,
+                    &format!("{} batch={batch_len}", engine.name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_on_every_engine() {
         let stream = stream();
         let rept = Rept::new(cfg());
         let uninterrupted = rept.run_sequential(stream.iter().copied());
 
-        let mut first = ResumableRun::new(rept);
-        let split = stream.len() / 2;
-        for &e in &stream[..split] {
-            first.process(e);
-        }
-        let blob = first.checkpoint_bytes();
-        drop(first);
+        for engine in Engine::all() {
+            let mut first = ResumableRun::with_engine(rept.clone(), engine);
+            let split = stream.len() / 2;
+            first.process_batch(&stream[..split]);
+            let blob = first.checkpoint_bytes();
+            drop(first);
 
-        let mut resumed = ResumableRun::from_checkpoint_bytes(&blob).expect("valid blob");
+            let mut resumed = ResumableRun::from_checkpoint_bytes(&blob).expect("valid blob");
+            assert_eq!(resumed.position(), split as u64);
+            assert_eq!(resumed.config(), &cfg());
+            assert_eq!(resumed.engine(), engine, "engine survives the roundtrip");
+            resumed.process_batch(&stream[split..]);
+            let final_est = resumed.finalize();
+            assert_estimates_equal(&final_est, &uninterrupted, engine.name());
+        }
+    }
+
+    #[test]
+    fn file_checkpoint_roundtrip() {
+        let stream = stream();
+        let mut run = ResumableRun::new(Rept::new(cfg()));
+        run.process_batch(&stream[..150]);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rept-ckpt-{}.rpck", std::process::id()));
+        run.checkpoint_to_file(&path).expect("write checkpoint");
+        let back = ResumableRun::from_checkpoint_file(&path).expect("read checkpoint");
+        assert_eq!(back.position(), 150);
+        assert_eq!(back.engine(), run.engine());
+        assert_estimates_equal(&back.estimate(), &run.estimate(), "file roundtrip");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            ResumableRun::from_checkpoint_file(&path),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn version1_blobs_resume_per_worker() {
+        // Hand-encode a v1 checkpoint (the pre-engine format: no engine
+        // byte, always per-worker sections) and check it still decodes.
+        let stream = stream();
+        let split = 120;
+        let rept = Rept::new(cfg());
+        let mut run = ResumableRun::with_engine(rept.clone(), Engine::PerWorker);
+        for &e in &stream[..split] {
+            run.process(e);
+        }
+        let v2 = run.checkpoint_bytes();
+        // v1 = magic, version 1, config (27 bytes), position, worker
+        // sections. The v2 layout only adds the engine byte after the
+        // config, so the v1 blob is the v2 blob minus that byte with the
+        // version field rewritten.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&CHECKPOINT_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[8..8 + 27]); // m, c, seed, flags, mode
+        v1.extend_from_slice(&v2[8 + 27 + 1..]); // skip engine byte
+        let resumed = ResumableRun::from_checkpoint_bytes(&v1).expect("v1 blob readable");
+        assert_eq!(resumed.engine(), Engine::PerWorker);
         assert_eq!(resumed.position(), split as u64);
-        assert_eq!(resumed.config(), &cfg());
+        let mut resumed = resumed;
         for &e in &stream[split..] {
             resumed.process(e);
         }
-        let final_est = resumed.finalize();
-        assert_eq!(final_est.global, uninterrupted.global);
-        assert_eq!(final_est.locals, uninterrupted.locals);
-        assert_eq!(final_est.eta_hat, uninterrupted.eta_hat);
+        let uninterrupted = rept.run_sequential(stream.iter().copied());
+        assert_estimates_equal(&resumed.finalize(), &uninterrupted, "v1 resume");
     }
 
     #[test]
@@ -432,31 +1054,45 @@ mod tests {
             ResumableRun::from_checkpoint_bytes(&blob).err(),
             Some(SnapshotError::BadVersion(99))
         );
+        // Corrupt the engine byte (offset: magic 4 + version 4 + config 27).
+        let mut blob = ResumableRun::new(Rept::new(cfg())).checkpoint_bytes();
+        blob[35] = 7;
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&blob).err(),
+            Some(SnapshotError::Invalid("engine code"))
+        );
     }
 
     #[test]
     fn rejects_truncation_and_trailing_bytes() {
         let stream = stream();
-        let mut run = ResumableRun::new(Rept::new(cfg()));
-        for &e in &stream[..100] {
-            run.process(e);
+        for engine in Engine::all() {
+            let mut run = ResumableRun::with_engine(Rept::new(cfg()), engine);
+            run.process_batch(&stream[..100]);
+            let blob = run.checkpoint_bytes();
+            assert_eq!(
+                ResumableRun::from_checkpoint_bytes(&blob[..blob.len() - 1]).err(),
+                Some(SnapshotError::Truncated),
+                "{}",
+                engine.name()
+            );
+            let mut extended = blob.clone();
+            extended.push(0);
+            assert_eq!(
+                ResumableRun::from_checkpoint_bytes(&extended).err(),
+                Some(SnapshotError::Invalid("trailing bytes")),
+                "{}",
+                engine.name()
+            );
         }
-        let blob = run.checkpoint_bytes();
-        assert_eq!(
-            ResumableRun::from_checkpoint_bytes(&blob[..blob.len() - 1]).err(),
-            Some(SnapshotError::Truncated)
-        );
-        let mut extended = blob.clone();
-        extended.push(0);
-        assert_eq!(
-            ResumableRun::from_checkpoint_bytes(&extended).err(),
-            Some(SnapshotError::Invalid("trailing bytes"))
-        );
     }
 
     #[test]
     fn error_display() {
         assert!(SnapshotError::BadVersion(7).to_string().contains('7'));
         assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+        assert!(SnapshotError::Io("nope".into())
+            .to_string()
+            .contains("nope"));
     }
 }

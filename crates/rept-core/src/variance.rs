@@ -63,6 +63,32 @@ pub fn nrmse_of_unbiased(variance: f64, tau: f64) -> Option<f64> {
     }
 }
 
+/// A plug-in normal-approximation confidence interval for `τ̂`.
+///
+/// Evaluates the closed-form [`rept_variance`] with the *estimates*
+/// `τ̂`, `η̂` substituted for the true `τ`, `η` (the same plug-in move
+/// §III-B uses for the Graybill–Deal weights) and returns
+/// `τ̂ ± z·√Var̂`, floored at 0 (τ is a count). `z = 1.96` gives the
+/// usual asymptotic 95% interval. This is what an online deployment can
+/// actually report mid-stream, when the truth is unknown; like the
+/// plug-in weights it is approximate — accurate once `τ̂` has
+/// stabilised, loose early in the stream.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `c < 1` (forwarded from [`rept_variance`]).
+pub fn plugin_confidence_interval(
+    tau_hat: f64,
+    eta_hat: f64,
+    m: u64,
+    c: u64,
+    z: f64,
+) -> (f64, f64) {
+    let var = rept_variance(tau_hat.max(0.0), eta_hat.max(0.0), m, c);
+    let half = z * var.max(0.0).sqrt();
+    ((tau_hat - half).max(0.0), tau_hat + half)
+}
+
 /// The variance-reduction factor REPT achieves over parallel MASCOT at the
 /// same `(m, c)` — the headline quantity of the paper.
 pub fn rept_gain(tau: f64, eta: f64, m: u64, c: u64) -> f64 {
@@ -157,6 +183,21 @@ mod tests {
     fn nrmse_helper() {
         assert_eq!(nrmse_of_unbiased(400.0, 10.0), Some(2.0));
         assert_eq!(nrmse_of_unbiased(400.0, 0.0), None);
+    }
+
+    #[test]
+    fn plugin_interval_brackets_the_estimate() {
+        let (lo, hi) = plugin_confidence_interval(100.0, 500.0, 10, 5, 1.96);
+        assert!(lo <= 100.0 && 100.0 <= hi);
+        assert!(lo >= 0.0, "count intervals are floored at zero");
+        // Wider z, wider interval.
+        let (lo3, hi3) = plugin_confidence_interval(100.0, 500.0, 10, 5, 3.0);
+        assert!(lo3 <= lo && hi3 >= hi);
+        // Zero estimate degenerates to a point at zero.
+        assert_eq!(
+            plugin_confidence_interval(0.0, 0.0, 10, 5, 1.96),
+            (0.0, 0.0)
+        );
     }
 
     #[test]

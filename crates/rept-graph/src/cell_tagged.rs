@@ -67,6 +67,10 @@ pub trait TaggedAdjacency: Default + std::fmt::Debug + Send + Sync {
     /// Number of stored edges.
     fn edge_count(&self) -> usize;
 
+    /// Calls `f(e, cell)` for every stored edge (arbitrary order) —
+    /// checkpointing enumerates the sampled set through this.
+    fn for_each_edge<F: FnMut(Edge, CellTag)>(&self, f: F);
+
     /// Approximate heap footprint in bytes.
     fn approx_bytes(&self) -> usize;
 
@@ -251,6 +255,11 @@ impl TaggedAdjacency for CellTaggedAdjacency {
     }
     fn edge_count(&self) -> usize {
         CellTaggedAdjacency::edge_count(self)
+    }
+    fn for_each_edge<F: FnMut(Edge, CellTag)>(&self, mut f: F) {
+        for (e, cell) in self.edges() {
+            f(e, cell);
+        }
     }
     fn approx_bytes(&self) -> usize {
         CellTaggedAdjacency::approx_bytes(self)

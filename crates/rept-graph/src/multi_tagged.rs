@@ -123,6 +123,18 @@ impl MultiSortedTaggedAdjacency {
         self.tags_of(e).is_some()
     }
 
+    /// Iterates all stored edges (arbitrary order, tags omitted — every
+    /// group's tag of an edge is recomputable from its hasher).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.slots.iter().flat_map(|(&u, &slot)| {
+            self.lists[slot as usize]
+                .nbrs
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge::new(u, v))
+        })
+    }
+
     #[inline]
     fn ensure_slot(&mut self, n: NodeId) -> usize {
         let next = self.lists.len() as u32;

@@ -463,6 +463,11 @@ impl TaggedAdjacency for SortedTaggedAdjacency {
     fn edge_count(&self) -> usize {
         SortedTaggedAdjacency::edge_count(self)
     }
+    fn for_each_edge<F: FnMut(Edge, CellTag)>(&self, mut f: F) {
+        for (e, cell) in self.edges() {
+            f(e, cell);
+        }
+    }
     fn approx_bytes(&self) -> usize {
         SortedTaggedAdjacency::approx_bytes(self)
     }

@@ -1,0 +1,143 @@
+//! Latency sample recording and percentile summaries.
+//!
+//! The serving subsystem measures per-query latency under concurrent
+//! load; reporting it needs order statistics, not just means. A
+//! [`LatencyRecorder`] collects raw [`Duration`] samples (one recorder
+//! per thread — recording is just a `Vec::push`), recorders from many
+//! threads [`merge`](LatencyRecorder::merge) into one, and the summary
+//! reports nearest-rank percentiles. Keeping the raw samples (instead of
+//! a histogram sketch) is deliberate: the bench workloads record at most
+//! a few million samples, and exact percentiles keep `BENCH_serve.json`
+//! noise down to scheduler jitter only.
+
+use std::time::Duration;
+
+/// Collects latency samples and summarises them.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Absorbs another recorder's samples (fan-in from worker threads).
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    /// The nearest-rank `p`-th percentile (`0 < p ≤ 100`): the smallest
+    /// sample such that at least `p`% of samples are ≤ it. Returns
+    /// `None` when no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p ≤ 100.0`.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        // Nearest-rank: ⌈p/100 · n⌉, 1-based.
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.max(1) - 1])
+    }
+
+    /// Median (`p50`).
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(50.0)
+    }
+
+    /// `p99` — the tail the serving SLO cares about.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(99.0)
+    }
+
+    /// The largest sample seen.
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), Duration::ZERO);
+        assert_eq!(r.p50(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record(ms(i));
+        }
+        assert_eq!(r.p50(), Some(ms(50)));
+        assert_eq!(r.p99(), Some(ms(99)));
+        assert_eq!(r.percentile(100.0), Some(ms(100)));
+        assert_eq!(r.percentile(1.0), Some(ms(1)));
+        assert_eq!(r.max(), Some(ms(100)));
+        assert_eq!(r.mean(), ms(50) + Duration::from_micros(500));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut r = LatencyRecorder::new();
+        r.record(ms(7));
+        assert_eq!(r.percentile(0.001), Some(ms(7)));
+        assert_eq!(r.p50(), Some(ms(7)));
+        assert_eq!(r.percentile(100.0), Some(ms(7)));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(ms(1));
+        b.record(ms(3));
+        b.record(ms(2));
+        a.merge(b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(ms(3)));
+        assert_eq!(a.p50(), Some(ms(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        LatencyRecorder::new().percentile(0.0);
+    }
+}

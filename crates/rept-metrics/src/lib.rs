@@ -14,6 +14,8 @@
 //!   average over), plus a heavy-node (`τ_v ≥ k`) view.
 //! * [`ranking`] — precision@k and Kendall τ for local-count rankings
 //!   (the spam-detection consumption pattern).
+//! * [`latency`] — [`LatencyRecorder`]: per-thread latency samples with
+//!   nearest-rank percentiles (the serving bench's p50/p99).
 //! * [`montecarlo`] — trial runners tying estimator closures to ground
 //!   truth.
 //! * [`timer`] — wall-clock helpers and the *simulated* parallel runtime
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod latency;
 pub mod local_error;
 pub mod montecarlo;
 pub mod ranking;
@@ -33,6 +36,7 @@ pub mod timer;
 pub mod welford;
 
 pub use error::ErrorStats;
+pub use latency::LatencyRecorder;
 pub use local_error::LocalErrorAccumulator;
 pub use montecarlo::{run_global_trials, run_trials, TrialOutput};
 pub use welford::Welford;

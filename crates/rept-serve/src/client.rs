@@ -1,0 +1,203 @@
+//! A blocking line-protocol client (examples, tests, benches).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rept_graph::edge::{Edge, NodeId};
+
+use crate::protocol::reply_field;
+
+/// Edges per `INGEST` line — keeps request lines comfortably small
+/// while amortising the round trip.
+const INGEST_CHUNK: usize = 256;
+
+/// A global-estimate reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalEstimate {
+    /// Stream position of the answering snapshot.
+    pub position: u64,
+    /// `τ̂`.
+    pub tau: f64,
+    /// Plug-in 95% confidence interval, when available.
+    pub ci95: Option<(f64, f64)>,
+}
+
+/// A blocking client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and returns the reply payload. `ERR`
+    /// replies come back as [`std::io::ErrorKind::Other`] errors.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, protocol errors reported by the server.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let reply = reply.trim_end().to_string();
+        if let Some(msg) = reply.strip_prefix("ERR ") {
+            return Err(std::io::Error::other(msg.to_string()));
+        }
+        Ok(reply)
+    }
+
+    fn field<T: std::str::FromStr>(reply: &str, key: &str) -> std::io::Result<T> {
+        reply_field(reply, key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("missing/invalid field {key:?} in {reply:?}"),
+                )
+            })
+    }
+
+    /// Streams edges to the server in [`INGEST_CHUNK`]-edge lines;
+    /// returns the number of edges sent.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn ingest(&mut self, edges: &[Edge]) -> std::io::Result<usize> {
+        for chunk in edges.chunks(INGEST_CHUNK) {
+            let mut line = String::with_capacity(8 * chunk.len() + 7);
+            line.push_str("INGEST");
+            for e in chunk {
+                line.push_str(&format!(" {} {}", e.u(), e.v()));
+            }
+            self.request(&line)?;
+        }
+        Ok(edges.len())
+    }
+
+    /// `QUERY GLOBAL`.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn query_global(&mut self) -> std::io::Result<GlobalEstimate> {
+        let reply = self.request("QUERY GLOBAL")?;
+        let ci = match reply_field(&reply, "ci95") {
+            Some("na") | None => None,
+            Some(pair) => {
+                let (lo, hi) = pair.split_once(',').ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed ci95")
+                })?;
+                Some((
+                    lo.parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed ci95 lo")
+                    })?,
+                    hi.parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed ci95 hi")
+                    })?,
+                ))
+            }
+        };
+        Ok(GlobalEstimate {
+            position: Self::field(&reply, "position")?,
+            tau: Self::field(&reply, "tau")?,
+            ci95: ci,
+        })
+    }
+
+    /// `QUERY LOCAL v` — the node's local estimate.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn query_local(&mut self, v: NodeId) -> std::io::Result<f64> {
+        let reply = self.request(&format!("QUERY LOCAL {v}"))?;
+        Self::field(&reply, "tau_v")
+    }
+
+    /// `TOPK k` — the k largest local estimates, descending.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn top_k(&mut self, k: usize) -> std::io::Result<Vec<(NodeId, f64)>> {
+        let reply = self.request(&format!("TOPK {k}"))?;
+        let mut out = Vec::new();
+        for tok in reply.split_ascii_whitespace().skip(2) {
+            // Skip the position=/k= metadata; entries are `node=value`
+            // with a numeric key.
+            let Some((node, value)) = tok.split_once('=') else {
+                continue;
+            };
+            let Ok(node) = node.parse::<NodeId>() else {
+                continue;
+            };
+            let value = value.parse::<f64>().map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed top-k entry")
+            })?;
+            out.push((node, value));
+        }
+        Ok(out)
+    }
+
+    /// `STATS` — the raw stats reply line.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.request("STATS")
+    }
+
+    /// `FLUSH` — barrier; returns the stream position.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn flush(&mut self) -> std::io::Result<u64> {
+        let reply = self.request("FLUSH")?;
+        Self::field(&reply, "position")
+    }
+
+    /// `CHECKPOINT` — returns the checkpointed position.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors (including "no checkpoint path").
+    pub fn checkpoint(&mut self) -> std::io::Result<u64> {
+        let reply = self.request("CHECKPOINT")?;
+        Self::field(&reply, "position")
+    }
+
+    /// `SHUTDOWN` — asks the server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        self.request("SHUTDOWN").map(|_| ())
+    }
+}

@@ -1,0 +1,474 @@
+//! The serving core: one ingest thread driving an engine-aware
+//! [`ResumableRun`], snapshot publication, and crash-safe checkpoints.
+//!
+//! [`ServeCore`] is the transport-free heart of the subsystem — the TCP
+//! front-end ([`crate::server`]), the benches and the tests all drive
+//! this same type. Producers push edge batches into a **bounded**
+//! channel (backpressure, like the cluster simulation's network links);
+//! the single ingest thread applies them in arrival order, which keeps
+//! the estimator state — and therefore every checkpoint — a pure
+//! function of the edge sequence, the config and the engine. Queries
+//! read the last published [`Snapshot`] and never touch the ingest
+//! thread at all.
+//!
+//! ## Crash safety
+//!
+//! With a checkpoint path configured, the core checkpoints the complete
+//! estimator state (RPCK v2, write-then-rename) every
+//! `checkpoint_every` edges, on demand, and at shutdown. On startup,
+//! an existing checkpoint is loaded and the run resumes from its
+//! recorded position; the producer replays the stream from
+//! [`ServeCore::position`]. Because the driver is deterministic and
+//! batch-split-insensitive, a kill-and-restart cycle is bit-identical
+//! to an uninterrupted run — the serve proptests assert this for every
+//! engine.
+
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rept_core::resume::{ResumableRun, SnapshotError};
+use rept_core::{Engine, Rept, ReptConfig, ReptEstimate};
+use rept_graph::edge::Edge;
+
+use crate::snapshot::{Published, Snapshot};
+
+/// Configuration of a [`ServeCore`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The estimator configuration. Enable η tracking
+    /// ([`ReptConfig::with_eta`]) if global queries should always carry
+    /// a confidence interval.
+    pub rept: ReptConfig,
+    /// Execution engine (default: [`Engine::FusedSorted`]).
+    pub engine: Engine,
+    /// Edges between automatic snapshot publications. Snapshot assembly
+    /// clones the counter state, so this trades query freshness against
+    /// ingest throughput.
+    pub snapshot_every: u64,
+    /// Edges between automatic checkpoints (`None` = only on demand and
+    /// at shutdown). Ignored without a checkpoint path.
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint file; also the resume source at startup.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Size of the top-k local-count index kept in each snapshot.
+    pub top_k: usize,
+    /// Ingest channel capacity in batches (bounded ⇒ producers feel
+    /// backpressure instead of growing an unbounded queue).
+    pub channel_capacity: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: fused-sorted engine, snapshot every 8192 edges, top-100
+    /// index, 16-batch channel, no checkpointing.
+    pub fn new(rept: ReptConfig) -> Self {
+        Self {
+            rept,
+            engine: Engine::default(),
+            snapshot_every: 8192,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            top_k: 100,
+            channel_capacity: 16,
+        }
+    }
+
+    /// Selects the execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the snapshot publication interval (edges).
+    pub fn with_snapshot_every(mut self, edges: u64) -> Self {
+        self.snapshot_every = edges.max(1);
+        self
+    }
+
+    /// Enables checkpointing to `path`, with an optional automatic
+    /// interval in edges.
+    pub fn with_checkpoint(mut self, path: PathBuf, every: Option<u64>) -> Self {
+        self.checkpoint_path = Some(path);
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets the top-k index size.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+}
+
+/// Control messages the ingest thread consumes, in arrival order.
+enum Control {
+    /// Apply a batch of stream edges.
+    Ingest(Vec<Edge>),
+    /// Publish a fresh snapshot, then reply with the position — a
+    /// barrier: everything queued before it is applied first.
+    Flush(SyncSender<u64>),
+    /// Write a checkpoint (and publish), then reply with the position.
+    Checkpoint(SyncSender<Result<u64, String>>),
+    /// Drain and exit the ingest loop.
+    Shutdown,
+}
+
+/// The running serving core. Dropping it (or calling
+/// [`Self::shutdown`]) stops the ingest thread, writing a final
+/// checkpoint when a path is configured.
+#[derive(Debug)]
+pub struct ServeCore {
+    tx: SyncSender<Control>,
+    published: Arc<Published<Snapshot>>,
+    ingest: Option<JoinHandle<ResumableRun>>,
+    cfg: ServeConfig,
+}
+
+impl ServeCore {
+    /// Starts the core: resumes from the configured checkpoint if one
+    /// exists on disk, otherwise starts a fresh run; then spawns the
+    /// ingest thread and publishes the initial snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when an existing checkpoint cannot be decoded
+    /// or disagrees with the requested config/engine — resuming under a
+    /// different configuration would silently produce garbage, so it is
+    /// refused.
+    pub fn start(cfg: ServeConfig) -> Result<Self, SnapshotError> {
+        let run = match &cfg.checkpoint_path {
+            Some(path) if path.exists() => {
+                let run = ResumableRun::from_checkpoint_file(path)?;
+                if run.config() != &cfg.rept {
+                    return Err(SnapshotError::Invalid("checkpoint/config mismatch"));
+                }
+                if run.engine() != cfg.engine {
+                    return Err(SnapshotError::Invalid("checkpoint/engine mismatch"));
+                }
+                run
+            }
+            _ => ResumableRun::with_engine(Rept::new(cfg.rept), cfg.engine),
+        };
+
+        let initial = Snapshot::from_estimate(
+            &run.estimate(),
+            &cfg.rept,
+            cfg.engine,
+            run.position(),
+            0,
+            0,
+            cfg.top_k,
+        );
+        let published = Arc::new(Published::new(initial));
+        let (tx, rx) = sync_channel::<Control>(cfg.channel_capacity.max(1));
+
+        let thread_published = Arc::clone(&published);
+        let thread_cfg = cfg.clone();
+        let ingest = std::thread::Builder::new()
+            .name("rept-serve-ingest".into())
+            .spawn(move || ingest_loop(run, rx, thread_published, thread_cfg))
+            .expect("spawn ingest thread");
+
+        Ok(Self {
+            tx,
+            published,
+            ingest: Some(ingest),
+            cfg,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Queues a batch of edges for ingestion. Blocks when the bounded
+    /// channel is full (backpressure).
+    pub fn ingest(&self, edges: Vec<Edge>) {
+        if edges.is_empty() {
+            return;
+        }
+        self.tx
+            .send(Control::Ingest(edges))
+            .expect("ingest thread alive");
+    }
+
+    /// The latest published snapshot — the query path. Lock-free apart
+    /// from one pointer clone; never blocks ingestion.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.load()
+    }
+
+    /// Barrier: waits until everything queued so far is applied and a
+    /// fresh snapshot is published; returns the stream position.
+    pub fn flush(&self) -> u64 {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx
+            .send(Control::Flush(reply_tx))
+            .expect("ingest thread alive");
+        reply_rx.recv().expect("ingest thread replies")
+    }
+
+    /// Writes a checkpoint now (after draining everything queued so
+    /// far); returns the checkpointed position.
+    ///
+    /// # Errors
+    ///
+    /// A description when no checkpoint path is configured or the write
+    /// fails.
+    pub fn checkpoint(&self) -> Result<u64, String> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx
+            .send(Control::Checkpoint(reply_tx))
+            .expect("ingest thread alive");
+        reply_rx.recv().expect("ingest thread replies")
+    }
+
+    /// The position of the last published snapshot. After
+    /// [`Self::flush`] this is the exact number of edges applied —
+    /// the replay point a restarted producer resumes from.
+    pub fn position(&self) -> u64 {
+        self.snapshot().position
+    }
+
+    /// Stops the ingest thread (draining queued work, writing the final
+    /// checkpoint when configured) and returns the final estimate.
+    pub fn shutdown(mut self) -> ReptEstimate {
+        self.tx
+            .send(Control::Shutdown)
+            .expect("ingest thread alive");
+        let run = self
+            .ingest
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("ingest thread panicked");
+        run.finalize()
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.ingest.take() {
+            // Best effort: the thread may already be gone.
+            let _ = self.tx.send(Control::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The ingest thread body.
+fn ingest_loop(
+    mut run: ResumableRun,
+    rx: std::sync::mpsc::Receiver<Control>,
+    published: Arc<Published<Snapshot>>,
+    cfg: ServeConfig,
+) -> ResumableRun {
+    let mut seq = 0u64;
+    let mut checkpoints = 0u64;
+    let mut since_snapshot = 0u64;
+    let mut since_checkpoint = 0u64;
+
+    let publish = |run: &ResumableRun, seq: &mut u64, checkpoints: u64| {
+        *seq += 1;
+        published.store(Snapshot::from_estimate(
+            &run.estimate(),
+            &cfg.rept,
+            cfg.engine,
+            run.position(),
+            *seq,
+            checkpoints,
+            cfg.top_k,
+        ));
+    };
+    let write_checkpoint = |run: &ResumableRun| -> Result<u64, String> {
+        let path = cfg
+            .checkpoint_path
+            .as_ref()
+            .ok_or_else(|| "no checkpoint path configured".to_string())?;
+        run.checkpoint_to_file(path)
+            .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        Ok(run.position())
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Control::Ingest(batch) => {
+                let n = batch.len() as u64;
+                run.process_batch(&batch);
+                since_snapshot += n;
+                since_checkpoint += n;
+                if since_snapshot >= cfg.snapshot_every {
+                    publish(&run, &mut seq, checkpoints);
+                    since_snapshot = 0;
+                }
+                if let Some(every) = cfg.checkpoint_every {
+                    if cfg.checkpoint_path.is_some() && since_checkpoint >= every {
+                        // Periodic checkpoints are best-effort; an
+                        // unwritable path surfaces on the explicit
+                        // `Checkpoint` request instead of killing ingest.
+                        checkpoints += write_checkpoint(&run).is_ok() as u64;
+                        since_checkpoint = 0;
+                    }
+                }
+            }
+            Control::Flush(reply) => {
+                publish(&run, &mut seq, checkpoints);
+                since_snapshot = 0;
+                let _ = reply.send(run.position());
+            }
+            Control::Checkpoint(reply) => {
+                let result = write_checkpoint(&run);
+                checkpoints += result.is_ok() as u64;
+                publish(&run, &mut seq, checkpoints);
+                since_snapshot = 0;
+                since_checkpoint = 0;
+                let _ = reply.send(result);
+            }
+            Control::Shutdown => break,
+        }
+    }
+    // Final checkpoint + snapshot so a restart resumes from the exact
+    // shutdown position (and the last snapshot reflects the write).
+    if cfg.checkpoint_path.is_some() {
+        checkpoints += write_checkpoint(&run).is_ok() as u64;
+    }
+    publish(&run, &mut seq, checkpoints);
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_gen::{barabasi_albert, GeneratorConfig};
+
+    fn stream() -> Vec<Edge> {
+        barabasi_albert(&GeneratorConfig::new(400, 5), 4)
+    }
+
+    fn base_cfg() -> ReptConfig {
+        ReptConfig::new(3, 7).with_seed(9).with_eta(true)
+    }
+
+    fn temp_ckpt(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rept-serve-{tag}-{}.rpck", std::process::id()))
+    }
+
+    #[test]
+    fn ingest_then_flush_matches_batch_run() {
+        let stream = stream();
+        let oracle = Rept::new(base_cfg()).run_sequential(stream.iter().copied());
+        let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
+        for chunk in stream.chunks(97) {
+            core.ingest(chunk.to_vec());
+        }
+        let pos = core.flush();
+        assert_eq!(pos, stream.len() as u64);
+        let snap = core.snapshot();
+        assert_eq!(snap.position, pos);
+        assert_eq!(snap.global, oracle.global);
+        assert_eq!(snap.eta_hat, oracle.eta_hat);
+        assert!(snap.confidence95.is_some(), "η tracked ⇒ interval");
+        let final_est = core.shutdown();
+        assert_eq!(final_est.global, oracle.global);
+        assert_eq!(final_est.locals, oracle.locals);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_ingest() {
+        let stream = stream();
+        let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
+        core.ingest(stream[..200].to_vec());
+        core.flush();
+        let early = core.snapshot();
+        core.ingest(stream[200..].to_vec());
+        core.flush();
+        let late = core.snapshot();
+        // The early Arc is untouched by later ingestion.
+        assert_eq!(early.position, 200);
+        assert_eq!(late.position, stream.len() as u64);
+        assert!(late.seq > early.seq);
+        core.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_restart_resumes_bit_identically() {
+        let stream = stream();
+        let oracle = Rept::new(base_cfg()).run_sequential(stream.iter().copied());
+        let path = temp_ckpt("core-resume");
+        std::fs::remove_file(&path).ok();
+
+        let cfg = ServeConfig::new(base_cfg()).with_checkpoint(path.clone(), None);
+        let core = ServeCore::start(cfg.clone()).expect("start");
+        let split = stream.len() / 3;
+        core.ingest(stream[..split].to_vec());
+        let pos = core.checkpoint().expect("checkpoint");
+        assert_eq!(pos, split as u64);
+        drop(core); // simulate a crash after the checkpoint
+
+        let resumed = ServeCore::start(cfg).expect("resume");
+        assert_eq!(resumed.position(), split as u64, "replay point");
+        resumed.ingest(stream[split..].to_vec());
+        resumed.flush();
+        let snap = resumed.snapshot();
+        assert_eq!(snap.global, oracle.global);
+        assert_eq!(snap.eta_hat, oracle.eta_hat);
+        assert_eq!(snap.locals, oracle.locals);
+        resumed.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_resume_is_refused() {
+        let path = temp_ckpt("core-mismatch");
+        std::fs::remove_file(&path).ok();
+        let cfg = ServeConfig::new(base_cfg()).with_checkpoint(path.clone(), None);
+        ServeCore::start(cfg).expect("start").shutdown();
+        assert!(path.exists(), "shutdown wrote the final checkpoint");
+
+        let other = ServeConfig::new(ReptConfig::new(4, 4).with_seed(9))
+            .with_checkpoint(path.clone(), None);
+        assert!(matches!(
+            ServeCore::start(other).err(),
+            Some(SnapshotError::Invalid("checkpoint/config mismatch"))
+        ));
+        let other_engine = ServeConfig::new(base_cfg())
+            .with_engine(Engine::PerWorker)
+            .with_checkpoint(path.clone(), None);
+        assert!(matches!(
+            ServeCore::start(other_engine).err(),
+            Some(SnapshotError::Invalid("checkpoint/engine mismatch"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_path_reports_error() {
+        let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
+        assert!(core.checkpoint().is_err());
+        core.shutdown();
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire() {
+        let stream = stream();
+        let path = temp_ckpt("core-periodic");
+        std::fs::remove_file(&path).ok();
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(path.clone(), Some(100))
+            .with_snapshot_every(50);
+        let core = ServeCore::start(cfg).expect("start");
+        core.ingest(stream[..250].to_vec());
+        core.flush();
+        assert!(path.exists(), "≥ 100 edges ingested ⇒ checkpoint on disk");
+        let on_disk = ResumableRun::from_checkpoint_file(&path).expect("readable");
+        assert!(on_disk.position() >= 100);
+        assert!(
+            core.snapshot().checkpoints >= 1,
+            "snapshot surfaces the checkpoint count"
+        );
+        core.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,79 @@
+//! **rept-serve** — a concurrent triangle-count serving subsystem.
+//!
+//! The paper's motivating scenarios (spam/fraud ranking, router-level
+//! monitoring) are *online*: edges arrive continuously and estimates
+//! are queried while the stream is still running. This crate turns the
+//! REPT estimator into that service — std-only, `#![forbid(unsafe_code)]`:
+//!
+//! * [`core::ServeCore`] — the transport-free subsystem: one ingest
+//!   thread drives an engine-aware
+//!   [`ResumableRun`](rept_core::resume::ResumableRun) incrementally in
+//!   batches behind a **bounded** channel (producers feel backpressure),
+//!   periodically assembles an immutable [`snapshot::Snapshot`]
+//!   (global `τ̂` with a plug-in 95% confidence interval, per-node
+//!   `τ̂_v` with a top-k index, stream and memory stats) and publishes
+//!   it through an `Arc` swap — **snapshot-isolated queries** that
+//!   never block ingestion.
+//! * [`server::Server`] — a line-oriented TCP front-end over a thread
+//!   pool; [`client::Client`] is the matching blocking client.
+//! * **Crash safety** — periodic / on-demand / at-shutdown checkpoints
+//!   in the RPCK v2 format (write-then-rename), resume-on-startup.
+//!   Kill-and-restart plus replay from the checkpointed position is
+//!   **bit-identical** to an uninterrupted run, on every engine — the
+//!   serve proptests pin this down.
+//!
+//! # Wire protocol
+//!
+//! One request per line (ASCII, space-separated, `\n`-terminated), one
+//! reply line per request. Replies start with `OK` or `ERR <message>`.
+//! Floats use Rust's shortest-roundtrip formatting, so parsing a reply
+//! recovers the bit-identical `f64` the server computed.
+//!
+//! | Request                    | Reply                                                        |
+//! |----------------------------|--------------------------------------------------------------|
+//! | `INGEST u1 v1 [u2 v2 …]`   | `OK INGEST <n>` — n edges queued (backpressure may block)    |
+//! | `QUERY GLOBAL`             | `OK GLOBAL position=<p> tau=<τ̂> ci95=<lo>,<hi>` (`ci95=na` without η) |
+//! | `QUERY LOCAL <v>`          | `OK LOCAL position=<p> node=<v> tau_v=<τ̂_v>`                |
+//! | `TOPK <k>`                 | `OK TOPK position=<p> k=<n> <v1>=<τ̂1> … <vn>=<τ̂n>` (descending) |
+//! | `STATS`                    | `OK STATS position= seq= checkpoints= engine= m= c= stored_edges= bytes= tracked_nodes=` |
+//! | `FLUSH`                    | `OK FLUSH position=<p>` — barrier: everything queued is applied and republished |
+//! | `CHECKPOINT`               | `OK CHECKPOINT position=<p>` — state durably on disk          |
+//! | `SHUTDOWN`                 | `OK BYE` — server stops accepting and drains                  |
+//!
+//! Self-loops are rejected (`ERR self-loop …`); duplicate stream edges
+//! are accepted and handled by the estimator exactly like the batch
+//! drivers (first store wins). Queries answer from the **latest
+//! published snapshot**: after plain `INGEST` the estimate may trail
+//! the queued stream by up to `snapshot_every` edges — send `FLUSH`
+//! first when read-your-writes freshness is needed.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rept_core::ReptConfig;
+//! use rept_graph::edge::Edge;
+//! use rept_serve::core::{ServeConfig, ServeCore};
+//!
+//! let cfg = ServeConfig::new(ReptConfig::new(2, 2).with_seed(7)).with_snapshot_every(2);
+//! let core = ServeCore::start(cfg).unwrap();
+//! core.ingest(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
+//! let position = core.flush();
+//! assert_eq!(position, 3);
+//! let snapshot = core.snapshot();
+//! assert!(snapshot.global >= 0.0);
+//! core.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod core;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use crate::core::{ServeConfig, ServeCore};
+pub use client::{Client, GlobalEstimate};
+pub use server::Server;
+pub use snapshot::{Published, Snapshot};

@@ -1,0 +1,215 @@
+//! The line-oriented wire protocol: command parsing and reply
+//! formatting.
+//!
+//! Pure functions over strings — the TCP server and the client both go
+//! through this module, and the unit tests exercise the grammar without
+//! a socket. The full specification lives in the crate-level docs
+//! ([`crate`]).
+//!
+//! Floats are formatted with Rust's shortest-roundtrip `Display`, so a
+//! client parsing a reply recovers the **bit-identical** `f64` the
+//! server computed — the serve smoke test's exactness assertions go
+//! through the wire and still compare with `==`.
+
+use rept_graph::edge::{Edge, NodeId};
+
+use crate::snapshot::Snapshot;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `INGEST u1 v1 [u2 v2 …]` — queue edges for ingestion.
+    Ingest(Vec<Edge>),
+    /// `QUERY GLOBAL` — the global estimate with confidence interval.
+    QueryGlobal,
+    /// `QUERY LOCAL v` — one node's local estimate.
+    QueryLocal(NodeId),
+    /// `TOPK k` — the k largest local estimates.
+    TopK(usize),
+    /// `STATS` — server statistics.
+    Stats,
+    /// `FLUSH` — barrier: apply everything queued, republish, reply.
+    Flush,
+    /// `CHECKPOINT` — write a checkpoint, reply with its position.
+    Checkpoint,
+    /// `SHUTDOWN` — stop accepting connections and drain.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable description of the grammar violation (sent back as
+/// an `ERR` reply).
+pub fn parse(line: &str) -> Result<Command, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or("empty command")?;
+    match verb {
+        "INGEST" => {
+            let mut edges = Vec::new();
+            let rest: Vec<&str> = tokens.collect();
+            if rest.is_empty() {
+                return Err("INGEST needs at least one edge".into());
+            }
+            if !rest.len().is_multiple_of(2) {
+                return Err("INGEST needs an even number of node ids".into());
+            }
+            for pair in rest.chunks(2) {
+                let u: NodeId = pair[0]
+                    .parse()
+                    .map_err(|_| format!("bad node id {:?}", pair[0]))?;
+                let v: NodeId = pair[1]
+                    .parse()
+                    .map_err(|_| format!("bad node id {:?}", pair[1]))?;
+                let e = Edge::try_new(u, v).ok_or(format!("self-loop {u}-{v} rejected"))?;
+                edges.push(e);
+            }
+            Ok(Command::Ingest(edges))
+        }
+        "QUERY" => match tokens.next() {
+            Some("GLOBAL") => expect_end(tokens, Command::QueryGlobal),
+            Some("LOCAL") => {
+                let v = tokens.next().ok_or("QUERY LOCAL needs a node id")?;
+                let v: NodeId = v.parse().map_err(|_| format!("bad node id {v:?}"))?;
+                expect_end(tokens, Command::QueryLocal(v))
+            }
+            _ => Err("QUERY needs GLOBAL or LOCAL".into()),
+        },
+        "TOPK" => {
+            let k = tokens.next().ok_or("TOPK needs a count")?;
+            let k: usize = k.parse().map_err(|_| format!("bad count {k:?}"))?;
+            expect_end(tokens, Command::TopK(k))
+        }
+        "STATS" => expect_end(tokens, Command::Stats),
+        "FLUSH" => expect_end(tokens, Command::Flush),
+        "CHECKPOINT" => expect_end(tokens, Command::Checkpoint),
+        "SHUTDOWN" => expect_end(tokens, Command::Shutdown),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn expect_end<'a>(
+    mut tokens: impl Iterator<Item = &'a str>,
+    cmd: Command,
+) -> Result<Command, String> {
+    match tokens.next() {
+        None => Ok(cmd),
+        Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+    }
+}
+
+/// `OK GLOBAL …` reply for `QUERY GLOBAL`.
+pub fn format_global(snap: &Snapshot) -> String {
+    let ci = match snap.confidence95 {
+        Some((lo, hi)) => format!("{lo},{hi}"),
+        None => "na".into(),
+    };
+    format!(
+        "OK GLOBAL position={} tau={} ci95={ci}",
+        snap.position, snap.global
+    )
+}
+
+/// `OK LOCAL …` reply for `QUERY LOCAL`.
+pub fn format_local(snap: &Snapshot, v: NodeId) -> String {
+    format!(
+        "OK LOCAL position={} node={v} tau_v={}",
+        snap.position,
+        snap.local(v)
+    )
+}
+
+/// `OK TOPK …` reply for `TOPK`.
+pub fn format_top_k(snap: &Snapshot, k: usize) -> String {
+    let mut out = format!(
+        "OK TOPK position={} k={}",
+        snap.position,
+        snap.top_k.len().min(k)
+    );
+    for &(v, t) in snap.top_k.iter().take(k) {
+        out.push_str(&format!(" {v}={t}"));
+    }
+    out
+}
+
+/// `OK STATS …` reply for `STATS`.
+pub fn format_stats(snap: &Snapshot) -> String {
+    format!(
+        "OK STATS position={} seq={} checkpoints={} engine={} m={} c={} stored_edges={} \
+         bytes={} tracked_nodes={}",
+        snap.position,
+        snap.seq,
+        snap.checkpoints,
+        snap.engine.name(),
+        snap.m,
+        snap.c,
+        snap.stored_edges,
+        snap.total_bytes,
+        snap.locals.len(),
+    )
+}
+
+/// Extracts the value of a `key=value` token from a reply line — the
+/// client-side accessor for every `OK` payload.
+pub fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
+    reply
+        .split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse("INGEST 1 2 3 4"),
+            Ok(Command::Ingest(vec![Edge::new(1, 2), Edge::new(3, 4)]))
+        );
+        assert_eq!(parse("QUERY GLOBAL"), Ok(Command::QueryGlobal));
+        assert_eq!(parse("QUERY LOCAL 17"), Ok(Command::QueryLocal(17)));
+        assert_eq!(parse("TOPK 5"), Ok(Command::TopK(5)));
+        assert_eq!(parse("STATS"), Ok(Command::Stats));
+        assert_eq!(parse("FLUSH"), Ok(Command::Flush));
+        assert_eq!(parse("CHECKPOINT"), Ok(Command::Checkpoint));
+        assert_eq!(parse("SHUTDOWN"), Ok(Command::Shutdown));
+        assert_eq!(parse("  QUERY   GLOBAL  "), Ok(Command::QueryGlobal));
+    }
+
+    #[test]
+    fn rejects_bad_grammar() {
+        assert!(parse("").is_err());
+        assert!(parse("NOPE").is_err());
+        assert!(parse("INGEST").is_err());
+        assert!(parse("INGEST 1").is_err(), "odd id count");
+        assert!(parse("INGEST 1 x").is_err(), "non-numeric id");
+        assert!(parse("INGEST 3 3").is_err(), "self-loop");
+        assert!(parse("QUERY").is_err());
+        assert!(parse("QUERY LOCAL").is_err());
+        assert!(parse("QUERY LOCAL 1 2").is_err(), "trailing token");
+        assert!(parse("TOPK").is_err());
+        assert!(parse("TOPK -3").is_err());
+        assert!(parse("STATS now").is_err());
+    }
+
+    #[test]
+    fn reply_fields_roundtrip() {
+        let reply = "OK GLOBAL position=12 tau=3.5 ci95=1.25,5.75";
+        assert_eq!(reply_field(reply, "position"), Some("12"));
+        assert_eq!(reply_field(reply, "tau"), Some("3.5"));
+        assert_eq!(reply_field(reply, "ci95"), Some("1.25,5.75"));
+        assert_eq!(reply_field(reply, "missing"), None);
+    }
+
+    #[test]
+    fn float_formatting_roundtrips_exactly() {
+        // The protocol's exactness guarantee: Display → parse is the
+        // identity on f64 (shortest-roundtrip formatting).
+        for x in [0.1f64, 1.0 / 3.0, 123456.789e-3, f64::MIN_POSITIVE] {
+            let printed = format!("{x}");
+            assert_eq!(printed.parse::<f64>().unwrap(), x);
+        }
+    }
+}

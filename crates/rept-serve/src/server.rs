@@ -1,0 +1,221 @@
+//! The TCP front-end: a thread-pool server speaking the line protocol.
+//!
+//! `handlers` OS threads each own a clone of the listener and serve one
+//! connection at a time (further connections wait in the OS accept
+//! backlog — the pool size bounds concurrent protocol work, mirroring
+//! the bounded-channel idiom of the cluster simulation). Ingest
+//! commands feed the shared [`ServeCore`] channel and feel its
+//! backpressure; query commands read the published snapshot and never
+//! touch the ingest thread.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rept_core::ReptEstimate;
+
+use crate::core::{ServeConfig, ServeCore};
+use crate::protocol::{self, Command};
+
+/// How often an idle connection re-checks the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Backoff after a failed `accept` (e.g. fd exhaustion) — without it a
+/// persistent error would busy-spin every handler thread at 100% CPU.
+const ACCEPT_RETRY: Duration = Duration::from_millis(50);
+
+/// Cap on how long a reply write may block on a client that stopped
+/// reading — a full TCP send window must not pin a handler thread (and
+/// with it `Server::shutdown`) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running TCP server over a [`ServeCore`]. Prefer an explicit
+/// [`Self::shutdown`] (it returns the final estimate); a plain drop
+/// still stops the acceptors and the ingest thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    core: Option<Arc<ServeCore>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the core and binds `addr` (use port 0 for an ephemeral
+    /// port), serving with `handlers` connection threads.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, and checkpoint-resume failures surfaced as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn start(
+        cfg: ServeConfig,
+        addr: impl ToSocketAddrs,
+        handlers: usize,
+    ) -> std::io::Result<Self> {
+        let core =
+            Arc::new(ServeCore::start(cfg).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut threads = Vec::new();
+        for i in 0..handlers.max(1) {
+            let listener = listener.try_clone()?;
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rept-serve-handler-{i}"))
+                    .spawn(move || accept_loop(listener, core, stop))
+                    .expect("spawn handler thread"),
+            );
+        }
+        Ok(Self {
+            addr,
+            stop,
+            core: Some(core),
+            handlers: threads,
+        })
+    }
+
+    /// The bound address (the port clients connect to).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the serving core (in-process queries without a
+    /// socket).
+    pub fn core(&self) -> &ServeCore {
+        self.core.as_ref().expect("core present until shutdown")
+    }
+
+    /// Sets the stop flag, wakes every acceptor blocked in `accept`, and
+    /// joins the handler threads.
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for _ in 0..self.handlers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for h in self.handlers.drain(..) {
+            h.join().expect("handler thread panicked");
+        }
+    }
+
+    /// Stops accepting, joins the handler threads, shuts the core down
+    /// (final checkpoint when configured) and returns the final
+    /// estimate.
+    pub fn shutdown(mut self) -> ReptEstimate {
+        self.stop_accepting();
+        let core = self.core.take().expect("shutdown runs once");
+        let core = Arc::try_unwrap(core).expect("handlers dropped their core handles");
+        core.shutdown()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `shutdown` already drained the handlers; a plain drop must not
+        // leak acceptor threads, the ingest thread, or the bound port.
+        // Dropping the last core Arc afterwards stops ingestion (with
+        // the final checkpoint) via `ServeCore`'s own Drop.
+        if !self.handlers.is_empty() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, core: Arc<ServeCore>, stop: Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = listener.accept() else {
+            std::thread::sleep(ACCEPT_RETRY);
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection from `shutdown`
+        }
+        let _ = serve_connection(stream, &core, &stop);
+    }
+}
+
+/// Serves one connection until EOF, a `SHUTDOWN` command, or the stop
+/// flag.
+fn serve_connection(stream: TcpStream, core: &ServeCore, stop: &AtomicBool) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // The line buffer persists across timeout retries: `read_line` may
+    // have consumed a partial line when the timer fires, and clearing it
+    // would drop those bytes.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                let (reply, close) = execute(&line, core, stop);
+                writer.write_all(reply.as_bytes())?;
+                writer.write_all(b"\n")?;
+                if close {
+                    return Ok(());
+                }
+                line.clear();
+                // Re-check between requests, not only on idle timeouts:
+                // a client streaming lines back-to-back must not be able
+                // to pin this handler past `Server::shutdown`.
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parses and executes one request line, producing the reply line and
+/// whether the connection should close (a parsed `SHUTDOWN` — keyed off
+/// the command, not the raw text, so `ERR` replies to malformed
+/// shutdown-like lines keep the connection open).
+fn execute(line: &str, core: &ServeCore, stop: &AtomicBool) -> (String, bool) {
+    let reply = match protocol::parse(line) {
+        Ok(Command::Ingest(edges)) => {
+            let n = edges.len();
+            core.ingest(edges);
+            format!("OK INGEST {n}")
+        }
+        Ok(Command::QueryGlobal) => protocol::format_global(&core.snapshot()),
+        Ok(Command::QueryLocal(v)) => protocol::format_local(&core.snapshot(), v),
+        Ok(Command::TopK(k)) => protocol::format_top_k(&core.snapshot(), k),
+        Ok(Command::Stats) => protocol::format_stats(&core.snapshot()),
+        Ok(Command::Flush) => format!("OK FLUSH position={}", core.flush()),
+        Ok(Command::Checkpoint) => match core.checkpoint() {
+            Ok(pos) => format!("OK CHECKPOINT position={pos}"),
+            Err(msg) => format!("ERR {msg}"),
+        },
+        Ok(Command::Shutdown) => {
+            stop.store(true, Ordering::SeqCst);
+            return ("OK BYE".into(), true);
+        }
+        Err(msg) => format!("ERR {msg}"),
+    };
+    (reply, false)
+}

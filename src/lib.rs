@@ -18,6 +18,8 @@
 //! * [`baselines`] — MASCOT, TRIÈST, GPS and parallel averaging
 //!   ([`rept_baselines`])
 //! * [`metrics`] — NRMSE & Monte-Carlo experiment harness ([`rept_metrics`])
+//! * [`serve`] — concurrent serving subsystem: streaming ingest,
+//!   snapshot-isolated queries, crash-safe resume ([`rept_serve`])
 //!
 //! ## Quickstart
 //!
@@ -49,3 +51,4 @@ pub use rept_gen as gen;
 pub use rept_graph as graph;
 pub use rept_hash as hash;
 pub use rept_metrics as metrics;
+pub use rept_serve as serve;

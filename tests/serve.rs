@@ -1,0 +1,247 @@
+//! Integration tests of the serving subsystem: kill/resume
+//! bit-identicality under the serve driver (proptest, all engines,
+//! duplicate-edge streams) and the TCP front-end end to end.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rept::core::{Engine, Rept, ReptConfig};
+use rept::gen::{barabasi_albert, GeneratorConfig};
+use rept::graph::edge::Edge;
+use rept::serve::{Client, ServeConfig, ServeCore, Server};
+
+/// Strategy: a raw stream that KEEPS duplicate edges (only self-loops
+/// are dropped) — duplicate handling must survive checkpoint/resume.
+fn arb_stream_with_dups(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    vec((0..n, 0..n), 1..max_edges).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(u, v)| Edge::try_new(u, v))
+            .collect()
+    })
+}
+
+/// A per-test-case unique checkpoint path.
+fn unique_ckpt(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rept-serve-test-{tag}-{}-{n}.rpck",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill-and-resume at an arbitrary batch boundary under the serve
+    /// driver is bit-identical to an uninterrupted run, across all
+    /// three engines and duplicate-edge streams. The kill is simulated
+    /// faithfully: the checkpoint file is frozen at its mid-stream
+    /// state, edges ingested after it are *lost* with the process, and
+    /// the restarted producer replays from the resumed position.
+    #[test]
+    fn serve_kill_resume_is_bit_identical(
+        stream in arb_stream_with_dups(24, 120),
+        m in 2u64..6,
+        c in 1u64..14,
+        seed in any::<u64>(),
+        split_sel in any::<u64>(),
+        batch_sel in any::<u64>(),
+    ) {
+        let cfg = ReptConfig::new(m, c).with_seed(seed).with_eta(true);
+        let oracle = Rept::new(cfg).run_sequential(stream.iter().copied());
+        let batch = 1 + (batch_sel % 37) as usize;
+        let split = (split_sel as usize) % (stream.len() + 1);
+
+        for engine in Engine::all() {
+            let path = unique_ckpt(engine.name());
+            let serve_cfg = ServeConfig::new(cfg)
+                .with_engine(engine)
+                .with_checkpoint(path.clone(), None)
+                .with_snapshot_every(64);
+
+            let core = ServeCore::start(serve_cfg.clone()).expect("start");
+            for chunk in stream[..split].chunks(batch) {
+                core.ingest(chunk.to_vec());
+            }
+            let pos = core.checkpoint().expect("checkpoint");
+            prop_assert_eq!(pos, split as u64);
+            // Edges arriving between the checkpoint and the crash are
+            // lost with the process.
+            for chunk in stream[split..].chunks(batch * 2) {
+                core.ingest(chunk.to_vec());
+            }
+            let frozen = std::fs::read(&path).expect("checkpoint on disk");
+            drop(core); // "crash" (drop would otherwise also checkpoint)
+            std::fs::write(&path, &frozen).expect("restore crash-time file");
+
+            let resumed = ServeCore::start(serve_cfg).expect("resume");
+            let replay_from = resumed.position() as usize;
+            prop_assert_eq!(replay_from, split, "replay point = checkpoint position");
+            for chunk in stream[replay_from..].chunks(batch) {
+                resumed.ingest(chunk.to_vec());
+            }
+            let end = resumed.flush();
+            prop_assert_eq!(end, stream.len() as u64);
+            let snap = resumed.snapshot();
+            prop_assert_eq!(snap.global, oracle.global, "{}", engine.name());
+            prop_assert_eq!(snap.eta_hat, oracle.eta_hat);
+            prop_assert_eq!(&snap.locals, &oracle.locals);
+            let final_est = resumed.shutdown();
+            prop_assert_eq!(final_est.global, oracle.global);
+            prop_assert_eq!(
+                &final_est.diagnostics.per_processor_tau,
+                &oracle.diagnostics.per_processor_tau
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn tcp_server_end_to_end() {
+    let stream = barabasi_albert(&GeneratorConfig::new(500, 7), 4);
+    let cfg = ReptConfig::new(4, 6).with_seed(11).with_eta(true);
+    let oracle = Rept::new(cfg).run_sequential(stream.iter().copied());
+
+    let serve_cfg = ServeConfig::new(cfg)
+        .with_snapshot_every(256)
+        .with_top_k(10);
+    let server = Server::start(serve_cfg, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.ingest(&stream).expect("ingest"), stream.len());
+    let pos = client.flush().expect("flush");
+    assert_eq!(pos, stream.len() as u64);
+
+    // Global estimate crosses the wire bit-identically.
+    let global = client.query_global().expect("query global");
+    assert_eq!(global.position, stream.len() as u64);
+    assert_eq!(global.tau, oracle.global);
+    let (lo, hi) = global.ci95.expect("η tracked ⇒ interval");
+    assert!(lo <= global.tau && global.tau <= hi);
+
+    // Local estimates and the top-k index agree with the oracle.
+    let top = client.top_k(5).expect("top-k");
+    assert!(!top.is_empty());
+    for pair in top.windows(2) {
+        assert!(pair[0].1 >= pair[1].1, "descending: {top:?}");
+    }
+    let (best_node, best_tau) = top[0];
+    assert_eq!(best_tau, oracle.local(best_node));
+    assert_eq!(
+        client.query_local(best_node).expect("query local"),
+        oracle.local(best_node)
+    );
+    assert_eq!(client.query_local(4_000_000).expect("unseen node"), 0.0);
+
+    // Stats carry the layout.
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("engine=fused-sorted"), "{stats}");
+    assert!(stats.contains("checkpoints=0"), "{stats}");
+    assert!(stats.contains("m=4"), "{stats}");
+    assert!(stats.contains("c=6"), "{stats}");
+
+    // Protocol errors are ERR replies, and the connection survives them
+    // — including a malformed shutdown-like line, which must neither
+    // stop the server nor close the connection.
+    assert!(client.request("BOGUS").is_err());
+    assert!(client.request("INGEST 5 5").is_err(), "self-loop");
+    assert!(client.request("SHUTDOWN now").is_err(), "trailing token");
+    assert!(
+        client.checkpoint().is_err(),
+        "no checkpoint path configured"
+    );
+    assert_eq!(client.flush().expect("still alive"), stream.len() as u64);
+
+    // A second concurrent client reads the same snapshot.
+    let mut other = Client::connect(addr).expect("second client");
+    assert_eq!(
+        other.query_global().expect("concurrent query").tau,
+        oracle.global
+    );
+
+    drop(client);
+    drop(other);
+    let final_est = server.shutdown();
+    assert_eq!(final_est.global, oracle.global);
+    assert_eq!(final_est.locals, oracle.locals);
+}
+
+#[test]
+fn queries_proceed_while_ingest_is_running() {
+    // Snapshot isolation under concurrency: a reader hammering the
+    // query path while a writer streams edges always sees a consistent
+    // snapshot with monotone positions, and ingestion finishes
+    // unimpeded.
+    let stream = barabasi_albert(&GeneratorConfig::new(800, 3), 4);
+    let cfg = ReptConfig::new(4, 4).with_seed(3);
+    let serve_cfg = ServeConfig::new(cfg).with_snapshot_every(64);
+    let core = ServeCore::start(serve_cfg).expect("start");
+
+    std::thread::scope(|scope| {
+        let core = &core;
+        let writer = scope.spawn(move || {
+            for chunk in stream.chunks(50) {
+                core.ingest(chunk.to_vec());
+            }
+            core.flush()
+        });
+        let reader = scope.spawn(move || {
+            let mut last_pos = 0;
+            let mut last_seq = 0;
+            for _ in 0..500 {
+                let snap = core.snapshot();
+                assert!(snap.position >= last_pos, "positions are monotone");
+                assert!(snap.seq >= last_seq, "sequence numbers are monotone");
+                assert!(snap.global >= 0.0);
+                last_pos = snap.position;
+                last_seq = snap.seq;
+            }
+        });
+        let end = writer.join().expect("writer");
+        reader.join().expect("reader");
+        assert_eq!(end, core.flush());
+    });
+    core.shutdown();
+}
+
+#[test]
+fn dropping_a_server_stops_everything_and_checkpoints() {
+    // A plain drop (error path, early return) must not leak acceptor
+    // threads or the ingest thread — and the core's drop still writes
+    // the final checkpoint.
+    let path = unique_ckpt("drop");
+    std::fs::remove_file(&path).ok();
+    let cfg = ReptConfig::new(3, 3).with_seed(2);
+    let serve_cfg = ServeConfig::new(cfg).with_checkpoint(path.clone(), None);
+    let server = Server::start(serve_cfg, "127.0.0.1:0", 2).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .ingest(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+        .expect("ingest");
+    client.flush().expect("flush");
+    drop(client);
+    drop(server); // must return promptly, not hang in accept()
+    assert!(path.exists(), "final checkpoint written on drop");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tcp_shutdown_command_stops_the_acceptors() {
+    let cfg = ReptConfig::new(3, 3).with_seed(1);
+    let server = Server::start(ServeConfig::new(cfg), "127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .ingest(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+        .expect("ingest");
+    client.shutdown_server().expect("shutdown command");
+    drop(client);
+    let est = server.shutdown();
+    assert!(est.global >= 0.0);
+}
