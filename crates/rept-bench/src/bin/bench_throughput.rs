@@ -2,14 +2,22 @@
 //!
 //! Measures end-to-end edges/second of every execution engine
 //! (per-worker reference, fused over the hash layout, fused over the
-//! sorted struct-of-arrays layout) on a fixed Barabási–Albert stream at
-//! `c ∈ {8, 64, 256}` processors with `m = 64`, and writes the results
-//! as JSON so the performance trajectory stays comparable across PRs.
-//! `c = 8` exercises the single-group `c ≤ m` path, `c = 64` the
-//! full-partition `c = m` point where REPT's variance is lowest, and
-//! `c = 256` four full groups (Algorithm 2).
+//! sorted struct-of-arrays layout) on a fixed Barabási–Albert stream —
+//! an engine × layout matrix at `c ∈ {8, 64, 200, 256}` processors
+//! with `m = 64` — and writes the results as JSON so the performance
+//! trajectory stays comparable across PRs. `c = 8` exercises the
+//! single-group `c ≤ m` path, `c = 64` the full-partition `c = m`
+//! point where REPT's variance is lowest, `c = 200` three full groups
+//! plus a `c mod m = 8` remainder group (the masked-remainder sharing
+//! path), and `c = 256` four full groups (Algorithm 2).
 //!
-//! A second section measures `run_fused_threaded` on the single-group
+//! A second section isolates the masked remainder structure at
+//! `c = 200`: the fused-sorted core with the remainder folded into the
+//! shared structure walk (`MaskedSortedTaggedAdjacency`) versus the
+//! same core with an independent remainder adjacency — the layout's
+//! previous execution shape.
+//!
+//! A third section measures `run_fused_threaded` on the single-group
 //! `c = m` layout at 1 vs several threads — the within-group
 //! parallelism path, which only shows a wall-clock win when the host
 //! actually has multiple cores (the JSON records `host_cores` so the
@@ -23,11 +31,14 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use rept_core::{Engine, Rept, ReptConfig};
+use rept_core::{CoreOptions, Engine, EngineCore, Rept, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
 
 const M: u64 = 64;
-const PROCESSOR_COUNTS: [u64; 3] = [8, 64, 256];
+const PROCESSOR_COUNTS: [u64; 4] = [8, 64, 200, 256];
+/// The `c mod m > 1` layout the masked-remainder section isolates
+/// (c₁ = 3 full groups, c₂ = 8 remainder processors).
+const C_MASKED: u64 = 200;
 const REPS: usize = 3;
 /// Threads for the within-group parallelism measurement.
 const SPLIT_THREADS: usize = 4;
@@ -117,6 +128,30 @@ fn main() {
         );
     }
 
+    // Masked remainder structure vs the independent remainder path, on
+    // the c mod m > 1 layout — everything else (shared full groups,
+    // stream, batching) identical.
+    let masked_rept = Rept::new(ReptConfig::new(M, C_MASKED).with_seed(7).with_locals(false));
+    let run_core = |masked: bool| {
+        let mut core = EngineCore::with_options(
+            masked_rept.clone(),
+            Engine::FusedSorted,
+            CoreOptions {
+                masked_remainder: masked,
+            },
+        );
+        core.ingest_batch(&stream);
+        core.into_estimate().global
+    };
+    let t_masked = best_of(|| run_core(true));
+    let t_independent = best_of(|| run_core(false));
+    eprintln!(
+        "\n  masked remainder (m = {M}, c = {C_MASKED}, c mod m = {}): \
+         masked {t_masked:.3} s, independent {t_independent:.3} s ({:.2}x)",
+        C_MASKED % M,
+        t_independent / t_masked
+    );
+
     // Within-group parallelism: single hash group (c = m), the layout
     // that used to be pinned to one thread.
     let single_group = Rept::new(ReptConfig::new(M, M).with_seed(7).with_locals(false));
@@ -183,6 +218,13 @@ fn main() {
         }
         json.push_str("},\n");
     }
+    json.push_str(&format!(
+        "  \"masked_remainder\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {C_MASKED}, \
+         \"c_mod_m\": {}, \"seconds_masked\": {t_masked:.6}, \
+         \"seconds_independent\": {t_independent:.6}, \"speedup\": {:.3}}},\n",
+        C_MASKED % M,
+        t_independent / t_masked
+    ));
     json.push_str(&format!(
         "  \"single_group_threads\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
          \"seconds_1_thread\": {t1:.6}, \"seconds_{SPLIT_THREADS}_threads\": {tn:.6}, \

@@ -9,7 +9,7 @@
 //!
 //! As an empirical cross-check the table also reports REPT's measured
 //! NRMSE at `p = 0.1, c = 5` through
-//! [`rept_cell_with_engine`](rept_bench::runners::rept_cell_with_engine)
+//! [`rept_cell_with_engine`]
 //! — it should sit far below the MASCOT term ratios predict for an
 //! independent-samples method — with the engine used recorded per row.
 //!

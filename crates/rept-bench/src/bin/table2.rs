@@ -5,7 +5,7 @@
 //! analogs (plus `η` and `η/τ`, which Fig. 1 needs), alongside the paper's
 //! original values for orientation, and a REPT sanity column: the mean
 //! estimate `τ̂` at `m = 10, c = 5` through
-//! [`rept_cell_with_engine`](rept_bench::runners::rept_cell_with_engine)
+//! [`rept_cell_with_engine`]
 //! (no per-processor timing needed here, so any engine works; the one
 //! used is recorded in the CSV).
 //!

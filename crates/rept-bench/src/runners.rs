@@ -12,7 +12,7 @@
 use rept_baselines::parallel::{average_global, average_locals, ParallelAveraged};
 use rept_baselines::traits::StreamingTriangleCounter;
 use rept_baselines::{Gps, Mascot, TriestImpr};
-use rept_core::{Engine, Rept, ReptConfig};
+use rept_core::{Engine, EngineCore, Rept, ReptConfig};
 use rept_exact::GroundTruth;
 use rept_graph::edge::Edge;
 use rept_hash::rng::SplitMix64;
@@ -44,7 +44,9 @@ pub fn rept_cell(
 }
 
 /// Evaluates REPT at `(m, c)` on an explicit [`Engine`] — lets figures
-/// and throughput benches compare the per-worker and fused paths.
+/// and throughput benches compare the per-worker and fused paths. Each
+/// trial drives the unified execution core the way every other layer
+/// does: batch execution is "ingest everything, then finalize".
 pub fn rept_cell_with_engine(
     stream: &[Edge],
     gt: &GroundTruth,
@@ -57,7 +59,9 @@ pub fn rept_cell_with_engine(
         let cfg = ReptConfig::new(m, c)
             .with_seed(seed)
             .with_locals(opts.locals);
-        let est = Rept::new(cfg).run(engine, stream);
+        let mut core = EngineCore::with_engine(Rept::new(cfg), engine);
+        core.ingest_batch(stream);
+        let est = core.into_estimate();
         TrialOutput {
             global: est.global,
             locals: est.locals,

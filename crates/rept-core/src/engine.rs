@@ -1,0 +1,698 @@
+//! The unified incremental execution core.
+//!
+//! Every way of running REPT is the same algorithm over the same
+//! counters; what used to differ was the *driver*: the batch methods on
+//! [`Rept`] owned one copy of the group build/drain/finalize logic, the
+//! incremental `ResumableRun` a second, and the serving subsystem a
+//! third on top of that. This module collapses them into one type:
+//!
+//! * [`EngineCore`] owns the engine-specific state of a run — per-worker
+//!   workers, fused hash groups, or the fused sorted layout with its
+//!   shared full-group / masked-remainder structures — behind four
+//!   operations: [`EngineCore::ingest_batch`] (apply stream edges),
+//!   [`EngineCore::compact`] (fold pending insertions into
+//!   query-optimal form), [`EngineCore::snapshot_counters`] (anytime,
+//!   non-consuming per-group aggregates) and [`EngineCore::finalize`]
+//!   (consume the run).
+//! * **Batch execution is "ingest everything, then finalize"**: the
+//!   whole-stream drivers on [`Rept`] construct a core, feed it the
+//!   stream, and combine the aggregates — nothing else.
+//! * The incremental layers (`ResumableRun`, `rept-serve`) hold a core
+//!   and feed it batches as they arrive; checkpoints serialise the
+//!   core's state. Because every driver runs the identical code, batch,
+//!   resume and serve are bit-identical by construction rather than by
+//!   proptest alone.
+//!
+//! Results are independent of how the stream is split into
+//! `ingest_batch` calls (batch boundaries only influence *when*
+//! compaction runs, a pure representation change), which is what makes
+//! checkpoint/resume at any batch boundary exact.
+//!
+//! ## The sorted engine's shared structures
+//!
+//! A fused-sorted core picks the strongest sharing the layout admits:
+//!
+//! * `c₂ = 0`, ≥ 2 full groups — one `FusedFullGroups` walk serves
+//!   every full group ([`MultiSortedTaggedAdjacency`]).
+//! * `c₂ ≠ 0`, ≥ 1 full group — one `FusedMaskedGroups` walk serves
+//!   the full groups **and** the remainder group
+//!   ([`MaskedSortedTaggedAdjacency`]'s masked tag column marks the
+//!   remainder's stored subset), deleting the second structure walk the
+//!   remainder used to pay. [`CoreOptions::masked_remainder`] disables
+//!   this (benchmark comparisons only).
+//! * otherwise — one independent `FusedGroup` per group.
+//!
+//! [`MultiSortedTaggedAdjacency`]: rept_graph::multi_tagged::MultiSortedTaggedAdjacency
+//! [`MaskedSortedTaggedAdjacency`]: rept_graph::masked_tagged::MaskedSortedTaggedAdjacency
+
+use rept_graph::cell_tagged::{CellTaggedAdjacency, TaggedAdjacency};
+use rept_graph::edge::Edge;
+use rept_graph::sorted_tagged::SortedTaggedAdjacency;
+
+use crate::config::ReptConfig;
+use crate::estimate::ReptEstimate;
+use crate::estimator::{Engine, GroupAggregate, GroupSpec, Rept};
+use crate::fused::{BatchScratch, FusedFullGroups, FusedGroup, FusedMaskedGroups};
+use crate::worker::SemiTriangleWorker;
+
+/// Edges per batch in the group-major fused drivers: small enough to
+/// keep a batch L1/L2-resident, large enough to amortise the per-batch
+/// group-loop overhead. [`EngineCore::ingest_batch`] re-chunks larger
+/// batches internally, so callers may pass streams of any size.
+pub(crate) const FUSED_BATCH: usize = 4096;
+
+/// Edges per batch in the within-group split driver: larger than
+/// `FUSED_BATCH` because every batch pays one thread-scope fork/join
+/// per group, and the sequential store phase touches the intra-batch
+/// delta rather than the whole adjacency anyway.
+pub(crate) const SPLIT_BATCH: usize = 16384;
+
+/// Tuning knobs of an [`EngineCore`]. The defaults are right for every
+/// production caller; the switches exist so benchmarks can measure a
+/// sharing level against its predecessor on identical streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreOptions {
+    /// Fold the remainder group (`c mod m ≠ 0` layouts) into the full
+    /// groups' shared structure walk via the masked tag column. `false`
+    /// reverts to an independent remainder adjacency — bit-identical,
+    /// but one extra structure walk per stream edge.
+    pub masked_remainder: bool,
+}
+
+impl Default for CoreOptions {
+    fn default() -> Self {
+        Self {
+            masked_remainder: true,
+        }
+    }
+}
+
+/// The sorted engine's shared-structure state: all full groups over one
+/// multi-tag structure, or full groups *plus* the remainder over one
+/// masked structure.
+#[derive(Debug, Clone)]
+pub(crate) enum SharedSorted {
+    /// ≥ 2 full groups, no remainder folded in.
+    Full(Box<FusedFullGroups>),
+    /// ≥ 1 full group and the remainder group.
+    Masked(Box<FusedMaskedGroups>),
+}
+
+impl SharedSorted {
+    #[inline]
+    fn process(&mut self, e: Edge) {
+        match self {
+            SharedSorted::Full(s) => s.process(e),
+            SharedSorted::Masked(s) => s.process(e),
+        }
+    }
+
+    fn compact(&mut self) {
+        match self {
+            SharedSorted::Full(s) => s.compact(),
+            SharedSorted::Masked(s) => s.compact(),
+        }
+    }
+
+    fn snapshot_aggregates(&self) -> Vec<GroupAggregate> {
+        match self {
+            SharedSorted::Full(s) => s.snapshot_aggregates(),
+            SharedSorted::Masked(s) => s.snapshot_aggregates(),
+        }
+    }
+
+    fn into_aggregates(self) -> Vec<GroupAggregate> {
+        match self {
+            SharedSorted::Full(s) => s.into_aggregates(),
+            SharedSorted::Masked(s) => s.into_aggregates(),
+        }
+    }
+}
+
+/// The engine-specific half of a core: what [`EngineCore`] mutates per
+/// edge. `pub(crate)` so the checkpoint codec in [`crate::resume`] can
+/// serialise and restore it.
+#[derive(Debug, Clone)]
+pub(crate) enum CoreState {
+    /// One [`SemiTriangleWorker`] per processor — the paper's cost
+    /// model executed literally; the reference oracle.
+    PerWorker { workers: Vec<SemiTriangleWorker> },
+    /// One independent hash-layout group per hash group.
+    FusedHash(Vec<FusedGroup<CellTaggedAdjacency>>),
+    /// The sorted layout: optional shared structure plus independent
+    /// groups for whatever the sharing cannot cover.
+    FusedSorted {
+        shared: Option<SharedSorted>,
+        rest: Vec<FusedGroup<SortedTaggedAdjacency>>,
+    },
+}
+
+/// One run of the REPT estimator on one execution [`Engine`] — the
+/// single driver behind the batch methods on [`Rept`], the resumable
+/// incremental runs, and the serving subsystem.
+///
+/// Feed it edges with [`Self::ingest`] / [`Self::ingest_batch`], read
+/// an anytime estimate with [`Self::estimate`], and finish with
+/// [`Self::into_estimate`]. Batch execution is literally
+/// `ingest_batch(stream)` followed by `into_estimate()`.
+///
+/// ```
+/// use rept_core::{Engine, EngineCore, Rept, ReptConfig};
+/// use rept_graph::Edge;
+///
+/// let stream = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+/// let rept = Rept::new(ReptConfig::new(2, 2).with_seed(1));
+/// let mut core = EngineCore::with_engine(rept.clone(), Engine::FusedSorted);
+/// core.ingest_batch(&stream);
+/// let est = core.into_estimate();
+/// // … which is exactly what the whole-stream driver does:
+/// assert_eq!(est.global, rept.run(Engine::FusedSorted, &stream).global);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineCore {
+    rept: Rept,
+    engine: Engine,
+    pub(crate) state: CoreState,
+    position: u64,
+}
+
+impl EngineCore {
+    /// Creates a core over every group of the layout, on the default
+    /// engine ([`Engine::FusedSorted`]).
+    pub fn new(rept: Rept) -> Self {
+        Self::with_engine(rept, Engine::default())
+    }
+
+    /// Creates a core over every group of the layout on the given
+    /// engine.
+    pub fn with_engine(rept: Rept, engine: Engine) -> Self {
+        Self::with_options(rept, engine, CoreOptions::default())
+    }
+
+    /// Creates a core with explicit [`CoreOptions`].
+    pub fn with_options(rept: Rept, engine: Engine, opts: CoreOptions) -> Self {
+        Self::with_group_filter(rept, engine, opts, |_| true)
+    }
+
+    /// Assembles a core from restored parts — the checkpoint decoder's
+    /// constructor ([`crate::resume`]).
+    pub(crate) fn from_parts(rept: Rept, engine: Engine, state: CoreState, position: u64) -> Self {
+        Self {
+            rept,
+            engine,
+            state,
+            position,
+        }
+    }
+
+    /// Creates a core owning only the groups whose layout index passes
+    /// `keep` — the construction the threaded batch driver uses to
+    /// spread groups over threads. Fused engines only.
+    pub(crate) fn with_group_filter(
+        rept: Rept,
+        engine: Engine,
+        opts: CoreOptions,
+        keep: impl Fn(usize) -> bool,
+    ) -> Self {
+        let cfg = *rept.config();
+        let kept: Vec<GroupSpec> = rept
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| keep(*gi))
+            .map(|(_, g)| *g)
+            .collect();
+        let state = match engine {
+            Engine::PerWorker => {
+                debug_assert_eq!(
+                    kept.len(),
+                    rept.groups().len(),
+                    "the per-worker engine is never group-filtered"
+                );
+                CoreState::PerWorker {
+                    workers: make_workers(&cfg),
+                }
+            }
+            Engine::FusedHash => {
+                CoreState::FusedHash(kept.iter().map(|g| FusedGroup::new(*g, &cfg)).collect())
+            }
+            Engine::FusedSorted => build_sorted_state(&cfg, &kept, opts),
+        };
+        Self {
+            rept,
+            engine,
+            state,
+            position: 0,
+        }
+    }
+
+    /// The engine driving this core.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReptConfig {
+        self.rept.config()
+    }
+
+    /// The estimator layout this core runs.
+    pub fn rept(&self) -> &Rept {
+        &self.rept
+    }
+
+    /// Number of edges ingested so far.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Processes one arriving edge on every group (no compaction — call
+    /// [`Self::compact`] or use [`Self::ingest_batch`] for batched
+    /// streams).
+    pub fn ingest(&mut self, e: Edge) {
+        self.position += 1;
+        let Self { rept, state, .. } = self;
+        match state {
+            CoreState::PerWorker { workers } => {
+                let (u, v) = e.as_u64_pair();
+                for g in rept.groups() {
+                    // Every processor in the group observes the edge …
+                    let cell = g.hasher.cell(u, v) as usize;
+                    for (off, w) in workers[g.start..g.start + g.size].iter_mut().enumerate() {
+                        let closed = w.observe(e);
+                        // … and the one owning the edge's cell stores it.
+                        if off == cell {
+                            w.store(e, closed);
+                        }
+                    }
+                }
+            }
+            CoreState::FusedHash(groups) => {
+                for g in groups.iter_mut() {
+                    g.process(e);
+                }
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                if let Some(shared) = shared {
+                    shared.process(e);
+                }
+                for g in rest.iter_mut() {
+                    g.process(e);
+                }
+            }
+        }
+    }
+
+    /// Processes a batch of arriving edges. Fused engines re-chunk into
+    /// `FUSED_BATCH`-edge sub-batches and run group-major within each
+    /// (one group's adjacency stays cache-hot while the sub-batch drains
+    /// against it), compacting at every boundary so steady-state
+    /// matching runs on fully sorted state. Results are independent of
+    /// how the stream is split into batches.
+    pub fn ingest_batch(&mut self, batch: &[Edge]) {
+        match &mut self.state {
+            CoreState::PerWorker { .. } => {
+                for &e in batch {
+                    self.ingest(e);
+                }
+                return;
+            }
+            CoreState::FusedHash(groups) => {
+                for chunk in batch.chunks(FUSED_BATCH) {
+                    drive_groups(groups, chunk);
+                }
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                for chunk in batch.chunks(FUSED_BATCH) {
+                    if let Some(shared) = shared.as_mut() {
+                        for &e in chunk {
+                            shared.process(e);
+                        }
+                        shared.compact();
+                    }
+                    drive_groups(rest, chunk);
+                }
+            }
+        }
+        self.position += batch.len() as u64;
+    }
+
+    /// Processes one batch through the split match/apply pipeline: a
+    /// parallel read-only matching phase over `threads` OS threads
+    /// followed by the sequential store phase (see [`crate::fused`]).
+    /// Only meaningful for single-group fused layouts — the layouts the
+    /// group-parallel driver cannot speed up; shared multi-group states
+    /// fall back to [`Self::ingest_batch`].
+    pub(crate) fn ingest_batch_split(
+        &mut self,
+        batch: &[Edge],
+        scratch: &mut BatchScratch,
+        threads: usize,
+    ) {
+        match &mut self.state {
+            CoreState::FusedHash(groups) => {
+                split_drive_groups(groups, batch, scratch, threads);
+            }
+            CoreState::FusedSorted { shared: None, rest } => {
+                split_drive_groups(rest, batch, scratch, threads);
+            }
+            _ => {
+                self.ingest_batch(batch);
+                return;
+            }
+        }
+        self.position += batch.len() as u64;
+    }
+
+    /// Folds every group's pending insertions into query-optimal form —
+    /// a pure representation change; estimates are identical before and
+    /// after. [`Self::ingest_batch`] already compacts at its internal
+    /// batch boundaries.
+    pub fn compact(&mut self) {
+        match &mut self.state {
+            CoreState::PerWorker { .. } => {}
+            CoreState::FusedHash(groups) => {
+                for g in groups.iter_mut() {
+                    g.compact();
+                }
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                if let Some(shared) = shared {
+                    shared.compact();
+                }
+                for g in rest.iter_mut() {
+                    g.compact();
+                }
+            }
+        }
+    }
+
+    /// The per-group aggregates of the stream seen so far, without
+    /// consuming the core (counter state is cloned) — the anytime query
+    /// path. Combine them with [`Rept::finalize_groups`], or use
+    /// [`Self::estimate`] which does exactly that.
+    pub fn snapshot_counters(&self) -> Vec<GroupAggregate> {
+        match &self.state {
+            CoreState::PerWorker { workers } => self.rept.aggregate_workers(workers),
+            CoreState::FusedHash(groups) => {
+                groups.iter().map(FusedGroup::snapshot_aggregate).collect()
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                let mut aggregates = shared
+                    .as_ref()
+                    .map(SharedSorted::snapshot_aggregates)
+                    .unwrap_or_default();
+                aggregates.extend(rest.iter().map(FusedGroup::snapshot_aggregate));
+                aggregates
+            }
+        }
+    }
+
+    /// Consumes the core, yielding the final per-group aggregates.
+    pub fn finalize(self) -> Vec<GroupAggregate> {
+        let Self { rept, state, .. } = self;
+        Self::finalize_state(&rept, state)
+    }
+
+    fn finalize_state(rept: &Rept, state: CoreState) -> Vec<GroupAggregate> {
+        match state {
+            CoreState::PerWorker { workers } => rept.aggregate_workers(&workers),
+            CoreState::FusedHash(groups) => {
+                groups.into_iter().map(FusedGroup::into_aggregate).collect()
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                let mut aggregates = shared
+                    .map(SharedSorted::into_aggregates)
+                    .unwrap_or_default();
+                aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
+                aggregates
+            }
+        }
+    }
+
+    /// The estimate for the stream seen so far (anytime,
+    /// non-consuming).
+    pub fn estimate(&self) -> ReptEstimate {
+        self.rept.finalize_groups(self.snapshot_counters())
+    }
+
+    /// Consumes the core and produces the final estimate.
+    pub fn into_estimate(self) -> ReptEstimate {
+        let Self { rept, state, .. } = self;
+        let aggregates = Self::finalize_state(&rept, state);
+        rept.finalize_groups(aggregates)
+    }
+}
+
+/// Fresh per-processor workers for a configuration.
+pub(crate) fn make_workers(cfg: &ReptConfig) -> Vec<SemiTriangleWorker> {
+    let track_eta = cfg.needs_eta();
+    (0..cfg.c)
+        .map(|_| SemiTriangleWorker::new(cfg.track_locals, track_eta, cfg.eta_mode))
+        .collect()
+}
+
+/// Splits specs into full groups (size = `m`) and the rest, preserving
+/// order (full groups always precede any remainder group in
+/// [`Rept::groups`] order) — the one classification every sorted-layout
+/// decision builds on, shared with the checkpoint codec.
+pub(crate) fn split_full_partial(m: u64, specs: &[GroupSpec]) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
+    specs.iter().copied().partition(|g| g.size as u64 == m)
+}
+
+/// The structure sharing the sorted engine picks for a set of groups.
+/// Construction ([`build_sorted_state`]) and checkpoint restore
+/// ([`crate::resume`]) both consult this single rule, so a resumed run
+/// always lands in the same layout a fresh run would build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SortedLayout {
+    /// Full groups and the remainder share one masked structure.
+    Masked,
+    /// Full groups share one multi-tag structure; the rest (if any)
+    /// runs independently.
+    SharedFull,
+    /// Every group runs its own structure.
+    Independent,
+}
+
+/// Picks the strongest sharing `full_count` full groups and
+/// `partial_count` partial groups admit.
+pub(crate) fn sorted_layout(
+    full_count: usize,
+    partial_count: usize,
+    masked_remainder: bool,
+) -> SortedLayout {
+    if masked_remainder && partial_count == 1 && full_count >= 1 {
+        SortedLayout::Masked
+    } else if full_count >= 2 {
+        SortedLayout::SharedFull
+    } else {
+        SortedLayout::Independent
+    }
+}
+
+/// Builds the sorted engine's state for the kept groups, picking the
+/// strongest sharing the subset admits (see the module docs).
+fn build_sorted_state(cfg: &ReptConfig, kept: &[GroupSpec], opts: CoreOptions) -> CoreState {
+    let (full, partial) = split_full_partial(cfg.m, kept);
+    match sorted_layout(full.len(), partial.len(), opts.masked_remainder) {
+        SortedLayout::Masked => CoreState::FusedSorted {
+            shared: Some(SharedSorted::Masked(Box::new(FusedMaskedGroups::new(
+                &full, partial[0], cfg,
+            )))),
+            rest: Vec::new(),
+        },
+        SortedLayout::SharedFull => CoreState::FusedSorted {
+            shared: Some(SharedSorted::Full(Box::new(FusedFullGroups::new(
+                &full, cfg,
+            )))),
+            rest: partial.iter().map(|g| FusedGroup::new(*g, cfg)).collect(),
+        },
+        SortedLayout::Independent => CoreState::FusedSorted {
+            shared: None,
+            rest: kept.iter().map(|g| FusedGroup::new(*g, cfg)).collect(),
+        },
+    }
+}
+
+/// Drains one sub-batch against a set of independent fused groups,
+/// group-major, compacting each group at the boundary.
+fn drive_groups<A: TaggedAdjacency>(groups: &mut [FusedGroup<A>], batch: &[Edge]) {
+    for g in groups.iter_mut() {
+        for &e in batch {
+            g.process(e);
+        }
+        g.compact();
+    }
+}
+
+/// One split match/apply round over independent groups.
+fn split_drive_groups<A: TaggedAdjacency>(
+    groups: &mut [FusedGroup<A>],
+    batch: &[Edge],
+    scratch: &mut BatchScratch,
+    threads: usize,
+) {
+    for g in groups.iter_mut() {
+        g.match_batch(batch, &mut scratch.lists, threads);
+        g.apply_batch(batch, scratch);
+        g.compact();
+    }
+}
+
+/// The whole-stream batch driver every fused [`Rept`] method funnels
+/// into: construct core(s), ingest the stream, combine the aggregates.
+///
+/// * One thread — a single core over every group.
+/// * Several threads, several groups — groups spread round-robin over
+///   `min(threads, groups)` cores, one per thread; each thread ingests
+///   the whole stream against its groups only (REPT groups never
+///   communicate mid-stream). Threads may finish in any interleaving;
+///   [`Rept::finalize_groups`] re-orders aggregates by group start.
+/// * Several threads, one group — within-group parallelism: each
+///   `SPLIT_BATCH`-edge batch is matched read-only across all
+///   threads, then stored sequentially, keeping the counters
+///   bit-identical.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub(crate) fn drive(rept: &Rept, engine: Engine, stream: &[Edge], threads: usize) -> ReptEstimate {
+    assert!(threads > 0, "need at least one thread");
+    let opts = CoreOptions::default();
+    let n_groups = rept.groups().len();
+    if threads == 1 || engine == Engine::PerWorker {
+        // Single worker: run inline — a thread scope would be pure
+        // overhead for the Monte-Carlo callers running one trial per
+        // seed. (The per-worker engine's threaded driver parallelises
+        // over workers, not groups; it lives on `Rept` directly.)
+        let mut core = EngineCore::with_options(rept.clone(), engine, opts);
+        core.ingest_batch(stream);
+        return core.into_estimate();
+    }
+    if n_groups > 1 {
+        let n_threads = threads.min(n_groups);
+        let aggregates: Vec<GroupAggregate> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_threads);
+            for t in 0..n_threads {
+                let mut core = EngineCore::with_group_filter(rept.clone(), engine, opts, |gi| {
+                    gi % n_threads == t
+                });
+                handles.push(scope.spawn(move || {
+                    core.ingest_batch(stream);
+                    core.finalize()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("REPT fused thread panicked"))
+                .collect()
+        });
+        return rept.finalize_groups(aggregates);
+    }
+    // One group, several threads: split match/apply batches.
+    let mut core = EngineCore::with_options(rept.clone(), engine, opts);
+    let mut scratch = BatchScratch::default();
+    for batch in stream.chunks(SPLIT_BATCH) {
+        core.ingest_batch_split(batch, &mut scratch, threads);
+    }
+    core.into_estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_gen::{barabasi_albert, GeneratorConfig};
+
+    #[test]
+    fn batch_split_is_irrelevant_to_the_result() {
+        let stream = barabasi_albert(&GeneratorConfig::new(250, 7), 4);
+        for (m, c) in [(4u64, 3u64), (3, 7), (4, 11)] {
+            let cfg = ReptConfig::new(m, c).with_seed(5).with_eta(true);
+            let rept = Rept::new(cfg);
+            for engine in Engine::all() {
+                let mut whole = EngineCore::with_engine(rept.clone(), engine);
+                whole.ingest_batch(&stream);
+                let oracle = whole.into_estimate();
+                for batch_len in [1usize, 13, 1000] {
+                    let mut chunked = EngineCore::with_engine(rept.clone(), engine);
+                    for chunk in stream.chunks(batch_len) {
+                        chunked.ingest_batch(chunk);
+                    }
+                    assert_eq!(chunked.position(), stream.len() as u64);
+                    let est = chunked.estimate();
+                    assert_eq!(oracle.global, est.global, "{} b={batch_len}", engine.name());
+                    assert_eq!(oracle.locals, est.locals);
+                    assert_eq!(oracle.eta_hat, est.eta_hat);
+                    assert_eq!(
+                        oracle.diagnostics.per_processor_tau,
+                        est.diagnostics.per_processor_tau
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_remainder_off_is_bit_identical() {
+        let stream = barabasi_albert(&GeneratorConfig::new(300, 2), 4);
+        for (m, c) in [(4u64, 11u64), (3, 4), (4, 9)] {
+            let cfg = ReptConfig::new(m, c).with_seed(9).with_eta(true);
+            let rept = Rept::new(cfg);
+            let mut on = EngineCore::with_options(
+                rept.clone(),
+                Engine::FusedSorted,
+                CoreOptions {
+                    masked_remainder: true,
+                },
+            );
+            let mut off = EngineCore::with_options(
+                rept.clone(),
+                Engine::FusedSorted,
+                CoreOptions {
+                    masked_remainder: false,
+                },
+            );
+            assert!(
+                matches!(
+                    on.state,
+                    CoreState::FusedSorted {
+                        shared: Some(SharedSorted::Masked(_)),
+                        ..
+                    }
+                ),
+                "remainder layouts take the masked path, m={m} c={c}"
+            );
+            on.ingest_batch(&stream);
+            off.ingest_batch(&stream);
+            let (a, b) = (on.into_estimate(), off.into_estimate());
+            assert_eq!(a.global, b.global, "m={m} c={c}");
+            assert_eq!(a.locals, b.locals);
+            assert_eq!(a.eta_hat, b.eta_hat);
+            assert_eq!(
+                a.diagnostics.per_processor_tau,
+                b.diagnostics.per_processor_tau
+            );
+            assert_eq!(a.diagnostics.stored_edges, b.diagnostics.stored_edges);
+        }
+    }
+
+    #[test]
+    fn snapshot_counters_do_not_consume() {
+        let stream = barabasi_albert(&GeneratorConfig::new(150, 3), 3);
+        let rept = Rept::new(ReptConfig::new(3, 7).with_seed(2).with_eta(true));
+        let mut core = EngineCore::new(rept);
+        core.ingest_batch(&stream[..200]);
+        let early = core.estimate();
+        assert!(early.global >= 0.0);
+        core.ingest_batch(&stream[200..]);
+        core.compact();
+        assert_eq!(core.position(), stream.len() as u64);
+        assert_eq!(core.config().c, 7);
+        assert_eq!(core.engine(), Engine::FusedSorted);
+        let aggregates = core.snapshot_counters();
+        assert_eq!(aggregates.len(), core.rept().groups().len());
+        let est = core.into_estimate();
+        assert!(est.global >= 0.0);
+    }
+}

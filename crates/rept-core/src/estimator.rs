@@ -19,7 +19,7 @@
 //! * **Fused** — each hash group keeps one shared cell-tagged adjacency
 //!   ([`crate::fused`]) and recovers all of its workers' counters from a
 //!   single matching-common-neighbor pass per edge. Two storage layouts
-//!   exist behind the same [`TaggedAdjacency`] contract: the original
+//!   exist behind the same [`TaggedAdjacency`](rept_graph::cell_tagged::TaggedAdjacency) contract: the original
 //!   hash-map-of-hash-maps ([`Engine::FusedHash`]) and the sorted
 //!   struct-of-arrays layout with merge/galloping intersection
 //!   ([`Engine::FusedSorted`], the default and fastest engine).
@@ -34,19 +34,23 @@
 //! read-only matching phase and a sequential store phase (see
 //! [`crate::fused`]).
 //!
+//! Every driver here is a thin adapter over the unified incremental
+//! execution core ([`crate::engine::EngineCore`]): batch execution is
+//! "construct a core, ingest the stream, finalize" — the same code the
+//! resumable and serving layers run incrementally, which is what makes
+//! batch, resume and serve bit-identical by construction.
+//!
 //! All drivers are deterministic given the hash seed, so scheduling cannot
 //! affect the output — a property the integration tests assert.
 
-use rept_graph::cell_tagged::{CellTaggedAdjacency, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
-use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 use rept_hash::edge_hash::{EdgeHashFamily, PartitionHasher};
 use rept_hash::fx::FxHashMap;
 
 use crate::combine::{graybill_deal, Combined};
 use crate::config::ReptConfig;
+use crate::engine::{self, EngineCore};
 use crate::estimate::{CombinationPath, Diagnostics, ReptEstimate};
-use crate::fused::{BatchScratch, FusedFullGroups, FusedGroup};
 use crate::worker::SemiTriangleWorker;
 
 /// A group of processors sharing one partition hash.
@@ -60,12 +64,15 @@ pub(crate) struct GroupSpec {
     pub hasher: PartitionHasher,
 }
 
-/// Finished counters of one hash group, produced by either engine and
+/// Finished counters of one hash group, produced by any engine and
 /// consumed by [`Rept::finalize_groups`]. The estimator only ever needs
 /// per-*group* sums of the per-node maps (split by group for the
-/// Graybill–Deal locals), so this is the natural combination boundary.
+/// Graybill–Deal locals), so this is the natural combination boundary —
+/// and the exchange format between an
+/// [`EngineCore`] and the combination
+/// arithmetic.
 #[derive(Debug, Clone)]
-pub(crate) struct GroupAggregate {
+pub struct GroupAggregate {
     /// Index of the group's first worker (orders groups in diagnostics).
     pub start: usize,
     /// `τ⁽ⁱ⁾` per worker of the group.
@@ -214,23 +221,12 @@ impl Rept {
         &self.groups
     }
 
-    fn make_workers(&self) -> Vec<SemiTriangleWorker> {
-        let track_eta = self.cfg.needs_eta();
-        (0..self.cfg.c)
-            .map(|_| SemiTriangleWorker::new(self.cfg.track_locals, track_eta, self.cfg.eta_mode))
-            .collect()
-    }
-
-    /// Runs the selected engine single-threaded over a stream.
+    /// Runs the selected engine single-threaded over a stream. Batch
+    /// execution on the unified core: ingest everything, then finalize
+    /// — fused engines run group-major in cache-resident sub-batches
+    /// (see [`EngineCore::ingest_batch`]).
     pub fn run(&self, engine: Engine, stream: &[Edge]) -> ReptEstimate {
-        match engine {
-            Engine::PerWorker => self.run_sequential(stream.iter().copied()),
-            // One thread, but through the threaded driver: its group-major
-            // batching keeps one group's adjacency cache-hot at a time,
-            // which matters once c > m yields several groups.
-            Engine::FusedHash => self.fused_threaded_impl::<CellTaggedAdjacency>(stream, 1),
-            Engine::FusedSorted => self.run_fused_sorted(stream, 1),
-        }
+        engine::drive(self, engine, stream, 1)
     }
 
     /// Runs the selected engine over `threads` OS threads.
@@ -242,30 +238,18 @@ impl Rept {
     ) -> ReptEstimate {
         match engine {
             Engine::PerWorker => self.run_threaded(stream, threads),
-            Engine::FusedHash => self.fused_threaded_impl::<CellTaggedAdjacency>(stream, threads),
-            Engine::FusedSorted => self.run_fused_sorted(stream, threads),
+            Engine::FusedHash | Engine::FusedSorted => engine::drive(self, engine, stream, threads),
         }
     }
 
     /// Runs the per-worker engine over a stream in one thread, simulating
     /// all `c` processors. Deterministic given `cfg.seed`.
     pub fn run_sequential<I: IntoIterator<Item = Edge>>(&self, stream: I) -> ReptEstimate {
-        let mut workers = self.make_workers();
+        let mut core = EngineCore::with_engine(self.clone(), Engine::PerWorker);
         for e in stream {
-            let (u, v) = e.as_u64_pair();
-            for g in &self.groups {
-                // Every processor in the group observes the edge …
-                let cell = g.hasher.cell(u, v) as usize;
-                for (off, w) in workers[g.start..g.start + g.size].iter_mut().enumerate() {
-                    let closed = w.observe(e);
-                    // … and the one owning the edge's cell stores it.
-                    if off == cell {
-                        w.store(e, closed);
-                    }
-                }
-            }
+            core.ingest(e);
         }
-        self.finalize(workers)
+        core.into_estimate()
     }
 
     /// Runs the per-worker engine with processors spread over `threads` OS
@@ -278,7 +262,7 @@ impl Rept {
     pub fn run_threaded(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
         assert!(threads > 0, "need at least one thread");
         let groups = self.groups();
-        let mut workers = self.make_workers();
+        let mut workers = engine::make_workers(&self.cfg);
 
         // Partition workers into contiguous chunks, one per thread. Each
         // chunk processes the whole stream against its own workers only —
@@ -330,8 +314,8 @@ impl Rept {
     }
 
     /// Runs the default fused engine (sorted layout) over a stream in one
-    /// thread: one shared cell-tagged adjacency and one intersection pass
-    /// per hash group per edge. Bit-identical to
+    /// thread: one shared structure walk per hash group — or per *set*
+    /// of groups sharing a structure — per edge. Bit-identical to
     /// [`Self::run_sequential`].
     ///
     /// Accepts any edge iterator, processing edge-major across groups —
@@ -340,179 +324,38 @@ impl Rept {
     /// [`Self::run`] / [`Self::run_fused_threaded`], whose group-major
     /// batching keeps one group's adjacency cache-hot at a time.
     pub fn run_fused<I: IntoIterator<Item = Edge>>(&self, stream: I) -> ReptEstimate {
-        let mut fused = self.build_fused_groups::<SortedTaggedAdjacency>(|_| true);
+        let mut core = EngineCore::with_engine(self.clone(), Engine::FusedSorted);
         for e in stream {
-            for g in &mut fused {
-                g.process(e);
-            }
+            core.ingest(e);
         }
-        self.finalize_groups(Self::aggregate_fused(fused))
+        core.into_estimate()
     }
-
-    /// Edges per batch in the group-major fused drivers: small enough to
-    /// keep a batch L1/L2-resident, large enough to amortise the per-batch
-    /// group-loop overhead.
-    const FUSED_BATCH: usize = 4096;
-
-    /// Edges per batch in the within-group split driver: larger than
-    /// [`Self::FUSED_BATCH`] because every batch pays one thread-scope
-    /// fork/join per group, and the sequential store phase touches the
-    /// intra-batch delta rather than the whole adjacency anyway.
-    const SPLIT_BATCH: usize = 16384;
 
     /// Runs the default fused engine (sorted layout) over `threads` OS
     /// threads. Produces exactly the same estimate as [`Self::run_fused`].
     ///
     /// Multi-group layouts (`⌈c/m⌉ > 1`) spread groups round-robin over
-    /// `min(threads, groups)` threads; each thread streams the input in
-    /// [`Self::FUSED_BATCH`]-edge batches, group-major within a batch, so
-    /// one group's adjacency stays hot while a batch is drained against
-    /// it. Single-group layouts — every `c ≤ m` configuration — switch to
-    /// *within-group* parallelism instead: each
-    /// [`Self::SPLIT_BATCH`]-edge batch is matched read-only across all
-    /// threads, then stored sequentially (see [`crate::fused`]), keeping
-    /// the counters bit-identical.
+    /// `min(threads, groups)` threads; single-group layouts — every
+    /// `c ≤ m` configuration — switch to *within-group* parallelism
+    /// instead (see [`crate::engine`] for both shapes).
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn run_fused_threaded(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
-        self.run_fused_sorted(stream, threads)
+        engine::drive(self, Engine::FusedSorted, stream, threads)
     }
 
-    /// The sorted engine's driver. Single-threaded runs of layouts with
-    /// at least two **full** hash groups (`size = m`, so every edge is
-    /// stored — all such groups hold the identical edge set) take the
-    /// shared-structure path: one [`FusedFullGroups`] walks the common
-    /// neighbor structure once per edge for all full groups (see
-    /// [`crate::fused`]), while any remainder group (`c₂ ≠ 0`) runs its
-    /// own [`FusedGroup`] alongside. Everything else falls through to
-    /// the generic per-group driver. Bit-identical either way.
-    fn run_fused_sorted(&self, stream: &[Edge], threads: usize) -> ReptEstimate {
-        let full: Vec<GroupSpec> = self
-            .groups
-            .iter()
-            .filter(|g| g.size as u64 == self.cfg.m)
-            .copied()
-            .collect();
-        if threads != 1 || full.len() < 2 {
-            return self.fused_threaded_impl::<SortedTaggedAdjacency>(stream, threads);
-        }
-        let mut shared = FusedFullGroups::new(&full, &self.cfg);
-        let mut rest: Vec<FusedGroup<SortedTaggedAdjacency>> =
-            self.build_fused_groups(|gi| self.groups[gi].size as u64 != self.cfg.m);
-        for batch in stream.chunks(Self::FUSED_BATCH) {
-            for &e in batch {
-                shared.process(e);
-            }
-            shared.compact();
-            for g in rest.iter_mut() {
-                for &e in batch {
-                    g.process(e);
-                }
-                g.compact();
-            }
-        }
-        let mut aggregates = shared.into_aggregates();
-        aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
-        self.finalize_groups(aggregates)
-    }
-
-    /// The engine-generic body behind every fused driver.
-    fn fused_threaded_impl<A: TaggedAdjacency>(
-        &self,
-        stream: &[Edge],
-        threads: usize,
-    ) -> ReptEstimate {
-        assert!(threads > 0, "need at least one thread");
-        let n_groups = self.groups.len();
-        if threads == 1 {
-            // Single worker: run the batch loop inline — a thread scope
-            // would be pure overhead for the Monte-Carlo callers that run
-            // one trial per seed.
-            let mut owned = self.build_fused_groups::<A>(|_| true);
-            Self::drive_batches(&mut owned, stream);
-            return self.finalize_groups(Self::aggregate_fused(owned));
-        }
-        if n_groups > 1 {
-            // Multi-group layout: spread groups round-robin, clamping to
-            // the group count — each group's full pipeline (match AND
-            // store) runs concurrently, which beats matching-only
-            // parallelism whenever there is more than one group.
-            // Threads may return their aggregates in any interleaving;
-            // `finalize_groups` re-orders by `GroupAggregate::start`.
-            let n_threads = threads.min(n_groups);
-            let aggregates: Vec<GroupAggregate> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n_threads);
-                for t in 0..n_threads {
-                    let mut owned = self.build_fused_groups::<A>(|gi| gi % n_threads == t);
-                    handles.push(scope.spawn(move || {
-                        Self::drive_batches(&mut owned, stream);
-                        Self::aggregate_fused(owned)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("REPT fused thread panicked"))
-                    .collect()
-            });
-            return self.finalize_groups(aggregates);
-        }
-        // One group, several threads: within-group parallelism. Each
-        // batch is split into a parallel matching phase over all threads
-        // and a sequential store phase.
-        let mut owned = self.build_fused_groups::<A>(|_| true);
-        let mut scratch = BatchScratch::default();
-        for batch in stream.chunks(Self::SPLIT_BATCH) {
-            for g in owned.iter_mut() {
-                g.match_batch(batch, &mut scratch.lists, threads);
-                g.apply_batch(batch, &mut scratch);
-                g.compact();
-            }
-        }
-        self.finalize_groups(Self::aggregate_fused(owned))
-    }
-
-    /// Builds the fused state of every group whose index passes `keep` —
-    /// the one construction site all fused drivers share.
-    fn build_fused_groups<A: TaggedAdjacency>(
-        &self,
-        keep: impl Fn(usize) -> bool,
-    ) -> Vec<FusedGroup<A>> {
-        self.groups
-            .iter()
-            .enumerate()
-            .filter(|(gi, _)| keep(*gi))
-            .map(|(_, g)| FusedGroup::new(*g, &self.cfg))
-            .collect()
-    }
-
-    /// Finishes a set of fused groups into the aggregates
-    /// [`Self::finalize_groups`] combines.
-    fn aggregate_fused<A: TaggedAdjacency>(groups: Vec<FusedGroup<A>>) -> Vec<GroupAggregate> {
-        groups.into_iter().map(FusedGroup::into_aggregate).collect()
-    }
-
-    /// Drains the stream against a set of fused groups in
-    /// [`Self::FUSED_BATCH`]-edge batches, group-major within a batch.
-    /// Each batch boundary compacts the group's adjacency, so the bulk
-    /// of every batch's matching runs on fully sorted state.
-    fn drive_batches<A: TaggedAdjacency>(groups: &mut [FusedGroup<A>], stream: &[Edge]) {
-        for batch in stream.chunks(Self::FUSED_BATCH) {
-            for g in groups.iter_mut() {
-                for &e in batch {
-                    g.process(e);
-                }
-                g.compact();
-            }
-        }
-    }
-
-    /// Assembles the final estimate from finished per-worker state by
-    /// summing each group's maps into a [`GroupAggregate`].
+    /// Assembles the final estimate from finished per-worker state.
     pub(crate) fn finalize(&self, workers: Vec<SemiTriangleWorker>) -> ReptEstimate {
-        let aggregates = self
-            .groups
+        self.finalize_groups(self.aggregate_workers(&workers))
+    }
+
+    /// Sums each group's per-worker state into a [`GroupAggregate`] —
+    /// the per-worker engine's half of [`Self::finalize`], non-consuming
+    /// so anytime snapshots can reuse it.
+    pub(crate) fn aggregate_workers(&self, workers: &[SemiTriangleWorker]) -> Vec<GroupAggregate> {
+        self.groups
             .iter()
             .map(|g| {
                 let members = &workers[g.start..g.start + g.size];
@@ -545,15 +388,17 @@ impl Rept {
                     eta_v,
                 }
             })
-            .collect();
-        self.finalize_groups(aggregates)
+            .collect()
     }
 
     /// Assembles the final estimate from per-group aggregates (paper
-    /// Algorithm 1's and Algorithm 2's tail sections). Both engines end
-    /// here, which is what makes them bit-identical by construction: the
-    /// combination arithmetic runs on exactly the same integer sums.
-    pub(crate) fn finalize_groups(&self, mut groups: Vec<GroupAggregate>) -> ReptEstimate {
+    /// Algorithm 1's and Algorithm 2's tail sections). Every engine —
+    /// and every driver, batch or incremental — ends here, which is what
+    /// makes them bit-identical by construction: the combination
+    /// arithmetic runs on exactly the same integer sums. Public so
+    /// aggregates gathered elsewhere (e.g. from a distributed fleet of
+    /// [`EngineCore`]s) can be combined the same way.
+    pub fn finalize_groups(&self, mut groups: Vec<GroupAggregate>) -> ReptEstimate {
         groups.sort_by_key(|g| g.start);
         let m = self.cfg.m as f64;
         let c = self.cfg.c as f64;

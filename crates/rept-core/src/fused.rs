@@ -6,7 +6,7 @@
 //! `N_u ∩ N_v` intersection per stream edge, so a group of `size` workers
 //! performs `size` hash-probing passes over what is collectively **one**
 //! partitioned edge set. This module fuses those passes: a
-//! [`FusedGroup`] stores the group's sampled edges once in a
+//! `FusedGroup` stores the group's sampled edges once in a
 //! [`TaggedAdjacency`] (each neighbor entry tagged with its edge's
 //! partition cell) and recovers *every* worker's counters from a single
 //! common-neighbor pass — a common neighbor `w` of an arriving edge
@@ -37,8 +37,8 @@
 //! Group state is inherently sequential — edge `t`'s matching must see
 //! every stored edge `< t` — so the estimator's threaded driver used to
 //! parallelise over hash groups only, leaving `c ≤ m` layouts (one
-//! group) on a single thread. [`FusedGroup::match_batch`] /
-//! [`FusedGroup::apply_batch`] split each stream batch into
+//! group) on a single thread. `FusedGroup::match_batch` /
+//! `FusedGroup::apply_batch` split each stream batch into
 //!
 //! 1. a **parallel, read-only matching phase**: every edge's matches
 //!    against the *batch-start snapshot* of the adjacency are collected
@@ -47,7 +47,7 @@
 //! 2. a **sequential store phase**: edges are replayed in stream order,
 //!    folding the precomputed snapshot matches plus the matches through
 //!    edges stored *earlier in the same batch* (tracked in a small
-//!    [`DeltaAdjacency`]) into the counters, then storing owned edges.
+//!    `DeltaAdjacency`) into the counters, then storing owned edges.
 //!
 //! The intra-batch fix-up enumerates, for edge `(u, v)`, the delta
 //! neighbors of `u` against the full adjacency and the delta neighbors
@@ -59,6 +59,7 @@
 
 use rept_graph::cell_tagged::{CellTag, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
+use rept_graph::masked_tagged::MaskedSortedTaggedAdjacency;
 use rept_graph::multi_tagged::MultiSortedTaggedAdjacency;
 use rept_hash::fx::{table_bytes, FxHashMap, FxHashSet};
 
@@ -422,7 +423,7 @@ impl<A: TaggedAdjacency> FusedGroup<A> {
 /// [`MultiSortedTaggedAdjacency`] exploits: one structure walk per edge
 /// discovers the common neighbors for every group at once, and only the
 /// per-group tag comparisons and counter folds remain per group. The
-/// counters are maintained per group exactly as [`FusedGroup`] would,
+/// counters are maintained per group exactly as `FusedGroup` would,
 /// so the result is bit-identical to running the groups independently.
 #[derive(Debug, Clone)]
 pub(crate) struct FusedFullGroups {
@@ -534,6 +535,166 @@ impl FusedFullGroups {
             *owner = spec.hasher.cell(uu, vv) as CellTag;
         }
         self.adj.insert(e, &self.owners)
+    }
+}
+
+/// All full hash groups **and** the remainder group fused over one
+/// masked shared structure. The full groups store every stream edge,
+/// so the union set is theirs; the remainder group's sampled edges are
+/// the subset whose remainder-hash cell is owned (`cell < c₂`), marked
+/// by the masked tag column of [`MaskedSortedTaggedAdjacency`]. One
+/// structure walk per arriving edge yields every group's matches —
+/// including the remainder's, which previously paid a second walk over
+/// its own adjacency. Counters are maintained per group exactly as
+/// `FusedGroup` would, so the result is bit-identical to running the
+/// full groups shared and the remainder independently.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedMaskedGroups {
+    /// The full groups' specs, in layout order.
+    pub(crate) full_specs: Vec<GroupSpec>,
+    /// The remainder group's spec (`size < m`).
+    pub(crate) rem_spec: GroupSpec,
+    pub(crate) adj: MaskedSortedTaggedAdjacency,
+    /// Per-group counters: full groups first, remainder **last** —
+    /// matching the masked structure's group indexing, where group
+    /// `full_specs.len()` is the masked group.
+    pub(crate) counters: Vec<GroupCounters>,
+    /// Per-edge scratch: each full group's owner cell …
+    full_owners: Vec<CellTag>,
+    /// … and each group's `|N⁽ᵒʷⁿᵉʳ⁾_{u,v}|` for η initialisation
+    /// (remainder last).
+    closed: Vec<u64>,
+}
+
+impl FusedMaskedGroups {
+    /// Creates the shared state for the given full groups plus the
+    /// remainder group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_specs` is empty, a full group does not own all
+    /// `m` cells, or the remainder group does (a full remainder is a
+    /// full group and belongs in `full_specs`).
+    pub(crate) fn new(full_specs: &[GroupSpec], rem_spec: GroupSpec, cfg: &ReptConfig) -> Self {
+        assert!(!full_specs.is_empty(), "masked sharing needs a full group");
+        for g in full_specs {
+            assert_eq!(
+                g.size as u64,
+                g.hasher.cells(),
+                "shared full-group state requires every cell to be owned"
+            );
+        }
+        assert!(
+            (rem_spec.size as u64) < rem_spec.hasher.cells(),
+            "a remainder group must leave cells unowned"
+        );
+        let n = full_specs.len();
+        Self {
+            adj: MaskedSortedTaggedAdjacency::new(n),
+            counters: full_specs
+                .iter()
+                .chain(std::iter::once(&rem_spec))
+                .map(|g| GroupCounters::new(g.size, cfg))
+                .collect(),
+            full_owners: vec![0; n],
+            closed: vec![0; n + 1],
+            full_specs: full_specs.to_vec(),
+            rem_spec,
+        }
+    }
+
+    /// Processes one stream edge for every group in a single structural
+    /// matching pass. The edge always enters the union set (each full
+    /// group owns every cell) unless it is a duplicate; its masked tag
+    /// is set iff the remainder group owns its remainder cell.
+    #[inline]
+    pub(crate) fn process(&mut self, e: Edge) {
+        let (u, v) = e.endpoints();
+        let (uu, vv) = e.as_u64_pair();
+        for (owner, spec) in self.full_owners.iter_mut().zip(&self.full_specs) {
+            *owner = spec.hasher.cell(uu, vv) as CellTag;
+        }
+        let rem_owner = self.rem_spec.hasher.cell(uu, vv);
+        let masked = ((rem_owner as usize) < self.rem_spec.size).then_some(rem_owner as CellTag);
+        self.closed.fill(0);
+        let n = self.full_specs.len();
+        let counters = &mut self.counters;
+        let closed = &mut self.closed;
+        let owners = &self.full_owners;
+        let stored = self
+            .adj
+            .match_then_insert(e, Some((owners, masked)), |g, w, cell| {
+                let owner = if g < n {
+                    u64::from(owners[g])
+                } else {
+                    rem_owner
+                };
+                counters[g].fold_match(u, v, w, cell, owner, &mut closed[g]);
+            });
+        if stored {
+            for g in 0..n {
+                self.counters[g].record_store(e, self.full_owners[g] as usize, self.closed[g]);
+            }
+            if masked.is_some() {
+                self.counters[n].record_store(e, rem_owner as usize, self.closed[n]);
+            }
+        }
+    }
+
+    /// Batch-boundary compaction (see [`FusedGroup::compact`]).
+    #[inline]
+    pub(crate) fn compact(&mut self) {
+        self.adj.compact();
+    }
+
+    /// Every spec in counter order (full groups, then the remainder).
+    fn specs(&self) -> impl Iterator<Item = &GroupSpec> {
+        self.full_specs
+            .iter()
+            .chain(std::iter::once(&self.rem_spec))
+    }
+
+    /// Finishes all groups. The shared structure's bytes are split
+    /// evenly across the groups so layout-wide totals stay meaningful.
+    pub(crate) fn into_aggregates(self) -> Vec<GroupAggregate> {
+        let shared_bytes = self.adj.approx_bytes() / self.counters.len();
+        let starts: Vec<usize> = self.specs().map(|s| s.start).collect();
+        starts
+            .into_iter()
+            .zip(self.counters)
+            .map(|(start, counters)| {
+                let mut agg = counters.into_aggregate(start);
+                agg.bytes += shared_bytes;
+                agg
+            })
+            .collect()
+    }
+
+    /// Non-consuming version of [`Self::into_aggregates`] — anytime
+    /// estimates for the incremental driver.
+    pub(crate) fn snapshot_aggregates(&self) -> Vec<GroupAggregate> {
+        let shared_bytes = self.adj.approx_bytes() / self.counters.len();
+        self.specs()
+            .zip(&self.counters)
+            .map(|(spec, counters)| {
+                let mut agg = counters.clone().into_aggregate(spec.start);
+                agg.bytes += shared_bytes;
+                agg
+            })
+            .collect()
+    }
+
+    /// Restores one union-set edge during checkpoint decode: recomputes
+    /// every group's tag (masked tag included) from the hashers and
+    /// inserts **without counting**. Returns `false` on a duplicate.
+    pub(crate) fn insert_restored(&mut self, e: Edge) -> bool {
+        let (uu, vv) = e.as_u64_pair();
+        for (owner, spec) in self.full_owners.iter_mut().zip(&self.full_specs) {
+            *owner = spec.hasher.cell(uu, vv) as CellTag;
+        }
+        let rem_owner = self.rem_spec.hasher.cell(uu, vv);
+        let masked = ((rem_owner as usize) < self.rem_spec.size).then_some(rem_owner as CellTag);
+        self.adj.insert(e, &self.full_owners, masked)
     }
 }
 
@@ -663,6 +824,63 @@ mod tests {
                     assert_eq!(se.per_node, qe.per_node);
                     assert_eq!(se.per_edge, qe.per_edge);
                     assert_eq!(split.adj.edge_count(), sequential.adj.edge_count());
+                }
+            }
+        }
+    }
+
+    /// The masked fusion equals the previous layout — shared full
+    /// groups plus an independent remainder group — counter for
+    /// counter, on duplicate-edge streams, both η modes.
+    #[test]
+    fn masked_groups_equal_full_groups_plus_independent_remainder() {
+        let mut stream = barabasi_albert(&GeneratorConfig::new(200, 5), 4);
+        let dup: Vec<Edge> = stream[20..60].to_vec();
+        stream.splice(90..90, dup);
+        for (m, c) in [(4u64, 9u64), (4, 11), (3, 4), (5, 23)] {
+            for mode in [EtaMode::PaperInit, EtaMode::StrictNonLast] {
+                let cfg = ReptConfig::new(m, c)
+                    .with_seed(7)
+                    .with_eta(true)
+                    .with_eta_mode(mode);
+                let rept = Rept::new(cfg);
+                let (full, rem): (Vec<GroupSpec>, Vec<GroupSpec>) = rept
+                    .groups()
+                    .iter()
+                    .copied()
+                    .partition(|g| g.size as u64 == m);
+                assert_eq!(rem.len(), 1, "layouts chosen to have a remainder");
+
+                let mut masked = FusedMaskedGroups::new(&full, rem[0], &cfg);
+                let mut shared = FusedFullGroups::new(&full, &cfg);
+                let mut independent = FusedGroup::<SortedTaggedAdjacency>::new(rem[0], &cfg);
+                for (i, &e) in stream.iter().enumerate() {
+                    masked.process(e);
+                    shared.process(e);
+                    independent.process(e);
+                    if i % 173 == 0 {
+                        masked.compact();
+                        shared.compact();
+                        independent.compact();
+                    }
+                }
+                assert_eq!(masked.adj.edge_count(), shared.adj.edge_count());
+                assert_eq!(
+                    masked.adj.masked_edge_count(),
+                    independent.adj.edge_count(),
+                    "m={m} c={c}"
+                );
+                let got = masked.into_aggregates();
+                let mut want = shared.into_aggregates();
+                want.push(independent.into_aggregate());
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.start, w.start, "m={m} c={c}");
+                    assert_eq!(g.tau, w.tau, "τ start={} m={m} c={c}", g.start);
+                    assert_eq!(g.stored, w.stored, "stored start={}", g.start);
+                    assert_eq!(g.eta_total, w.eta_total, "η start={} {mode:?}", g.start);
+                    assert_eq!(g.tau_v, w.tau_v, "τ_v start={}", g.start);
+                    assert_eq!(g.eta_v, w.eta_v, "η_v start={}", g.start);
                 }
             }
         }

@@ -16,8 +16,15 @@
 //! * [`estimator`] — [`Rept`]: Algorithm 1 (`c ≤ m`) and
 //!   Algorithm 2 (`c > m`, grouped hashes + Graybill–Deal combination),
 //!   sequential and threaded drivers.
-//! * [`fused`] — the fused group execution engine backing
-//!   [`Rept::run_fused`] / [`Rept::run_fused_threaded`].
+//! * [`engine`] — [`EngineCore`], the **unified incremental execution
+//!   core**: one `ingest → compact → snapshot/finalize` state machine
+//!   behind every driver. Batch execution is "ingest everything, then
+//!   finalize"; the resumable and serving layers feed the same core
+//!   batch by batch, so all execution paths are bit-identical by
+//!   construction.
+//! * [`fused`] — the fused group execution machinery the core drives:
+//!   per-group state, the shared full-group structure, and the masked
+//!   full+remainder structure.
 //!
 //! ## Three execution engines
 //!
@@ -48,11 +55,12 @@
 //! * [`cluster`] — a message-passing simulated cluster (the paper's
 //!   "future work: distributed platforms" extension) with per-machine
 //!   memory accounting.
-//! * [`resume`] — the push-style incremental driver
-//!   ([`resume::ResumableRun`]), engine-aware: it drives any [`Engine`]
-//!   batch by batch and checkpoints/restores the complete state (RPCK
-//!   v2), so fused-engine deployments resume bit-identically. The
-//!   `rept-serve` crate builds its serving subsystem on it.
+//! * [`resume`] — [`resume::ResumableRun`], a thin checkpoint/restore
+//!   adapter over [`EngineCore`]: serialises the complete state (RPCK
+//!   v3 — shared edge sets stored once, masked remainder section; v1
+//!   and v2 blobs still restore), so any engine's deployment resumes
+//!   bit-identically. The `rept-serve` crate builds its serving
+//!   subsystem on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +68,7 @@
 pub mod cluster;
 pub mod combine;
 pub mod config;
+pub mod engine;
 pub mod estimate;
 pub mod estimator;
 pub mod fused;
@@ -70,5 +79,6 @@ pub mod variance;
 pub mod worker;
 
 pub use config::{EtaMode, ReptConfig};
+pub use engine::{CoreOptions, EngineCore};
 pub use estimate::ReptEstimate;
-pub use estimator::{Engine, Rept};
+pub use estimator::{Engine, GroupAggregate, Rept};

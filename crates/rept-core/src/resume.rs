@@ -1,38 +1,42 @@
-//! Incremental driving and engine-aware checkpoint/resume.
+//! Resumable runs: a thin checkpoint/restore adapter over the unified
+//! execution core.
 //!
 //! The batch drivers ([`Rept::run_sequential`] etc.) consume a whole
-//! stream; an operational deployment (the paper's router scenario) instead
-//! receives edges *as they arrive* and must survive restarts. This module
-//! provides both:
+//! stream; an operational deployment (the paper's router scenario)
+//! instead receives edges *as they arrive* and must survive restarts.
+//! [`ResumableRun`] wraps an [`EngineCore`] — the same core every batch
+//! driver runs — and adds exactly one concern: serialising the complete
+//! estimator state to a self-describing binary blob and restoring it.
 //!
-//! * [`ResumableRun`] — push-style driver: `process(edge)` /
-//!   [`ResumableRun::process_batch`] as edges arrive,
-//!   [`ResumableRun::estimate`] whenever an estimate is needed (anytime,
-//!   non-consuming), [`ResumableRun::finalize`] at end of stream. The
-//!   driver is **engine-aware**: it runs any [`Engine`] — the per-worker
-//!   reference, or either fused layout, incrementally in batches with
-//!   batch-boundary compaction, exactly like the whole-stream fused
-//!   drivers — and all engines stay bit-identical to
-//!   [`Rept::run_sequential`].
-//! * checkpointing — [`ResumableRun::checkpoint_bytes`] serialises the
-//!   entire estimator state (sampled adjacencies and all counters) into a
-//!   self-describing binary blob; [`ResumableRun::from_checkpoint_bytes`]
-//!   reconstructs it, [`ResumableRun::checkpoint_to_file`] /
-//!   [`ResumableRun::from_checkpoint_file`] add crash-safe (write-then-
-//!   rename) persistence. Resuming from a checkpoint and processing the
-//!   remaining edges is **bit-identical** to an uninterrupted run — the
-//!   property the tests pin down for every engine.
+//! * Push-style driving is the core's own API surfaced:
+//!   [`ResumableRun::process`] / [`ResumableRun::process_batch`] as
+//!   edges arrive, [`ResumableRun::estimate`] whenever an estimate is
+//!   needed (anytime, non-consuming), [`ResumableRun::finalize`] at end
+//!   of stream. Results are independent of how the stream is split into
+//!   batches, which is what makes checkpoint/resume at any batch
+//!   boundary **bit-identical** to an uninterrupted run — the property
+//!   the tests pin down for every engine.
+//! * Checkpointing — [`ResumableRun::checkpoint_bytes`] /
+//!   [`ResumableRun::from_checkpoint_bytes`], with
+//!   [`ResumableRun::checkpoint_to_file`] /
+//!   [`ResumableRun::from_checkpoint_file`] adding crash-safe
+//!   (write-then-rename) persistence.
 //!
-//! The format is hand-rolled little-endian (no serde-format dependency):
-//! magic, version, config, engine, then per-worker or per-group sections.
-//! Version 2 (current) records the engine and, for fused engines, one
-//! section per hash group: the group's sampled edge set in canonical
-//! order (tags are not stored — a stored edge's tag is always
-//! `hasher.cell(e)`, so restore recomputes them) plus every counter.
-//! Version 1 blobs (which predate engine awareness) are still read and
-//! resume on the per-worker engine. It is a snapshot format, not an
-//! archival one — the version field guards against reading snapshots
-//! across incompatible releases.
+//! The format is hand-rolled little-endian (no serde-format
+//! dependency): magic, version, config, engine, position, then the
+//! engine-core state section. Version 3 (current) writes the sorted
+//! engine's shared structures the way the core holds them: one union
+//! edge-set section shared by all full hash groups (v2 repeated it per
+//! group) and a *masked remainder section* — the remainder group's
+//! counters plus its stored-edge count, the edges themselves being
+//! recomputable from the remainder hash over the union set. Tags are
+//! never stored anywhere: a stored edge's tag under any group is
+//! `hasher.cell(e)`, so restore recomputes them. Version 2 blobs
+//! (per-group fused sections) and version 1 blobs (per-worker only,
+//! predating engine awareness) are still read and restore into the
+//! current core layout. It is a snapshot format, not an archival one —
+//! the version field guards against reading snapshots across
+//! incompatible releases.
 
 use std::path::{Path, PathBuf};
 
@@ -41,16 +45,21 @@ use rept_graph::edge::{Edge, NodeId};
 use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 
 use crate::config::{EtaMode, ReptConfig};
+use crate::engine::{CoreState, EngineCore, SharedSorted};
 use crate::estimate::ReptEstimate;
 use crate::estimator::{Engine, GroupSpec, Rept};
-use crate::fused::{FusedEtaCounters, FusedFullGroups, FusedGroup, GroupCounters};
+use crate::fused::{
+    FusedEtaCounters, FusedFullGroups, FusedGroup, FusedMaskedGroups, GroupCounters,
+};
 use crate::worker::SemiTriangleWorker;
 
 /// Magic bytes of the checkpoint format.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RPCK";
-/// Current checkpoint format version. Version 2 added the engine byte and
-/// fused-group sections; version 1 (per-worker only) is still readable.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// Current checkpoint format version. Version 3 stores the sorted
+/// engine's shared full-group edge set once and the masked remainder
+/// section; versions 1 (per-worker only) and 2 (per-group fused
+/// sections) are still readable.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,37 +226,22 @@ fn engine_from_code(code: u8) -> Result<Engine, SnapshotError> {
     }
 }
 
-/// The engine-specific half of a [`ResumableRun`]: per-worker state for
-/// the reference engine, one [`FusedGroup`] per hash group for the fused
-/// engines.
-#[derive(Debug, Clone)]
-enum EngineState {
-    PerWorker {
-        workers: Vec<SemiTriangleWorker>,
-        /// (hasher, owned cell) per worker, rebuilt from the config.
-        assignments: Vec<(rept_hash::edge_hash::PartitionHasher, u64)>,
-    },
-    FusedHash(Vec<FusedGroup<CellTaggedAdjacency>>),
-    /// The sorted engine mirrors [`Rept`]'s whole-stream driver: when a
-    /// layout has ≥ 2 **full** hash groups (all of which store the
-    /// identical edge set), they share one [`FusedFullGroups`] structure
-    /// — storing the sampled set once instead of `⌊c/m⌋` times — while
-    /// any remainder group runs alongside in `rest`. Otherwise `shared`
-    /// is `None` and `rest` holds every group.
-    FusedSorted {
-        shared: Option<Box<FusedFullGroups>>,
-        rest: Vec<FusedGroup<SortedTaggedAdjacency>>,
-    },
+/// Stable on-disk codes of the v3 sorted-engine layout tag.
+mod layout_tag {
+    /// Independent per-group sections only.
+    pub const INDEPENDENT: u8 = 0;
+    /// Shared full groups (union edge set once), independent rest.
+    pub const SHARED_FULL: u8 = 1;
+    /// Shared full groups plus the masked remainder section.
+    pub const MASKED: u8 = 2;
 }
 
-/// A push-style REPT driver whose state can be checkpointed, generic over
-/// the execution [`Engine`].
+/// A push-style REPT driver whose state can be checkpointed — an
+/// [`EngineCore`] plus the RPCK codec. Generic over the execution
+/// [`Engine`].
 #[derive(Debug, Clone)]
 pub struct ResumableRun {
-    rept: Rept,
-    engine: Engine,
-    state: EngineState,
-    position: u64,
+    core: EngineCore,
 }
 
 impl ResumableRun {
@@ -259,185 +253,56 @@ impl ResumableRun {
 
     /// Starts a fresh run on the given engine.
     pub fn with_engine(rept: Rept, engine: Engine) -> Self {
-        let cfg = *rept.config();
-        let state = match engine {
-            Engine::PerWorker => EngineState::PerWorker {
-                workers: (0..cfg.c)
-                    .map(|_| {
-                        SemiTriangleWorker::new(cfg.track_locals, cfg.needs_eta(), cfg.eta_mode)
-                    })
-                    .collect(),
-                assignments: rept.processor_assignments(),
-            },
-            Engine::FusedHash => EngineState::FusedHash(Self::fresh_groups(&rept)),
-            Engine::FusedSorted => {
-                let (full, partial) = Self::split_specs(&rept);
-                if full.len() >= 2 {
-                    EngineState::FusedSorted {
-                        shared: Some(Box::new(FusedFullGroups::new(&full, &cfg))),
-                        rest: partial.iter().map(|g| FusedGroup::new(*g, &cfg)).collect(),
-                    }
-                } else {
-                    EngineState::FusedSorted {
-                        shared: None,
-                        rest: Self::fresh_groups(&rept),
-                    }
-                }
-            }
-        };
         Self {
-            rept,
-            engine,
-            state,
-            position: 0,
+            core: EngineCore::with_engine(rept, engine),
         }
-    }
-
-    fn fresh_groups<A: TaggedAdjacency>(rept: &Rept) -> Vec<FusedGroup<A>> {
-        let cfg = rept.config();
-        rept.groups()
-            .iter()
-            .map(|g| FusedGroup::new(*g, cfg))
-            .collect()
-    }
-
-    /// Splits the layout into its full groups (size = `m`) and the rest,
-    /// preserving [`Rept::groups`] order (full groups always precede any
-    /// remainder group).
-    fn split_specs(rept: &Rept) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
-        let m = rept.config().m;
-        rept.groups()
-            .iter()
-            .copied()
-            .partition(|g| g.size as u64 == m)
     }
 
     /// The engine driving this run.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.core.engine()
     }
 
     /// Processes one arriving edge on all processors.
     pub fn process(&mut self, e: Edge) {
-        self.position += 1;
-        match &mut self.state {
-            EngineState::PerWorker {
-                workers,
-                assignments,
-            } => {
-                let (u, v) = e.as_u64_pair();
-                for (w, (hasher, cell)) in workers.iter_mut().zip(assignments.iter()) {
-                    let closed = w.observe(e);
-                    if hasher.cell(u, v) == *cell {
-                        w.store(e, closed);
-                    }
-                }
-            }
-            EngineState::FusedHash(groups) => {
-                for g in groups.iter_mut() {
-                    g.process(e);
-                }
-            }
-            EngineState::FusedSorted { shared, rest } => {
-                if let Some(shared) = shared {
-                    shared.process(e);
-                }
-                for g in rest.iter_mut() {
-                    g.process(e);
-                }
-            }
-        }
+        self.core.ingest(e);
     }
 
-    /// Processes a batch of arriving edges — the incremental analogue of
-    /// the whole-stream fused drivers: fused engines run group-major
-    /// within the batch (one group's adjacency stays cache-hot while the
-    /// batch drains against it) and compact at the batch boundary, so
-    /// steady-state matching runs on fully sorted state. Results are
-    /// independent of how the stream is split into batches, which is what
-    /// makes checkpoint/resume at any batch boundary bit-identical.
+    /// Processes a batch of arriving edges — fused engines run
+    /// group-major within cache-resident sub-batches and compact at the
+    /// boundaries (see [`EngineCore::ingest_batch`]). Results are
+    /// independent of how the stream is split into batches, which is
+    /// what makes checkpoint/resume at any batch boundary bit-identical.
     pub fn process_batch(&mut self, batch: &[Edge]) {
-        match &mut self.state {
-            EngineState::PerWorker { .. } => {
-                for &e in batch {
-                    self.process(e);
-                }
-            }
-            EngineState::FusedHash(groups) => {
-                Self::drive_groups(groups, batch);
-                self.position += batch.len() as u64;
-            }
-            EngineState::FusedSorted { shared, rest } => {
-                if let Some(shared) = shared {
-                    for &e in batch {
-                        shared.process(e);
-                    }
-                    shared.compact();
-                }
-                Self::drive_groups(rest, batch);
-                self.position += batch.len() as u64;
-            }
-        }
-    }
-
-    fn drive_groups<A: TaggedAdjacency>(groups: &mut [FusedGroup<A>], batch: &[Edge]) {
-        for g in groups.iter_mut() {
-            for &e in batch {
-                g.process(e);
-            }
-            g.compact();
-        }
+        self.core.ingest_batch(batch);
     }
 
     /// Number of edges processed so far.
     pub fn position(&self) -> u64 {
-        self.position
+        self.core.position()
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ReptConfig {
-        self.rept.config()
+        self.core.config()
     }
 
     /// Produces the estimate for the stream seen so far (non-consuming —
-    /// all estimators here are anytime). Routed through the engine
-    /// selector: every engine funnels into the same per-group aggregate
-    /// combination, so the estimate is identical across engines.
+    /// all estimators here are anytime). Every engine funnels into the
+    /// same per-group aggregate combination, so the estimate is
+    /// identical across engines.
     pub fn estimate(&self) -> ReptEstimate {
-        match &self.state {
-            EngineState::PerWorker { workers, .. } => self.rept.finalize(workers.clone()),
-            EngineState::FusedHash(groups) => self
-                .rept
-                .finalize_groups(groups.iter().map(FusedGroup::snapshot_aggregate).collect()),
-            EngineState::FusedSorted { shared, rest } => {
-                let mut aggregates = shared
-                    .as_deref()
-                    .map(FusedFullGroups::snapshot_aggregates)
-                    .unwrap_or_default();
-                aggregates.extend(rest.iter().map(FusedGroup::snapshot_aggregate));
-                self.rept.finalize_groups(aggregates)
-            }
-        }
+        self.core.estimate()
     }
 
     /// Consumes the run and produces the final estimate.
     pub fn finalize(self) -> ReptEstimate {
-        match self.state {
-            EngineState::PerWorker { workers, .. } => self.rept.finalize(workers),
-            EngineState::FusedHash(groups) => self
-                .rept
-                .finalize_groups(groups.into_iter().map(FusedGroup::into_aggregate).collect()),
-            EngineState::FusedSorted { shared, rest } => {
-                let mut aggregates = shared.map(|s| s.into_aggregates()).unwrap_or_default();
-                aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
-                self.rept.finalize_groups(aggregates)
-            }
-        }
+        self.core.into_estimate()
     }
 
-    /// Serialises the complete state (format version 2).
+    /// Serialises the complete state (format version 3).
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
-        let cfg = self.rept.config();
+        let cfg = self.core.config();
         let mut out = Vec::new();
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
@@ -450,24 +315,30 @@ impl ResumableRun {
             EtaMode::PaperInit => 0,
             EtaMode::StrictNonLast => 1,
         });
-        out.push(engine_code(self.engine));
-        out.extend_from_slice(&self.position.to_le_bytes());
-        match &self.state {
-            EngineState::PerWorker { workers, .. } => {
+        out.push(engine_code(self.core.engine()));
+        out.extend_from_slice(&self.core.position().to_le_bytes());
+        match &self.core.state {
+            CoreState::PerWorker { workers } => {
                 for w in workers {
                     w.write_snapshot(&mut out);
                 }
             }
-            EngineState::FusedHash(groups) => write_fused_groups(groups, &mut out),
-            EngineState::FusedSorted { shared, rest } => {
-                write_sorted_state(shared.as_deref(), rest, &mut out)
+            CoreState::FusedHash(groups) => {
+                out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
+                for g in groups {
+                    write_group_section(&mut out, &sorted_group_edges(g), &g.counters);
+                }
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                write_sorted_state_v3(shared.as_ref(), rest, &mut out)
             }
         }
         out
     }
 
     /// Reconstructs a run from [`Self::checkpoint_bytes`] output (or a
-    /// legacy version-1 blob, which resumes on the per-worker engine).
+    /// legacy version-1 / version-2 blob; version 1 resumes on the
+    /// per-worker engine, as those blobs predate engine awareness).
     ///
     /// # Errors
     ///
@@ -478,7 +349,7 @@ impl ResumableRun {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u32()?;
-        if version != 1 && version != CHECKPOINT_VERSION {
+        if !(1..=CHECKPOINT_VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion(version));
         }
         let m = r.u64()?;
@@ -521,29 +392,23 @@ impl ResumableRun {
                         cfg.eta_mode,
                     )?);
                 }
-                let assignments = rept.processor_assignments();
-                EngineState::PerWorker {
-                    workers,
-                    assignments,
-                }
+                CoreState::PerWorker { workers }
             }
-            Engine::FusedHash => EngineState::FusedHash(read_fused_groups(&mut r, &rept)?),
+            Engine::FusedHash => CoreState::FusedHash(read_fused_groups(&mut r, &rept)?),
             Engine::FusedSorted => {
-                let (shared, rest) = read_sorted_state(&mut r, &rept)?;
-                EngineState::FusedSorted {
-                    shared: shared.map(Box::new),
-                    rest,
-                }
+                let decoded = if version == 2 {
+                    read_sorted_sections_v2(&mut r, &rept)?
+                } else {
+                    read_sorted_sections_v3(&mut r, &rept)?
+                };
+                build_sorted_state(&rept, decoded)?
             }
         };
         if !r.done() {
             return Err(SnapshotError::Invalid("trailing bytes"));
         }
         Ok(Self {
-            rept,
-            engine,
-            state,
-            position,
+            core: EngineCore::from_parts(rept, engine, state, position),
         })
     }
 
@@ -586,53 +451,27 @@ impl ResumableRun {
     }
 }
 
-// ---- fused group snapshot plumbing ---------------------------------------
+// ---- section plumbing -----------------------------------------------------
 
-/// Serialises fused groups: group count, then per group the sampled edge
-/// set (canonical order; tags recomputed on restore) and every counter.
-fn write_fused_groups<A: TaggedAdjacency>(groups: &[FusedGroup<A>], out: &mut Vec<u8>) {
-    out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
-    for g in groups {
-        let mut edges: Vec<Edge> = Vec::with_capacity(g.adj.edge_count());
-        g.adj.for_each_edge(|e, _| edges.push(e));
-        edges.sort_unstable();
-        write_group_section(out, &edges, &g.counters);
-    }
+/// One independent fused group's edges in canonical order.
+fn sorted_group_edges<A: TaggedAdjacency>(g: &FusedGroup<A>) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = Vec::with_capacity(g.adj.edge_count());
+    g.adj.for_each_edge(|e, _| edges.push(e));
+    edges.sort_unstable();
+    edges
 }
 
-/// Serialises the sorted engine's state. The shared full-group structure
-/// is written as one ordinary section per full group — the shared edge
-/// set repeated next to each group's counters — so the on-disk format is
-/// identical whether or not the writer used the shared representation.
-fn write_sorted_state(
-    shared: Option<&FusedFullGroups>,
-    rest: &[FusedGroup<SortedTaggedAdjacency>],
-    out: &mut Vec<u8>,
-) {
-    let shared_groups = shared.map_or(0, |s| s.specs.len());
-    out.extend_from_slice(&((shared_groups + rest.len()) as u64).to_le_bytes());
-    if let Some(shared) = shared {
-        let mut edges: Vec<Edge> = shared.adj.edges().collect();
-        edges.sort_unstable();
-        for counters in &shared.counters {
-            write_group_section(out, &edges, counters);
-        }
-    }
-    for g in rest {
-        let mut edges: Vec<Edge> = Vec::with_capacity(g.adj.edge_count());
-        g.adj.for_each_edge(|e, _| edges.push(e));
-        edges.sort_unstable();
-        write_group_section(out, &edges, &g.counters);
-    }
-}
-
-/// Writes one group section: edge list then every counter.
-fn write_group_section(out: &mut Vec<u8>, edges: &[Edge], counters: &GroupCounters) {
+/// Writes one edge list: count, then `(u, v)` pairs.
+fn write_edge_list(out: &mut Vec<u8>, edges: &[Edge]) {
     out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
     for e in edges {
         out.extend_from_slice(&e.u().to_le_bytes());
         out.extend_from_slice(&e.v().to_le_bytes());
     }
+}
+
+/// Writes one group's counter block (everything but the edge list).
+fn write_counter_block(out: &mut Vec<u8>, counters: &GroupCounters) {
     for &t in &counters.tau {
         out.extend_from_slice(&t.to_le_bytes());
     }
@@ -651,6 +490,59 @@ fn write_group_section(out: &mut Vec<u8>, edges: &[Edge], counters: &GroupCounte
             write_opt_node_map(out, None);
             write_opt_edge_map(out, None);
         }
+    }
+}
+
+/// Writes one independent group section: edge list then counter block.
+fn write_group_section(out: &mut Vec<u8>, edges: &[Edge], counters: &GroupCounters) {
+    write_edge_list(out, edges);
+    write_counter_block(out, counters);
+}
+
+/// Serialises the sorted engine's state the way the core holds it
+/// (format version 3): the shared structures' union edge set is written
+/// **once**, followed by one counter block per sharing group; the
+/// masked remainder contributes its counter block plus its stored-edge
+/// count (the edges themselves are the subset of the union the
+/// remainder hash owns — recomputed on restore).
+fn write_sorted_state_v3(
+    shared: Option<&SharedSorted>,
+    rest: &[FusedGroup<SortedTaggedAdjacency>],
+    out: &mut Vec<u8>,
+) {
+    match shared {
+        None => {
+            out.push(layout_tag::INDEPENDENT);
+            out.extend_from_slice(&(rest.len() as u64).to_le_bytes());
+        }
+        Some(SharedSorted::Full(s)) => {
+            out.push(layout_tag::SHARED_FULL);
+            out.extend_from_slice(&(s.specs.len() as u64).to_le_bytes());
+            let mut union: Vec<Edge> = s.adj.edges().collect();
+            union.sort_unstable();
+            write_edge_list(out, &union);
+            for counters in &s.counters {
+                write_counter_block(out, counters);
+            }
+            out.extend_from_slice(&(rest.len() as u64).to_le_bytes());
+        }
+        Some(SharedSorted::Masked(s)) => {
+            out.push(layout_tag::MASKED);
+            out.extend_from_slice(&(s.full_specs.len() as u64).to_le_bytes());
+            let mut union: Vec<Edge> = s.adj.edges().collect();
+            union.sort_unstable();
+            write_edge_list(out, &union);
+            let (full_counters, rem_counters) = s.counters.split_at(s.full_specs.len());
+            for counters in full_counters {
+                write_counter_block(out, counters);
+            }
+            out.extend_from_slice(&(s.adj.masked_edge_count() as u64).to_le_bytes());
+            write_counter_block(out, &rem_counters[0]);
+            out.extend_from_slice(&(rest.len() as u64).to_le_bytes());
+        }
+    }
+    for g in rest {
+        write_group_section(out, &sorted_group_edges(g), &g.counters);
     }
 }
 
@@ -712,32 +604,43 @@ fn read_group_counters(
     Ok(counters)
 }
 
-/// Reads one independent fused group: rebuilds the adjacency by
-/// re-inserting its edges (tag = `hasher.cell(e)`, the invariant the
-/// engine maintains) and restores the counters.
-fn read_one_group<A: TaggedAdjacency>(
-    r: &mut Reader<'_>,
+/// Rebuilds one independent fused group from a decoded section:
+/// re-inserts its edges (tag = `hasher.cell(e)`, the invariant the
+/// engine maintains) and installs the counters.
+fn group_from_section<A: TaggedAdjacency>(
     cfg: &ReptConfig,
     spec: GroupSpec,
+    edges: &[Edge],
+    counters: GroupCounters,
 ) -> Result<FusedGroup<A>, SnapshotError> {
-    let edges = read_group_edges(r, &spec)?;
     let mut g = FusedGroup::<A>::new(spec, cfg);
-    for &e in &edges {
+    for &e in edges {
         let (uu, vv) = e.as_u64_pair();
         if !g.adj.insert(e, spec.hasher.cell(uu, vv) as CellTag) {
             return Err(SnapshotError::Invalid("duplicate edge in group"));
         }
     }
     g.adj.compact();
-    g.counters = read_group_counters(r, cfg, spec.size, edges.len())?;
+    g.counters = counters;
     Ok(g)
 }
 
-/// Counterpart of [`write_fused_groups`].
-fn read_fused_groups<A: TaggedAdjacency>(
+/// Reads one independent fused group (edge list + counter block).
+fn read_one_group<A: TaggedAdjacency>(
+    r: &mut Reader<'_>,
+    cfg: &ReptConfig,
+    spec: GroupSpec,
+) -> Result<FusedGroup<A>, SnapshotError> {
+    let edges = read_group_edges(r, &spec)?;
+    let counters = read_group_counters(r, cfg, spec.size, edges.len())?;
+    group_from_section(cfg, spec, &edges, counters)
+}
+
+/// Counterpart of the fused-hash section list (identical in v2 and v3).
+fn read_fused_groups(
     r: &mut Reader<'_>,
     rept: &Rept,
-) -> Result<Vec<FusedGroup<A>>, SnapshotError> {
+) -> Result<Vec<FusedGroup<CellTaggedAdjacency>>, SnapshotError> {
     let cfg = *rept.config();
     let n = r.u64()? as usize;
     if n != rept.groups().len() {
@@ -750,67 +653,316 @@ fn read_fused_groups<A: TaggedAdjacency>(
         .collect()
 }
 
-/// Counterpart of [`write_sorted_state`]: when the layout has ≥ 2 full
-/// groups, their sections (always first — [`Rept::groups`] orders full
-/// groups before the remainder) are folded into one shared
-/// [`FusedFullGroups`]; any remainder group reads as an independent
-/// [`FusedGroup`].
-fn read_sorted_state(
+/// The remainder group's decoded section, when the layout has one.
+enum RemainderSection {
+    /// v1/v2 blobs record the remainder's stored edges explicitly.
+    Edges(Vec<Edge>, GroupCounters),
+    /// v3 blobs record only the count — the edges are the subset of the
+    /// union set the remainder hash owns, recomputed on restore.
+    Counted(u64, GroupCounters),
+}
+
+/// The sorted engine's decoded state sections, normalised across format
+/// versions; [`build_sorted_state`] turns this into the core layout.
+struct SortedDecoded {
+    /// The full groups' shared edge set (empty when the layout has no
+    /// shareable full groups).
+    union: Vec<Edge>,
+    /// One counter block per full group, in layout order.
+    full_counters: Vec<GroupCounters>,
+    /// The remainder group's section, when full groups exist to share
+    /// its structure with.
+    rem: Option<RemainderSection>,
+    /// Independent group sections (everything the sharing cannot cover),
+    /// with their specs, in layout order.
+    rest: Vec<(GroupSpec, Vec<Edge>, GroupCounters)>,
+}
+
+/// Splits the layout into its full groups (size = `m`) and the rest —
+/// the same classification the core's construction uses
+/// ([`crate::engine::split_full_partial`]), so restore and fresh
+/// construction can never disagree about a layout.
+fn split_specs(rept: &Rept) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
+    crate::engine::split_full_partial(rept.config().m, rept.groups())
+}
+
+/// Reads a version-2 sorted section list: one section per group in
+/// layout order, full groups carrying identical (repeated) edge sets.
+fn read_sorted_sections_v2(
     r: &mut Reader<'_>,
     rept: &Rept,
-) -> Result<
-    (
-        Option<FusedFullGroups>,
-        Vec<FusedGroup<SortedTaggedAdjacency>>,
-    ),
-    SnapshotError,
-> {
+) -> Result<SortedDecoded, SnapshotError> {
     let cfg = *rept.config();
     let n = r.u64()? as usize;
     if n != rept.groups().len() {
         return Err(SnapshotError::Invalid("group count/config mismatch"));
     }
-    let (full, partial): (Vec<GroupSpec>, Vec<GroupSpec>) = rept
-        .groups()
-        .iter()
-        .copied()
-        .partition(|g| g.size as u64 == cfg.m);
-    if full.len() < 2 {
+    let (full, partial) = split_specs(rept);
+    // Sharing applies exactly when the current core would share — the
+    // one layout rule, consulted through `engine::sorted_layout`.
+    if crate::engine::sorted_layout(full.len(), partial.len(), true)
+        == crate::engine::SortedLayout::Independent
+    {
         let rest = rept
             .groups()
-            .to_vec()
-            .into_iter()
-            .map(|spec| read_one_group(r, &cfg, spec))
+            .iter()
+            .map(|spec| {
+                let edges = read_group_edges(r, spec)?;
+                let counters = read_group_counters(r, &cfg, spec.size, edges.len())?;
+                Ok((*spec, edges, counters))
+            })
             .collect::<Result<_, _>>()?;
-        return Ok((None, rest));
+        return Ok(SortedDecoded {
+            union: Vec::new(),
+            full_counters: Vec::new(),
+            rem: None,
+            rest,
+        });
     }
-    let mut shared = FusedFullGroups::new(&full, &cfg);
+    let mut union: Vec<Edge> = Vec::new();
+    let mut full_counters = Vec::with_capacity(full.len());
     for (gi, spec) in full.iter().enumerate() {
         let edges = read_group_edges(r, spec)?;
         if gi == 0 {
-            for &e in &edges {
-                if !shared.insert_restored(e) {
-                    return Err(SnapshotError::Invalid("duplicate edge in group"));
-                }
-            }
-            shared.compact();
-        } else if edges.len() != shared.adj.edge_count()
-            || edges.iter().any(|&e| !shared.adj.contains(e))
-        {
+            union = edges;
+            // Canonical order lets the repeated sets compare as slices.
+            union.sort_unstable();
+        } else {
+            let mut edges = edges;
+            edges.sort_unstable();
             // Every full group stores every stream edge, so all full
             // groups hold the identical edge set; a blob violating that
             // cannot have come from any real run.
-            return Err(SnapshotError::Invalid(
-                "full groups must share one edge set",
-            ));
+            if edges != union {
+                return Err(SnapshotError::Invalid(
+                    "full groups must share one edge set",
+                ));
+            }
         }
-        shared.counters[gi] = read_group_counters(r, &cfg, spec.size, edges.len())?;
+        full_counters.push(read_group_counters(r, &cfg, spec.size, union.len())?);
     }
-    let rest = partial
+    let rem = match partial.first() {
+        Some(spec) => {
+            let edges = read_group_edges(r, spec)?;
+            let counters = read_group_counters(r, &cfg, spec.size, edges.len())?;
+            Some(RemainderSection::Edges(edges, counters))
+        }
+        None => None,
+    };
+    Ok(SortedDecoded {
+        union,
+        full_counters,
+        rem,
+        rest: Vec::new(),
+    })
+}
+
+/// Reads a version-3 sorted section list (see
+/// [`write_sorted_state_v3`]).
+fn read_sorted_sections_v3(
+    r: &mut Reader<'_>,
+    rept: &Rept,
+) -> Result<SortedDecoded, SnapshotError> {
+    let cfg = *rept.config();
+    let (full, partial) = split_specs(rept);
+    let tag = r.u8()?;
+    let mut decoded = SortedDecoded {
+        union: Vec::new(),
+        full_counters: Vec::new(),
+        rem: None,
+        rest: Vec::new(),
+    };
+    let rest_specs: Vec<GroupSpec> = match tag {
+        layout_tag::INDEPENDENT => {
+            let n = r.u64()? as usize;
+            if n != rept.groups().len() {
+                return Err(SnapshotError::Invalid("group count/config mismatch"));
+            }
+            rept.groups().to_vec()
+        }
+        layout_tag::SHARED_FULL | layout_tag::MASKED => {
+            let full_count = r.u64()? as usize;
+            if full_count != full.len() || full.is_empty() {
+                return Err(SnapshotError::Invalid("full group count/config mismatch"));
+            }
+            decoded.union = read_group_edges(r, &full[0])?;
+            for spec in &full {
+                decoded.full_counters.push(read_group_counters(
+                    r,
+                    &cfg,
+                    spec.size,
+                    decoded.union.len(),
+                )?);
+            }
+            if tag == layout_tag::MASKED {
+                let Some(rem_spec) = partial.first() else {
+                    return Err(SnapshotError::Invalid("masked section without remainder"));
+                };
+                let masked_count = r.u64()?;
+                let counters = read_group_counters(r, &cfg, rem_spec.size, masked_count as usize)?;
+                decoded.rem = Some(RemainderSection::Counted(masked_count, counters));
+                let rest_count = r.u64()? as usize;
+                if rest_count != 0 {
+                    return Err(SnapshotError::Invalid("masked layout leaves no rest"));
+                }
+                Vec::new()
+            } else {
+                let rest_count = r.u64()? as usize;
+                if rest_count != partial.len() {
+                    return Err(SnapshotError::Invalid("rest count/config mismatch"));
+                }
+                partial.clone()
+            }
+        }
+        _ => return Err(SnapshotError::Invalid("sorted layout tag")),
+    };
+    for spec in rest_specs {
+        let edges = read_group_edges(r, &spec)?;
+        let counters = read_group_counters(r, &cfg, spec.size, edges.len())?;
+        decoded.rest.push((spec, edges, counters));
+    }
+    Ok(decoded)
+}
+
+/// Turns decoded sorted sections into the core's state, picking the
+/// same sharing [`EngineCore`] construction picks — so a resumed run is
+/// the same state a fresh run fed the same edges would hold, whatever
+/// format version (or sharing level) the blob was written under.
+fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, SnapshotError> {
+    let cfg = *rept.config();
+    let (full, partial) = split_specs(rept);
+    let SortedDecoded {
+        union,
+        full_counters,
+        mut rem,
+        mut rest,
+    } = decoded;
+    let mut union = union;
+    let mut full_counters = full_counters;
+
+    // Normalise: a v2/v3 blob written without sharing (or with the
+    // remainder kept independent) still restores into the shared layout
+    // when the configuration admits one.
+    if !partial.is_empty() && !full.is_empty() && rem.is_none() {
+        // The remainder section is the last independent one.
+        if let Some(pos) = rest
+            .iter()
+            .position(|(spec, _, _)| (spec.size as u64) < cfg.m)
+        {
+            let (_, edges, counters) = rest.remove(pos);
+            rem = Some(RemainderSection::Edges(edges, counters));
+        }
+    }
+    if full_counters.is_empty() && !full.is_empty() && (rem.is_some() || full.len() >= 2) {
+        // Lift independent full-group sections into the shared form.
+        let mut lifted_union: Option<Vec<Edge>> = None;
+        let mut lifted = Vec::new();
+        let mut kept = Vec::new();
+        for (spec, mut edges, counters) in rest {
+            if spec.size as u64 == cfg.m {
+                edges.sort_unstable();
+                match &lifted_union {
+                    None => lifted_union = Some(edges),
+                    Some(u) if *u == edges => {}
+                    Some(_) => {
+                        return Err(SnapshotError::Invalid(
+                            "full groups must share one edge set",
+                        ))
+                    }
+                }
+                lifted.push(counters);
+            } else {
+                kept.push((spec, edges, counters));
+            }
+        }
+        union = lifted_union.unwrap_or_default();
+        full_counters = lifted;
+        rest = kept;
+    }
+
+    if let Some(rem_section) = rem {
+        // Masked layout: full groups + remainder over one structure.
+        if full_counters.len() != full.len() || partial.len() != 1 {
+            return Err(SnapshotError::Invalid("masked layout/config mismatch"));
+        }
+        if !rest.is_empty() {
+            return Err(SnapshotError::Invalid("masked layout leaves no rest"));
+        }
+        let mut shared = FusedMaskedGroups::new(&full, partial[0], &cfg);
+        for &e in &union {
+            if !shared.insert_restored(e) {
+                return Err(SnapshotError::Invalid("duplicate edge in group"));
+            }
+        }
+        shared.compact();
+        let (expected_count, rem_counters) = match rem_section {
+            RemainderSection::Counted(count, counters) => (count as usize, counters),
+            RemainderSection::Edges(edges, counters) => {
+                // The recomputed masked subset must be exactly the edges
+                // the blob recorded as remainder-stored: every listed
+                // edge distinct (a duplicate plus the count check below
+                // could otherwise mask an omitted edge) and inside the
+                // subset; distinct ⊆ + equal counts ⇒ set equality.
+                let mut sorted = edges.clone();
+                sorted.sort_unstable();
+                if sorted.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(SnapshotError::Invalid("duplicate edge in group"));
+                }
+                for e in &edges {
+                    let masked = shared.adj.tags_of(*e).and_then(|(_, m)| m);
+                    if masked.is_none() {
+                        return Err(SnapshotError::Invalid(
+                            "remainder edge outside the masked subset",
+                        ));
+                    }
+                }
+                (edges.len(), counters)
+            }
+        };
+        if shared.adj.masked_edge_count() != expected_count {
+            return Err(SnapshotError::Invalid("masked edge count mismatch"));
+        }
+        let mut counters = full_counters;
+        counters.push(rem_counters);
+        shared.counters = counters;
+        return Ok(CoreState::FusedSorted {
+            shared: Some(SharedSorted::Masked(Box::new(shared))),
+            rest: Vec::new(),
+        });
+    }
+
+    if !full_counters.is_empty() {
+        // Shared full groups, independent rest.
+        if full_counters.len() != full.len() || full.len() < 2 {
+            return Err(SnapshotError::Invalid("full group count/config mismatch"));
+        }
+        let mut shared = FusedFullGroups::new(&full, &cfg);
+        for &e in &union {
+            if !shared.insert_restored(e) {
+                return Err(SnapshotError::Invalid("duplicate edge in group"));
+            }
+        }
+        shared.compact();
+        shared.counters = full_counters;
+        let rest = rest
+            .into_iter()
+            .map(|(spec, edges, counters)| group_from_section(&cfg, spec, &edges, counters))
+            .collect::<Result<_, _>>()?;
+        return Ok(CoreState::FusedSorted {
+            shared: Some(SharedSorted::Full(Box::new(shared))),
+            rest,
+        });
+    }
+
+    // No sharing: independent groups only.
+    if rest.len() != rept.groups().len() {
+        return Err(SnapshotError::Invalid("group count/config mismatch"));
+    }
+    let rest = rest
         .into_iter()
-        .map(|spec| read_one_group(r, &cfg, spec))
+        .map(|(spec, edges, counters)| group_from_section(&cfg, spec, &edges, counters))
         .collect::<Result<_, _>>()?;
-    Ok((Some(shared), rest))
+    Ok(CoreState::FusedSorted { shared: None, rest })
 }
 
 // ---- worker snapshot plumbing -------------------------------------------
@@ -879,6 +1031,8 @@ impl SemiTriangleWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::collection::vec as prop_vec;
+    use proptest::prelude::*;
     use rept_gen::{barabasi_albert, stream_order, GeneratorConfig};
 
     fn stream() -> Vec<Edge> {
@@ -902,6 +1056,206 @@ mod tests {
             "{what}: stored edges"
         );
     }
+
+    // ---- frozen legacy encoders ------------------------------------------
+    //
+    // Byte-for-byte copies of the version-1 and version-2 writers as
+    // they shipped, emitting from the *current* core state. They must
+    // never call the live v3 writer — their whole point is to certify
+    // that blobs produced by the old releases still restore through the
+    // current reader. Do not "refactor" them to share code with the
+    // codec above.
+
+    /// Emits the v1 header + per-worker sections (v1 has no engine
+    /// byte and only ever held per-worker state).
+    fn frozen_v1_blob(run: &ResumableRun) -> Vec<u8> {
+        let cfg = run.config();
+        let CoreState::PerWorker { workers } = &run.core.state else {
+            panic!("v1 only encodes per-worker state");
+        };
+        let mut out = Vec::new();
+        out.extend_from_slice(b"RPCK");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&cfg.m.to_le_bytes());
+        out.extend_from_slice(&cfg.c.to_le_bytes());
+        out.extend_from_slice(&cfg.seed.to_le_bytes());
+        out.push(cfg.track_locals as u8);
+        out.push(cfg.track_eta as u8);
+        out.push(match cfg.eta_mode {
+            EtaMode::PaperInit => 0,
+            EtaMode::StrictNonLast => 1,
+        });
+        out.extend_from_slice(&run.position().to_le_bytes());
+        for w in workers {
+            frozen_worker_section(w, &mut out);
+        }
+        out
+    }
+
+    /// The v1/v2 worker section (identical to the current one, spelled
+    /// out so the frozen encoders cannot drift with the live code).
+    fn frozen_worker_section(w: &SemiTriangleWorker, out: &mut Vec<u8>) {
+        out.extend_from_slice(&w.tau().to_le_bytes());
+        let edges: Vec<Edge> = w.stored_edge_list();
+        out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        for e in &edges {
+            out.extend_from_slice(&e.u().to_le_bytes());
+            out.extend_from_slice(&e.v().to_le_bytes());
+        }
+        frozen_opt_node_map(out, w.tau_v_entries());
+        out.extend_from_slice(&w.eta().to_le_bytes());
+        frozen_opt_node_map(out, w.eta_v_entries());
+        frozen_opt_edge_map(out, w.edge_counter_entries());
+    }
+
+    fn frozen_opt_node_map(out: &mut Vec<u8>, map: Option<Vec<(NodeId, u64)>>) {
+        match map {
+            Some(entries) => {
+                out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (n, v) in entries {
+                    out.extend_from_slice(&n.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+        }
+    }
+
+    fn frozen_opt_edge_map(out: &mut Vec<u8>, map: Option<Vec<(Edge, u64)>>) {
+        match map {
+            Some(entries) => {
+                out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (e, v) in entries {
+                    out.extend_from_slice(&e.u().to_le_bytes());
+                    out.extend_from_slice(&e.v().to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+        }
+    }
+
+    fn frozen_sorted_entries(map: &rept_hash::fx::FxHashMap<NodeId, u64>) -> Vec<(NodeId, u64)> {
+        let mut v: Vec<(NodeId, u64)> = map.iter().map(|(&n, &c)| (n, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn frozen_sorted_edge_entries(map: &rept_hash::fx::FxHashMap<Edge, u64>) -> Vec<(Edge, u64)> {
+        let mut v: Vec<(Edge, u64)> = map.iter().map(|(&e, &c)| (e, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The v2 per-group section: edge list (canonical order) followed
+    /// by every counter.
+    fn frozen_v2_group_section(out: &mut Vec<u8>, edges: &[Edge], counters: &GroupCounters) {
+        out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        for e in edges {
+            out.extend_from_slice(&e.u().to_le_bytes());
+            out.extend_from_slice(&e.v().to_le_bytes());
+        }
+        for &t in &counters.tau {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        for &s in &counters.stored {
+            out.extend_from_slice(&(s as u64).to_le_bytes());
+        }
+        frozen_opt_node_map(out, counters.tau_v.as_ref().map(frozen_sorted_entries));
+        match &counters.eta {
+            Some(eta) => {
+                out.extend_from_slice(&eta.total.to_le_bytes());
+                frozen_opt_node_map(out, Some(frozen_sorted_entries(&eta.per_node)));
+                frozen_opt_edge_map(out, Some(frozen_sorted_edge_entries(&eta.per_edge)));
+            }
+            None => {
+                out.extend_from_slice(&0u64.to_le_bytes());
+                frozen_opt_node_map(out, None);
+                frozen_opt_edge_map(out, None);
+            }
+        }
+    }
+
+    /// Emits the v2 blob for the current core state: header with engine
+    /// byte, then per-worker sections or one section per hash group in
+    /// layout order — full groups each repeating the shared edge set,
+    /// the remainder listing its own stored edges.
+    fn frozen_v2_blob(run: &ResumableRun) -> Vec<u8> {
+        let cfg = run.config();
+        let mut out = Vec::new();
+        out.extend_from_slice(b"RPCK");
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&cfg.m.to_le_bytes());
+        out.extend_from_slice(&cfg.c.to_le_bytes());
+        out.extend_from_slice(&cfg.seed.to_le_bytes());
+        out.push(cfg.track_locals as u8);
+        out.push(cfg.track_eta as u8);
+        out.push(match cfg.eta_mode {
+            EtaMode::PaperInit => 0,
+            EtaMode::StrictNonLast => 1,
+        });
+        out.push(match run.engine() {
+            Engine::PerWorker => 0,
+            Engine::FusedHash => 1,
+            Engine::FusedSorted => 2,
+        });
+        out.extend_from_slice(&run.position().to_le_bytes());
+        match &run.core.state {
+            CoreState::PerWorker { workers } => {
+                for w in workers {
+                    frozen_worker_section(w, &mut out);
+                }
+            }
+            CoreState::FusedHash(groups) => {
+                out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
+                for g in groups {
+                    let mut edges: Vec<Edge> = Vec::new();
+                    g.adj.for_each_edge(|e, _| edges.push(e));
+                    edges.sort_unstable();
+                    frozen_v2_group_section(&mut out, &edges, &g.counters);
+                }
+            }
+            CoreState::FusedSorted { shared, rest } => {
+                let n_shared = match shared {
+                    Some(SharedSorted::Full(s)) => s.specs.len(),
+                    Some(SharedSorted::Masked(s)) => s.full_specs.len() + 1,
+                    None => 0,
+                };
+                out.extend_from_slice(&((n_shared + rest.len()) as u64).to_le_bytes());
+                match shared {
+                    Some(SharedSorted::Full(s)) => {
+                        let mut edges: Vec<Edge> = s.adj.edges().collect();
+                        edges.sort_unstable();
+                        for counters in &s.counters {
+                            frozen_v2_group_section(&mut out, &edges, counters);
+                        }
+                    }
+                    Some(SharedSorted::Masked(s)) => {
+                        let mut union: Vec<Edge> = s.adj.edges().collect();
+                        union.sort_unstable();
+                        let (full, rem) = s.counters.split_at(s.full_specs.len());
+                        for counters in full {
+                            frozen_v2_group_section(&mut out, &union, counters);
+                        }
+                        let mut masked: Vec<Edge> = Vec::new();
+                        s.adj.for_each_masked_edge(|e, _| masked.push(e));
+                        masked.sort_unstable();
+                        frozen_v2_group_section(&mut out, &masked, &rem[0]);
+                    }
+                    None => {}
+                }
+                for g in rest {
+                    let mut edges: Vec<Edge> = Vec::new();
+                    g.adj.for_each_edge(|e, _| edges.push(e));
+                    edges.sort_unstable();
+                    frozen_v2_group_section(&mut out, &edges, &g.counters);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- tests ------------------------------------------------------------
 
     #[test]
     fn push_driver_matches_batch_driver_on_every_engine() {
@@ -984,36 +1338,113 @@ mod tests {
         ));
     }
 
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Legacy RPCK blobs — v1 (per-worker, frozen encoder) and v2
+        /// (every engine, frozen encoder) — restore through the v3
+        /// reader and finish bit-identical to an uninterrupted run, on
+        /// duplicate-edge streams across all combination paths.
+        #[test]
+        fn legacy_blobs_restore_bit_identical(
+            pairs in prop_vec((0u32..24, 0u32..24), 1..120),
+            m in 2u64..6,
+            c in 1u64..14,
+            seed in any::<u64>(),
+            split_sel in any::<u64>(),
+        ) {
+            let stream: Vec<Edge> = pairs
+                .into_iter()
+                .filter_map(|(u, v)| Edge::try_new(u, v))
+                .collect();
+            let cfg = ReptConfig::new(m, c).with_seed(seed).with_eta(true);
+            let rept = Rept::new(cfg);
+            let uninterrupted = rept.run_sequential(stream.iter().copied());
+            let split = (split_sel as usize) % (stream.len() + 1);
+
+            for engine in Engine::all() {
+                let mut run = ResumableRun::with_engine(rept.clone(), engine);
+                run.process_batch(&stream[..split]);
+
+                let mut blobs = vec![("v2", frozen_v2_blob(&run))];
+                if engine == Engine::PerWorker {
+                    blobs.push(("v1", frozen_v1_blob(&run)));
+                }
+                for (what, blob) in blobs {
+                    let mut resumed = ResumableRun::from_checkpoint_bytes(&blob)
+                        .unwrap_or_else(|e| panic!("{what} blob must restore: {e}"));
+                    prop_assert_eq!(resumed.position(), split as u64, "{}", what);
+                    prop_assert_eq!(resumed.engine(), engine, "{}", what);
+                    resumed.process_batch(&stream[split..]);
+                    let est = resumed.finalize();
+                    prop_assert_eq!(est.global, uninterrupted.global,
+                        "{} {} m={} c={}", what, engine.name(), m, c);
+                    prop_assert_eq!(&est.locals, &uninterrupted.locals);
+                    prop_assert_eq!(est.eta_hat, uninterrupted.eta_hat);
+                    prop_assert_eq!(
+                        &est.diagnostics.per_processor_tau,
+                        &uninterrupted.diagnostics.per_processor_tau
+                    );
+                    prop_assert_eq!(
+                        &est.diagnostics.stored_edges,
+                        &uninterrupted.diagnostics.stored_edges
+                    );
+                }
+            }
+        }
+
+        /// The v3 writer/reader round-trips mid-stream state on every
+        /// engine, and the resumed run finishes bit-identical.
+        #[test]
+        fn v3_roundtrip_is_bit_identical(
+            pairs in prop_vec((0u32..20, 0u32..20), 1..100),
+            m in 2u64..6,
+            c in 1u64..14,
+            seed in any::<u64>(),
+            split_sel in any::<u64>(),
+        ) {
+            let stream: Vec<Edge> = pairs
+                .into_iter()
+                .filter_map(|(u, v)| Edge::try_new(u, v))
+                .collect();
+            let cfg = ReptConfig::new(m, c).with_seed(seed).with_eta(true);
+            let rept = Rept::new(cfg);
+            let uninterrupted = rept.run_sequential(stream.iter().copied());
+            let split = (split_sel as usize) % (stream.len() + 1);
+            for engine in Engine::all() {
+                let mut run = ResumableRun::with_engine(rept.clone(), engine);
+                run.process_batch(&stream[..split]);
+                let blob = run.checkpoint_bytes();
+                let mut resumed = ResumableRun::from_checkpoint_bytes(&blob).expect("v3 blob");
+                resumed.process_batch(&stream[split..]);
+                let est = resumed.finalize();
+                prop_assert_eq!(est.global, uninterrupted.global, "{}", engine.name());
+                prop_assert_eq!(&est.locals, &uninterrupted.locals);
+                prop_assert_eq!(est.eta_hat, uninterrupted.eta_hat);
+            }
+        }
+    }
+
     #[test]
-    fn version1_blobs_resume_per_worker() {
-        // Hand-encode a v1 checkpoint (the pre-engine format: no engine
-        // byte, always per-worker sections) and check it still decodes.
+    fn v3_shared_layouts_store_the_union_once() {
+        // At c = 3m + 2 the v2 format repeated the shared edge set once
+        // per full group and listed the remainder's subset; v3 stores
+        // the union once plus a counted remainder section, so the blob
+        // must be substantially smaller.
         let stream = stream();
-        let split = 120;
-        let rept = Rept::new(cfg());
-        let mut run = ResumableRun::with_engine(rept.clone(), Engine::PerWorker);
-        for &e in &stream[..split] {
-            run.process(e);
-        }
-        let v2 = run.checkpoint_bytes();
-        // v1 = magic, version 1, config (27 bytes), position, worker
-        // sections. The v2 layout only adds the engine byte after the
-        // config, so the v1 blob is the v2 blob minus that byte with the
-        // version field rewritten.
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(&CHECKPOINT_MAGIC);
-        v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&v2[8..8 + 27]); // m, c, seed, flags, mode
-        v1.extend_from_slice(&v2[8 + 27 + 1..]); // skip engine byte
-        let resumed = ResumableRun::from_checkpoint_bytes(&v1).expect("v1 blob readable");
-        assert_eq!(resumed.engine(), Engine::PerWorker);
-        assert_eq!(resumed.position(), split as u64);
-        let mut resumed = resumed;
-        for &e in &stream[split..] {
-            resumed.process(e);
-        }
-        let uninterrupted = rept.run_sequential(stream.iter().copied());
-        assert_estimates_equal(&resumed.finalize(), &uninterrupted, "v1 resume");
+        let rept = Rept::new(ReptConfig::new(3, 11).with_seed(4).with_eta(true));
+        let mut run = ResumableRun::new(rept);
+        run.process_batch(&stream);
+        let v3 = run.checkpoint_bytes();
+        let v2 = frozen_v2_blob(&run);
+        assert!(
+            v3.len() < v2.len(),
+            "v3 ({}) should undercut v2 ({})",
+            v3.len(),
+            v2.len()
+        );
+        let resumed = ResumableRun::from_checkpoint_bytes(&v3).expect("v3 blob");
+        assert_estimates_equal(&resumed.estimate(), &run.estimate(), "v3 roundtrip");
     }
 
     #[test]
@@ -1060,6 +1491,13 @@ mod tests {
         assert_eq!(
             ResumableRun::from_checkpoint_bytes(&blob).err(),
             Some(SnapshotError::Invalid("engine code"))
+        );
+        // Corrupt the sorted layout tag (directly after the position).
+        let mut blob = ResumableRun::new(Rept::new(cfg())).checkpoint_bytes();
+        blob[44] = 9;
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&blob).err(),
+            Some(SnapshotError::Invalid("sorted layout tag"))
         );
     }
 

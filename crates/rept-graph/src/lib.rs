@@ -26,6 +26,10 @@
 //!   the shared neighbor structure with one tag column per full hash
 //!   group (all full groups store the same edge set, so the structure
 //!   walk is paid once for all of them).
+//! * [`masked_tagged`] — [`masked_tagged::MaskedSortedTaggedAdjacency`],
+//!   the shared structure extended with a masked tag column so the
+//!   subsampled *remainder* group (whose cells `c₂..m` drop edges)
+//!   joins the same single structure walk.
 //! * [`csr`] — [`csr::CsrGraph`], a compact sorted-neighbor static
 //!   graph for the exact forward algorithm and statistics.
 //! * [`builder`] — [`builder::GraphBuilder`] normalises raw
@@ -43,6 +47,7 @@ pub mod csr;
 pub mod duplicates;
 pub mod edge;
 pub mod io;
+pub mod masked_tagged;
 pub mod multi_tagged;
 pub mod sorted_tagged;
 pub mod stats;
@@ -54,5 +59,6 @@ pub use builder::GraphBuilder;
 pub use cell_tagged::{CellTag, CellTaggedAdjacency, TaggedAdjacency};
 pub use csr::CsrGraph;
 pub use edge::{Edge, NodeId};
+pub use masked_tagged::MaskedSortedTaggedAdjacency;
 pub use multi_tagged::MultiSortedTaggedAdjacency;
 pub use sorted_tagged::SortedTaggedAdjacency;

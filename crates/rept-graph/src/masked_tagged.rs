@@ -1,0 +1,582 @@
+//! Shared sorted adjacency with full-group tag columns **plus one masked
+//! column** — the backend that folds REPT's *remainder* group into the
+//! full groups' structure walk.
+//!
+//! [`MultiSortedTaggedAdjacency`](crate::multi_tagged::MultiSortedTaggedAdjacency)
+//! exploits that all *full* hash groups (size = `m`) store the identical
+//! edge set: one neighbor structure, one tag column per group. The
+//! remainder group (`c₂ = c mod m` processors) could not join that
+//! sharing, because its cells `c₂..m` **drop** edges — a plain tag
+//! column has no way to say "this edge is not stored here", so the
+//! remainder kept its own
+//! [`SortedTaggedAdjacency`](crate::sorted_tagged::SortedTaggedAdjacency)
+//! and every stream edge paid a second structure walk (two id-table
+//! probes plus an intersection over the remainder's lists).
+//!
+//! This structure closes that gap. It stores the union edge set once
+//! (the full groups' set — a superset of the remainder's sampled edges)
+//! with `full_width` unconditional tag columns and one **masked** column
+//! whose entries are either the remainder tag of a remainder-*stored*
+//! edge or the [`MASKED_NONE`] sentinel for an edge the remainder group
+//! dropped. One merge/gallop pass per arriving edge then yields the
+//! common-neighbor matches of *every* group: full groups match on plain
+//! tag equality, the masked group matches iff **both** masked tags are
+//! set and equal (a `MASKED_NONE` on either side can never match — the
+//! sentinel is excluded from the tag range, so `MASKED_NONE ==
+//! MASKED_NONE` is rejected explicitly). The match multiset per group is
+//! exactly what `full_width` independent tagged structures plus one
+//! remainder-only structure would produce, discovered with one walk.
+//!
+//! Insertion amortisation (unsorted tail bounded by `TAIL_LIMIT`,
+//! merged on overflow and at batch boundaries via
+//! [`MaskedSortedTaggedAdjacency::compact`]) mirrors the other sorted
+//! layouts; see [`crate::sorted_tagged`] for the rationale.
+
+use rept_hash::fx::FxHashMap;
+
+use crate::cell_tagged::CellTag;
+use crate::edge::{Edge, NodeId};
+use crate::sorted_tagged::{for_each_common_position, position_in, TAIL_LIMIT};
+
+/// Sentinel tag of the masked column: "not stored by the masked group".
+/// Real remainder tags are cell indices (`< m ≤ u32::MAX`), so the
+/// sentinel can never collide with a stored tag.
+pub const MASKED_NONE: CellTag = CellTag::MAX;
+
+/// One node's neighbors: sorted prefix `[0, sorted_len)` plus an
+/// unsorted tail, with `full_width + 1` tags per neighbor entry
+/// (strided; the masked tag is the last of each entry's tag run).
+#[derive(Debug, Clone, Default)]
+struct MaskedNodeList {
+    nbrs: Vec<NodeId>,
+    /// `nbrs.len() * (full_width + 1)` tags; entry `pos`'s tags occupy
+    /// `tags[pos*stride .. (pos+1)*stride]`, masked tag last.
+    tags: Vec<CellTag>,
+    sorted_len: usize,
+}
+
+impl MaskedNodeList {
+    /// Position of neighbor `w`, if present.
+    #[inline]
+    fn position(&self, w: NodeId) -> Option<usize> {
+        position_in(&self.nbrs, self.sorted_len, w)
+    }
+}
+
+/// A mutable undirected graph storing the union edge set once, with one
+/// partition-cell tag per full hash group and a masked remainder tag
+/// per edge.
+#[derive(Debug, Clone)]
+pub struct MaskedSortedTaggedAdjacency {
+    /// Unconditional tag columns (= number of full hash groups).
+    full_width: usize,
+    /// `full_width + 1` — the per-entry tag stride.
+    stride: usize,
+    /// Node id → arena slot.
+    slots: FxHashMap<NodeId, u32>,
+    /// Per-node lists, indexed by slot.
+    lists: Vec<MaskedNodeList>,
+    edge_count: usize,
+    /// Edges whose masked tag is set (the remainder group's stored set).
+    masked_edge_count: usize,
+    /// Slots with pending tails (may contain duplicates; see
+    /// [`crate::sorted_tagged::SortedTaggedAdjacency`]).
+    dirty: Vec<u32>,
+    /// Reusable tail-merge scratch (`stride` is runtime-sized).
+    scratch_nbrs: Vec<NodeId>,
+    scratch_tags: Vec<CellTag>,
+}
+
+impl MaskedSortedTaggedAdjacency {
+    /// Creates an empty structure with `full_width` unconditional tag
+    /// columns plus the masked column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_width == 0` — with no full group forcing every
+    /// edge to be stored, the union set would not be well-defined and a
+    /// plain [`SortedTaggedAdjacency`](crate::sorted_tagged::SortedTaggedAdjacency)
+    /// is the right structure.
+    pub fn new(full_width: usize) -> Self {
+        assert!(full_width > 0, "need at least one full tag column");
+        Self {
+            full_width,
+            stride: full_width + 1,
+            slots: FxHashMap::default(),
+            lists: Vec::new(),
+            edge_count: 0,
+            masked_edge_count: 0,
+            dirty: Vec::new(),
+            scratch_nbrs: Vec::new(),
+            scratch_tags: Vec::new(),
+        }
+    }
+
+    /// Number of unconditional tag columns.
+    pub fn full_width(&self) -> usize {
+        self.full_width
+    }
+
+    /// Number of stored edges (the union set).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of edges whose masked tag is set — the masked (remainder)
+    /// group's stored subset.
+    pub fn masked_edge_count(&self) -> usize {
+        self.masked_edge_count
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The degree of `n` in the union set (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.slots
+            .get(&n)
+            .map_or(0, |&s| self.lists[s as usize].nbrs.len())
+    }
+
+    /// The edge's full-group tag columns and masked tag, if present.
+    pub fn tags_of(&self, e: Edge) -> Option<(&[CellTag], Option<CellTag>)> {
+        let s = *self.slots.get(&e.u())? as usize;
+        let list = &self.lists[s];
+        let pos = list.position(e.v())?;
+        let run = &list.tags[pos * self.stride..(pos + 1) * self.stride];
+        let (full, masked) = run.split_at(self.full_width);
+        Some((full, (masked[0] != MASKED_NONE).then_some(masked[0])))
+    }
+
+    /// True if the edge is present in the union set.
+    pub fn contains(&self, e: Edge) -> bool {
+        let Some(&s) = self.slots.get(&e.u()) else {
+            return false;
+        };
+        self.lists[s as usize].position(e.v()).is_some()
+    }
+
+    /// Iterates all stored edges of the union set (arbitrary order, tags
+    /// omitted — every tag is recomputable from the group hashers).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.slots.iter().flat_map(|(&u, &slot)| {
+            self.lists[slot as usize]
+                .nbrs
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge::new(u, v))
+        })
+    }
+
+    /// Calls `f(e, tag)` for every edge whose masked tag is set — the
+    /// masked group's stored subset, in arbitrary order.
+    pub fn for_each_masked_edge<F: FnMut(Edge, CellTag)>(&self, mut f: F) {
+        for (&u, &slot) in &self.slots {
+            let list = &self.lists[slot as usize];
+            for (pos, &v) in list.nbrs.iter().enumerate() {
+                if u < v {
+                    let masked = list.tags[pos * self.stride + self.full_width];
+                    if masked != MASKED_NONE {
+                        f(Edge::new(u, v), masked);
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn ensure_slot(&mut self, n: NodeId) -> usize {
+        let next = self.lists.len() as u32;
+        let slot = *self.slots.entry(n).or_insert(next);
+        if slot == next {
+            self.lists.push(MaskedNodeList {
+                nbrs: Vec::with_capacity(8),
+                tags: Vec::with_capacity(8 * self.stride),
+                sorted_len: 0,
+            });
+        }
+        slot as usize
+    }
+
+    /// Appends `(w, full tags, masked tag)` to the slot's list, merging
+    /// an overflowing tail. Returns `true` when the push left a newly
+    /// non-empty tail.
+    #[inline]
+    fn push_entry(&mut self, slot: usize, w: NodeId, full: &[CellTag], masked: CellTag) -> bool {
+        let list = &mut self.lists[slot];
+        let was_clean = list.sorted_len == list.nbrs.len();
+        list.nbrs.push(w);
+        list.tags.extend_from_slice(full);
+        list.tags.push(masked);
+        if list.nbrs.len() - list.sorted_len > TAIL_LIMIT {
+            self.merge_tail(slot);
+            return false;
+        }
+        was_clean
+    }
+
+    /// Merges the slot's unsorted tail into its sorted prefix — same
+    /// back-merge as the other sorted layouts, with the strided tag runs
+    /// moved alongside their neighbor entries.
+    fn merge_tail(&mut self, slot: usize) {
+        let stride = self.stride;
+        let list = &mut self.lists[slot];
+        let s = list.sorted_len;
+        let n = list.nbrs.len();
+        if s == n {
+            return;
+        }
+        let mut order: [(NodeId, usize); TAIL_LIMIT + 1] = [(0, 0); TAIL_LIMIT + 1];
+        let order = &mut order[..n - s];
+        for (k, entry) in order.iter_mut().enumerate() {
+            *entry = (list.nbrs[s + k], s + k);
+        }
+        order.sort_unstable_by_key(|&(w, _)| w);
+        self.scratch_nbrs.clear();
+        self.scratch_tags.clear();
+        for &(w, pos) in order.iter() {
+            self.scratch_nbrs.push(w);
+            self.scratch_tags
+                .extend_from_slice(&list.tags[pos * stride..(pos + 1) * stride]);
+        }
+
+        let (mut a, mut t, mut write) = (s, order.len(), n);
+        while t > 0 {
+            let (src, from_tail) = if a > 0 && list.nbrs[a - 1] > self.scratch_nbrs[t - 1] {
+                a -= 1;
+                (a, false)
+            } else {
+                t -= 1;
+                (t, true)
+            };
+            write -= 1;
+            if from_tail {
+                list.nbrs[write] = self.scratch_nbrs[src];
+                let dst = write * stride;
+                for g in 0..stride {
+                    list.tags[dst + g] = self.scratch_tags[src * stride + g];
+                }
+            } else {
+                list.nbrs[write] = list.nbrs[src];
+                list.tags
+                    .copy_within(src * stride..(src + 1) * stride, write * stride);
+            }
+        }
+        list.sorted_len = n;
+    }
+
+    /// Merges every pending tail (the fused drivers call this at batch
+    /// boundaries; a pure representation change).
+    pub fn compact(&mut self) {
+        for i in 0..self.dirty.len() {
+            let slot = self.dirty[i] as usize;
+            self.merge_tail(slot);
+        }
+        self.dirty.clear();
+    }
+
+    /// Inserts the edge with one tag per full group and an optional
+    /// masked tag (`None` = the masked group dropped this edge); returns
+    /// `false` (leaving all existing tags untouched) if the edge was
+    /// already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != full_width()` or a masked tag equals
+    /// [`MASKED_NONE`].
+    pub fn insert(&mut self, e: Edge, full: &[CellTag], masked: Option<CellTag>) -> bool {
+        assert_eq!(full.len(), self.full_width, "one tag per full group");
+        let masked = Self::encode_masked(masked);
+        let (u, v) = e.endpoints();
+        let su = self.ensure_slot(u);
+        if self.lists[su].position(v).is_some() {
+            return false;
+        }
+        let sv = self.ensure_slot(v);
+        self.store_entries(su, sv, u, v, full, masked);
+        true
+    }
+
+    #[inline]
+    fn encode_masked(masked: Option<CellTag>) -> CellTag {
+        match masked {
+            Some(tag) => {
+                assert_ne!(tag, MASKED_NONE, "masked tag collides with sentinel");
+                tag
+            }
+            None => MASKED_NONE,
+        }
+    }
+
+    #[inline]
+    fn store_entries(
+        &mut self,
+        su: usize,
+        sv: usize,
+        u: NodeId,
+        v: NodeId,
+        full: &[CellTag],
+        masked: CellTag,
+    ) {
+        if self.push_entry(su, v, full, masked) {
+            self.dirty.push(su as u32);
+        }
+        if self.push_entry(sv, u, full, masked) {
+            self.dirty.push(sv as u32);
+        }
+        self.edge_count += 1;
+        self.masked_edge_count += usize::from(masked != MASKED_NONE);
+    }
+
+    /// Matches, then (when `store` carries the groups' owner tags)
+    /// inserts, in one call — the masked analogue of
+    /// [`MultiSortedTaggedAdjacency::match_then_insert`](crate::multi_tagged::MultiSortedTaggedAdjacency::match_then_insert).
+    ///
+    /// `f(g, w, cell)` fires for every structural common neighbor `w` of
+    /// `u` and `v` and every group whose two tags agree: `g <
+    /// full_width()` are the full groups, `g == full_width()` is the
+    /// masked group, which only matches where **both** incident edges
+    /// carry a set masked tag. Returns whether the edge was freshly
+    /// stored into the union set.
+    pub fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<(&[CellTag], Option<CellTag>)>,
+        mut f: F,
+    ) -> bool {
+        let (u, v) = e.endpoints();
+        let (su, sv) = match store {
+            Some((full, _)) => {
+                assert_eq!(full.len(), self.full_width, "one tag per full group");
+                // Fresh slots are empty lists: no matches contributed.
+                (self.ensure_slot(u), self.ensure_slot(v))
+            }
+            None => {
+                let (Some(&su), Some(&sv)) = (self.slots.get(&u), self.slots.get(&v)) else {
+                    return false;
+                };
+                (su as usize, sv as usize)
+            }
+        };
+        self.match_slots(su, sv, &mut f);
+        let Some((full, masked)) = store else {
+            return false;
+        };
+        let masked = Self::encode_masked(masked);
+        if self.lists[su].position(v).is_some() {
+            return false;
+        }
+        self.store_entries(su, sv, u, v, full, masked);
+        true
+    }
+
+    /// The structural intersection of two slots' lists with per-group
+    /// tag filtering — the shared [`for_each_common_position`] kernel,
+    /// with the full columns compared plainly and the masked column
+    /// additionally required to be set on both sides.
+    #[inline]
+    fn match_slots<F: FnMut(usize, NodeId, CellTag)>(&self, sa: usize, sb: usize, f: &mut F) {
+        let (full_width, stride) = (self.full_width, self.stride);
+        let (la, lb) = (&self.lists[sa], &self.lists[sb]);
+        for_each_common_position(
+            &la.nbrs,
+            la.sorted_len,
+            &lb.nbrs,
+            lb.sorted_len,
+            &mut |pa, pb, w| {
+                let ta = &la.tags[pa * stride..(pa + 1) * stride];
+                let tb = &lb.tags[pb * stride..(pb + 1) * stride];
+                for g in 0..full_width {
+                    if ta[g] == tb[g] {
+                        f(g, w, ta[g]);
+                    }
+                }
+                let (ma, mb) = (ta[full_width], tb[full_width]);
+                if ma == mb && ma != MASKED_NONE {
+                    f(full_width, w, ma);
+                }
+            },
+        );
+    }
+
+    /// Approximate heap footprint in bytes (neighbor arrays, tag arrays,
+    /// arena, id table) — the *shared* footprint across all groups.
+    pub fn approx_bytes(&self) -> usize {
+        use rept_hash::fx::table_bytes;
+        use std::mem::size_of;
+        let vecs: usize = self
+            .lists
+            .iter()
+            .map(|l| {
+                l.nbrs.capacity() * size_of::<NodeId>() + l.tags.capacity() * size_of::<CellTag>()
+            })
+            .sum();
+        let arena = self.lists.capacity() * size_of::<MaskedNodeList>();
+        let ids = table_bytes::<NodeId, u32>(self.slots.capacity());
+        vecs + arena + ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_tagged::MultiSortedTaggedAdjacency;
+    use crate::sorted_tagged::SortedTaggedAdjacency;
+    use rept_hash::rng::SplitMix64;
+
+    /// The defining property: a masked structure answers exactly like a
+    /// `full_width`-column [`MultiSortedTaggedAdjacency`] fed every edge
+    /// plus an independent [`SortedTaggedAdjacency`] fed only the
+    /// masked-stored edges with their masked tags.
+    #[test]
+    fn equivalent_to_multi_plus_independent_masked_structure() {
+        for full_width in [1usize, 2, 4] {
+            let rng = SplitMix64::new(17 + full_width as u64);
+            let mut masked_adj = MaskedSortedTaggedAdjacency::new(full_width);
+            let mut multi = MultiSortedTaggedAdjacency::new(full_width);
+            let mut rem = SortedTaggedAdjacency::new();
+            let mut edges = Vec::new();
+            for i in 0..900u64 {
+                let r = rng.fork(i).next_u64();
+                let (u, v) = ((r % 60) as u32, ((r >> 16) % 60) as u32);
+                if let Some(e) = Edge::try_new(u, v) {
+                    let full: Vec<CellTag> = (0..full_width)
+                        .map(|g| ((r >> (8 * g)) % 5) as CellTag)
+                        .collect();
+                    // Deterministic per-edge masked decision (~1/3 stored),
+                    // mimicking a remainder hash with c₂ < m.
+                    let cell = (r >> 48) % 6;
+                    let masked = (cell < 2).then_some(cell as CellTag);
+                    edges.push((e, full, masked));
+                }
+            }
+            let (stored, queries) = edges.split_at(edges.len() / 2);
+            for (k, (e, full, m)) in stored.iter().enumerate() {
+                let fresh = masked_adj.insert(*e, full, *m);
+                assert_eq!(multi.insert(*e, full), fresh, "{e} union insert");
+                if fresh {
+                    if let Some(tag) = m {
+                        assert!(rem.insert(*e, *tag), "{e} masked insert");
+                    }
+                }
+                if k % 97 == 0 {
+                    masked_adj.compact();
+                }
+            }
+            assert_eq!(masked_adj.edge_count(), multi.edge_count());
+            assert_eq!(masked_adj.masked_edge_count(), rem.edge_count());
+            assert_eq!(masked_adj.node_count(), multi.node_count());
+            for (q, _, _) in queries.iter().chain(stored.iter()) {
+                assert_eq!(masked_adj.contains(*q), multi.contains(*q), "contains {q}");
+                if let Some((full, m)) = masked_adj.tags_of(*q) {
+                    assert_eq!(Some(full), multi.tags_of(*q), "full tags of {q}");
+                    assert_eq!(m, rem.cell_of(*q), "masked tag of {q}");
+                }
+                let mut got: Vec<Vec<(NodeId, CellTag)>> = vec![Vec::new(); full_width + 1];
+                masked_adj.match_then_insert(*q, None, |g, w, c| got[g].push((w, c)));
+                for (g, got_g) in got.iter_mut().enumerate().take(full_width) {
+                    let mut want = Vec::new();
+                    multi.match_then_insert(*q, None, |gg, w, c| {
+                        if gg == g {
+                            want.push((w, c));
+                        }
+                    });
+                    got_g.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(*got_g, want, "full group {g} matches of {q}");
+                }
+                let mut want = Vec::new();
+                rem.for_each_matching_common_neighbor(q.u(), q.v(), |w, c| want.push((w, c)));
+                got[full_width].sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got[full_width], want, "masked matches of {q}");
+            }
+        }
+    }
+
+    /// `match_then_insert` with store tags equals match-only followed by
+    /// `insert`, including duplicate edges (first tags win everywhere).
+    #[test]
+    fn match_then_insert_equals_split_calls() {
+        let full_width = 2;
+        let rng = SplitMix64::new(3);
+        let mut fused = MaskedSortedTaggedAdjacency::new(full_width);
+        let mut split = MaskedSortedTaggedAdjacency::new(full_width);
+        for i in 0..700u64 {
+            let r = rng.fork(i).next_u64();
+            let Some(e) = Edge::try_new((r % 40) as u32, ((r >> 16) % 40) as u32) else {
+                continue;
+            };
+            let full: Vec<CellTag> = (0..full_width)
+                .map(|g| ((r >> (4 * g)) % 6) as CellTag)
+                .collect();
+            let cell = (r >> 40) % 7;
+            let masked = (cell < 3).then_some(cell as CellTag);
+            let mut a = Vec::new();
+            let sa = fused.match_then_insert(e, Some((&full, masked)), |g, w, c| a.push((g, w, c)));
+            let mut b = Vec::new();
+            split.match_then_insert(e, None, |g, w, c| b.push((g, w, c)));
+            let sb = split.insert(e, &full, masked);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "step {i}");
+            assert_eq!(sa, sb, "store outcome, step {i}");
+            if i % 131 == 0 {
+                fused.compact();
+                split.compact();
+            }
+        }
+        assert_eq!(fused.edge_count(), split.edge_count());
+        assert_eq!(fused.masked_edge_count(), split.masked_edge_count());
+    }
+
+    #[test]
+    fn masked_edges_enumerate_exactly_the_stored_subset() {
+        let mut a = MaskedSortedTaggedAdjacency::new(1);
+        a.insert(Edge::new(1, 2), &[0], Some(1));
+        a.insert(Edge::new(2, 3), &[1], None);
+        a.insert(Edge::new(3, 4), &[2], Some(0));
+        let mut got = Vec::new();
+        a.for_each_masked_edge(|e, tag| got.push((e, tag)));
+        got.sort_unstable();
+        assert_eq!(got, vec![(Edge::new(1, 2), 1), (Edge::new(3, 4), 0)]);
+        assert_eq!(a.masked_edge_count(), 2);
+        let all: Vec<Edge> = {
+            let mut v: Vec<Edge> = a.edges().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(all, vec![Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 4)]);
+    }
+
+    #[test]
+    fn rejects_bad_widths_sentinel_and_zero_width() {
+        let mut a = MaskedSortedTaggedAdjacency::new(2);
+        assert!(a.insert(Edge::new(1, 2), &[0, 1], None));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.insert(Edge::new(2, 3), &[0], None);
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.insert(Edge::new(2, 3), &[0, 1], Some(MASKED_NONE));
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(|| MaskedSortedTaggedAdjacency::new(0)).is_err());
+    }
+
+    #[test]
+    fn bytes_grow_and_duplicates_keep_first_tags() {
+        let mut a = MaskedSortedTaggedAdjacency::new(3);
+        let empty = a.approx_bytes();
+        for i in 0..200u32 {
+            a.insert(Edge::new(i, i + 1), &[0, 1, 2], (i % 2 == 0).then_some(5));
+        }
+        assert!(a.approx_bytes() > empty);
+        assert!(!a.insert(Edge::new(0, 1), &[9, 9, 9], Some(9)), "duplicate");
+        assert_eq!(a.tags_of(Edge::new(0, 1)), Some((&[0, 1, 2][..], Some(5))));
+        assert_eq!(a.degree(1), 2);
+        assert_eq!(a.full_width(), 3);
+    }
+}

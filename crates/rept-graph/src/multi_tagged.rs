@@ -20,7 +20,7 @@
 //! checks, and insert passes the per-group layout performs.
 //!
 //! Insertion amortisation (unsorted tail bounded by
-//! [`TAIL_LIMIT`](crate::sorted_tagged), merged on overflow and at batch
+//! `TAIL_LIMIT`, merged on overflow and at batch
 //! boundaries via [`MultiSortedTaggedAdjacency::compact`]) mirrors the
 //! single-group layout; see [`crate::sorted_tagged`] for the rationale.
 

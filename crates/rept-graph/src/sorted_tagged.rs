@@ -21,13 +21,13 @@
 //! **Intersection** runs over the sorted arrays: a branchless linear
 //! merge when the two degrees are comparable, and galloping (exponential
 //! search, cf. timsort / Demaine–López-Ortiz–Munro adaptive set
-//! intersection) when they are skewed by more than [`GALLOP_RATIO`],
+//! intersection) when they are skewed by more than `GALLOP_RATIO`,
 //! which makes hub–leaf probes `O(min·log max)` instead of
 //! `O(min + max)`.
 //!
 //! **Insertion** stays amortised cheap via a small unsorted tail per
 //! node: new neighbors are appended and merged into the sorted prefix
-//! only when the tail exceeds [`TAIL_LIMIT`] entries, or when the fused
+//! only when the tail exceeds `TAIL_LIMIT` entries, or when the fused
 //! driver calls [`SortedTaggedAdjacency::compact`] at a batch boundary
 //! (the "batched sort"), after which queries run on fully sorted state.
 //! Queries scan any pending tail linearly (bounded, cache-resident
@@ -42,7 +42,7 @@
 //! table for every step instead.
 //!
 //! The API mirrors `CellTaggedAdjacency` exactly (both implement
-//! [`TaggedAdjacency`](crate::cell_tagged::TaggedAdjacency)); the
+//! [`TaggedAdjacency`]); the
 //! equivalence tests below drive both structures with the same inserts
 //! and assert identical answers.
 
@@ -80,7 +80,7 @@ impl NodeList {
     }
 
     /// Appends a neighbor the caller has verified to be absent, merging
-    /// the tail when it outgrows [`TAIL_LIMIT`]. Returns `true` when the
+    /// the tail when it outgrows `TAIL_LIMIT`. Returns `true` when the
     /// push left a *newly* non-empty tail behind — the caller's cue to
     /// register the node for the next [`SortedTaggedAdjacency::compact`].
     fn push(&mut self, w: NodeId, cell: CellTag) -> bool {
@@ -274,7 +274,7 @@ pub struct SortedTaggedAdjacency {
     /// Slots whose tail became non-empty since the last
     /// [`Self::compact`] — lets compaction touch exactly the lists with
     /// pending work instead of scanning every node. May contain
-    /// duplicates (a node that crossed [`TAIL_LIMIT`], self-merged, and
+    /// duplicates (a node that crossed `TAIL_LIMIT`, self-merged, and
     /// went dirty again); merging a clean list is a no-op, so that is
     /// harmless.
     dirty: Vec<u32>,
@@ -344,7 +344,7 @@ impl SortedTaggedAdjacency {
     /// pure representation change; queries answer identically before and
     /// after. The fused drivers call this at batch boundaries ("batched
     /// sort"), so steady-state queries see empty tails and run on the
-    /// pure merge/gallop path; between compactions [`TAIL_LIMIT`] still
+    /// pure merge/gallop path; between compactions `TAIL_LIMIT` still
     /// caps every tail, keeping worst-case query cost bounded.
     pub fn compact(&mut self) {
         for i in 0..self.dirty.len() {

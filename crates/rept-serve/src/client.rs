@@ -80,7 +80,7 @@ impl Client {
             })
     }
 
-    /// Streams edges to the server in [`INGEST_CHUNK`]-edge lines;
+    /// Streams edges to the server in `INGEST_CHUNK`-edge lines;
     /// returns the number of edges sent.
     ///
     /// # Errors

@@ -14,16 +14,18 @@
 //! ## Crash safety
 //!
 //! With a checkpoint path configured, the core checkpoints the complete
-//! estimator state (RPCK v2, write-then-rename) every
-//! `checkpoint_every` edges, on demand, and at shutdown. On startup,
-//! an existing checkpoint is loaded and the run resumes from its
-//! recorded position; the producer replays the stream from
+//! estimator state (RPCK v3, write-then-rename) every
+//! `checkpoint_every` edges, on demand, and at shutdown; with
+//! [`ServeConfig::checkpoint_keep`] `> 1` the previous checkpoints are
+//! rotated to position-stamped siblings and pruned to the last `k`. On
+//! startup, an existing checkpoint is loaded and the run resumes from
+//! its recorded position; the producer replays the stream from
 //! [`ServeCore::position`]. Because the driver is deterministic and
 //! batch-split-insensitive, a kill-and-restart cycle is bit-identical
 //! to an uninterrupted run — the serve proptests assert this for every
 //! engine.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +54,16 @@ pub struct ServeConfig {
     pub checkpoint_every: Option<u64>,
     /// Checkpoint file; also the resume source at startup.
     pub checkpoint_path: Option<PathBuf>,
+    /// How many checkpoint files to retain (≥ 1). The newest checkpoint
+    /// always lives at [`Self::checkpoint_path`]; with `keep > 1`, each
+    /// write first preserves the previous file as a position-stamped
+    /// sibling (`<stem>.<position>.rpck`, hard link or copy — the
+    /// primary is never moved away, so a failed write cannot lose the
+    /// last good checkpoint) and a successful write then prunes rotated
+    /// files beyond `keep - 1` — so a checkpoint that turns out
+    /// corrupted (e.g. a bad disk) still leaves older restore points on
+    /// disk.
+    pub checkpoint_keep: usize,
     /// Size of the top-k local-count index kept in each snapshot.
     pub top_k: usize,
     /// Ingest channel capacity in batches (bounded ⇒ producers feel
@@ -61,7 +73,7 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Defaults: fused-sorted engine, snapshot every 8192 edges, top-100
-    /// index, 16-batch channel, no checkpointing.
+    /// index, 16-batch channel, no checkpointing, keep 1 checkpoint.
     pub fn new(rept: ReptConfig) -> Self {
         Self {
             rept,
@@ -69,6 +81,7 @@ impl ServeConfig {
             snapshot_every: 8192,
             checkpoint_every: None,
             checkpoint_path: None,
+            checkpoint_keep: 1,
             top_k: 100,
             channel_capacity: 16,
         }
@@ -91,6 +104,13 @@ impl ServeConfig {
     pub fn with_checkpoint(mut self, path: PathBuf, every: Option<u64>) -> Self {
         self.checkpoint_path = Some(path);
         self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets how many checkpoint files to retain (clamped to ≥ 1; see
+    /// [`Self::checkpoint_keep`]).
+    pub fn with_checkpoint_keep(mut self, keep: usize) -> Self {
+        self.checkpoint_keep = keep.max(1);
         self
     }
 
@@ -258,6 +278,55 @@ impl Drop for ServeCore {
     }
 }
 
+/// The rotated sibling of a checkpoint path at a given stream position:
+/// `<stem>.<position zero-padded>.rpck`, in the same directory. The
+/// zero padding makes lexicographic name order equal numeric position
+/// order, which is what [`prune_rotated`] sorts by.
+fn rotated_checkpoint_path(path: &Path, position: u64) -> PathBuf {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    path.with_file_name(format!("{stem}.{position:020}.rpck"))
+}
+
+/// Removes the oldest rotated checkpoints of `path` until at most
+/// `keep_rotated` remain. Best-effort: filesystem errors leave extra
+/// files behind rather than disturbing ingest.
+fn prune_rotated(path: &Path, keep_rotated: usize) {
+    let (Some(dir), Some(stem)) = (path.parent(), path.file_stem()) else {
+        return;
+    };
+    let prefix = format!("{}.", stem.to_string_lossy());
+    let Ok(entries) = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    }) else {
+        return;
+    };
+    let mut rotated: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+                return false;
+            };
+            name.strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".rpck"))
+                .is_some_and(|mid| !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()))
+        })
+        .collect();
+    if rotated.len() <= keep_rotated {
+        return;
+    }
+    rotated.sort();
+    let excess = rotated.len() - keep_rotated;
+    for old in &rotated[..excess] {
+        let _ = std::fs::remove_file(old);
+    }
+}
+
 /// The ingest thread body.
 fn ingest_loop(
     mut run: ResumableRun,
@@ -269,28 +338,69 @@ fn ingest_loop(
     let mut checkpoints = 0u64;
     let mut since_snapshot = 0u64;
     let mut since_checkpoint = 0u64;
+    // `start` already published the initial snapshot for this state.
+    let mut last_published: Option<(u64, u64)> = Some((run.position(), checkpoints));
+    // Position of the checkpoint currently at `checkpoint_path`, for
+    // rotation. A file found at startup holds the resumed position.
+    let mut last_ckpt_pos: Option<u64> = cfg
+        .checkpoint_path
+        .as_ref()
+        .filter(|p| p.exists())
+        .map(|_| run.position());
 
-    let publish = |run: &ResumableRun, seq: &mut u64, checkpoints: u64| {
-        *seq += 1;
-        published.store(Snapshot::from_estimate(
-            &run.estimate(),
-            &cfg.rept,
-            cfg.engine,
-            run.position(),
-            *seq,
-            checkpoints,
-            cfg.top_k,
-        ));
-    };
-    let write_checkpoint = |run: &ResumableRun| -> Result<u64, String> {
-        let path = cfg
-            .checkpoint_path
-            .as_ref()
-            .ok_or_else(|| "no checkpoint path configured".to_string())?;
-        run.checkpoint_to_file(path)
-            .map_err(|e| format!("checkpoint write failed: {e}"))?;
-        Ok(run.position())
-    };
+    let publish =
+        |run: &ResumableRun, seq: &mut u64, last: &mut Option<(u64, u64)>, checkpoints: u64| {
+            // Snapshot assembly clones the per-node counter maps; when
+            // nothing changed since the last publication, the published
+            // `Arc` body is already exact — keep it (seq-guarded reuse).
+            if *last == Some((run.position(), checkpoints)) {
+                return;
+            }
+            *seq += 1;
+            published.store(Snapshot::from_estimate(
+                &run.estimate(),
+                &cfg.rept,
+                cfg.engine,
+                run.position(),
+                *seq,
+                checkpoints,
+                cfg.top_k,
+            ));
+            *last = Some((run.position(), checkpoints));
+        };
+    let write_checkpoint =
+        |run: &ResumableRun, last_pos: &mut Option<u64>| -> Result<u64, String> {
+            let path = cfg
+                .checkpoint_path
+                .as_ref()
+                .ok_or_else(|| "no checkpoint path configured".to_string())?;
+            // Rotation: preserve the previous checkpoint under a
+            // position-stamped name via a hard link (copy fallback) —
+            // never by moving it away, so a failed write below still
+            // leaves the primary checkpoint intact for the next restart.
+            // The write-then-rename replaces the primary's directory
+            // entry; the rotated name keeps pointing at the old inode.
+            // Same-position rewrites produce the identical blob, so
+            // rotating them would only duplicate the file.
+            if cfg.checkpoint_keep > 1 {
+                if let Some(prev) = *last_pos {
+                    if prev != run.position() && path.exists() {
+                        let rotated = rotated_checkpoint_path(path, prev);
+                        let _ = std::fs::remove_file(&rotated);
+                        if std::fs::hard_link(path, &rotated).is_err() {
+                            let _ = std::fs::copy(path, &rotated);
+                        }
+                    }
+                }
+            }
+            run.checkpoint_to_file(path)
+                .map_err(|e| format!("checkpoint write failed: {e}"))?;
+            *last_pos = Some(run.position());
+            // Unconditional: lowering `checkpoint_keep` on a redeploy
+            // must also clean up rotated files a higher setting left.
+            prune_rotated(path, cfg.checkpoint_keep - 1);
+            Ok(run.position())
+        };
 
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -300,7 +410,7 @@ fn ingest_loop(
                 since_snapshot += n;
                 since_checkpoint += n;
                 if since_snapshot >= cfg.snapshot_every {
-                    publish(&run, &mut seq, checkpoints);
+                    publish(&run, &mut seq, &mut last_published, checkpoints);
                     since_snapshot = 0;
                 }
                 if let Some(every) = cfg.checkpoint_every {
@@ -308,20 +418,20 @@ fn ingest_loop(
                         // Periodic checkpoints are best-effort; an
                         // unwritable path surfaces on the explicit
                         // `Checkpoint` request instead of killing ingest.
-                        checkpoints += write_checkpoint(&run).is_ok() as u64;
+                        checkpoints += write_checkpoint(&run, &mut last_ckpt_pos).is_ok() as u64;
                         since_checkpoint = 0;
                     }
                 }
             }
             Control::Flush(reply) => {
-                publish(&run, &mut seq, checkpoints);
+                publish(&run, &mut seq, &mut last_published, checkpoints);
                 since_snapshot = 0;
                 let _ = reply.send(run.position());
             }
             Control::Checkpoint(reply) => {
-                let result = write_checkpoint(&run);
+                let result = write_checkpoint(&run, &mut last_ckpt_pos);
                 checkpoints += result.is_ok() as u64;
-                publish(&run, &mut seq, checkpoints);
+                publish(&run, &mut seq, &mut last_published, checkpoints);
                 since_snapshot = 0;
                 since_checkpoint = 0;
                 let _ = reply.send(result);
@@ -332,9 +442,9 @@ fn ingest_loop(
     // Final checkpoint + snapshot so a restart resumes from the exact
     // shutdown position (and the last snapshot reflects the write).
     if cfg.checkpoint_path.is_some() {
-        checkpoints += write_checkpoint(&run).is_ok() as u64;
+        checkpoints += write_checkpoint(&run, &mut last_ckpt_pos).is_ok() as u64;
     }
-    publish(&run, &mut seq, checkpoints);
+    publish(&run, &mut seq, &mut last_published, checkpoints);
     run
 }
 
@@ -441,6 +551,120 @@ mod tests {
             Some(SnapshotError::Invalid("checkpoint/engine mismatch"))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn idle_flushes_reuse_the_published_snapshot() {
+        let stream = stream();
+        let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
+        core.ingest(stream[..300].to_vec());
+        core.flush();
+        let first = core.snapshot();
+        // No edges since the last publication: the snapshot body must be
+        // reused (same Arc), not re-assembled from a counter clone.
+        core.flush();
+        core.flush();
+        let reused = core.snapshot();
+        assert!(Arc::ptr_eq(&first, &reused), "idle flush re-clones state");
+        assert_eq!(reused.seq, first.seq);
+        // New edges end the reuse window.
+        core.ingest(stream[300..].to_vec());
+        core.flush();
+        let fresh = core.snapshot();
+        assert!(!Arc::ptr_eq(&first, &fresh));
+        assert!(fresh.seq > first.seq);
+        assert_eq!(fresh.position, stream.len() as u64);
+        core.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_rotation_keeps_the_last_k() {
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!("rept-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.rpck");
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(path.clone(), None)
+            .with_checkpoint_keep(2);
+        assert_eq!(cfg.checkpoint_keep, 2);
+        let core = ServeCore::start(cfg).expect("start");
+        let mut positions = Vec::new();
+        for chunk in stream.chunks(150).take(4) {
+            core.ingest(chunk.to_vec());
+            positions.push(core.checkpoint().expect("checkpoint"));
+        }
+        core.shutdown(); // final checkpoint at the last position: no-op rotation
+
+        let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".rpck"))
+            .collect();
+        on_disk.sort();
+        assert_eq!(
+            on_disk.len(),
+            2,
+            "keep = 2 ⇒ primary + one rotated, got {on_disk:?}"
+        );
+        // The primary holds the newest position, the rotated sibling the
+        // one before it — and both restore.
+        let newest = ResumableRun::from_checkpoint_file(&path).expect("primary readable");
+        assert_eq!(newest.position(), *positions.last().unwrap());
+        let rotated = dir.join(on_disk.iter().find(|n| *n != "serve.rpck").unwrap());
+        let older = ResumableRun::from_checkpoint_file(&rotated).expect("rotated readable");
+        assert_eq!(older.position(), positions[positions.len() - 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_with_rotation_never_loses_the_primary_checkpoint() {
+        // Rotation must preserve (hard link / copy), never move, the
+        // primary: if the next write fails, the last good checkpoint
+        // still sits at `checkpoint_path` for the restart to resume
+        // from.
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!("rept-rot-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.rpck");
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(path.clone(), None)
+            .with_checkpoint_keep(3);
+        let core = ServeCore::start(cfg).expect("start");
+        core.ingest(stream[..100].to_vec());
+        let pos = core.checkpoint().expect("first checkpoint");
+        // Sabotage every further write: a directory squats on the
+        // write-then-rename temp path.
+        std::fs::create_dir(dir.join("serve.rpck.tmp")).expect("squat tmp path");
+        core.ingest(stream[100..200].to_vec());
+        assert!(core.checkpoint().is_err(), "sabotaged write must fail");
+        drop(core); // final best-effort checkpoint also fails — fine
+        let back = ResumableRun::from_checkpoint_file(&path).expect("primary intact");
+        assert_eq!(back.position(), pos, "last good checkpoint survives");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_keep_leaves_a_single_checkpoint_file() {
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!("rept-keep1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.rpck");
+        let core =
+            ServeCore::start(ServeConfig::new(base_cfg()).with_checkpoint(path.clone(), None))
+                .expect("start");
+        for chunk in stream.chunks(120).take(3) {
+            core.ingest(chunk.to_vec());
+            core.checkpoint().expect("checkpoint");
+        }
+        core.shutdown();
+        let count = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".rpck"))
+            .count();
+        assert_eq!(count, 1, "keep = 1 must not accumulate rotated files");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

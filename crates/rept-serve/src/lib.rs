@@ -6,18 +6,24 @@
 //! REPT estimator into that service — std-only, `#![forbid(unsafe_code)]`:
 //!
 //! * [`core::ServeCore`] — the transport-free subsystem: one ingest
-//!   thread drives an engine-aware
-//!   [`ResumableRun`](rept_core::resume::ResumableRun) incrementally in
-//!   batches behind a **bounded** channel (producers feel backpressure),
-//!   periodically assembles an immutable [`snapshot::Snapshot`]
-//!   (global `τ̂` with a plug-in 95% confidence interval, per-node
-//!   `τ̂_v` with a top-k index, stream and memory stats) and publishes
-//!   it through an `Arc` swap — **snapshot-isolated queries** that
-//!   never block ingestion.
+//!   thread drives the unified execution core
+//!   ([`EngineCore`](rept_core::engine::EngineCore), wrapped by
+//!   [`ResumableRun`](rept_core::resume::ResumableRun) for
+//!   checkpointing — the *same* code the batch drivers run)
+//!   incrementally in batches behind a **bounded** channel (producers
+//!   feel backpressure), periodically assembles an immutable
+//!   [`snapshot::Snapshot`] (global `τ̂` with a plug-in 95% confidence
+//!   interval, per-node `τ̂_v` with a top-k index, stream and memory
+//!   stats) and publishes it through an `Arc` swap — **snapshot-isolated
+//!   queries** that never block ingestion. Idle publication points
+//!   (no edges since the last snapshot) reuse the published `Arc` body
+//!   instead of re-cloning the counter maps.
 //! * [`server::Server`] — a line-oriented TCP front-end over a thread
 //!   pool; [`client::Client`] is the matching blocking client.
 //! * **Crash safety** — periodic / on-demand / at-shutdown checkpoints
-//!   in the RPCK v2 format (write-then-rename), resume-on-startup.
+//!   in the RPCK v3 format (write-then-rename; v1/v2 blobs still
+//!   restore), resume-on-startup, and optional rotation keeping the
+//!   last *k* checkpoint files ([`ServeConfig::checkpoint_keep`]).
 //!   Kill-and-restart plus replay from the checkpointed position is
 //!   **bit-identical** to an uninterrupted run, on every engine — the
 //!   serve proptests pin this down.

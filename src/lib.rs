@@ -21,6 +21,36 @@
 //! * [`serve`] — concurrent serving subsystem: streaming ingest,
 //!   snapshot-isolated queries, crash-safe resume ([`rept_serve`])
 //!
+//! ## Architecture: one incremental execution core
+//!
+//! Every way of running the estimator drives the same type —
+//! [`rept_core::engine::EngineCore`] — which owns the engine-specific
+//! state of a run (per-worker workers, fused hash groups, or the fused
+//! sorted layout with its shared structures) behind four operations:
+//! `ingest_batch`, `compact`, `snapshot_counters`, `finalize`.
+//!
+//! * **Batch** (`Rept::run*`, the figure binaries, the benches):
+//!   construct a core, **ingest everything, then finalize**. Threaded
+//!   runs construct one core per thread over a subset of hash groups
+//!   and combine the finalized aggregates.
+//! * **Resume** ([`rept_core::resume::ResumableRun`]): the same core
+//!   fed batch by batch, plus the RPCK v3 checkpoint codec (v1/v2
+//!   blobs still restore). Results are independent of batch
+//!   boundaries, so kill-and-resume is bit-identical.
+//! * **Serve** ([`rept_serve::ServeCore`]): an ingest thread around a
+//!   resumable run, snapshot-isolated queries, checkpoint rotation.
+//!
+//! Because batch, resume and serve execute identical code, their
+//! bit-identical agreement holds by construction; the proptests pin it
+//! down across engines and duplicate-edge streams.
+//!
+//! On the sorted engine the core also picks the strongest structure
+//! sharing a layout admits: all *full* hash groups share one neighbor
+//! structure walk (tag column per group), and a *remainder* group
+//! (`c mod m ≠ 0`) is folded into that same walk through a masked tag
+//! column ([`rept_graph::masked_tagged::MaskedSortedTaggedAdjacency`])
+//! instead of paying its own structure walk per edge.
+//!
 //! ## Quickstart
 //!
 //! ```
