@@ -16,6 +16,12 @@
 //! groups — the sorted engine's shared-structure path), locals tracked,
 //! snapshots published every 4096 edges.
 //!
+//! A third section measures **tenant scaling**: sustained `INGEST * …`
+//! fan-out throughput of the multi-tenant router at 1/2/4 tenants
+//! (fused-sorted, `m = 64, c = 64`) — each stream edge is applied once
+//! *per tenant*, so the per-tenant rate divided into the single-tenant
+//! rate shows the fan-out cost.
+//!
 //! Run: `cargo run --release --bin bench_serve [-- --out FILE --nodes N]`
 //! (default output: `BENCH_serve.json`).
 
@@ -26,10 +32,11 @@ use std::time::Instant;
 use rept_core::{Engine, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
 use rept_metrics::LatencyRecorder;
-use rept_serve::{Client, ServeConfig, Server};
+use rept_serve::{Client, RouterConfig, ServeConfig, Server};
 
 const M: u64 = 64;
 const PROCESSOR_COUNTS: [u64; 2] = [64, 256];
+const TENANT_COUNTS: [usize; 3] = [1, 2, 4];
 const SNAPSHOT_EVERY: u64 = 4096;
 const INGEST_CHUNK: usize = 1024;
 
@@ -181,6 +188,48 @@ fn main() {
         results.push(m);
     }
 
+    // Tenant scaling: fan-out ingest over the multi-tenant router.
+    // One producer streams `INGEST * …` lines; every tenant applies
+    // every edge, so total estimator work scales with the tenant count.
+    let mut tenant_rows = Vec::new();
+    for tenants in TENANT_COUNTS {
+        let cfg = ReptConfig::new(M, M).with_seed(7); // c = m, one group
+        let router_cfg = RouterConfig::new(
+            ServeConfig::new(cfg)
+                .with_snapshot_every(SNAPSHOT_EVERY)
+                .with_top_k(10),
+        );
+        let server = Server::start_router(router_cfg, "127.0.0.1:0", 2).expect("bind server");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for i in 1..tenants {
+            // Independent seeds per tenant, like real per-customer
+            // estimators (`default` keeps the base seed).
+            client
+                .tenant_create(&format!("t{i}"), &format!("seed={}", 100 + i))
+                .expect("create tenant");
+        }
+        let start = Instant::now();
+        for chunk in stream.chunks(INGEST_CHUNK) {
+            client.ingest_to("*", chunk).expect("fan-out ingest");
+        }
+        for i in 0..tenants {
+            if i > 0 {
+                client.use_tenant(&format!("t{i}")).expect("use");
+            }
+            client.flush().expect("flush");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        drop(client);
+        server.shutdown_all();
+        let stream_rate = stream.len() as f64 / secs;
+        eprintln!(
+            "  fan-out {tenants} tenant(s): {stream_rate:>10.0} stream edges/s \
+             ({:.0} applied edges/s, {secs:.2} s)",
+            stream_rate * tenants as f64
+        );
+        tenant_rows.push((tenants, secs, stream_rate));
+    }
+
     // Hand-rolled JSON, matching the workspace's no-serde convention.
     let mut json = String::new();
     json.push_str("{\n");
@@ -212,7 +261,21 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"tenant_scaling\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
+         \"transport\": \"tcp-loopback\", \"host_cores\": {host_cores}, \"rows\": [\n"
+    ));
+    for (i, (tenants, secs, stream_rate)) in tenant_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenants\": {tenants}, \"ingest_seconds\": {secs:.6}, \
+             \"stream_edges_per_sec\": {stream_rate:.1}, \
+             \"applied_edges_per_sec\": {:.1}}}{}\n",
+            stream_rate * *tenants as f64,
+            if i + 1 < tenant_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
 
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

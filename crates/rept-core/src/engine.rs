@@ -17,11 +17,16 @@
 //! * **Batch execution is "ingest everything, then finalize"**: the
 //!   whole-stream drivers on [`Rept`] construct a core, feed it the
 //!   stream, and combine the aggregates — nothing else.
-//! * The incremental layers (`ResumableRun`, `rept-serve`) hold a core
-//!   and feed it batches as they arrive; checkpoints serialise the
-//!   core's state. Because every driver runs the identical code, batch,
-//!   resume and serve are bit-identical by construction rather than by
-//!   proptest alone.
+//! * The incremental layers (`ResumableRun`, `rept-serve` — including
+//!   every tenant of its multi-tenant router, which is one core per
+//!   tenant) hold a core and feed it batches as they arrive;
+//!   checkpoints serialise the core's state. Because every driver runs
+//!   the identical code, batch, resume and serve are bit-identical by
+//!   construction rather than by proptest alone.
+//!
+//! The full layer diagram — who constructs a core, who wraps whom, and
+//! where the checkpoint codec sits — is drawn in `docs/ARCHITECTURE.md`
+//! at the repository root.
 //!
 //! Results are independent of how the stream is split into
 //! `ingest_batch` calls (batch boundaries only influence *when*

@@ -38,7 +38,13 @@
 //! execution core ([`crate::engine::EngineCore`]): batch execution is
 //! "construct a core, ingest the stream, finalize" — the same code the
 //! resumable and serving layers run incrementally, which is what makes
-//! batch, resume and serve bit-identical by construction.
+//! batch, resume and serve bit-identical by construction. The group
+//! build/drain machinery lives entirely in [`crate::engine`] and
+//! [`crate::fused`]; what remains *here* is the configuration-derived
+//! group layout ([`Rept::new`] caches it), the per-worker reference
+//! drivers, and the combination arithmetic
+//! ([`Rept::finalize_groups`] turns any engine's [`GroupAggregate`]s
+//! into a [`ReptEstimate`] via the paper's Graybill–Deal weights).
 //!
 //! All drivers are deterministic given the hash seed, so scheduling cannot
 //! affect the output — a property the integration tests assert.

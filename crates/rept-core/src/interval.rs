@@ -11,6 +11,13 @@
 //! fresh hash seed per interval (estimates across intervals stay
 //! independent — important when differencing consecutive intervals for
 //! anomaly scores).
+//!
+//! The per-interval seed derivation ([`IntervalEstimator::config_for`])
+//! is also the contract the serving tier builds on: a `rept-serve`
+//! tenant created with `interval=i` runs under exactly
+//! `config_for(i)`, so a live sliding-window deployment and this batch
+//! driver produce bit-identical per-window estimates from the same
+//! edges.
 
 use rept_graph::edge::Edge;
 use rept_hash::rng::SplitMix64;
@@ -42,7 +49,16 @@ impl IntervalEstimator {
         Self { base }
     }
 
-    /// The configuration an interval with this index runs under.
+    /// The base configuration the per-interval configs are derived from.
+    pub fn base(&self) -> &ReptConfig {
+        &self.base
+    }
+
+    /// The configuration an interval with this index runs under. This
+    /// derivation is a stable contract: interval-derived serving
+    /// tenants (`rept-serve`) and checkpointed deployments rely on
+    /// `config_for(i)` producing the same seed across processes and
+    /// releases.
     pub fn config_for(&self, interval: u64) -> ReptConfig {
         // Independent hash per interval, derived from the base seed.
         let seed = SplitMix64::new(self.base.seed).fork(interval).next_u64();

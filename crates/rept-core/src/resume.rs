@@ -37,6 +37,15 @@
 //! current core layout. It is a snapshot format, not an archival one —
 //! the version field guards against reading snapshots across
 //! incompatible releases.
+//!
+//! Everything above the core builds on this type: the serving
+//! subsystem's `ServeCore` wraps one `ResumableRun` per instance, and
+//! its multi-tenant router keeps one checkpoint *directory* per tenant
+//! (primary blob plus position-stamped rotated siblings) — all in this
+//! same format, so a tenant checkpoint is readable by
+//! [`ResumableRun::from_checkpoint_file`] like any other. The full
+//! lineage (v1 → v3, with sizes and compatibility guarantees) is
+//! documented in `docs/ARCHITECTURE.md` at the repository root.
 
 use std::path::{Path, PathBuf};
 

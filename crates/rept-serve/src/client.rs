@@ -200,4 +200,136 @@ impl Client {
     pub fn shutdown_server(&mut self) -> std::io::Result<()> {
         self.request("SHUTDOWN").map(|_| ())
     }
+
+    // ---- v2: tenant scoping ------------------------------------------
+
+    /// `USE name` — switches this connection's current tenant; every
+    /// later v1-form command acts on it.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors (including unknown tenants).
+    pub fn use_tenant(&mut self, name: &str) -> std::io::Result<()> {
+        self.request(&format!("USE {name}")).map(|_| ())
+    }
+
+    /// `TENANT CREATE name [key=value …]` — creates a tenant. `options`
+    /// is the raw option string (`""` inherits the router base config
+    /// entirely), e.g. `"engine=per-worker seed=9"`.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn tenant_create(&mut self, name: &str, options: &str) -> std::io::Result<()> {
+        let line = if options.is_empty() {
+            format!("TENANT CREATE {name}")
+        } else {
+            format!("TENANT CREATE {name} {options}")
+        };
+        self.request(&line).map(|_| ())
+    }
+
+    /// `TENANT CREATE name interval=i` — creates an interval-derived
+    /// tenant (independent seed for window `i`).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn tenant_create_interval(&mut self, name: &str, interval: u64) -> std::io::Result<()> {
+        self.tenant_create(name, &format!("interval={interval}"))
+    }
+
+    /// `TENANT LIST` — `(tenant, stream position)` pairs, sorted by
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn tenant_list(&mut self) -> std::io::Result<Vec<(String, u64)>> {
+        let reply = self.request("TENANT LIST")?;
+        let mut out = Vec::new();
+        // Skip `OK TENANTS n=<count>` positionally — a tenant may
+        // legitimately be named `n`, so the header cannot be filtered
+        // by key. Entries are `name=position[:interval=i]`.
+        for tok in reply.split_ascii_whitespace().skip(3) {
+            let Some((name, rest)) = tok.split_once('=') else {
+                continue;
+            };
+            let position = rest
+                .split(':')
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed tenant entry")
+                })?;
+            out.push((name.to_string(), position));
+        }
+        Ok(out)
+    }
+
+    /// `TENANT DROP name` — shuts the tenant down and removes it.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn tenant_drop(&mut self, name: &str) -> std::io::Result<()> {
+        self.request(&format!("TENANT DROP {name}")).map(|_| ())
+    }
+
+    /// Streams edges to a tenant scope (`"*"` for all tenants, or a
+    /// comma-separated tenant list) in `INGEST_CHUNK`-edge lines;
+    /// returns the number of edges sent.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn ingest_to(&mut self, scope: &str, edges: &[Edge]) -> std::io::Result<usize> {
+        for chunk in edges.chunks(INGEST_CHUNK) {
+            let mut line = String::with_capacity(8 * chunk.len() + 8 + scope.len());
+            line.push_str("INGEST ");
+            line.push_str(scope);
+            for e in chunk {
+                line.push_str(&format!(" {} {}", e.u(), e.v()));
+            }
+            self.request(&line)?;
+        }
+        Ok(edges.len())
+    }
+
+    /// `TOPK k *` — the k largest local estimates across all tenants,
+    /// descending, as `(tenant, node, τ̂_v)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn top_k_all(&mut self, k: usize) -> std::io::Result<Vec<(String, NodeId, f64)>> {
+        let reply = self.request(&format!("TOPK {k} *"))?;
+        let mut out = Vec::new();
+        for tok in reply.split_ascii_whitespace().skip(3) {
+            // Entries are `tenant/node=value` after the `k=` header.
+            let Some((key, value)) = tok.split_once('=') else {
+                continue;
+            };
+            let Some((tenant, node)) = key.split_once('/') else {
+                continue;
+            };
+            let node = node.parse::<NodeId>().map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed top-k node")
+            })?;
+            let value = value.parse::<f64>().map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed top-k entry")
+            })?;
+            out.push((tenant.to_string(), node, value));
+        }
+        Ok(out)
+    }
+
+    /// `STATS *` — the raw aggregated stats reply line.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn stats_all(&mut self) -> std::io::Result<String> {
+        self.request("STATS *")
+    }
 }

@@ -2,8 +2,9 @@
 //! [`ResumableRun`], snapshot publication, and crash-safe checkpoints.
 //!
 //! [`ServeCore`] is the transport-free heart of the subsystem — the TCP
-//! front-end ([`crate::server`]), the benches and the tests all drive
-//! this same type. Producers push edge batches into a **bounded**
+//! front-end ([`crate::server`]), the multi-tenant router
+//! ([`crate::tenant::TenantRouter`], which owns one `ServeCore` per
+//! tenant), the benches and the tests all drive this same type. Producers push edge batches into a **bounded**
 //! channel (backpressure, like the cluster simulation's network links);
 //! the single ingest thread applies them in arrival order, which keeps
 //! the estimator state — and therefore every checkpoint — a pure
@@ -143,6 +144,8 @@ pub struct ServeCore {
     published: Arc<Published<Snapshot>>,
     ingest: Option<JoinHandle<ResumableRun>>,
     cfg: ServeConfig,
+    /// See [`Self::disable_checkpoints`].
+    ckpt_disabled: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl ServeCore {
@@ -183,11 +186,13 @@ impl ServeCore {
         let published = Arc::new(Published::new(initial));
         let (tx, rx) = sync_channel::<Control>(cfg.channel_capacity.max(1));
 
+        let ckpt_disabled = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let thread_published = Arc::clone(&published);
         let thread_cfg = cfg.clone();
+        let thread_disabled = Arc::clone(&ckpt_disabled);
         let ingest = std::thread::Builder::new()
             .name("rept-serve-ingest".into())
-            .spawn(move || ingest_loop(run, rx, thread_published, thread_cfg))
+            .spawn(move || ingest_loop(run, rx, thread_published, thread_cfg, thread_disabled))
             .expect("spawn ingest thread");
 
         Ok(Self {
@@ -195,12 +200,25 @@ impl ServeCore {
             published,
             ingest: Some(ingest),
             cfg,
+            ckpt_disabled,
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// Permanently disables checkpoint writes (periodic, on-demand and
+    /// the final one at shutdown). The tenant router sets this when a
+    /// tenant is dropped: its checkpoint directory is deleted, and a
+    /// late final checkpoint from a still-draining core must not land
+    /// in a *recreated* directory of the same name (a subsequent
+    /// `TENANT CREATE`), where the stale-config blob would poison the
+    /// next restart.
+    pub(crate) fn disable_checkpoints(&self) {
+        self.ckpt_disabled
+            .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Queues a batch of edges for ingestion. Blocks when the bounded
@@ -333,6 +351,7 @@ fn ingest_loop(
     rx: std::sync::mpsc::Receiver<Control>,
     published: Arc<Published<Snapshot>>,
     cfg: ServeConfig,
+    ckpt_disabled: Arc<std::sync::atomic::AtomicBool>,
 ) -> ResumableRun {
     let mut seq = 0u64;
     let mut checkpoints = 0u64;
@@ -370,6 +389,9 @@ fn ingest_loop(
         };
     let write_checkpoint =
         |run: &ResumableRun, last_pos: &mut Option<u64>| -> Result<u64, String> {
+            if ckpt_disabled.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err("checkpointing disabled (tenant dropped)".to_string());
+            }
             let path = cfg
                 .checkpoint_path
                 .as_ref()
@@ -398,7 +420,9 @@ fn ingest_loop(
             *last_pos = Some(run.position());
             // Unconditional: lowering `checkpoint_keep` on a redeploy
             // must also clean up rotated files a higher setting left.
-            prune_rotated(path, cfg.checkpoint_keep - 1);
+            // Saturating: the field is pub, so a struct-literal config
+            // can bypass the builder's ≥ 1 clamp with `keep = 0`.
+            prune_rotated(path, cfg.checkpoint_keep.saturating_sub(1));
             Ok(run.position())
         };
 

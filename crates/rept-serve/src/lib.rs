@@ -1,4 +1,5 @@
-//! **rept-serve** — a concurrent triangle-count serving subsystem.
+//! **rept-serve** — a concurrent, multi-tenant triangle-count serving
+//! subsystem.
 //!
 //! The paper's motivating scenarios (spam/fraud ranking, router-level
 //! monitoring) are *online*: edges arrive continuously and estimates
@@ -18,32 +19,50 @@
 //!   queries** that never block ingestion. Idle publication points
 //!   (no edges since the last snapshot) reuse the published `Arc` body
 //!   instead of re-cloning the counter maps.
+//! * [`tenant::TenantRouter`] — the multi-tenant tier: N named
+//!   `ServeCore`s (independent config/engine/seed per tenant;
+//!   `interval=i` tenants derive their seed through
+//!   [`IntervalEstimator`](rept_core::interval::IntervalEstimator), so
+//!   sliding-window estimates are just tenants), per-tenant checkpoint
+//!   directories with rotation, all-tenant resume-on-startup, and
+//!   cross-tenant `STATS *` / `TOPK k *` aggregation.
 //! * [`server::Server`] — a line-oriented TCP front-end over a thread
-//!   pool; [`client::Client`] is the matching blocking client.
+//!   pool; [`client::Client`] is the matching blocking client. Each
+//!   connection is scoped to one *current tenant* (`USE`), starting at
+//!   `default` — so v1 clients work unchanged.
 //! * **Crash safety** — periodic / on-demand / at-shutdown checkpoints
 //!   in the RPCK v3 format (write-then-rename; v1/v2 blobs still
 //!   restore), resume-on-startup, and optional rotation keeping the
 //!   last *k* checkpoint files ([`ServeConfig::checkpoint_keep`]).
 //!   Kill-and-restart plus replay from the checkpointed position is
-//!   **bit-identical** to an uninterrupted run, on every engine — the
-//!   serve proptests pin this down.
+//!   **bit-identical** to an uninterrupted run, on every engine and for
+//!   every tenant — the serve proptests pin this down.
 //!
-//! # Wire protocol
+//! # Wire protocol (v2)
 //!
 //! One request per line (ASCII, space-separated, `\n`-terminated), one
 //! reply line per request. Replies start with `OK` or `ERR <message>`.
 //! Floats use Rust's shortest-roundtrip formatting, so parsing a reply
-//! recovers the bit-identical `f64` the server computed.
+//! recovers the bit-identical `f64` the server computed. The complete
+//! reference — argument grammar, reply grammar, error lines — lives in
+//! `docs/PROTOCOL.md` at the repository root.
 //!
 //! | Request                    | Reply                                                        |
 //! |----------------------------|--------------------------------------------------------------|
-//! | `INGEST u1 v1 [u2 v2 …]`   | `OK INGEST <n>` — n edges queued (backpressure may block)    |
+//! | `INGEST u1 v1 [u2 v2 …]`   | `OK INGEST <n>` — n edges queued to the current tenant       |
+//! | `INGEST <scope> u1 v1 …`   | `OK INGEST <n> tenants=<t>` — scope `*` or `a,b,…` fan-out   |
 //! | `QUERY GLOBAL`             | `OK GLOBAL position=<p> tau=<τ̂> ci95=<lo>,<hi>` (`ci95=na` without η) |
 //! | `QUERY LOCAL <v>`          | `OK LOCAL position=<p> node=<v> tau_v=<τ̂_v>`                |
 //! | `TOPK <k>`                 | `OK TOPK position=<p> k=<n> <v1>=<τ̂1> … <vn>=<τ̂n>` (descending) |
+//! | `TOPK <k> *`               | `OK TOPK ALL k=<n> <t1>/<v1>=<τ̂1> …` — merged across tenants |
 //! | `STATS`                    | `OK STATS position= seq= checkpoints= engine= m= c= stored_edges= bytes= tracked_nodes=` |
+//! | `STATS *`                  | `OK STATS ALL tenants= position= stored_edges= bytes= checkpoints= tracked_nodes=` |
 //! | `FLUSH`                    | `OK FLUSH position=<p>` — barrier: everything queued is applied and republished |
 //! | `CHECKPOINT`               | `OK CHECKPOINT position=<p>` — state durably on disk          |
+//! | `TENANT CREATE <t> [k=v …]`| `OK TENANT CREATED <t>` — options: engine, m, c, seed, interval |
+//! | `TENANT LIST`              | `OK TENANTS n=<n> <t>=<pos>[:interval=<i>] …`                 |
+//! | `TENANT DROP <t>`          | `OK TENANT DROPPED <t>` (`default` is protected)              |
+//! | `USE <t>`                  | `OK USING <t>` — switches this connection's current tenant    |
 //! | `SHUTDOWN`                 | `OK BYE` — server stops accepting and drains                  |
 //!
 //! Self-loops are rejected (`ERR self-loop …`); duplicate stream edges
@@ -69,6 +88,27 @@
 //! assert!(snapshot.global >= 0.0);
 //! core.shutdown();
 //! ```
+//!
+//! Multi-tenant, in process:
+//!
+//! ```
+//! use rept_core::ReptConfig;
+//! use rept_graph::edge::Edge;
+//! use rept_serve::protocol::{Scope, TenantOptions};
+//! use rept_serve::tenant::{RouterConfig, TenantRouter};
+//! use rept_serve::ServeConfig;
+//!
+//! let base = ServeConfig::new(ReptConfig::new(2, 2).with_seed(7));
+//! let router = TenantRouter::start(RouterConfig::new(base)).unwrap();
+//! router.create("alpha", &TenantOptions { seed: Some(9), ..TenantOptions::default() }).unwrap();
+//! let fed = router
+//!     .ingest(&Scope::All, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+//!     .unwrap();
+//! assert_eq!(fed, 2); // default + alpha
+//! router.flush_all();
+//! assert_eq!(router.tenant("alpha").unwrap().position(), 3);
+//! router.shutdown();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,8 +118,10 @@ pub mod core;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod tenant;
 
 pub use crate::core::{ServeConfig, ServeCore};
 pub use client::{Client, GlobalEstimate};
 pub use server::Server;
 pub use snapshot::{Published, Snapshot};
+pub use tenant::{RouterConfig, RouterStats, TenantRouter};

@@ -1,10 +1,26 @@
-//! The line-oriented wire protocol: command parsing and reply
+//! The line-oriented wire protocol (v2): command parsing and reply
 //! formatting.
 //!
 //! Pure functions over strings — the TCP server and the client both go
 //! through this module, and the unit tests exercise the grammar without
-//! a socket. The full specification lives in the crate-level docs
-//! ([`crate`]).
+//! a socket. The full specification lives in `docs/PROTOCOL.md` at the
+//! repository root (kept honest by a test that asserts every
+//! [`Command`] variant is documented there) with a summary table in the
+//! crate-level docs ([`crate`]).
+//!
+//! ## Versions
+//!
+//! * **v1** — single-estimator commands: `INGEST u v …`,
+//!   `QUERY GLOBAL`, `QUERY LOCAL`, `TOPK`, `STATS`, `FLUSH`,
+//!   `CHECKPOINT`, `SHUTDOWN`.
+//! * **v2** (current) — adds tenant scoping on top, fully
+//!   backwards-compatible: every v1 line parses exactly as before and
+//!   acts on the connection's *current* tenant, which starts as
+//!   `default`. New commands: `TENANT CREATE/LIST/DROP`, `USE <t>`, the
+//!   scoped ingest form `INGEST <scope> u v …` (scope = `*` or a
+//!   comma-separated tenant list — unambiguous because tenant names
+//!   must start with a letter while node ids are numeric), and the
+//!   cross-tenant query forms `STATS *` and `TOPK <k> *`.
 //!
 //! Floats are formatted with Rust's shortest-roundtrip `Display`, so a
 //! client parsing a reply recovers the **bit-identical** `f64` the
@@ -15,25 +31,126 @@ use rept_graph::edge::{Edge, NodeId};
 
 use crate::snapshot::Snapshot;
 
+/// Maximum tenant name length accepted by [`validate_tenant_name`].
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// The tenant every connection starts scoped to, and the one a v1
+/// client (which never sends `USE`) talks to for its whole session.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Which tenants an `INGEST` line feeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// v1 form (`INGEST u v …`): the connection's current tenant.
+    Current,
+    /// `INGEST * u v …`: every tenant of the router.
+    All,
+    /// `INGEST a,b u v …`: the named tenants.
+    Named(Vec<String>),
+}
+
+/// Per-tenant configuration overrides carried by `TENANT CREATE`.
+/// Unset fields inherit the router's base configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantOptions {
+    /// `engine=<per-worker|fused-hash|fused-sorted>`.
+    pub engine: Option<rept_core::Engine>,
+    /// `m=<partition size>`.
+    pub m: Option<u64>,
+    /// `c=<processor count>`.
+    pub c: Option<u64>,
+    /// `seed=<hash seed>` — mutually exclusive with `interval`.
+    pub seed: Option<u64>,
+    /// `interval=<index>` — derive the tenant's seed from the router's
+    /// base seed through the `IntervalEstimator` sequence, making the
+    /// tenant an independent sliding-window estimator.
+    pub interval: Option<u64>,
+}
+
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `INGEST u1 v1 [u2 v2 …]` — queue edges for ingestion.
-    Ingest(Vec<Edge>),
-    /// `QUERY GLOBAL` — the global estimate with confidence interval.
+    /// `INGEST [scope] u1 v1 [u2 v2 …]` — queue edges for ingestion.
+    Ingest(Scope, Vec<Edge>),
+    /// `QUERY GLOBAL` — the current tenant's global estimate with
+    /// confidence interval.
     QueryGlobal,
     /// `QUERY LOCAL v` — one node's local estimate.
     QueryLocal(NodeId),
-    /// `TOPK k` — the k largest local estimates.
+    /// `TOPK k` — the k largest local estimates of the current tenant.
     TopK(usize),
-    /// `STATS` — server statistics.
+    /// `TOPK k *` — the k largest local estimates across all tenants,
+    /// merged descending, entries labelled `tenant/node=value`.
+    TopKAll(usize),
+    /// `STATS` — current-tenant server statistics.
     Stats,
-    /// `FLUSH` — barrier: apply everything queued, republish, reply.
+    /// `STATS *` — statistics aggregated over all tenants.
+    StatsAll,
+    /// `FLUSH` — barrier: apply everything queued to the current
+    /// tenant, republish, reply.
     Flush,
-    /// `CHECKPOINT` — write a checkpoint, reply with its position.
+    /// `CHECKPOINT` — checkpoint the current tenant, reply with its
+    /// position.
     Checkpoint,
     /// `SHUTDOWN` — stop accepting connections and drain.
     Shutdown,
+    /// `TENANT CREATE name [key=value …]` — create a tenant.
+    TenantCreate(String, TenantOptions),
+    /// `TENANT LIST` — list tenants and their stream positions.
+    TenantList,
+    /// `TENANT DROP name` — shut a tenant down and remove it.
+    TenantDrop(String),
+    /// `USE name` — switch the connection's current tenant.
+    Use(String),
+}
+
+/// One documented wire form per [`Command`] variant, in declaration
+/// order: `(variant name, canonical wire form)`. `docs/PROTOCOL.md` is
+/// kept honest by a test asserting every entry here appears in the doc,
+/// and that this table covers every enum variant in the source.
+pub const COMMAND_FORMS: &[(&str, &str)] = &[
+    ("Ingest", "INGEST"),
+    ("QueryGlobal", "QUERY GLOBAL"),
+    ("QueryLocal", "QUERY LOCAL"),
+    ("TopK", "TOPK"),
+    ("TopKAll", "TOPK <k> *"),
+    ("Stats", "STATS"),
+    ("StatsAll", "STATS *"),
+    ("Flush", "FLUSH"),
+    ("Checkpoint", "CHECKPOINT"),
+    ("Shutdown", "SHUTDOWN"),
+    ("TenantCreate", "TENANT CREATE"),
+    ("TenantList", "TENANT LIST"),
+    ("TenantDrop", "TENANT DROP"),
+    ("Use", "USE"),
+];
+
+/// Checks a tenant name: starts with an ASCII letter, continues with
+/// letters, digits, `_` or `-`, at most [`MAX_TENANT_NAME`] bytes. The
+/// leading letter is what disambiguates the scoped `INGEST` form from
+/// v1's numeric node ids, and the character set keeps names safe as
+/// checkpoint directory names.
+///
+/// # Errors
+///
+/// A description of the violation.
+pub fn validate_tenant_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("tenant name must not be empty".into());
+    }
+    if name.len() > MAX_TENANT_NAME {
+        return Err(format!("tenant name longer than {MAX_TENANT_NAME} bytes"));
+    }
+    let mut chars = name.chars();
+    if !chars.next().is_some_and(|c| c.is_ascii_alphabetic()) {
+        return Err(format!("tenant name {name:?} must start with a letter"));
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        return Err(format!(
+            "tenant name {name:?} may only contain letters, digits, '_' and '-'"
+        ));
+    }
+    Ok(())
 }
 
 /// Parses one request line.
@@ -47,14 +164,28 @@ pub fn parse(line: &str) -> Result<Command, String> {
     let verb = tokens.next().ok_or("empty command")?;
     match verb {
         "INGEST" => {
-            let mut edges = Vec::new();
-            let rest: Vec<&str> = tokens.collect();
+            let mut rest: Vec<&str> = tokens.collect();
+            if rest.is_empty() {
+                return Err("INGEST needs at least one edge".into());
+            }
+            // v2 scoped form: the leading token is a scope only when it
+            // *could* be one — `*` or something starting with a letter
+            // (tenant names must). Anything else (digits, and oddities
+            // like `+1` that u32 parsing accepts) flows through the v1
+            // node-id path unchanged, preserving exact v1 behaviour.
+            let scope = if rest[0] == "*" || rest[0].as_bytes()[0].is_ascii_alphabetic() {
+                let scope_tok = rest.remove(0);
+                parse_scope(scope_tok)?
+            } else {
+                Scope::Current
+            };
             if rest.is_empty() {
                 return Err("INGEST needs at least one edge".into());
             }
             if !rest.len().is_multiple_of(2) {
                 return Err("INGEST needs an even number of node ids".into());
             }
+            let mut edges = Vec::with_capacity(rest.len() / 2);
             for pair in rest.chunks(2) {
                 let u: NodeId = pair[0]
                     .parse()
@@ -65,7 +196,7 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 let e = Edge::try_new(u, v).ok_or(format!("self-loop {u}-{v} rejected"))?;
                 edges.push(e);
             }
-            Ok(Command::Ingest(edges))
+            Ok(Command::Ingest(scope, edges))
         }
         "QUERY" => match tokens.next() {
             Some("GLOBAL") => expect_end(tokens, Command::QueryGlobal),
@@ -79,14 +210,95 @@ pub fn parse(line: &str) -> Result<Command, String> {
         "TOPK" => {
             let k = tokens.next().ok_or("TOPK needs a count")?;
             let k: usize = k.parse().map_err(|_| format!("bad count {k:?}"))?;
-            expect_end(tokens, Command::TopK(k))
+            match tokens.next() {
+                None => Ok(Command::TopK(k)),
+                Some("*") => expect_end(tokens, Command::TopKAll(k)),
+                Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+            }
         }
-        "STATS" => expect_end(tokens, Command::Stats),
+        "STATS" => match tokens.next() {
+            None => Ok(Command::Stats),
+            Some("*") => expect_end(tokens, Command::StatsAll),
+            Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+        },
         "FLUSH" => expect_end(tokens, Command::Flush),
         "CHECKPOINT" => expect_end(tokens, Command::Checkpoint),
         "SHUTDOWN" => expect_end(tokens, Command::Shutdown),
+        "TENANT" => match tokens.next() {
+            Some("CREATE") => {
+                let name = tokens.next().ok_or("TENANT CREATE needs a name")?;
+                validate_tenant_name(name)?;
+                let opts = parse_tenant_options(tokens)?;
+                Ok(Command::TenantCreate(name.to_string(), opts))
+            }
+            Some("LIST") => expect_end(tokens, Command::TenantList),
+            Some("DROP") => {
+                let name = tokens.next().ok_or("TENANT DROP needs a name")?;
+                validate_tenant_name(name)?;
+                expect_end(tokens, Command::TenantDrop(name.to_string()))
+            }
+            _ => Err("TENANT needs CREATE, LIST or DROP".into()),
+        },
+        "USE" => {
+            let name = tokens.next().ok_or("USE needs a tenant name")?;
+            validate_tenant_name(name)?;
+            expect_end(tokens, Command::Use(name.to_string()))
+        }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Parses an ingest scope token: `*` or a comma-separated tenant list.
+/// Repeated names are rejected — a duplicate would silently apply every
+/// edge twice to that tenant, permanently diverging its estimate.
+fn parse_scope(tok: &str) -> Result<Scope, String> {
+    if tok == "*" {
+        return Ok(Scope::All);
+    }
+    let mut names: Vec<String> = Vec::new();
+    for name in tok.split(',') {
+        validate_tenant_name(name)?;
+        if names.iter().any(|n| n == name) {
+            return Err(format!("duplicate tenant {name:?} in scope"));
+        }
+        names.push(name.to_string());
+    }
+    Ok(Scope::Named(names))
+}
+
+/// Parses `key=value` tenant-creation options.
+fn parse_tenant_options<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+) -> Result<TenantOptions, String> {
+    let mut opts = TenantOptions::default();
+    for tok in tokens {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+        match key {
+            "engine" => {
+                opts.engine = Some(
+                    rept_core::Engine::from_name(value)
+                        .ok_or_else(|| format!("unknown engine {value:?}"))?,
+                );
+            }
+            "m" => opts.m = Some(parse_num(key, value)?),
+            "c" => opts.c = Some(parse_num(key, value)?),
+            "seed" => opts.seed = Some(parse_num(key, value)?),
+            "interval" => opts.interval = Some(parse_num(key, value)?),
+            other => return Err(format!("unknown tenant option {other:?}")),
+        }
+    }
+    if opts.seed.is_some() && opts.interval.is_some() {
+        return Err("seed and interval are mutually exclusive (interval derives the seed)".into());
+    }
+    Ok(opts)
+}
+
+fn parse_num(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value for {key}: {value:?}"))
 }
 
 fn expect_end<'a>(
@@ -133,6 +345,30 @@ pub fn format_top_k(snap: &Snapshot, k: usize) -> String {
     out
 }
 
+/// `OK TOPK ALL …` reply for `TOPK <k> *`: entries are
+/// `tenant/node=value`, merged across tenants, descending.
+pub fn format_top_k_all(entries: &[(String, NodeId, f64)], k: usize) -> String {
+    let mut out = format!("OK TOPK ALL k={}", entries.len().min(k));
+    for (tenant, v, t) in entries.iter().take(k) {
+        out.push_str(&format!(" {tenant}/{v}={t}"));
+    }
+    out
+}
+
+/// `OK STATS ALL …` reply for `STATS *`.
+pub fn format_stats_all(stats: &crate::tenant::RouterStats) -> String {
+    format!(
+        "OK STATS ALL tenants={} position={} stored_edges={} bytes={} checkpoints={} \
+         tracked_nodes={}",
+        stats.tenants,
+        stats.position,
+        stats.stored_edges,
+        stats.bytes,
+        stats.checkpoints,
+        stats.tracked_nodes,
+    )
+}
+
 /// `OK STATS …` reply for `STATS`.
 pub fn format_stats(snap: &Snapshot) -> String {
     format!(
@@ -161,12 +397,16 @@ pub fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rept_core::Engine;
 
     #[test]
-    fn parses_every_verb() {
+    fn parses_every_v1_verb() {
         assert_eq!(
             parse("INGEST 1 2 3 4"),
-            Ok(Command::Ingest(vec![Edge::new(1, 2), Edge::new(3, 4)]))
+            Ok(Command::Ingest(
+                Scope::Current,
+                vec![Edge::new(1, 2), Edge::new(3, 4)]
+            ))
         );
         assert_eq!(parse("QUERY GLOBAL"), Ok(Command::QueryGlobal));
         assert_eq!(parse("QUERY LOCAL 17"), Ok(Command::QueryLocal(17)));
@@ -179,6 +419,73 @@ mod tests {
     }
 
     #[test]
+    fn parses_tenant_verbs() {
+        assert_eq!(
+            parse("TENANT CREATE alpha"),
+            Ok(Command::TenantCreate(
+                "alpha".into(),
+                TenantOptions::default()
+            ))
+        );
+        assert_eq!(
+            parse("TENANT CREATE w7 engine=per-worker m=8 c=16 seed=3"),
+            Ok(Command::TenantCreate(
+                "w7".into(),
+                TenantOptions {
+                    engine: Some(Engine::PerWorker),
+                    m: Some(8),
+                    c: Some(16),
+                    seed: Some(3),
+                    interval: None,
+                }
+            ))
+        );
+        assert_eq!(
+            parse("TENANT CREATE win interval=4"),
+            Ok(Command::TenantCreate(
+                "win".into(),
+                TenantOptions {
+                    interval: Some(4),
+                    ..TenantOptions::default()
+                }
+            ))
+        );
+        assert_eq!(parse("TENANT LIST"), Ok(Command::TenantList));
+        assert_eq!(
+            parse("TENANT DROP alpha"),
+            Ok(Command::TenantDrop("alpha".into()))
+        );
+        assert_eq!(parse("USE alpha"), Ok(Command::Use("alpha".into())));
+    }
+
+    #[test]
+    fn parses_scoped_ingest_and_cross_tenant_queries() {
+        assert_eq!(
+            parse("INGEST * 1 2"),
+            Ok(Command::Ingest(Scope::All, vec![Edge::new(1, 2)]))
+        );
+        assert_eq!(
+            parse("INGEST alpha,beta 1 2"),
+            Ok(Command::Ingest(
+                Scope::Named(vec!["alpha".into(), "beta".into()]),
+                vec![Edge::new(1, 2)]
+            ))
+        );
+        // v1 node-id oddities that u32 parsing accepts must not be
+        // mistaken for scopes.
+        assert_eq!(
+            parse("INGEST +1 2"),
+            Ok(Command::Ingest(Scope::Current, vec![Edge::new(1, 2)]))
+        );
+        assert!(
+            parse("INGEST alpha,alpha 1 2").is_err(),
+            "duplicate scope names double-apply edges"
+        );
+        assert_eq!(parse("TOPK 5 *"), Ok(Command::TopKAll(5)));
+        assert_eq!(parse("STATS *"), Ok(Command::StatsAll));
+    }
+
+    #[test]
     fn rejects_bad_grammar() {
         assert!(parse("").is_err());
         assert!(parse("NOPE").is_err());
@@ -186,12 +493,66 @@ mod tests {
         assert!(parse("INGEST 1").is_err(), "odd id count");
         assert!(parse("INGEST 1 x").is_err(), "non-numeric id");
         assert!(parse("INGEST 3 3").is_err(), "self-loop");
+        assert!(parse("INGEST *").is_err(), "scope without edges");
+        assert!(parse("INGEST alpha 1").is_err(), "scoped odd id count");
         assert!(parse("QUERY").is_err());
         assert!(parse("QUERY LOCAL").is_err());
         assert!(parse("QUERY LOCAL 1 2").is_err(), "trailing token");
         assert!(parse("TOPK").is_err());
         assert!(parse("TOPK -3").is_err());
+        assert!(parse("TOPK 3 * x").is_err(), "trailing token after *");
         assert!(parse("STATS now").is_err());
+        assert!(parse("TENANT").is_err());
+        assert!(parse("TENANT CREATE").is_err());
+        assert!(parse("TENANT CREATE 9lives").is_err(), "leading digit");
+        assert!(parse("TENANT CREATE a/b").is_err(), "bad character");
+        assert!(
+            parse("TENANT CREATE a seed=1 interval=2").is_err(),
+            "seed and interval are exclusive"
+        );
+        assert!(parse("TENANT CREATE a engine=warp").is_err());
+        assert!(parse("TENANT CREATE a m=").is_err());
+        assert!(parse("TENANT CREATE a novalue").is_err());
+        assert!(parse("TENANT DROP").is_err());
+        assert!(parse("USE").is_err());
+        assert!(parse("USE two words").is_err());
+    }
+
+    #[test]
+    fn tenant_name_validation() {
+        assert!(validate_tenant_name("alpha").is_ok());
+        assert!(validate_tenant_name("a1_b-2").is_ok());
+        assert!(validate_tenant_name("").is_err());
+        assert!(validate_tenant_name("1abc").is_err());
+        assert!(validate_tenant_name("*").is_err());
+        assert!(validate_tenant_name("a,b").is_err());
+        assert!(validate_tenant_name(&"x".repeat(MAX_TENANT_NAME + 1)).is_err());
+    }
+
+    #[test]
+    fn command_forms_cover_every_variant() {
+        // One entry per variant, in declaration order — the docs test
+        // leans on this table, so it must stay complete.
+        let variants = [
+            "Ingest",
+            "QueryGlobal",
+            "QueryLocal",
+            "TopK",
+            "TopKAll",
+            "Stats",
+            "StatsAll",
+            "Flush",
+            "Checkpoint",
+            "Shutdown",
+            "TenantCreate",
+            "TenantList",
+            "TenantDrop",
+            "Use",
+        ];
+        assert_eq!(
+            COMMAND_FORMS.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            variants
+        );
     }
 
     #[test]
@@ -201,6 +562,36 @@ mod tests {
         assert_eq!(reply_field(reply, "tau"), Some("3.5"));
         assert_eq!(reply_field(reply, "ci95"), Some("1.25,5.75"));
         assert_eq!(reply_field(reply, "missing"), None);
+    }
+
+    #[test]
+    fn stats_all_formatting() {
+        let stats = crate::tenant::RouterStats {
+            tenants: 2,
+            position: 30,
+            stored_edges: 12,
+            bytes: 512,
+            checkpoints: 3,
+            tracked_nodes: 7,
+        };
+        assert_eq!(
+            format_stats_all(&stats),
+            "OK STATS ALL tenants=2 position=30 stored_edges=12 bytes=512 checkpoints=3 \
+             tracked_nodes=7"
+        );
+    }
+
+    #[test]
+    fn top_k_all_formatting() {
+        let entries = vec![
+            ("alpha".to_string(), 3u32, 5.5f64),
+            ("beta".to_string(), 1u32, 2.25f64),
+        ];
+        assert_eq!(
+            format_top_k_all(&entries, 5),
+            "OK TOPK ALL k=2 alpha/3=5.5 beta/1=2.25"
+        );
+        assert_eq!(format_top_k_all(&entries, 1), "OK TOPK ALL k=1 alpha/3=5.5");
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! The TCP front-end: a thread-pool server speaking the line protocol.
+//! The TCP front-end: a thread-pool server speaking the line protocol
+//! over a [`TenantRouter`].
 //!
 //! `handlers` OS threads each own a clone of the listener and serve one
 //! connection at a time (further connections wait in the OS accept
 //! backlog — the pool size bounds concurrent protocol work, mirroring
 //! the bounded-channel idiom of the cluster simulation). Ingest
-//! commands feed the shared [`ServeCore`] channel and feel its
-//! backpressure; query commands read the published snapshot and never
-//! touch the ingest thread.
+//! commands feed the selected tenants' [`ServeCore`] channels and feel
+//! their backpressure; query commands read published snapshots and
+//! never touch an ingest thread.
+//!
+//! Every connection carries one piece of state: its **current tenant**,
+//! which starts as `default` and is switched by `USE`. A v1 client —
+//! which never sends `USE` — therefore runs its whole session against
+//! the `default` tenant, exactly as it did against the single-core
+//! server.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,7 +25,8 @@ use std::time::Duration;
 use rept_core::ReptEstimate;
 
 use crate::core::{ServeConfig, ServeCore};
-use crate::protocol::{self, Command};
+use crate::protocol::{self, Command, Scope, DEFAULT_TENANT};
+use crate::tenant::{RouterConfig, TenantRouter};
 
 /// How often an idle connection re-checks the shutdown flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
@@ -32,20 +40,28 @@ const ACCEPT_RETRY: Duration = Duration::from_millis(50);
 /// with it `Server::shutdown`) forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// A running TCP server over a [`ServeCore`]. Prefer an explicit
+/// A running TCP server over a [`TenantRouter`]. Prefer an explicit
 /// [`Self::shutdown`] (it returns the final estimate); a plain drop
-/// still stops the acceptors and the ingest thread.
+/// still stops the acceptors and every tenant's ingest thread.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    core: Option<Arc<ServeCore>>,
+    router: Option<Arc<TenantRouter>>,
+    /// Kept so [`Self::core`] can lend `&ServeCore` — a borrow the
+    /// compiler ends before `shutdown(self)` can run, which makes
+    /// holding a core across shutdown a compile error instead of a
+    /// drain wait. Released (taken) before the router shuts down.
+    default_core: Option<Arc<ServeCore>>,
     handlers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts the core and binds `addr` (use port 0 for an ephemeral
-    /// port), serving with `handlers` connection threads.
+    /// Starts a single-tenant router (just `default`, configured by
+    /// `cfg`) and binds `addr` (use port 0 for an ephemeral port),
+    /// serving with `handlers` connection threads. This is the v1
+    /// entry point — byte-for-byte compatible with the pre-tenant
+    /// server; use [`Self::start_router`] for multi-tenant serving.
     ///
     /// # Errors
     ///
@@ -56,8 +72,23 @@ impl Server {
         addr: impl ToSocketAddrs,
         handlers: usize,
     ) -> std::io::Result<Self> {
-        let core =
-            Arc::new(ServeCore::start(cfg).map_err(|e| {
+        Self::start_router(RouterConfig::new(cfg), addr, handlers)
+    }
+
+    /// Starts the full router (resuming every tenant under its root
+    /// directory) and binds `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, and checkpoint-resume failures surfaced as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn start_router(
+        cfg: RouterConfig,
+        addr: impl ToSocketAddrs,
+        handlers: usize,
+    ) -> std::io::Result<Self> {
+        let router =
+            Arc::new(TenantRouter::start(cfg).map_err(|e| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
             })?);
         let listener = TcpListener::bind(addr)?;
@@ -67,19 +98,23 @@ impl Server {
         let mut threads = Vec::new();
         for i in 0..handlers.max(1) {
             let listener = listener.try_clone()?;
-            let core = Arc::clone(&core);
+            let router = Arc::clone(&router);
             let stop = Arc::clone(&stop);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rept-serve-handler-{i}"))
-                    .spawn(move || accept_loop(listener, core, stop))
+                    .spawn(move || accept_loop(listener, router, stop))
                     .expect("spawn handler thread"),
             );
         }
+        let default_core = router
+            .tenant(DEFAULT_TENANT)
+            .expect("default tenant always exists");
         Ok(Self {
             addr,
             stop,
-            core: Some(core),
+            router: Some(router),
+            default_core: Some(default_core),
             handlers: threads,
         })
     }
@@ -89,10 +124,21 @@ impl Server {
         self.addr
     }
 
-    /// Direct access to the serving core (in-process queries without a
-    /// socket).
+    /// The tenant router (in-process tenant management and queries
+    /// without a socket).
+    pub fn router(&self) -> &TenantRouter {
+        self.router.as_ref().expect("router present until shutdown")
+    }
+
+    /// Direct access to the `default` tenant's serving core (in-process
+    /// queries without a socket) — the single-tenant view. Borrowed
+    /// from the server, so it cannot be held across [`Self::shutdown`];
+    /// use [`TenantRouter::tenant`] for an owned handle (and drop it
+    /// before shutting down — see [`TenantRouter::shutdown`]).
     pub fn core(&self) -> &ServeCore {
-        self.core.as_ref().expect("core present until shutdown")
+        self.default_core
+            .as_deref()
+            .expect("core present until shutdown")
     }
 
     /// Sets the stop flag, wakes every acceptor blocked in `accept`, and
@@ -107,30 +153,51 @@ impl Server {
         }
     }
 
-    /// Stops accepting, joins the handler threads, shuts the core down
-    /// (final checkpoint when configured) and returns the final
-    /// estimate.
-    pub fn shutdown(mut self) -> ReptEstimate {
+    /// Stops accepting, joins the handler threads, shuts every tenant
+    /// down (final checkpoints where configured) and returns the
+    /// `default` tenant's final estimate — the single-tenant view; use
+    /// [`Self::shutdown_all`] to collect every tenant's estimate.
+    pub fn shutdown(self) -> ReptEstimate {
+        let mut finals = self.shutdown_all();
+        let at = finals
+            .iter()
+            .position(|(n, _)| n == DEFAULT_TENANT)
+            .unwrap_or_else(|| {
+                // `shutdown_all` omits a tenant whose Arc is wedged
+                // (see TenantRouter::shutdown's drain semantics).
+                panic!(
+                    "default tenant estimate unavailable: a handle from \
+                     router().tenant(\"default\") was held across shutdown"
+                )
+            });
+        finals.swap_remove(at).1
+    }
+
+    /// Stops accepting, joins the handler threads, and shuts every
+    /// tenant down, returning `(tenant, final estimate)` pairs sorted
+    /// by name.
+    pub fn shutdown_all(mut self) -> Vec<(String, ReptEstimate)> {
         self.stop_accepting();
-        let core = self.core.take().expect("shutdown runs once");
-        let core = Arc::try_unwrap(core).expect("handlers dropped their core handles");
-        core.shutdown()
+        self.default_core.take(); // release the `core()` handle
+        let router = self.router.take().expect("shutdown runs once");
+        let router = Arc::try_unwrap(router).expect("handlers dropped their router handles");
+        router.shutdown()
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         // `shutdown` already drained the handlers; a plain drop must not
-        // leak acceptor threads, the ingest thread, or the bound port.
-        // Dropping the last core Arc afterwards stops ingestion (with
-        // the final checkpoint) via `ServeCore`'s own Drop.
+        // leak acceptor threads, ingest threads, or the bound port.
+        // Dropping the last router Arc afterwards stops every tenant
+        // (with final checkpoints) via `ServeCore`'s own Drop.
         if !self.handlers.is_empty() {
             self.stop_accepting();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<ServeCore>, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, router: Arc<TenantRouter>, stop: Arc<AtomicBool>) {
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -142,18 +209,24 @@ fn accept_loop(listener: TcpListener, core: Arc<ServeCore>, stop: Arc<AtomicBool
         if stop.load(Ordering::SeqCst) {
             return; // the wake-up connection from `shutdown`
         }
-        let _ = serve_connection(stream, &core, &stop);
+        let _ = serve_connection(stream, &router, &stop);
     }
 }
 
 /// Serves one connection until EOF, a `SHUTDOWN` command, or the stop
 /// flag.
-fn serve_connection(stream: TcpStream, core: &ServeCore, stop: &AtomicBool) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    router: &TenantRouter,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Per-connection protocol state: the tenant `USE` selected.
+    let mut tenant = DEFAULT_TENANT.to_string();
     // The line buffer persists across timeout retries: `read_line` may
     // have consumed a partial line when the timer fires, and clearing it
     // would drop those bytes.
@@ -162,7 +235,7 @@ fn serve_connection(stream: TcpStream, core: &ServeCore, stop: &AtomicBool) -> s
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF
             Ok(_) => {
-                let (reply, close) = execute(&line, core, stop);
+                let (reply, close) = execute(&line, router, &mut tenant, stop);
                 writer.write_all(reply.as_bytes())?;
                 writer.write_all(b"\n")?;
                 if close {
@@ -195,22 +268,82 @@ fn serve_connection(stream: TcpStream, core: &ServeCore, stop: &AtomicBool) -> s
 /// whether the connection should close (a parsed `SHUTDOWN` — keyed off
 /// the command, not the raw text, so `ERR` replies to malformed
 /// shutdown-like lines keep the connection open).
-fn execute(line: &str, core: &ServeCore, stop: &AtomicBool) -> (String, bool) {
-    let reply = match protocol::parse(line) {
-        Ok(Command::Ingest(edges)) => {
-            let n = edges.len();
-            core.ingest(edges);
-            format!("OK INGEST {n}")
+fn execute(
+    line: &str,
+    router: &TenantRouter,
+    tenant: &mut String,
+    stop: &AtomicBool,
+) -> (String, bool) {
+    // Current-tenant commands resolve the core per request, so a tenant
+    // dropped mid-connection turns into an `ERR unknown tenant` reply
+    // rather than a stale handle.
+    let with_current = |f: &dyn Fn(&ServeCore) -> String| -> String {
+        match router.tenant(tenant) {
+            Some(core) => f(&core),
+            None => format!("ERR unknown tenant {tenant:?}"),
         }
-        Ok(Command::QueryGlobal) => protocol::format_global(&core.snapshot()),
-        Ok(Command::QueryLocal(v)) => protocol::format_local(&core.snapshot(), v),
-        Ok(Command::TopK(k)) => protocol::format_top_k(&core.snapshot(), k),
-        Ok(Command::Stats) => protocol::format_stats(&core.snapshot()),
-        Ok(Command::Flush) => format!("OK FLUSH position={}", core.flush()),
-        Ok(Command::Checkpoint) => match core.checkpoint() {
+    };
+    let reply = match protocol::parse(line) {
+        // Hand-rolled rather than `with_current` (a `Fn` closure would
+        // have to clone the batch): this is the hot ingest path.
+        Ok(Command::Ingest(Scope::Current, edges)) => match router.tenant(tenant) {
+            Some(core) => {
+                let n = edges.len();
+                core.ingest(edges);
+                format!("OK INGEST {n}")
+            }
+            None => format!("ERR unknown tenant {tenant:?}"),
+        },
+        Ok(Command::Ingest(scope, edges)) => {
+            let n = edges.len();
+            match router.ingest(&scope, edges) {
+                Ok(fed) => format!("OK INGEST {n} tenants={fed}"),
+                Err(msg) => format!("ERR {msg}"),
+            }
+        }
+        Ok(Command::QueryGlobal) => with_current(&|core| protocol::format_global(&core.snapshot())),
+        Ok(Command::QueryLocal(v)) => {
+            with_current(&|core| protocol::format_local(&core.snapshot(), v))
+        }
+        Ok(Command::TopK(k)) => with_current(&|core| protocol::format_top_k(&core.snapshot(), k)),
+        Ok(Command::TopKAll(k)) => protocol::format_top_k_all(&router.merged_top_k(k), k),
+        Ok(Command::Stats) => with_current(&|core| protocol::format_stats(&core.snapshot())),
+        Ok(Command::StatsAll) => protocol::format_stats_all(&router.aggregate_stats()),
+        Ok(Command::Flush) => with_current(&|core| format!("OK FLUSH position={}", core.flush())),
+        Ok(Command::Checkpoint) => with_current(&|core| match core.checkpoint() {
             Ok(pos) => format!("OK CHECKPOINT position={pos}"),
             Err(msg) => format!("ERR {msg}"),
+        }),
+        Ok(Command::TenantCreate(name, opts)) => match router.create(&name, &opts) {
+            Ok(()) => format!("OK TENANT CREATED {name}"),
+            Err(msg) => format!("ERR {msg}"),
         },
+        Ok(Command::TenantList) => {
+            // One consistent lock snapshot — a concurrently dropped
+            // tenant is absent rather than listed with a made-up
+            // position.
+            let tenants = router.list();
+            let mut out = format!("OK TENANTS n={}", tenants.len());
+            for (name, interval, position) in tenants {
+                out.push_str(&format!(" {name}={position}"));
+                if let Some(i) = interval {
+                    out.push_str(&format!(":interval={i}"));
+                }
+            }
+            out
+        }
+        Ok(Command::TenantDrop(name)) => match router.drop_tenant(&name) {
+            Ok(()) => format!("OK TENANT DROPPED {name}"),
+            Err(msg) => format!("ERR {msg}"),
+        },
+        Ok(Command::Use(name)) => {
+            if router.contains(&name) {
+                *tenant = name.clone();
+                format!("OK USING {name}")
+            } else {
+                format!("ERR unknown tenant {name:?}")
+            }
+        }
         Ok(Command::Shutdown) => {
             stop.store(true, Ordering::SeqCst);
             return ("OK BYE".into(), true);

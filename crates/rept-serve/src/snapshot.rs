@@ -96,6 +96,33 @@ impl Snapshot {
     }
 }
 
+/// Merges the top-k indices of several labelled snapshots into one
+/// descending list of `(label, node, τ̂_v)` — the cross-tenant `TOPK`
+/// aggregation. Each snapshot's own index is already sorted and
+/// truncated, so the merge reads at most `k` entries per snapshot; ties
+/// break by label, then smaller node id, keeping the result
+/// deterministic.
+pub fn merge_top_k<'a>(
+    snapshots: impl Iterator<Item = (&'a str, &'a Snapshot)>,
+    k: usize,
+) -> Vec<(String, NodeId, f64)> {
+    let mut merged: Vec<(String, NodeId, f64)> = snapshots
+        .flat_map(|(label, snap)| {
+            snap.top_k
+                .iter()
+                .take(k)
+                .map(move |&(v, t)| (label.to_string(), v, t))
+        })
+        .collect();
+    merged.sort_unstable_by(|a, b| {
+        b.2.total_cmp(&a.2)
+            .then_with(|| a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    merged.truncate(k);
+    merged
+}
+
 /// A swap cell handing immutable values from one writer to many readers.
 ///
 /// std-only stand-in for an RCU/`arc-swap` pointer: the mutex guards
@@ -177,6 +204,36 @@ mod tests {
             assert_eq!(snap.local(v), t);
         }
         assert_eq!(snap.local(999), 0.0);
+    }
+
+    #[test]
+    fn merge_top_k_is_descending_and_labelled() {
+        let stream = [
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(3, 4),
+            Edge::new(0, 4),
+        ];
+        let cfg = ReptConfig::new(2, 2).with_seed(3);
+        let est = Rept::new(cfg).run_sequential(stream.iter().copied());
+        let a = Snapshot::from_estimate(&est, &cfg, Engine::FusedSorted, 6, 1, 0, 3);
+        let cfg_b = ReptConfig::new(2, 2).with_seed(9);
+        let est_b = Rept::new(cfg_b).run_sequential(stream.iter().copied());
+        let b = Snapshot::from_estimate(&est_b, &cfg_b, Engine::FusedSorted, 6, 1, 0, 3);
+
+        let merged = merge_top_k([("a", &a), ("b", &b)].into_iter(), 4);
+        assert!(merged.len() <= 4);
+        for pair in merged.windows(2) {
+            assert!(pair[0].2 >= pair[1].2, "descending: {merged:?}");
+        }
+        // Every entry traces back to its labelled snapshot.
+        for (label, v, t) in &merged {
+            let src = if label == "a" { &a } else { &b };
+            assert!(src.top_k.contains(&(*v, *t)), "{label}/{v}={t}");
+        }
+        assert!(merge_top_k(std::iter::empty(), 5).is_empty());
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! Live serving smoke test: the full online loop over TCP.
 //!
-//! Starts the serving subsystem in-process, streams a generated graph
-//! to it over the wire, queries mid-stream (global estimate with
-//! confidence interval, top-k locals), checkpoints, kills the server,
-//! restarts it from the checkpoint, replays the remainder of the
-//! stream, and asserts the resumed estimate is **bit-identical** to an
-//! uninterrupted batch run.
+//! Starts the serving subsystem in-process ([`rept::serve::Server`]
+//! over a single default tenant), streams a generated graph to it over
+//! the wire with the blocking [`rept::serve::Client`], queries
+//! mid-stream (global estimate with plug-in 95% confidence interval,
+//! top-k locals — answered from published snapshots, so queries never
+//! block ingestion), checkpoints (RPCK v3, write-then-rename), kills
+//! the server, restarts it from the checkpoint, replays the remainder
+//! of the stream, and asserts the resumed estimate is **bit-identical**
+//! to an uninterrupted batch run — floats cross the wire exactly thanks
+//! to shortest-roundtrip formatting (see `docs/PROTOCOL.md`).
 //!
 //! Run: `cargo run --release --example live_serving`
+//!
+//! CI runs this binary as the serve smoke test; the multi-tenant
+//! variant of the same loop is `examples/multi_tenant.rs`.
 
 use rept::core::{Engine, Rept, ReptConfig};
 use rept::gen::{barabasi_albert, GeneratorConfig};

@@ -1,10 +1,20 @@
 //! Quickstart: estimate global and local triangle counts of a stream.
 //!
-//! Generates a small power-law stream, computes exact ground truth, then
-//! runs REPT with `m = 10` (sampling probability 0.1) on `c = 10`
-//! simulated processors and compares.
+//! Generates a small power-law stream ([`rept::gen::barabasi_albert`]),
+//! computes exact ground truth ([`rept::exact::GroundTruth`] — one pass,
+//! also computes the pair count `η`), then runs REPT with `m = 10`
+//! (sampling probability `p = 1/m = 0.1`) on `c = 10` simulated
+//! processors — the covariance-free `c = m` sweet spot — and compares:
+//! global estimate `τ̂` vs exact `τ`, the five busiest nodes' local
+//! estimates `τ̂_v` vs exact `τ_v`, and the per-processor memory
+//! footprint (each processor stores ~`1/m` of the stream).
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! The equivalent code, kept compiling as doctests, lives in the crate
+//! docs ([`rept`]) and the repository `README.md`; see
+//! `examples/live_serving.rs` and `examples/multi_tenant.rs` for the
+//! online-serving versions of the same loop.
 
 use rept::core::{Rept, ReptConfig};
 use rept::exact::GroundTruth;

@@ -51,7 +51,7 @@
 //! column ([`rept_graph::masked_tagged::MaskedSortedTaggedAdjacency`])
 //! instead of paying its own structure walk per edge.
 //!
-//! ## Quickstart
+//! ## Quickstart: batch estimation
 //!
 //! ```
 //! use rept::core::{Rept, ReptConfig};
@@ -73,6 +73,58 @@
 //! let rel_err = (est.global - tau).abs() / tau;
 //! assert!(rel_err < 0.5, "estimate {} vs exact {tau}", est.global);
 //! ```
+//!
+//! ## Engine selection
+//!
+//! The three engines are interchangeable and **bit-identical**; they
+//! differ only in cost (see `BENCH_throughput.json` for measurements).
+//! `Engine::FusedSorted` is the default; `Engine::PerWorker` is the
+//! paper's cost model and the reference oracle:
+//!
+//! ```
+//! use rept::core::{Engine, Rept, ReptConfig};
+//! use rept::gen::{GeneratorConfig, barabasi_albert};
+//!
+//! let stream = barabasi_albert(&GeneratorConfig::new(300, 1), 4);
+//! let rept = Rept::new(ReptConfig::new(4, 8).with_seed(3));
+//!
+//! let oracle = rept.run(Engine::PerWorker, &stream);
+//! for engine in Engine::all() {
+//!     let est = rept.run(engine, &stream);
+//!     assert_eq!(est.global, oracle.global, "{}", engine.name());
+//!     assert_eq!(est.locals, oracle.locals);
+//! }
+//! # assert_eq!(Engine::from_name("fused-sorted"), Some(Engine::default()));
+//! ```
+//!
+//! ## A serve round-trip
+//!
+//! The serving subsystem answers queries while the stream is still
+//! running, over TCP or in process; estimates cross the wire
+//! bit-identically (shortest-roundtrip float formatting):
+//!
+//! ```
+//! use rept::core::{Rept, ReptConfig};
+//! use rept::graph::edge::Edge;
+//! use rept::serve::{Client, ServeConfig, Server};
+//!
+//! let stream = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+//! let cfg = ReptConfig::new(2, 2).with_seed(7);
+//! let oracle = Rept::new(cfg).run_sequential(stream.iter().copied());
+//!
+//! let server = Server::start(
+//!     ServeConfig::new(cfg).with_snapshot_every(1),
+//!     "127.0.0.1:0",
+//!     1,
+//! ).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ingest(&stream).unwrap();
+//! assert_eq!(client.flush().unwrap(), 3);
+//! let global = client.query_global().unwrap();
+//! assert_eq!(global.tau, oracle.global); // exact, through the wire
+//! drop(client);
+//! assert_eq!(server.shutdown().global, oracle.global);
+//! ```
 
 pub use rept_baselines as baselines;
 pub use rept_core as core;
@@ -82,3 +134,19 @@ pub use rept_graph as graph;
 pub use rept_hash as hash;
 pub use rept_metrics as metrics;
 pub use rept_serve as serve;
+
+// Compile-and-run the code blocks of the hand-written docs as doctests
+// (`cargo test --doc`): `rust` fences must build against the public API,
+// so the README can never drift from the code. Transcript/diagram fences
+// are tagged `text`/`console` and are skipped.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+mod architecture_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/PROTOCOL.md")]
+mod protocol_doctests {}

@@ -1,8 +1,11 @@
 //! Integration tests of the serving subsystem: kill/resume
 //! bit-identicality under the serve driver (proptest, all engines,
-//! duplicate-edge streams) and the TCP front-end end to end.
+//! duplicate-edge streams), multi-tenant routing (every tenant
+//! bit-identical to a standalone core, across router-wide kill/resume),
+//! v1 protocol compatibility against the router, and the TCP front-end
+//! end to end.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use proptest::collection::vec;
@@ -10,7 +13,8 @@ use proptest::prelude::*;
 use rept::core::{Engine, Rept, ReptConfig};
 use rept::gen::{barabasi_albert, GeneratorConfig};
 use rept::graph::edge::Edge;
-use rept::serve::{Client, ServeConfig, ServeCore, Server};
+use rept::serve::protocol::{self, Scope, TenantOptions};
+use rept::serve::{Client, RouterConfig, ServeConfig, ServeCore, Server, TenantRouter};
 
 /// Strategy: a raw stream that KEEPS duplicate edges (only self-loops
 /// are dropped) — duplicate handling must survive checkpoint/resume.
@@ -99,6 +103,331 @@ proptest! {
             std::fs::remove_file(&path).ok();
         }
     }
+}
+
+/// A per-test-case unique tenant-root directory.
+fn unique_root(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rept-serve-root-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Recursively snapshots every file under `root` — the multi-tenant
+/// analogue of freezing one checkpoint file to emulate a crash. Twin
+/// of the helper in `examples/multi_tenant.rs`; keep their crash
+/// semantics in sync.
+fn freeze_dir(root: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let bytes = std::fs::read(&path).expect("freeze file");
+                files.push((path, bytes));
+            }
+        }
+    }
+    files
+}
+
+/// Restores a frozen directory image, discarding whatever was written
+/// after the freeze.
+fn restore_dir(root: &Path, frozen: &[(PathBuf, Vec<u8>)]) {
+    std::fs::remove_dir_all(root).ok();
+    for (path, bytes) in frozen {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("recreate tenant dir");
+        }
+        std::fs::write(path, bytes).expect("restore frozen file");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Multi-tenant routing is pure fan-out: for random streams and
+    /// 1–4 tenants (mixed engines, one interval-derived), every
+    /// tenant's `QUERY GLOBAL` / `QUERY LOCAL` / `TOPK` answers — the
+    /// actual protocol reply lines — are bit-identical to a standalone
+    /// [`ServeCore`] under the same resolved config fed the same
+    /// edges. Both before and after a router-wide kill: the entire
+    /// tenant root is frozen at its mid-stream state, edges ingested
+    /// after the all-tenant checkpoint are lost with the process, and
+    /// the restarted router resumes every tenant from its own
+    /// checkpoint directory.
+    #[test]
+    fn tenants_are_bit_identical_to_standalone_cores(
+        stream in arb_stream_with_dups(20, 90),
+        m in 2u64..5,
+        c in 1u64..10,
+        seed in any::<u64>(),
+        extra in 0usize..4,
+        split_sel in any::<u64>(),
+    ) {
+        let root = unique_root("tenants");
+        let base = ReptConfig::new(m, c).with_seed(seed).with_eta(true);
+        let cfg = RouterConfig::new(
+            ServeConfig::new(base).with_snapshot_every(32).with_top_k(8),
+        )
+        .with_root_dir(root.clone());
+        let split = (split_sel as usize) % (stream.len() + 1);
+
+        // Tenant specs: `default` plus up to three extras — a
+        // per-worker tenant on another seed, an interval-derived
+        // tenant, and a fused-hash tenant on a different layout.
+        let extras: Vec<(&str, TenantOptions)> = [
+            ("pw", TenantOptions {
+                engine: Some(Engine::PerWorker),
+                seed: Some(seed ^ 0x9e37_79b9),
+                ..TenantOptions::default()
+            }),
+            ("win2", TenantOptions { interval: Some(2), ..TenantOptions::default() }),
+            ("hash", TenantOptions {
+                engine: Some(Engine::FusedHash),
+                c: Some(c + 1),
+                ..TenantOptions::default()
+            }),
+        ]
+        .into_iter()
+        .take(extra)
+        .collect();
+
+        let router = TenantRouter::start(cfg.clone()).expect("start router");
+        for (name, opts) in &extras {
+            router.create(name, opts).expect("create tenant");
+        }
+        // Standalone oracles: one ServeCore per tenant under the
+        // identical resolved config, fed the identical edges.
+        let mut oracles: Vec<(String, ServeCore)> =
+            vec![(protocol::DEFAULT_TENANT.to_string(), {
+                ServeCore::start(ServeConfig::new(base).with_snapshot_every(32).with_top_k(8))
+                    .expect("standalone default")
+            })];
+        for (name, opts) in &extras {
+            let (rept, engine) = router.resolve_options(opts).expect("resolve");
+            let standalone = ServeCore::start(
+                ServeConfig::new(rept)
+                    .with_engine(engine)
+                    .with_snapshot_every(32)
+                    .with_top_k(8),
+            )
+            .expect("standalone tenant");
+            oracles.push((name.to_string(), standalone));
+        }
+
+        // Phase 1: fan out the first part, checkpoint all, then lose
+        // post-checkpoint edges with the "crash".
+        for chunk in stream[..split].chunks(29) {
+            router.ingest(&Scope::All, chunk.to_vec()).expect("ingest");
+        }
+        let ckpts = router.checkpoint_all().expect("checkpoint all");
+        prop_assert!(ckpts.iter().all(|(_, p)| *p == split as u64));
+        for chunk in stream[split..].chunks(41) {
+            router.ingest(&Scope::All, chunk.to_vec()).expect("ingest");
+        }
+        let frozen = freeze_dir(&root);
+        drop(router.shutdown()); // the real kill: frozen state wins below
+        restore_dir(&root, &frozen);
+
+        // Phase 2: resume the whole router, replay from the
+        // checkpointed position, compare every tenant's answers.
+        let resumed = TenantRouter::start(cfg).expect("resume router");
+        prop_assert_eq!(resumed.len(), 1 + extras.len(), "all tenants resumed");
+        for (name, _) in &oracles {
+            let core = resumed.tenant(name).expect("tenant resumed");
+            prop_assert_eq!(core.position(), split as u64, "{}", name);
+        }
+        for chunk in stream[split..].chunks(17) {
+            resumed.ingest(&Scope::All, chunk.to_vec()).expect("replay");
+        }
+        resumed.flush_all();
+        for (name, standalone) in &oracles {
+            standalone.ingest(stream.clone());
+            standalone.flush();
+            let want = standalone.snapshot();
+            let got = resumed.tenant(name).expect("tenant").snapshot();
+            // The wire answers themselves: QUERY GLOBAL, TOPK, and a
+            // QUERY LOCAL per top node.
+            prop_assert_eq!(
+                protocol::format_global(&got),
+                protocol::format_global(&want),
+                "{}", name
+            );
+            prop_assert_eq!(
+                protocol::format_top_k(&got, 8),
+                protocol::format_top_k(&want, 8),
+                "{}", name
+            );
+            for &(v, _) in want.top_k.iter() {
+                prop_assert_eq!(
+                    protocol::format_local(&got, v),
+                    protocol::format_local(&want, v)
+                );
+            }
+            prop_assert_eq!(&got.locals, &want.locals, "{}", name);
+            prop_assert_eq!(got.eta_hat, want.eta_hat);
+        }
+        resumed.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[test]
+fn v1_clients_work_unchanged_against_the_router_default_tenant() {
+    // A v1 client — no USE, no TENANT — must behave exactly as it did
+    // against the single-core server, even while other tenants exist
+    // and receive different data.
+    let stream = barabasi_albert(&GeneratorConfig::new(400, 9), 4);
+    let base = ReptConfig::new(3, 5).with_seed(21).with_eta(true);
+    let oracle = Rept::new(base).run_sequential(stream.iter().copied());
+
+    let server = Server::start_router(
+        RouterConfig::new(
+            ServeConfig::new(base)
+                .with_snapshot_every(128)
+                .with_top_k(10),
+        ),
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A v2 sidecar creates a tenant and feeds it *different* edges —
+    // none of which the v1 client may observe.
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin.tenant_create("other", "seed=5").expect("create");
+    admin
+        .ingest_to("other", &stream[..200])
+        .expect("scoped ingest");
+    admin.use_tenant("other").expect("use");
+    admin.flush().expect("flush other");
+
+    // The v1 session: only v1 verbs, implicit default tenant.
+    let mut v1 = Client::connect(addr).expect("v1 connect");
+    assert_eq!(v1.ingest(&stream).expect("ingest"), stream.len());
+    assert_eq!(v1.flush().expect("flush"), stream.len() as u64);
+    let global = v1.query_global().expect("query global");
+    assert_eq!(global.position, stream.len() as u64);
+    assert_eq!(global.tau, oracle.global);
+    let top = v1.top_k(5).expect("top-k");
+    let (best_node, best_tau) = top[0];
+    assert_eq!(best_tau, oracle.local(best_node));
+    assert_eq!(
+        v1.query_local(best_node).expect("query local"),
+        oracle.local(best_node)
+    );
+    let stats = v1.stats().expect("stats");
+    assert!(
+        stats.contains(&format!("position={}", stream.len())),
+        "{stats}"
+    );
+    assert!(v1.request("SHUTDOWN now").is_err(), "v1 grammar intact");
+
+    drop(v1);
+    drop(admin);
+    let final_est = server.shutdown(); // the default tenant's estimate
+    assert_eq!(final_est.global, oracle.global);
+    assert_eq!(final_est.locals, oracle.locals);
+}
+
+#[test]
+fn tcp_tenant_commands_round_trip() {
+    // The v2 surface over a real socket: create/list/use/drop, scoped
+    // fan-out ingest, cross-tenant STATS and merged TOPK.
+    let stream = barabasi_albert(&GeneratorConfig::new(300, 5), 4);
+    let base = ReptConfig::new(3, 3).with_seed(8);
+    let server = Server::start_router(
+        RouterConfig::new(ServeConfig::new(base).with_snapshot_every(64).with_top_k(5)),
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client.tenant_create("alpha", "").expect("create alpha");
+    client
+        .tenant_create_interval("win0", 0)
+        .expect("create win0");
+    assert!(client.tenant_create("alpha", "").is_err(), "duplicate");
+    assert!(
+        client.tenant_create("bad", "seed=1 interval=2").is_err(),
+        "exclusive options"
+    );
+
+    // Fan out to everyone, then a named subset.
+    client.ingest_to("*", &stream[..150]).expect("fan-out");
+    client
+        .ingest_to("alpha,win0", &stream[150..])
+        .expect("subset");
+    assert!(client.ingest_to("ghost", &stream[..2]).is_err());
+
+    // Per-tenant positions via LIST (flush each through USE first).
+    for t in ["default", "alpha", "win0"] {
+        client.use_tenant(t).expect("use");
+        client.flush().expect("flush");
+    }
+    let tenants = client.tenant_list().expect("list");
+    let pos: Vec<(String, u64)> = tenants.clone();
+    assert_eq!(
+        pos,
+        vec![
+            ("alpha".to_string(), stream.len() as u64),
+            ("default".to_string(), 150),
+            ("win0".to_string(), stream.len() as u64),
+        ]
+    );
+
+    // USE routes the v1 verbs to the selected tenant.
+    client.use_tenant("alpha").expect("use alpha");
+    let alpha_cfg = base; // alpha inherited the base config
+    let alpha_oracle = Rept::new(alpha_cfg).run_sequential(stream.iter().copied());
+    assert_eq!(
+        client.query_global().expect("global").tau,
+        alpha_oracle.global
+    );
+    assert!(client.use_tenant("ghost").is_err(), "unknown tenant");
+
+    // Cross-tenant aggregation.
+    let stats =
+        protocol::reply_field(&client.stats_all().expect("stats *"), "tenants").map(str::to_owned);
+    assert_eq!(stats.as_deref(), Some("3"));
+    let merged = client.top_k_all(10).expect("topk *");
+    for pair in merged.windows(2) {
+        assert!(pair[0].2 >= pair[1].2, "descending: {merged:?}");
+    }
+    assert!(
+        merged
+            .iter()
+            .all(|(t, _, _)| ["default", "alpha", "win0"].contains(&t.as_str())),
+        "{merged:?}"
+    );
+
+    // DROP: tenant disappears; the connection using it gets ERR.
+    client.use_tenant("win0").expect("use win0");
+    client.tenant_drop("win0").expect("drop win0");
+    assert!(client.query_global().is_err(), "dropped tenant is gone");
+    assert!(client.tenant_drop("default").is_err(), "default protected");
+    client.use_tenant("default").expect("back to default");
+    assert_eq!(client.query_global().expect("global").position, 150);
+
+    // A tenant literally named `n` must not be swallowed by the
+    // `n=<count>` reply header (positional parsing regression test).
+    client.tenant_create("n", "").expect("create n");
+    let with_n = client.tenant_list().expect("list with n");
+    assert!(
+        with_n.iter().any(|(name, pos)| name == "n" && *pos == 0),
+        "{with_n:?}"
+    );
+
+    drop(client);
+    server.shutdown_all();
 }
 
 #[test]
