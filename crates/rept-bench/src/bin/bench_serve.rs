@@ -22,6 +22,11 @@
 //! *per tenant*, so the per-tenant rate divided into the single-tenant
 //! rate shows the fan-out cost.
 //!
+//! A fourth section measures **journal overhead**: the same in-process
+//! ingest with the write-ahead journal off, fsync-per-record (every ack
+//! durable) and fsync-batched (acks durable at the next flush) — the
+//! price of losslessness, isolated from the TCP stack.
+//!
 //! Run: `cargo run --release --bin bench_serve [-- --out FILE --nodes N]`
 //! (default output: `BENCH_serve.json`).
 
@@ -32,13 +37,16 @@ use std::time::Instant;
 use rept_core::{Engine, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
 use rept_metrics::LatencyRecorder;
-use rept_serve::{Client, RouterConfig, ServeConfig, Server};
+use rept_serve::{Client, RouterConfig, ServeConfig, ServeCore, Server, SyncPolicy};
 
 const M: u64 = 64;
 const PROCESSOR_COUNTS: [u64; 2] = [64, 256];
 const TENANT_COUNTS: [usize; 3] = [1, 2, 4];
 const SNAPSHOT_EVERY: u64 = 4096;
 const INGEST_CHUNK: usize = 1024;
+/// Batch size for the journal-overhead section: small enough that the
+/// per-record fsync cost is visible, large enough to stay realistic.
+const JOURNAL_CHUNK: usize = 256;
 
 struct Measurement {
     engine: Engine,
@@ -230,6 +238,41 @@ fn main() {
         tenant_rows.push((tenants, secs, stream_rate));
     }
 
+    // Journal overhead: the identical in-process ingest with the
+    // write-ahead journal off / fsync-per-record / fsync-batched.
+    // In-process (no TCP) so the rows isolate the durability cost.
+    let mut journal_rows = Vec::new();
+    for journal in ["off", "per-record", "batched"] {
+        let dir = std::env::temp_dir().join(format!("rept-bench-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mk journal dir");
+        let cfg = ReptConfig::new(M, M).with_seed(7);
+        let mut serve_cfg = ServeConfig::new(cfg)
+            .with_snapshot_every(SNAPSHOT_EVERY)
+            .with_checkpoint(dir.join("serve.rpck"), None);
+        serve_cfg = match journal {
+            "off" => serve_cfg,
+            "per-record" => serve_cfg.with_journal_sync(SyncPolicy::PerRecord),
+            _ => serve_cfg.with_journal_sync(SyncPolicy::Batched),
+        };
+        let core = ServeCore::start(serve_cfg).expect("start core");
+        let start = Instant::now();
+        for chunk in stream.chunks(JOURNAL_CHUNK) {
+            core.ingest(chunk.to_vec()).expect("ingest");
+        }
+        core.flush();
+        let secs = start.elapsed().as_secs_f64();
+        let journal_bytes = core.snapshot().durability.journal_bytes;
+        core.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        let rate = stream.len() as f64 / secs;
+        eprintln!(
+            "  journal {journal:>10}: {rate:>10.0} edges/s ({secs:.2} s), \
+             {journal_bytes} journal bytes"
+        );
+        journal_rows.push((journal, secs, rate, journal_bytes));
+    }
+
     // Hand-rolled JSON, matching the workspace's no-serde convention.
     let mut json = String::new();
     json.push_str("{\n");
@@ -273,6 +316,18 @@ fn main() {
              \"applied_edges_per_sec\": {:.1}}}{}\n",
             stream_rate * *tenants as f64,
             if i + 1 < tenant_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"journal_overhead\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
+         \"batch_edges\": {JOURNAL_CHUNK}, \"transport\": \"in-process\", \"rows\": [\n"
+    ));
+    for (i, (journal, secs, rate, journal_bytes)) in journal_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"journal\": \"{journal}\", \"ingest_seconds\": {secs:.6}, \
+             \"ingest_edges_per_sec\": {rate:.1}, \"journal_bytes\": {journal_bytes}}}{}\n",
+            if i + 1 < journal_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]}\n}\n");

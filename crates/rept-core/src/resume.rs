@@ -23,8 +23,9 @@
 //!   (write-then-rename) persistence.
 //!
 //! The format is hand-rolled little-endian (no serde-format
-//! dependency): magic, version, config, engine, position, then the
-//! engine-core state section. Version 3 (current) writes the sorted
+//! dependency): magic, version, config, engine, position, journal
+//! truncation position (version 4), then the engine-core state
+//! section. Version 3 writes the sorted
 //! engine's shared structures the way the core holds them: one union
 //! edge-set section shared by all full hash groups (v2 repeated it per
 //! group) and a *masked remainder section* — the remainder group's
@@ -44,7 +45,7 @@
 //! (primary blob plus position-stamped rotated siblings) — all in this
 //! same format, so a tenant checkpoint is readable by
 //! [`ResumableRun::from_checkpoint_file`] like any other. The full
-//! lineage (v1 → v3, with sizes and compatibility guarantees) is
+//! lineage (v1 → v4, with sizes and compatibility guarantees) is
 //! documented in `docs/ARCHITECTURE.md` at the repository root.
 
 use std::path::{Path, PathBuf};
@@ -64,11 +65,16 @@ use crate::worker::SemiTriangleWorker;
 
 /// Magic bytes of the checkpoint format.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RPCK";
-/// Current checkpoint format version. Version 3 stores the sorted
-/// engine's shared full-group edge set once and the masked remainder
-/// section; versions 1 (per-worker only) and 2 (per-group fused
-/// sections) are still readable.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// Current checkpoint format version. Version 4 adds the journal
+/// truncation position to the header — the stream position up to which
+/// a write-ahead edge journal (if the deployment keeps one) has been
+/// made redundant by this checkpoint, so recovery knows which journal
+/// records are stale. Version 3 stores the sorted engine's shared
+/// full-group edge set once and the masked remainder section; versions
+/// 1 (per-worker only) and 2 (per-group fused sections) are still
+/// readable, and restore with a truncation position equal to their
+/// stream position.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,6 +257,10 @@ mod layout_tag {
 #[derive(Debug, Clone)]
 pub struct ResumableRun {
     core: EngineCore,
+    /// Stream position up to which the checkpoint this run was restored
+    /// from had made a write-ahead journal redundant (0 for fresh runs;
+    /// equal to the restored position for pre-v4 blobs).
+    journal_truncation: u64,
 }
 
 impl ResumableRun {
@@ -264,6 +274,7 @@ impl ResumableRun {
     pub fn with_engine(rept: Rept, engine: Engine) -> Self {
         Self {
             core: EngineCore::with_engine(rept, engine),
+            journal_truncation: 0,
         }
     }
 
@@ -296,6 +307,15 @@ impl ResumableRun {
         self.core.config()
     }
 
+    /// The journal truncation position carried by the checkpoint this
+    /// run was restored from: every write-ahead journal record strictly
+    /// below it is already folded into the restored state. Fresh runs
+    /// report 0; pre-v4 checkpoints report their stream position (they
+    /// predate journals, so nothing below the position can be pending).
+    pub fn journal_truncation(&self) -> u64 {
+        self.journal_truncation
+    }
+
     /// Produces the estimate for the stream seen so far (non-consuming —
     /// all estimators here are anytime). Every engine funnels into the
     /// same per-group aggregate combination, so the estimate is
@@ -309,7 +329,7 @@ impl ResumableRun {
         self.core.into_estimate()
     }
 
-    /// Serialises the complete state (format version 3).
+    /// Serialises the complete state (format version 4).
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         let cfg = self.core.config();
         let mut out = Vec::new();
@@ -325,6 +345,9 @@ impl ResumableRun {
             EtaMode::StrictNonLast => 1,
         });
         out.push(engine_code(self.core.engine()));
+        out.extend_from_slice(&self.core.position().to_le_bytes());
+        // The checkpoint folds in every edge up to `position`, so a
+        // journal kept alongside it may truncate everything below it.
         out.extend_from_slice(&self.core.position().to_le_bytes());
         match &self.core.state {
             CoreState::PerWorker { workers } => {
@@ -381,6 +404,12 @@ impl ResumableRun {
             engine_from_code(r.u8()?)?
         };
         let position = r.u64()?;
+        // Versions below 4 predate journals: everything at or below the
+        // position is, by definition, folded into the checkpoint.
+        let journal_truncation = if version >= 4 { r.u64()? } else { position };
+        if journal_truncation > position {
+            return Err(SnapshotError::Invalid("journal truncation beyond position"));
+        }
         let cfg = ReptConfig {
             m,
             c,
@@ -418,34 +447,16 @@ impl ResumableRun {
         }
         Ok(Self {
             core: EngineCore::from_parts(rept, engine, state, position),
+            journal_truncation,
         })
     }
 
-    /// Writes a checkpoint to `path` crash-safely: the blob lands in a
-    /// sibling `*.tmp` file first, is fsynced, and is atomically renamed
-    /// into place, so neither a crash mid-write nor a power loss shortly
-    /// after the rename can corrupt an existing checkpoint.
+    /// Writes a checkpoint to `path` crash-safely via
+    /// [`durable_write_rename`], so neither a crash mid-write nor a
+    /// power loss shortly after the rename can corrupt an existing
+    /// checkpoint.
     pub fn checkpoint_to_file(&self, path: &Path) -> std::io::Result<()> {
-        use std::io::Write as _;
-        let mut tmp_name = path.as_os_str().to_owned();
-        tmp_name.push(".tmp");
-        let tmp = PathBuf::from(tmp_name);
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&self.checkpoint_bytes())?;
-        // The data must be durable before the rename makes it visible —
-        // otherwise a power loss can persist the rename while the data
-        // blocks are still in the page cache, replacing a good
-        // checkpoint with a truncated one.
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)?;
-        // Best-effort directory sync so the rename itself is durable.
-        if let Some(dir) = path.parent() {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        durable_write_rename(path, &self.checkpoint_bytes())
     }
 
     /// Reads a checkpoint written by [`Self::checkpoint_to_file`].
@@ -458,6 +469,33 @@ impl ResumableRun {
         let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
         Self::from_checkpoint_bytes(&bytes)
     }
+}
+
+/// Writes `bytes` to `path` with full crash durability: the data lands
+/// in a sibling `<path>.tmp` file first, is fsynced, is atomically
+/// renamed into place, and the parent directory is synced (best-effort)
+/// so the rename itself survives power loss. Without the file sync
+/// before the rename, a power loss can persist the rename while the
+/// data blocks are still in the page cache — replacing a good file with
+/// a truncated one; without the directory sync, the rename itself can
+/// be lost. Used for checkpoints and every other small metadata file
+/// whose readers assume rename atomicity (tenant manifests).
+pub fn durable_write_rename(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 // ---- section plumbing -----------------------------------------------------
@@ -1351,7 +1389,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
         /// Legacy RPCK blobs — v1 (per-worker, frozen encoder) and v2
-        /// (every engine, frozen encoder) — restore through the v3
+        /// (every engine, frozen encoder) — restore through the current
         /// reader and finish bit-identical to an uninterrupted run, on
         /// duplicate-edge streams across all combination paths.
         #[test]
@@ -1402,10 +1440,10 @@ mod tests {
             }
         }
 
-        /// The v3 writer/reader round-trips mid-stream state on every
-        /// engine, and the resumed run finishes bit-identical.
+        /// The current writer/reader round-trips mid-stream state on
+        /// every engine, and the resumed run finishes bit-identical.
         #[test]
-        fn v3_roundtrip_is_bit_identical(
+        fn current_format_roundtrip_is_bit_identical(
             pairs in prop_vec((0u32..20, 0u32..20), 1..100),
             m in 2u64..6,
             c in 1u64..14,
@@ -1501,12 +1539,21 @@ mod tests {
             ResumableRun::from_checkpoint_bytes(&blob).err(),
             Some(SnapshotError::Invalid("engine code"))
         );
-        // Corrupt the sorted layout tag (directly after the position).
+        // Corrupt the sorted layout tag (directly after the position and
+        // journal truncation fields: 36 + 8 + 8).
         let mut blob = ResumableRun::new(Rept::new(cfg())).checkpoint_bytes();
-        blob[44] = 9;
+        blob[52] = 9;
         assert_eq!(
             ResumableRun::from_checkpoint_bytes(&blob).err(),
             Some(SnapshotError::Invalid("sorted layout tag"))
+        );
+        // A journal truncation ahead of the position is impossible: no
+        // checkpoint can have retired journal records it never applied.
+        let mut blob = ResumableRun::new(Rept::new(cfg())).checkpoint_bytes();
+        blob[44] = 1;
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&blob).err(),
+            Some(SnapshotError::Invalid("journal truncation beyond position"))
         );
     }
 
@@ -1532,6 +1579,36 @@ mod tests {
                 engine.name()
             );
         }
+    }
+
+    #[test]
+    fn journal_truncation_defaults() {
+        let stream = stream();
+        let mut run = ResumableRun::new(Rept::new(cfg()));
+        assert_eq!(run.journal_truncation(), 0, "fresh run");
+        run.process_batch(&stream[..120]);
+        // A v4 checkpoint retires journal records up to its position.
+        let restored = ResumableRun::from_checkpoint_bytes(&run.checkpoint_bytes()).unwrap();
+        assert_eq!(restored.journal_truncation(), 120);
+        // Pre-v4 blobs predate journals: truncation == position.
+        let mut v2run = ResumableRun::new(Rept::new(cfg()));
+        v2run.process_batch(&stream[..80]);
+        let restored = ResumableRun::from_checkpoint_bytes(&frozen_v2_blob(&v2run)).unwrap();
+        assert_eq!(restored.journal_truncation(), 80);
+    }
+
+    #[test]
+    fn durable_write_rename_replaces_atomically() {
+        let path = std::env::temp_dir().join(format!("rept-dwr-{}.bin", std::process::id()));
+        durable_write_rename(&path, b"first").expect("write");
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        durable_write_rename(&path, b"second").expect("replace");
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // The staging file never outlives the call.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

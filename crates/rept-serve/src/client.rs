@@ -332,4 +332,15 @@ impl Client {
     pub fn stats_all(&mut self) -> std::io::Result<String> {
         self.request("STATS *")
     }
+
+    /// `JOURNAL STATS` — the current tenant's durability state as the
+    /// raw reply line (`enabled= position= bytes= segments= replayed=
+    /// dlq=`).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn journal_stats(&mut self) -> std::io::Result<String> {
+        self.request("JOURNAL STATS")
+    }
 }

@@ -15,7 +15,7 @@
 //! ## Crash safety
 //!
 //! With a checkpoint path configured, the core checkpoints the complete
-//! estimator state (RPCK v3, write-then-rename) every
+//! estimator state (RPCK v4, write-then-rename) every
 //! `checkpoint_every` edges, on demand, and at shutdown; with
 //! [`ServeConfig::checkpoint_keep`] `> 1` the previous checkpoints are
 //! rotated to position-stamped siblings and pruned to the last `k`. On
@@ -25,6 +25,20 @@
 //! batch-split-insensitive, a kill-and-restart cycle is bit-identical
 //! to an uninterrupted run — the serve proptests assert this for every
 //! engine.
+//!
+//! ## Lossless ingest (write-ahead journal)
+//!
+//! Checkpoints alone make resume deterministic but lossy: a kill
+//! forfeits every edge accepted after the last checkpoint. With
+//! [`ServeConfig::with_journal`] the ingest thread appends each
+//! accepted batch to a segmented, CRC-guarded journal
+//! ([`crate::journal`]) *before* applying it and — under the default
+//! [`SyncPolicy::PerRecord`] — fsyncs before the ack, so an acked edge
+//! is durable. A checkpoint truncates the journal prefix it covers;
+//! startup replays the journal tail above the restored checkpoint.
+//! Recovery then yields exactly the acked prefix with no producer-side
+//! replay, and a torn final record is dropped, not fatal. Rejected
+//! ingest lines land in a dead-letter file ([`crate::dlq`]).
 
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -35,7 +49,9 @@ use rept_core::resume::{ResumableRun, SnapshotError};
 use rept_core::{Engine, Rept, ReptConfig, ReptEstimate};
 use rept_graph::edge::Edge;
 
-use crate::snapshot::{Published, Snapshot};
+use crate::dlq::DeadLetterQueue;
+use crate::journal::{Journal, SyncPolicy};
+use crate::snapshot::{DurabilityStats, Published, Snapshot};
 
 /// Configuration of a [`ServeCore`].
 #[derive(Debug, Clone)]
@@ -70,11 +86,21 @@ pub struct ServeConfig {
     /// Ingest channel capacity in batches (bounded ⇒ producers feel
     /// backpressure instead of growing an unbounded queue).
     pub channel_capacity: usize,
+    /// Journal every acked batch to a write-ahead log next to the
+    /// checkpoint before applying it (requires [`Self::checkpoint_path`])
+    /// so recovery is lossless — see [`crate::journal`]. Default off.
+    pub journal: bool,
+    /// Journal segment rotation threshold in bytes (default 1 MiB).
+    pub journal_segment_bytes: u64,
+    /// When the journal fsyncs relative to the ingest ack (default
+    /// [`SyncPolicy::PerRecord`] — acked ⇒ durable).
+    pub journal_sync: SyncPolicy,
 }
 
 impl ServeConfig {
     /// Defaults: fused-sorted engine, snapshot every 8192 edges, top-100
-    /// index, 16-batch channel, no checkpointing, keep 1 checkpoint.
+    /// index, 16-batch channel, no checkpointing, keep 1 checkpoint, no
+    /// journal.
     pub fn new(rept: ReptConfig) -> Self {
         Self {
             rept,
@@ -85,6 +111,9 @@ impl ServeConfig {
             checkpoint_keep: 1,
             top_k: 100,
             channel_capacity: 16,
+            journal: false,
+            journal_segment_bytes: 1 << 20,
+            journal_sync: SyncPolicy::PerRecord,
         }
     }
 
@@ -120,12 +149,36 @@ impl ServeConfig {
         self.top_k = k;
         self
     }
+
+    /// Enables the write-ahead journal (requires a checkpoint path at
+    /// [`ServeCore::start`]): acked batches become durable before the
+    /// ack and recovery replays the journal tail losslessly.
+    pub fn with_journal(mut self) -> Self {
+        self.journal = true;
+        self
+    }
+
+    /// Enables the journal and selects its fsync policy.
+    pub fn with_journal_sync(mut self, sync: SyncPolicy) -> Self {
+        self.journal = true;
+        self.journal_sync = sync;
+        self
+    }
+
+    /// Sets the journal segment rotation threshold in bytes (clamped to
+    /// ≥ 64 so rotation always makes progress).
+    pub fn with_journal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.journal_segment_bytes = bytes.max(64);
+        self
+    }
 }
 
 /// Control messages the ingest thread consumes, in arrival order.
 enum Control {
-    /// Apply a batch of stream edges.
-    Ingest(Vec<Edge>),
+    /// Apply a batch of stream edges. The sender, when present, is
+    /// acked once the batch is journaled (and, per policy, fsynced) —
+    /// `Err` means the batch was refused and not applied.
+    Ingest(Vec<Edge>, Option<SyncSender<Result<(), String>>>),
     /// Publish a fresh snapshot, then reply with the position — a
     /// barrier: everything queued before it is applied first.
     Flush(SyncSender<u64>),
@@ -146,6 +199,8 @@ pub struct ServeCore {
     cfg: ServeConfig,
     /// See [`Self::disable_checkpoints`].
     ckpt_disabled: Arc<std::sync::atomic::AtomicBool>,
+    /// Dead-letter capture for rejected ingest lines (journal mode).
+    dlq: Option<Arc<DeadLetterQueue>>,
 }
 
 impl ServeCore {
@@ -158,9 +213,14 @@ impl ServeCore {
     /// [`SnapshotError`] when an existing checkpoint cannot be decoded
     /// or disagrees with the requested config/engine — resuming under a
     /// different configuration would silently produce garbage, so it is
-    /// refused.
+    /// refused. Also when the journal is enabled without a checkpoint
+    /// path, or the journal on disk has a gap above the checkpoint
+    /// (acked edges are missing — starting would silently lose them).
     pub fn start(cfg: ServeConfig) -> Result<Self, SnapshotError> {
-        let run = match &cfg.checkpoint_path {
+        if cfg.journal && cfg.checkpoint_path.is_none() {
+            return Err(SnapshotError::Invalid("journal requires a checkpoint path"));
+        }
+        let mut run = match &cfg.checkpoint_path {
             Some(path) if path.exists() => {
                 let run = ResumableRun::from_checkpoint_file(path)?;
                 if run.config() != &cfg.rept {
@@ -174,7 +234,33 @@ impl ServeCore {
             _ => ResumableRun::with_engine(Rept::new(cfg.rept), cfg.engine),
         };
 
-        let initial = Snapshot::from_estimate(
+        // Journal recovery: replay the durable tail above the restored
+        // checkpoint, making the resume lossless instead of relying on
+        // producer-side replay.
+        let mut journal = None;
+        let mut dlq = None;
+        let mut replayed = 0u64;
+        if cfg.journal {
+            let path = cfg.checkpoint_path.as_ref().expect("checked above");
+            let recovery = Journal::recover(
+                path,
+                cfg.journal_segment_bytes,
+                cfg.journal_sync,
+                run.position(),
+            )
+            .map_err(|e| SnapshotError::Io(format!("journal recovery: {e}")))?;
+            if !recovery.replay.is_empty() {
+                run.process_batch(&recovery.replay);
+                replayed = recovery.replay.len() as u64;
+            }
+            journal = Some(recovery.journal);
+            dlq = Some(Arc::new(
+                DeadLetterQueue::open(DeadLetterQueue::path_for(path))
+                    .map_err(|e| SnapshotError::Io(format!("dead-letter open: {e}")))?,
+            ));
+        }
+
+        let mut initial = Snapshot::from_estimate(
             &run.estimate(),
             &cfg.rept,
             cfg.engine,
@@ -183,6 +269,7 @@ impl ServeCore {
             0,
             cfg.top_k,
         );
+        initial.durability = durability_stats(journal.as_ref(), cfg.journal, replayed);
         let published = Arc::new(Published::new(initial));
         let (tx, rx) = sync_channel::<Control>(cfg.channel_capacity.max(1));
 
@@ -192,7 +279,17 @@ impl ServeCore {
         let thread_disabled = Arc::clone(&ckpt_disabled);
         let ingest = std::thread::Builder::new()
             .name("rept-serve-ingest".into())
-            .spawn(move || ingest_loop(run, rx, thread_published, thread_cfg, thread_disabled))
+            .spawn(move || {
+                ingest_loop(
+                    run,
+                    journal,
+                    replayed,
+                    rx,
+                    thread_published,
+                    thread_cfg,
+                    thread_disabled,
+                )
+            })
             .expect("spawn ingest thread");
 
         Ok(Self {
@@ -201,6 +298,7 @@ impl ServeCore {
             ingest: Some(ingest),
             cfg,
             ckpt_disabled,
+            dlq,
         })
     }
 
@@ -222,14 +320,44 @@ impl ServeCore {
     }
 
     /// Queues a batch of edges for ingestion. Blocks when the bounded
-    /// channel is full (backpressure).
-    pub fn ingest(&self, edges: Vec<Edge>) {
+    /// channel is full (backpressure). With the journal enabled it also
+    /// blocks until the batch is journaled — and, under the default
+    /// [`SyncPolicy::PerRecord`], fsynced — so `Ok` means the edges
+    /// survive a kill. Without the journal, `Ok` only means queued.
+    ///
+    /// # Errors
+    ///
+    /// A description when the journal write fails; the batch was
+    /// refused and not applied.
+    pub fn ingest(&self, edges: Vec<Edge>) -> Result<(), String> {
         if edges.is_empty() {
-            return;
+            return Ok(());
         }
+        if !self.cfg.journal {
+            self.tx
+                .send(Control::Ingest(edges, None))
+                .expect("ingest thread alive");
+            return Ok(());
+        }
+        let (ack_tx, ack_rx) = sync_channel(1);
         self.tx
-            .send(Control::Ingest(edges))
+            .send(Control::Ingest(edges, Some(ack_tx)))
             .expect("ingest thread alive");
+        ack_rx.recv().expect("ingest thread acks")
+    }
+
+    /// Captures a rejected ingest line in the dead-letter file (no-op
+    /// without a journal — the DLQ lives next to the checkpoint).
+    pub fn dead_letter(&self, line: &str, reason: &str) {
+        if let Some(dlq) = &self.dlq {
+            dlq.record(line, reason);
+        }
+    }
+
+    /// Rejected ingest lines captured in the dead-letter file so far
+    /// (carried across restarts; 0 without a journal).
+    pub fn dlq_count(&self) -> u64 {
+        self.dlq.as_ref().map_or(0, |d| d.count())
     }
 
     /// The latest published snapshot — the query path. Lock-free apart
@@ -345,9 +473,21 @@ fn prune_rotated(path: &Path, keep_rotated: usize) {
     }
 }
 
+/// Assembles the durability block published with every snapshot.
+fn durability_stats(journal: Option<&Journal>, enabled: bool, replayed: u64) -> DurabilityStats {
+    DurabilityStats {
+        enabled,
+        journal_bytes: journal.map_or(0, |j| j.bytes()),
+        journal_segments: journal.map_or(0, |j| j.segments()),
+        replayed,
+    }
+}
+
 /// The ingest thread body.
 fn ingest_loop(
     mut run: ResumableRun,
+    mut journal: Option<Journal>,
+    replayed: u64,
     rx: std::sync::mpsc::Receiver<Control>,
     published: Arc<Published<Snapshot>>,
     cfg: ServeConfig,
@@ -367,74 +507,111 @@ fn ingest_loop(
         .filter(|p| p.exists())
         .map(|_| run.position());
 
-    let publish =
-        |run: &ResumableRun, seq: &mut u64, last: &mut Option<(u64, u64)>, checkpoints: u64| {
-            // Snapshot assembly clones the per-node counter maps; when
-            // nothing changed since the last publication, the published
-            // `Arc` body is already exact — keep it (seq-guarded reuse).
-            if *last == Some((run.position(), checkpoints)) {
-                return;
-            }
-            *seq += 1;
-            published.store(Snapshot::from_estimate(
-                &run.estimate(),
-                &cfg.rept,
-                cfg.engine,
-                run.position(),
-                *seq,
-                checkpoints,
-                cfg.top_k,
-            ));
-            *last = Some((run.position(), checkpoints));
-        };
-    let write_checkpoint =
-        |run: &ResumableRun, last_pos: &mut Option<u64>| -> Result<u64, String> {
-            if ckpt_disabled.load(std::sync::atomic::Ordering::SeqCst) {
-                return Err("checkpointing disabled (tenant dropped)".to_string());
-            }
-            let path = cfg
-                .checkpoint_path
-                .as_ref()
-                .ok_or_else(|| "no checkpoint path configured".to_string())?;
-            // Rotation: preserve the previous checkpoint under a
-            // position-stamped name via a hard link (copy fallback) —
-            // never by moving it away, so a failed write below still
-            // leaves the primary checkpoint intact for the next restart.
-            // The write-then-rename replaces the primary's directory
-            // entry; the rotated name keeps pointing at the old inode.
-            // Same-position rewrites produce the identical blob, so
-            // rotating them would only duplicate the file.
-            if cfg.checkpoint_keep > 1 {
-                if let Some(prev) = *last_pos {
-                    if prev != run.position() && path.exists() {
-                        let rotated = rotated_checkpoint_path(path, prev);
-                        let _ = std::fs::remove_file(&rotated);
-                        if std::fs::hard_link(path, &rotated).is_err() {
-                            let _ = std::fs::copy(path, &rotated);
-                        }
+    let publish = |run: &ResumableRun,
+                   seq: &mut u64,
+                   last: &mut Option<(u64, u64)>,
+                   checkpoints: u64,
+                   durability: DurabilityStats| {
+        // Snapshot assembly clones the per-node counter maps; when
+        // nothing changed since the last publication, the published
+        // `Arc` body is already exact — keep it (seq-guarded reuse).
+        // Durability state only moves with the position (appends) or
+        // the checkpoint count (truncation), so the guard covers it.
+        if *last == Some((run.position(), checkpoints)) {
+            return;
+        }
+        *seq += 1;
+        let mut snap = Snapshot::from_estimate(
+            &run.estimate(),
+            &cfg.rept,
+            cfg.engine,
+            run.position(),
+            *seq,
+            checkpoints,
+            cfg.top_k,
+        );
+        snap.durability = durability;
+        published.store(snap);
+        *last = Some((run.position(), checkpoints));
+    };
+    let write_checkpoint = |run: &ResumableRun,
+                            last_pos: &mut Option<u64>,
+                            journal: &mut Option<Journal>|
+     -> Result<u64, String> {
+        if ckpt_disabled.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err("checkpointing disabled (tenant dropped)".to_string());
+        }
+        let path = cfg
+            .checkpoint_path
+            .as_ref()
+            .ok_or_else(|| "no checkpoint path configured".to_string())?;
+        // Rotation: preserve the previous checkpoint under a
+        // position-stamped name via a hard link (copy fallback) —
+        // never by moving it away, so a failed write below still
+        // leaves the primary checkpoint intact for the next restart.
+        // The write-then-rename replaces the primary's directory
+        // entry; the rotated name keeps pointing at the old inode.
+        // Same-position rewrites produce the identical blob, so
+        // rotating them would only duplicate the file.
+        if cfg.checkpoint_keep > 1 {
+            if let Some(prev) = *last_pos {
+                if prev != run.position() && path.exists() {
+                    let rotated = rotated_checkpoint_path(path, prev);
+                    let _ = std::fs::remove_file(&rotated);
+                    if std::fs::hard_link(path, &rotated).is_err() {
+                        let _ = std::fs::copy(path, &rotated);
                     }
                 }
             }
-            run.checkpoint_to_file(path)
-                .map_err(|e| format!("checkpoint write failed: {e}"))?;
-            *last_pos = Some(run.position());
-            // Unconditional: lowering `checkpoint_keep` on a redeploy
-            // must also clean up rotated files a higher setting left.
-            // Saturating: the field is pub, so a struct-literal config
-            // can bypass the builder's ≥ 1 clamp with `keep = 0`.
-            prune_rotated(path, cfg.checkpoint_keep.saturating_sub(1));
-            Ok(run.position())
-        };
+        }
+        run.checkpoint_to_file(path)
+            .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        *last_pos = Some(run.position());
+        // Unconditional: lowering `checkpoint_keep` on a redeploy
+        // must also clean up rotated files a higher setting left.
+        // Saturating: the field is pub, so a struct-literal config
+        // can bypass the builder's ≥ 1 clamp with `keep = 0`.
+        prune_rotated(path, cfg.checkpoint_keep.saturating_sub(1));
+        // The durable checkpoint covers every applied edge: retire the
+        // journal prefix it made redundant. (A kill right here leaves
+        // stale segments; recovery skips records below the restored
+        // position, so the window is harmless.)
+        if let Some(j) = journal.as_mut() {
+            j.truncate_to(run.position());
+        }
+        Ok(run.position())
+    };
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            Control::Ingest(batch) => {
+            Control::Ingest(batch, ack) => {
                 let n = batch.len() as u64;
+                if let Some(j) = journal.as_mut() {
+                    // Journal-before-apply: under `PerRecord` the append
+                    // fsyncs, so the ack below promises durability.
+                    if let Err(e) = j.append(run.position(), &batch) {
+                        let msg = format!("journal append failed: {e}");
+                        match &ack {
+                            Some(ack) => drop(ack.send(Err(msg))),
+                            None => eprintln!("rept-serve: {msg}; batch refused"),
+                        }
+                        continue;
+                    }
+                }
+                if let Some(ack) = &ack {
+                    let _ = ack.send(Ok(()));
+                }
                 run.process_batch(&batch);
                 since_snapshot += n;
                 since_checkpoint += n;
                 if since_snapshot >= cfg.snapshot_every {
-                    publish(&run, &mut seq, &mut last_published, checkpoints);
+                    publish(
+                        &run,
+                        &mut seq,
+                        &mut last_published,
+                        checkpoints,
+                        durability_stats(journal.as_ref(), cfg.journal, replayed),
+                    );
                     since_snapshot = 0;
                 }
                 if let Some(every) = cfg.checkpoint_every {
@@ -442,20 +619,38 @@ fn ingest_loop(
                         // Periodic checkpoints are best-effort; an
                         // unwritable path surfaces on the explicit
                         // `Checkpoint` request instead of killing ingest.
-                        checkpoints += write_checkpoint(&run, &mut last_ckpt_pos).is_ok() as u64;
+                        checkpoints +=
+                            write_checkpoint(&run, &mut last_ckpt_pos, &mut journal).is_ok() as u64;
                         since_checkpoint = 0;
                     }
                 }
             }
             Control::Flush(reply) => {
-                publish(&run, &mut seq, &mut last_published, checkpoints);
+                if let Some(j) = journal.as_mut() {
+                    // Flush doubles as a durability barrier under the
+                    // batched sync policy.
+                    let _ = j.sync();
+                }
+                publish(
+                    &run,
+                    &mut seq,
+                    &mut last_published,
+                    checkpoints,
+                    durability_stats(journal.as_ref(), cfg.journal, replayed),
+                );
                 since_snapshot = 0;
                 let _ = reply.send(run.position());
             }
             Control::Checkpoint(reply) => {
-                let result = write_checkpoint(&run, &mut last_ckpt_pos);
+                let result = write_checkpoint(&run, &mut last_ckpt_pos, &mut journal);
                 checkpoints += result.is_ok() as u64;
-                publish(&run, &mut seq, &mut last_published, checkpoints);
+                publish(
+                    &run,
+                    &mut seq,
+                    &mut last_published,
+                    checkpoints,
+                    durability_stats(journal.as_ref(), cfg.journal, replayed),
+                );
                 since_snapshot = 0;
                 since_checkpoint = 0;
                 let _ = reply.send(result);
@@ -466,9 +661,20 @@ fn ingest_loop(
     // Final checkpoint + snapshot so a restart resumes from the exact
     // shutdown position (and the last snapshot reflects the write).
     if cfg.checkpoint_path.is_some() {
-        checkpoints += write_checkpoint(&run, &mut last_ckpt_pos).is_ok() as u64;
+        checkpoints += write_checkpoint(&run, &mut last_ckpt_pos, &mut journal).is_ok() as u64;
     }
-    publish(&run, &mut seq, &mut last_published, checkpoints);
+    if let Some(j) = journal.as_mut() {
+        // Normally the final checkpoint truncated everything; when it
+        // failed (or checkpointing is disabled), leave the tail durable.
+        let _ = j.sync();
+    }
+    publish(
+        &run,
+        &mut seq,
+        &mut last_published,
+        checkpoints,
+        durability_stats(journal.as_ref(), cfg.journal, replayed),
+    );
     run
 }
 
@@ -495,7 +701,7 @@ mod tests {
         let oracle = Rept::new(base_cfg()).run_sequential(stream.iter().copied());
         let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
         for chunk in stream.chunks(97) {
-            core.ingest(chunk.to_vec());
+            core.ingest(chunk.to_vec()).expect("ingest");
         }
         let pos = core.flush();
         assert_eq!(pos, stream.len() as u64);
@@ -513,10 +719,10 @@ mod tests {
     fn snapshots_are_isolated_from_ingest() {
         let stream = stream();
         let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
-        core.ingest(stream[..200].to_vec());
+        core.ingest(stream[..200].to_vec()).expect("ingest");
         core.flush();
         let early = core.snapshot();
-        core.ingest(stream[200..].to_vec());
+        core.ingest(stream[200..].to_vec()).expect("ingest");
         core.flush();
         let late = core.snapshot();
         // The early Arc is untouched by later ingestion.
@@ -536,14 +742,14 @@ mod tests {
         let cfg = ServeConfig::new(base_cfg()).with_checkpoint(path.clone(), None);
         let core = ServeCore::start(cfg.clone()).expect("start");
         let split = stream.len() / 3;
-        core.ingest(stream[..split].to_vec());
+        core.ingest(stream[..split].to_vec()).expect("ingest");
         let pos = core.checkpoint().expect("checkpoint");
         assert_eq!(pos, split as u64);
         drop(core); // simulate a crash after the checkpoint
 
         let resumed = ServeCore::start(cfg).expect("resume");
         assert_eq!(resumed.position(), split as u64, "replay point");
-        resumed.ingest(stream[split..].to_vec());
+        resumed.ingest(stream[split..].to_vec()).expect("ingest");
         resumed.flush();
         let snap = resumed.snapshot();
         assert_eq!(snap.global, oracle.global);
@@ -581,7 +787,7 @@ mod tests {
     fn idle_flushes_reuse_the_published_snapshot() {
         let stream = stream();
         let core = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
-        core.ingest(stream[..300].to_vec());
+        core.ingest(stream[..300].to_vec()).expect("ingest");
         core.flush();
         let first = core.snapshot();
         // No edges since the last publication: the snapshot body must be
@@ -592,7 +798,7 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &reused), "idle flush re-clones state");
         assert_eq!(reused.seq, first.seq);
         // New edges end the reuse window.
-        core.ingest(stream[300..].to_vec());
+        core.ingest(stream[300..].to_vec()).expect("ingest");
         core.flush();
         let fresh = core.snapshot();
         assert!(!Arc::ptr_eq(&first, &fresh));
@@ -614,7 +820,7 @@ mod tests {
         let core = ServeCore::start(cfg).expect("start");
         let mut positions = Vec::new();
         for chunk in stream.chunks(150).take(4) {
-            core.ingest(chunk.to_vec());
+            core.ingest(chunk.to_vec()).expect("ingest");
             positions.push(core.checkpoint().expect("checkpoint"));
         }
         core.shutdown(); // final checkpoint at the last position: no-op rotation
@@ -655,12 +861,12 @@ mod tests {
             .with_checkpoint(path.clone(), None)
             .with_checkpoint_keep(3);
         let core = ServeCore::start(cfg).expect("start");
-        core.ingest(stream[..100].to_vec());
+        core.ingest(stream[..100].to_vec()).expect("ingest");
         let pos = core.checkpoint().expect("first checkpoint");
         // Sabotage every further write: a directory squats on the
         // write-then-rename temp path.
         std::fs::create_dir(dir.join("serve.rpck.tmp")).expect("squat tmp path");
-        core.ingest(stream[100..200].to_vec());
+        core.ingest(stream[100..200].to_vec()).expect("ingest");
         assert!(core.checkpoint().is_err(), "sabotaged write must fail");
         drop(core); // final best-effort checkpoint also fails — fine
         let back = ResumableRun::from_checkpoint_file(&path).expect("primary intact");
@@ -678,7 +884,7 @@ mod tests {
             ServeCore::start(ServeConfig::new(base_cfg()).with_checkpoint(path.clone(), None))
                 .expect("start");
         for chunk in stream.chunks(120).take(3) {
-            core.ingest(chunk.to_vec());
+            core.ingest(chunk.to_vec()).expect("ingest");
             core.checkpoint().expect("checkpoint");
         }
         core.shutdown();
@@ -707,7 +913,7 @@ mod tests {
             .with_checkpoint(path.clone(), Some(100))
             .with_snapshot_every(50);
         let core = ServeCore::start(cfg).expect("start");
-        core.ingest(stream[..250].to_vec());
+        core.ingest(stream[..250].to_vec()).expect("ingest");
         core.flush();
         assert!(path.exists(), "≥ 100 edges ingested ⇒ checkpoint on disk");
         let on_disk = ResumableRun::from_checkpoint_file(&path).expect("readable");
@@ -718,5 +924,94 @@ mod tests {
         );
         core.shutdown();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_requires_a_checkpoint_path() {
+        let err = ServeCore::start(ServeConfig::new(base_cfg()).with_journal()).err();
+        assert!(matches!(
+            err,
+            Some(SnapshotError::Invalid("journal requires a checkpoint path"))
+        ));
+    }
+
+    #[test]
+    fn journal_grows_with_ingest_and_checkpoints_truncate_it() {
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!("rept-jnl-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.rpck");
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(path.clone(), None)
+            .with_journal();
+        let core = ServeCore::start(cfg).expect("start");
+        core.ingest(stream[..200].to_vec()).expect("durable ingest");
+        core.flush();
+        let snap = core.snapshot();
+        assert!(snap.durability.enabled);
+        assert!(snap.durability.journal_bytes > 0, "acked batch journaled");
+        assert!(snap.durability.journal_segments >= 1);
+        assert_eq!(snap.durability.replayed, 0, "fresh start replays nothing");
+        // A checkpoint covers the journal: it gets truncated away.
+        core.checkpoint().expect("checkpoint");
+        let snap = core.snapshot();
+        assert_eq!(snap.durability.journal_bytes, 0, "fully checkpointed");
+        assert_eq!(core.dlq_count(), 0);
+        core.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn startup_replays_the_journal_tail_losslessly() {
+        // Hand-write a journal with no checkpoint next to it — the
+        // state a kill leaves when no checkpoint ever fired — and let
+        // the core recover: every journaled edge must be replayed.
+        let stream = stream();
+        let oracle = Rept::new(base_cfg()).run_sequential(stream.iter().copied());
+        let dir = std::env::temp_dir().join(format!("rept-jnl-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.rpck");
+        let mut j = Journal::recover(&path, 1 << 20, SyncPolicy::PerRecord, 0)
+            .expect("fresh journal")
+            .journal;
+        let mut pos = 0u64;
+        for chunk in stream.chunks(111) {
+            j.append(pos, chunk).expect("append");
+            pos += chunk.len() as u64;
+        }
+        drop(j);
+
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(path.clone(), None)
+            .with_journal();
+        let core = ServeCore::start(cfg).expect("recover");
+        assert_eq!(core.position(), stream.len() as u64, "lossless");
+        let snap = core.snapshot();
+        assert_eq!(snap.durability.replayed, stream.len() as u64);
+        assert_eq!(snap.global, oracle.global, "bit-identical to oracle");
+        assert_eq!(snap.locals, oracle.locals);
+        core.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dead_letters_are_captured_and_counted() {
+        let dir = std::env::temp_dir().join(format!("rept-dlq-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(dir.join("serve.rpck"), None)
+            .with_journal();
+        let core = ServeCore::start(cfg).expect("start");
+        core.dead_letter("INGEST 1-2 3x4", "expected NxN edge");
+        assert_eq!(core.dlq_count(), 1);
+        let text = std::fs::read_to_string(dir.join("serve.dlq")).expect("dlq file");
+        assert!(text.contains("INGEST 1-2 3x4"), "verbatim line: {text}");
+        core.shutdown();
+        // Without a journal the DLQ is inert.
+        let plain = ServeCore::start(ServeConfig::new(base_cfg())).expect("start");
+        plain.dead_letter("INGEST x", "nope");
+        assert_eq!(plain.dlq_count(), 0);
+        plain.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

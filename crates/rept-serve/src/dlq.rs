@@ -1,0 +1,136 @@
+//! Per-tenant dead-letter file for malformed or rejected ingest.
+//!
+//! A line that *looks* like an `INGEST` but fails to parse — or parses
+//! but is refused durably — is not silently discarded: it is appended
+//! verbatim to a sibling of the checkpoint named `<stem>.dlq`, prefixed
+//! with the rejection reason, one line per rejection:
+//!
+//! ```text
+//! <reason>\t<original line>\n
+//! ```
+//!
+//! The file is plain text on purpose: an operator can inspect, fix and
+//! re-feed it with shell tools. The running count is surfaced through
+//! `STATS` (`dlq=`) and `JOURNAL STATS`; on restart the count is
+//! re-seeded from the existing file so it survives a resume.
+//!
+//! Writes are buffered-append without fsync — the DLQ is an operator
+//! aid, not part of the durability contract the journal provides.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Append-only capture of rejected ingest lines. Cheap to share: the
+/// count is atomic and only actual rejections take the file lock.
+#[derive(Debug)]
+pub struct DeadLetterQueue {
+    path: PathBuf,
+    file: Mutex<File>,
+    count: AtomicU64,
+}
+
+impl DeadLetterQueue {
+    /// The dead-letter file that belongs to the checkpoint at `ckpt`:
+    /// `<stem>.dlq` in the same directory.
+    pub fn path_for(ckpt: &Path) -> PathBuf {
+        let stem = ckpt
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "checkpoint".to_string());
+        ckpt.with_file_name(format!("{stem}.dlq"))
+    }
+
+    /// Opens (or creates) the dead-letter file, re-seeding the count
+    /// from lines already present.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn open(path: PathBuf) -> std::io::Result<Self> {
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => text.lines().count() as u64,
+            Err(_) => 0,
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            count: AtomicU64::new(existing),
+        })
+    }
+
+    /// Records one rejected line with its reason. Line breaks inside
+    /// either part are flattened so each rejection stays one line.
+    pub fn record(&self, line: &str, reason: &str) {
+        let reason: String = reason
+            .chars()
+            .map(|c| {
+                if c == '\t' || c == '\n' || c == '\r' {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let line: String = line
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+            .collect();
+        let entry = format!("{reason}\t{}\n", line.trim_end());
+        if let Ok(mut file) = self.file.lock() {
+            if file.write_all(entry.as_bytes()).is_ok() {
+                self.count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of rejected lines captured (including pre-restart ones).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Where the dead-letter file lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_count_and_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("rept-dlq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = DeadLetterQueue::path_for(&dir.join("serve.rpck"));
+        assert!(path.ends_with("serve.dlq"));
+
+        let dlq = DeadLetterQueue::open(path.clone()).expect("open");
+        assert_eq!(dlq.count(), 0);
+        dlq.record("INGEST 1-1", "expected NxN edge");
+        dlq.record("INGEST a b\nextra", "bad\tnode id");
+        assert_eq!(dlq.count(), 2);
+        drop(dlq);
+
+        let text = std::fs::read_to_string(&path).expect("read dlq");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "expected NxN edge\tINGEST 1-1");
+        assert_eq!(
+            lines[1], "bad node id\tINGEST a b extra",
+            "breaks flattened"
+        );
+
+        // Reopen re-seeds the count and keeps appending.
+        let dlq = DeadLetterQueue::open(path).expect("reopen");
+        assert_eq!(dlq.count(), 2);
+        dlq.record("INGEST", "missing edges");
+        assert_eq!(dlq.count(), 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

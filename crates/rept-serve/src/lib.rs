@@ -31,12 +31,22 @@
 //!   connection is scoped to one *current tenant* (`USE`), starting at
 //!   `default` — so v1 clients work unchanged.
 //! * **Crash safety** — periodic / on-demand / at-shutdown checkpoints
-//!   in the RPCK v3 format (write-then-rename; v1/v2 blobs still
+//!   in the RPCK v4 format (write-then-rename; v1–v3 blobs still
 //!   restore), resume-on-startup, and optional rotation keeping the
 //!   last *k* checkpoint files ([`ServeConfig::checkpoint_keep`]).
 //!   Kill-and-restart plus replay from the checkpointed position is
 //!   **bit-identical** to an uninterrupted run, on every engine and for
 //!   every tenant — the serve proptests pin this down.
+//! * **Durability** — an optional per-tenant write-ahead
+//!   [`journal`] ([`ServeConfig::with_journal`]): acked batches are
+//!   CRC-guarded and fsynced *before* the ack, a checkpoint truncates
+//!   the covered segments, and startup replays the journal tail — so
+//!   recovery is **lossless**, not merely deterministic, with torn
+//!   final records dropped rather than fatal. Rejected ingest lines
+//!   are captured verbatim in a per-tenant dead-letter file ([`dlq`]).
+//!   The fault-injection suite (`tests/fault.rs`) kills cores at
+//!   arbitrary points and proves recovery equals the acked prefix;
+//!   `docs/DURABILITY.md` specifies the format and contract.
 //!
 //! # Wire protocol (v2)
 //!
@@ -55,8 +65,9 @@
 //! | `QUERY LOCAL <v>`          | `OK LOCAL position=<p> node=<v> tau_v=<τ̂_v>`                |
 //! | `TOPK <k>`                 | `OK TOPK position=<p> k=<n> <v1>=<τ̂1> … <vn>=<τ̂n>` (descending) |
 //! | `TOPK <k> *`               | `OK TOPK ALL k=<n> <t1>/<v1>=<τ̂1> …` — merged across tenants |
-//! | `STATS`                    | `OK STATS position= seq= checkpoints= engine= m= c= stored_edges= bytes= tracked_nodes=` |
-//! | `STATS *`                  | `OK STATS ALL tenants= position= stored_edges= bytes= checkpoints= tracked_nodes=` |
+//! | `STATS`                    | `OK STATS position= seq= checkpoints= engine= m= c= stored_edges= bytes= tracked_nodes= journal_bytes= journal_segments= replayed= dlq=` |
+//! | `STATS *`                  | `OK STATS ALL tenants= position= stored_edges= bytes= checkpoints= tracked_nodes= journal_bytes= dlq=` |
+//! | `JOURNAL STATS`            | `OK JOURNAL enabled= position= bytes= segments= replayed= dlq=` — current tenant's durability state |
 //! | `FLUSH`                    | `OK FLUSH position=<p>` — barrier: everything queued is applied and republished |
 //! | `CHECKPOINT`               | `OK CHECKPOINT position=<p>` — state durably on disk          |
 //! | `TENANT CREATE <t> [k=v …]`| `OK TENANT CREATED <t>` — options: engine, m, c, seed, interval |
@@ -81,7 +92,7 @@
 //!
 //! let cfg = ServeConfig::new(ReptConfig::new(2, 2).with_seed(7)).with_snapshot_every(2);
 //! let core = ServeCore::start(cfg).unwrap();
-//! core.ingest(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]);
+//! core.ingest(vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]).unwrap();
 //! let position = core.flush();
 //! assert_eq!(position, 3);
 //! let snapshot = core.snapshot();
@@ -115,6 +126,8 @@
 
 pub mod client;
 pub mod core;
+pub mod dlq;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
@@ -122,6 +135,8 @@ pub mod tenant;
 
 pub use crate::core::{ServeConfig, ServeCore};
 pub use client::{Client, GlobalEstimate};
+pub use dlq::DeadLetterQueue;
+pub use journal::{Journal, SyncPolicy};
 pub use server::Server;
-pub use snapshot::{Published, Snapshot};
+pub use snapshot::{DurabilityStats, Published, Snapshot};
 pub use tenant::{RouterConfig, RouterStats, TenantRouter};

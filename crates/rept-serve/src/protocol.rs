@@ -19,8 +19,9 @@
 //!   `default`. New commands: `TENANT CREATE/LIST/DROP`, `USE <t>`, the
 //!   scoped ingest form `INGEST <scope> u v …` (scope = `*` or a
 //!   comma-separated tenant list — unambiguous because tenant names
-//!   must start with a letter while node ids are numeric), and the
-//!   cross-tenant query forms `STATS *` and `TOPK <k> *`.
+//!   must start with a letter while node ids are numeric), the
+//!   cross-tenant query forms `STATS *` and `TOPK <k> *`, and the
+//!   durability introspection verb `JOURNAL STATS`.
 //!
 //! Floats are formatted with Rust's shortest-roundtrip `Display`, so a
 //! client parsing a reply recovers the **bit-identical** `f64` the
@@ -86,6 +87,9 @@ pub enum Command {
     Stats,
     /// `STATS *` — statistics aggregated over all tenants.
     StatsAll,
+    /// `JOURNAL STATS` — the current tenant's durability state:
+    /// journal enabled flag, bytes, segments, replayed edges, DLQ count.
+    JournalStats,
     /// `FLUSH` — barrier: apply everything queued to the current
     /// tenant, republish, reply.
     Flush,
@@ -116,6 +120,7 @@ pub const COMMAND_FORMS: &[(&str, &str)] = &[
     ("TopKAll", "TOPK <k> *"),
     ("Stats", "STATS"),
     ("StatsAll", "STATS *"),
+    ("JournalStats", "JOURNAL STATS"),
     ("Flush", "FLUSH"),
     ("Checkpoint", "CHECKPOINT"),
     ("Shutdown", "SHUTDOWN"),
@@ -220,6 +225,10 @@ pub fn parse(line: &str) -> Result<Command, String> {
             None => Ok(Command::Stats),
             Some("*") => expect_end(tokens, Command::StatsAll),
             Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+        },
+        "JOURNAL" => match tokens.next() {
+            Some("STATS") => expect_end(tokens, Command::JournalStats),
+            _ => Err("JOURNAL needs STATS".into()),
         },
         "FLUSH" => expect_end(tokens, Command::Flush),
         "CHECKPOINT" => expect_end(tokens, Command::Checkpoint),
@@ -359,21 +368,24 @@ pub fn format_top_k_all(entries: &[(String, NodeId, f64)], k: usize) -> String {
 pub fn format_stats_all(stats: &crate::tenant::RouterStats) -> String {
     format!(
         "OK STATS ALL tenants={} position={} stored_edges={} bytes={} checkpoints={} \
-         tracked_nodes={}",
+         tracked_nodes={} journal_bytes={} dlq={}",
         stats.tenants,
         stats.position,
         stats.stored_edges,
         stats.bytes,
         stats.checkpoints,
         stats.tracked_nodes,
+        stats.journal_bytes,
+        stats.dlq,
     )
 }
 
-/// `OK STATS …` reply for `STATS`.
-pub fn format_stats(snap: &Snapshot) -> String {
+/// `OK STATS …` reply for `STATS`. `dlq` is the tenant's dead-letter
+/// count, read live from the core (it is not snapshot state).
+pub fn format_stats(snap: &Snapshot, dlq: u64) -> String {
     format!(
         "OK STATS position={} seq={} checkpoints={} engine={} m={} c={} stored_edges={} \
-         bytes={} tracked_nodes={}",
+         bytes={} tracked_nodes={} journal_bytes={} journal_segments={} replayed={} dlq={dlq}",
         snap.position,
         snap.seq,
         snap.checkpoints,
@@ -383,6 +395,22 @@ pub fn format_stats(snap: &Snapshot) -> String {
         snap.stored_edges,
         snap.total_bytes,
         snap.locals.len(),
+        snap.durability.journal_bytes,
+        snap.durability.journal_segments,
+        snap.durability.replayed,
+    )
+}
+
+/// `OK JOURNAL …` reply for `JOURNAL STATS` — the durability state of
+/// the current tenant.
+pub fn format_journal_stats(snap: &Snapshot, dlq: u64) -> String {
+    format!(
+        "OK JOURNAL enabled={} position={} bytes={} segments={} replayed={} dlq={dlq}",
+        u8::from(snap.durability.enabled),
+        snap.position,
+        snap.durability.journal_bytes,
+        snap.durability.journal_segments,
+        snap.durability.replayed,
     )
 }
 
@@ -541,6 +569,7 @@ mod tests {
             "TopKAll",
             "Stats",
             "StatsAll",
+            "JournalStats",
             "Flush",
             "Checkpoint",
             "Shutdown",
@@ -573,12 +602,21 @@ mod tests {
             bytes: 512,
             checkpoints: 3,
             tracked_nodes: 7,
+            journal_bytes: 96,
+            dlq: 1,
         };
         assert_eq!(
             format_stats_all(&stats),
             "OK STATS ALL tenants=2 position=30 stored_edges=12 bytes=512 checkpoints=3 \
-             tracked_nodes=7"
+             tracked_nodes=7 journal_bytes=96 dlq=1"
         );
+    }
+
+    #[test]
+    fn parses_journal_stats() {
+        assert_eq!(parse("JOURNAL STATS"), Ok(Command::JournalStats));
+        assert!(parse("JOURNAL").is_err());
+        assert!(parse("JOURNAL STATS x").is_err(), "trailing token");
     }
 
     #[test]

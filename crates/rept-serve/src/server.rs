@@ -289,8 +289,15 @@ fn execute(
         Ok(Command::Ingest(Scope::Current, edges)) => match router.tenant(tenant) {
             Some(core) => {
                 let n = edges.len();
-                core.ingest(edges);
-                format!("OK INGEST {n}")
+                match core.ingest(edges) {
+                    Ok(()) => format!("OK INGEST {n}"),
+                    Err(msg) => {
+                        // A durably-refused batch is a rejection like any
+                        // other: capture the line for operator replay.
+                        core.dead_letter(line, &msg);
+                        format!("ERR {msg}")
+                    }
+                }
             }
             None => format!("ERR unknown tenant {tenant:?}"),
         },
@@ -298,7 +305,12 @@ fn execute(
             let n = edges.len();
             match router.ingest(&scope, edges) {
                 Ok(fed) => format!("OK INGEST {n} tenants={fed}"),
-                Err(msg) => format!("ERR {msg}"),
+                Err(msg) => {
+                    if let Some(core) = router.tenant(tenant) {
+                        core.dead_letter(line, &msg);
+                    }
+                    format!("ERR {msg}")
+                }
             }
         }
         Ok(Command::QueryGlobal) => with_current(&|core| protocol::format_global(&core.snapshot())),
@@ -307,8 +319,13 @@ fn execute(
         }
         Ok(Command::TopK(k)) => with_current(&|core| protocol::format_top_k(&core.snapshot(), k)),
         Ok(Command::TopKAll(k)) => protocol::format_top_k_all(&router.merged_top_k(k), k),
-        Ok(Command::Stats) => with_current(&|core| protocol::format_stats(&core.snapshot())),
+        Ok(Command::Stats) => {
+            with_current(&|core| protocol::format_stats(&core.snapshot(), core.dlq_count()))
+        }
         Ok(Command::StatsAll) => protocol::format_stats_all(&router.aggregate_stats()),
+        Ok(Command::JournalStats) => {
+            with_current(&|core| protocol::format_journal_stats(&core.snapshot(), core.dlq_count()))
+        }
         Ok(Command::Flush) => with_current(&|core| format!("OK FLUSH position={}", core.flush())),
         Ok(Command::Checkpoint) => with_current(&|core| match core.checkpoint() {
             Ok(pos) => format!("OK CHECKPOINT position={pos}"),
@@ -348,7 +365,18 @@ fn execute(
             stop.store(true, Ordering::SeqCst);
             return ("OK BYE".into(), true);
         }
-        Err(msg) => format!("ERR {msg}"),
+        Err(msg) => {
+            // Malformed lines that were *meant* to carry edges go to the
+            // current tenant's dead-letter file, verbatim, with the
+            // parse error as the reason — rejected data is inspectable
+            // and re-feedable, not silently gone.
+            if line.split_ascii_whitespace().next() == Some("INGEST") {
+                if let Some(core) = router.tenant(tenant) {
+                    core.dead_letter(line, &msg);
+                }
+            }
+            format!("ERR {msg}")
+        }
     };
     (reply, false)
 }

@@ -16,6 +16,21 @@ use rept_core::{Engine, ReptConfig, ReptEstimate};
 use rept_graph::edge::NodeId;
 use rept_hash::fx::FxHashMap;
 
+/// Write-ahead-journal state carried by a [`Snapshot`] — the
+/// durability side of `STATS` and `JOURNAL STATS`. All zeros (and
+/// `enabled == false`) when the core runs without a journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Whether the core journals acked batches before applying them.
+    pub enabled: bool,
+    /// Journal bytes currently on disk (all live segments).
+    pub journal_bytes: u64,
+    /// Live journal segment files.
+    pub journal_segments: u64,
+    /// Edges replayed from the journal tail at the last startup.
+    pub replayed: u64,
+}
+
 /// An immutable view of the estimator at one stream position — what
 /// every query reads. Assembled by the ingest thread, shared by `Arc`.
 #[derive(Debug, Clone)]
@@ -50,6 +65,9 @@ pub struct Snapshot {
     pub c: u64,
     /// The engine driving the run.
     pub engine: Engine,
+    /// Write-ahead-journal state (zeros when journaling is off). Set by
+    /// the core after [`Self::from_estimate`] assembles the rest.
+    pub durability: DurabilityStats,
 }
 
 impl Snapshot {
@@ -87,6 +105,7 @@ impl Snapshot {
             m: cfg.m,
             c: cfg.c,
             engine,
+            durability: DurabilityStats::default(),
         }
     }
 

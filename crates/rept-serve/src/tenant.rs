@@ -37,7 +37,7 @@ use std::sync::{Arc, Mutex};
 
 use rept_core::config::EtaMode;
 use rept_core::interval::IntervalEstimator;
-use rept_core::resume::{ResumableRun, SnapshotError};
+use rept_core::resume::{durable_write_rename, ResumableRun, SnapshotError};
 use rept_core::{Engine, ReptConfig, ReptEstimate};
 use rept_graph::edge::{Edge, NodeId};
 
@@ -96,6 +96,10 @@ pub struct RouterStats {
     pub checkpoints: u64,
     /// Σ tracked (non-zero local) nodes.
     pub tracked_nodes: usize,
+    /// Σ write-ahead-journal bytes on disk (0 when no tenant journals).
+    pub journal_bytes: u64,
+    /// Σ dead-letter counts across tenants.
+    pub dlq: u64,
 }
 
 /// One live tenant: its core plus the resolved bookkeeping needed to
@@ -131,6 +135,21 @@ impl TenantRouter {
         // Resume whatever the root directory holds.
         if let Some(root) = router.cfg.root_dir.clone() {
             if root.is_dir() {
+                // Sweep retired directories first: `drop_tenant` renames
+                // a tenant dir to `.trash-…` before deleting it, and a
+                // crash in that window leaves the trash behind forever
+                // (the resume scan skips dot-names). Best-effort — a
+                // sweep failure must not block startup.
+                for entry in std::fs::read_dir(&root)
+                    .map_err(|e| SnapshotError::Io(e.to_string()))?
+                    .filter_map(|e| e.ok())
+                {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if name.starts_with(".trash-") && entry.path().is_dir() {
+                        let _ = std::fs::remove_dir_all(entry.path());
+                    }
+                }
                 let mut names: Vec<String> = std::fs::read_dir(&root)
                     .map_err(|e| SnapshotError::Io(e.to_string()))?
                     .filter_map(|e| e.ok())
@@ -145,7 +164,30 @@ impl TenantRouter {
                         continue; // unrelated directory: no manifest, no checkpoint
                     };
                     let serve = router.tenant_serve_config(&name, rept, engine);
-                    let core = ServeCore::start(serve)?;
+                    let core = match ServeCore::start(serve) {
+                        Ok(core) => core,
+                        // A manifest torn mid-value can still *parse* —
+                        // e.g. an `engine=fused-hash` tail cut down to
+                        // the `fused` alias — and then contradict the
+                        // checkpoint it resumes. The checkpoint header
+                        // is CRC-guarded; the manifest is not: trust
+                        // the checkpoint and retry under its config.
+                        Err(e) => {
+                            let ckpt = dir.join(TENANT_CHECKPOINT);
+                            if !ckpt.is_file() {
+                                return Err(e);
+                            }
+                            eprintln!(
+                                "rept-serve: tenant {name:?} manifest config rejected \
+                                 ({e}); retrying from the checkpoint header"
+                            );
+                            let run = ResumableRun::from_checkpoint_file(&ckpt)?;
+                            let serve =
+                                router.tenant_serve_config(&name, *run.config(), run.engine());
+                            drop(run); // `start` re-reads the checkpoint itself
+                            ServeCore::start(serve)?
+                        }
+                    };
                     router.tenants.lock().expect("tenant lock").insert(
                         name,
                         TenantEntry {
@@ -480,14 +522,27 @@ impl TenantRouter {
             }
         };
         let fed = targets.len();
+        // A journal-refused batch surfaces as an error, but the fan-out
+        // still offers the batch to every target first — durability is
+        // per tenant, and starving healthy tenants because one tenant's
+        // disk failed would turn a partial outage into a total one.
+        let mut failure: Option<String> = None;
         let mut targets = targets.into_iter();
         if let Some(last) = targets.next_back() {
             for core in targets {
-                core.ingest(edges.clone());
+                if let Err(e) = core.ingest(edges.clone()) {
+                    failure.get_or_insert(e);
+                }
             }
-            last.ingest(edges); // the last tenant takes the Vec itself
+            // The last tenant takes the Vec itself.
+            if let Err(e) = last.ingest(edges) {
+                failure.get_or_insert(e);
+            }
         }
-        Ok(fed)
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(fed),
+        }
     }
 
     /// Barrier on every tenant: returns `(name, position)` pairs.
@@ -510,6 +565,8 @@ impl TenantRouter {
             bytes: 0,
             checkpoints: 0,
             tracked_nodes: 0,
+            journal_bytes: 0,
+            dlq: 0,
         };
         for (_, core) in self.cores() {
             let snap = core.snapshot();
@@ -519,6 +576,8 @@ impl TenantRouter {
             stats.bytes += snap.total_bytes;
             stats.checkpoints += snap.checkpoints;
             stats.tracked_nodes += snap.locals.len();
+            stats.journal_bytes += snap.durability.journal_bytes;
+            stats.dlq += core.dlq_count();
         }
         stats
     }
@@ -614,11 +673,10 @@ fn write_tenant_manifest(
     if let Some(i) = interval {
         meta.push_str(&format!("interval={i}\n"));
     }
-    // Write-then-rename, like the checkpoints: a torn manifest must not
-    // shadow a good one.
-    let tmp = dir.join(format!("{TENANT_META}.tmp"));
-    std::fs::write(&tmp, meta)?;
-    std::fs::rename(&tmp, dir.join(TENANT_META))
+    // Durable write-then-rename, exactly like the checkpoints: without
+    // the fsync a power loss can persist the rename over unsynced data,
+    // leaving a *renamed* torn manifest that shadows nothing good.
+    durable_write_rename(&dir.join(TENANT_META), meta.as_bytes())
 }
 
 /// Reads a tenant directory's configuration: the `tenant.meta` manifest
@@ -628,51 +686,80 @@ fn read_tenant_manifest(
     dir: &Path,
 ) -> Result<Option<(ReptConfig, Engine, Option<u64>)>, SnapshotError> {
     let meta_path = dir.join(TENANT_META);
-    if let Ok(text) = std::fs::read_to_string(&meta_path) {
-        let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
-        for line in text.lines() {
-            if let Some((k, v)) = line.split_once('=') {
-                fields.insert(k.trim(), v.trim());
+    let parsed = match std::fs::read_to_string(&meta_path) {
+        Ok(text) => match parse_tenant_manifest(&text) {
+            Ok(parsed) => Some(parsed),
+            // A manifest that exists but doesn't parse (truncated by a
+            // crash on a pre-fsync filesystem, hand-edited, …) is
+            // *damaged*, not absent — don't fail the whole router
+            // startup over it when the checkpoint can answer instead.
+            Err(e) => {
+                if dir.join(TENANT_CHECKPOINT).is_file() {
+                    eprintln!(
+                        "rept-serve: unreadable manifest {} ({e:?}); \
+                         falling back to the checkpoint header",
+                        meta_path.display()
+                    );
+                    None
+                } else {
+                    return Err(e);
+                }
             }
-        }
-        let num = |key: &str| -> Result<u64, SnapshotError> {
-            fields
-                .get(key)
-                .and_then(|v| v.parse().ok())
-                .ok_or(SnapshotError::Invalid("tenant manifest field"))
-        };
-        let m = num("m")?;
-        let c = num("c")?;
-        if m < 2 || c < 1 {
-            return Err(SnapshotError::Invalid("tenant manifest layout"));
-        }
-        let rept = ReptConfig::new(m, c)
-            .with_seed(num("seed")?)
-            .with_locals(num("track_locals")? != 0)
-            .with_eta(num("track_eta")? != 0)
-            .with_eta_mode(match fields.get("eta_mode").copied() {
-                Some("strict") => EtaMode::StrictNonLast,
-                _ => EtaMode::PaperInit,
-            });
-        let engine = fields
-            .get("engine")
-            .and_then(|n| Engine::from_name(n))
-            .ok_or(SnapshotError::Invalid("tenant manifest engine"))?;
-        let interval = fields.get("interval").and_then(|v| v.parse().ok());
-        return Ok(Some((rept, engine, interval)));
+        },
+        Err(_) => None,
+    };
+    if let Some(parsed) = parsed {
+        return Ok(Some(parsed));
     }
-    // No manifest (pre-manifest directory, or a torn write that never
-    // renamed): fall back to the checkpoint header, which carries the
-    // full config and engine. This decodes the whole blob and the
-    // subsequent `ServeCore::start` decodes it again — accepted: the
-    // RPCK codec exposes no header-only peek, and this path only runs
-    // once per damaged directory at startup.
+    // No usable manifest (pre-manifest directory, a torn write that
+    // never renamed, or a damaged one with a checkpoint beside it):
+    // fall back to the checkpoint header, which carries the full config
+    // and engine. This decodes the whole blob and the subsequent
+    // `ServeCore::start` decodes it again — accepted: the RPCK codec
+    // exposes no header-only peek, and this path only runs once per
+    // damaged directory at startup.
     let ckpt = dir.join(TENANT_CHECKPOINT);
     if ckpt.is_file() {
         let run = ResumableRun::from_checkpoint_file(&ckpt)?;
         return Ok(Some((*run.config(), run.engine(), None)));
     }
     Ok(None)
+}
+
+/// Parses the `key=value` manifest body written by
+/// [`write_tenant_manifest`].
+fn parse_tenant_manifest(text: &str) -> Result<(ReptConfig, Engine, Option<u64>), SnapshotError> {
+    let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            fields.insert(k.trim(), v.trim());
+        }
+    }
+    let num = |key: &str| -> Result<u64, SnapshotError> {
+        fields
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or(SnapshotError::Invalid("tenant manifest field"))
+    };
+    let m = num("m")?;
+    let c = num("c")?;
+    if m < 2 || c < 1 {
+        return Err(SnapshotError::Invalid("tenant manifest layout"));
+    }
+    let rept = ReptConfig::new(m, c)
+        .with_seed(num("seed")?)
+        .with_locals(num("track_locals")? != 0)
+        .with_eta(num("track_eta")? != 0)
+        .with_eta_mode(match fields.get("eta_mode").copied() {
+            Some("strict") => EtaMode::StrictNonLast,
+            _ => EtaMode::PaperInit,
+        });
+    let engine = fields
+        .get("engine")
+        .and_then(|n| Engine::from_name(n))
+        .ok_or(SnapshotError::Invalid("tenant manifest engine"))?;
+    let interval = fields.get("interval").and_then(|v| v.parse().ok());
+    Ok((rept, engine, interval))
 }
 
 #[cfg(test)]
@@ -848,6 +935,59 @@ mod tests {
     }
 
     #[test]
+    fn startup_sweeps_leftover_trash_directories() {
+        let root = temp_root("trash-sweep");
+        std::fs::remove_dir_all(&root).ok();
+        // A crash between `drop_tenant`'s rename and its remove_dir_all
+        // leaves a retired directory behind; simulate one.
+        let trash = root.join(".trash-gone-0");
+        std::fs::create_dir_all(trash.join("nested")).expect("mk trash");
+        std::fs::write(trash.join("serve.rpck"), b"stale").expect("trash file");
+        // A dot-file that is *not* a trash dir must survive the sweep.
+        std::fs::write(root.join(".keep"), b"").expect("keep file");
+
+        let router =
+            TenantRouter::start(RouterConfig::new(base_serve()).with_root_dir(root.clone()))
+                .expect("start");
+        assert!(!trash.exists(), "retired directory swept at startup");
+        assert!(root.join(".keep").is_file(), "unrelated dot-file kept");
+        assert!(!router.contains("gone"), "trash never resurrected");
+        router.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn router_stats_aggregate_journal_and_dlq() {
+        let root = temp_root("journal-agg");
+        std::fs::remove_dir_all(&root).ok();
+        let cfg = RouterConfig::new(base_serve().with_journal()).with_root_dir(root.clone());
+        let router = TenantRouter::start(cfg).expect("start");
+        router
+            .create("alpha", &TenantOptions::default())
+            .expect("create");
+        router
+            .ingest(&Scope::All, stream()[..60].to_vec())
+            .expect("ingest");
+        router.flush_all(); // durability stats refresh at publish points
+        router
+            .tenant("alpha")
+            .unwrap()
+            .dead_letter("INGEST bogus", "unparsable");
+        let stats = router.aggregate_stats();
+        assert_eq!(stats.tenants, 2);
+        assert!(stats.journal_bytes > 0, "both tenants journaled");
+        assert_eq!(stats.dlq, 1, "alpha's dead letter counted");
+        router.checkpoint_all().expect("checkpoint");
+        assert_eq!(
+            router.aggregate_stats().journal_bytes,
+            0,
+            "checkpoints truncate every tenant's journal"
+        );
+        router.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn router_wide_kill_resume_restores_every_tenant() {
         let stream = stream();
         let root = temp_root("resume");
@@ -935,7 +1075,8 @@ mod tests {
         router
             .tenant("hash")
             .unwrap()
-            .ingest(stream()[..40].to_vec());
+            .ingest(stream()[..40].to_vec())
+            .expect("ingest");
         router.checkpoint_all().expect("checkpoint");
         router.shutdown();
         // Simulate a pre-manifest directory.

@@ -1,7 +1,7 @@
 //! Kill-and-resume smoke test over the unified execution core.
 //!
 //! Streams a synthetic graph into a [`ResumableRun`] on every engine,
-//! checkpoints mid-stream (RPCK v3, crash-safe write-then-rename),
+//! checkpoints mid-stream (RPCK v4, crash-safe write-then-rename),
 //! "kills" the run by dropping it — losing every edge applied after the
 //! checkpoint, exactly like a crash — restores from the file, replays
 //! the remainder of the stream, and asserts the final estimate is

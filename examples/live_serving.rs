@@ -5,7 +5,7 @@
 //! the wire with the blocking [`rept::serve::Client`], queries
 //! mid-stream (global estimate with plug-in 95% confidence interval,
 //! top-k locals — answered from published snapshots, so queries never
-//! block ingestion), checkpoints (RPCK v3, write-then-rename), kills
+//! block ingestion), checkpoints (RPCK v4, write-then-rename), kills
 //! the server, restarts it from the checkpoint, replays the remainder
 //! of the stream, and asserts the resumed estimate is **bit-identical**
 //! to an uninterrupted batch run — floats cross the wire exactly thanks

@@ -34,7 +34,7 @@
 //!   runs construct one core per thread over a subset of hash groups
 //!   and combine the finalized aggregates.
 //! * **Resume** ([`rept_core::resume::ResumableRun`]): the same core
-//!   fed batch by batch, plus the RPCK v3 checkpoint codec (v1/v2
+//!   fed batch by batch, plus the RPCK v4 checkpoint codec (v1–v3
 //!   blobs still restore). Results are independent of batch
 //!   boundaries, so kill-and-resume is bit-identical.
 //! * **Serve** ([`rept_serve::ServeCore`]): an ingest thread around a
@@ -150,3 +150,7 @@ mod architecture_doctests {}
 #[cfg(doctest)]
 #[doc = include_str!("../docs/PROTOCOL.md")]
 mod protocol_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/DURABILITY.md")]
+mod durability_doctests {}

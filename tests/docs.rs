@@ -100,7 +100,12 @@ fn markdown_links(text: &str) -> Vec<String> {
 /// exist — a rename or move must not leave dead links behind.
 #[test]
 fn docs_have_no_dead_relative_links() {
-    let docs = ["README.md", "docs/ARCHITECTURE.md", "docs/PROTOCOL.md"];
+    let docs = [
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "docs/PROTOCOL.md",
+        "docs/DURABILITY.md",
+    ];
     for doc in docs {
         let text = read(doc);
         let dir = repo_root().join(doc);
@@ -140,6 +145,10 @@ fn readme_bench_tables_cite_committed_results() {
     assert!(
         serve.contains("\"host_cores\""),
         "BENCH_serve.json must record host_cores"
+    );
+    assert!(
+        serve.contains("\"journal_overhead\""),
+        "BENCH_serve.json lost its journal_overhead section"
     );
     let throughput = read("BENCH_throughput.json");
     assert!(throughput.contains("\"host_cores\""));

@@ -69,14 +69,14 @@ proptest! {
 
             let core = ServeCore::start(serve_cfg.clone()).expect("start");
             for chunk in stream[..split].chunks(batch) {
-                core.ingest(chunk.to_vec());
+                core.ingest(chunk.to_vec()).expect("ingest");
             }
             let pos = core.checkpoint().expect("checkpoint");
             prop_assert_eq!(pos, split as u64);
             // Edges arriving between the checkpoint and the crash are
             // lost with the process.
             for chunk in stream[split..].chunks(batch * 2) {
-                core.ingest(chunk.to_vec());
+                core.ingest(chunk.to_vec()).expect("ingest");
             }
             let frozen = std::fs::read(&path).expect("checkpoint on disk");
             drop(core); // "crash" (drop would otherwise also checkpoint)
@@ -86,7 +86,7 @@ proptest! {
             let replay_from = resumed.position() as usize;
             prop_assert_eq!(replay_from, split, "replay point = checkpoint position");
             for chunk in stream[replay_from..].chunks(batch) {
-                resumed.ingest(chunk.to_vec());
+                resumed.ingest(chunk.to_vec()).expect("ingest");
             }
             let end = resumed.flush();
             prop_assert_eq!(end, stream.len() as u64);
@@ -248,7 +248,7 @@ proptest! {
         }
         resumed.flush_all();
         for (name, standalone) in &oracles {
-            standalone.ingest(stream.clone());
+            standalone.ingest(stream.clone()).expect("ingest");
             standalone.flush();
             let want = standalone.snapshot();
             let got = resumed.tenant(name).expect("tenant").snapshot();
@@ -516,7 +516,7 @@ fn queries_proceed_while_ingest_is_running() {
         let core = &core;
         let writer = scope.spawn(move || {
             for chunk in stream.chunks(50) {
-                core.ingest(chunk.to_vec());
+                core.ingest(chunk.to_vec()).expect("ingest");
             }
             core.flush()
         });
