@@ -25,19 +25,30 @@
 //! A fourth section measures **journal overhead**: the same in-process
 //! ingest with the write-ahead journal off, fsync-per-record (every ack
 //! durable) and fsync-batched (acks durable at the next flush) — the
-//! price of losslessness, isolated from the TCP stack.
+//! price of losslessness, isolated from the TCP stack. The per-record
+//! policy is measured both from one producer (every batch pays its own
+//! fsync) and from four concurrent producers (queued batches share one
+//! group-commit barrier).
+//!
+//! A fifth section measures **quota enforcement**: each
+//! [`QuotaPolicy`] run against a budget of half the stream's
+//! unpressured footprint (~2× pressure) — how many edges each policy
+//! accepts, where stored bytes end up relative to the budget, and the
+//! ingest rate with admission checks on.
 //!
 //! Run: `cargo run --release --bin bench_serve [-- --out FILE --nodes N]`
 //! (default output: `BENCH_serve.json`).
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use rept_core::reservoir::MIN_MEMORY_BUDGET;
 use rept_core::{Engine, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
 use rept_metrics::LatencyRecorder;
-use rept_serve::{Client, RouterConfig, ServeConfig, ServeCore, Server, SyncPolicy};
+use rept_serve::{Client, QuotaPolicy, RouterConfig, ServeConfig, ServeCore, Server, SyncPolicy};
 
 const M: u64 = 64;
 const PROCESSOR_COUNTS: [u64; 2] = [64, 256];
@@ -241,8 +252,16 @@ fn main() {
     // Journal overhead: the identical in-process ingest with the
     // write-ahead journal off / fsync-per-record / fsync-batched.
     // In-process (no TCP) so the rows isolate the durability cost.
+    // Per-record is measured again from four concurrent producers:
+    // batches queued while one fsync runs share the next group-commit
+    // barrier, so the aggregate rate recovers most of the penalty.
     let mut journal_rows = Vec::new();
-    for journal in ["off", "per-record", "batched"] {
+    for (journal, producers) in [
+        ("off", 1),
+        ("per-record", 1),
+        ("per-record", 4),
+        ("batched", 1),
+    ] {
         let dir = std::env::temp_dir().join(format!("rept-bench-journal-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).expect("mk journal dir");
@@ -255,22 +274,88 @@ fn main() {
             "per-record" => serve_cfg.with_journal_sync(SyncPolicy::PerRecord),
             _ => serve_cfg.with_journal_sync(SyncPolicy::Batched),
         };
-        let core = ServeCore::start(serve_cfg).expect("start core");
+        let core = Arc::new(ServeCore::start(serve_cfg).expect("start core"));
         let start = Instant::now();
-        for chunk in stream.chunks(JOURNAL_CHUNK) {
-            core.ingest(chunk.to_vec()).expect("ingest");
-        }
+        std::thread::scope(|scope| {
+            for t in 0..producers {
+                let core = Arc::clone(&core);
+                let stream = &stream;
+                scope.spawn(move || {
+                    for chunk in stream.chunks(JOURNAL_CHUNK).skip(t).step_by(producers) {
+                        core.ingest(chunk.to_vec()).expect("ingest");
+                    }
+                });
+            }
+        });
         core.flush();
         let secs = start.elapsed().as_secs_f64();
         let journal_bytes = core.snapshot().durability.journal_bytes;
-        core.shutdown();
+        Arc::try_unwrap(core)
+            .unwrap_or_else(|_| unreachable!("producers joined"))
+            .shutdown();
         std::fs::remove_dir_all(&dir).ok();
         let rate = stream.len() as f64 / secs;
         eprintln!(
-            "  journal {journal:>10}: {rate:>10.0} edges/s ({secs:.2} s), \
+            "  journal {journal:>10} ×{producers}: {rate:>10.0} edges/s ({secs:.2} s), \
              {journal_bytes} journal bytes"
         );
-        journal_rows.push((journal, secs, rate, journal_bytes));
+        journal_rows.push((journal, producers, secs, rate, journal_bytes));
+    }
+
+    // Quota enforcement: each policy run against a budget of half the
+    // unpressured footprint, so the stream presses at roughly 2×. The
+    // unlimited row doubles as the admission-check-free baseline.
+    let mut quota_rows = Vec::new();
+    {
+        let cfg = ReptConfig::new(M, M).with_seed(7);
+        let core = ServeCore::start(ServeConfig::new(cfg).with_snapshot_every(SNAPSHOT_EVERY))
+            .expect("start core");
+        let start = Instant::now();
+        for chunk in stream.chunks(INGEST_CHUNK) {
+            core.ingest(chunk.to_vec()).expect("ingest");
+        }
+        let accepted = core.flush();
+        let secs = start.elapsed().as_secs_f64();
+        let full = core.health().stored_bytes;
+        core.shutdown();
+        quota_rows.push(("none", 0u64, accepted, full, accepted as f64 / secs));
+        let budget = (full / 2).max(MIN_MEMORY_BUDGET);
+        for policy in [QuotaPolicy::Shed, QuotaPolicy::Reject, QuotaPolicy::Degrade] {
+            let cfg = ReptConfig::new(M, M).with_seed(7);
+            let core = ServeCore::start(
+                ServeConfig::new(cfg)
+                    .with_snapshot_every(SNAPSHOT_EVERY)
+                    .with_memory_budget(budget)
+                    .with_quota_policy(policy),
+            )
+            .expect("start core");
+            let start = Instant::now();
+            for chunk in stream.chunks(INGEST_CHUNK) {
+                if core.ingest(chunk.to_vec()).is_err() {
+                    // Reject/Degrade refuse at the ceiling; the row
+                    // records how far the policy let the stream run.
+                    break;
+                }
+            }
+            let accepted = core.flush();
+            let secs = start.elapsed().as_secs_f64();
+            let stored = core.health().stored_bytes;
+            core.shutdown();
+            quota_rows.push((
+                policy.name(),
+                budget,
+                accepted,
+                stored,
+                accepted as f64 / secs,
+            ));
+        }
+        for (policy, budget, accepted, stored, rate) in &quota_rows {
+            eprintln!(
+                "  quota {policy:>7}: {rate:>10.0} edges/s, accepted {accepted}/{} \
+                 edges, stored {stored} B (budget {budget} B)",
+                stream.len()
+            );
+        }
     }
 
     // Hand-rolled JSON, matching the workspace's no-serde convention.
@@ -323,11 +408,26 @@ fn main() {
         "  \"journal_overhead\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
          \"batch_edges\": {JOURNAL_CHUNK}, \"transport\": \"in-process\", \"rows\": [\n"
     ));
-    for (i, (journal, secs, rate, journal_bytes)) in journal_rows.iter().enumerate() {
+    for (i, (journal, producers, secs, rate, journal_bytes)) in journal_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"journal\": \"{journal}\", \"ingest_seconds\": {secs:.6}, \
+            "    {{\"journal\": \"{journal}\", \"producers\": {producers}, \
+             \"ingest_seconds\": {secs:.6}, \
              \"ingest_edges_per_sec\": {rate:.1}, \"journal_bytes\": {journal_bytes}}}{}\n",
             if i + 1 < journal_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"quota_enforcement\": {{\"m\": {M}, \"c\": {M}, \
+         \"batch_edges\": {INGEST_CHUNK}, \"transport\": \"in-process\", \"rows\": [\n"
+    ));
+    for (i, (policy, budget, accepted, stored, rate)) in quota_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{policy}\", \"memory_budget_bytes\": {budget}, \
+             \"accepted_edges\": {accepted}, \"stream_edges\": {}, \
+             \"stored_bytes\": {stored}, \"ingest_edges_per_sec\": {rate:.1}}}{}\n",
+            stream.len(),
+            if i + 1 < quota_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]}\n}\n");

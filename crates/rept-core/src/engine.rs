@@ -126,6 +126,13 @@ impl SharedSorted {
         }
     }
 
+    fn stored_bytes(&self) -> usize {
+        match self {
+            SharedSorted::Full(s) => s.adj.approx_bytes(),
+            SharedSorted::Masked(s) => s.adj.approx_bytes(),
+        }
+    }
+
     fn into_aggregates(self) -> Vec<GroupAggregate> {
         match self {
             SharedSorted::Full(s) => s.into_aggregates(),
@@ -435,6 +442,29 @@ impl EngineCore {
         }
     }
 
+    /// Bytes of adjacency storage currently held by this core, summed
+    /// over every structure the engine maintains — the quantity a
+    /// serving-tier memory quota governs. Cheap (no counter cloning):
+    /// each layout reports its own `approx_bytes`, and shared sorted
+    /// structures are counted once, matching what is actually resident.
+    ///
+    /// Counter maps (`τ̂_v`, η) are *not* included: their size is
+    /// governed by `track_locals` / η tracking, not by admission
+    /// control, and [`ReptEstimate::diagnostics`]' `total_bytes`
+    /// already reports the counter-inclusive figure.
+    pub fn stored_bytes(&self) -> usize {
+        match &self.state {
+            CoreState::PerWorker { workers } => {
+                workers.iter().map(SemiTriangleWorker::stored_bytes).sum()
+            }
+            CoreState::FusedHash(groups) => groups.iter().map(|g| g.adj.approx_bytes()).sum(),
+            CoreState::FusedSorted { shared, rest } => {
+                let shared_bytes = shared.as_ref().map_or(0, SharedSorted::stored_bytes);
+                shared_bytes + rest.iter().map(|g| g.adj.approx_bytes()).sum::<usize>()
+            }
+        }
+    }
+
     /// The estimate for the stream seen so far (anytime,
     /// non-consuming).
     pub fn estimate(&self) -> ReptEstimate {
@@ -679,6 +709,36 @@ mod tests {
                 b.diagnostics.per_processor_tau
             );
             assert_eq!(a.diagnostics.stored_edges, b.diagnostics.stored_edges);
+        }
+    }
+
+    #[test]
+    fn stored_bytes_grows_and_stays_under_diagnostics_total() {
+        let stream = barabasi_albert(&GeneratorConfig::new(200, 4), 6);
+        for (m, c) in [(4u64, 8u64), (3, 7)] {
+            let cfg = ReptConfig::new(m, c).with_seed(3).with_locals(true);
+            let rept = Rept::new(cfg);
+            for engine in Engine::all() {
+                let mut core = EngineCore::with_engine(rept.clone(), engine);
+                let empty = core.stored_bytes();
+                core.ingest_batch(&stream);
+                core.compact();
+                let full = core.stored_bytes();
+                assert!(
+                    full > empty,
+                    "{} m={m} c={c}: {empty} !< {full}",
+                    engine.name()
+                );
+                // Adjacency-only accounting is a lower bound on the
+                // counter-inclusive diagnostics figure.
+                let est = core.estimate();
+                assert!(
+                    full <= est.diagnostics.total_bytes,
+                    "{} m={m} c={c}: stored {full} > total {}",
+                    engine.name(),
+                    est.diagnostics.total_bytes
+                );
+            }
         }
     }
 

@@ -61,6 +61,10 @@
 //!   and v2 blobs still restore), so any engine's deployment resumes
 //!   bit-identically. The `rept-serve` crate builds its serving
 //!   subsystem on it.
+//! * [`reservoir`] — [`ReservoirRun`], the bounded-memory run mode:
+//!   TRIÈST-IMPR reservoir sampling under a hard byte budget, behind
+//!   the same push/checkpoint surface as the engines (RPCK v5), for
+//!   tenants created with `memory_budget=<bytes>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +78,7 @@ pub mod estimator;
 pub mod fused;
 pub mod interval;
 pub mod planning;
+pub mod reservoir;
 pub mod resume;
 pub mod variance;
 pub mod worker;
@@ -82,3 +87,4 @@ pub use config::{EtaMode, ReptConfig};
 pub use engine::{CoreOptions, EngineCore};
 pub use estimate::ReptEstimate;
 pub use estimator::{Engine, GroupAggregate, Rept};
+pub use reservoir::ReservoirRun;

@@ -61,20 +61,32 @@ use crate::estimator::{Engine, GroupSpec, Rept};
 use crate::fused::{
     FusedEtaCounters, FusedFullGroups, FusedGroup, FusedMaskedGroups, GroupCounters,
 };
+use crate::reservoir::{ReservoirRun, MIN_MEMORY_BUDGET};
 use crate::worker::SemiTriangleWorker;
 
 /// Magic bytes of the checkpoint format.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RPCK";
-/// Current checkpoint format version. Version 4 adds the journal
-/// truncation position to the header — the stream position up to which
-/// a write-ahead edge journal (if the deployment keeps one) has been
-/// made redundant by this checkpoint, so recovery knows which journal
-/// records are stale. Version 3 stores the sorted engine's shared
-/// full-group edge set once and the masked remainder section; versions
-/// 1 (per-worker only) and 2 (per-group fused sections) are still
-/// readable, and restore with a truncation position equal to their
-/// stream position.
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// Newest checkpoint format version this codec reads and writes.
+/// Version 5 adds the bounded-memory reservoir section (engine code 3)
+/// — only reservoir-mode runs write it; engine runs keep writing
+/// version 4, so their blobs stay readable by pre-v5 releases. Version
+/// 4 adds the journal truncation position to the header — the stream
+/// position up to which a write-ahead edge journal (if the deployment
+/// keeps one) has been made redundant by this checkpoint, so recovery
+/// knows which journal records are stale. Version 3 stores the sorted
+/// engine's shared full-group edge set once and the masked remainder
+/// section; versions 1 (per-worker only) and 2 (per-group fused
+/// sections) are still readable, and restore with a truncation
+/// position equal to their stream position.
+pub const CHECKPOINT_VERSION: u32 = 5;
+/// The header version engine-state checkpoints are written at (see
+/// [`CHECKPOINT_VERSION`]: the v5 additions are reservoir-only).
+const ENGINE_CHECKPOINT_VERSION: u32 = 4;
+/// On-disk engine code of the reservoir run mode (format field, must
+/// never change). Codes 0–2 are the [`Engine`] variants; reservoir
+/// mode is not an `Engine` — `Engine::all()` sweeps must not see it —
+/// so it claims the next code outside that range.
+const RESERVOIR_ENGINE_CODE: u8 = 3;
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,12 +263,20 @@ mod layout_tag {
     pub const MASKED: u8 = 2;
 }
 
+/// The run-mode half of a [`ResumableRun`]: a full engine core, or the
+/// bounded-memory reservoir estimator.
+#[derive(Debug, Clone)]
+enum RunState {
+    Engine(EngineCore),
+    Reservoir(ReservoirRun),
+}
+
 /// A push-style REPT driver whose state can be checkpointed — an
-/// [`EngineCore`] plus the RPCK codec. Generic over the execution
-/// [`Engine`].
+/// [`EngineCore`] (any execution [`Engine`]) or a bounded-memory
+/// [`ReservoirRun`], plus the RPCK codec.
 #[derive(Debug, Clone)]
 pub struct ResumableRun {
-    core: EngineCore,
+    state: RunState,
     /// Stream position up to which the checkpoint this run was restored
     /// from had made a write-ahead journal redundant (0 for fresh runs;
     /// equal to the restored position for pre-v4 blobs).
@@ -273,19 +293,73 @@ impl ResumableRun {
     /// Starts a fresh run on the given engine.
     pub fn with_engine(rept: Rept, engine: Engine) -> Self {
         Self {
-            core: EngineCore::with_engine(rept, engine),
+            state: RunState::Engine(EngineCore::with_engine(rept, engine)),
             journal_truncation: 0,
         }
     }
 
-    /// The engine driving this run.
+    /// Starts a fresh bounded-memory run: the reservoir mode never
+    /// stores more than `memory_budget` bytes of edge state (see
+    /// [`crate::reservoir`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_budget` is below
+    /// [`crate::reservoir::MIN_MEMORY_BUDGET`].
+    pub fn with_reservoir(cfg: ReptConfig, memory_budget: u64) -> Self {
+        Self {
+            state: RunState::Reservoir(ReservoirRun::new(cfg, memory_budget)),
+            journal_truncation: 0,
+        }
+    }
+
+    /// The engine driving this run. Reservoir-mode runs are
+    /// engine-independent (no partitioned state exists to execute) and
+    /// report the default engine; check [`Self::memory_budget`] first
+    /// to distinguish them.
     pub fn engine(&self) -> Engine {
-        self.core.engine()
+        match &self.state {
+            RunState::Engine(core) => core.engine(),
+            RunState::Reservoir(_) => Engine::default(),
+        }
+    }
+
+    /// The byte budget of a bounded-memory run; `None` for engine runs
+    /// (whose storage grows with the stream).
+    pub fn memory_budget(&self) -> Option<u64> {
+        match &self.state {
+            RunState::Engine(_) => None,
+            RunState::Reservoir(run) => Some(run.memory_budget()),
+        }
+    }
+
+    /// Bytes of edge storage currently held — adjacency structures for
+    /// engine runs ([`EngineCore::stored_bytes`]), reservoir state for
+    /// bounded-memory runs. The quantity a per-tenant memory quota
+    /// governs.
+    pub fn stored_bytes(&self) -> usize {
+        match &self.state {
+            RunState::Engine(core) => core.stored_bytes(),
+            RunState::Reservoir(run) => run.stored_bytes(),
+        }
+    }
+
+    /// The engine core of an engine-mode run — checkpoint-codec tests
+    /// only.
+    #[cfg(test)]
+    pub(crate) fn engine_core(&self) -> &EngineCore {
+        match &self.state {
+            RunState::Engine(core) => core,
+            RunState::Reservoir(_) => panic!("reservoir runs hold no engine core"),
+        }
     }
 
     /// Processes one arriving edge on all processors.
     pub fn process(&mut self, e: Edge) {
-        self.core.ingest(e);
+        match &mut self.state {
+            RunState::Engine(core) => core.ingest(e),
+            RunState::Reservoir(run) => run.process(e),
+        }
     }
 
     /// Processes a batch of arriving edges — fused engines run
@@ -294,17 +368,26 @@ impl ResumableRun {
     /// independent of how the stream is split into batches, which is
     /// what makes checkpoint/resume at any batch boundary bit-identical.
     pub fn process_batch(&mut self, batch: &[Edge]) {
-        self.core.ingest_batch(batch);
+        match &mut self.state {
+            RunState::Engine(core) => core.ingest_batch(batch),
+            RunState::Reservoir(run) => run.process_batch(batch),
+        }
     }
 
     /// Number of edges processed so far.
     pub fn position(&self) -> u64 {
-        self.core.position()
+        match &self.state {
+            RunState::Engine(core) => core.position(),
+            RunState::Reservoir(run) => run.position(),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ReptConfig {
-        self.core.config()
+        match &self.state {
+            RunState::Engine(core) => core.config(),
+            RunState::Reservoir(run) => run.config(),
+        }
     }
 
     /// The journal truncation position carried by the checkpoint this
@@ -321,48 +404,59 @@ impl ResumableRun {
     /// same per-group aggregate combination, so the estimate is
     /// identical across engines.
     pub fn estimate(&self) -> ReptEstimate {
-        self.core.estimate()
+        match &self.state {
+            RunState::Engine(core) => core.estimate(),
+            RunState::Reservoir(run) => run.estimate(),
+        }
     }
 
     /// Consumes the run and produces the final estimate.
     pub fn finalize(self) -> ReptEstimate {
-        self.core.into_estimate()
+        match self.state {
+            RunState::Engine(core) => core.into_estimate(),
+            RunState::Reservoir(run) => run.estimate(),
+        }
     }
 
-    /// Serialises the complete state (format version 4).
+    /// Serialises the complete state (format version 4 for engine runs,
+    /// 5 for reservoir runs — see [`CHECKPOINT_VERSION`]).
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
-        let cfg = self.core.config();
         let mut out = Vec::new();
-        out.extend_from_slice(&CHECKPOINT_MAGIC);
-        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-        out.extend_from_slice(&cfg.m.to_le_bytes());
-        out.extend_from_slice(&cfg.c.to_le_bytes());
-        out.extend_from_slice(&cfg.seed.to_le_bytes());
-        out.push(cfg.track_locals as u8);
-        out.push(cfg.track_eta as u8);
-        out.push(match cfg.eta_mode {
-            EtaMode::PaperInit => 0,
-            EtaMode::StrictNonLast => 1,
-        });
-        out.push(engine_code(self.core.engine()));
-        out.extend_from_slice(&self.core.position().to_le_bytes());
-        // The checkpoint folds in every edge up to `position`, so a
-        // journal kept alongside it may truncate everything below it.
-        out.extend_from_slice(&self.core.position().to_le_bytes());
-        match &self.core.state {
-            CoreState::PerWorker { workers } => {
-                for w in workers {
-                    w.write_snapshot(&mut out);
+        match &self.state {
+            RunState::Engine(core) => {
+                write_header(
+                    &mut out,
+                    core.config(),
+                    ENGINE_CHECKPOINT_VERSION,
+                    engine_code(core.engine()),
+                    core.position(),
+                );
+                match &core.state {
+                    CoreState::PerWorker { workers } => {
+                        for w in workers {
+                            w.write_snapshot(&mut out);
+                        }
+                    }
+                    CoreState::FusedHash(groups) => {
+                        out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
+                        for g in groups {
+                            write_group_section(&mut out, &sorted_group_edges(g), &g.counters);
+                        }
+                    }
+                    CoreState::FusedSorted { shared, rest } => {
+                        write_sorted_state_v3(shared.as_ref(), rest, &mut out)
+                    }
                 }
             }
-            CoreState::FusedHash(groups) => {
-                out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
-                for g in groups {
-                    write_group_section(&mut out, &sorted_group_edges(g), &g.counters);
-                }
-            }
-            CoreState::FusedSorted { shared, rest } => {
-                write_sorted_state_v3(shared.as_ref(), rest, &mut out)
+            RunState::Reservoir(run) => {
+                write_header(
+                    &mut out,
+                    run.config(),
+                    CHECKPOINT_VERSION,
+                    RESERVOIR_ENGINE_CODE,
+                    run.position(),
+                );
+                write_reservoir_section(&mut out, run);
             }
         }
         out
@@ -398,11 +492,7 @@ impl ResumableRun {
             _ => return Err(SnapshotError::Invalid("eta mode")),
         };
         // Version 1 predates the engine byte: always per-worker.
-        let engine = if version == 1 {
-            Engine::PerWorker
-        } else {
-            engine_from_code(r.u8()?)?
-        };
+        let code = if version == 1 { 0 } else { r.u8()? };
         let position = r.u64()?;
         // Versions below 4 predate journals: everything at or below the
         // position is, by definition, folded into the checkpoint.
@@ -418,6 +508,22 @@ impl ResumableRun {
             track_eta,
             eta_mode,
         };
+        if code == RESERVOIR_ENGINE_CODE {
+            // The reservoir section exists only from version 5 on; an
+            // older blob carrying code 3 is corrupt, not early.
+            if version < 5 {
+                return Err(SnapshotError::Invalid("engine code"));
+            }
+            let run = read_reservoir_section(&mut r, &cfg, position)?;
+            if !r.done() {
+                return Err(SnapshotError::Invalid("trailing bytes"));
+            }
+            return Ok(Self {
+                state: RunState::Reservoir(run),
+                journal_truncation,
+            });
+        }
+        let engine = engine_from_code(code)?;
         let rept = Rept::new(cfg);
         let state = match engine {
             Engine::PerWorker => {
@@ -446,7 +552,7 @@ impl ResumableRun {
             return Err(SnapshotError::Invalid("trailing bytes"));
         }
         Ok(Self {
-            core: EngineCore::from_parts(rept, engine, state, position),
+            state: RunState::Engine(EngineCore::from_parts(rept, engine, state, position)),
             journal_truncation,
         })
     }
@@ -515,6 +621,124 @@ fn write_edge_list(out: &mut Vec<u8>, edges: &[Edge]) {
         out.extend_from_slice(&e.u().to_le_bytes());
         out.extend_from_slice(&e.v().to_le_bytes());
     }
+}
+
+/// Writes the common RPCK header: magic, version, config, engine code,
+/// position, and the journal truncation position (always the position —
+/// the checkpoint folds in every edge up to it, so a journal kept
+/// alongside may truncate everything below it).
+fn write_header(out: &mut Vec<u8>, cfg: &ReptConfig, version: u32, code: u8, position: u64) {
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&cfg.m.to_le_bytes());
+    out.extend_from_slice(&cfg.c.to_le_bytes());
+    out.extend_from_slice(&cfg.seed.to_le_bytes());
+    out.push(cfg.track_locals as u8);
+    out.push(cfg.track_eta as u8);
+    out.push(match cfg.eta_mode {
+        EtaMode::PaperInit => 0,
+        EtaMode::StrictNonLast => 1,
+    });
+    out.push(code);
+    out.extend_from_slice(&position.to_le_bytes());
+    out.extend_from_slice(&position.to_le_bytes());
+}
+
+/// Writes an optional node→f64 map, sentinel convention as the u64
+/// maps; values travel as raw IEEE-754 bits.
+fn write_opt_f64_node_map(out: &mut Vec<u8>, map: Option<Vec<(NodeId, f64)>>) {
+    match map {
+        Some(entries) => {
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (n, v) in entries {
+                out.extend_from_slice(&n.to_le_bytes());
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+    }
+}
+
+/// Counterpart of [`write_opt_f64_node_map`].
+fn read_opt_f64_node_map(r: &mut Reader<'_>) -> Result<Option<Vec<(NodeId, f64)>>, SnapshotError> {
+    let len = r.u64()?;
+    if len == u64::MAX {
+        return Ok(None);
+    }
+    let mut entries = Vec::with_capacity(r.capacity_for(len, 12));
+    for _ in 0..len {
+        let n = r.u32()?;
+        let v = f64::from_bits(r.u64()?);
+        if !v.is_finite() {
+            return Err(SnapshotError::Invalid("non-finite counter"));
+        }
+        entries.push((n, v));
+    }
+    Ok(Some(entries))
+}
+
+/// The version-5 reservoir section: byte budget, edge budget, RNG
+/// state, `τ̂`, the reservoir slots **in slot order** (future
+/// replacement decisions index into it), then the optional locals map.
+/// The stream clock is the header's position; the adjacency is derived
+/// state, rebuilt from the slots on restore.
+fn write_reservoir_section(out: &mut Vec<u8>, run: &ReservoirRun) {
+    out.extend_from_slice(&run.memory_budget().to_le_bytes());
+    out.extend_from_slice(&(run.edge_budget() as u64).to_le_bytes());
+    out.extend_from_slice(&run.rng_state().to_le_bytes());
+    out.extend_from_slice(&run.tau().to_bits().to_le_bytes());
+    write_edge_list(out, run.sampled());
+    write_opt_f64_node_map(out, run.locals_entries());
+}
+
+/// Counterpart of [`write_reservoir_section`].
+fn read_reservoir_section(
+    r: &mut Reader<'_>,
+    cfg: &ReptConfig,
+    position: u64,
+) -> Result<ReservoirRun, SnapshotError> {
+    let memory_budget = r.u64()?;
+    if memory_budget < MIN_MEMORY_BUDGET {
+        return Err(SnapshotError::Invalid("memory budget out of range"));
+    }
+    let budget = r.u64()? as usize;
+    if budget < crate::reservoir::MIN_EDGE_BUDGET {
+        return Err(SnapshotError::Invalid("edge budget out of range"));
+    }
+    let rng_state = r.u64()?;
+    let tau = f64::from_bits(r.u64()?);
+    if !tau.is_finite() || tau < 0.0 {
+        return Err(SnapshotError::Invalid("non-finite counter"));
+    }
+    let n_items = r.u64()?;
+    if n_items > budget as u64 || n_items > position {
+        return Err(SnapshotError::Invalid("reservoir fuller than its clock"));
+    }
+    let mut items = Vec::with_capacity(r.capacity_for(n_items, 8));
+    for _ in 0..n_items {
+        let u = r.u32()?;
+        let v = r.u32()?;
+        items.push(Edge::try_new(u, v).ok_or(SnapshotError::Invalid("self-loop edge"))?);
+    }
+    // A reservoir only stays below capacity while it still holds every
+    // offered edge.
+    if (items.len() as u64) < position.min(budget as u64) {
+        return Err(SnapshotError::Invalid("reservoir fuller than its clock"));
+    }
+    let locals = read_opt_f64_node_map(r)?;
+    if cfg.track_locals != locals.is_some() {
+        return Err(SnapshotError::Invalid("locals section/config mismatch"));
+    }
+    Ok(ReservoirRun::from_restored(
+        *cfg,
+        memory_budget,
+        budget,
+        items,
+        position,
+        rng_state,
+        tau,
+        locals,
+    ))
 }
 
 /// Writes one group's counter block (everything but the edge list).
@@ -1117,7 +1341,7 @@ mod tests {
     /// byte and only ever held per-worker state).
     fn frozen_v1_blob(run: &ResumableRun) -> Vec<u8> {
         let cfg = run.config();
-        let CoreState::PerWorker { workers } = &run.core.state else {
+        let CoreState::PerWorker { workers } = &run.engine_core().state else {
             panic!("v1 only encodes per-worker state");
         };
         let mut out = Vec::new();
@@ -1247,7 +1471,7 @@ mod tests {
             Engine::FusedSorted => 2,
         });
         out.extend_from_slice(&run.position().to_le_bytes());
-        match &run.core.state {
+        match &run.engine_core().state {
             CoreState::PerWorker { workers } => {
                 for w in workers {
                     frozen_worker_section(w, &mut out);
@@ -1579,6 +1803,105 @@ mod tests {
                 engine.name()
             );
         }
+    }
+
+    #[test]
+    fn reservoir_checkpoint_roundtrip_is_bit_identical() {
+        use crate::reservoir::EDGE_COST_BYTES;
+        let stream = stream();
+        let rcfg = ReptConfig::new(2, 1).with_seed(21).with_locals(true);
+        let mem = (40 * EDGE_COST_BYTES) as u64;
+        let mut live = ResumableRun::with_reservoir(rcfg, mem);
+        assert_eq!(live.memory_budget(), Some(mem));
+        assert_eq!(live.journal_truncation(), 0);
+        live.process_batch(&stream[..stream.len() / 2]);
+        let blob = live.checkpoint_bytes();
+        // Reservoir blobs carry the v5 version and engine code 3.
+        assert_eq!(u32::from_le_bytes(blob[4..8].try_into().unwrap()), 5);
+        assert_eq!(blob[35], 3);
+        let mut resumed = ResumableRun::from_checkpoint_bytes(&blob).expect("v5 blob");
+        assert_eq!(resumed.position(), live.position());
+        assert_eq!(resumed.memory_budget(), Some(mem));
+        assert_eq!(resumed.journal_truncation(), live.position());
+        for &e in &stream[stream.len() / 2..] {
+            live.process(e);
+            resumed.process(e);
+        }
+        let (a, b) = (live.finalize(), resumed.finalize());
+        assert_eq!(a.global, b.global);
+        assert_eq!(a.locals, b.locals);
+        assert_eq!(a.diagnostics.stored_edges, b.diagnostics.stored_edges);
+    }
+
+    #[test]
+    fn reservoir_file_roundtrip_without_locals() {
+        use crate::reservoir::MIN_MEMORY_BUDGET;
+        let stream = stream();
+        let rcfg = ReptConfig::new(3, 5).with_seed(2);
+        let mut run = ResumableRun::with_reservoir(rcfg, MIN_MEMORY_BUDGET * 10);
+        run.process_batch(&stream[..200]);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rept-resv-{}.rpck", std::process::id()));
+        run.checkpoint_to_file(&path).expect("write checkpoint");
+        let back = ResumableRun::from_checkpoint_file(&path).expect("read checkpoint");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.position(), 200);
+        assert_eq!(back.config(), run.config());
+        assert_eq!(back.estimate().global, run.estimate().global);
+        assert!(back.estimate().locals.is_empty(), "locals were off");
+        // Capacities may differ (the restored tables are rebuilt without
+        // the live run's churn), but both stay under the byte budget.
+        for stored in [run.stored_bytes(), back.stored_bytes()] {
+            assert!(stored > 0 && stored as u64 <= run.memory_budget().unwrap());
+        }
+    }
+
+    #[test]
+    fn reservoir_blob_rejects_corruption() {
+        use crate::reservoir::EDGE_COST_BYTES;
+        let stream = stream();
+        let rcfg = ReptConfig::new(2, 1).with_seed(5).with_locals(true);
+        let mut run = ResumableRun::with_reservoir(rcfg, (16 * EDGE_COST_BYTES) as u64);
+        run.process_batch(&stream[..100]);
+        let blob = run.checkpoint_bytes();
+        // Truncation anywhere inside the section is caught.
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&blob[..blob.len() - 1]).err(),
+            Some(SnapshotError::Truncated)
+        );
+        // Trailing garbage is caught.
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&extended).err(),
+            Some(SnapshotError::Invalid("trailing bytes"))
+        );
+        // The reservoir code on a pre-v5 header is corruption, not an
+        // early version of the mode.
+        let mut v4 = ResumableRun::new(Rept::new(cfg())).checkpoint_bytes();
+        v4[35] = 3;
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&v4).err(),
+            Some(SnapshotError::Invalid("engine code"))
+        );
+        // A clock behind the sample is impossible.
+        let mut short = blob.clone();
+        short[36..44].copy_from_slice(&3u64.to_le_bytes());
+        short[44..52].copy_from_slice(&3u64.to_le_bytes());
+        assert_eq!(
+            ResumableRun::from_checkpoint_bytes(&short).err(),
+            Some(SnapshotError::Invalid("reservoir fuller than its clock"))
+        );
+    }
+
+    #[test]
+    fn engine_blobs_still_write_version_four() {
+        let mut run = ResumableRun::new(Rept::new(cfg()));
+        run.process_batch(&stream()[..50]);
+        let blob = run.checkpoint_bytes();
+        assert_eq!(u32::from_le_bytes(blob[4..8].try_into().unwrap()), 4);
+        assert_eq!(run.memory_budget(), None);
+        assert!(run.stored_bytes() > 0);
     }
 
     #[test]

@@ -264,6 +264,12 @@ impl SemiTriangleWorker {
         }
         total
     }
+
+    /// Bytes of adjacency storage alone (no counter maps) — the
+    /// admission-controlled share of [`Self::approx_bytes`].
+    pub fn stored_bytes(&self) -> usize {
+        self.adj.approx_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -401,8 +401,9 @@ impl MaskedSortedTaggedAdjacency {
         );
     }
 
-    /// Approximate heap footprint in bytes (neighbor arrays, tag arrays,
-    /// arena, id table) — the *shared* footprint across all groups.
+    /// Heap footprint in bytes (neighbor arrays, tag arrays, arena, id
+    /// table, dirty work list and merge scratch — every allocation the
+    /// structure owns) — the *shared* footprint across all groups.
     pub fn approx_bytes(&self) -> usize {
         use rept_hash::fx::table_bytes;
         use std::mem::size_of;
@@ -415,7 +416,10 @@ impl MaskedSortedTaggedAdjacency {
             .sum();
         let arena = self.lists.capacity() * size_of::<MaskedNodeList>();
         let ids = table_bytes::<NodeId, u32>(self.slots.capacity());
-        vecs + arena + ids
+        let dirty = self.dirty.capacity() * size_of::<u32>();
+        let scratch = self.scratch_nbrs.capacity() * size_of::<NodeId>()
+            + self.scratch_tags.capacity() * size_of::<CellTag>();
+        vecs + arena + ids + dirty + scratch
     }
 }
 

@@ -322,8 +322,9 @@ impl MultiSortedTaggedAdjacency {
         );
     }
 
-    /// Approximate heap footprint in bytes (neighbor arrays, tag arrays,
-    /// arena, id table) — the *shared* footprint; callers comparing
+    /// Heap footprint in bytes (neighbor arrays, tag arrays, arena, id
+    /// table, dirty work list and merge scratch — every allocation the
+    /// structure owns) — the *shared* footprint; callers comparing
     /// against per-group layouts should divide by [`Self::width`] per
     /// group or report the total once.
     pub fn approx_bytes(&self) -> usize {
@@ -338,7 +339,10 @@ impl MultiSortedTaggedAdjacency {
             .sum();
         let arena = self.lists.capacity() * size_of::<MultiNodeList>();
         let ids = table_bytes::<NodeId, u32>(self.slots.capacity());
-        vecs + arena + ids
+        let dirty = self.dirty.capacity() * size_of::<u32>();
+        let scratch = self.scratch_nbrs.capacity() * size_of::<NodeId>()
+            + self.scratch_tags.capacity() * size_of::<CellTag>();
+        vecs + arena + ids + dirty + scratch
     }
 }
 

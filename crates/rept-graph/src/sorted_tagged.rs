@@ -424,9 +424,11 @@ impl SortedTaggedAdjacency {
         self.dirty.clear();
     }
 
-    /// Approximate heap footprint in bytes, mirroring
+    /// Heap footprint in bytes, mirroring
     /// [`CellTaggedAdjacency::approx_bytes`](crate::cell_tagged::CellTaggedAdjacency::approx_bytes):
-    /// the two per-node vectors, the list arena, and the id table.
+    /// the two per-node vectors, the list arena, the id table, and the
+    /// pending dirty-slot work list — every allocation the structure
+    /// owns, so quota enforcement sees the true stored size.
     pub fn approx_bytes(&self) -> usize {
         use rept_hash::fx::table_bytes;
         use std::mem::size_of;
@@ -439,7 +441,8 @@ impl SortedTaggedAdjacency {
             .sum();
         let arena = self.lists.capacity() * size_of::<NodeList>();
         let ids = table_bytes::<NodeId, u32>(self.slots.capacity());
-        vecs + arena + ids
+        let dirty = self.dirty.capacity() * size_of::<u32>();
+        vecs + arena + ids + dirty
     }
 }
 

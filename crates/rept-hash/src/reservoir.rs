@@ -65,9 +65,42 @@ impl<T> ReservoirSampler<T> {
         }
     }
 
-    /// Current sample contents (order is an implementation detail).
+    /// Current sample contents (order is an implementation detail, but it
+    /// is part of the checkpointed state: slot indices drawn by future
+    /// replacements refer to it, so [`Self::from_parts`] must restore it
+    /// exactly).
     pub fn items(&self) -> &[T] {
         &self.items
+    }
+
+    /// The raw RNG state, for checkpointing alongside [`Self::items`] and
+    /// [`Self::seen`].
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Reconstructs a reservoir mid-stream from checkpointed parts — the
+    /// inverse of reading `items()` / `seen()` / `rng_state()`. The
+    /// restored sampler makes bit-identical decisions to one that was
+    /// never interrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`, if more than `budget` items are supplied,
+    /// or if `seen` is smaller than the number of items (the clock counts
+    /// every offer, including the ones that filled the reservoir).
+    pub fn from_parts(budget: usize, items: Vec<T>, seen: u64, rng_state: u64) -> Self {
+        assert!(budget > 0, "reservoir budget must be positive");
+        assert!(items.len() <= budget, "more items than budget");
+        assert!(seen >= items.len() as u64, "clock behind the sample");
+        let mut store = Vec::with_capacity(budget);
+        store.extend(items);
+        Self {
+            items: store,
+            budget,
+            seen,
+            rng: SplitMix64::from_state(rng_state),
+        }
     }
 
     /// The stream clock: number of items offered so far.
@@ -160,5 +193,26 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_budget_rejected() {
         ReservoirSampler::<u32>::new(0, 0);
+    }
+
+    #[test]
+    fn from_parts_resumes_bit_identically() {
+        // Freeze a reservoir mid-stream, restore it, and require the
+        // resumed copy to make the same decisions as the original.
+        let mut live = ReservoirSampler::new(8, 17);
+        for i in 0..50u32 {
+            live.offer(i);
+        }
+        let mut resumed = ReservoirSampler::from_parts(
+            live.budget(),
+            live.items().to_vec(),
+            live.seen(),
+            live.rng_state(),
+        );
+        for i in 50..300u32 {
+            assert_eq!(live.offer(i), resumed.offer(i), "offer {i}");
+            assert_eq!(live.items(), resumed.items(), "after offer {i}");
+        }
+        assert_eq!(live.seen(), resumed.seen());
     }
 }

@@ -1,9 +1,33 @@
-//! A blocking line-protocol client (examples, tests, benches).
+//! A blocking line-protocol client (examples, tests, benches) with
+//! overload-aware retry.
+//!
+//! ## Retry semantics
+//!
+//! The server distinguishes two rejection classes on the wire, and the
+//! client honours the distinction:
+//!
+//! * **`ERR BUSY …`** — transient backpressure (the tenant's ingest
+//!   queue is full). The request was *not* applied; the client retries
+//!   it in place, up to [`ClientConfig::busy_retries`] times, sleeping
+//!   a jittered exponential backoff between attempts.
+//! * **`ERR QUOTA …`** — a durable quota refusal. Retrying cannot
+//!   succeed (the budget stays exceeded) and the line is already in the
+//!   server-side dead-letter file, so the error surfaces immediately —
+//!   **never retried**.
+//!
+//! Transport failures (timeout, reset, broken pipe, EOF) optionally
+//! reconnect and resend up to [`ClientConfig::io_retries`] times. A
+//! resend after a failed *reply read* may double-apply a request the
+//! server in fact executed — at-least-once, not exactly-once — so
+//! `io_retries` defaults to 0 and should only be raised for idempotent
+//! traffic or streams that tolerate duplicates.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use rept_graph::edge::{Edge, NodeId};
+use rept_hash::SplitMix64;
 
 use crate::protocol::reply_field;
 
@@ -22,36 +46,224 @@ pub struct GlobalEstimate {
     pub ci95: Option<(f64, f64)>,
 }
 
+/// Connection and retry configuration for [`Client::connect_with`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-address TCP connect timeout; `None` uses the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout for replies; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// How many times an `ERR BUSY` reply is retried before surfacing.
+    pub busy_retries: u32,
+    /// How many transport failures trigger a reconnect + resend.
+    /// **At-least-once caveat**: a resend can double-apply — keep 0
+    /// unless the traffic tolerates duplicates.
+    pub io_retries: u32,
+    /// First backoff sleep; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            busy_retries: 16,
+            io_retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0x005E_EDC1_1E47,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the TCP connect timeout.
+    pub fn with_connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = Some(t);
+        self
+    }
+
+    /// Sets the reply read timeout.
+    pub fn with_read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = Some(t);
+        self
+    }
+
+    /// Sets the `ERR BUSY` retry budget.
+    pub fn with_busy_retries(mut self, n: u32) -> Self {
+        self.busy_retries = n;
+        self
+    }
+
+    /// Sets the transport-failure reconnect budget (see the
+    /// at-least-once caveat on [`ClientConfig::io_retries`]).
+    pub fn with_io_retries(mut self, n: u32) -> Self {
+        self.io_retries = n;
+        self
+    }
+
+    /// Sets the backoff base and cap.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+}
+
 /// A blocking client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    cfg: ClientConfig,
+    /// Resolved once at connect time so reconnects cannot silently land
+    /// on a different host after a DNS change mid-session.
+    addrs: Vec<SocketAddr>,
+    /// Deterministic jitter source for backoff sleeps.
+    rng: SplitMix64,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with default configuration
+    /// (blocking I/O, `ERR BUSY` retried with backoff, no transport
+    /// retry).
     ///
     /// # Errors
     ///
     /// Socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
-        Ok(Self {
-            reader: BufReader::new(stream),
-            writer,
-        })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sends one request line and returns the reply payload. `ERR`
-    /// replies come back as [`std::io::ErrorKind::Other`] errors.
+    /// Connects with explicit timeout/retry configuration.
     ///
     /// # Errors
     ///
-    /// Socket errors, protocol errors reported by the server.
+    /// Socket errors (every resolved address failed).
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> std::io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open_stream(&addrs, &cfg)?;
+        let writer = stream.try_clone()?;
+        let rng = SplitMix64::new(cfg.jitter_seed);
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            cfg,
+            addrs,
+            rng,
+        })
+    }
+
+    /// Opens one TCP stream to the first answering address.
+    fn open_stream(addrs: &[SocketAddr], cfg: &ClientConfig) -> std::io::Result<TcpStream> {
+        let mut last_err = None;
+        for a in addrs {
+            let attempt = match cfg.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(a, t),
+                None => TcpStream::connect(a),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(cfg.read_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no addresses to connect to",
+            )
+        }))
+    }
+
+    /// Tears the connection down and dials again.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = Self::open_stream(&self.addrs, &self.cfg)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
+    }
+
+    /// Jittered exponential backoff for retry `attempt` (1-based):
+    /// `min(cap, base·2^(attempt−1))` scaled by a uniform factor in
+    /// `[0.5, 1)` so retrying clients don't stampede in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.cfg.backoff_cap);
+        capped.mul_f64(0.5 + 0.5 * self.rng.next_f64())
+    }
+
+    /// Whether an error is the server's `ERR BUSY` backpressure signal
+    /// (safe to retry: the batch was refused before any side effect).
+    fn is_busy(e: &std::io::Error) -> bool {
+        e.kind() == std::io::ErrorKind::Other && e.to_string().starts_with("BUSY")
+    }
+
+    /// Whether an error is a transport failure a reconnect may cure.
+    fn is_transient(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+        )
+    }
+
+    /// Sends one request line and returns the reply payload, applying
+    /// the retry policy (`ERR BUSY` → backoff and retry; transport
+    /// failure → reconnect and resend when `io_retries > 0`; `ERR
+    /// QUOTA` and every other server rejection → immediate error).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, protocol errors reported by the server
+    /// ([`std::io::ErrorKind::Other`], message = the `ERR` payload).
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let mut busy_attempts = 0u32;
+        let mut io_attempts = 0u32;
+        loop {
+            match self.request_once(line) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if Self::is_busy(&e) && busy_attempts < self.cfg.busy_retries => {
+                    busy_attempts += 1;
+                    let sleep = self.backoff(busy_attempts);
+                    std::thread::sleep(sleep);
+                }
+                Err(e) if Self::is_transient(&e) && io_attempts < self.cfg.io_retries => {
+                    io_attempts += 1;
+                    let sleep = self.backoff(io_attempts);
+                    std::thread::sleep(sleep);
+                    // A failed reconnect consumes the attempt and loops
+                    // (the next request_once fails fast on the dead
+                    // socket if the re-dial keeps failing).
+                    if let Err(re) = self.reconnect() {
+                        if io_attempts >= self.cfg.io_retries {
+                            return Err(re);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One request/reply exchange without retry.
+    fn request_once(&mut self, line: &str) -> std::io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -342,5 +554,27 @@ impl Client {
     /// Socket/protocol errors.
     pub fn journal_stats(&mut self) -> std::io::Result<String> {
         self.request("JOURNAL STATS")
+    }
+
+    /// `HEALTH` — the current tenant's pressure gauges as the raw reply
+    /// line (`state= queue= capacity= bytes= budget= journal_lag=
+    /// dlq=`).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn health(&mut self) -> std::io::Result<String> {
+        self.request("HEALTH")
+    }
+
+    /// `DLQ REPLAY` — drains the current tenant's dead-letter file back
+    /// through ingest; returns `(drained lines, failed again)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn dlq_replay(&mut self) -> std::io::Result<(u64, u64)> {
+        let reply = self.request("DLQ REPLAY")?;
+        Ok((Self::field(&reply, "n")?, Self::field(&reply, "failed")?))
     }
 }

@@ -41,10 +41,12 @@
 //! ingest lines land in a dead-letter file ([`crate::dlq`]).
 
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use rept_core::reservoir::MIN_MEMORY_BUDGET;
 use rept_core::resume::{ResumableRun, SnapshotError};
 use rept_core::{Engine, Rept, ReptConfig, ReptEstimate};
 use rept_graph::edge::Edge;
@@ -52,6 +54,121 @@ use rept_graph::edge::Edge;
 use crate::dlq::DeadLetterQueue;
 use crate::journal::{Journal, SyncPolicy};
 use crate::snapshot::{DurabilityStats, Published, Snapshot};
+
+/// What happens to ingest once a tenant with a
+/// [`ServeConfig::memory_budget`] reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuotaPolicy {
+    /// Run the bounded-memory reservoir engine: stored bytes *never*
+    /// exceed the budget because old edges are evicted (TRIÈST-style
+    /// unbiased sampling) — ingest is never refused, estimates become
+    /// approximate once the stream outgrows the budget. The default:
+    /// `memory_budget=<bytes>` alone gives graceful degradation.
+    #[default]
+    Shed,
+    /// Keep the exact engine; once stored bytes reach the budget every
+    /// further batch is refused with a typed quota error (`ERR QUOTA`
+    /// on the wire, routed to the dead-letter file). The tenant keeps
+    /// serving reads and accepts writes again if its footprint shrinks
+    /// (it does not — adjacency only grows — so in practice this is a
+    /// hard stop the operator resolves by dropping or re-budgeting).
+    Reject,
+    /// Like [`Self::Reject`], but the first breach permanently degrades
+    /// the tenant: writes are refused from then on and reads serve the
+    /// frozen snapshot, even if a restart would measure fewer bytes.
+    /// The flag survives as long as the core runs (it is not
+    /// checkpointed — a restart re-arms enforcement from measurement).
+    Degrade,
+}
+
+impl QuotaPolicy {
+    /// Stable lowercase name (wire options, manifests, docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuotaPolicy::Shed => "shed",
+            QuotaPolicy::Reject => "reject",
+            QuotaPolicy::Degrade => "degrade",
+        }
+    }
+
+    /// Parses [`Self::name`] output.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "shed" => Some(QuotaPolicy::Shed),
+            "reject" => Some(QuotaPolicy::Reject),
+            "degrade" => Some(QuotaPolicy::Degrade),
+            _ => None,
+        }
+    }
+}
+
+/// Why an ingest batch was not accepted. The distinction matters to
+/// clients: [`Self::Busy`] is transient (the bounded channel was full —
+/// back off and retry), while [`Self::Quota`] is not (retrying without
+/// operator action will fail again, and clients must *not* retry it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The bounded ingest channel was full ([`ServeCore::try_ingest`]
+    /// only — the blocking [`ServeCore::ingest`] waits instead).
+    Busy,
+    /// The tenant's memory budget refused the batch
+    /// ([`QuotaPolicy::Reject`] / [`QuotaPolicy::Degrade`]).
+    Quota(String),
+    /// The batch was refused for another reason (journal write failure).
+    Rejected(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The leading token doubles as the wire discriminator: the
+        // server prefixes `ERR `, so clients see `ERR BUSY …` (retry)
+        // vs `ERR QUOTA …` (do not retry).
+        match self {
+            IngestError::Busy => write!(f, "BUSY ingest queue full; retry"),
+            IngestError::Quota(msg) => write!(f, "QUOTA {msg}"),
+            IngestError::Rejected(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Per-tenant pressure readings — the `HEALTH` payload. Assembled by
+/// [`ServeCore::health`] from live gauges, not from the (possibly
+/// stale) published snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Health {
+    /// The tenant refuses writes permanently ([`QuotaPolicy::Degrade`]
+    /// after its first breach).
+    pub degraded: bool,
+    /// Ingest batches currently queued (bounded by `queue_capacity`).
+    pub queue_depth: u64,
+    /// The bounded channel's capacity in batches.
+    pub queue_capacity: u64,
+    /// Bytes the estimator currently stores for edges (adjacency +
+    /// reservoir bookkeeping; counters excluded — see
+    /// [`rept_core::engine::EngineCore::stored_bytes`]).
+    pub stored_bytes: u64,
+    /// The configured budget those bytes are measured against
+    /// (0 = unlimited).
+    pub memory_budget: u64,
+    /// Journal bytes on disk not yet retired by a checkpoint — how far
+    /// recovery would have to replay (0 without a journal).
+    pub journal_lag_bytes: u64,
+    /// Rejected lines captured in the dead-letter file.
+    pub dlq: u64,
+}
+
+/// Live pressure gauges shared between the ingest thread (writer) and
+/// [`ServeCore::health`] (reader). All loads/stores are relaxed — each
+/// gauge is an independent monotone-ish reading, not a consistent cut.
+#[derive(Debug, Default)]
+struct Gauges {
+    queue_depth: AtomicU64,
+    stored_bytes: AtomicU64,
+    journal_bytes: AtomicU64,
+    degraded: AtomicBool,
+}
 
 /// Configuration of a [`ServeCore`].
 #[derive(Debug, Clone)]
@@ -95,6 +212,15 @@ pub struct ServeConfig {
     /// When the journal fsyncs relative to the ingest ack (default
     /// [`SyncPolicy::PerRecord`] — acked ⇒ durable).
     pub journal_sync: SyncPolicy,
+    /// Hard ceiling on the bytes the estimator may store for edges
+    /// (`None` = unlimited). Must be at least
+    /// [`rept_core::reservoir::MIN_MEMORY_BUDGET`]. What happens at the
+    /// ceiling is decided by [`Self::quota`].
+    pub memory_budget: Option<u64>,
+    /// Enforcement mode for [`Self::memory_budget`] (default
+    /// [`QuotaPolicy::Shed`] — the bounded-memory reservoir engine).
+    /// Ignored without a budget.
+    pub quota: QuotaPolicy,
 }
 
 impl ServeConfig {
@@ -114,7 +240,38 @@ impl ServeConfig {
             journal: false,
             journal_segment_bytes: 1 << 20,
             journal_sync: SyncPolicy::PerRecord,
+            memory_budget: None,
+            quota: QuotaPolicy::default(),
         }
+    }
+
+    /// Bounds the tenant's stored-edge bytes (see
+    /// [`Self::memory_budget`] and [`Self::quota`]).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Selects what happens when the memory budget is reached.
+    pub fn with_quota_policy(mut self, quota: QuotaPolicy) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// The reservoir budget when this config runs the bounded-memory
+    /// engine: a budget under [`QuotaPolicy::Shed`].
+    fn reservoir_budget(&self) -> Option<u64> {
+        match self.quota {
+            QuotaPolicy::Shed => self.memory_budget,
+            _ => None,
+        }
+    }
+
+    /// Whether the ingest thread can refuse batches over quota — in
+    /// which case every ingest needs an ack channel to carry the
+    /// refusal back, journal or not.
+    fn enforces_quota(&self) -> bool {
+        self.memory_budget.is_some() && self.quota != QuotaPolicy::Shed
     }
 
     /// Selects the execution engine.
@@ -173,12 +330,16 @@ impl ServeConfig {
     }
 }
 
+/// Ack channel carried by an [`Control::Ingest`] message, when the
+/// producer waits for an admission/durability verdict.
+type IngestAck = Option<SyncSender<Result<(), IngestError>>>;
+
 /// Control messages the ingest thread consumes, in arrival order.
 enum Control {
     /// Apply a batch of stream edges. The sender, when present, is
-    /// acked once the batch is journaled (and, per policy, fsynced) —
-    /// `Err` means the batch was refused and not applied.
-    Ingest(Vec<Edge>, Option<SyncSender<Result<(), String>>>),
+    /// acked once the batch is admitted and journaled (and, per policy,
+    /// fsynced) — `Err` means the batch was refused and not applied.
+    Ingest(Vec<Edge>, IngestAck),
     /// Publish a fresh snapshot, then reply with the position — a
     /// barrier: everything queued before it is applied first.
     Flush(SyncSender<u64>),
@@ -198,9 +359,11 @@ pub struct ServeCore {
     ingest: Option<JoinHandle<ResumableRun>>,
     cfg: ServeConfig,
     /// See [`Self::disable_checkpoints`].
-    ckpt_disabled: Arc<std::sync::atomic::AtomicBool>,
+    ckpt_disabled: Arc<AtomicBool>,
     /// Dead-letter capture for rejected ingest lines (journal mode).
     dlq: Option<Arc<DeadLetterQueue>>,
+    /// Live pressure gauges backing [`Self::health`].
+    gauges: Arc<Gauges>,
 }
 
 impl ServeCore {
@@ -220,18 +383,38 @@ impl ServeCore {
         if cfg.journal && cfg.checkpoint_path.is_none() {
             return Err(SnapshotError::Invalid("journal requires a checkpoint path"));
         }
+        if cfg.memory_budget.is_some_and(|b| b < MIN_MEMORY_BUDGET) {
+            return Err(SnapshotError::Invalid(
+                "memory budget below the reservoir minimum",
+            ));
+        }
         let mut run = match &cfg.checkpoint_path {
             Some(path) if path.exists() => {
                 let run = ResumableRun::from_checkpoint_file(path)?;
                 if run.config() != &cfg.rept {
                     return Err(SnapshotError::Invalid("checkpoint/config mismatch"));
                 }
-                if run.engine() != cfg.engine {
-                    return Err(SnapshotError::Invalid("checkpoint/engine mismatch"));
+                // Reservoir checkpoints carry their budget instead of a
+                // meaningful engine; an engine checkpoint carries no
+                // budget. Either direction of disagreement would resume
+                // under different semantics, so it is refused.
+                match (run.memory_budget(), cfg.reservoir_budget()) {
+                    (Some(have), Some(want)) if have == want => {}
+                    (Some(_), Some(_)) | (Some(_), None) | (None, Some(_)) => {
+                        return Err(SnapshotError::Invalid("checkpoint/budget mismatch"));
+                    }
+                    (None, None) => {
+                        if run.engine() != cfg.engine {
+                            return Err(SnapshotError::Invalid("checkpoint/engine mismatch"));
+                        }
+                    }
                 }
                 run
             }
-            _ => ResumableRun::with_engine(Rept::new(cfg.rept), cfg.engine),
+            _ => match cfg.reservoir_budget() {
+                Some(budget) => ResumableRun::with_reservoir(cfg.rept, budget),
+                None => ResumableRun::with_engine(Rept::new(cfg.rept), cfg.engine),
+            },
         };
 
         // Journal recovery: replay the durable tail above the restored
@@ -270,13 +453,28 @@ impl ServeCore {
             cfg.top_k,
         );
         initial.durability = durability_stats(journal.as_ref(), cfg.journal, replayed);
+        if run.memory_budget().is_some() {
+            // Reservoir estimates are TRIÈST-unbiased, not REPT
+            // partition estimates: the plug-in variance formula does
+            // not apply, so no interval is advertised.
+            initial.confidence95 = None;
+        }
         let published = Arc::new(Published::new(initial));
         let (tx, rx) = sync_channel::<Control>(cfg.channel_capacity.max(1));
 
-        let ckpt_disabled = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let gauges = Arc::new(Gauges::default());
+        gauges
+            .stored_bytes
+            .store(run.stored_bytes() as u64, Ordering::Relaxed);
+        gauges.journal_bytes.store(
+            journal.as_ref().map_or(0, Journal::bytes),
+            Ordering::Relaxed,
+        );
+        let ckpt_disabled = Arc::new(AtomicBool::new(false));
         let thread_published = Arc::clone(&published);
         let thread_cfg = cfg.clone();
         let thread_disabled = Arc::clone(&ckpt_disabled);
+        let thread_gauges = Arc::clone(&gauges);
         let ingest = std::thread::Builder::new()
             .name("rept-serve-ingest".into())
             .spawn(move || {
@@ -288,6 +486,7 @@ impl ServeCore {
                     thread_published,
                     thread_cfg,
                     thread_disabled,
+                    thread_gauges,
                 )
             })
             .expect("spawn ingest thread");
@@ -299,6 +498,7 @@ impl ServeCore {
             cfg,
             ckpt_disabled,
             dlq,
+            gauges,
         })
     }
 
@@ -319,31 +519,100 @@ impl ServeCore {
             .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
+    /// Whether this ingest path needs an ack channel: the journal must
+    /// report write failures, and quota enforcement must report
+    /// refusals — both travel back through the ack.
+    fn needs_ack(&self) -> bool {
+        self.cfg.journal || self.cfg.enforces_quota()
+    }
+
     /// Queues a batch of edges for ingestion. Blocks when the bounded
-    /// channel is full (backpressure). With the journal enabled it also
-    /// blocks until the batch is journaled — and, under the default
-    /// [`SyncPolicy::PerRecord`], fsynced — so `Ok` means the edges
-    /// survive a kill. Without the journal, `Ok` only means queued.
+    /// channel is full (backpressure) — use [`Self::try_ingest`] to
+    /// turn a full queue into [`IngestError::Busy`] instead. With the
+    /// journal enabled it also blocks until the batch is journaled —
+    /// and, under the default [`SyncPolicy::PerRecord`], fsynced — so
+    /// `Ok` means the edges survive a kill. Without the journal, `Ok`
+    /// only means queued (or, with a quota, queued *and* admitted).
     ///
     /// # Errors
     ///
-    /// A description when the journal write fails; the batch was
-    /// refused and not applied.
-    pub fn ingest(&self, edges: Vec<Edge>) -> Result<(), String> {
+    /// [`IngestError::Quota`] when the memory budget refused the batch,
+    /// [`IngestError::Rejected`] when the journal write failed; either
+    /// way the batch was not applied. Never [`IngestError::Busy`].
+    pub fn ingest(&self, edges: Vec<Edge>) -> Result<(), IngestError> {
         if edges.is_empty() {
             return Ok(());
         }
-        if !self.cfg.journal {
+        if !self.needs_ack() {
             self.tx
                 .send(Control::Ingest(edges, None))
                 .expect("ingest thread alive");
+            self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
         let (ack_tx, ack_rx) = sync_channel(1);
         self.tx
             .send(Control::Ingest(edges, Some(ack_tx)))
             .expect("ingest thread alive");
+        self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
         ack_rx.recv().expect("ingest thread acks")
+    }
+
+    /// Like [`Self::ingest`], but a full channel returns
+    /// [`IngestError::Busy`] immediately instead of blocking — the
+    /// server's backpressure path (`ERR BUSY` tells the client to back
+    /// off and retry, in contrast to `ERR QUOTA` which it must not).
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Busy`] (queue full), plus everything
+    /// [`Self::ingest`] can return.
+    pub fn try_ingest(&self, edges: Vec<Edge>) -> Result<(), IngestError> {
+        if edges.is_empty() {
+            return Ok(());
+        }
+        if !self.needs_ack() {
+            return match self.tx.try_send(Control::Ingest(edges, None)) {
+                Ok(()) => {
+                    self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(TrySendError::Full(_)) => Err(IngestError::Busy),
+                Err(TrySendError::Disconnected(_)) => panic!("ingest thread alive"),
+            };
+        }
+        let (ack_tx, ack_rx) = sync_channel(1);
+        match self.tx.try_send(Control::Ingest(edges, Some(ack_tx))) {
+            Ok(()) => {
+                self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
+                ack_rx.recv().expect("ingest thread acks")
+            }
+            Err(TrySendError::Full(_)) => Err(IngestError::Busy),
+            Err(TrySendError::Disconnected(_)) => panic!("ingest thread alive"),
+        }
+    }
+
+    /// Live pressure readings — the `HEALTH` payload. Gauge-backed, so
+    /// it reflects the ingest thread's current state rather than the
+    /// last published snapshot.
+    pub fn health(&self) -> Health {
+        Health {
+            degraded: self.gauges.degraded.load(Ordering::Relaxed),
+            queue_depth: self.gauges.queue_depth.load(Ordering::Relaxed),
+            queue_capacity: self.cfg.channel_capacity.max(1) as u64,
+            stored_bytes: self.gauges.stored_bytes.load(Ordering::Relaxed),
+            memory_budget: self.cfg.memory_budget.unwrap_or(0),
+            journal_lag_bytes: self.gauges.journal_bytes.load(Ordering::Relaxed),
+            dlq: self.dlq_count(),
+        }
+    }
+
+    /// Drains the dead-letter file for replay: returns every captured
+    /// `(reason, original line)` pair and truncates the file, so lines
+    /// that fail again can be re-captured without duplication. Empty
+    /// without a journal (the DLQ lives next to the checkpoint).
+    pub fn dlq_drain(&self) -> Vec<(String, String)> {
+        self.dlq.as_ref().map_or_else(Vec::new, |d| d.drain())
     }
 
     /// Captures a rejected ingest line in the dead-letter file (no-op
@@ -484,6 +753,7 @@ fn durability_stats(journal: Option<&Journal>, enabled: bool, replayed: u64) -> 
 }
 
 /// The ingest thread body.
+#[allow(clippy::too_many_arguments)]
 fn ingest_loop(
     mut run: ResumableRun,
     mut journal: Option<Journal>,
@@ -491,7 +761,8 @@ fn ingest_loop(
     rx: std::sync::mpsc::Receiver<Control>,
     published: Arc<Published<Snapshot>>,
     cfg: ServeConfig,
-    ckpt_disabled: Arc<std::sync::atomic::AtomicBool>,
+    ckpt_disabled: Arc<AtomicBool>,
+    gauges: Arc<Gauges>,
 ) -> ResumableRun {
     let mut seq = 0u64;
     let mut checkpoints = 0u64;
@@ -531,6 +802,12 @@ fn ingest_loop(
             cfg.top_k,
         );
         snap.durability = durability;
+        if run.memory_budget().is_some() {
+            // Reservoir estimates are TRIÈST-IMPR global counts, not
+            // REPT partition estimates — the closed-form REPT interval
+            // does not apply to them.
+            snap.confidence95 = None;
+        }
         published.store(snap);
         *last = Some((run.position(), checkpoints));
     };
@@ -582,28 +859,140 @@ fn ingest_loop(
         Ok(run.position())
     };
 
-    while let Ok(msg) = rx.recv() {
+    // Quota admission: decides whether a batch may enter the run.
+    // Reservoir runs never refuse (the reservoir sheds internally and
+    // keeps `stored_bytes ≤ budget` by construction), so this only
+    // fires for `Reject`/`Degrade` tenants backed by a full engine.
+    // The check is a high-water mark — stored bytes are compared
+    // *before* admission, so the overshoot is bounded by one batch.
+    let admit = |run: &ResumableRun| -> Result<(), String> {
+        let Some(budget) = cfg.memory_budget else {
+            return Ok(());
+        };
+        if run.memory_budget().is_some() {
+            return Ok(());
+        }
+        if cfg.quota == QuotaPolicy::Degrade && gauges.degraded.load(Ordering::Relaxed) {
+            return Err(format!(
+                "tenant degraded: memory budget {budget} B was reached; writes are frozen"
+            ));
+        }
+        let stored = run.stored_bytes() as u64;
+        if stored < budget {
+            return Ok(());
+        }
+        match cfg.quota {
+            QuotaPolicy::Shed => Ok(()),
+            QuotaPolicy::Reject => Err(format!(
+                "memory budget reached: stored {stored} B >= budget {budget} B; batch rejected"
+            )),
+            QuotaPolicy::Degrade => {
+                gauges.degraded.store(true, Ordering::Relaxed);
+                Err(format!(
+                    "memory budget reached: stored {stored} B >= budget {budget} B; \
+                     tenant degraded to read-only"
+                ))
+            }
+        }
+    };
+
+    // A non-Ingest message drained while assembling a group commit is
+    // parked here and handled on the next iteration.
+    let mut pending: Option<Control> = None;
+    loop {
+        let msg = match pending.take() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+        };
         match msg {
             Control::Ingest(batch, ack) => {
-                let n = batch.len() as u64;
-                if let Some(j) = journal.as_mut() {
-                    // Journal-before-apply: under `PerRecord` the append
-                    // fsyncs, so the ack below promises durability.
-                    if let Err(e) = j.append(run.position(), &batch) {
-                        let msg = format!("journal append failed: {e}");
+                // Group commit: while this batch's fsync would be in
+                // flight, later batches may already be queued — fold
+                // them into one durability barrier so N concurrent
+                // producers share a single fsync instead of paying one
+                // each. Only worth it when appends fsync individually.
+                let mut group = vec![(batch, ack)];
+                if journal.is_some() && cfg.journal_sync == SyncPolicy::PerRecord {
+                    while group.len() < cfg.channel_capacity.max(1) {
+                        match rx.try_recv() {
+                            Ok(Control::Ingest(b, a)) => group.push((b, a)),
+                            Ok(other) => {
+                                pending = Some(other);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                let grouped = group.len() > 1;
+                // Phase 1 — admit and journal each member (deferring
+                // the fsync when grouped). `next_pos` tracks the
+                // journal position ahead of the deferred applies.
+                let mut accepted: Vec<(Vec<Edge>, IngestAck)> = Vec::new();
+                let mut next_pos = run.position();
+                for (batch, ack) in group {
+                    gauges.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    if let Err(reason) = admit(&run) {
                         match &ack {
-                            Some(ack) => drop(ack.send(Err(msg))),
-                            None => eprintln!("rept-serve: {msg}; batch refused"),
+                            Some(ack) => drop(ack.send(Err(IngestError::Quota(reason)))),
+                            None => eprintln!("rept-serve: QUOTA {reason}; batch dropped"),
                         }
                         continue;
                     }
+                    if let Some(j) = journal.as_mut() {
+                        // Journal-before-apply: under `PerRecord` the
+                        // (non-deferred) append fsyncs, so the ack
+                        // below promises durability.
+                        let res = if grouped {
+                            j.append_deferred(next_pos, &batch)
+                        } else {
+                            j.append(next_pos, &batch)
+                        };
+                        if let Err(e) = res {
+                            let msg = format!("journal append failed: {e}");
+                            match &ack {
+                                Some(ack) => drop(ack.send(Err(IngestError::Rejected(msg)))),
+                                None => eprintln!("rept-serve: {msg}; batch refused"),
+                            }
+                            continue;
+                        }
+                    }
+                    next_pos += batch.len() as u64;
+                    accepted.push((batch, ack));
                 }
-                if let Some(ack) = &ack {
-                    let _ = ack.send(Ok(()));
+                // Phase 2 — one barrier fsync covers the whole group.
+                // On failure nothing was promised yet: refuse every
+                // member and apply none, keeping the acked set equal
+                // to the durable set.
+                if grouped {
+                    if let Some(j) = journal.as_mut() {
+                        if let Err(e) = j.sync() {
+                            let msg = format!("journal sync failed: {e}");
+                            for (_, ack) in &accepted {
+                                match ack {
+                                    Some(ack) => {
+                                        drop(ack.send(Err(IngestError::Rejected(msg.clone()))));
+                                    }
+                                    None => eprintln!("rept-serve: {msg}; batch refused"),
+                                }
+                            }
+                            accepted.clear();
+                        }
+                    }
                 }
-                run.process_batch(&batch);
-                since_snapshot += n;
-                since_checkpoint += n;
+                // Phase 3 — ack and apply in arrival order.
+                for (batch, ack) in accepted {
+                    if let Some(ack) = &ack {
+                        let _ = ack.send(Ok(()));
+                    }
+                    let n = batch.len() as u64;
+                    run.process_batch(&batch);
+                    since_snapshot += n;
+                    since_checkpoint += n;
+                }
                 if since_snapshot >= cfg.snapshot_every {
                     publish(
                         &run,
@@ -624,6 +1013,13 @@ fn ingest_loop(
                         since_checkpoint = 0;
                     }
                 }
+                gauges
+                    .stored_bytes
+                    .store(run.stored_bytes() as u64, Ordering::Relaxed);
+                gauges.journal_bytes.store(
+                    journal.as_ref().map_or(0, Journal::bytes),
+                    Ordering::Relaxed,
+                );
             }
             Control::Flush(reply) => {
                 if let Some(j) = journal.as_mut() {
@@ -631,6 +1027,10 @@ fn ingest_loop(
                     // batched sync policy.
                     let _ = j.sync();
                 }
+                gauges.journal_bytes.store(
+                    journal.as_ref().map_or(0, Journal::bytes),
+                    Ordering::Relaxed,
+                );
                 publish(
                     &run,
                     &mut seq,
@@ -644,6 +1044,10 @@ fn ingest_loop(
             Control::Checkpoint(reply) => {
                 let result = write_checkpoint(&run, &mut last_ckpt_pos, &mut journal);
                 checkpoints += result.is_ok() as u64;
+                gauges.journal_bytes.store(
+                    journal.as_ref().map_or(0, Journal::bytes),
+                    Ordering::Relaxed,
+                );
                 publish(
                     &run,
                     &mut seq,
@@ -1012,6 +1416,252 @@ mod tests {
         plain.dead_letter("INGEST x", "nope");
         assert_eq!(plain.dlq_count(), 0);
         plain.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shed_budget_keeps_stored_bytes_within_budget() {
+        // Default quota policy (Shed) ⇒ reservoir engine: sustained
+        // ingest far past the budget never grows the footprint past it
+        // and never refuses a batch.
+        let stream = stream();
+        let budget = 4096u64;
+        let cfg = ServeConfig::new(base_cfg())
+            .with_memory_budget(budget)
+            .with_snapshot_every(64);
+        let core = ServeCore::start(cfg).expect("start");
+        for chunk in stream.chunks(64) {
+            core.ingest(chunk.to_vec()).expect("shed never refuses");
+            core.flush();
+            let h = core.health();
+            assert!(
+                h.stored_bytes <= budget,
+                "stored {} B > budget {budget} B",
+                h.stored_bytes
+            );
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.position, stream.len() as u64, "every edge consumed");
+        assert!(
+            snap.confidence95.is_none(),
+            "reservoir estimates carry no REPT interval"
+        );
+        assert!(snap.global.is_finite() && snap.global >= 0.0);
+        let h = core.health();
+        assert_eq!(h.memory_budget, budget);
+        assert!(!h.degraded, "shedding is not degradation");
+        core.shutdown();
+    }
+
+    #[test]
+    fn reservoir_checkpoint_resumes_bit_identically() {
+        let stream = stream();
+        let budget = 4096u64;
+        let path = temp_ckpt("reservoir-resume");
+        std::fs::remove_file(&path).ok();
+        let cfg = ServeConfig::new(base_cfg())
+            .with_memory_budget(budget)
+            .with_checkpoint(path.clone(), None);
+        let core = ServeCore::start(cfg.clone()).expect("start");
+        core.ingest(stream[..1200].to_vec()).expect("ingest");
+        core.flush();
+        let before = core.snapshot();
+        core.shutdown();
+
+        let resumed = ServeCore::start(cfg).expect("resume");
+        assert_eq!(resumed.position(), 1200);
+        resumed.flush();
+        let after = resumed.snapshot();
+        assert_eq!(after.global, before.global, "reservoir state restored");
+
+        // Resuming under a different budget — or none at all — would
+        // change the sampling semantics mid-stream, so it is refused.
+        resumed.shutdown();
+        let other_budget = ServeConfig::new(base_cfg())
+            .with_memory_budget(budget * 2)
+            .with_checkpoint(path.clone(), None);
+        assert!(matches!(
+            ServeCore::start(other_budget).err(),
+            Some(SnapshotError::Invalid("checkpoint/budget mismatch"))
+        ));
+        let no_budget = ServeConfig::new(base_cfg()).with_checkpoint(path.clone(), None);
+        assert!(matches!(
+            ServeCore::start(no_budget).err(),
+            Some(SnapshotError::Invalid("checkpoint/budget mismatch"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn undersized_budget_is_refused_at_start() {
+        let cfg = ServeConfig::new(base_cfg()).with_memory_budget(MIN_MEMORY_BUDGET - 1);
+        assert!(matches!(
+            ServeCore::start(cfg).err(),
+            Some(SnapshotError::Invalid(
+                "memory budget below the reservoir minimum"
+            ))
+        ));
+    }
+
+    #[test]
+    fn quota_reject_refuses_past_budget_without_latching() {
+        let stream = stream();
+        let budget = 4096u64;
+        let cfg = ServeConfig::new(base_cfg())
+            .with_memory_budget(budget)
+            .with_quota_policy(QuotaPolicy::Reject);
+        let core = ServeCore::start(cfg).expect("start");
+        let mut refusal = None;
+        for chunk in stream.chunks(64) {
+            if let Err(e) = core.ingest(chunk.to_vec()) {
+                refusal = Some(e);
+                break;
+            }
+        }
+        let e = refusal.expect("a 4 KiB budget must refuse this stream");
+        assert!(matches!(&e, IngestError::Quota(_)), "typed: {e:?}");
+        assert!(e.to_string().starts_with("QUOTA "), "wire form: {e}");
+        let pos = core.flush();
+        assert!(pos > 0 && pos < stream.len() as u64, "accepted prefix only");
+        assert_eq!(core.snapshot().position, pos);
+        let h = core.health();
+        assert!(h.stored_bytes >= budget, "refused only past the budget");
+        assert!(!h.degraded, "Reject does not latch");
+        // Adjacency never shrinks, so further writes stay refused —
+        // but reads keep serving the frozen estimate.
+        assert!(matches!(
+            core.ingest(stream[..8].to_vec()),
+            Err(IngestError::Quota(_))
+        ));
+        assert!(core.snapshot().global >= 0.0);
+        core.shutdown();
+    }
+
+    #[test]
+    fn quota_degrade_latches_the_tenant_read_only() {
+        let stream = stream();
+        let cfg = ServeConfig::new(base_cfg())
+            .with_memory_budget(4096)
+            .with_quota_policy(QuotaPolicy::Degrade);
+        let core = ServeCore::start(cfg).expect("start");
+        let mut refused = false;
+        for chunk in stream.chunks(64) {
+            if core.ingest(chunk.to_vec()).is_err() {
+                refused = true;
+                break;
+            }
+        }
+        assert!(refused, "the budget must be breached");
+        assert!(core.health().degraded, "first breach latches the flag");
+        let pos = core.flush();
+        // Even a tiny batch is refused now, with the degraded reason.
+        match core.ingest(vec![Edge::new(1, 2)]) {
+            Err(IngestError::Quota(reason)) => {
+                assert!(reason.contains("degraded"), "reason: {reason}")
+            }
+            other => panic!("expected a quota refusal, got {other:?}"),
+        }
+        assert_eq!(core.flush(), pos, "no write moved the position");
+        core.shutdown();
+    }
+
+    #[test]
+    fn try_ingest_reports_busy_when_the_queue_is_full() {
+        let mut cfg = ServeConfig::new(base_cfg());
+        cfg.channel_capacity = 1;
+        let core = ServeCore::start(cfg).expect("start");
+        // Occupy the ingest thread with a long batch; with a 1-slot
+        // queue behind it, non-blocking sends must surface Busy instead
+        // of stalling the caller.
+        let big: Vec<Edge> = (0..400_000).map(|i| Edge::new(i, i + 1)).collect();
+        core.ingest(big).expect("queued");
+        let mut saw_busy = false;
+        for _ in 0..1024 {
+            match core.try_ingest(vec![Edge::new(1, 2)]) {
+                Ok(()) => {}
+                Err(IngestError::Busy) => {
+                    saw_busy = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected refusal: {e:?}"),
+            }
+        }
+        assert!(saw_busy, "a full bounded queue must refuse, not block");
+        core.flush();
+        core.shutdown();
+    }
+
+    #[test]
+    fn concurrent_producers_group_commit_losslessly() {
+        // Four producers share one per-record-synced journal: appends
+        // queued together share a single fsync barrier (group commit),
+        // and every *acked* batch must survive a restart.
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!("rept-group-commit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.rpck");
+        std::fs::remove_file(&path).ok();
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(path.clone(), None)
+            .with_journal_sync(SyncPolicy::PerRecord);
+        let core = Arc::new(ServeCore::start(cfg.clone()).expect("start"));
+        let mut producers = Vec::new();
+        for t in 0..4usize {
+            let core = Arc::clone(&core);
+            let chunks: Vec<Vec<Edge>> = stream
+                .chunks(32)
+                .skip(t)
+                .step_by(4)
+                .map(<[Edge]>::to_vec)
+                .collect();
+            producers.push(std::thread::spawn(move || {
+                for chunk in chunks {
+                    core.ingest(chunk).expect("acked");
+                }
+            }));
+        }
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let core = Arc::try_unwrap(core).expect("sole owner");
+        assert_eq!(
+            core.flush(),
+            stream.len() as u64,
+            "every acked batch applied"
+        );
+        core.shutdown();
+        let resumed = ServeCore::start(cfg).expect("resume");
+        assert_eq!(resumed.position(), stream.len() as u64, "lossless");
+        resumed.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_reports_live_gauges() {
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!("rept-health-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg = ServeConfig::new(base_cfg())
+            .with_checkpoint(dir.join("serve.rpck"), None)
+            .with_journal();
+        let core = ServeCore::start(cfg).expect("start");
+        core.ingest(stream[..300].to_vec()).expect("ingest");
+        core.flush();
+        let h = core.health();
+        assert_eq!(h.queue_capacity, 16, "default channel capacity");
+        assert_eq!(h.memory_budget, 0, "0 = unlimited");
+        assert!(h.stored_bytes > 0);
+        assert!(h.journal_lag_bytes > 0, "journal ahead of the checkpoint");
+        assert!(!h.degraded);
+        core.dead_letter("INGEST bogus", "unparsable");
+        assert_eq!(core.health().dlq, 1);
+        core.checkpoint().expect("checkpoint");
+        assert_eq!(
+            core.health().journal_lag_bytes,
+            0,
+            "checkpoint retired the journal"
+        );
+        core.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

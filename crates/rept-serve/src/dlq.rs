@@ -92,6 +92,32 @@ impl DeadLetterQueue {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Atomically takes every captured `(reason, line)` entry and
+    /// truncates the file — the `DLQ REPLAY` primitive. Entries are
+    /// returned in capture order; lines that fail replay are expected
+    /// to be re-`record`ed by the caller, so a crash mid-replay loses
+    /// at most the in-flight entries (the DLQ is an operator aid, not
+    /// part of the durability contract).
+    pub fn drain(&self) -> Vec<(String, String)> {
+        let Ok(file) = self.file.lock() else {
+            return Vec::new();
+        };
+        let text = std::fs::read_to_string(&self.path).unwrap_or_default();
+        let entries: Vec<(String, String)> = text
+            .lines()
+            .map(|entry| match entry.split_once('\t') {
+                Some((reason, line)) => (reason.to_string(), line.to_string()),
+                // A hand-edited entry without a tab: treat the whole
+                // line as the payload.
+                None => (String::new(), entry.to_string()),
+            })
+            .collect();
+        if file.set_len(0).is_ok() {
+            self.count.store(0, Ordering::Relaxed);
+        }
+        entries
+    }
+
     /// Where the dead-letter file lives.
     pub fn path(&self) -> &Path {
         &self.path
@@ -130,6 +156,44 @@ mod tests {
         assert_eq!(dlq.count(), 2);
         dlq.record("INGEST", "missing edges");
         assert_eq!(dlq.count(), 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_takes_entries_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("rept-dlq-drain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = DeadLetterQueue::path_for(&dir.join("serve.rpck"));
+        std::fs::remove_file(&path).ok();
+
+        let dlq = DeadLetterQueue::open(path.clone()).expect("open");
+        dlq.record("INGEST 1 1", "self-loop 1-1 rejected");
+        dlq.record("INGEST a b", "bad node id \"a\"");
+        let entries = dlq.drain();
+        assert_eq!(
+            entries,
+            vec![
+                (
+                    "self-loop 1-1 rejected".to_string(),
+                    "INGEST 1 1".to_string()
+                ),
+                ("bad node id \"a\"".to_string(), "INGEST a b".to_string()),
+            ]
+        );
+        assert_eq!(dlq.count(), 0, "drain resets the count");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read").len(),
+            0,
+            "drain truncates the file"
+        );
+        // Recording after a drain starts a fresh capture at offset 0.
+        dlq.record("INGEST 2 2", "self-loop 2-2 rejected");
+        assert_eq!(dlq.count(), 1);
+        let again = dlq.drain();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].1, "INGEST 2 2");
+        assert!(dlq.drain().is_empty(), "empty file drains to nothing");
 
         std::fs::remove_dir_all(&dir).ok();
     }

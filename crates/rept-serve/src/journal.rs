@@ -467,6 +467,33 @@ impl Journal {
     /// Filesystem errors (the record must then be treated as not
     /// written — the caller must not ack the batch).
     pub fn append(&mut self, start: u64, edges: &[Edge]) -> std::io::Result<()> {
+        self.append_inner(start, edges, false)
+    }
+
+    /// Appends one batch like [`Self::append`] but **defers the fsync**
+    /// even under [`SyncPolicy::PerRecord`]: the record is buffered and
+    /// covered by the next [`Self::sync`] call. This is the group-commit
+    /// primitive — the ingest thread writes every member of a coalesced
+    /// group with this, then issues one barrier `sync()` for all of
+    /// them, so N concurrent producers share a single fsync.
+    ///
+    /// The caller **must not ack** any deferred batch until that
+    /// `sync()` succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (the record must then be treated as not
+    /// written).
+    pub fn append_deferred(&mut self, start: u64, edges: &[Edge]) -> std::io::Result<()> {
+        self.append_inner(start, edges, true)
+    }
+
+    fn append_inner(
+        &mut self,
+        start: u64,
+        edges: &[Edge],
+        defer_sync: bool,
+    ) -> std::io::Result<()> {
         if start != self.next_position {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -501,8 +528,8 @@ impl Journal {
         active.len += record.len() as u64;
         self.next_position = start + edges.len() as u64;
         match self.sync {
-            SyncPolicy::PerRecord => active.file.sync_data()?,
-            SyncPolicy::Batched => self.unsynced = true,
+            SyncPolicy::PerRecord if !defer_sync => active.file.sync_data()?,
+            _ => self.unsynced = true,
         }
         Ok(())
     }
@@ -768,6 +795,27 @@ mod tests {
         assert_eq!(rec.replay, all);
         assert_eq!(SyncPolicy::Batched.name(), "batched");
         assert_eq!(SyncPolicy::PerRecord.name(), "per-record");
+        cleanup(&ckpt);
+    }
+
+    #[test]
+    fn deferred_appends_survive_once_synced() {
+        let ckpt = temp_ckpt("deferred");
+        let all = edges(0..30);
+        let mut j = Journal::recover(&ckpt, 1 << 20, SyncPolicy::PerRecord, 0)
+            .expect("recover")
+            .journal;
+        // Group commit: members written with the fsync deferred, then
+        // one barrier covers them all — even under PerRecord.
+        j.append_deferred(0, &all[..10]).expect("append");
+        j.append_deferred(10, &all[10..20]).expect("append");
+        j.sync().expect("barrier");
+        // A final non-deferred append keeps working after the barrier.
+        j.append(20, &all[20..]).expect("append");
+        drop(j);
+        let rec = Journal::recover(&ckpt, 1 << 20, SyncPolicy::PerRecord, 0).expect("recover");
+        assert!(!rec.dropped_tail);
+        assert_eq!(rec.replay, all, "all three records durable");
         cleanup(&ckpt);
     }
 

@@ -47,6 +47,21 @@
 //!   The fault-injection suite (`tests/fault.rs`) kills cores at
 //!   arbitrary points and proves recovery equals the acked prefix;
 //!   `docs/DURABILITY.md` specifies the format and contract.
+//! * **Overload resilience** — per-tenant memory quotas
+//!   ([`ServeConfig::with_memory_budget`]): under the default
+//!   [`core::QuotaPolicy::Shed`] the tenant runs the bounded-memory
+//!   reservoir engine ([`ReservoirRun`](rept_core::reservoir::ReservoirRun),
+//!   stored bytes never exceed the budget, accuracy degrades
+//!   gracefully); under `reject`/`degrade` the full engine runs and
+//!   writes past the budget come back as typed **`ERR QUOTA`**
+//!   rejections (dead-lettered, never retried by the client). A full
+//!   ingest queue surfaces as **`ERR BUSY`** backpressure instead of
+//!   blocking the connection handler — transient, retried by the
+//!   client with jittered exponential backoff. `HEALTH` reports the
+//!   pressure gauges; `DLQ REPLAY` feeds the dead-letter file back
+//!   through ingest. Under the per-record sync policy, concurrent
+//!   producers' appends are **group-committed**: batches queued while
+//!   an fsync would be in flight share one durability barrier.
 //!
 //! # Wire protocol (v2)
 //!
@@ -70,11 +85,19 @@
 //! | `JOURNAL STATS`            | `OK JOURNAL enabled= position= bytes= segments= replayed= dlq=` — current tenant's durability state |
 //! | `FLUSH`                    | `OK FLUSH position=<p>` — barrier: everything queued is applied and republished |
 //! | `CHECKPOINT`               | `OK CHECKPOINT position=<p>` — state durably on disk          |
-//! | `TENANT CREATE <t> [k=v …]`| `OK TENANT CREATED <t>` — options: engine, m, c, seed, interval |
+//! | `TENANT CREATE <t> [k=v …]`| `OK TENANT CREATED <t>` — options: engine, m, c, seed, interval, memory_budget, quota |
 //! | `TENANT LIST`              | `OK TENANTS n=<n> <t>=<pos>[:interval=<i>] …`                 |
 //! | `TENANT DROP <t>`          | `OK TENANT DROPPED <t>` (`default` is protected)              |
 //! | `USE <t>`                  | `OK USING <t>` — switches this connection's current tenant    |
+//! | `HEALTH`                   | `OK HEALTH tenant= state=<ok\|degraded> queue= capacity= bytes= budget= journal_lag= dlq=` |
+//! | `DLQ REPLAY`               | `OK DLQ REPLAYED n=<drained> failed=<rejected again>`         |
 //! | `SHUTDOWN`                 | `OK BYE` — server stops accepting and drains                  |
+//!
+//! Two `ERR` classes carry retry semantics: `ERR BUSY …` (ingest queue
+//! full — transient, retry with backoff; the batch was not applied and
+//! is **not** dead-lettered) and `ERR QUOTA …` (memory budget refusal —
+//! durable, never retry; the line **is** dead-lettered for `DLQ
+//! REPLAY`). Every other `ERR` is a grammar or state error.
 //!
 //! Self-loops are rejected (`ERR self-loop …`); duplicate stream edges
 //! are accepted and handled by the estimator exactly like the batch
@@ -133,8 +156,8 @@ pub mod server;
 pub mod snapshot;
 pub mod tenant;
 
-pub use crate::core::{ServeConfig, ServeCore};
-pub use client::{Client, GlobalEstimate};
+pub use crate::core::{Health, IngestError, QuotaPolicy, ServeConfig, ServeCore};
+pub use client::{Client, ClientConfig, GlobalEstimate};
 pub use dlq::DeadLetterQueue;
 pub use journal::{Journal, SyncPolicy};
 pub use server::Server;

@@ -30,6 +30,7 @@
 
 use rept_graph::edge::{Edge, NodeId};
 
+use crate::core::{Health, QuotaPolicy};
 use crate::snapshot::Snapshot;
 
 /// Maximum tenant name length accepted by [`validate_tenant_name`].
@@ -66,6 +67,14 @@ pub struct TenantOptions {
     /// base seed through the `IntervalEstimator` sequence, making the
     /// tenant an independent sliding-window estimator.
     pub interval: Option<u64>,
+    /// `memory_budget=<bytes>` — cap the tenant's adjacency bytes.
+    /// Under the default [`QuotaPolicy::Shed`] the tenant runs the
+    /// bounded-memory reservoir engine; under `reject`/`degrade` the
+    /// full engine runs and writes past the budget are refused.
+    pub memory_budget: Option<u64>,
+    /// `quota=<shed|reject|degrade>` — what happens at the budget.
+    /// Requires `memory_budget`.
+    pub quota: Option<QuotaPolicy>,
 }
 
 /// A parsed client command.
@@ -106,6 +115,14 @@ pub enum Command {
     TenantDrop(String),
     /// `USE name` — switch the connection's current tenant.
     Use(String),
+    /// `HEALTH` — the current tenant's pressure gauges: degradation
+    /// state, ingest-queue depth, stored bytes vs. budget, journal lag,
+    /// DLQ depth.
+    Health,
+    /// `DLQ REPLAY` — drain the current tenant's dead-letter file and
+    /// feed each captured line back through the ingest parser; lines
+    /// that fail again are re-dead-lettered.
+    DlqReplay,
 }
 
 /// One documented wire form per [`Command`] variant, in declaration
@@ -128,6 +145,8 @@ pub const COMMAND_FORMS: &[(&str, &str)] = &[
     ("TenantList", "TENANT LIST"),
     ("TenantDrop", "TENANT DROP"),
     ("Use", "USE"),
+    ("Health", "HEALTH"),
+    ("DlqReplay", "DLQ REPLAY"),
 ];
 
 /// Checks a tenant name: starts with an ASCII letter, continues with
@@ -253,6 +272,11 @@ pub fn parse(line: &str) -> Result<Command, String> {
             validate_tenant_name(name)?;
             expect_end(tokens, Command::Use(name.to_string()))
         }
+        "HEALTH" => expect_end(tokens, Command::Health),
+        "DLQ" => match tokens.next() {
+            Some("REPLAY") => expect_end(tokens, Command::DlqReplay),
+            _ => Err("DLQ needs REPLAY".into()),
+        },
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -295,11 +319,21 @@ fn parse_tenant_options<'a>(
             "c" => opts.c = Some(parse_num(key, value)?),
             "seed" => opts.seed = Some(parse_num(key, value)?),
             "interval" => opts.interval = Some(parse_num(key, value)?),
+            "memory_budget" => opts.memory_budget = Some(parse_num(key, value)?),
+            "quota" => {
+                opts.quota = Some(
+                    QuotaPolicy::from_name(value)
+                        .ok_or_else(|| format!("unknown quota policy {value:?}"))?,
+                );
+            }
             other => return Err(format!("unknown tenant option {other:?}")),
         }
     }
     if opts.seed.is_some() && opts.interval.is_some() {
         return Err("seed and interval are mutually exclusive (interval derives the seed)".into());
+    }
+    if opts.quota.is_some() && opts.memory_budget.is_none() {
+        return Err("quota policy requires a memory_budget to enforce".into());
     }
     Ok(opts)
 }
@@ -414,6 +448,29 @@ pub fn format_journal_stats(snap: &Snapshot, dlq: u64) -> String {
     )
 }
 
+/// `OK HEALTH …` reply for `HEALTH` — the current tenant's pressure
+/// gauges. `budget=0` means unlimited; `state` is `ok` or `degraded`.
+pub fn format_health(tenant: &str, h: &Health) -> String {
+    format!(
+        "OK HEALTH tenant={tenant} state={} queue={} capacity={} bytes={} budget={} \
+         journal_lag={} dlq={}",
+        if h.degraded { "degraded" } else { "ok" },
+        h.queue_depth,
+        h.queue_capacity,
+        h.stored_bytes,
+        h.memory_budget,
+        h.journal_lag_bytes,
+        h.dlq,
+    )
+}
+
+/// `OK DLQ REPLAYED …` reply for `DLQ REPLAY`: `n` lines drained from
+/// the dead-letter file, of which `failed` were rejected again (and
+/// re-captured).
+pub fn format_dlq_replayed(n: u64, failed: u64) -> String {
+    format!("OK DLQ REPLAYED n={n} failed={failed}")
+}
+
 /// Extracts the value of a `key=value` token from a reply line — the
 /// client-side accessor for every `OK` payload.
 pub fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
@@ -464,7 +521,7 @@ mod tests {
                     m: Some(8),
                     c: Some(16),
                     seed: Some(3),
-                    interval: None,
+                    ..TenantOptions::default()
                 }
             ))
         );
@@ -577,6 +634,8 @@ mod tests {
             "TenantList",
             "TenantDrop",
             "Use",
+            "Health",
+            "DlqReplay",
         ];
         assert_eq!(
             COMMAND_FORMS.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
@@ -617,6 +676,67 @@ mod tests {
         assert_eq!(parse("JOURNAL STATS"), Ok(Command::JournalStats));
         assert!(parse("JOURNAL").is_err());
         assert!(parse("JOURNAL STATS x").is_err(), "trailing token");
+    }
+
+    #[test]
+    fn parses_overload_verbs_and_options() {
+        assert_eq!(parse("HEALTH"), Ok(Command::Health));
+        assert!(parse("HEALTH x").is_err(), "trailing token");
+        assert_eq!(parse("DLQ REPLAY"), Ok(Command::DlqReplay));
+        assert!(parse("DLQ").is_err());
+        assert!(parse("DLQ REPLAY now").is_err(), "trailing token");
+        assert_eq!(
+            parse("TENANT CREATE tiny memory_budget=4096 quota=reject"),
+            Ok(Command::TenantCreate(
+                "tiny".into(),
+                TenantOptions {
+                    memory_budget: Some(4096),
+                    quota: Some(QuotaPolicy::Reject),
+                    ..TenantOptions::default()
+                }
+            ))
+        );
+        assert_eq!(
+            parse("TENANT CREATE tiny memory_budget=4096"),
+            Ok(Command::TenantCreate(
+                "tiny".into(),
+                TenantOptions {
+                    memory_budget: Some(4096),
+                    ..TenantOptions::default()
+                }
+            )),
+            "budget without quota defaults to shed"
+        );
+        assert!(
+            parse("TENANT CREATE tiny quota=reject").is_err(),
+            "quota without a budget enforces nothing"
+        );
+        assert!(parse("TENANT CREATE tiny memory_budget=4096 quota=panic").is_err());
+        assert!(parse("TENANT CREATE tiny memory_budget=lots").is_err());
+    }
+
+    #[test]
+    fn health_formatting() {
+        let h = Health {
+            degraded: false,
+            queue_depth: 3,
+            queue_capacity: 16,
+            stored_bytes: 1024,
+            memory_budget: 4096,
+            journal_lag_bytes: 88,
+            dlq: 2,
+        };
+        assert_eq!(
+            format_health("alpha", &h),
+            "OK HEALTH tenant=alpha state=ok queue=3 capacity=16 bytes=1024 budget=4096 \
+             journal_lag=88 dlq=2"
+        );
+        let degraded = Health {
+            degraded: true,
+            ..h
+        };
+        assert!(format_health("alpha", &degraded).contains("state=degraded"));
+        assert_eq!(format_dlq_replayed(5, 2), "OK DLQ REPLAYED n=5 failed=2");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use rept_core::ReptEstimate;
 
-use crate::core::{ServeConfig, ServeCore};
+use crate::core::{IngestError, ServeConfig, ServeCore};
 use crate::protocol::{self, Command, Scope, DEFAULT_TENANT};
 use crate::tenant::{RouterConfig, TenantRouter};
 
@@ -39,6 +39,26 @@ const ACCEPT_RETRY: Duration = Duration::from_millis(50);
 /// reading — a full TCP send window must not pin a handler thread (and
 /// with it `Server::shutdown`) forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Socket/backoff timing knobs, separated from the constants so tests
+/// can shrink them and drive the slow paths (accept-error backoff,
+/// write timeout) in milliseconds instead of seconds.
+#[derive(Debug, Clone, Copy)]
+struct ServerTuning {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    accept_retry: Duration,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        Self {
+            read_timeout: READ_TIMEOUT,
+            write_timeout: WRITE_TIMEOUT,
+            accept_retry: ACCEPT_RETRY,
+        }
+    }
+}
 
 /// A running TCP server over a [`TenantRouter`]. Prefer an explicit
 /// [`Self::shutdown`] (it returns the final estimate); a plain drop
@@ -87,6 +107,15 @@ impl Server {
         addr: impl ToSocketAddrs,
         handlers: usize,
     ) -> std::io::Result<Self> {
+        Self::start_router_tuned(cfg, addr, handlers, ServerTuning::default())
+    }
+
+    fn start_router_tuned(
+        cfg: RouterConfig,
+        addr: impl ToSocketAddrs,
+        handlers: usize,
+        tuning: ServerTuning,
+    ) -> std::io::Result<Self> {
         let router =
             Arc::new(TenantRouter::start(cfg).map_err(|e| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
@@ -103,7 +132,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rept-serve-handler-{i}"))
-                    .spawn(move || accept_loop(listener, router, stop))
+                    .spawn(move || accept_loop(listener, router, stop, tuning))
                     .expect("spawn handler thread"),
             );
         }
@@ -197,19 +226,24 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, router: Arc<TenantRouter>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    router: Arc<TenantRouter>,
+    stop: Arc<AtomicBool>,
+    tuning: ServerTuning,
+) {
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok((stream, _)) = listener.accept() else {
-            std::thread::sleep(ACCEPT_RETRY);
+            std::thread::sleep(tuning.accept_retry);
             continue;
         };
         if stop.load(Ordering::SeqCst) {
             return; // the wake-up connection from `shutdown`
         }
-        let _ = serve_connection(stream, &router, &stop);
+        let _ = serve_connection(stream, &router, &stop, tuning);
     }
 }
 
@@ -219,9 +253,10 @@ fn serve_connection(
     stream: TcpStream,
     router: &TenantRouter,
     stop: &AtomicBool,
+    tuning: ServerTuning,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    stream.set_read_timeout(Some(tuning.read_timeout))?;
+    stream.set_write_timeout(Some(tuning.write_timeout))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -289,13 +324,21 @@ fn execute(
         Ok(Command::Ingest(Scope::Current, edges)) => match router.tenant(tenant) {
             Some(core) => {
                 let n = edges.len();
-                match core.ingest(edges) {
+                // Non-blocking: a full ingest queue surfaces as `ERR
+                // BUSY` backpressure instead of pinning the handler
+                // thread (and its connection slot) on a slow tenant.
+                match core.try_ingest(edges) {
                     Ok(()) => format!("OK INGEST {n}"),
-                    Err(msg) => {
-                        // A durably-refused batch is a rejection like any
-                        // other: capture the line for operator replay.
-                        core.dead_letter(line, &msg);
-                        format!("ERR {msg}")
+                    // BUSY is transient — the client retries, so the
+                    // line does NOT go to the dead-letter file (it
+                    // would be replayed *and* retried: duplicates).
+                    Err(e @ IngestError::Busy) => format!("ERR {e}"),
+                    Err(e) => {
+                        // A durably-refused batch (quota, journal) is a
+                        // rejection like any other: capture the line
+                        // for operator replay.
+                        core.dead_letter(line, &e.to_string());
+                        format!("ERR {e}")
                     }
                 }
             }
@@ -353,6 +396,48 @@ fn execute(
             Ok(()) => format!("OK TENANT DROPPED {name}"),
             Err(msg) => format!("ERR {msg}"),
         },
+        Ok(Command::Health) => match router.tenant(tenant) {
+            Some(core) => protocol::format_health(tenant, &core.health()),
+            None => format!("ERR unknown tenant {tenant:?}"),
+        },
+        Ok(Command::DlqReplay) => match router.tenant(tenant) {
+            Some(core) => {
+                let entries = core.dlq_drain();
+                let n = entries.len() as u64;
+                let mut failed = 0u64;
+                for (_original_reason, dead_line) in entries {
+                    // Only plain current-tenant INGEST lines can replay
+                    // — a scoped line captured here was dead-lettered
+                    // by a *fan-out* failure and replaying it through
+                    // this tenant would misroute it.
+                    match protocol::parse(&dead_line) {
+                        Ok(Command::Ingest(Scope::Current, edges)) => {
+                            // Blocking ingest: replay is an operator
+                            // action, not the hot path — waiting beats
+                            // re-dead-lettering on a momentarily full
+                            // queue.
+                            if let Err(e) = core.ingest(edges) {
+                                core.dead_letter(&dead_line, &e.to_string());
+                                failed += 1;
+                            }
+                        }
+                        Ok(_) => {
+                            core.dead_letter(&dead_line, "not replayable: scoped or non-ingest");
+                            failed += 1;
+                        }
+                        Err(e) => {
+                            // Still malformed: put it back with the
+                            // fresh parse error (the original reason
+                            // is superseded).
+                            core.dead_letter(&dead_line, &e);
+                            failed += 1;
+                        }
+                    }
+                }
+                protocol::format_dlq_replayed(n, failed)
+            }
+            None => format!("ERR unknown tenant {tenant:?}"),
+        },
         Ok(Command::Use(name)) => {
             if router.contains(&name) {
                 *tenant = name.clone();
@@ -379,4 +464,101 @@ fn execute(
         }
     };
     (reply, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rept_core::ReptConfig;
+    use rept_gen::{barabasi_albert, GeneratorConfig};
+
+    fn tight_tuning() -> ServerTuning {
+        ServerTuning {
+            read_timeout: Duration::from_millis(20),
+            write_timeout: Duration::from_millis(50),
+            accept_retry: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn accept_error_backoff_recovers() {
+        // A nonblocking listener makes every idle `accept` fail with
+        // WouldBlock — the error branch must back off (not busy-spin)
+        // and still accept once a client actually arrives.
+        let cfg = RouterConfig::new(ServeConfig::new(ReptConfig::new(2, 2).with_seed(7)));
+        let router = Arc::new(TenantRouter::start(cfg).expect("router"));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler = {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let tuning = tight_tuning();
+            std::thread::spawn(move || accept_loop(listener, router, stop, tuning))
+        };
+        // Let the loop run through a stretch of failed accepts first.
+        std::thread::sleep(Duration::from_millis(60));
+
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        conn.write_all(b"FLUSH\n").expect("request");
+        let mut reply = String::new();
+        BufReader::new(conn.try_clone().expect("clone"))
+            .read_line(&mut reply)
+            .expect("reply");
+        assert!(
+            reply.starts_with("OK FLUSH"),
+            "served after backoff: {reply}"
+        );
+        drop(conn);
+
+        stop.store(true, Ordering::SeqCst);
+        handler.join().expect("acceptor exits on the stop flag");
+        Arc::try_unwrap(router).expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn write_timeout_unpins_the_handler_from_a_stalled_client() {
+        // One handler thread, a large top-k index, and a client that
+        // pipelines big queries without ever reading a byte: the reply
+        // write must hit the write timeout and drop that connection
+        // instead of pinning the only handler (and every later client)
+        // forever.
+        let edges = barabasi_albert(&GeneratorConfig::new(20_000, 3), 11);
+        let cfg = ServeConfig::new(ReptConfig::new(2, 2).with_seed(7)).with_top_k(100_000);
+        let server =
+            Server::start_router_tuned(RouterConfig::new(cfg), "127.0.0.1:0", 1, tight_tuning())
+                .expect("start");
+        server.core().ingest(edges).expect("ingest");
+        server.core().flush();
+
+        // Pipeline enough ~150 KB replies that they cannot all fit in
+        // the two kernel socket buffers: the server's reply write has
+        // to block, and the write timeout has to fire.
+        let mut stalled = TcpStream::connect(server.local_addr()).expect("connect");
+        stalled
+            .set_write_timeout(Some(Duration::from_millis(200)))
+            .expect("timeout");
+        for _ in 0..1000 {
+            if stalled.write_all(b"TOPK 100000\n").is_err() {
+                break;
+            }
+        }
+
+        let mut fresh = TcpStream::connect(server.local_addr()).expect("connect 2");
+        fresh
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        fresh.write_all(b"QUERY GLOBAL\n").expect("request");
+        let mut reply = String::new();
+        BufReader::new(fresh.try_clone().expect("clone"))
+            .read_line(&mut reply)
+            .expect("the stalled connection must be dropped, freeing the handler");
+        assert!(reply.starts_with("OK GLOBAL"), "reply: {reply}");
+        drop(stalled);
+        drop(fresh);
+        server.shutdown();
+    }
 }

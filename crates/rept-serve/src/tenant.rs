@@ -41,7 +41,7 @@ use rept_core::resume::{durable_write_rename, ResumableRun, SnapshotError};
 use rept_core::{Engine, ReptConfig, ReptEstimate};
 use rept_graph::edge::{Edge, NodeId};
 
-use crate::core::{ServeConfig, ServeCore};
+use crate::core::{IngestError, QuotaPolicy, ServeConfig, ServeCore};
 use crate::protocol::{validate_tenant_name, Scope, TenantOptions, DEFAULT_TENANT};
 use crate::snapshot::merge_top_k;
 
@@ -160,10 +160,17 @@ impl TenantRouter {
                 names.sort();
                 for name in names {
                     let dir = root.join(&name);
-                    let Some((rept, engine, interval)) = read_tenant_manifest(&dir)? else {
+                    let Some(meta) = read_tenant_manifest(&dir)? else {
                         continue; // unrelated directory: no manifest, no checkpoint
                     };
-                    let serve = router.tenant_serve_config(&name, rept, engine);
+                    let interval = meta.interval;
+                    let serve = router.tenant_serve_config(
+                        &name,
+                        meta.rept,
+                        meta.engine,
+                        meta.memory_budget,
+                        meta.quota,
+                    );
                     let core = match ServeCore::start(serve) {
                         Ok(core) => core,
                         // A manifest torn mid-value can still *parse* —
@@ -182,8 +189,15 @@ impl TenantRouter {
                                  ({e}); retrying from the checkpoint header"
                             );
                             let run = ResumableRun::from_checkpoint_file(&ckpt)?;
-                            let serve =
-                                router.tenant_serve_config(&name, *run.config(), run.engine());
+                            // A reservoir checkpoint implies the shed
+                            // policy — the only one that runs reservoirs.
+                            let serve = router.tenant_serve_config(
+                                &name,
+                                *run.config(),
+                                run.engine(),
+                                run.memory_budget(),
+                                QuotaPolicy::Shed,
+                            );
                             drop(run); // `start` re-reads the checkpoint itself
                             ServeCore::start(serve)?
                         }
@@ -220,10 +234,19 @@ impl TenantRouter {
     /// The resolved [`ServeConfig`] a tenant named `name` with estimator
     /// config `rept` and engine `engine` runs under: router base
     /// settings, per-tenant checkpoint path when a root is configured.
-    fn tenant_serve_config(&self, name: &str, rept: ReptConfig, engine: Engine) -> ServeConfig {
+    fn tenant_serve_config(
+        &self,
+        name: &str,
+        rept: ReptConfig,
+        engine: Engine,
+        memory_budget: Option<u64>,
+        quota: QuotaPolicy,
+    ) -> ServeConfig {
         let mut serve = self.cfg.base.clone();
         serve.rept = rept;
         serve.engine = engine;
+        serve.memory_budget = memory_budget;
+        serve.quota = quota;
         serve.checkpoint_path = self
             .cfg
             .root_dir
@@ -243,6 +266,24 @@ impl TenantRouter {
     ///
     /// A description when the options are invalid (e.g. `m < 2`).
     pub fn resolve_options(&self, opts: &TenantOptions) -> Result<(ReptConfig, Engine), String> {
+        self.resolve_options_full(opts).map(|(r, e, _, _)| (r, e))
+    }
+
+    /// [`Self::resolve_options`] including the overload-resilience
+    /// options: the memory budget (bytes) and the quota policy applied
+    /// when the budget is reached.
+    ///
+    /// # Errors
+    ///
+    /// A description when the options are invalid — including a
+    /// `quota=` policy without the `memory_budget=` it would enforce.
+    pub fn resolve_options_full(
+        &self,
+        opts: &TenantOptions,
+    ) -> Result<(ReptConfig, Engine, Option<u64>, QuotaPolicy), String> {
+        if opts.quota.is_some() && opts.memory_budget.is_none() {
+            return Err("quota policy requires a memory_budget to enforce".into());
+        }
         // Enforced here, not only in the wire parser: `TenantOptions`
         // is public API, and silently ignoring `seed` next to
         // `interval` would hand the caller a tenant on the wrong hash.
@@ -269,7 +310,12 @@ impl TenantRouter {
             // an interval tenant is exactly the batch driver's window i.
             rept = IntervalEstimator::new(rept.with_seed(base.seed)).config_for(i);
         }
-        Ok((rept, opts.engine.unwrap_or(self.cfg.base.engine)))
+        Ok((
+            rept,
+            opts.engine.unwrap_or(self.cfg.base.engine),
+            opts.memory_budget,
+            opts.quota.unwrap_or_default(),
+        ))
     }
 
     /// Creates a tenant from protocol options (see
@@ -281,8 +327,8 @@ impl TenantRouter {
     /// or a checkpoint/manifest failure.
     pub fn create(&self, name: &str, opts: &TenantOptions) -> Result<(), String> {
         validate_tenant_name(name)?;
-        let (rept, engine) = self.resolve_options(opts)?;
-        let serve = self.tenant_serve_config(name, rept, engine);
+        let (rept, engine, budget, quota) = self.resolve_options_full(opts)?;
+        let serve = self.tenant_serve_config(name, rept, engine, budget, quota);
         self.install(name.to_string(), serve, opts.interval)
             .map_err(|e| match e {
                 SnapshotError::Invalid("tenant already exists") => {
@@ -326,7 +372,7 @@ impl TenantRouter {
             // refuse to start (mismatched config).
             let _ = std::fs::remove_dir_all(dir);
             std::fs::create_dir_all(dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
-            write_tenant_manifest(dir, &serve.rept, serve.engine, interval)
+            write_tenant_manifest(dir, &serve, interval)
                 .map_err(|e| SnapshotError::Io(e.to_string()))?;
         }
         // Held across the core start: creation is rare and (with the
@@ -506,9 +552,9 @@ impl TenantRouter {
     /// A description when a named tenant is unknown (checked before any
     /// edge is queued, so a failed fan-out feeds no one).
     pub fn ingest(&self, scope: &Scope, edges: Vec<Edge>) -> Result<usize, String> {
-        let targets: Vec<Arc<ServeCore>> = match scope {
+        let targets: Vec<(String, Arc<ServeCore>)> = match scope {
             Scope::Current => return Err("unresolved Current scope".into()),
-            Scope::All => self.cores().into_iter().map(|(_, c)| c).collect(),
+            Scope::All => self.cores(),
             Scope::Named(names) => {
                 let tenants = self.tenants.lock().expect("tenant lock");
                 let mut targets = Vec::with_capacity(names.len());
@@ -516,32 +562,40 @@ impl TenantRouter {
                     let entry = tenants
                         .get(name)
                         .ok_or_else(|| format!("unknown tenant {name:?}"))?;
-                    targets.push(Arc::clone(&entry.core));
+                    targets.push((name.clone(), Arc::clone(&entry.core)));
                 }
                 targets
             }
         };
         let fed = targets.len();
-        // A journal-refused batch surfaces as an error, but the fan-out
-        // still offers the batch to every target first — durability is
-        // per tenant, and starving healthy tenants because one tenant's
-        // disk failed would turn a partial outage into a total one.
-        let mut failure: Option<String> = None;
+        // A refused batch (journal failure, quota) surfaces as an
+        // error, but the fan-out still offers the batch to every target
+        // first — durability and quotas are per tenant, and starving
+        // healthy tenants because one tenant's disk failed would turn a
+        // partial outage into a total one. *Every* failing tenant is
+        // reported, not just the first: the caller must know exactly
+        // which tenants to replay to.
+        let mut failures: Vec<(String, IngestError)> = Vec::new();
         let mut targets = targets.into_iter();
-        if let Some(last) = targets.next_back() {
-            for core in targets {
+        if let Some((last_name, last)) = targets.next_back() {
+            for (name, core) in targets {
                 if let Err(e) = core.ingest(edges.clone()) {
-                    failure.get_or_insert(e);
+                    failures.push((name, e));
                 }
             }
             // The last tenant takes the Vec itself.
             if let Err(e) = last.ingest(edges) {
-                failure.get_or_insert(e);
+                failures.push((last_name, e));
             }
         }
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(fed),
+        if failures.is_empty() {
+            Ok(fed)
+        } else {
+            Err(failures
+                .iter()
+                .map(|(name, e)| format!("tenant {name:?}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; "))
         }
     }
 
@@ -645,17 +699,27 @@ impl TenantRouter {
     }
 }
 
-/// Writes `<dir>/tenant.meta`: a line-oriented `key=value` manifest of
-/// the tenant's estimator configuration, engine and interval index —
-/// enough to reconstruct its [`ServeConfig`] at router startup even
-/// when no checkpoint was ever written (e.g. kill before the first
-/// checkpoint interval).
-fn write_tenant_manifest(
-    dir: &Path,
-    rept: &ReptConfig,
+/// A tenant directory's recorded configuration, as recovered at router
+/// startup from `tenant.meta` (or the checkpoint header fallback).
+struct TenantManifest {
+    rept: ReptConfig,
     engine: Engine,
     interval: Option<u64>,
+    memory_budget: Option<u64>,
+    quota: QuotaPolicy,
+}
+
+/// Writes `<dir>/tenant.meta`: a line-oriented `key=value` manifest of
+/// the tenant's estimator configuration, engine, interval index and
+/// overload options — enough to reconstruct its [`ServeConfig`] at
+/// router startup even when no checkpoint was ever written (e.g. kill
+/// before the first checkpoint interval).
+fn write_tenant_manifest(
+    dir: &Path,
+    serve: &ServeConfig,
+    interval: Option<u64>,
 ) -> std::io::Result<()> {
+    let rept = &serve.rept;
     let mut meta = String::new();
     meta.push_str(&format!("m={}\n", rept.m));
     meta.push_str(&format!("c={}\n", rept.c));
@@ -669,9 +733,13 @@ fn write_tenant_manifest(
             EtaMode::StrictNonLast => "strict",
         }
     ));
-    meta.push_str(&format!("engine={}\n", engine.name()));
+    meta.push_str(&format!("engine={}\n", serve.engine.name()));
     if let Some(i) = interval {
         meta.push_str(&format!("interval={i}\n"));
+    }
+    if let Some(b) = serve.memory_budget {
+        meta.push_str(&format!("memory_budget={b}\n"));
+        meta.push_str(&format!("quota={}\n", serve.quota.name()));
     }
     // Durable write-then-rename, exactly like the checkpoints: without
     // the fsync a power loss can persist the rename over unsynced data,
@@ -682,9 +750,7 @@ fn write_tenant_manifest(
 /// Reads a tenant directory's configuration: the `tenant.meta` manifest
 /// when present, else recovered from the checkpoint header. `Ok(None)`
 /// when the directory holds neither (not a tenant directory).
-fn read_tenant_manifest(
-    dir: &Path,
-) -> Result<Option<(ReptConfig, Engine, Option<u64>)>, SnapshotError> {
+fn read_tenant_manifest(dir: &Path) -> Result<Option<TenantManifest>, SnapshotError> {
     let meta_path = dir.join(TENANT_META);
     let parsed = match std::fs::read_to_string(&meta_path) {
         Ok(text) => match parse_tenant_manifest(&text) {
@@ -721,14 +787,22 @@ fn read_tenant_manifest(
     let ckpt = dir.join(TENANT_CHECKPOINT);
     if ckpt.is_file() {
         let run = ResumableRun::from_checkpoint_file(&ckpt)?;
-        return Ok(Some((*run.config(), run.engine(), None)));
+        return Ok(Some(TenantManifest {
+            rept: *run.config(),
+            engine: run.engine(),
+            interval: None,
+            // A reservoir checkpoint implies the shed policy — the
+            // only one that runs reservoirs.
+            memory_budget: run.memory_budget(),
+            quota: QuotaPolicy::Shed,
+        }));
     }
     Ok(None)
 }
 
 /// Parses the `key=value` manifest body written by
 /// [`write_tenant_manifest`].
-fn parse_tenant_manifest(text: &str) -> Result<(ReptConfig, Engine, Option<u64>), SnapshotError> {
+fn parse_tenant_manifest(text: &str) -> Result<TenantManifest, SnapshotError> {
     let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
     for line in text.lines() {
         if let Some((k, v)) = line.split_once('=') {
@@ -759,7 +833,25 @@ fn parse_tenant_manifest(text: &str) -> Result<(ReptConfig, Engine, Option<u64>)
         .and_then(|n| Engine::from_name(n))
         .ok_or(SnapshotError::Invalid("tenant manifest engine"))?;
     let interval = fields.get("interval").and_then(|v| v.parse().ok());
-    Ok((rept, engine, interval))
+    let memory_budget = match fields.get("memory_budget") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| SnapshotError::Invalid("tenant manifest memory_budget"))?,
+        ),
+        None => None,
+    };
+    let quota = match fields.get("quota") {
+        Some(v) => QuotaPolicy::from_name(v)
+            .ok_or(SnapshotError::Invalid("tenant manifest quota policy"))?,
+        None => QuotaPolicy::default(),
+    };
+    Ok(TenantManifest {
+        rept,
+        engine,
+        interval,
+        memory_budget,
+        quota,
+    })
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ fn protocol_doc_covers_every_command_variant() {
         }
     }
     assert!(
-        variants.len() >= 14,
+        variants.len() >= 16,
         "variant scan looks broken: {variants:?}"
     );
 
@@ -149,6 +149,10 @@ fn readme_bench_tables_cite_committed_results() {
     assert!(
         serve.contains("\"journal_overhead\""),
         "BENCH_serve.json lost its journal_overhead section"
+    );
+    assert!(
+        serve.contains("\"quota_enforcement\""),
+        "BENCH_serve.json lost its quota_enforcement section"
     );
     let throughput = read("BENCH_throughput.json");
     assert!(throughput.contains("\"host_cores\""));
