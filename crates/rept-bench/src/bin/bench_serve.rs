@@ -36,6 +36,13 @@
 //! accepts, where stored bytes end up relative to the budget, and the
 //! ingest rate with admission checks on.
 //!
+//! A sixth section measures **metrics overhead**: the same in-process
+//! ingest with the timing instrumentation disabled
+//! (`with_metrics(false)`, the baseline — counters stay live either
+//! way) and fully enabled (queue-wait/apply histograms + slow-op
+//! tracing, the default). Each variant takes the best of three runs;
+//! the committed ratio must stay ≥ 0.95.
+//!
 //! Run: `cargo run --release --bin bench_serve [-- --out FILE --nodes N]`
 //! (default output: `BENCH_serve.json`).
 
@@ -358,6 +365,45 @@ fn main() {
         }
     }
 
+    // Metrics overhead: the identical in-process ingest with timing
+    // instrumentation off (baseline) and on (default). Counters and
+    // gauges record in both runs — the flag only gates clock reads,
+    // histograms and the trace ring — so the pair isolates exactly the
+    // cost the observability layer adds to the hot path. Best of three
+    // runs per variant, to keep the committed ratio out of scheduler
+    // noise.
+    let mut metrics_rows = Vec::new();
+    for metrics in [false, true] {
+        let mut best_rate = 0.0f64;
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..3 {
+            let cfg = ReptConfig::new(M, M).with_seed(7);
+            let core = ServeCore::start(
+                ServeConfig::new(cfg)
+                    .with_snapshot_every(SNAPSHOT_EVERY)
+                    .with_metrics(metrics),
+            )
+            .expect("start core");
+            let start = Instant::now();
+            for chunk in stream.chunks(INGEST_CHUNK) {
+                core.ingest(chunk.to_vec()).expect("ingest");
+            }
+            core.flush();
+            let secs = start.elapsed().as_secs_f64();
+            core.shutdown();
+            let rate = stream.len() as f64 / secs;
+            if rate > best_rate {
+                best_rate = rate;
+                best_secs = secs;
+            }
+        }
+        let label = if metrics { "on" } else { "off" };
+        eprintln!("  metrics {label:>3}: {best_rate:>10.0} edges/s ({best_secs:.2} s, best of 3)");
+        metrics_rows.push((label, best_secs, best_rate));
+    }
+    let metrics_ratio = metrics_rows[1].2 / metrics_rows[0].2;
+    eprintln!("  metrics overhead: instrumented/baseline = {metrics_ratio:.3}");
+
     // Hand-rolled JSON, matching the workspace's no-serde convention.
     let mut json = String::new();
     json.push_str("{\n");
@@ -430,7 +476,21 @@ fn main() {
             if i + 1 < quota_rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]}\n}\n");
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"metrics_overhead\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
+         \"batch_edges\": {INGEST_CHUNK}, \"transport\": \"in-process\", \"rows\": [\n"
+    ));
+    for (i, (label, secs, rate)) in metrics_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"metrics\": \"{label}\", \"ingest_seconds\": {secs:.6}, \
+             \"ingest_edges_per_sec\": {rate:.1}}}{}\n",
+            if i + 1 < metrics_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ], \"instrumented_over_baseline\": {metrics_ratio:.4}}}\n}}\n"
+    ));
 
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

@@ -16,6 +16,12 @@
 //!   (the spam-detection consumption pattern).
 //! * [`latency`] — [`LatencyRecorder`]: per-thread latency samples with
 //!   nearest-rank percentiles (the serving bench's p50/p99).
+//! * [`registry`] — lock-light always-on production metrics:
+//!   [`registry::Counter`], [`registry::Gauge`] and a fixed-bucket
+//!   log₂-scale [`registry::Histogram`] (bounded memory, mergeable,
+//!   p50/p90/p99/max).
+//! * [`trace`] — [`trace::TraceRing`]: bounded ring of structured slow-op
+//!   events with monotonic timestamps and a configurable threshold.
 //! * [`montecarlo`] — trial runners tying estimator closures to ground
 //!   truth.
 //! * [`timer`] — wall-clock helpers and the *simulated* parallel runtime
@@ -31,12 +37,16 @@ pub mod latency;
 pub mod local_error;
 pub mod montecarlo;
 pub mod ranking;
+pub mod registry;
 pub mod report;
 pub mod timer;
+pub mod trace;
 pub mod welford;
 
 pub use error::ErrorStats;
 pub use latency::LatencyRecorder;
 pub use local_error::LocalErrorAccumulator;
 pub use montecarlo::{run_global_trials, run_trials, TrialOutput};
+pub use registry::{Counter, Gauge, Histogram};
+pub use trace::{TraceEvent, TraceRing};
 pub use welford::Welford;

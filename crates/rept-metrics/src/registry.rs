@@ -1,0 +1,316 @@
+//! Lock-light metric primitives: [`Counter`], [`Gauge`], and a fixed-bucket
+//! log₂-scale [`Histogram`].
+//!
+//! All three are plain atomics — recording on a hot path is a handful of
+//! `Relaxed` fetch-adds, never a lock — and all three are mergeable, so a
+//! router (or a future shard coordinator) can fold per-tenant instances into
+//! a fleet-wide aggregate without touching the writers.
+//!
+//! The histogram trades resolution for bounded memory: 65 fixed buckets,
+//! where bucket `i > 0` holds every value whose bit length is `i` (i.e. the
+//! range `[2^(i-1), 2^i - 1]`) and bucket 0 holds the value zero. Quantiles
+//! are nearest-rank over the bucket counts and return the bucket's upper
+//! bound, clamped to the exact observed maximum — so reported percentiles
+//! are never below the true percentile and never above the true max.
+//! Merging two histograms is exact at bucket granularity: merge-then-query
+//! equals record-everything-into-one-then-query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: one for zero plus one per bit length 1..=64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event counter.
+///
+/// Wraps a single relaxed `AtomicU64`; `inc`/`add` are safe from any thread.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Create a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous reading (queue depth, bytes on disk, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Create a gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the reading.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the reading.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` from the reading, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-memory log₂-bucket histogram with atomic recording.
+///
+/// Memory is a constant 68 machine words regardless of how many values are
+/// recorded. Recording is three relaxed fetch-adds plus one fetch-max;
+/// reading (quantiles, merge, exposition) never blocks writers.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: 0 for zero, else the value's bit length.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole microseconds (saturating).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded value (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Nearest-rank quantile for `q` in `(0, 1]`: the upper bound of the
+    /// bucket holding the rank-`⌈q·count⌉` value, clamped to the exact
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Histogram::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one. Exact at bucket granularity:
+    /// the merged histogram answers every query as if all values had been
+    /// recorded here directly.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-bucket counts (index = bit length of the value).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(3);
+        g.sub(20);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+    }
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // True p50 is 500; the bucket upper bound for bit-length 9 is 511.
+        assert!(h.p50() >= 500 && h.p50() <= 511, "p50={}", h.p50());
+        // p99 rank 990 lands in the top bucket, clamped to the exact max.
+        assert!(h.p99() >= 990 && h.p99() <= 1000, "p99={}", h.p99());
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_at_bucket_level() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let single = Histogram::new();
+        for v in [0u64, 1, 7, 9, 100, 5000] {
+            a.record(v);
+            single.record(v);
+        }
+        for v in [2u64, 3, 8, 1_000_000] {
+            b.record(v);
+            single.record(v);
+        }
+        let merged = Histogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.bucket_counts(), single.bucket_counts());
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.sum(), single.sum());
+        assert_eq!(merged.max(), single.max());
+        assert_eq!(merged.p99(), single.p99());
+    }
+
+    #[test]
+    fn record_duration_uses_micros() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_millis(3));
+        assert_eq!(h.sum(), 3000);
+        assert_eq!(h.max(), 3000);
+    }
+}

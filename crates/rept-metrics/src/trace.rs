@@ -1,0 +1,170 @@
+//! Bounded ring buffer of structured slow-operation events.
+//!
+//! A [`TraceRing`] records only operations that took at least a configured
+//! threshold, so the common fast path pays a single `Duration` comparison
+//! and never touches the lock. Slow events carry a monotonic timestamp
+//! (microseconds since the ring was created), the operation name, the
+//! duration, and a lazily-built detail string. The ring holds a fixed
+//! number of events; when full, the oldest event is dropped and counted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One recorded slow operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the owning ring was created (monotonic clock).
+    pub at_micros: u64,
+    /// Operation name, e.g. `"fsync"`, `"checkpoint"`, `"apply"`.
+    pub op: &'static str,
+    /// How long the operation took, in microseconds.
+    pub micros: u64,
+    /// Free-form context, e.g. `"edges=512"`. May be empty.
+    pub detail: String,
+}
+
+/// Fixed-capacity ring of slow-op [`TraceEvent`]s.
+///
+/// Below-threshold operations return before taking the lock, so tracing
+/// costs one comparison on the hot path. Reading drains: [`TraceRing::tail`]
+/// hands the newest events to the caller and empties the ring, so repeated
+/// scrapes never re-report the same event.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    threshold: Duration,
+    epoch: Instant,
+    events: Mutex<VecDeque<TraceEvent>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// Create a ring holding up to `capacity` events (at least 1), keeping
+    /// only operations that took `threshold` or longer.
+    pub fn new(capacity: usize, threshold: Duration) -> Self {
+        TraceRing {
+            capacity: capacity.max(1),
+            threshold,
+            epoch: Instant::now(),
+            events: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured slow-op threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Record `op` if it took at least the threshold. `detail` is only
+    /// invoked for events that are actually kept, so callers can pass a
+    /// formatting closure without paying for it on the fast path.
+    pub fn record(&self, op: &'static str, took: Duration, detail: impl FnOnce() -> String) {
+        if took < self.threshold {
+            return;
+        }
+        let event = TraceEvent {
+            at_micros: u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+            op,
+            micros: u64::try_from(took.as_micros()).unwrap_or(u64::MAX),
+            detail: detail(),
+        };
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.events.lock().expect("trace ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Drain the ring: return the newest `n` events in oldest-first order
+    /// and clear the ring. Events beyond the newest `n` are discarded and
+    /// counted as dropped.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut ring = self.events.lock().expect("trace ring poisoned");
+        let drained: VecDeque<TraceEvent> = std::mem::take(&mut *ring);
+        drop(ring);
+        let len = drained.len();
+        let keep = n.min(len);
+        let skipped = (len - keep) as u64;
+        if skipped > 0 {
+            self.dropped.fetch_add(skipped, Ordering::Relaxed);
+        }
+        drained.into_iter().skip(len - keep).collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace ring poisoned").len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events recorded since creation (kept or later evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to capacity eviction or an over-full drain.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_is_ignored() {
+        let ring = TraceRing::new(8, Duration::from_millis(10));
+        ring.record("fast", Duration::from_millis(1), || unreachable!());
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let ring = TraceRing::new(2, Duration::ZERO);
+        for i in 0..3u32 {
+            ring.record("op", Duration::from_micros(5), || format!("i={i}"));
+        }
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.tail(10);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].detail, "i=1");
+        assert_eq!(events[1].detail, "i=2");
+    }
+
+    #[test]
+    fn tail_drains_and_limits() {
+        let ring = TraceRing::new(8, Duration::ZERO);
+        for i in 0..5u32 {
+            ring.record("op", Duration::from_micros(i as u64 + 1), String::new);
+        }
+        let events = ring.tail(2);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].micros, 4);
+        assert_eq!(events[1].micros, 5);
+        assert_eq!(ring.dropped(), 3, "over-full drain counts as dropped");
+        assert!(ring.tail(10).is_empty(), "tail drains the ring");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let ring = TraceRing::new(4, Duration::ZERO);
+        ring.record("a", Duration::from_micros(1), String::new);
+        ring.record("b", Duration::from_micros(1), String::new);
+        let events = ring.tail(4);
+        assert!(events[0].at_micros <= events[1].at_micros);
+    }
+}

@@ -558,13 +558,68 @@ impl Client {
 
     /// `HEALTH` — the current tenant's pressure gauges as the raw reply
     /// line (`state= queue= capacity= bytes= budget= journal_lag=
-    /// dlq=`).
+    /// dlq= sync= last_group=`).
     ///
     /// # Errors
     ///
     /// Socket/protocol errors.
     pub fn health(&mut self) -> std::io::Result<String> {
         self.request("HEALTH")
+    }
+
+    /// Sends a request whose reply is `OK <verb> lines=<n>` followed by
+    /// `n` body lines, and returns those body lines.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, a malformed header, or a connection
+    /// closed mid-body.
+    fn request_block(&mut self, line: &str) -> std::io::Result<Vec<String>> {
+        let header = self.request(line)?;
+        let n: usize = Self::field(&header, "lines")?;
+        let mut body = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-reply",
+                ));
+            }
+            body.push(l.trim_end().to_string());
+        }
+        Ok(body)
+    }
+
+    /// `METRICS` — the current tenant's Prometheus-style exposition as
+    /// one multi-line string (one sample or `# TYPE` header per line).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        Ok(self.request_block("METRICS")?.join("\n"))
+    }
+
+    /// `METRICS *` — the exposition for every tenant, including the
+    /// `tenant="_all"` cross-tenant aggregate rows.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn metrics_all(&mut self) -> std::io::Result<String> {
+        Ok(self.request_block("METRICS *")?.join("\n"))
+    }
+
+    /// `TRACE TAIL n` — drains the current tenant's slow-op trace ring:
+    /// up to `n` newest events, oldest first, one
+    /// `at_us= op= micros= [detail]` line each.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn trace_tail(&mut self, n: usize) -> std::io::Result<Vec<String>> {
+        self.request_block(&format!("TRACE TAIL {n}"))
     }
 
     /// `DLQ REPLAY` — drains the current tenant's dead-letter file back

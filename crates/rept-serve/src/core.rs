@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use rept_core::reservoir::MIN_MEMORY_BUDGET;
 use rept_core::resume::{ResumableRun, SnapshotError};
@@ -53,7 +54,11 @@ use rept_graph::edge::Edge;
 
 use crate::dlq::DeadLetterQueue;
 use crate::journal::{Journal, SyncPolicy};
+use crate::metrics::ServeMetrics;
 use crate::snapshot::{DurabilityStats, Published, Snapshot};
+
+/// Slow-op trace ring capacity per tenant (events, not bytes).
+const TRACE_CAPACITY: usize = 256;
 
 /// What happens to ingest once a tenant with a
 /// [`ServeConfig::memory_budget`] reaches it.
@@ -157,6 +162,13 @@ pub struct Health {
     pub journal_lag_bytes: u64,
     /// Rejected lines captured in the dead-letter file.
     pub dlq: u64,
+    /// Active journal fsync policy ([`SyncPolicy::name`]), or `"none"`
+    /// when the journal is off — operators confirm the durability mode
+    /// from `HEALTH` without reading the manifest.
+    pub sync: &'static str,
+    /// Size, in batches, of the most recent group commit (0 before the
+    /// first ingest).
+    pub last_group: u64,
 }
 
 /// Live pressure gauges shared between the ingest thread (writer) and
@@ -167,7 +179,23 @@ struct Gauges {
     queue_depth: AtomicU64,
     stored_bytes: AtomicU64,
     journal_bytes: AtomicU64,
+    journal_segments: AtomicU64,
     degraded: AtomicBool,
+}
+
+/// Point-in-time durability readings backed by the same live gauges as
+/// [`ServeCore::health`] — what `STATS` / `JOURNAL STATS` report for the
+/// fields that move between snapshot publications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Bytes the estimator currently stores for edges.
+    pub stored_bytes: u64,
+    /// Journal bytes on disk not yet retired by a checkpoint.
+    pub journal_bytes: u64,
+    /// Journal segment files currently on disk.
+    pub journal_segments: u64,
+    /// Rejected ingest lines captured in the dead-letter file.
+    pub dlq: u64,
 }
 
 /// Configuration of a [`ServeCore`].
@@ -221,6 +249,15 @@ pub struct ServeConfig {
     /// [`QuotaPolicy::Shed`] — the bounded-memory reservoir engine).
     /// Ignored without a budget.
     pub quota: QuotaPolicy,
+    /// Record timing histograms and slow-op traces on the hot paths
+    /// (default on). Counters and gauges stay live either way — they
+    /// back `HEALTH`/`STATS`; turning this off only removes the
+    /// clock reads and histogram updates (the bench's uninstrumented
+    /// baseline).
+    pub metrics: bool,
+    /// Operations at or above this duration land in the slow-op trace
+    /// ring drained by `TRACE TAIL` (default 50 ms).
+    pub slow_op_threshold: Duration,
 }
 
 impl ServeConfig {
@@ -242,7 +279,21 @@ impl ServeConfig {
             journal_sync: SyncPolicy::PerRecord,
             memory_budget: None,
             quota: QuotaPolicy::default(),
+            metrics: true,
+            slow_op_threshold: Duration::from_millis(50),
         }
+    }
+
+    /// Enables or disables timing instrumentation (see [`Self::metrics`]).
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Sets the slow-op trace threshold (see [`Self::slow_op_threshold`]).
+    pub fn with_slow_op_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_op_threshold = threshold;
+        self
     }
 
     /// Bounds the tenant's stored-edge bytes (see
@@ -339,7 +390,8 @@ enum Control {
     /// Apply a batch of stream edges. The sender, when present, is
     /// acked once the batch is admitted and journaled (and, per policy,
     /// fsynced) — `Err` means the batch was refused and not applied.
-    Ingest(Vec<Edge>, IngestAck),
+    /// The `Instant` is the enqueue time, for the queue-wait histogram.
+    Ingest(Vec<Edge>, IngestAck, Instant),
     /// Publish a fresh snapshot, then reply with the position — a
     /// barrier: everything queued before it is applied first.
     Flush(SyncSender<u64>),
@@ -364,6 +416,8 @@ pub struct ServeCore {
     dlq: Option<Arc<DeadLetterQueue>>,
     /// Live pressure gauges backing [`Self::health`].
     gauges: Arc<Gauges>,
+    /// Per-tenant counters/histograms/trace — the `METRICS` payload.
+    metrics: Arc<ServeMetrics>,
 }
 
 impl ServeCore {
@@ -470,11 +524,22 @@ impl ServeCore {
             journal.as_ref().map_or(0, Journal::bytes),
             Ordering::Relaxed,
         );
+        gauges.journal_segments.store(
+            journal.as_ref().map_or(0, Journal::segments),
+            Ordering::Relaxed,
+        );
+        let metrics = Arc::new(ServeMetrics::new(TRACE_CAPACITY, cfg.slow_op_threshold));
+        if cfg.metrics {
+            if let Some(j) = journal.as_mut() {
+                j.instrument(Arc::clone(&metrics));
+            }
+        }
         let ckpt_disabled = Arc::new(AtomicBool::new(false));
         let thread_published = Arc::clone(&published);
         let thread_cfg = cfg.clone();
         let thread_disabled = Arc::clone(&ckpt_disabled);
         let thread_gauges = Arc::clone(&gauges);
+        let thread_metrics = Arc::clone(&metrics);
         let ingest = std::thread::Builder::new()
             .name("rept-serve-ingest".into())
             .spawn(move || {
@@ -487,6 +552,7 @@ impl ServeCore {
                     thread_cfg,
                     thread_disabled,
                     thread_gauges,
+                    thread_metrics,
                 )
             })
             .expect("spawn ingest thread");
@@ -499,6 +565,7 @@ impl ServeCore {
             ckpt_disabled,
             dlq,
             gauges,
+            metrics,
         })
     }
 
@@ -545,14 +612,14 @@ impl ServeCore {
         }
         if !self.needs_ack() {
             self.tx
-                .send(Control::Ingest(edges, None))
+                .send(Control::Ingest(edges, None, Instant::now()))
                 .expect("ingest thread alive");
             self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
         let (ack_tx, ack_rx) = sync_channel(1);
         self.tx
-            .send(Control::Ingest(edges, Some(ack_tx)))
+            .send(Control::Ingest(edges, Some(ack_tx), Instant::now()))
             .expect("ingest thread alive");
         self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
         ack_rx.recv().expect("ingest thread acks")
@@ -572,22 +639,34 @@ impl ServeCore {
             return Ok(());
         }
         if !self.needs_ack() {
-            return match self.tx.try_send(Control::Ingest(edges, None)) {
+            return match self
+                .tx
+                .try_send(Control::Ingest(edges, None, Instant::now()))
+            {
                 Ok(()) => {
                     self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
                     Ok(())
                 }
-                Err(TrySendError::Full(_)) => Err(IngestError::Busy),
+                Err(TrySendError::Full(_)) => {
+                    self.metrics.busy_rejections.inc();
+                    Err(IngestError::Busy)
+                }
                 Err(TrySendError::Disconnected(_)) => panic!("ingest thread alive"),
             };
         }
         let (ack_tx, ack_rx) = sync_channel(1);
-        match self.tx.try_send(Control::Ingest(edges, Some(ack_tx))) {
+        match self
+            .tx
+            .try_send(Control::Ingest(edges, Some(ack_tx), Instant::now()))
+        {
             Ok(()) => {
                 self.gauges.queue_depth.fetch_add(1, Ordering::Relaxed);
                 ack_rx.recv().expect("ingest thread acks")
             }
-            Err(TrySendError::Full(_)) => Err(IngestError::Busy),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.busy_rejections.inc();
+                Err(IngestError::Busy)
+            }
             Err(TrySendError::Disconnected(_)) => panic!("ingest thread alive"),
         }
     }
@@ -604,7 +683,30 @@ impl ServeCore {
             memory_budget: self.cfg.memory_budget.unwrap_or(0),
             journal_lag_bytes: self.gauges.journal_bytes.load(Ordering::Relaxed),
             dlq: self.dlq_count(),
+            sync: if self.cfg.journal {
+                self.cfg.journal_sync.name()
+            } else {
+                "none"
+            },
+            last_group: self.metrics.last_group_commit.get(),
         }
+    }
+
+    /// Live durability readings for `STATS` / `JOURNAL STATS` — backed
+    /// by the same gauges as [`Self::health`], so an idle tenant reports
+    /// current journal/DLQ state instead of the last snapshot's.
+    pub fn live_stats(&self) -> LiveStats {
+        LiveStats {
+            stored_bytes: self.gauges.stored_bytes.load(Ordering::Relaxed),
+            journal_bytes: self.gauges.journal_bytes.load(Ordering::Relaxed),
+            journal_segments: self.gauges.journal_segments.load(Ordering::Relaxed),
+            dlq: self.dlq_count(),
+        }
+    }
+
+    /// The tenant's metric set (counters, histograms, slow-op trace).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
     }
 
     /// Drains the dead-letter file for replay: returns every captured
@@ -620,6 +722,7 @@ impl ServeCore {
     pub fn dead_letter(&self, line: &str, reason: &str) {
         if let Some(dlq) = &self.dlq {
             dlq.record(line, reason);
+            self.metrics.dead_letters.inc();
         }
     }
 
@@ -763,7 +866,11 @@ fn ingest_loop(
     cfg: ServeConfig,
     ckpt_disabled: Arc<AtomicBool>,
     gauges: Arc<Gauges>,
+    metrics: Arc<ServeMetrics>,
 ) -> ResumableRun {
+    // Gates clock reads and histogram/trace recording (counters and the
+    // health gauges stay live regardless — see `ServeConfig::metrics`).
+    let timed = cfg.metrics;
     let mut seq = 0u64;
     let mut checkpoints = 0u64;
     let mut since_snapshot = 0u64;
@@ -791,6 +898,7 @@ fn ingest_loop(
         if *last == Some((run.position(), checkpoints)) {
             return;
         }
+        let started = timed.then(Instant::now);
         *seq += 1;
         let mut snap = Snapshot::from_estimate(
             &run.estimate(),
@@ -810,6 +918,14 @@ fn ingest_loop(
         }
         published.store(snap);
         *last = Some((run.position(), checkpoints));
+        metrics.snapshots_published.inc();
+        if let Some(started) = started {
+            let took = started.elapsed();
+            metrics.publish_micros.record_duration(took);
+            metrics
+                .trace
+                .record("publish", took, || format!("position={}", run.position()));
+        }
     };
     let write_checkpoint = |run: &ResumableRun,
                             last_pos: &mut Option<u64>,
@@ -841,8 +957,19 @@ fn ingest_loop(
                 }
             }
         }
+        let started = timed.then(Instant::now);
         run.checkpoint_to_file(path)
             .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+        metrics.checkpoints_written.inc();
+        metrics.checkpoint_bytes.add(bytes);
+        if let Some(started) = started {
+            let took = started.elapsed();
+            metrics.checkpoint_micros.record_duration(took);
+            metrics.trace.record("checkpoint", took, || {
+                format!("position={} bytes={bytes}", run.position())
+            });
+        }
         *last_pos = Some(run.position());
         // Unconditional: lowering `checkpoint_keep` on a redeploy
         // must also clean up rotated files a higher setting left.
@@ -908,17 +1035,17 @@ fn ingest_loop(
             },
         };
         match msg {
-            Control::Ingest(batch, ack) => {
+            Control::Ingest(batch, ack, queued_at) => {
                 // Group commit: while this batch's fsync would be in
                 // flight, later batches may already be queued — fold
                 // them into one durability barrier so N concurrent
                 // producers share a single fsync instead of paying one
                 // each. Only worth it when appends fsync individually.
-                let mut group = vec![(batch, ack)];
+                let mut group = vec![(batch, ack, queued_at)];
                 if journal.is_some() && cfg.journal_sync == SyncPolicy::PerRecord {
                     while group.len() < cfg.channel_capacity.max(1) {
                         match rx.try_recv() {
-                            Ok(Control::Ingest(b, a)) => group.push((b, a)),
+                            Ok(Control::Ingest(b, a, q)) => group.push((b, a, q)),
                             Ok(other) => {
                                 pending = Some(other);
                                 break;
@@ -928,14 +1055,22 @@ fn ingest_loop(
                     }
                 }
                 let grouped = group.len() > 1;
+                metrics.last_group_commit.set(group.len() as u64);
+                metrics.group_commit_batches.record(group.len() as u64);
                 // Phase 1 — admit and journal each member (deferring
                 // the fsync when grouped). `next_pos` tracks the
                 // journal position ahead of the deferred applies.
                 let mut accepted: Vec<(Vec<Edge>, IngestAck)> = Vec::new();
                 let mut next_pos = run.position();
-                for (batch, ack) in group {
+                for (batch, ack, queued_at) in group {
                     gauges.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    if timed {
+                        metrics
+                            .queue_wait_micros
+                            .record_duration(queued_at.elapsed());
+                    }
                     if let Err(reason) = admit(&run) {
+                        metrics.quota_rejections.inc();
                         match &ack {
                             Some(ack) => drop(ack.send(Err(IngestError::Quota(reason)))),
                             None => eprintln!("rept-serve: QUOTA {reason}; batch dropped"),
@@ -952,6 +1087,7 @@ fn ingest_loop(
                             j.append(next_pos, &batch)
                         };
                         if let Err(e) = res {
+                            metrics.rejected_batches.inc();
                             let msg = format!("journal append failed: {e}");
                             match &ack {
                                 Some(ack) => drop(ack.send(Err(IngestError::Rejected(msg)))),
@@ -970,6 +1106,7 @@ fn ingest_loop(
                 if grouped {
                     if let Some(j) = journal.as_mut() {
                         if let Err(e) = j.sync() {
+                            metrics.rejected_batches.add(accepted.len() as u64);
                             let msg = format!("journal sync failed: {e}");
                             for (_, ack) in &accepted {
                                 match ack {
@@ -989,7 +1126,15 @@ fn ingest_loop(
                         let _ = ack.send(Ok(()));
                     }
                     let n = batch.len() as u64;
+                    let started = timed.then(Instant::now);
                     run.process_batch(&batch);
+                    metrics.ingest_batches.inc();
+                    metrics.ingest_edges.add(n);
+                    if let Some(started) = started {
+                        let took = started.elapsed();
+                        metrics.apply_micros.record_duration(took);
+                        metrics.trace.record("apply", took, || format!("edges={n}"));
+                    }
                     since_snapshot += n;
                     since_checkpoint += n;
                 }
@@ -1020,6 +1165,10 @@ fn ingest_loop(
                     journal.as_ref().map_or(0, Journal::bytes),
                     Ordering::Relaxed,
                 );
+                gauges.journal_segments.store(
+                    journal.as_ref().map_or(0, Journal::segments),
+                    Ordering::Relaxed,
+                );
             }
             Control::Flush(reply) => {
                 if let Some(j) = journal.as_mut() {
@@ -1029,6 +1178,10 @@ fn ingest_loop(
                 }
                 gauges.journal_bytes.store(
                     journal.as_ref().map_or(0, Journal::bytes),
+                    Ordering::Relaxed,
+                );
+                gauges.journal_segments.store(
+                    journal.as_ref().map_or(0, Journal::segments),
                     Ordering::Relaxed,
                 );
                 publish(
@@ -1046,6 +1199,10 @@ fn ingest_loop(
                 checkpoints += result.is_ok() as u64;
                 gauges.journal_bytes.store(
                     journal.as_ref().map_or(0, Journal::bytes),
+                    Ordering::Relaxed,
+                );
+                gauges.journal_segments.store(
+                    journal.as_ref().map_or(0, Journal::segments),
                     Ordering::Relaxed,
                 );
                 publish(

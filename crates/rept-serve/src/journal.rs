@@ -44,8 +44,12 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use rept_graph::edge::Edge;
+
+use crate::metrics::ServeMetrics;
 
 /// Magic bytes opening every journal segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"RJL1";
@@ -152,6 +156,9 @@ pub struct Journal {
     next_position: u64,
     /// Unsynced bytes are sitting in the active segment (Batched only).
     unsynced: bool,
+    /// When set, append/fsync durations and counts are recorded here
+    /// (the owning core's metric set — see [`Journal::instrument`]).
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 /// What [`Journal::recover`] found on disk.
@@ -319,6 +326,7 @@ impl Journal {
             closed: Vec::new(),
             next_position: base,
             unsynced: false,
+            metrics: None,
         };
         let mut replay: Vec<Edge> = Vec::new();
         let mut dropped_tail = false;
@@ -470,6 +478,29 @@ impl Journal {
         self.append_inner(start, edges, false)
     }
 
+    /// Routes append/fsync timings and counts into `metrics` from now
+    /// on. Called once by [`crate::core::ServeCore::start`] when timing
+    /// instrumentation is enabled; an uninstrumented journal records
+    /// nothing and reads no clocks.
+    pub(crate) fn instrument(&mut self, metrics: Arc<ServeMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Times an fsync of `file` and records it (duration histogram,
+    /// counter, slow-op trace) when instrumented.
+    fn timed_sync_data(metrics: Option<&Arc<ServeMetrics>>, file: &File) -> std::io::Result<()> {
+        let Some(m) = metrics else {
+            return file.sync_data();
+        };
+        let started = Instant::now();
+        file.sync_data()?;
+        let took = started.elapsed();
+        m.journal_fsyncs.inc();
+        m.fsync_micros.record_duration(took);
+        m.trace.record("fsync", took, String::new);
+        Ok(())
+    }
+
     /// Appends one batch like [`Self::append`] but **defers the fsync**
     /// even under [`SyncPolicy::PerRecord`]: the record is buffered and
     /// covered by the next [`Self::sync`] call. This is the group-commit
@@ -513,6 +544,7 @@ impl Journal {
         {
             self.rotate()?;
         }
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let mut payload = Vec::with_capacity(PAYLOAD_PREFIX + edges.len() * EDGE_BYTES);
         payload.extend_from_slice(&start.to_le_bytes());
         for e in edges {
@@ -527,8 +559,14 @@ impl Journal {
         active.file.write_all(&record)?;
         active.len += record.len() as u64;
         self.next_position = start + edges.len() as u64;
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            m.journal_appends.inc();
+            m.journal_append_micros.record_duration(started.elapsed());
+        }
         match self.sync {
-            SyncPolicy::PerRecord if !defer_sync => active.file.sync_data()?,
+            SyncPolicy::PerRecord if !defer_sync => {
+                Self::timed_sync_data(self.metrics.as_ref(), &active.file)?;
+            }
             _ => self.unsynced = true,
         }
         Ok(())
@@ -572,7 +610,7 @@ impl Journal {
     pub fn sync(&mut self) -> std::io::Result<()> {
         if self.unsynced {
             if let Some(active) = &self.active {
-                active.file.sync_data()?;
+                Self::timed_sync_data(self.metrics.as_ref(), &active.file)?;
             }
             self.unsynced = false;
         }

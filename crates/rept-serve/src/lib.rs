@@ -62,6 +62,15 @@
 //!   through ingest. Under the per-record sync policy, concurrent
 //!   producers' appends are **group-committed**: batches queued while
 //!   an fsync would be in flight share one durability barrier.
+//! * **Observability** — every core owns a [`metrics::ServeMetrics`]
+//!   set of lock-free counters, gauges and log₂-bucket histograms
+//!   (queue wait, apply, journal append/fsync, group-commit size,
+//!   checkpoint, snapshot publication, per-verb query latency, typed
+//!   error counts) plus a slow-op trace ring. `METRICS` serves
+//!   Prometheus-style text with `tenant=` labels (`METRICS *` adds a
+//!   cross-tenant `_all` aggregate); `TRACE TAIL n` drains the ring.
+//!   Scrapes read the same atomics the hot path writes — they never
+//!   block ingest. `docs/OBSERVABILITY.md` catalogs every series.
 //!
 //! # Wire protocol (v2)
 //!
@@ -89,8 +98,11 @@
 //! | `TENANT LIST`              | `OK TENANTS n=<n> <t>=<pos>[:interval=<i>] …`                 |
 //! | `TENANT DROP <t>`          | `OK TENANT DROPPED <t>` (`default` is protected)              |
 //! | `USE <t>`                  | `OK USING <t>` — switches this connection's current tenant    |
-//! | `HEALTH`                   | `OK HEALTH tenant= state=<ok\|degraded> queue= capacity= bytes= budget= journal_lag= dlq=` |
+//! | `HEALTH`                   | `OK HEALTH tenant= state=<ok\|degraded> queue= capacity= bytes= budget= journal_lag= dlq= sync= last_group=` |
 //! | `DLQ REPLAY`               | `OK DLQ REPLAYED n=<drained> failed=<rejected again>`         |
+//! | `METRICS`                  | `OK METRICS lines=<n>` + n exposition lines for the current tenant |
+//! | `METRICS *`                | `OK METRICS lines=<n>` + n lines for every tenant plus `tenant="_all"` aggregates |
+//! | `TRACE TAIL <n>`           | `OK TRACE lines=<k>` + k slow-op events (drains the ring)     |
 //! | `SHUTDOWN`                 | `OK BYE` — server stops accepting and drains                  |
 //!
 //! Two `ERR` classes carry retry semantics: `ERR BUSY …` (ingest queue
@@ -151,15 +163,17 @@ pub mod client;
 pub mod core;
 pub mod dlq;
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod tenant;
 
-pub use crate::core::{Health, IngestError, QuotaPolicy, ServeConfig, ServeCore};
+pub use crate::core::{Health, IngestError, LiveStats, QuotaPolicy, ServeConfig, ServeCore};
 pub use client::{Client, ClientConfig, GlobalEstimate};
 pub use dlq::DeadLetterQueue;
 pub use journal::{Journal, SyncPolicy};
+pub use metrics::{render_exposition, ServeMetrics, TenantScrape};
 pub use server::Server;
 pub use snapshot::{DurabilityStats, Published, Snapshot};
 pub use tenant::{RouterConfig, RouterStats, TenantRouter};

@@ -30,8 +30,9 @@
 
 use rept_graph::edge::{Edge, NodeId};
 
-use crate::core::{Health, QuotaPolicy};
+use crate::core::{Health, LiveStats, QuotaPolicy};
 use crate::snapshot::Snapshot;
+use rept_metrics::trace::TraceEvent;
 
 /// Maximum tenant name length accepted by [`validate_tenant_name`].
 pub const MAX_TENANT_NAME: usize = 64;
@@ -123,6 +124,17 @@ pub enum Command {
     /// feed each captured line back through the ingest parser; lines
     /// that fail again are re-dead-lettered.
     DlqReplay,
+    /// `METRICS` — Prometheus-style text exposition for the current
+    /// tenant. The reply is multi-line, framed by `OK METRICS lines=<n>`
+    /// followed by exactly `n` exposition lines.
+    Metrics,
+    /// `METRICS *` — exposition for every tenant, plus `tenant="_all"`
+    /// rows aggregating counters (summed) and histograms (bucket-merged)
+    /// across tenants.
+    MetricsAll,
+    /// `TRACE TAIL n` — drain the current tenant's slow-op trace ring:
+    /// the newest `n` events, oldest first, framed like `METRICS`.
+    TraceTail(usize),
 }
 
 /// One documented wire form per [`Command`] variant, in declaration
@@ -147,6 +159,9 @@ pub const COMMAND_FORMS: &[(&str, &str)] = &[
     ("Use", "USE"),
     ("Health", "HEALTH"),
     ("DlqReplay", "DLQ REPLAY"),
+    ("Metrics", "METRICS"),
+    ("MetricsAll", "METRICS *"),
+    ("TraceTail", "TRACE TAIL"),
 ];
 
 /// Checks a tenant name: starts with an ASCII letter, continues with
@@ -276,6 +291,19 @@ pub fn parse(line: &str) -> Result<Command, String> {
         "DLQ" => match tokens.next() {
             Some("REPLAY") => expect_end(tokens, Command::DlqReplay),
             _ => Err("DLQ needs REPLAY".into()),
+        },
+        "METRICS" => match tokens.next() {
+            None => Ok(Command::Metrics),
+            Some("*") => expect_end(tokens, Command::MetricsAll),
+            Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+        },
+        "TRACE" => match tokens.next() {
+            Some("TAIL") => {
+                let n = tokens.next().ok_or("TRACE TAIL needs a count")?;
+                let n: usize = n.parse().map_err(|_| format!("bad count {n:?}"))?;
+                expect_end(tokens, Command::TraceTail(n))
+            }
+            _ => Err("TRACE needs TAIL <n>".into()),
         },
         other => Err(format!("unknown command {other:?}")),
     }
@@ -414,12 +442,14 @@ pub fn format_stats_all(stats: &crate::tenant::RouterStats) -> String {
     )
 }
 
-/// `OK STATS …` reply for `STATS`. `dlq` is the tenant's dead-letter
-/// count, read live from the core (it is not snapshot state).
-pub fn format_stats(snap: &Snapshot, dlq: u64) -> String {
+/// `OK STATS …` reply for `STATS`. Estimator fields (position, counts,
+/// bytes) come from the published snapshot; the journal and DLQ fields
+/// come from `live` — gauge-backed readings, so an idle tenant reports
+/// its current durability state rather than the last publication's.
+pub fn format_stats(snap: &Snapshot, live: &LiveStats) -> String {
     format!(
         "OK STATS position={} seq={} checkpoints={} engine={} m={} c={} stored_edges={} \
-         bytes={} tracked_nodes={} journal_bytes={} journal_segments={} replayed={} dlq={dlq}",
+         bytes={} tracked_nodes={} journal_bytes={} journal_segments={} replayed={} dlq={}",
         snap.position,
         snap.seq,
         snap.checkpoints,
@@ -429,31 +459,36 @@ pub fn format_stats(snap: &Snapshot, dlq: u64) -> String {
         snap.stored_edges,
         snap.total_bytes,
         snap.locals.len(),
-        snap.durability.journal_bytes,
-        snap.durability.journal_segments,
+        live.journal_bytes,
+        live.journal_segments,
         snap.durability.replayed,
+        live.dlq,
     )
 }
 
 /// `OK JOURNAL …` reply for `JOURNAL STATS` — the durability state of
-/// the current tenant.
-pub fn format_journal_stats(snap: &Snapshot, dlq: u64) -> String {
+/// the current tenant. Bytes, segments and the DLQ count are live
+/// gauge readings (see [`format_stats`]).
+pub fn format_journal_stats(snap: &Snapshot, live: &LiveStats) -> String {
     format!(
-        "OK JOURNAL enabled={} position={} bytes={} segments={} replayed={} dlq={dlq}",
+        "OK JOURNAL enabled={} position={} bytes={} segments={} replayed={} dlq={}",
         u8::from(snap.durability.enabled),
         snap.position,
-        snap.durability.journal_bytes,
-        snap.durability.journal_segments,
+        live.journal_bytes,
+        live.journal_segments,
         snap.durability.replayed,
+        live.dlq,
     )
 }
 
 /// `OK HEALTH …` reply for `HEALTH` — the current tenant's pressure
-/// gauges. `budget=0` means unlimited; `state` is `ok` or `degraded`.
+/// gauges. `budget=0` means unlimited; `state` is `ok` or `degraded`;
+/// `sync` is the journal fsync policy (`none` without a journal) and
+/// `last_group` the size of the most recent group commit in batches.
 pub fn format_health(tenant: &str, h: &Health) -> String {
     format!(
         "OK HEALTH tenant={tenant} state={} queue={} capacity={} bytes={} budget={} \
-         journal_lag={} dlq={}",
+         journal_lag={} dlq={} sync={} last_group={}",
         if h.degraded { "degraded" } else { "ok" },
         h.queue_depth,
         h.queue_capacity,
@@ -461,7 +496,39 @@ pub fn format_health(tenant: &str, h: &Health) -> String {
         h.memory_budget,
         h.journal_lag_bytes,
         h.dlq,
+        h.sync,
+        h.last_group,
     )
+}
+
+/// `OK METRICS lines=<n>` framing for a `METRICS` reply: the header
+/// line followed by the exposition `body` verbatim. `n` counts the
+/// body's lines so a client knows exactly how many lines to read after
+/// the header (0 for an empty body).
+pub fn format_metrics(body: &str) -> String {
+    if body.is_empty() {
+        return "OK METRICS lines=0".to_string();
+    }
+    let lines = body.lines().count();
+    format!("OK METRICS lines={lines}\n{body}")
+}
+
+/// `OK TRACE lines=<n>` reply for `TRACE TAIL`: the header followed by
+/// one line per drained slow-op event, oldest first —
+/// `at_us=<t> op=<name> micros=<d> [detail]`.
+pub fn format_trace(events: &[TraceEvent]) -> String {
+    let mut out = format!("OK TRACE lines={}", events.len());
+    for e in events {
+        out.push_str(&format!(
+            "\nat_us={} op={} micros={}",
+            e.at_micros, e.op, e.micros
+        ));
+        if !e.detail.is_empty() {
+            out.push(' ');
+            out.push_str(&e.detail);
+        }
+    }
+    out
 }
 
 /// `OK DLQ REPLAYED …` reply for `DLQ REPLAY`: `n` lines drained from
@@ -636,6 +703,9 @@ mod tests {
             "Use",
             "Health",
             "DlqReplay",
+            "Metrics",
+            "MetricsAll",
+            "TraceTail",
         ];
         assert_eq!(
             COMMAND_FORMS.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
@@ -725,11 +795,13 @@ mod tests {
             memory_budget: 4096,
             journal_lag_bytes: 88,
             dlq: 2,
+            sync: "per-record",
+            last_group: 4,
         };
         assert_eq!(
             format_health("alpha", &h),
             "OK HEALTH tenant=alpha state=ok queue=3 capacity=16 bytes=1024 budget=4096 \
-             journal_lag=88 dlq=2"
+             journal_lag=88 dlq=2 sync=per-record last_group=4"
         );
         let degraded = Health {
             degraded: true,
@@ -737,6 +809,66 @@ mod tests {
         };
         assert!(format_health("alpha", &degraded).contains("state=degraded"));
         assert_eq!(format_dlq_replayed(5, 2), "OK DLQ REPLAYED n=5 failed=2");
+    }
+
+    #[test]
+    fn parses_observability_verbs() {
+        assert_eq!(parse("METRICS"), Ok(Command::Metrics));
+        assert_eq!(parse("METRICS *"), Ok(Command::MetricsAll));
+        assert!(parse("METRICS alpha").is_err(), "no tenant argument form");
+        assert!(parse("METRICS * x").is_err(), "trailing token");
+        assert_eq!(parse("TRACE TAIL 10"), Ok(Command::TraceTail(10)));
+        assert_eq!(parse("TRACE TAIL 0"), Ok(Command::TraceTail(0)));
+        assert!(parse("TRACE").is_err(), "TAIL required");
+        assert!(parse("TRACE TAIL").is_err(), "count required");
+        assert!(parse("TRACE TAIL many").is_err(), "numeric count");
+        assert!(parse("TRACE TAIL 5 x").is_err(), "trailing token");
+    }
+
+    #[test]
+    fn metrics_and_trace_framing() {
+        assert_eq!(format_metrics(""), "OK METRICS lines=0");
+        assert_eq!(format_metrics("a 1\nb 2"), "OK METRICS lines=2\na 1\nb 2");
+        assert_eq!(format_trace(&[]), "OK TRACE lines=0");
+        let events = vec![
+            TraceEvent {
+                at_micros: 10,
+                op: "fsync",
+                micros: 900,
+                detail: String::new(),
+            },
+            TraceEvent {
+                at_micros: 25,
+                op: "checkpoint",
+                micros: 1500,
+                detail: "position=64 bytes=2048".into(),
+            },
+        ];
+        assert_eq!(
+            format_trace(&events),
+            "OK TRACE lines=2\nat_us=10 op=fsync micros=900\n\
+             at_us=25 op=checkpoint micros=1500 position=64 bytes=2048"
+        );
+    }
+
+    #[test]
+    fn stats_formatting_uses_live_durability() {
+        let cfg = rept_core::ReptConfig::new(2, 2).with_seed(3);
+        let est = rept_core::Rept::new(cfg).run_sequential(std::iter::empty());
+        let snap = Snapshot::from_estimate(&est, &cfg, Engine::FusedSorted, 0, 0, 0, 5);
+        let live = LiveStats {
+            stored_bytes: 0,
+            journal_bytes: 123,
+            journal_segments: 2,
+            dlq: 7,
+        };
+        let stats = format_stats(&snap, &live);
+        assert!(stats.contains("journal_bytes=123"));
+        assert!(stats.contains("journal_segments=2"));
+        assert!(stats.ends_with("dlq=7"));
+        let journal = format_journal_stats(&snap, &live);
+        assert!(journal.contains("bytes=123 segments=2"));
+        assert!(journal.ends_with("dlq=7"));
     }
 
     #[test]

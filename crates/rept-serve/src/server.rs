@@ -20,11 +20,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rept_core::ReptEstimate;
 
 use crate::core::{IngestError, ServeConfig, ServeCore};
+use crate::metrics::{render_exposition, TenantScrape};
 use crate::protocol::{self, Command, Scope, DEFAULT_TENANT};
 use crate::tenant::{RouterConfig, TenantRouter};
 
@@ -318,6 +319,23 @@ fn execute(
             None => format!("ERR unknown tenant {tenant:?}"),
         }
     };
+    // Query verbs additionally record their service time into the
+    // tenant's per-verb latency histogram (skipped when the tenant was
+    // started with `metrics` off).
+    let with_query = |verb: &'static str, f: &dyn Fn(&ServeCore) -> String| -> String {
+        match router.tenant(tenant) {
+            Some(core) => {
+                if !core.config().metrics {
+                    return f(&core);
+                }
+                let started = Instant::now();
+                let reply = f(&core);
+                core.metrics().record_query(verb, started.elapsed());
+                reply
+            }
+            None => format!("ERR unknown tenant {tenant:?}"),
+        }
+    };
     let reply = match protocol::parse(line) {
         // Hand-rolled rather than `with_current` (a `Fn` closure would
         // have to clone the batch): this is the hot ingest path.
@@ -356,19 +374,23 @@ fn execute(
                 }
             }
         }
-        Ok(Command::QueryGlobal) => with_current(&|core| protocol::format_global(&core.snapshot())),
+        Ok(Command::QueryGlobal) => {
+            with_query("global", &|core| protocol::format_global(&core.snapshot()))
+        }
         Ok(Command::QueryLocal(v)) => {
-            with_current(&|core| protocol::format_local(&core.snapshot(), v))
+            with_query("local", &|core| protocol::format_local(&core.snapshot(), v))
         }
-        Ok(Command::TopK(k)) => with_current(&|core| protocol::format_top_k(&core.snapshot(), k)),
+        Ok(Command::TopK(k)) => {
+            with_query("topk", &|core| protocol::format_top_k(&core.snapshot(), k))
+        }
         Ok(Command::TopKAll(k)) => protocol::format_top_k_all(&router.merged_top_k(k), k),
-        Ok(Command::Stats) => {
-            with_current(&|core| protocol::format_stats(&core.snapshot(), core.dlq_count()))
-        }
+        Ok(Command::Stats) => with_query("stats", &|core| {
+            protocol::format_stats(&core.snapshot(), &core.live_stats())
+        }),
         Ok(Command::StatsAll) => protocol::format_stats_all(&router.aggregate_stats()),
-        Ok(Command::JournalStats) => {
-            with_current(&|core| protocol::format_journal_stats(&core.snapshot(), core.dlq_count()))
-        }
+        Ok(Command::JournalStats) => with_query("journal", &|core| {
+            protocol::format_journal_stats(&core.snapshot(), &core.live_stats())
+        }),
         Ok(Command::Flush) => with_current(&|core| format!("OK FLUSH position={}", core.flush())),
         Ok(Command::Checkpoint) => with_current(&|core| match core.checkpoint() {
             Ok(pos) => format!("OK CHECKPOINT position={pos}"),
@@ -396,8 +418,25 @@ fn execute(
             Ok(()) => format!("OK TENANT DROPPED {name}"),
             Err(msg) => format!("ERR {msg}"),
         },
-        Ok(Command::Health) => match router.tenant(tenant) {
-            Some(core) => protocol::format_health(tenant, &core.health()),
+        Ok(Command::Health) => with_query("health", &|core| {
+            protocol::format_health(tenant, &core.health())
+        }),
+        Ok(Command::Metrics) => match router.tenant(tenant) {
+            Some(core) => {
+                let scrape = TenantScrape {
+                    tenant: tenant.clone(),
+                    health: core.health(),
+                    metrics: Arc::clone(core.metrics()),
+                };
+                protocol::format_metrics(&render_exposition(&[scrape], false))
+            }
+            None => format!("ERR unknown tenant {tenant:?}"),
+        },
+        Ok(Command::MetricsAll) => {
+            protocol::format_metrics(&render_exposition(&router.scrape(), true))
+        }
+        Ok(Command::TraceTail(n)) => match router.tenant(tenant) {
+            Some(core) => protocol::format_trace(&core.metrics().trace.tail(n)),
             None => format!("ERR unknown tenant {tenant:?}"),
         },
         Ok(Command::DlqReplay) => match router.tenant(tenant) {

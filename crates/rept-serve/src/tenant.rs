@@ -42,6 +42,7 @@ use rept_core::{Engine, ReptConfig, ReptEstimate};
 use rept_graph::edge::{Edge, NodeId};
 
 use crate::core::{IngestError, QuotaPolicy, ServeConfig, ServeCore};
+use crate::metrics::TenantScrape;
 use crate::protocol::{validate_tenant_name, Scope, TenantOptions, DEFAULT_TENANT};
 use crate::snapshot::merge_top_k;
 
@@ -624,16 +625,33 @@ impl TenantRouter {
         };
         for (_, core) in self.cores() {
             let snap = core.snapshot();
+            let live = core.live_stats();
             stats.tenants += 1;
             stats.position += snap.position;
             stats.stored_edges += snap.stored_edges;
             stats.bytes += snap.total_bytes;
             stats.checkpoints += snap.checkpoints;
             stats.tracked_nodes += snap.locals.len();
-            stats.journal_bytes += snap.durability.journal_bytes;
-            stats.dlq += core.dlq_count();
+            // Gauge-backed, not snapshot state: an idle tenant's journal
+            // growth shows up without waiting for a publication point.
+            stats.journal_bytes += live.journal_bytes;
+            stats.dlq += live.dlq;
         }
         stats
+    }
+
+    /// One scrape unit per tenant (name, live health, shared metric
+    /// set), sorted by name — the `METRICS *` payload, and the surface
+    /// a shard coordinator would poll.
+    pub fn scrape(&self) -> Vec<TenantScrape> {
+        self.cores()
+            .into_iter()
+            .map(|(tenant, core)| TenantScrape {
+                health: core.health(),
+                metrics: Arc::clone(core.metrics()),
+                tenant,
+            })
+            .collect()
     }
 
     /// The `k` largest local estimates across all tenants, merged

@@ -154,3 +154,7 @@ mod protocol_doctests {}
 #[cfg(doctest)]
 #[doc = include_str!("../docs/DURABILITY.md")]
 mod durability_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/OBSERVABILITY.md")]
+mod observability_doctests {}

@@ -47,7 +47,7 @@ fn protocol_doc_covers_every_command_variant() {
         }
     }
     assert!(
-        variants.len() >= 16,
+        variants.len() >= 20,
         "variant scan looks broken: {variants:?}"
     );
 
@@ -105,6 +105,7 @@ fn docs_have_no_dead_relative_links() {
         "docs/ARCHITECTURE.md",
         "docs/PROTOCOL.md",
         "docs/DURABILITY.md",
+        "docs/OBSERVABILITY.md",
     ];
     for doc in docs {
         let text = read(doc);
@@ -153,6 +154,10 @@ fn readme_bench_tables_cite_committed_results() {
     assert!(
         serve.contains("\"quota_enforcement\""),
         "BENCH_serve.json lost its quota_enforcement section"
+    );
+    assert!(
+        serve.contains("\"metrics_overhead\""),
+        "BENCH_serve.json lost its metrics_overhead section"
     );
     let throughput = read("BENCH_throughput.json");
     assert!(throughput.contains("\"host_cores\""));

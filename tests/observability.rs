@@ -1,0 +1,317 @@
+//! Observability acceptance suite: the `METRICS` exposition covers the
+//! required series per tenant, `METRICS *` aggregates correctly into
+//! `tenant="_all"` rows, `TRACE TAIL` drains slow-op events over the
+//! wire, grammar errors come back as `ERR` lines, scraping never blocks
+//! ingest, and histogram merging is exactly equivalent to recording
+//! into a single histogram.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rept::core::ReptConfig;
+use rept::graph::edge::Edge;
+use rept::metrics::registry::Histogram;
+use rept::serve::{Client, RouterConfig, ServeConfig, Server};
+
+/// A per-test unique scratch directory.
+fn unique_root(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rept-obs-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Extracts the value of a counter/gauge sample carrying exactly a
+/// `tenant` label from exposition text.
+fn sample(text: &str, name: &str, tenant: &str) -> Option<u64> {
+    let prefix = format!("{name}{{tenant=\"{tenant}\"}} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .map(|v| v.parse().expect("integer sample"))
+}
+
+#[test]
+fn metrics_scrape_covers_required_series() {
+    let root = unique_root("scrape");
+    let base = ServeConfig::new(ReptConfig::new(2, 2).with_seed(9))
+        .with_snapshot_every(1)
+        .with_journal();
+    let server = Server::start_router(
+        RouterConfig::new(base).with_root_dir(root.clone()),
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client
+        .ingest(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+        .expect("ingest");
+    client.flush().expect("flush");
+    client.query_global().expect("query");
+    let health = client.health().expect("health");
+    assert!(
+        health.contains("sync=per-record") && health.contains("last_group="),
+        "HEALTH must report the sync policy and group-commit size: {health}"
+    );
+
+    let text = client.metrics().expect("scrape");
+
+    // Ingest, journal, snapshot, typed-error and trace series — all
+    // labelled with the current tenant.
+    assert_eq!(sample(&text, "rept_ingest_edges_total", "default"), Some(3));
+    assert_eq!(
+        sample(&text, "rept_ingest_batches_total", "default"),
+        Some(1)
+    );
+    for series in [
+        "rept_journal_appends_total",
+        "rept_journal_fsyncs_total",
+        "rept_snapshots_published_total",
+    ] {
+        let v = sample(&text, series, "default").unwrap_or_else(|| panic!("{series} missing"));
+        assert!(v >= 1, "{series} should have fired: {v}");
+    }
+    for series in [
+        "rept_busy_rejections_total",
+        "rept_quota_rejections_total",
+        "rept_rejected_batches_total",
+        "rept_dead_letters_total",
+        "rept_trace_events_total",
+        "rept_trace_dropped_total",
+        "rept_queue_depth",
+        "rept_stored_bytes",
+        "rept_journal_lag_bytes",
+        "rept_dlq_depth",
+        "rept_degraded",
+        "rept_last_group_commit",
+    ] {
+        assert!(
+            sample(&text, series, "default").is_some(),
+            "{series} missing from exposition:\n{text}"
+        );
+    }
+
+    // Latency summaries: fsync + apply histograms and the per-verb
+    // query latency with its extra label.
+    assert!(text.contains("# TYPE rept_fsync_micros summary"));
+    assert!(text.contains("rept_apply_micros_count{tenant=\"default\"} 1"));
+    assert!(text.contains("rept_query_micros_count{tenant=\"default\",verb=\"global\"} 1"));
+
+    // A single-tenant scrape carries no aggregate rows.
+    assert!(!text.contains("tenant=\"_all\""));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn metrics_all_aggregates_counters_not_gauges() {
+    let root = unique_root("all");
+    let base = ServeConfig::new(ReptConfig::new(2, 2).with_seed(11)).with_snapshot_every(1);
+    let server = Server::start_router(
+        RouterConfig::new(base).with_root_dir(root.clone()),
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client.tenant_create("alpha", "").expect("create");
+    client
+        .ingest(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+        .expect("ingest default");
+    client.use_tenant("alpha").expect("use");
+    client
+        .ingest(&[Edge::new(3, 4), Edge::new(4, 5)])
+        .expect("ingest alpha");
+    client.flush().expect("flush alpha");
+    client.use_tenant("default").expect("back");
+    client.flush().expect("flush default");
+
+    let text = client.metrics_all().expect("scrape all");
+    let default = sample(&text, "rept_ingest_edges_total", "default").expect("default row");
+    let alpha = sample(&text, "rept_ingest_edges_total", "alpha").expect("alpha row");
+    let all = sample(&text, "rept_ingest_edges_total", "_all").expect("_all row");
+    assert_eq!((default, alpha), (3, 2));
+    assert_eq!(all, default + alpha, "_all must be the cross-tenant sum");
+
+    // Histogram aggregates merge counts; gauges are never aggregated.
+    let applies = sample(&text, "rept_apply_micros_count", "_all").expect("_all summary");
+    assert_eq!(applies, 2, "one apply per tenant");
+    assert!(
+        sample(&text, "rept_queue_depth", "_all").is_none(),
+        "gauges must not grow _all rows"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn trace_tail_drains_slow_ops_over_the_wire() {
+    let root = unique_root("trace");
+    // Threshold zero: every instrumented op is "slow".
+    let base = ServeConfig::new(ReptConfig::new(2, 2).with_seed(13))
+        .with_snapshot_every(1)
+        .with_slow_op_threshold(Duration::ZERO);
+    let server = Server::start_router(
+        RouterConfig::new(base).with_root_dir(root.clone()),
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client
+        .ingest(&[Edge::new(0, 1), Edge::new(1, 2)])
+        .expect("ingest");
+    client.flush().expect("flush");
+
+    let events = client.trace_tail(64).expect("trace");
+    assert!(!events.is_empty(), "zero threshold must capture events");
+    for line in &events {
+        assert!(
+            line.starts_with("at_us=") && line.contains(" op=") && line.contains(" micros="),
+            "malformed trace line: {line}"
+        );
+    }
+    assert!(
+        events.iter().any(|l| l.contains("op=apply"))
+            && events.iter().any(|l| l.contains("op=publish")),
+        "apply and publish should both cross a zero threshold: {events:?}"
+    );
+
+    // The ring drains on read: an immediate second tail is empty.
+    assert!(client.trace_tail(64).expect("second tail").is_empty());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn observability_grammar_errors_keep_the_connection_open() {
+    let root = unique_root("grammar");
+    let base = ServeConfig::new(ReptConfig::new(2, 2).with_seed(17));
+    let server = Server::start_router(
+        RouterConfig::new(base).with_root_dir(root.clone()),
+        "127.0.0.1:0",
+        1,
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for bad in [
+        "METRICS junk",
+        "METRICS * extra",
+        "TRACE",
+        "TRACE TAIL",
+        "TRACE TAIL x",
+    ] {
+        assert!(client.request(bad).is_err(), "{bad:?} must be an ERR line");
+    }
+    // The same connection still serves well-formed requests.
+    assert!(client
+        .metrics()
+        .expect("scrape")
+        .contains("rept_ingest_edges_total"));
+    assert_eq!(client.trace_tail(4).expect("tail"), Vec::<String>::new());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn scraping_never_blocks_ingest() {
+    let root = unique_root("concurrent");
+    let base = ServeConfig::new(ReptConfig::new(2, 2).with_seed(19)).with_snapshot_every(4);
+    let server = Server::start_router(
+        RouterConfig::new(base).with_root_dir(root.clone()),
+        "127.0.0.1:0",
+        3,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A scraper hammers METRICS * from its own connection while the
+    // main thread drives ingest; both must make progress to completion.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let scrapes = Arc::clone(&scrapes);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("scraper connect");
+            while !stop.load(Ordering::Relaxed) {
+                let text = client.metrics_all().expect("scrape");
+                assert!(text.contains("rept_ingest_edges_total"));
+                scrapes.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    let mut client = Client::connect(addr).expect("ingest connect");
+    let mut sent = 0u64;
+    for i in 0..200u32 {
+        let batch: Vec<Edge> = (0..8).filter_map(|j| Edge::try_new(i, i + j + 1)).collect();
+        sent += client.ingest(&batch).expect("ingest") as u64;
+    }
+    client.flush().expect("flush");
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper thread");
+
+    let text = client.metrics().expect("final scrape");
+    assert_eq!(
+        sample(&text, "rept_ingest_edges_total", "default"),
+        Some(sent),
+        "every queued edge must be applied despite concurrent scraping"
+    );
+    assert!(
+        scrapes.load(Ordering::Relaxed) > 0,
+        "the scraper must have completed at least one scrape"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recording a value set split across two histograms and merging is
+    /// exactly equivalent to recording everything into one histogram:
+    /// same buckets, count, sum, max, and therefore same quantiles.
+    #[test]
+    fn histogram_merge_equals_single_recording(
+        values in vec(0u64..1 << 40, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+
+        let merged = Histogram::new();
+        let other = Histogram::new();
+        for &v in left {
+            merged.record(v);
+        }
+        for &v in right {
+            other.record(v);
+        }
+        merged.merge_from(&other);
+
+        let single = Histogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+
+        prop_assert_eq!(merged.bucket_counts(), single.bucket_counts());
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.sum(), single.sum());
+        prop_assert_eq!(merged.max(), single.max());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+}
