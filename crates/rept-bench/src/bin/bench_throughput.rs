@@ -2,7 +2,8 @@
 //!
 //! Measures end-to-end edges/second of every execution engine
 //! (per-worker reference, fused over the hash layout, fused over the
-//! sorted struct-of-arrays layout) on a fixed Barabási–Albert stream —
+//! sorted struct-of-arrays layout, fused over the hybrid
+//! sorted-vec/blocked-bitmap layout) on a fixed Barabási–Albert stream —
 //! an engine × layout matrix at `c ∈ {8, 64, 200, 256}` processors
 //! with `m = 64` — and writes the results as JSON so the performance
 //! trajectory stays comparable across PRs. `c = 8` exercises the
@@ -23,16 +24,25 @@
 //! actually has multiple cores (the JSON records `host_cores` so the
 //! numbers can be read in context).
 //!
+//! A fourth section sweeps the hybrid layout's dense-promotion degree
+//! threshold on the shared multi-tag structure (width 4, the `c = 256`
+//! hot path): every stream edge replayed through `match_then_insert`
+//! at several thresholds, `usize::MAX` as the never-promote (all
+//! sorted-vec) baseline.
+//!
 //! Run: `cargo run --release --bin bench_throughput [-- --out FILE]`
 //! (default output: `BENCH_throughput.json`). `--nodes N` scales the
 //! stream; measurements keep the best of three repetitions to strip
-//! scheduler noise.
+//! scheduler noise, and the engine-matrix repetitions are interleaved
+//! round-robin across engines so monotone host drift biases no engine.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use rept_core::{CoreOptions, Engine, EngineCore, Rept, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
+use rept_graph::hybrid_tagged::MultiHybridTaggedAdjacency;
+use rept_graph::{CellTag, Edge, MultiSortedTaggedAdjacency};
 
 const M: u64 = 64;
 const PROCESSOR_COUNTS: [u64; 4] = [8, 64, 200, 256];
@@ -92,13 +102,26 @@ fn main() {
     let mut results: Vec<Measurement> = Vec::new();
     for &c in &PROCESSOR_COUNTS {
         let rept = Rept::new(ReptConfig::new(M, c).with_seed(7).with_locals(false));
-        for engine in Engine::all() {
-            let seconds = best_of(|| rept.run(engine, &stream).global);
+        // Round-robin the repetitions across engines (rather than
+        // repeating each engine back-to-back) so slow ambient drift on
+        // shared hosts biases no engine; each engine keeps its best rep.
+        let engines = Engine::all();
+        let mut best = vec![f64::INFINITY; engines.len()];
+        let mut sink = 0.0;
+        for _ in 0..REPS {
+            for (k, &engine) in engines.iter().enumerate() {
+                let start = Instant::now();
+                sink += rept.run(engine, &stream).global;
+                best[k] = best[k].min(start.elapsed().as_secs_f64());
+            }
+        }
+        assert!(sink.is_finite());
+        for (k, &engine) in engines.iter().enumerate() {
             results.push(Measurement {
                 engine,
                 c,
-                seconds,
-                edges_per_sec: stream.len() as f64 / seconds,
+                seconds: best[k],
+                edges_per_sec: stream.len() as f64 / best[k],
             });
         }
     }
@@ -112,19 +135,21 @@ fn main() {
 
     // Per-engine comparison table (stderr, human-readable).
     eprintln!(
-        "\n  {:>5} {:>14} {:>14} {:>14} {:>8} {:>8}",
-        "c", "per-worker", "fused-hash", "fused-sorted", "s/h", "s/w"
+        "\n  {:>5} {:>14} {:>14} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "c", "per-worker", "fused-hash", "fused-sorted", "fused-hybrid", "s/h", "s/w", "y/s"
     );
     for &c in &PROCESSOR_COUNTS {
-        let (w, h, s) = (
+        let (w, h, s, y) = (
             rate(c, Engine::PerWorker),
             rate(c, Engine::FusedHash),
             rate(c, Engine::FusedSorted),
+            rate(c, Engine::FusedHybrid),
         );
         eprintln!(
-            "  {c:>5} {w:>12.3e}/s {h:>12.3e}/s {s:>12.3e}/s {:>7.2}x {:>7.2}x",
+            "  {c:>5} {w:>12.3e}/s {h:>12.3e}/s {s:>12.3e}/s {y:>12.3e}/s {:>7.2}x {:>7.2}x {:>7.2}x",
             s / h,
-            s / w
+            s / w,
+            y / s
         );
     }
 
@@ -167,6 +192,62 @@ fn main() {
         t1 / tn
     );
 
+    // Dense-promotion threshold sweep: the shared hybrid structure at
+    // width 4 (the c = 256 layout), every stream edge replayed through
+    // match_then_insert with synthetic per-group cell tags, compaction
+    // at engine batch granularity. usize::MAX never promotes, so it is
+    // the all-sorted-vec baseline the other thresholds are read against.
+    const SWEEP_WIDTH: usize = 4;
+    const SWEEP_COMPACT_EVERY: usize = 4096;
+    let sweep_tags = |e: Edge| -> [CellTag; SWEEP_WIDTH] {
+        let (u, w) = (e.u(), e.v());
+        let mut tags = [0u32; SWEEP_WIDTH];
+        for (g, t) in tags.iter_mut().enumerate() {
+            let x = (u ^ w.rotate_left(g as u32 + 1)).wrapping_mul(0x9E37_79B9);
+            *t = x % M as u32;
+        }
+        tags
+    };
+    let thresholds: [usize; 6] = [16, 32, 64, 128, 512, usize::MAX];
+    let mut sweep: Vec<(usize, f64, f64)> = Vec::new();
+    for &threshold in &thresholds {
+        let seconds = best_of(|| {
+            let mut adj = MultiHybridTaggedAdjacency::with_threshold(SWEEP_WIDTH, threshold);
+            let mut matches = 0u64;
+            for (i, &e) in stream.iter().enumerate() {
+                adj.match_then_insert(e, Some(&sweep_tags(e)), |_, _, _| matches += 1);
+                if (i + 1) % SWEEP_COMPACT_EVERY == 0 {
+                    adj.compact();
+                }
+            }
+            matches as f64
+        });
+        sweep.push((threshold, seconds, stream.len() as f64 / seconds));
+    }
+    // Same replay over the sorted multi-tag structure: the reference the
+    // sweep rows are read against.
+    let t_sorted_base = best_of(|| {
+        let mut adj = MultiSortedTaggedAdjacency::new(SWEEP_WIDTH);
+        let mut matches = 0u64;
+        for (i, &e) in stream.iter().enumerate() {
+            adj.match_then_insert(e, Some(&sweep_tags(e)), |_, _, _| matches += 1);
+            if (i + 1) % SWEEP_COMPACT_EVERY == 0 {
+                adj.compact();
+            }
+        }
+        matches as f64
+    });
+    let sorted_base_eps = stream.len() as f64 / t_sorted_base;
+    eprintln!("\n  hybrid dense-promotion threshold (width {SWEEP_WIDTH}, shared structure):");
+    for &(threshold, seconds, eps) in &sweep {
+        if threshold == usize::MAX {
+            eprintln!("    never (all sorted) {seconds:>9.3} s {eps:>12.3e}/s");
+        } else {
+            eprintln!("    {threshold:>18} {seconds:>9.3} s {eps:>12.3e}/s");
+        }
+    }
+    eprintln!("    MultiSorted (ref.) {t_sorted_base:>9.3} s {sorted_base_eps:>12.3e}/s");
+
     // Hand-rolled JSON, matching the workspace's no-serde convention.
     let mut json = String::new();
     json.push_str("{\n");
@@ -206,6 +287,16 @@ fn main() {
             Engine::FusedHash,
             Engine::FusedSorted,
         ),
+        (
+            "speedup_fused_hybrid_over_per_worker",
+            Engine::PerWorker,
+            Engine::FusedHybrid,
+        ),
+        (
+            "speedup_fused_hybrid_over_fused_sorted",
+            Engine::FusedSorted,
+            Engine::FusedHybrid,
+        ),
     ] {
         json.push_str(&format!("  \"{key}\": {{"));
         let mut first = true;
@@ -228,9 +319,34 @@ fn main() {
     json.push_str(&format!(
         "  \"single_group_threads\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {M}, \
          \"seconds_1_thread\": {t1:.6}, \"seconds_{SPLIT_THREADS}_threads\": {tn:.6}, \
-         \"speedup\": {:.3}}}\n",
+         \"speedup\": {:.3}, \"note\": \"within-group parallelism only wins wall-clock on \
+         multi-core hosts; speedup < 1 on a 1-core host is thread overhead, not a \
+         regression — read against host_cores\"}},\n",
         t1 / tn
     ));
+    json.push_str("  \"hybrid_threshold_sweep\": {\n");
+    json.push_str(&format!(
+        "    \"structure\": \"MultiHybridTaggedAdjacency\", \"width\": {SWEEP_WIDTH}, \
+         \"compact_every\": {SWEEP_COMPACT_EVERY},\n"
+    ));
+    json.push_str("    \"results\": [\n");
+    for (i, &(threshold, seconds, eps)) in sweep.iter().enumerate() {
+        let label = if threshold == usize::MAX {
+            "\"never\"".to_string()
+        } else {
+            threshold.to_string()
+        };
+        json.push_str(&format!(
+            "      {{\"threshold\": {label}, \"seconds\": {seconds:.6}, \"edges_per_sec\": {eps:.1}}}{}\n",
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"sorted_baseline\": {{\"structure\": \"MultiSortedTaggedAdjacency\", \
+         \"seconds\": {t_sorted_base:.6}, \"edges_per_sec\": {sorted_base_eps:.1}}}\n"
+    ));
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     let mut f = std::fs::File::create(&out_path)

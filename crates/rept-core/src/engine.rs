@@ -52,12 +52,20 @@
 
 use rept_graph::cell_tagged::{CellTaggedAdjacency, TaggedAdjacency};
 use rept_graph::edge::Edge;
+use rept_graph::hybrid_tagged::{
+    HybridTaggedAdjacency, MaskedHybridTaggedAdjacency, MultiHybridTaggedAdjacency,
+};
+use rept_graph::masked_tagged::MaskedSortedTaggedAdjacency;
+use rept_graph::multi_tagged::MultiSortedTaggedAdjacency;
 use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 
 use crate::config::ReptConfig;
 use crate::estimate::ReptEstimate;
 use crate::estimator::{Engine, GroupAggregate, GroupSpec, Rept};
-use crate::fused::{BatchScratch, FusedFullGroups, FusedGroup, FusedMaskedGroups};
+use crate::fused::{
+    BatchScratch, FusedFullGroups, FusedGroup, FusedMaskedGroups, SharedMaskedAdjacency,
+    SharedMultiAdjacency,
+};
 use crate::worker::SemiTriangleWorker;
 
 /// Edges per batch in the group-major fused drivers: small enough to
@@ -92,51 +100,59 @@ impl Default for CoreOptions {
     }
 }
 
-/// The sorted engine's shared-structure state: all full groups over one
+/// A shared-structure engine's shared state: all full groups over one
 /// multi-tag structure, or full groups *plus* the remainder over one
-/// masked structure.
+/// masked structure. Generic over the multi/masked layout pair so the
+/// sorted and hybrid engines run the identical group-fusion logic over
+/// their respective structures.
 #[derive(Debug, Clone)]
-pub(crate) enum SharedSorted {
+pub(crate) enum SharedState<M: SharedMultiAdjacency, K: SharedMaskedAdjacency> {
     /// ≥ 2 full groups, no remainder folded in.
-    Full(Box<FusedFullGroups>),
+    Full(Box<FusedFullGroups<M>>),
     /// ≥ 1 full group and the remainder group.
-    Masked(Box<FusedMaskedGroups>),
+    Masked(Box<FusedMaskedGroups<K>>),
 }
 
-impl SharedSorted {
+/// The sorted engine's shared-structure state.
+pub(crate) type SharedSorted = SharedState<MultiSortedTaggedAdjacency, MaskedSortedTaggedAdjacency>;
+
+/// The hybrid engine's shared-structure state (blocked-bitmap layouts).
+pub(crate) type SharedHybrid = SharedState<MultiHybridTaggedAdjacency, MaskedHybridTaggedAdjacency>;
+
+impl<M: SharedMultiAdjacency, K: SharedMaskedAdjacency> SharedState<M, K> {
     #[inline]
     fn process(&mut self, e: Edge) {
         match self {
-            SharedSorted::Full(s) => s.process(e),
-            SharedSorted::Masked(s) => s.process(e),
+            SharedState::Full(s) => s.process(e),
+            SharedState::Masked(s) => s.process(e),
         }
     }
 
     fn compact(&mut self) {
         match self {
-            SharedSorted::Full(s) => s.compact(),
-            SharedSorted::Masked(s) => s.compact(),
+            SharedState::Full(s) => s.compact(),
+            SharedState::Masked(s) => s.compact(),
         }
     }
 
     fn snapshot_aggregates(&self) -> Vec<GroupAggregate> {
         match self {
-            SharedSorted::Full(s) => s.snapshot_aggregates(),
-            SharedSorted::Masked(s) => s.snapshot_aggregates(),
+            SharedState::Full(s) => s.snapshot_aggregates(),
+            SharedState::Masked(s) => s.snapshot_aggregates(),
         }
     }
 
     fn stored_bytes(&self) -> usize {
         match self {
-            SharedSorted::Full(s) => s.adj.approx_bytes(),
-            SharedSorted::Masked(s) => s.adj.approx_bytes(),
+            SharedState::Full(s) => s.adj.approx_bytes(),
+            SharedState::Masked(s) => s.adj.approx_bytes(),
         }
     }
 
     fn into_aggregates(self) -> Vec<GroupAggregate> {
         match self {
-            SharedSorted::Full(s) => s.into_aggregates(),
-            SharedSorted::Masked(s) => s.into_aggregates(),
+            SharedState::Full(s) => s.into_aggregates(),
+            SharedState::Masked(s) => s.into_aggregates(),
         }
     }
 }
@@ -156,6 +172,13 @@ pub(crate) enum CoreState {
     FusedSorted {
         shared: Option<SharedSorted>,
         rest: Vec<FusedGroup<SortedTaggedAdjacency>>,
+    },
+    /// The hybrid sorted-vec / blocked-bitmap layout — same sharing
+    /// structure as the sorted engine, bit-parallel intersections on
+    /// high-degree nodes.
+    FusedHybrid {
+        shared: Option<SharedHybrid>,
+        rest: Vec<FusedGroup<HybridTaggedAdjacency>>,
     },
 }
 
@@ -248,7 +271,14 @@ impl EngineCore {
             Engine::FusedHash => {
                 CoreState::FusedHash(kept.iter().map(|g| FusedGroup::new(*g, &cfg)).collect())
             }
-            Engine::FusedSorted => build_sorted_state(&cfg, &kept, opts),
+            Engine::FusedSorted => {
+                let (shared, rest) = build_shared_state(&cfg, &kept, opts);
+                CoreState::FusedSorted { shared, rest }
+            }
+            Engine::FusedHybrid => {
+                let (shared, rest) = build_shared_state(&cfg, &kept, opts);
+                CoreState::FusedHybrid { shared, rest }
+            }
         };
         Self {
             rept,
@@ -312,6 +342,14 @@ impl EngineCore {
                     g.process(e);
                 }
             }
+            CoreState::FusedHybrid { shared, rest } => {
+                if let Some(shared) = shared {
+                    shared.process(e);
+                }
+                for g in rest.iter_mut() {
+                    g.process(e);
+                }
+            }
         }
     }
 
@@ -345,6 +383,17 @@ impl EngineCore {
                     drive_groups(rest, chunk);
                 }
             }
+            CoreState::FusedHybrid { shared, rest } => {
+                for chunk in batch.chunks(FUSED_BATCH) {
+                    if let Some(shared) = shared.as_mut() {
+                        for &e in chunk {
+                            shared.process(e);
+                        }
+                        shared.compact();
+                    }
+                    drive_groups(rest, chunk);
+                }
+            }
         }
         self.position += batch.len() as u64;
     }
@@ -366,6 +415,9 @@ impl EngineCore {
                 split_drive_groups(groups, batch, scratch, threads);
             }
             CoreState::FusedSorted { shared: None, rest } => {
+                split_drive_groups(rest, batch, scratch, threads);
+            }
+            CoreState::FusedHybrid { shared: None, rest } => {
                 split_drive_groups(rest, batch, scratch, threads);
             }
             _ => {
@@ -396,6 +448,14 @@ impl EngineCore {
                     g.compact();
                 }
             }
+            CoreState::FusedHybrid { shared, rest } => {
+                if let Some(shared) = shared {
+                    shared.compact();
+                }
+                for g in rest.iter_mut() {
+                    g.compact();
+                }
+            }
         }
     }
 
@@ -413,6 +473,14 @@ impl EngineCore {
                 let mut aggregates = shared
                     .as_ref()
                     .map(SharedSorted::snapshot_aggregates)
+                    .unwrap_or_default();
+                aggregates.extend(rest.iter().map(FusedGroup::snapshot_aggregate));
+                aggregates
+            }
+            CoreState::FusedHybrid { shared, rest } => {
+                let mut aggregates = shared
+                    .as_ref()
+                    .map(SharedHybrid::snapshot_aggregates)
                     .unwrap_or_default();
                 aggregates.extend(rest.iter().map(FusedGroup::snapshot_aggregate));
                 aggregates
@@ -439,6 +507,13 @@ impl EngineCore {
                 aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
                 aggregates
             }
+            CoreState::FusedHybrid { shared, rest } => {
+                let mut aggregates = shared
+                    .map(SharedHybrid::into_aggregates)
+                    .unwrap_or_default();
+                aggregates.extend(rest.into_iter().map(FusedGroup::into_aggregate));
+                aggregates
+            }
         }
     }
 
@@ -460,6 +535,10 @@ impl EngineCore {
             CoreState::FusedHash(groups) => groups.iter().map(|g| g.adj.approx_bytes()).sum(),
             CoreState::FusedSorted { shared, rest } => {
                 let shared_bytes = shared.as_ref().map_or(0, SharedSorted::stored_bytes);
+                shared_bytes + rest.iter().map(|g| g.adj.approx_bytes()).sum::<usize>()
+            }
+            CoreState::FusedHybrid { shared, rest } => {
+                let shared_bytes = shared.as_ref().map_or(0, SharedHybrid::stored_bytes);
                 shared_bytes + rest.iter().map(|g| g.adj.approx_bytes()).sum::<usize>()
             }
         }
@@ -495,8 +574,8 @@ pub(crate) fn split_full_partial(m: u64, specs: &[GroupSpec]) -> (Vec<GroupSpec>
     specs.iter().copied().partition(|g| g.size as u64 == m)
 }
 
-/// The structure sharing the sorted engine picks for a set of groups.
-/// Construction ([`build_sorted_state`]) and checkpoint restore
+/// The structure sharing the shared-layout engines pick for a set of
+/// groups. Construction ([`build_shared_state`]) and checkpoint restore
 /// ([`crate::resume`]) both consult this single rule, so a resumed run
 /// always lands in the same layout a fresh run would build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -526,27 +605,38 @@ pub(crate) fn sorted_layout(
     }
 }
 
-/// Builds the sorted engine's state for the kept groups, picking the
-/// strongest sharing the subset admits (see the module docs).
-fn build_sorted_state(cfg: &ReptConfig, kept: &[GroupSpec], opts: CoreOptions) -> CoreState {
+/// Builds a shared-structure engine's state for the kept groups,
+/// picking the strongest sharing the subset admits (see the module
+/// docs). Generic over the layout triple so the sorted and hybrid
+/// engines share the one construction rule.
+fn build_shared_state<A, M, K>(
+    cfg: &ReptConfig,
+    kept: &[GroupSpec],
+    opts: CoreOptions,
+) -> (Option<SharedState<M, K>>, Vec<FusedGroup<A>>)
+where
+    A: TaggedAdjacency,
+    M: SharedMultiAdjacency,
+    K: SharedMaskedAdjacency,
+{
     let (full, partial) = split_full_partial(cfg.m, kept);
     match sorted_layout(full.len(), partial.len(), opts.masked_remainder) {
-        SortedLayout::Masked => CoreState::FusedSorted {
-            shared: Some(SharedSorted::Masked(Box::new(FusedMaskedGroups::new(
+        SortedLayout::Masked => (
+            Some(SharedState::Masked(Box::new(FusedMaskedGroups::<K>::new(
                 &full, partial[0], cfg,
             )))),
-            rest: Vec::new(),
-        },
-        SortedLayout::SharedFull => CoreState::FusedSorted {
-            shared: Some(SharedSorted::Full(Box::new(FusedFullGroups::new(
+            Vec::new(),
+        ),
+        SortedLayout::SharedFull => (
+            Some(SharedState::Full(Box::new(FusedFullGroups::<M>::new(
                 &full, cfg,
             )))),
-            rest: partial.iter().map(|g| FusedGroup::new(*g, cfg)).collect(),
-        },
-        SortedLayout::Independent => CoreState::FusedSorted {
-            shared: None,
-            rest: kept.iter().map(|g| FusedGroup::new(*g, cfg)).collect(),
-        },
+            partial.iter().map(|g| FusedGroup::new(*g, cfg)).collect(),
+        ),
+        SortedLayout::Independent => (
+            None,
+            kept.iter().map(|g| FusedGroup::new(*g, cfg)).collect(),
+        ),
     }
 }
 

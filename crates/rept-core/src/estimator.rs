@@ -113,6 +113,12 @@ pub enum Engine {
     /// default.
     #[default]
     FusedSorted,
+    /// The fused engine over the hybrid sorted-vec / blocked-bitmap
+    /// layout ([`rept_graph::hybrid_tagged`]): low-degree nodes keep
+    /// the sorted layout, high-degree nodes promote to chunked `u64`
+    /// bitmaps so hub intersections run bit-parallel
+    /// (`AND` + `count_ones`). Fastest on skewed streams.
+    FusedHybrid,
 }
 
 impl Engine {
@@ -122,12 +128,18 @@ impl Engine {
             Engine::PerWorker => "per-worker",
             Engine::FusedHash => "fused-hash",
             Engine::FusedSorted => "fused-sorted",
+            Engine::FusedHybrid => "fused-hybrid",
         }
     }
 
     /// Every engine, reference oracle first (benchmark iteration order).
-    pub fn all() -> [Engine; 3] {
-        [Engine::PerWorker, Engine::FusedHash, Engine::FusedSorted]
+    pub fn all() -> [Engine; 4] {
+        [
+            Engine::PerWorker,
+            Engine::FusedHash,
+            Engine::FusedSorted,
+            Engine::FusedHybrid,
+        ]
     }
 
     /// Parses a [`Self::name`] back to an engine. Accepts the pre-layout
@@ -138,6 +150,7 @@ impl Engine {
             "per-worker" => Some(Engine::PerWorker),
             "fused-hash" => Some(Engine::FusedHash),
             "fused-sorted" | "fused" => Some(Engine::FusedSorted),
+            "fused-hybrid" => Some(Engine::FusedHybrid),
             _ => None,
         }
     }
@@ -244,7 +257,9 @@ impl Rept {
     ) -> ReptEstimate {
         match engine {
             Engine::PerWorker => self.run_threaded(stream, threads),
-            Engine::FusedHash | Engine::FusedSorted => engine::drive(self, engine, stream, threads),
+            Engine::FusedHash | Engine::FusedSorted | Engine::FusedHybrid => {
+                engine::drive(self, engine, stream, threads)
+            }
         }
     }
 

@@ -59,6 +59,7 @@
 
 use rept_graph::cell_tagged::{CellTag, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
+use rept_graph::hybrid_tagged::{MaskedHybridTaggedAdjacency, MultiHybridTaggedAdjacency};
 use rept_graph::masked_tagged::MaskedSortedTaggedAdjacency;
 use rept_graph::multi_tagged::MultiSortedTaggedAdjacency;
 use rept_hash::fx::{table_bytes, FxHashMap, FxHashSet};
@@ -416,19 +417,204 @@ impl<A: TaggedAdjacency> FusedGroup<A> {
     }
 }
 
+/// The shared multi-tag structure interface [`FusedFullGroups`] is
+/// generic over. The sorted and hybrid layouts expose identical
+/// inherent APIs; this trait names the subset the fused engine and the
+/// checkpoint codec ([`crate::resume`]) actually use, so the group
+/// fusion logic is written once for both.
+pub(crate) trait SharedMultiAdjacency:
+    std::fmt::Debug + Clone + Send + Sync + 'static
+{
+    /// Empty structure with one tag column per full group.
+    fn with_width(width: usize) -> Self;
+    /// Inserts with one tag per group; `false` on a duplicate.
+    fn insert(&mut self, e: Edge, tags: &[CellTag]) -> bool;
+    /// Fused match + optional store — see
+    /// [`MultiSortedTaggedAdjacency::match_then_insert`] for the exact
+    /// contract (`f(g, w, cell)` per group whose tags agree).
+    fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<&[CellTag]>,
+        f: F,
+    ) -> bool;
+    /// Batch-boundary compaction (pure representation change).
+    fn compact(&mut self);
+    /// Approximate heap footprint in bytes.
+    fn approx_bytes(&self) -> usize;
+    /// The stored edge set, tags omitted (every group's tag is
+    /// recomputable from its hasher) — the checkpoint enumeration.
+    fn collect_edges(&self) -> Vec<Edge>;
+}
+
+impl SharedMultiAdjacency for MultiSortedTaggedAdjacency {
+    fn with_width(width: usize) -> Self {
+        Self::new(width)
+    }
+    fn insert(&mut self, e: Edge, tags: &[CellTag]) -> bool {
+        MultiSortedTaggedAdjacency::insert(self, e, tags)
+    }
+    fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<&[CellTag]>,
+        f: F,
+    ) -> bool {
+        MultiSortedTaggedAdjacency::match_then_insert(self, e, store, f)
+    }
+    fn compact(&mut self) {
+        MultiSortedTaggedAdjacency::compact(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        MultiSortedTaggedAdjacency::approx_bytes(self)
+    }
+    fn collect_edges(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+}
+
+impl SharedMultiAdjacency for MultiHybridTaggedAdjacency {
+    fn with_width(width: usize) -> Self {
+        Self::new(width)
+    }
+    fn insert(&mut self, e: Edge, tags: &[CellTag]) -> bool {
+        MultiHybridTaggedAdjacency::insert(self, e, tags)
+    }
+    fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<&[CellTag]>,
+        f: F,
+    ) -> bool {
+        MultiHybridTaggedAdjacency::match_then_insert(self, e, store, f)
+    }
+    fn compact(&mut self) {
+        MultiHybridTaggedAdjacency::compact(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        MultiHybridTaggedAdjacency::approx_bytes(self)
+    }
+    fn collect_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        self.for_each_edge(|e| out.push(e));
+        out
+    }
+}
+
+/// The masked shared structure interface [`FusedMaskedGroups`] is
+/// generic over — the masked analogue of [`SharedMultiAdjacency`],
+/// again implemented by both the sorted and hybrid layouts.
+pub(crate) trait SharedMaskedAdjacency:
+    std::fmt::Debug + Clone + Send + Sync + 'static
+{
+    /// Empty structure with one tag column per full group plus the
+    /// masked column.
+    fn with_full_width(full_width: usize) -> Self;
+    /// Inserts into the union set; `false` on a duplicate.
+    fn insert(&mut self, e: Edge, full: &[CellTag], masked: Option<CellTag>) -> bool;
+    /// Fused match + optional store — see
+    /// [`MaskedSortedTaggedAdjacency::match_then_insert`] (`g ==
+    /// full_width` is the masked group).
+    fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<(&[CellTag], Option<CellTag>)>,
+        f: F,
+    ) -> bool;
+    /// Batch-boundary compaction (pure representation change).
+    fn compact(&mut self);
+    /// Number of edges whose masked tag is set.
+    fn masked_edge_count(&self) -> usize;
+    /// Approximate heap footprint in bytes.
+    fn approx_bytes(&self) -> usize;
+    /// The union edge set, tags omitted — the checkpoint enumeration.
+    fn collect_edges(&self) -> Vec<Edge>;
+    /// The masked tag of `e`, if the edge is stored with one set — the
+    /// checkpoint decoder's masked-subset validation hook.
+    fn masked_tag_of(&self, e: Edge) -> Option<CellTag>;
+}
+
+impl SharedMaskedAdjacency for MaskedSortedTaggedAdjacency {
+    fn with_full_width(full_width: usize) -> Self {
+        Self::new(full_width)
+    }
+    fn insert(&mut self, e: Edge, full: &[CellTag], masked: Option<CellTag>) -> bool {
+        MaskedSortedTaggedAdjacency::insert(self, e, full, masked)
+    }
+    fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<(&[CellTag], Option<CellTag>)>,
+        f: F,
+    ) -> bool {
+        MaskedSortedTaggedAdjacency::match_then_insert(self, e, store, f)
+    }
+    fn compact(&mut self) {
+        MaskedSortedTaggedAdjacency::compact(self)
+    }
+    fn masked_edge_count(&self) -> usize {
+        MaskedSortedTaggedAdjacency::masked_edge_count(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        MaskedSortedTaggedAdjacency::approx_bytes(self)
+    }
+    fn collect_edges(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+    fn masked_tag_of(&self, e: Edge) -> Option<CellTag> {
+        self.tags_of(e).and_then(|(_, m)| m)
+    }
+}
+
+impl SharedMaskedAdjacency for MaskedHybridTaggedAdjacency {
+    fn with_full_width(full_width: usize) -> Self {
+        Self::new(full_width)
+    }
+    fn insert(&mut self, e: Edge, full: &[CellTag], masked: Option<CellTag>) -> bool {
+        MaskedHybridTaggedAdjacency::insert(self, e, full, masked)
+    }
+    fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<(&[CellTag], Option<CellTag>)>,
+        f: F,
+    ) -> bool {
+        MaskedHybridTaggedAdjacency::match_then_insert(self, e, store, f)
+    }
+    fn compact(&mut self) {
+        MaskedHybridTaggedAdjacency::compact(self)
+    }
+    fn masked_edge_count(&self) -> usize {
+        MaskedHybridTaggedAdjacency::masked_edge_count(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        MaskedHybridTaggedAdjacency::approx_bytes(self)
+    }
+    fn collect_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        self.for_each_edge(|e| out.push(e));
+        out
+    }
+    fn masked_tag_of(&self, e: Edge) -> Option<CellTag> {
+        self.tags_of(e).and_then(|(_, m)| m)
+    }
+}
+
 /// All of a layout's **full** hash groups (size = `m`) fused over one
 /// shared neighbor structure. A full group owns every cell of its hash,
 /// so it stores every stream edge — all full groups therefore hold the
-/// identical edge set and differ only in tags, which
-/// [`MultiSortedTaggedAdjacency`] exploits: one structure walk per edge
-/// discovers the common neighbors for every group at once, and only the
-/// per-group tag comparisons and counter folds remain per group. The
-/// counters are maintained per group exactly as `FusedGroup` would,
-/// so the result is bit-identical to running the groups independently.
+/// identical edge set and differ only in tags, which the shared
+/// structure (sorted [`MultiSortedTaggedAdjacency`] or hybrid
+/// [`MultiHybridTaggedAdjacency`], per the `M` parameter) exploits: one
+/// structure walk per edge discovers the common neighbors for every
+/// group at once, and only the per-group tag comparisons and counter
+/// folds remain per group. The counters are maintained per group
+/// exactly as `FusedGroup` would, so the result is bit-identical to
+/// running the groups independently.
 #[derive(Debug, Clone)]
-pub(crate) struct FusedFullGroups {
+pub(crate) struct FusedFullGroups<M: SharedMultiAdjacency = MultiSortedTaggedAdjacency> {
     pub(crate) specs: Vec<GroupSpec>,
-    pub(crate) adj: MultiSortedTaggedAdjacency,
+    pub(crate) adj: M,
     pub(crate) counters: Vec<GroupCounters>,
     /// Per-edge scratch: each group's owner cell (always owned — a full
     /// group owns all `m` cells) …
@@ -437,7 +623,7 @@ pub(crate) struct FusedFullGroups {
     closed: Vec<u64>,
 }
 
-impl FusedFullGroups {
+impl<M: SharedMultiAdjacency> FusedFullGroups<M> {
     /// Creates the shared state for the given full groups.
     ///
     /// # Panics
@@ -454,7 +640,7 @@ impl FusedFullGroups {
             );
         }
         Self {
-            adj: MultiSortedTaggedAdjacency::new(specs.len()),
+            adj: M::with_width(specs.len()),
             counters: specs
                 .iter()
                 .map(|g| GroupCounters::new(g.size, cfg))
@@ -542,19 +728,21 @@ impl FusedFullGroups {
 /// masked shared structure. The full groups store every stream edge,
 /// so the union set is theirs; the remainder group's sampled edges are
 /// the subset whose remainder-hash cell is owned (`cell < c₂`), marked
-/// by the masked tag column of [`MaskedSortedTaggedAdjacency`]. One
+/// by the masked tag column of the shared structure (sorted
+/// [`MaskedSortedTaggedAdjacency`] or hybrid
+/// [`MaskedHybridTaggedAdjacency`], per the `K` parameter). One
 /// structure walk per arriving edge yields every group's matches —
 /// including the remainder's, which previously paid a second walk over
 /// its own adjacency. Counters are maintained per group exactly as
 /// `FusedGroup` would, so the result is bit-identical to running the
 /// full groups shared and the remainder independently.
 #[derive(Debug, Clone)]
-pub(crate) struct FusedMaskedGroups {
+pub(crate) struct FusedMaskedGroups<K: SharedMaskedAdjacency = MaskedSortedTaggedAdjacency> {
     /// The full groups' specs, in layout order.
     pub(crate) full_specs: Vec<GroupSpec>,
     /// The remainder group's spec (`size < m`).
     pub(crate) rem_spec: GroupSpec,
-    pub(crate) adj: MaskedSortedTaggedAdjacency,
+    pub(crate) adj: K,
     /// Per-group counters: full groups first, remainder **last** —
     /// matching the masked structure's group indexing, where group
     /// `full_specs.len()` is the masked group.
@@ -566,7 +754,7 @@ pub(crate) struct FusedMaskedGroups {
     closed: Vec<u64>,
 }
 
-impl FusedMaskedGroups {
+impl<K: SharedMaskedAdjacency> FusedMaskedGroups<K> {
     /// Creates the shared state for the given full groups plus the
     /// remainder group.
     ///
@@ -590,7 +778,7 @@ impl FusedMaskedGroups {
         );
         let n = full_specs.len();
         Self {
-            adj: MaskedSortedTaggedAdjacency::new(n),
+            adj: K::with_full_width(n),
             counters: full_specs
                 .iter()
                 .chain(std::iter::once(&rem_spec))
@@ -779,6 +967,11 @@ mod tests {
         counters_match_workers_exactly::<SortedTaggedAdjacency>();
     }
 
+    #[test]
+    fn hybrid_backend_counters_match_workers_exactly() {
+        counters_match_workers_exactly::<rept_graph::hybrid_tagged::HybridTaggedAdjacency>();
+    }
+
     /// The split match/apply driver equals edge-by-edge processing on the
     /// same group, for any batch boundary — including batches containing
     /// duplicate stream edges (which must store once and keep matching).
@@ -831,9 +1024,10 @@ mod tests {
 
     /// The masked fusion equals the previous layout — shared full
     /// groups plus an independent remainder group — counter for
-    /// counter, on duplicate-edge streams, both η modes.
-    #[test]
-    fn masked_groups_equal_full_groups_plus_independent_remainder() {
+    /// counter, on duplicate-edge streams, both η modes. Generic over
+    /// the shared layout pair so the sorted and hybrid structures are
+    /// held to the identical contract.
+    fn masked_groups_equal_split_layout<M: SharedMultiAdjacency, K: SharedMaskedAdjacency>() {
         let mut stream = barabasi_albert(&GeneratorConfig::new(200, 5), 4);
         let dup: Vec<Edge> = stream[20..60].to_vec();
         stream.splice(90..90, dup);
@@ -851,8 +1045,8 @@ mod tests {
                     .partition(|g| g.size as u64 == m);
                 assert_eq!(rem.len(), 1, "layouts chosen to have a remainder");
 
-                let mut masked = FusedMaskedGroups::new(&full, rem[0], &cfg);
-                let mut shared = FusedFullGroups::new(&full, &cfg);
+                let mut masked = FusedMaskedGroups::<K>::new(&full, rem[0], &cfg);
+                let mut shared = FusedFullGroups::<M>::new(&full, &cfg);
                 let mut independent = FusedGroup::<SortedTaggedAdjacency>::new(rem[0], &cfg);
                 for (i, &e) in stream.iter().enumerate() {
                     masked.process(e);
@@ -864,7 +1058,10 @@ mod tests {
                         independent.compact();
                     }
                 }
-                assert_eq!(masked.adj.edge_count(), shared.adj.edge_count());
+                assert_eq!(
+                    masked.adj.collect_edges().len(),
+                    shared.adj.collect_edges().len()
+                );
                 assert_eq!(
                     masked.adj.masked_edge_count(),
                     independent.adj.edge_count(),
@@ -884,6 +1081,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn masked_groups_equal_full_groups_plus_independent_remainder() {
+        masked_groups_equal_split_layout::<MultiSortedTaggedAdjacency, MaskedSortedTaggedAdjacency>(
+        );
+    }
+
+    #[test]
+    fn hybrid_masked_groups_equal_full_groups_plus_independent_remainder() {
+        masked_groups_equal_split_layout::<MultiHybridTaggedAdjacency, MaskedHybridTaggedAdjacency>(
+        );
     }
 
     /// Unowned cells (`cell ≥ size`) must drop the edge in both engines.

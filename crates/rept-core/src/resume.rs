@@ -52,14 +52,14 @@ use std::path::{Path, PathBuf};
 
 use rept_graph::cell_tagged::{CellTag, CellTaggedAdjacency, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
-use rept_graph::sorted_tagged::SortedTaggedAdjacency;
 
 use crate::config::{EtaMode, ReptConfig};
-use crate::engine::{CoreState, EngineCore, SharedSorted};
+use crate::engine::{CoreState, EngineCore, SharedState};
 use crate::estimate::ReptEstimate;
 use crate::estimator::{Engine, GroupSpec, Rept};
 use crate::fused::{
     FusedEtaCounters, FusedFullGroups, FusedGroup, FusedMaskedGroups, GroupCounters,
+    SharedMaskedAdjacency, SharedMultiAdjacency,
 };
 use crate::reservoir::{ReservoirRun, MIN_MEMORY_BUDGET};
 use crate::worker::SemiTriangleWorker;
@@ -236,11 +236,14 @@ fn sorted_edge_entries(map: &rept_hash::fx::FxHashMap<Edge, u64>) -> Vec<(Edge, 
 }
 
 /// Stable on-disk code of an engine (format field, must never change).
+/// Code 3 is taken by the reservoir run mode
+/// ([`RESERVOIR_ENGINE_CODE`]), so the hybrid engine claims 4.
 fn engine_code(engine: Engine) -> u8 {
     match engine {
         Engine::PerWorker => 0,
         Engine::FusedHash => 1,
         Engine::FusedSorted => 2,
+        Engine::FusedHybrid => 4,
     }
 }
 
@@ -249,6 +252,7 @@ fn engine_from_code(code: u8) -> Result<Engine, SnapshotError> {
         0 => Ok(Engine::PerWorker),
         1 => Ok(Engine::FusedHash),
         2 => Ok(Engine::FusedSorted),
+        4 => Ok(Engine::FusedHybrid),
         _ => Err(SnapshotError::Invalid("engine code")),
     }
 }
@@ -444,7 +448,10 @@ impl ResumableRun {
                         }
                     }
                     CoreState::FusedSorted { shared, rest } => {
-                        write_sorted_state_v3(shared.as_ref(), rest, &mut out)
+                        write_shared_state_v3(shared.as_ref(), rest, &mut out)
+                    }
+                    CoreState::FusedHybrid { shared, rest } => {
+                        write_shared_state_v3(shared.as_ref(), rest, &mut out)
                     }
                 }
             }
@@ -545,7 +552,20 @@ impl ResumableRun {
                 } else {
                     read_sorted_sections_v3(&mut r, &rept)?
                 };
-                build_sorted_state(&rept, decoded)?
+                let (shared, rest) = build_shared_groups(&rept, decoded)?;
+                CoreState::FusedSorted { shared, rest }
+            }
+            Engine::FusedHybrid => {
+                // The hybrid engine postdates v2 blobs, but its sections
+                // are the same sorted-layout sections — only the rebuild
+                // target differs, so both readers remain usable.
+                let decoded = if version == 2 {
+                    read_sorted_sections_v2(&mut r, &rept)?
+                } else {
+                    read_sorted_sections_v3(&mut r, &rept)?
+                };
+                let (shared, rest) = build_shared_groups(&rept, decoded)?;
+                CoreState::FusedHybrid { shared, rest }
             }
         };
         if !r.done() {
@@ -770,26 +790,33 @@ fn write_group_section(out: &mut Vec<u8>, edges: &[Edge], counters: &GroupCounte
     write_counter_block(out, counters);
 }
 
-/// Serialises the sorted engine's state the way the core holds it
+/// Serialises a shared-layout engine's state the way the core holds it
 /// (format version 3): the shared structures' union edge set is written
 /// **once**, followed by one counter block per sharing group; the
 /// masked remainder contributes its counter block plus its stored-edge
 /// count (the edges themselves are the subset of the union the
-/// remainder hash owns — recomputed on restore).
-fn write_sorted_state_v3(
-    shared: Option<&SharedSorted>,
-    rest: &[FusedGroup<SortedTaggedAdjacency>],
+/// remainder hash owns — recomputed on restore). Generic over the
+/// layout triple: the sorted and hybrid engines write identical
+/// sections (only the header's engine code distinguishes them), since
+/// tags and representation are both rebuilt on restore.
+fn write_shared_state_v3<M, K, A>(
+    shared: Option<&SharedState<M, K>>,
+    rest: &[FusedGroup<A>],
     out: &mut Vec<u8>,
-) {
+) where
+    M: SharedMultiAdjacency,
+    K: SharedMaskedAdjacency,
+    A: TaggedAdjacency,
+{
     match shared {
         None => {
             out.push(layout_tag::INDEPENDENT);
             out.extend_from_slice(&(rest.len() as u64).to_le_bytes());
         }
-        Some(SharedSorted::Full(s)) => {
+        Some(SharedState::Full(s)) => {
             out.push(layout_tag::SHARED_FULL);
             out.extend_from_slice(&(s.specs.len() as u64).to_le_bytes());
-            let mut union: Vec<Edge> = s.adj.edges().collect();
+            let mut union: Vec<Edge> = s.adj.collect_edges();
             union.sort_unstable();
             write_edge_list(out, &union);
             for counters in &s.counters {
@@ -797,10 +824,10 @@ fn write_sorted_state_v3(
             }
             out.extend_from_slice(&(rest.len() as u64).to_le_bytes());
         }
-        Some(SharedSorted::Masked(s)) => {
+        Some(SharedState::Masked(s)) => {
             out.push(layout_tag::MASKED);
             out.extend_from_slice(&(s.full_specs.len() as u64).to_le_bytes());
-            let mut union: Vec<Edge> = s.adj.edges().collect();
+            let mut union: Vec<Edge> = s.adj.collect_edges();
             union.sort_unstable();
             write_edge_list(out, &union);
             let (full_counters, rem_counters) = s.counters.split_at(s.full_specs.len());
@@ -934,7 +961,7 @@ enum RemainderSection {
 }
 
 /// The sorted engine's decoded state sections, normalised across format
-/// versions; [`build_sorted_state`] turns this into the core layout.
+/// versions; [`build_shared_groups`] turns this into the core layout.
 struct SortedDecoded {
     /// The full groups' shared edge set (empty when the layout has no
     /// shareable full groups).
@@ -1029,7 +1056,7 @@ fn read_sorted_sections_v2(
 }
 
 /// Reads a version-3 sorted section list (see
-/// [`write_sorted_state_v3`]).
+/// [`write_shared_state_v3`]).
 fn read_sorted_sections_v3(
     r: &mut Reader<'_>,
     rept: &Rept,
@@ -1095,11 +1122,26 @@ fn read_sorted_sections_v3(
     Ok(decoded)
 }
 
-/// Turns decoded sorted sections into the core's state, picking the
-/// same sharing [`EngineCore`] construction picks — so a resumed run is
-/// the same state a fresh run fed the same edges would hold, whatever
-/// format version (or sharing level) the blob was written under.
-fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, SnapshotError> {
+/// Shared state (if any groups share an adjacency) plus the per-group
+/// engine cores rebuilt from a decoded snapshot.
+type SharedGroups<M, K, A> = (Option<SharedState<M, K>>, Vec<FusedGroup<A>>);
+
+/// Turns decoded sorted-layout sections into a shared-layout engine's
+/// state, picking the same sharing [`EngineCore`] construction picks —
+/// so a resumed run is the same state a fresh run fed the same edges
+/// would hold, whatever format version (or sharing level) the blob was
+/// written under. Generic over the layout triple: restoring into the
+/// hybrid engine rebuilds the blocked bitmaps from the very same union
+/// edge set a sorted restore would consume.
+fn build_shared_groups<M, K, A>(
+    rept: &Rept,
+    decoded: SortedDecoded,
+) -> Result<SharedGroups<M, K, A>, SnapshotError>
+where
+    M: SharedMultiAdjacency,
+    K: SharedMaskedAdjacency,
+    A: TaggedAdjacency,
+{
     let cfg = *rept.config();
     let (full, partial) = split_specs(rept);
     let SortedDecoded {
@@ -1159,7 +1201,7 @@ fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, 
         if !rest.is_empty() {
             return Err(SnapshotError::Invalid("masked layout leaves no rest"));
         }
-        let mut shared = FusedMaskedGroups::new(&full, partial[0], &cfg);
+        let mut shared = FusedMaskedGroups::<K>::new(&full, partial[0], &cfg);
         for &e in &union {
             if !shared.insert_restored(e) {
                 return Err(SnapshotError::Invalid("duplicate edge in group"));
@@ -1180,8 +1222,7 @@ fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, 
                     return Err(SnapshotError::Invalid("duplicate edge in group"));
                 }
                 for e in &edges {
-                    let masked = shared.adj.tags_of(*e).and_then(|(_, m)| m);
-                    if masked.is_none() {
+                    if shared.adj.masked_tag_of(*e).is_none() {
                         return Err(SnapshotError::Invalid(
                             "remainder edge outside the masked subset",
                         ));
@@ -1196,10 +1237,7 @@ fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, 
         let mut counters = full_counters;
         counters.push(rem_counters);
         shared.counters = counters;
-        return Ok(CoreState::FusedSorted {
-            shared: Some(SharedSorted::Masked(Box::new(shared))),
-            rest: Vec::new(),
-        });
+        return Ok((Some(SharedState::Masked(Box::new(shared))), Vec::new()));
     }
 
     if !full_counters.is_empty() {
@@ -1207,7 +1245,7 @@ fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, 
         if full_counters.len() != full.len() || full.len() < 2 {
             return Err(SnapshotError::Invalid("full group count/config mismatch"));
         }
-        let mut shared = FusedFullGroups::new(&full, &cfg);
+        let mut shared = FusedFullGroups::<M>::new(&full, &cfg);
         for &e in &union {
             if !shared.insert_restored(e) {
                 return Err(SnapshotError::Invalid("duplicate edge in group"));
@@ -1219,10 +1257,7 @@ fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, 
             .into_iter()
             .map(|(spec, edges, counters)| group_from_section(&cfg, spec, &edges, counters))
             .collect::<Result<_, _>>()?;
-        return Ok(CoreState::FusedSorted {
-            shared: Some(SharedSorted::Full(Box::new(shared))),
-            rest,
-        });
+        return Ok((Some(SharedState::Full(Box::new(shared))), rest));
     }
 
     // No sharing: independent groups only.
@@ -1233,7 +1268,7 @@ fn build_sorted_state(rept: &Rept, decoded: SortedDecoded) -> Result<CoreState, 
         .into_iter()
         .map(|(spec, edges, counters)| group_from_section(&cfg, spec, &edges, counters))
         .collect::<Result<_, _>>()?;
-    Ok(CoreState::FusedSorted { shared: None, rest })
+    Ok((None, rest))
 }
 
 // ---- worker snapshot plumbing -------------------------------------------
@@ -1302,6 +1337,7 @@ impl SemiTriangleWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SharedSorted;
     use proptest::collection::vec as prop_vec;
     use proptest::prelude::*;
     use rept_gen::{barabasi_albert, stream_order, GeneratorConfig};
@@ -1469,6 +1505,7 @@ mod tests {
             Engine::PerWorker => 0,
             Engine::FusedHash => 1,
             Engine::FusedSorted => 2,
+            Engine::FusedHybrid => unreachable!("v2 blobs predate the hybrid engine"),
         });
         out.extend_from_slice(&run.position().to_le_bytes());
         match &run.engine_core().state {
@@ -1521,6 +1558,9 @@ mod tests {
                     edges.sort_unstable();
                     frozen_v2_group_section(&mut out, &edges, &g.counters);
                 }
+            }
+            CoreState::FusedHybrid { .. } => {
+                unreachable!("v2 blobs predate the hybrid engine")
             }
         }
         out
@@ -1634,6 +1674,11 @@ mod tests {
             let split = (split_sel as usize) % (stream.len() + 1);
 
             for engine in Engine::all() {
+                if engine == Engine::FusedHybrid {
+                    // The hybrid engine postdates v2: no old release ever
+                    // wrote such a blob, so there is nothing to freeze.
+                    continue;
+                }
                 let mut run = ResumableRun::with_engine(rept.clone(), engine);
                 run.process_batch(&stream[..split]);
 

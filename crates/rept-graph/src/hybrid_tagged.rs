@@ -1,0 +1,1797 @@
+//! Hybrid sorted-vec / blocked-bitmap cell-tagged adjacency — the
+//! bit-parallel fourth backend of the fused execution engine.
+//!
+//! The sorted layouts ([`crate::sorted_tagged`], [`crate::multi_tagged`],
+//! [`crate::masked_tagged`]) intersect neighbor lists element-at-a-time:
+//! a branchless merge or a gallop, but still one comparison per
+//! candidate neighbor. On skewed (Barabási–Albert-like) streams the
+//! quadratic intersection work concentrates on a few high-degree hubs —
+//! exactly where a bitmap wins. This module keeps each node's neighbor
+//! set in one of two representations:
+//!
+//! * **sparse** (low degree): a sorted neighbor vec with strided tag
+//!   runs plus a bounded unsorted tail — byte-for-byte the layout of
+//!   [`MultiSortedTaggedAdjacency`](crate::multi_tagged::MultiSortedTaggedAdjacency);
+//! * **dense** (degree > threshold): a *blocked bitmap* — `u64`
+//!   membership words keyed by `neighbor_id / 64`, reached through a
+//!   paged direct-index block directory, so hub∩hub intersection is
+//!   `AND` + `count_ones` over words (64 candidates per instruction,
+//!   zero `unsafe`) and a membership probe is two loads plus a bit
+//!   test — no binary search, no rank arithmetic.
+//!
+//! Tags are stored **packed**: a partition cell is an index below `m`,
+//! which in any realistic configuration fits one byte, so the store
+//! keeps `u8` elements (the [`MASKED_NONE`] sentinel maps to `0xFF`)
+//! and the whole structure transparently *widens* to `u32` storage the
+//! first time an unrepresentable tag arrives. Packing is what makes
+//! the layout cheap to *maintain*, not just to query: the sorted
+//! layouts' ingest cost is dominated by tail-merge traffic moving
+//! 4-byte neighbor + 4·stride-byte tag entries, and packing shrinks
+//! the tag share of that traffic 4×(8 bytes per entry instead of 20
+//! at stride 4). Dense cores store tag runs *direct-addressed*: bit
+//! `i` of block `b` owns `tags[(b·64 + i)·stride ..][..stride]`, so a
+//! probe reaches its tags with no rank computation and an insert into
+//! an existing block writes one bit plus `stride` tag bytes in place
+//! — promoted nodes never buffer a tail and never rebuild. The price
+//! is `64·stride` tag bytes per touched block whether or not every
+//! bit is set; dense nodes trade memory for constant-time maintenance
+//! (the sparse majority still stores tags contiguously).
+//!
+//! Promotion is automatic and one-way: a node crossing
+//! `dense_threshold` neighbors converts its sorted vec into a blocked
+//! bitmap (demotion never happens — degrees only grow in an insert-only
+//! stream). Sparse nodes keep the sorted layouts' append-heavy
+//! semantics — new neighbors land in a bounded unsorted tail
+//! (`TAIL_LIMIT`), back-merged on overflow — while dense nodes insert
+//! in place, so queries never need `&mut self` and the fused engine's
+//! read-only batch matching still parallelises. Unlike the sorted
+//! layouts, batch-boundary `compact` is lazy here: only tails already
+//! at the overflow bound are merged (see `compact` for why).
+//!
+//! Three wrappers mirror the three sorted layouts one-for-one:
+//! [`HybridTaggedAdjacency`] (single tag column, implements
+//! [`TaggedAdjacency`]), [`MultiHybridTaggedAdjacency`] (one column per
+//! full hash group) and [`MaskedHybridTaggedAdjacency`] (full columns
+//! plus the [`MASKED_NONE`]-sentinel remainder column). The equivalence
+//! tests below drive each against its sorted counterpart with identical
+//! inserts and assert identical answers at several thresholds, including
+//! the all-dense and all-sparse extremes.
+
+use crate::cell_tagged::{CellTag, TaggedAdjacency};
+use crate::edge::{Edge, NodeId};
+use crate::masked_tagged::MASKED_NONE;
+use crate::sorted_tagged::{for_each_common_position, TAIL_LIMIT};
+
+/// Comparison budget below which a sparse×sparse intersection uses the
+/// vectorizable all-pairs scan instead of the sorted merge kernel.
+const BRUTE_LIMIT: usize = 2048;
+
+/// Default degree at which a node's neighbor set is promoted from the
+/// sorted-vec to the blocked-bitmap representation. Two cache lines of
+/// sorted `u32` neighbors intersect about as fast as the bitmap probes
+/// that would replace them; beyond that the bitmap's word-parallel
+/// `AND` + `count_ones` and index-only tail merges win. Tunable per
+/// structure via the `with_threshold` constructors (the bench sweeps
+/// it).
+pub const DEFAULT_DENSE_THRESHOLD: usize = 128;
+
+/// A tag-store element: either the packed single-byte form or the full
+/// [`CellTag`]. The packing is injective over every representable tag,
+/// so tag-equality filtering runs directly on packed values.
+trait TagElem: Copy + Eq + Default + std::fmt::Debug {
+    /// True if `tag` is representable by this element type.
+    fn fits(tag: CellTag) -> bool;
+    /// Packs a representable tag (callers check [`Self::fits`] first).
+    fn pack(tag: CellTag) -> Self;
+    /// Recovers the original tag.
+    fn unpack(self) -> CellTag;
+}
+
+impl TagElem for CellTag {
+    #[inline]
+    fn fits(_tag: CellTag) -> bool {
+        true
+    }
+    #[inline]
+    fn pack(tag: CellTag) -> Self {
+        tag
+    }
+    #[inline]
+    fn unpack(self) -> CellTag {
+        self
+    }
+}
+
+/// The packed form: cells `< 0xFF` verbatim, [`MASKED_NONE`] ↦ `0xFF`.
+impl TagElem for u8 {
+    #[inline]
+    fn fits(tag: CellTag) -> bool {
+        tag < 0xFF || tag == MASKED_NONE
+    }
+    #[inline]
+    fn pack(tag: CellTag) -> Self {
+        if tag == MASKED_NONE {
+            0xFF
+        } else {
+            tag as u8
+        }
+    }
+    #[inline]
+    fn unpack(self) -> CellTag {
+        if self == 0xFF {
+            MASKED_NONE
+        } else {
+            CellTag::from(self)
+        }
+    }
+}
+
+/// The blocked-bitmap core of a promoted (dense) node.
+///
+/// Blocks live in **arrival order**: `keys[b]` is a block id
+/// (`neighbor_id >> 6`), `words[b]` its 64-neighbor membership word,
+/// and `dir` maps block id → `b` in O(1), so a membership probe is two
+/// loads plus a bit test. Tags are **direct-addressed**: bit `i` of
+/// block `b` owns `tags[(b·64 + i)·stride ..][..stride]`, so an insert
+/// into an existing block is one bit set plus `stride` tag bytes — no
+/// tail buffering, no rank directory, no rebuilds. Slots of unset bits
+/// hold `T::default()` filler and are never read (every access
+/// bit-tests first).
+#[derive(Debug, Clone, Default)]
+struct DenseCore<T> {
+    keys: Vec<NodeId>,
+    words: Vec<u64>,
+    tags: Vec<T>,
+    dir: BlockDir,
+    len: u32,
+}
+
+impl<T: TagElem> DenseCore<T> {
+    /// Number of neighbors stored in the bitmap.
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if neighbor `w` is stored.
+    #[inline]
+    fn contains(&self, w: NodeId) -> bool {
+        self.dir
+            .get(w >> 6)
+            .is_some_and(|b| self.words[b as usize] >> (w & 63) & 1 == 1)
+    }
+
+    /// The tag run of neighbor `w`, if present.
+    #[inline]
+    fn tag_run_of(&self, w: NodeId, stride: usize) -> Option<&[T]> {
+        let b = self.dir.get(w >> 6)? as usize;
+        if self.words[b] >> (w & 63) & 1 == 0 {
+            return None;
+        }
+        Some(self.tag_run(b, (w & 63) as usize, stride))
+    }
+
+    /// The tag run owned by bit `bit` of block `b` (whether set or not).
+    #[inline]
+    fn tag_run(&self, b: usize, bit: usize, stride: usize) -> &[T] {
+        &self.tags[(b * 64 + bit) * stride..][..stride]
+    }
+
+    /// Sets neighbor `w` (caller has verified it absent) with an
+    /// already-packed tag run, appending its block on first touch.
+    fn insert_packed(&mut self, w: NodeId, run: &[T], stride: usize) {
+        let b = match self.dir.get(w >> 6) {
+            Some(b) => b as usize,
+            None => {
+                let b = self.keys.len();
+                *self.dir.entry(w >> 6) = b as u32;
+                self.keys.push(w >> 6);
+                self.words.push(0);
+                self.tags.resize((b + 1) * 64 * stride, T::default());
+                b
+            }
+        };
+        self.words[b] |= 1u64 << (w & 63);
+        let base = (b * 64 + (w & 63) as usize) * stride;
+        self.tags[base..base + stride].copy_from_slice(run);
+        self.len += 1;
+    }
+}
+
+/// One node's neighbor set in either representation.
+///
+/// Sparse (`dense == None`): `nbrs`/`tags` hold a sorted prefix
+/// `[0, sorted_len)` plus an unsorted tail, exactly like the sorted
+/// layouts. Dense: the whole set lives in `dense` (inserts land in the
+/// bitmap directly) and `nbrs`/`tags` stay empty.
+#[derive(Debug, Clone, Default)]
+struct HybridNodeList<T> {
+    nbrs: Vec<NodeId>,
+    /// `nbrs.len() * stride` tags; entry `pos`'s tags occupy
+    /// `tags[pos*stride .. (pos+1)*stride]`.
+    tags: Vec<T>,
+    sorted_len: usize,
+    dense: Option<Box<DenseCore<T>>>,
+}
+
+impl<T: TagElem> HybridNodeList<T> {
+    /// Total neighbor count (sorted prefix + tail, or bitmap).
+    #[inline]
+    fn len(&self) -> usize {
+        self.nbrs.len() + self.dense.as_ref().map_or(0, |d| d.len())
+    }
+
+    /// True if `w` is a neighbor — the tag-free presence probe the
+    /// duplicate check uses (binary search of the sorted prefix, then
+    /// a bounded tail scan).
+    #[inline]
+    fn contains(&self, w: NodeId) -> bool {
+        if let Some(d) = &self.dense {
+            return d.contains(w);
+        }
+        self.nbrs[..self.sorted_len].binary_search(&w).is_ok()
+            || self.nbrs[self.sorted_len..].contains(&w)
+    }
+
+    /// Tag run of neighbor `w` anywhere in the list, if present.
+    #[inline]
+    fn tag_run_of(&self, w: NodeId, stride: usize) -> Option<&[T]> {
+        if let Some(d) = &self.dense {
+            return d.tag_run_of(w, stride);
+        }
+        let pos = match self.nbrs[..self.sorted_len].binary_search(&w) {
+            Ok(pos) => pos,
+            Err(_) => {
+                self.sorted_len + self.nbrs[self.sorted_len..].iter().position(|&x| x == w)?
+            }
+        };
+        Some(&self.tags[pos * stride..(pos + 1) * stride])
+    }
+}
+
+/// Sentinel marking an index key with no assigned value.
+const NO_SLOT: u32 = u32::MAX;
+
+/// A paged direct-index map from a `u32` key space to `u32` values: two
+/// dependent loads per probe instead of a hash computation plus an
+/// open-addressing walk, with pages of `1 << PAGE_BITS` entries
+/// allocated lazily so sparse key spaces cost one pointer per untouched
+/// range. Used for the node-id → arena-slot table (the ingest hot path:
+/// two probes per inserted edge, two more per matched edge) and for
+/// each dense core's block-id → block-index directory.
+#[derive(Debug, Clone, Default)]
+struct PagedIndex<const PAGE_BITS: u32> {
+    pages: Vec<Option<Box<[u32]>>>,
+}
+
+impl<const PAGE_BITS: u32> PagedIndex<PAGE_BITS> {
+    const PAGE: usize = 1 << PAGE_BITS;
+
+    /// The value at `n`, if assigned.
+    #[inline]
+    fn get(&self, n: NodeId) -> Option<u32> {
+        let page = self.pages.get((n >> PAGE_BITS) as usize)?.as_ref()?;
+        let s = page[(n & (Self::PAGE as u32 - 1)) as usize];
+        (s != NO_SLOT).then_some(s)
+    }
+
+    /// Mutable access to `n`'s entry, allocating its page on demand
+    /// (`NO_SLOT` when unassigned).
+    #[inline]
+    fn entry(&mut self, n: NodeId) -> &mut u32 {
+        let pi = (n >> PAGE_BITS) as usize;
+        if pi >= self.pages.len() {
+            self.pages.resize(pi + 1, None);
+        }
+        let page =
+            self.pages[pi].get_or_insert_with(|| vec![NO_SLOT; Self::PAGE].into_boxed_slice());
+        &mut page[(n & (Self::PAGE as u32 - 1)) as usize]
+    }
+
+    /// Heap footprint in bytes.
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pages.capacity() * size_of::<Option<Box<[u32]>>>()
+            + self.pages.iter().flatten().count() * Self::PAGE * size_of::<u32>()
+    }
+}
+
+/// Node id → arena slot (4096-id pages).
+type SlotTable = PagedIndex<12>;
+/// Block id → block index within one dense core (512-block pages — a
+/// block id is already `neighbor_id / 64`, so one page spans 32768
+/// neighbor ids).
+type BlockDir = PagedIndex<9>;
+
+/// The shared engine of all three hybrid wrappers (monomorphized per
+/// tag-store element): a node arena of [`HybridNodeList`]s with a
+/// runtime tag `stride`, duplicate-free edge insertion, exactly-once
+/// tag-filtered intersection and lazily compacted tails.
+#[derive(Debug, Clone)]
+struct HybridCoreImpl<T> {
+    /// Tags per neighbor entry (1 / width / full_width + 1).
+    stride: usize,
+    /// Degree above which a node is promoted to the dense core.
+    threshold: usize,
+    /// Node id → arena slot.
+    slots: SlotTable,
+    /// Slot → node id (the table's inverse, for edge enumeration).
+    nodes: Vec<NodeId>,
+    /// Per-node lists, indexed by slot.
+    lists: Vec<HybridNodeList<T>>,
+    edge_count: usize,
+    /// Slots with pending tails (may contain duplicates; see
+    /// [`crate::sorted_tagged::SortedTaggedAdjacency`]).
+    dirty: Vec<u32>,
+    /// Reusable sparse-merge scratch (`stride` is runtime-sized).
+    scratch_nbrs: Vec<NodeId>,
+    scratch_tags: Vec<T>,
+}
+
+impl<T: TagElem> HybridCoreImpl<T> {
+    fn new(stride: usize, threshold: usize) -> Self {
+        assert!(stride > 0, "need at least one tag column");
+        Self {
+            stride,
+            threshold,
+            slots: SlotTable::default(),
+            nodes: Vec::new(),
+            lists: Vec::new(),
+            edge_count: 0,
+            dirty: Vec::new(),
+            scratch_nbrs: Vec::new(),
+            scratch_tags: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn ensure_slot(&mut self, n: NodeId) -> usize {
+        // Fast path: most probes hit existing nodes, and the read-only
+        // lookup skips the mutable path's page-allocation branches.
+        if let Some(s) = self.slots.get(n) {
+            return s as usize;
+        }
+        let next = self.lists.len() as u32;
+        *self.slots.entry(n) = next;
+        self.nodes.push(n);
+        self.lists.push(HybridNodeList {
+            nbrs: Vec::with_capacity(8),
+            tags: Vec::with_capacity(8 * self.stride),
+            sorted_len: 0,
+            dense: None,
+        });
+        next as usize
+    }
+
+    #[inline]
+    fn degree(&self, n: NodeId) -> usize {
+        self.slots
+            .get(n)
+            .map_or(0, |s| self.lists[s as usize].len())
+    }
+
+    /// Tag run of an edge, if present.
+    #[inline]
+    fn tag_run_of_edge(&self, e: Edge) -> Option<&[T]> {
+        let s = self.slots.get(e.u())? as usize;
+        self.lists[s].tag_run_of(e.v(), self.stride)
+    }
+
+    /// Appends `(w, run)` to the slot's list (packing the tags). Dense
+    /// lists take the entry in place; sparse lists buffer it in the
+    /// tail, merging on overflow and promoting past the threshold.
+    /// Returns `true` when the push left a newly non-empty tail — the
+    /// caller's cue to register the slot dirty.
+    #[inline]
+    fn push_entry(&mut self, slot: usize, w: NodeId, run: &[CellTag]) -> bool {
+        let stride = self.stride;
+        let threshold = self.threshold;
+        let list = &mut self.lists[slot];
+        if let Some(d) = list.dense.as_deref_mut() {
+            let mut packed = [T::default(); 8];
+            if stride <= packed.len() {
+                for (pt, &t) in packed.iter_mut().zip(run) {
+                    *pt = T::pack(t);
+                }
+                d.insert_packed(w, &packed[..stride], stride);
+            } else {
+                self.scratch_tags.clear();
+                self.scratch_tags.extend(run.iter().map(|&t| T::pack(t)));
+                d.insert_packed(w, &self.scratch_tags, stride);
+            }
+            return false;
+        }
+        let was_clean = list.sorted_len == list.nbrs.len();
+        list.nbrs.push(w);
+        list.tags.extend(run.iter().map(|&t| T::pack(t)));
+        if list.nbrs.len() > threshold {
+            self.promote(slot);
+            false
+        } else if list.nbrs.len() - list.sorted_len > TAIL_LIMIT {
+            self.merge_sparse(slot);
+            false
+        } else {
+            was_clean
+        }
+    }
+
+    /// Converts a sparse slot into the dense representation: walk the
+    /// list once (tail included — insertion order within one node is
+    /// irrelevant to a set), spreading each entry's already-packed tag
+    /// run into its direct-addressed slot.
+    fn promote(&mut self, slot: usize) {
+        let stride = self.stride;
+        let list = &mut self.lists[slot];
+        let mut d = DenseCore::default();
+        for (pos, &w) in list.nbrs.iter().enumerate() {
+            d.insert_packed(w, &list.tags[pos * stride..(pos + 1) * stride], stride);
+        }
+        list.nbrs = Vec::new();
+        list.tags = Vec::new();
+        list.sorted_len = 0;
+        list.dense = Some(Box::new(d));
+    }
+
+    /// Merges a sparse slot's unsorted tail into its sorted prefix —
+    /// the same back-merge as the sorted layouts, strided tag runs moved
+    /// alongside their neighbor entries via the reusable scratch.
+    fn merge_sparse(&mut self, slot: usize) {
+        let stride = self.stride;
+        let list = &mut self.lists[slot];
+        let s = list.sorted_len;
+        let n = list.nbrs.len();
+        if s == n {
+            return;
+        }
+        let mut order: [(NodeId, usize); TAIL_LIMIT + 1] = [(0, 0); TAIL_LIMIT + 1];
+        let order = &mut order[..n - s];
+        for (k, entry) in order.iter_mut().enumerate() {
+            *entry = (list.nbrs[s + k], s + k);
+        }
+        order.sort_unstable_by_key(|&(w, _)| w);
+        self.scratch_nbrs.clear();
+        self.scratch_tags.clear();
+        for &(w, pos) in order.iter() {
+            self.scratch_nbrs.push(w);
+            self.scratch_tags
+                .extend_from_slice(&list.tags[pos * stride..(pos + 1) * stride]);
+        }
+
+        let (mut a, mut t, mut write) = (s, order.len(), n);
+        while t > 0 {
+            let (src, from_tail) = if a > 0 && list.nbrs[a - 1] > self.scratch_nbrs[t - 1] {
+                a -= 1;
+                (a, false)
+            } else {
+                t -= 1;
+                (t, true)
+            };
+            write -= 1;
+            if from_tail {
+                list.nbrs[write] = self.scratch_nbrs[src];
+                list.tags[write * stride..(write + 1) * stride]
+                    .copy_from_slice(&self.scratch_tags[src * stride..(src + 1) * stride]);
+            } else {
+                list.nbrs[write] = list.nbrs[src];
+                list.tags
+                    .copy_within(src * stride..(src + 1) * stride, write * stride);
+            }
+        }
+        list.sorted_len = n;
+    }
+
+    /// Batch-boundary compaction (a pure representation change). Unlike
+    /// the sorted layouts, which back-merge every pending tail here,
+    /// the hybrid layout merges only tails that have already reached
+    /// `TAIL_LIMIT`: a back-merge costs O(list length) however short
+    /// the tail, while probing a bounded tail costs a few comparisons
+    /// per match — so eagerly merging 1–2 entry tails at every batch
+    /// boundary is the single largest avoidable cost of the sorted
+    /// policy on ingest-bound streams (measured: ~15% of the hybrid
+    /// ingest+match loop on the benchmark stream). Skipped slots stay
+    /// registered; their tails remain bounded by `TAIL_LIMIT` through
+    /// the overflow merge in [`Self::push_entry`] regardless.
+    fn compact(&mut self) {
+        let mut keep = 0usize;
+        for i in 0..self.dirty.len() {
+            let slot = self.dirty[i] as usize;
+            let list = &self.lists[slot];
+            // A slot may have been promoted after going dirty; dense
+            // lists have nothing pending.
+            if list.dense.is_some() {
+                continue;
+            }
+            let tail = list.nbrs.len() - list.sorted_len;
+            if tail == 0 {
+                continue;
+            }
+            if tail >= TAIL_LIMIT {
+                self.merge_sparse(slot);
+            } else {
+                self.dirty[keep] = slot as u32;
+                keep += 1;
+            }
+        }
+        self.dirty.truncate(keep);
+    }
+
+    /// True if the edge `(u, v)` is already stored. A dense endpoint
+    /// answers in O(1) directory probes, so prefer one when available;
+    /// otherwise probe through the lower-degree endpoint — on skewed
+    /// streams one side is usually the larger list, and probing the
+    /// short one costs a near-trivial binary search.
+    #[inline]
+    fn is_duplicate(&self, su: usize, sv: usize, u: NodeId, v: NodeId) -> bool {
+        let (la, lb) = (&self.lists[su], &self.lists[sv]);
+        if la.dense.is_some() {
+            la.contains(v)
+        } else if lb.dense.is_some() || lb.len() < la.len() {
+            lb.contains(u)
+        } else {
+            la.contains(v)
+        }
+    }
+
+    /// Inserts the edge with its full tag run; returns `false` (leaving
+    /// existing tags untouched) if the edge was already present.
+    fn insert_run(&mut self, e: Edge, run: &[CellTag]) -> bool {
+        debug_assert_eq!(run.len(), self.stride);
+        let (u, v) = e.endpoints();
+        let su = self.ensure_slot(u);
+        let sv = self.ensure_slot(v);
+        if self.is_duplicate(su, sv, u, v) {
+            return false;
+        }
+        if self.push_entry(su, v, run) {
+            self.dirty.push(su as u32);
+        }
+        if self.push_entry(sv, u, run) {
+            self.dirty.push(sv as u32);
+        }
+        self.edge_count += 1;
+        true
+    }
+
+    /// Read-only intersection: `f(run_u, run_v, w)` fires once per
+    /// structural common neighbor `w` of `u` and `v` with both entries'
+    /// full tag runs. Tag filtering is the wrapper's job.
+    #[inline]
+    fn match_runs<F: FnMut(&[T], &[T], NodeId)>(&self, u: NodeId, v: NodeId, f: &mut F) {
+        let (Some(su), Some(sv)) = (self.slots.get(u), self.slots.get(v)) else {
+            return;
+        };
+        self.match_slots(su as usize, sv as usize, f);
+    }
+
+    /// Matches (against the state before any insertion), then — when
+    /// `store` carries the edge's tag run — inserts, resolving each
+    /// endpoint's slot once. Returns whether the edge was freshly
+    /// stored.
+    fn match_then_insert_runs<F: FnMut(&[T], &[T], NodeId)>(
+        &mut self,
+        e: Edge,
+        store: Option<&[CellTag]>,
+        f: &mut F,
+    ) -> bool {
+        let (u, v) = e.endpoints();
+        let (su, sv) = match store {
+            // Fresh slots are empty lists: no matches contributed.
+            Some(run) => {
+                debug_assert_eq!(run.len(), self.stride);
+                (self.ensure_slot(u), self.ensure_slot(v))
+            }
+            None => {
+                let (Some(su), Some(sv)) = (self.slots.get(u), self.slots.get(v)) else {
+                    return false;
+                };
+                (su as usize, sv as usize)
+            }
+        };
+        self.match_slots(su, sv, f);
+        let Some(run) = store else {
+            return false;
+        };
+        if self.is_duplicate(su, sv, u, v) {
+            return false;
+        }
+        if self.push_entry(su, v, run) {
+            self.dirty.push(su as u32);
+        }
+        if self.push_entry(sv, u, run) {
+            self.dirty.push(sv as u32);
+        }
+        self.edge_count += 1;
+        true
+    }
+
+    /// The structural intersection of two slots, dispatched by
+    /// representation: an all-pairs equality scan (small sparse×sparse,
+    /// under the [`BRUTE_LIMIT`] comparison budget) or the shared
+    /// sorted kernel (larger sparse×sparse — its
+    /// tail legs cover both lists' pending tails), bitmap∧bitmap
+    /// (dense×dense), or a directory probe per sparse entry
+    /// (dense×sparse — dense lists have no tail and the O(1) probe
+    /// needs no ordering from the sparse side, so the sparse list is
+    /// walked whole, sorted prefix and tail alike). Each pairing
+    /// covers the intersection exactly once on its own — there are no
+    /// cross-representation fixup legs.
+    #[inline]
+    fn match_slots<F: FnMut(&[T], &[T], NodeId)>(&self, sa: usize, sb: usize, f: &mut F) {
+        let stride = self.stride;
+        let (la, lb) = (&self.lists[sa], &self.lists[sb]);
+        match (&la.dense, &lb.dense) {
+            (None, None) => {
+                // Small×small pairs — the bulk of a skewed stream — skip
+                // the merge machinery entirely: an all-pairs equality
+                // scan is branch-free, auto-vectorizes (the inner pass
+                // is a pure `|=`-reduction over one short u32 slice),
+                // and needs no sorted order, so pending tails cost
+                // nothing extra. The comparison budget is bounded by
+                // `BRUTE_LIMIT`; bigger pairs take the shared sorted
+                // kernel with its merge/gallop split.
+                if la.nbrs.len() * lb.nbrs.len() <= BRUTE_LIMIT {
+                    let (sm, lg, flip) = if la.nbrs.len() <= lb.nbrs.len() {
+                        (la, lb, false)
+                    } else {
+                        (lb, la, true)
+                    };
+                    for (i, &w) in sm.nbrs.iter().enumerate() {
+                        let mut hit = false;
+                        for &x in &lg.nbrs {
+                            hit |= x == w;
+                        }
+                        if hit {
+                            let j = lg.nbrs.iter().position(|&x| x == w).unwrap();
+                            let (pa, pb) = if flip { (j, i) } else { (i, j) };
+                            f(
+                                &la.tags[pa * stride..(pa + 1) * stride],
+                                &lb.tags[pb * stride..(pb + 1) * stride],
+                                w,
+                            );
+                        }
+                    }
+                    return;
+                }
+                for_each_common_position(
+                    &la.nbrs,
+                    la.sorted_len,
+                    &lb.nbrs,
+                    lb.sorted_len,
+                    &mut |pa, pb, w| {
+                        f(
+                            &la.tags[pa * stride..(pa + 1) * stride],
+                            &lb.tags[pb * stride..(pb + 1) * stride],
+                            w,
+                        );
+                    },
+                );
+            }
+            (Some(da), Some(db)) => dense_dense(da, db, stride, f),
+            (Some(da), None) => dense_sparse(da, &lb.nbrs, &lb.tags, stride, false, f),
+            (None, Some(db)) => dense_sparse(db, &la.nbrs, &la.tags, stride, true, f),
+        }
+    }
+
+    /// Calls `f(u, w, run)` for every *directed* neighbor entry (each
+    /// edge fires twice, once per endpoint); callers filter `u < w` for
+    /// an edge enumeration.
+    fn for_each_entry<F: FnMut(NodeId, NodeId, &[T])>(&self, mut f: F) {
+        let stride = self.stride;
+        for (slot, &u) in self.nodes.iter().enumerate() {
+            let list = &self.lists[slot];
+            if let Some(d) = &list.dense {
+                for (bi, &key) in d.keys.iter().enumerate() {
+                    let mut word = d.words[bi];
+                    while word != 0 {
+                        let bit = word.trailing_zeros();
+                        word &= word - 1;
+                        f(u, (key << 6) | bit, d.tag_run(bi, bit as usize, stride));
+                    }
+                }
+            }
+            for (pos, &w) in list.nbrs.iter().enumerate() {
+                f(u, w, &list.tags[pos * stride..(pos + 1) * stride]);
+            }
+        }
+    }
+
+    /// Heap footprint in bytes — every allocation the structure owns
+    /// (lists, dense cores, arena, id table, dirty work list, scratch).
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut vecs = 0usize;
+        for l in &self.lists {
+            vecs += l.nbrs.capacity() * size_of::<NodeId>() + l.tags.capacity() * size_of::<T>();
+            if let Some(d) = &l.dense {
+                vecs += size_of::<DenseCore<T>>()
+                    + d.keys.capacity() * size_of::<NodeId>()
+                    + d.words.capacity() * size_of::<u64>()
+                    + d.tags.capacity() * size_of::<T>()
+                    + d.dir.approx_bytes();
+            }
+        }
+        let arena = self.lists.capacity() * size_of::<HybridNodeList<T>>()
+            + self.nodes.capacity() * size_of::<NodeId>();
+        let ids = self.slots.approx_bytes();
+        let dirty = self.dirty.capacity() * size_of::<u32>();
+        let scratch = self.scratch_nbrs.capacity() * size_of::<NodeId>()
+            + self.scratch_tags.capacity() * size_of::<T>();
+        vecs + arena + ids + dirty + scratch
+    }
+}
+
+impl HybridCoreImpl<u8> {
+    /// Converts the packed structure into wide `u32` tag storage,
+    /// preserving every stored tag — the one-time escape hatch for
+    /// configurations whose cells overflow a byte.
+    fn widen(self) -> HybridCoreImpl<CellTag> {
+        fn wide(tags: Vec<u8>) -> Vec<CellTag> {
+            tags.into_iter().map(TagElem::unpack).collect()
+        }
+        HybridCoreImpl {
+            stride: self.stride,
+            threshold: self.threshold,
+            slots: self.slots,
+            nodes: self.nodes,
+            lists: self
+                .lists
+                .into_iter()
+                .map(|l| HybridNodeList {
+                    nbrs: l.nbrs,
+                    tags: wide(l.tags),
+                    sorted_len: l.sorted_len,
+                    dense: l.dense.map(|d| {
+                        Box::new(DenseCore {
+                            keys: d.keys,
+                            words: d.words,
+                            tags: wide(d.tags),
+                            dir: d.dir,
+                            len: d.len,
+                        })
+                    }),
+                })
+                .collect(),
+            edge_count: self.edge_count,
+            dirty: self.dirty,
+            scratch_nbrs: Vec::new(),
+            scratch_tags: Vec::new(),
+        }
+    }
+}
+
+/// Runs `$body` against whichever monomorphization the core currently
+/// is, binding it as `$c`.
+macro_rules! on_core {
+    ($core:expr, $c:ident => $body:expr) => {
+        match $core {
+            HybridCore::Packed($c) => $body,
+            HybridCore::Wide($c) => $body,
+        }
+    };
+}
+
+/// The tag-width dispatcher every wrapper holds: packed single-byte tag
+/// storage until a tag that cannot pack arrives, then widened `u32`
+/// storage for the rest of the structure's life. Exactly one branch per
+/// public call; the hot loops underneath are fully monomorphized.
+#[derive(Debug, Clone)]
+enum HybridCore {
+    /// Packed storage (every tag so far fits a byte).
+    Packed(HybridCoreImpl<u8>),
+    /// Widened storage (some tag required the full `u32`).
+    Wide(HybridCoreImpl<CellTag>),
+}
+
+impl HybridCore {
+    fn new(stride: usize, threshold: usize) -> Self {
+        HybridCore::Packed(HybridCoreImpl::new(stride, threshold))
+    }
+
+    /// Widens the structure in place if any tag of `run` cannot pack.
+    #[inline]
+    fn widen_for(&mut self, run: &[CellTag]) {
+        if let HybridCore::Packed(c) = self {
+            if !run.iter().all(|&t| <u8 as TagElem>::fits(t)) {
+                let packed = std::mem::replace(c, HybridCoreImpl::new(1, 0));
+                *self = HybridCore::Wide(packed.widen());
+            }
+        }
+    }
+
+    fn stride(&self) -> usize {
+        on_core!(self, c => c.stride)
+    }
+
+    fn threshold(&self) -> usize {
+        on_core!(self, c => c.threshold)
+    }
+
+    fn edge_count(&self) -> usize {
+        on_core!(self, c => c.edge_count)
+    }
+
+    fn node_count(&self) -> usize {
+        on_core!(self, c => c.lists.len())
+    }
+
+    fn degree(&self, n: NodeId) -> usize {
+        on_core!(self, c => c.degree(n))
+    }
+
+    fn compact(&mut self) {
+        on_core!(self, c => c.compact());
+    }
+
+    fn approx_bytes(&self) -> usize {
+        on_core!(self, c => c.approx_bytes())
+    }
+
+    /// True if the edge is present (tag-free membership probe).
+    fn contains_edge(&self, e: Edge) -> bool {
+        on_core!(self, c => c
+            .slots
+            .get(e.u())
+            .is_some_and(|s| c.lists[s as usize].contains(e.v())))
+    }
+
+    /// Tag column `col` of the edge, unpacked, if the edge is present.
+    fn tag_col_of_edge(&self, e: Edge, col: usize) -> Option<CellTag> {
+        on_core!(self, c => c.tag_run_of_edge(e).map(|run| run[col].unpack()))
+    }
+
+    /// The edge's full tag run, unpacked into an owned vec (the packed
+    /// store has no contiguous `CellTag` run to borrow).
+    fn tags_of_edge(&self, e: Edge) -> Option<Vec<CellTag>> {
+        on_core!(self, c => c
+            .tag_run_of_edge(e)
+            .map(|run| run.iter().map(|&t| t.unpack()).collect()))
+    }
+
+    /// Inserts the edge with its full tag run; returns `false` (leaving
+    /// existing tags untouched) if the edge was already present.
+    fn insert_run(&mut self, e: Edge, run: &[CellTag]) -> bool {
+        self.widen_for(run);
+        on_core!(self, c => c.insert_run(e, run))
+    }
+
+    /// Calls `f(e)` for every stored edge.
+    fn for_each_edge_plain<F: FnMut(Edge)>(&self, mut f: F) {
+        on_core!(self, c => c.for_each_entry(|u, w, _| {
+            if u < w {
+                f(Edge::new(u, w));
+            }
+        }));
+    }
+
+    /// Calls `f(e, tag)` with column `col`'s unpacked tag for every
+    /// stored edge.
+    fn for_each_edge_col<F: FnMut(Edge, CellTag)>(&self, col: usize, mut f: F) {
+        on_core!(self, c => c.for_each_entry(|u, w, run| {
+            if u < w {
+                f(Edge::new(u, w), run[col].unpack());
+            }
+        }));
+    }
+}
+
+/// Bitmap ∧ bitmap intersection: linear merge over the 64×-compressed
+/// block keys; on a shared key, `AND` the words and walk the surviving
+/// bits ascending, recovering each side's rank with one masked popcount.
+#[inline]
+fn dense_dense<T: TagElem, F: FnMut(&[T], &[T], NodeId)>(
+    da: &DenseCore<T>,
+    db: &DenseCore<T>,
+    stride: usize,
+    f: &mut F,
+) {
+    let a_is_small = da.keys.len() <= db.keys.len();
+    let (small, big) = if a_is_small { (da, db) } else { (db, da) };
+    for (bi, &key) in small.keys.iter().enumerate() {
+        let Some(bj) = big.dir.get(key) else { continue };
+        let bj = bj as usize;
+        let mut both = small.words[bi] & big.words[bj];
+        while both != 0 {
+            let bit = both.trailing_zeros();
+            both &= both - 1;
+            let rs = small.tag_run(bi, bit as usize, stride);
+            let rb = big.tag_run(bj, bit as usize, stride);
+            let w = (key << 6) | bit;
+            if a_is_small {
+                f(rs, rb, w);
+            } else {
+                f(rb, rs, w);
+            }
+        }
+    }
+}
+
+/// Bitmap × sparse-list intersection: one O(1) directory probe, bit
+/// test and direct tag load per sparse entry, so the sparse side needs
+/// no ordering (its unsorted tail is welcome). `dense_is_b` flips the
+/// argument order so `f` always receives `(run_a, run_b, w)`.
+#[inline]
+fn dense_sparse<T: TagElem, F: FnMut(&[T], &[T], NodeId)>(
+    d: &DenseCore<T>,
+    sp_nbrs: &[NodeId],
+    sp_tags: &[T],
+    stride: usize,
+    dense_is_b: bool,
+    f: &mut F,
+) {
+    for (pos, &w) in sp_nbrs.iter().enumerate() {
+        let Some(b) = d.dir.get(w >> 6) else { continue };
+        let b = b as usize;
+        let bit = (w & 63) as usize;
+        if d.words[b] >> bit & 1 == 0 {
+            continue;
+        }
+        let run_d = d.tag_run(b, bit, stride);
+        let run_s = &sp_tags[pos * stride..(pos + 1) * stride];
+        if dense_is_b {
+            f(run_s, run_d, w);
+        } else {
+            f(run_d, run_s, w);
+        }
+    }
+}
+
+/// Adapts a single-column wrapper callback to the core's packed-run
+/// callback: fires on tag equality with the unpacked tag.
+fn adapt_single<T: TagElem, F: FnMut(NodeId, CellTag)>(
+    f: &mut F,
+) -> impl FnMut(&[T], &[T], NodeId) + '_ {
+    move |ta, tb, w| {
+        if ta[0] == tb[0] {
+            f(w, ta[0].unpack());
+        }
+    }
+}
+
+/// Adapts a per-group wrapper callback: fires per column on equality.
+fn adapt_multi<T: TagElem, F: FnMut(usize, NodeId, CellTag)>(
+    width: usize,
+    f: &mut F,
+) -> impl FnMut(&[T], &[T], NodeId) + '_ {
+    move |ta, tb, w| {
+        for g in 0..width {
+            if ta[g] == tb[g] {
+                f(g, w, ta[g].unpack());
+            }
+        }
+    }
+}
+
+/// Adapts the masked wrapper callback: full columns on plain equality,
+/// the masked column only when both sides are set (packing is
+/// injective, so comparing packed sentinels is exact).
+fn adapt_masked<'a, T: TagElem + 'a, F: FnMut(usize, NodeId, CellTag)>(
+    fw: usize,
+    f: &'a mut F,
+) -> impl FnMut(&[T], &[T], NodeId) + 'a {
+    let none = T::pack(MASKED_NONE);
+    move |ta, tb, w| {
+        for g in 0..fw {
+            if ta[g] == tb[g] {
+                f(g, w, ta[g].unpack());
+            }
+        }
+        let (ma, mb) = (ta[fw], tb[fw]);
+        if ma == mb && ma != none {
+            f(fw, w, ma.unpack());
+        }
+    }
+}
+
+/// A mutable undirected graph whose edges carry their partition cell,
+/// backed by the hybrid sorted-vec / blocked-bitmap layout. Drop-in
+/// alternative to
+/// [`SortedTaggedAdjacency`](crate::sorted_tagged::SortedTaggedAdjacency).
+#[derive(Debug, Clone)]
+pub struct HybridTaggedAdjacency {
+    core: HybridCore,
+}
+
+impl Default for HybridTaggedAdjacency {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HybridTaggedAdjacency {
+    /// Creates an empty structure with [`DEFAULT_DENSE_THRESHOLD`].
+    pub fn new() -> Self {
+        Self::with_threshold(DEFAULT_DENSE_THRESHOLD)
+    }
+
+    /// Creates an empty structure promoting nodes whose degree exceeds
+    /// `threshold` (0 = everything dense, `usize::MAX` = never promote).
+    pub fn with_threshold(threshold: usize) -> Self {
+        Self {
+            core: HybridCore::new(1, threshold),
+        }
+    }
+
+    /// The promotion threshold this structure was built with.
+    pub fn dense_threshold(&self) -> usize {
+        self.core.threshold()
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.core.node_count()
+    }
+
+    /// The degree of `n` (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.core.degree(n)
+    }
+}
+
+impl TaggedAdjacency for HybridTaggedAdjacency {
+    const NAME: &'static str = "hybrid";
+
+    fn insert(&mut self, e: Edge, cell: CellTag) -> bool {
+        self.core.insert_run(e, &[cell])
+    }
+    fn cell_of(&self, e: Edge) -> Option<CellTag> {
+        self.core.tag_col_of_edge(e, 0)
+    }
+    fn for_each_matching_common_neighbor<F: FnMut(NodeId, CellTag)>(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        mut f: F,
+    ) -> usize {
+        let mut matches = 0usize;
+        let mut count = |w, cell| {
+            f(w, cell);
+            matches += 1;
+        };
+        on_core!(&self.core, c => c.match_runs(u, v, &mut adapt_single(&mut count)));
+        matches
+    }
+    fn edge_count(&self) -> usize {
+        self.core.edge_count()
+    }
+    fn for_each_edge<F: FnMut(Edge, CellTag)>(&self, f: F) {
+        self.core.for_each_edge_col(0, f);
+    }
+    fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
+    }
+    fn compact(&mut self) {
+        self.core.compact();
+    }
+
+    fn match_then_insert<F: FnMut(NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<CellTag>,
+        mut f: F,
+    ) -> bool {
+        if let Some(cell) = store {
+            self.core.widen_for(&[cell]);
+        }
+        on_core!(&mut self.core, c => {
+            let mut adapter = adapt_single(&mut f);
+            match store {
+                Some(cell) => c.match_then_insert_runs(e, Some(&[cell]), &mut adapter),
+                None => c.match_then_insert_runs(e, None, &mut adapter),
+            }
+        })
+    }
+}
+
+/// A mutable undirected graph whose edges carry one partition-cell tag
+/// per full hash group, stored once in the hybrid layout and shared by
+/// all groups. Drop-in alternative to
+/// [`MultiSortedTaggedAdjacency`](crate::multi_tagged::MultiSortedTaggedAdjacency).
+#[derive(Debug, Clone)]
+pub struct MultiHybridTaggedAdjacency {
+    core: HybridCore,
+}
+
+impl MultiHybridTaggedAdjacency {
+    /// Creates an empty structure carrying `width` tag columns with
+    /// [`DEFAULT_DENSE_THRESHOLD`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        Self::with_threshold(width, DEFAULT_DENSE_THRESHOLD)
+    }
+
+    /// Creates an empty structure carrying `width` tag columns with an
+    /// explicit promotion threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn with_threshold(width: usize, threshold: usize) -> Self {
+        Self {
+            core: HybridCore::new(width, threshold),
+        }
+    }
+
+    /// Number of tag columns.
+    pub fn width(&self) -> usize {
+        self.core.stride()
+    }
+
+    /// Number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.core.edge_count()
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.core.node_count()
+    }
+
+    /// The degree of `n` (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.core.degree(n)
+    }
+
+    /// The tag column of the edge under every group, if present —
+    /// owned, because the packed tag store has no contiguous
+    /// [`CellTag`] run to borrow.
+    pub fn tags_of(&self, e: Edge) -> Option<Vec<CellTag>> {
+        self.core.tags_of_edge(e)
+    }
+
+    /// True if the edge is present.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.core.contains_edge(e)
+    }
+
+    /// Calls `f(e)` for every stored edge (arbitrary order, tags omitted
+    /// — every group's tag is recomputable from its hasher).
+    pub fn for_each_edge<F: FnMut(Edge)>(&self, f: F) {
+        self.core.for_each_edge_plain(f);
+    }
+
+    /// Merges every pending tail (a pure representation change).
+    pub fn compact(&mut self) {
+        self.core.compact();
+    }
+
+    /// Inserts the edge with one tag per group; returns `false` (leaving
+    /// the existing tags untouched) if the edge was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len() != width()`.
+    pub fn insert(&mut self, e: Edge, tags: &[CellTag]) -> bool {
+        assert_eq!(tags.len(), self.core.stride(), "one tag per group required");
+        self.core.insert_run(e, tags)
+    }
+
+    /// Matches, then (when `store` carries the per-group owner tags)
+    /// inserts, in one call — `f(g, w, cell)` fires for every structural
+    /// common neighbor `w` and every group `g` whose two tags agree,
+    /// exactly like
+    /// [`MultiSortedTaggedAdjacency::match_then_insert`](crate::multi_tagged::MultiSortedTaggedAdjacency::match_then_insert).
+    /// Returns whether the edge was freshly stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` carries a run with `len() != width()`.
+    pub fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<&[CellTag]>,
+        mut f: F,
+    ) -> bool {
+        if let Some(tags) = store {
+            assert_eq!(tags.len(), self.core.stride(), "one tag per group required");
+            self.core.widen_for(tags);
+        }
+        let width = self.core.stride();
+        on_core!(&mut self.core, c => {
+            c.match_then_insert_runs(e, store, &mut adapt_multi(width, &mut f))
+        })
+    }
+
+    /// Heap footprint in bytes — the *shared* footprint across all
+    /// groups (see
+    /// [`MultiSortedTaggedAdjacency::approx_bytes`](crate::multi_tagged::MultiSortedTaggedAdjacency::approx_bytes)).
+    pub fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
+    }
+}
+
+/// A mutable undirected graph storing the union edge set once in the
+/// hybrid layout, with one tag per full hash group and a masked
+/// remainder tag per edge. Drop-in alternative to
+/// [`MaskedSortedTaggedAdjacency`](crate::masked_tagged::MaskedSortedTaggedAdjacency);
+/// the sentinel is the same [`MASKED_NONE`].
+#[derive(Debug, Clone)]
+pub struct MaskedHybridTaggedAdjacency {
+    core: HybridCore,
+    full_width: usize,
+    /// Edges whose masked tag is set (the remainder group's stored set).
+    masked_edge_count: usize,
+    /// Reusable per-insert row buffer (`full_width + 1` tags), so
+    /// building the strided run allocates nothing per edge.
+    row: Vec<CellTag>,
+}
+
+impl MaskedHybridTaggedAdjacency {
+    /// Creates an empty structure with `full_width` unconditional tag
+    /// columns plus the masked column, at [`DEFAULT_DENSE_THRESHOLD`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_width == 0` (see
+    /// [`MaskedSortedTaggedAdjacency::new`](crate::masked_tagged::MaskedSortedTaggedAdjacency::new)).
+    pub fn new(full_width: usize) -> Self {
+        Self::with_threshold(full_width, DEFAULT_DENSE_THRESHOLD)
+    }
+
+    /// Creates an empty structure with an explicit promotion threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_width == 0`.
+    pub fn with_threshold(full_width: usize, threshold: usize) -> Self {
+        assert!(full_width > 0, "need at least one full tag column");
+        Self {
+            core: HybridCore::new(full_width + 1, threshold),
+            full_width,
+            masked_edge_count: 0,
+            row: Vec::with_capacity(full_width + 1),
+        }
+    }
+
+    /// Number of unconditional tag columns.
+    pub fn full_width(&self) -> usize {
+        self.full_width
+    }
+
+    /// Number of stored edges (the union set).
+    pub fn edge_count(&self) -> usize {
+        self.core.edge_count()
+    }
+
+    /// Number of edges whose masked tag is set — the masked (remainder)
+    /// group's stored subset.
+    pub fn masked_edge_count(&self) -> usize {
+        self.masked_edge_count
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn node_count(&self) -> usize {
+        self.core.node_count()
+    }
+
+    /// The degree of `n` in the union set (0 if unseen).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.core.degree(n)
+    }
+
+    /// The edge's full-group tag columns (owned — the packed tag store
+    /// has no contiguous [`CellTag`] run to borrow) and masked tag, if
+    /// present.
+    pub fn tags_of(&self, e: Edge) -> Option<(Vec<CellTag>, Option<CellTag>)> {
+        let mut run = self.core.tags_of_edge(e)?;
+        let masked = run.pop().expect("stride = full_width + 1");
+        Some((run, (masked != MASKED_NONE).then_some(masked)))
+    }
+
+    /// The edge's masked tag, if the edge is stored with one set — the
+    /// allocation-free probe for the remainder group's subset.
+    pub fn masked_tag_of(&self, e: Edge) -> Option<CellTag> {
+        self.core
+            .tag_col_of_edge(e, self.full_width)
+            .filter(|&t| t != MASKED_NONE)
+    }
+
+    /// True if the edge is present in the union set.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.core.contains_edge(e)
+    }
+
+    /// Calls `f(e)` for every stored edge of the union set (arbitrary
+    /// order, tags omitted).
+    pub fn for_each_edge<F: FnMut(Edge)>(&self, f: F) {
+        self.core.for_each_edge_plain(f);
+    }
+
+    /// Calls `f(e, tag)` for every edge whose masked tag is set — the
+    /// masked group's stored subset, in arbitrary order.
+    pub fn for_each_masked_edge<F: FnMut(Edge, CellTag)>(&self, mut f: F) {
+        self.core.for_each_edge_col(self.full_width, |e, tag| {
+            if tag != MASKED_NONE {
+                f(e, tag);
+            }
+        });
+    }
+
+    /// Merges every pending tail (a pure representation change).
+    pub fn compact(&mut self) {
+        self.core.compact();
+    }
+
+    #[inline]
+    fn encode_masked(masked: Option<CellTag>) -> CellTag {
+        match masked {
+            Some(tag) => {
+                assert_ne!(tag, MASKED_NONE, "masked tag collides with sentinel");
+                tag
+            }
+            None => MASKED_NONE,
+        }
+    }
+
+    /// Fills the reusable row buffer with `full` plus the encoded masked
+    /// tag.
+    #[inline]
+    fn build_row(&mut self, full: &[CellTag], masked: Option<CellTag>) {
+        assert_eq!(full.len(), self.full_width, "one tag per full group");
+        self.row.clear();
+        self.row.extend_from_slice(full);
+        self.row.push(Self::encode_masked(masked));
+    }
+
+    /// Inserts the edge with one tag per full group and an optional
+    /// masked tag (`None` = the masked group dropped this edge); returns
+    /// `false` (leaving all existing tags untouched) if the edge was
+    /// already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != full_width()` or a masked tag equals
+    /// [`MASKED_NONE`].
+    pub fn insert(&mut self, e: Edge, full: &[CellTag], masked: Option<CellTag>) -> bool {
+        self.build_row(full, masked);
+        let fresh = self.core.insert_run(e, &self.row);
+        self.masked_edge_count += usize::from(fresh && masked.is_some());
+        fresh
+    }
+
+    /// Matches, then (when `store` carries the groups' owner tags)
+    /// inserts, in one call — `f(g, w, cell)` fires per full group `g <
+    /// full_width()` on plain tag equality and for `g == full_width()`
+    /// (the masked group) iff **both** masked tags are set and equal,
+    /// exactly like
+    /// [`MaskedSortedTaggedAdjacency::match_then_insert`](crate::masked_tagged::MaskedSortedTaggedAdjacency::match_then_insert).
+    /// Returns whether the edge was freshly stored into the union set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store`'s full run has `len() != full_width()` or its
+    /// masked tag equals [`MASKED_NONE`].
+    pub fn match_then_insert<F: FnMut(usize, NodeId, CellTag)>(
+        &mut self,
+        e: Edge,
+        store: Option<(&[CellTag], Option<CellTag>)>,
+        mut f: F,
+    ) -> bool {
+        let fw = self.full_width;
+        if let Some((full, masked)) = store {
+            self.build_row(full, masked);
+            self.core.widen_for(&self.row);
+        }
+        let row = &self.row;
+        let masked_count = &mut self.masked_edge_count;
+        on_core!(&mut self.core, c => {
+            let mut adapter = adapt_masked(fw, &mut f);
+            match store {
+                Some((_, masked)) => {
+                    let fresh = c.match_then_insert_runs(e, Some(row), &mut adapter);
+                    *masked_count += usize::from(fresh && masked.is_some());
+                    fresh
+                }
+                None => c.match_then_insert_runs(e, None, &mut adapter),
+            }
+        })
+    }
+
+    /// Heap footprint in bytes — the *shared* footprint across all
+    /// groups.
+    pub fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes() + self.row.capacity() * std::mem::size_of::<CellTag>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masked_tagged::MaskedSortedTaggedAdjacency;
+    use crate::multi_tagged::MultiSortedTaggedAdjacency;
+    use crate::sorted_tagged::SortedTaggedAdjacency;
+    use rept_hash::rng::SplitMix64;
+
+    /// Thresholds covering all-dense, mixed and all-sparse operation.
+    const THRESHOLDS: [usize; 3] = [0, 24, usize::MAX];
+
+    /// The defining property: at any threshold, on any insert sequence,
+    /// the hybrid layout answers every query exactly like the sorted
+    /// layout — including hub nodes that crossed the promotion boundary
+    /// and unmerged tails on both representations.
+    #[test]
+    fn single_equivalent_to_sorted_on_random_streams() {
+        for threshold in THRESHOLDS {
+            let rng = SplitMix64::new(0xB17B17);
+            let mut hybrid = HybridTaggedAdjacency::with_threshold(threshold);
+            let mut sorted = SortedTaggedAdjacency::new();
+            // Hub-heavy stream: node 0 collects a large degree so
+            // hub–leaf probes exercise the dense×sparse kernel (and the
+            // gallop path on the sorted side).
+            let mut edges = Vec::new();
+            for i in 0..1500u64 {
+                let r = rng.fork(i).next_u64();
+                let (u, v) = if r.is_multiple_of(3) {
+                    (0u32, 1 + (r >> 8) as u32 % 400)
+                } else {
+                    (1 + (r >> 8) as u32 % 60, 1 + (r >> 40) as u32 % 400)
+                };
+                if u != v {
+                    edges.push((Edge::new(u, v), (r >> 16) as CellTag % 7));
+                }
+            }
+            let (stored, queries) = edges.split_at(edges.len() * 2 / 3);
+            for (k, &(e, cell)) in stored.iter().enumerate() {
+                assert_eq!(
+                    TaggedAdjacency::insert(&mut hybrid, e, cell),
+                    sorted.insert(e, cell),
+                    "{e} threshold {threshold}"
+                );
+                if k % 97 == 0 {
+                    TaggedAdjacency::compact(&mut hybrid);
+                }
+            }
+            assert_eq!(TaggedAdjacency::edge_count(&hybrid), sorted.edge_count());
+            assert_eq!(hybrid.node_count(), sorted.node_count());
+            for &(q, _) in queries.iter().chain(stored) {
+                assert_eq!(
+                    TaggedAdjacency::cell_of(&hybrid, q),
+                    sorted.cell_of(q),
+                    "cell_of {q} threshold {threshold}"
+                );
+                let mut mh = Vec::new();
+                let nh = hybrid.for_each_matching_common_neighbor(q.u(), q.v(), |w, c| {
+                    mh.push((w, c));
+                });
+                let mut ms = Vec::new();
+                let ns = sorted.for_each_matching_common_neighbor(q.u(), q.v(), |w, c| {
+                    ms.push((w, c));
+                });
+                mh.sort_unstable();
+                ms.sort_unstable();
+                assert_eq!(nh, ns, "match count for {q} threshold {threshold}");
+                assert_eq!(mh, ms, "match set for {q} threshold {threshold}");
+                assert_eq!(hybrid.degree(q.u()), sorted.degree(q.u()));
+            }
+            let mut he: Vec<(Edge, CellTag)> = Vec::new();
+            hybrid.for_each_edge(|e, c| he.push((e, c)));
+            let mut se: Vec<(Edge, CellTag)> = sorted.edges().collect();
+            he.sort_unstable();
+            se.sort_unstable();
+            assert_eq!(he, se, "edge enumeration at threshold {threshold}");
+        }
+    }
+
+    /// A `width`-column hybrid answers exactly like the `width`-column
+    /// sorted multi structure on identical inserts, at every threshold.
+    #[test]
+    fn multi_equivalent_to_multi_sorted() {
+        for width in [1usize, 2, 4] {
+            for threshold in THRESHOLDS {
+                let rng = SplitMix64::new(99 + width as u64);
+                let mut hybrid = MultiHybridTaggedAdjacency::with_threshold(width, threshold);
+                let mut multi = MultiSortedTaggedAdjacency::new(width);
+                let mut edges = Vec::new();
+                for i in 0..900u64 {
+                    let r = rng.fork(i).next_u64();
+                    // Skew toward node 0 so it crosses mid thresholds.
+                    let (u, v) = if r.is_multiple_of(4) {
+                        (0u32, 1 + ((r >> 16) % 90) as u32)
+                    } else {
+                        ((r % 60) as u32, ((r >> 16) % 90) as u32)
+                    };
+                    if let Some(e) = Edge::try_new(u, v) {
+                        let tags: Vec<CellTag> = (0..width)
+                            .map(|g| ((r >> (8 * g)) % 5) as CellTag)
+                            .collect();
+                        edges.push((e, tags));
+                    }
+                }
+                let (stored, queries) = edges.split_at(edges.len() / 2);
+                for (k, (e, tags)) in stored.iter().enumerate() {
+                    assert_eq!(
+                        hybrid.insert(*e, tags),
+                        multi.insert(*e, tags),
+                        "{e} width {width} threshold {threshold}"
+                    );
+                    if k % 111 == 0 {
+                        hybrid.compact();
+                    }
+                }
+                assert_eq!(hybrid.edge_count(), multi.edge_count());
+                assert_eq!(hybrid.node_count(), multi.node_count());
+                for (q, _) in queries.iter().chain(stored.iter()) {
+                    assert_eq!(hybrid.contains(*q), multi.contains(*q), "contains {q}");
+                    assert_eq!(
+                        hybrid.tags_of(*q).as_deref(),
+                        multi.tags_of(*q),
+                        "tags_of {q}"
+                    );
+                    let mut a = Vec::new();
+                    hybrid.match_then_insert(*q, None, |g, w, c| a.push((g, w, c)));
+                    let mut b = Vec::new();
+                    multi.match_then_insert(*q, None, |g, w, c| b.push((g, w, c)));
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "matches of {q} width {width} threshold {threshold}");
+                }
+            }
+        }
+    }
+
+    /// A masked hybrid answers exactly like the masked sorted structure
+    /// on identical inserts, at every threshold.
+    #[test]
+    fn masked_equivalent_to_masked_sorted() {
+        for full_width in [1usize, 2, 4] {
+            for threshold in THRESHOLDS {
+                let rng = SplitMix64::new(17 + full_width as u64);
+                let mut hybrid = MaskedHybridTaggedAdjacency::with_threshold(full_width, threshold);
+                let mut masked_adj = MaskedSortedTaggedAdjacency::new(full_width);
+                let mut edges = Vec::new();
+                for i in 0..900u64 {
+                    let r = rng.fork(i).next_u64();
+                    let (u, v) = if r.is_multiple_of(4) {
+                        (0u32, 1 + ((r >> 16) % 90) as u32)
+                    } else {
+                        ((r % 60) as u32, ((r >> 16) % 90) as u32)
+                    };
+                    if let Some(e) = Edge::try_new(u, v) {
+                        let full: Vec<CellTag> = (0..full_width)
+                            .map(|g| ((r >> (8 * g)) % 5) as CellTag)
+                            .collect();
+                        let cell = (r >> 48) % 6;
+                        let masked = (cell < 2).then_some(cell as CellTag);
+                        edges.push((e, full, masked));
+                    }
+                }
+                let (stored, queries) = edges.split_at(edges.len() / 2);
+                for (k, (e, full, m)) in stored.iter().enumerate() {
+                    assert_eq!(
+                        hybrid.insert(*e, full, *m),
+                        masked_adj.insert(*e, full, *m),
+                        "{e} full_width {full_width} threshold {threshold}"
+                    );
+                    if k % 97 == 0 {
+                        hybrid.compact();
+                    }
+                }
+                assert_eq!(hybrid.edge_count(), masked_adj.edge_count());
+                assert_eq!(hybrid.masked_edge_count(), masked_adj.masked_edge_count());
+                assert_eq!(hybrid.node_count(), masked_adj.node_count());
+                for (q, _, _) in queries.iter().chain(stored.iter()) {
+                    assert_eq!(hybrid.contains(*q), masked_adj.contains(*q));
+                    assert_eq!(
+                        hybrid.tags_of(*q),
+                        masked_adj.tags_of(*q).map(|(full, m)| (full.to_vec(), m)),
+                        "tags_of {q}"
+                    );
+                    assert_eq!(
+                        hybrid.masked_tag_of(*q),
+                        masked_adj.tags_of(*q).and_then(|(_, m)| m),
+                        "masked_tag_of {q}"
+                    );
+                    let mut a = Vec::new();
+                    hybrid.match_then_insert(*q, None, |g, w, c| a.push((g, w, c)));
+                    let mut b = Vec::new();
+                    masked_adj.match_then_insert(*q, None, |g, w, c| b.push((g, w, c)));
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "matches of {q} threshold {threshold}");
+                }
+                let mut hm = Vec::new();
+                hybrid.for_each_masked_edge(|e, t| hm.push((e, t)));
+                let mut sm = Vec::new();
+                masked_adj.for_each_masked_edge(|e, t| sm.push((e, t)));
+                hm.sort_unstable();
+                sm.sort_unstable();
+                assert_eq!(hm, sm, "masked subset at threshold {threshold}");
+            }
+        }
+    }
+
+    /// `match_then_insert` with store tags equals match-only followed by
+    /// `insert`, including duplicate edges, across the promotion
+    /// boundary.
+    #[test]
+    fn match_then_insert_equals_split_calls() {
+        let width = 3;
+        let rng = SplitMix64::new(5);
+        let mut fused = MultiHybridTaggedAdjacency::with_threshold(width, 16);
+        let mut split = MultiHybridTaggedAdjacency::with_threshold(width, 16);
+        for i in 0..700u64 {
+            let r = rng.fork(i).next_u64();
+            let Some(e) = Edge::try_new((r % 40) as u32, ((r >> 16) % 40) as u32) else {
+                continue;
+            };
+            let tags: Vec<CellTag> = (0..width)
+                .map(|g| ((r >> (4 * g)) % 6) as CellTag)
+                .collect();
+            let mut a = Vec::new();
+            let sa = fused.match_then_insert(e, Some(&tags), |g, w, c| a.push((g, w, c)));
+            let mut b = Vec::new();
+            split.match_then_insert(e, None, |g, w, c| b.push((g, w, c)));
+            let sb = split.insert(e, &tags);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "step {i}");
+            assert_eq!(sa, sb, "store outcome, step {i}");
+            if i % 131 == 0 {
+                fused.compact();
+                split.compact();
+            }
+        }
+        assert_eq!(fused.edge_count(), split.edge_count());
+    }
+
+    /// Dense-core maintenance across many tail merges: one hub receives
+    /// hundreds of neighbors in descending order (worst case for the
+    /// block merge) with duplicates sprinkled in; every lookup must stay
+    /// exact and first tags must win.
+    #[test]
+    fn dense_merges_keep_lookups_exact() {
+        let mut a = HybridTaggedAdjacency::with_threshold(10);
+        let mut inserted = 0;
+        for v in (1..600u32).rev() {
+            assert!(TaggedAdjacency::insert(&mut a, Edge::new(0, v), v % 5));
+            inserted += 1;
+            if v % 7 == 0 {
+                assert!(
+                    !TaggedAdjacency::insert(&mut a, Edge::new(0, v), 9),
+                    "duplicate {v}"
+                );
+            }
+        }
+        assert_eq!(a.degree(0), inserted);
+        for v in 1..600u32 {
+            assert_eq!(
+                TaggedAdjacency::cell_of(&a, Edge::new(0, v)),
+                Some(v % 5),
+                "lookup {v}"
+            );
+        }
+        assert_eq!(TaggedAdjacency::cell_of(&a, Edge::new(0, 600)), None);
+        TaggedAdjacency::compact(&mut a);
+        for v in 1..600u32 {
+            assert_eq!(TaggedAdjacency::cell_of(&a, Edge::new(0, v)), Some(v % 5));
+        }
+    }
+
+    /// Compaction is a pure representation change on both sides of the
+    /// promotion boundary: eager vs lazy compaction answer identically.
+    #[test]
+    fn compact_is_a_pure_representation_change() {
+        let mut eager = MultiHybridTaggedAdjacency::with_threshold(2, 20);
+        let mut lazy = MultiHybridTaggedAdjacency::with_threshold(2, 20);
+        let edges: Vec<(Edge, [CellTag; 2])> = (0..300u32)
+            .map(|i| (Edge::new(i % 40, 40 + (i * 7) % 90), [i % 6, i % 4]))
+            .collect();
+        for (i, &(e, tags)) in edges.iter().enumerate() {
+            assert_eq!(eager.insert(e, &tags), lazy.insert(e, &tags));
+            if i % 23 == 0 {
+                eager.compact();
+            }
+        }
+        eager.compact();
+        assert_eq!(eager.edge_count(), lazy.edge_count());
+        for u in 0..40u32 {
+            for v in 40..130u32 {
+                let q = Edge::new(u, v);
+                assert_eq!(eager.tags_of(q), lazy.tags_of(q), "{q}");
+            }
+            for w in (u + 1)..40 {
+                let q = Edge::new(u, w);
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                eager.match_then_insert(q, None, |g, x, c| a.push((g, x, c)));
+                lazy.match_then_insert(q, None, |g, x, c| b.push((g, x, c)));
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "matches of ({u}, {w})");
+            }
+        }
+        let before = eager.edge_count();
+        eager.compact();
+        assert_eq!(eager.edge_count(), before);
+    }
+
+    #[test]
+    fn rejects_bad_widths_sentinel_and_zero_width() {
+        let mut m = MultiHybridTaggedAdjacency::new(2);
+        assert!(m.insert(Edge::new(1, 2), &[0, 1]));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.insert(Edge::new(2, 3), &[0]);
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(|| MultiHybridTaggedAdjacency::new(0)).is_err());
+        let mut k = MaskedHybridTaggedAdjacency::new(2);
+        assert!(k.insert(Edge::new(1, 2), &[0, 1], None));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            k.insert(Edge::new(2, 3), &[0, 1], Some(MASKED_NONE));
+        }))
+        .is_err());
+        assert!(std::panic::catch_unwind(|| MaskedHybridTaggedAdjacency::new(0)).is_err());
+    }
+
+    /// A tag that cannot pack into the byte store arriving mid-stream
+    /// widens the whole structure in place; every tag stored before and
+    /// after keeps answering exactly like the sorted layout.
+    #[test]
+    fn widening_preserves_all_tags() {
+        for threshold in THRESHOLDS {
+            let rng = SplitMix64::new(0x81D);
+            let mut hybrid = MultiHybridTaggedAdjacency::with_threshold(2, threshold);
+            let mut multi = MultiSortedTaggedAdjacency::new(2);
+            let mut masked_h = MaskedHybridTaggedAdjacency::with_threshold(1, threshold);
+            let mut masked_s = MaskedSortedTaggedAdjacency::new(1);
+            for i in 0..800u64 {
+                let r = rng.fork(i).next_u64();
+                let Some(e) = Edge::try_new((r % 50) as u32, ((r >> 16) % 90) as u32) else {
+                    continue;
+                };
+                // Packed tags for the first half, then cells far beyond
+                // one byte — the widening point lands mid-stream.
+                let tags: [CellTag; 2] = if i < 400 {
+                    [(r % 6) as CellTag, ((r >> 8) % 5) as CellTag]
+                } else {
+                    [300 + (r % 500) as CellTag, ((r >> 8) % 5) as CellTag]
+                };
+                assert_eq!(hybrid.insert(e, &tags), multi.insert(e, &tags), "{e}");
+                let m = (r >> 40).is_multiple_of(3).then_some(tags[0]);
+                assert_eq!(
+                    masked_h.insert(e, &tags[1..], m),
+                    masked_s.insert(e, &tags[1..], m),
+                    "{e} masked"
+                );
+                if i % 101 == 0 {
+                    hybrid.compact();
+                    masked_h.compact();
+                }
+            }
+            for u in 0..50u32 {
+                for v in 50..140u32 {
+                    let q = Edge::new(u, v);
+                    assert_eq!(
+                        hybrid.tags_of(q).as_deref(),
+                        multi.tags_of(q),
+                        "{q} threshold {threshold}"
+                    );
+                    assert_eq!(
+                        masked_h.tags_of(q),
+                        masked_s.tags_of(q).map(|(f, m)| (f.to_vec(), m)),
+                        "{q} masked threshold {threshold}"
+                    );
+                }
+            }
+            assert_eq!(hybrid.edge_count(), multi.edge_count());
+            assert_eq!(masked_h.masked_edge_count(), masked_s.masked_edge_count());
+        }
+    }
+
+    #[test]
+    fn bytes_grow_and_parameters_reported() {
+        let mut a = MultiHybridTaggedAdjacency::with_threshold(4, 8);
+        let empty = a.approx_bytes();
+        for i in 0..200u32 {
+            a.insert(Edge::new(0, i + 1), &[0, 1, 2, 3]);
+        }
+        assert!(a.approx_bytes() > empty);
+        assert_eq!(a.width(), 4);
+        assert_eq!(a.degree(0), 200);
+        let h = HybridTaggedAdjacency::new();
+        assert_eq!(h.dense_threshold(), DEFAULT_DENSE_THRESHOLD);
+        assert_eq!(HybridTaggedAdjacency::NAME, "hybrid");
+    }
+}

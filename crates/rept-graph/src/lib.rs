@@ -30,6 +30,11 @@
 //!   the shared structure extended with a masked tag column so the
 //!   subsampled *remainder* group (whose cells `c₂..m` drop edges)
 //!   joins the same single structure walk.
+//! * [`hybrid_tagged`] — the hybrid sorted-vec / blocked-bitmap family
+//!   ([`hybrid_tagged::HybridTaggedAdjacency`] and its multi/masked
+//!   variants): low-degree nodes keep sorted vecs, high-degree nodes
+//!   promote to chunked `u64` bitmaps so hub intersections run as
+//!   `AND` + `count_ones` (64-way bit-parallel, zero `unsafe`).
 //! * [`csr`] — [`csr::CsrGraph`], a compact sorted-neighbor static
 //!   graph for the exact forward algorithm and statistics.
 //! * [`builder`] — [`builder::GraphBuilder`] normalises raw
@@ -46,6 +51,7 @@ pub mod cell_tagged;
 pub mod csr;
 pub mod duplicates;
 pub mod edge;
+pub mod hybrid_tagged;
 pub mod io;
 pub mod masked_tagged;
 pub mod multi_tagged;
@@ -59,6 +65,9 @@ pub use builder::GraphBuilder;
 pub use cell_tagged::{CellTag, CellTaggedAdjacency, TaggedAdjacency};
 pub use csr::CsrGraph;
 pub use edge::{Edge, NodeId};
+pub use hybrid_tagged::{
+    HybridTaggedAdjacency, MaskedHybridTaggedAdjacency, MultiHybridTaggedAdjacency,
+};
 pub use masked_tagged::MaskedSortedTaggedAdjacency;
 pub use multi_tagged::MultiSortedTaggedAdjacency;
 pub use sorted_tagged::SortedTaggedAdjacency;

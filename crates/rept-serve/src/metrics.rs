@@ -128,6 +128,10 @@ impl ServeMetrics {
 pub struct TenantScrape {
     /// Tenant name, used verbatim as the `tenant=` label value.
     pub tenant: String,
+    /// The tenant's configured execution engine, used verbatim as the
+    /// `engine=` label value of `rept_tenant_info` (same source as the
+    /// `engine=` field of `STATS`).
+    pub engine: &'static str,
     /// Health reading taken at scrape time (gauge-backed, live).
     pub health: Health,
     /// The tenant's metric set.
@@ -201,6 +205,17 @@ fn write_summary(out: &mut String, name: &str, labels: &str, h: &Histogram) {
 pub fn render_exposition(scrapes: &[TenantScrape], include_aggregate: bool) -> String {
     let mut out = String::new();
     let aggregate = include_aggregate && !scrapes.is_empty();
+    // Info-style series carrying each tenant's engine label (constant 1,
+    // joined onto the other series by `tenant=` — the Prometheus idiom
+    // for string-valued metadata). Never aggregated: engines differ.
+    let _ = writeln!(out, "# TYPE rept_tenant_info gauge");
+    for s in scrapes {
+        let _ = writeln!(
+            out,
+            "rept_tenant_info{{tenant=\"{}\",engine=\"{}\"}} 1",
+            s.tenant, s.engine
+        );
+    }
     for (name, get) in COUNTERS {
         let _ = writeln!(out, "# TYPE {name} counter");
         let mut total = 0u64;
@@ -277,6 +292,7 @@ mod tests {
         m.record_query("global", Duration::from_micros(7));
         TenantScrape {
             tenant: tenant.to_string(),
+            engine: "fused-sorted",
             health: Health {
                 degraded: false,
                 queue_depth: 1,
@@ -295,6 +311,8 @@ mod tests {
     #[test]
     fn exposition_labels_every_tenant() {
         let text = render_exposition(&[scrape("default", 10), scrape("alpha", 5)], false);
+        assert!(text.contains("# TYPE rept_tenant_info gauge"));
+        assert!(text.contains("rept_tenant_info{tenant=\"default\",engine=\"fused-sorted\"} 1"));
         assert!(text.contains("# TYPE rept_ingest_edges_total counter"));
         assert!(text.contains("rept_ingest_edges_total{tenant=\"default\"} 10"));
         assert!(text.contains("rept_ingest_edges_total{tenant=\"alpha\"} 5"));

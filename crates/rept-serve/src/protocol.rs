@@ -56,7 +56,7 @@ pub enum Scope {
 /// Unset fields inherit the router's base configuration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TenantOptions {
-    /// `engine=<per-worker|fused-hash|fused-sorted>`.
+    /// `engine=<per-worker|fused-hash|fused-sorted|fused-hybrid>`.
     pub engine: Option<rept_core::Engine>,
     /// `m=<partition size>`.
     pub m: Option<u64>,

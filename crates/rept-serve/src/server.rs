@@ -425,6 +425,7 @@ fn execute(
             Some(core) => {
                 let scrape = TenantScrape {
                     tenant: tenant.clone(),
+                    engine: core.config().engine.name(),
                     health: core.health(),
                     metrics: Arc::clone(core.metrics()),
                 };

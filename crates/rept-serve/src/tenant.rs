@@ -647,6 +647,7 @@ impl TenantRouter {
         self.cores()
             .into_iter()
             .map(|(tenant, core)| TenantScrape {
+                engine: core.config().engine.name(),
                 health: core.health(),
                 metrics: Arc::clone(core.metrics()),
                 tenant,

@@ -132,7 +132,7 @@ proptest! {
             ReptConfig::new(m, c).with_seed(seed).with_eta(true).with_locals(true),
         );
         let seq = rept.run_sequential(stream.iter().copied());
-        for engine in [Engine::FusedHash, Engine::FusedSorted] {
+        for engine in [Engine::FusedHash, Engine::FusedSorted, Engine::FusedHybrid] {
             let fused = rept.run(engine, &stream);
             prop_assert_eq!(seq.global, fused.global);
             prop_assert_eq!(&seq.locals, &fused.locals);
@@ -148,15 +148,16 @@ proptest! {
         }
     }
 
-    /// The sorted-adjacency engine stays bit-identical to both the hash
-    /// fused engine and the per-worker oracle on streams that contain
-    /// **duplicate edges** — the duplicate-store rule ("first insert
-    /// wins, duplicates are ignored"), the unowned-cell drop
-    /// (`c < m` layouts), and every counter (η, locals, per-processor τ,
-    /// stored-edge counts) must agree across all three combination paths
-    /// and all drivers, including the within-group threaded one.
+    /// The sorted- and hybrid-adjacency engines stay bit-identical to
+    /// both the hash fused engine and the per-worker oracle on streams
+    /// that contain **duplicate edges** — the duplicate-store rule
+    /// ("first insert wins, duplicates are ignored"), the unowned-cell
+    /// drop (`c < m` layouts), and every counter (η, locals,
+    /// per-processor τ, stored-edge counts) must agree across all three
+    /// combination paths and all drivers, including the within-group
+    /// threaded one.
     #[test]
-    fn sorted_engine_bit_identical_on_duplicate_streams(
+    fn shared_engines_bit_identical_on_duplicate_streams(
         stream in arb_stream_with_dups(20, 100),
         m in 2u64..6,
         c in 1u64..14,
@@ -169,7 +170,8 @@ proptest! {
         let oracle = rept.run_sequential(stream.iter().copied());
         let hash = rept.run(Engine::FusedHash, &stream);
         let sorted = rept.run(Engine::FusedSorted, &stream);
-        for fused in [&hash, &sorted] {
+        let hybrid = rept.run(Engine::FusedHybrid, &stream);
+        for fused in [&hash, &sorted, &hybrid] {
             prop_assert_eq!(oracle.global, fused.global);
             prop_assert_eq!(&oracle.locals, &fused.locals);
             prop_assert_eq!(oracle.eta_hat, fused.eta_hat);
@@ -182,14 +184,60 @@ proptest! {
                 &fused.diagnostics.stored_edges
             );
         }
-        let thr = rept.run_threaded_with(Engine::FusedSorted, &stream, threads);
-        prop_assert_eq!(oracle.global, thr.global);
-        prop_assert_eq!(&oracle.locals, &thr.locals);
-        prop_assert_eq!(oracle.eta_hat, thr.eta_hat);
-        prop_assert_eq!(
-            &oracle.diagnostics.per_processor_tau,
-            &thr.diagnostics.per_processor_tau
-        );
+        for engine in [Engine::FusedSorted, Engine::FusedHybrid] {
+            let thr = rept.run_threaded_with(engine, &stream, threads);
+            prop_assert_eq!(oracle.global, thr.global);
+            prop_assert_eq!(&oracle.locals, &thr.locals);
+            prop_assert_eq!(oracle.eta_hat, thr.eta_hat);
+            prop_assert_eq!(
+                &oracle.diagnostics.per_processor_tau,
+                &thr.diagnostics.per_processor_tau
+            );
+        }
+    }
+
+    /// A hybrid-engine run killed at an arbitrary stream position and
+    /// restored from its RPCK checkpoint finishes bit-identical to the
+    /// uninterrupted run *and* to the per-worker oracle — the resumed
+    /// core rebuilds its sorted-vec/bitmap representation (and every
+    /// cell tag) from the stored union edge set alone. Duplicate edges
+    /// are kept in the stream so the restore path's duplicate handling
+    /// is exercised on both sides of the kill point.
+    #[test]
+    fn hybrid_kill_resume_is_bit_identical(
+        stream in arb_stream_with_dups(20, 100),
+        m in 2u64..6,
+        c in 1u64..14,
+        seed in any::<u64>(),
+        cut in 0usize..100,
+    ) {
+        use rept::core::resume::ResumableRun;
+        let cut = cut.min(stream.len());
+        let cfg = ReptConfig::new(m, c).with_seed(seed).with_eta(true).with_locals(true);
+        let oracle = Rept::new(cfg).run_sequential(stream.iter().copied());
+
+        let mut unbroken = ResumableRun::with_engine(Rept::new(cfg), Engine::FusedHybrid);
+        let mut run = ResumableRun::with_engine(Rept::new(cfg), Engine::FusedHybrid);
+        for &e in &stream[..cut] {
+            unbroken.process(e);
+            run.process(e);
+        }
+        let blob = run.checkpoint_bytes();
+        drop(run); // the "kill": everything not in the blob is gone
+        let mut resumed = ResumableRun::from_checkpoint_bytes(&blob).unwrap();
+        prop_assert_eq!(resumed.position(), cut as u64);
+        for &e in &stream[cut..] {
+            unbroken.process(e);
+            resumed.process(e);
+        }
+        let a = unbroken.finalize();
+        let b = resumed.finalize();
+        prop_assert_eq!(a.global, b.global);
+        prop_assert_eq!(&a.locals, &b.locals);
+        prop_assert_eq!(a.eta_hat, b.eta_hat);
+        prop_assert_eq!(oracle.global, b.global);
+        prop_assert_eq!(&oracle.locals, &b.locals);
+        prop_assert_eq!(oracle.eta_hat, b.eta_hat);
     }
 
     /// REPT's global estimate is always non-negative and zero on
