@@ -43,6 +43,14 @@
 //! tracing, the default). Each variant takes the best of three runs;
 //! the committed ratio must stay ≥ 0.95.
 //!
+//! A seventh section measures **shard scaling**: the TCP ingest
+//! workload pushed through a `rept-shard` coordinator over 1/2/4
+//! group-sliced shard servers (`m = 64, c = 256` — four full groups).
+//! Every shard sees every edge but runs only its slice of the groups,
+//! so the rows price the coordinator's broadcast fan-out against the
+//! per-shard estimator-work reduction on this host (`host_cores` is
+//! recorded — loopback sharding only pays off with cores to spare).
+//!
 //! Run: `cargo run --release --bin bench_serve [-- --out FILE --nodes N]`
 //! (default output: `BENCH_serve.json`).
 
@@ -52,10 +60,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rept_core::reservoir::MIN_MEMORY_BUDGET;
-use rept_core::{Engine, ReptConfig};
+use rept_core::{Engine, GroupSlice, ReptConfig};
 use rept_gen::{barabasi_albert, GeneratorConfig};
 use rept_metrics::LatencyRecorder;
 use rept_serve::{Client, QuotaPolicy, RouterConfig, ServeConfig, ServeCore, Server, SyncPolicy};
+use rept_shard::{CoordinatorConfig, CoordinatorServer, ShardCoordinator, ShardLink};
 
 const M: u64 = 64;
 const PROCESSOR_COUNTS: [u64; 2] = [64, 256];
@@ -404,6 +413,58 @@ fn main() {
     let metrics_ratio = metrics_rows[1].2 / metrics_rows[0].2;
     eprintln!("  metrics overhead: instrumented/baseline = {metrics_ratio:.3}");
 
+    // Shard scaling: the same TCP ingest pushed through the rept-shard
+    // coordinator at 1/2/4 group-sliced shard servers. Unlike tenant
+    // fan-out, the total estimator group-work is constant across shard
+    // counts — every shard sees every edge but applies only its slice
+    // of the four groups — so the rows isolate the coordinator's
+    // broadcast/ack overhead against the per-shard work reduction.
+    let shard_c = PROCESSOR_COUNTS[1]; // 256 → four full hash groups
+    let mut shard_rows = Vec::new();
+    for shards in [1u32, 2, 4] {
+        let cfg = ReptConfig::new(M, shard_c).with_seed(7);
+        let servers: Vec<Server> = (0..shards)
+            .map(|i| {
+                Server::start(
+                    ServeConfig::new(cfg)
+                        .with_snapshot_every(SNAPSHOT_EVERY)
+                        .with_group_slice(GroupSlice::new(i, shards)),
+                    "127.0.0.1:0",
+                    2,
+                )
+                .expect("start shard server")
+            })
+            .collect();
+        let links = servers
+            .iter()
+            .map(|s| ShardLink::connect(s.local_addr()).expect("link"))
+            .collect();
+        let coordinator = ShardCoordinator::start(
+            CoordinatorConfig::new(cfg)
+                .with_snapshot_every(SNAPSHOT_EVERY)
+                .with_top_k(10),
+            links,
+        )
+        .expect("start coordinator");
+        let front = CoordinatorServer::start(coordinator, "127.0.0.1:0", 2).expect("front-end");
+        let mut client = Client::connect(front.local_addr()).expect("connect");
+        let start = Instant::now();
+        for chunk in stream.chunks(INGEST_CHUNK) {
+            client.ingest(chunk).expect("ingest");
+        }
+        client.flush().expect("flush");
+        let secs = start.elapsed().as_secs_f64();
+        drop(client);
+        let coordinator = front.shutdown();
+        assert_eq!(coordinator.position(), stream.len() as u64);
+        for server in servers {
+            server.shutdown();
+        }
+        let stream_rate = stream.len() as f64 / secs;
+        eprintln!("  shards {shards}: {stream_rate:>10.0} stream edges/s ({secs:.2} s)");
+        shard_rows.push((shards, secs, stream_rate));
+    }
+
     // Hand-rolled JSON, matching the workspace's no-serde convention.
     let mut json = String::new();
     json.push_str("{\n");
@@ -489,8 +550,20 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ], \"instrumented_over_baseline\": {metrics_ratio:.4}}}\n}}\n"
+        "  ], \"instrumented_over_baseline\": {metrics_ratio:.4}}},\n"
     ));
+    json.push_str(&format!(
+        "  \"shard_scaling\": {{\"engine\": \"fused-sorted\", \"m\": {M}, \"c\": {shard_c}, \
+         \"transport\": \"tcp-loopback\", \"host_cores\": {host_cores}, \"rows\": [\n"
+    ));
+    for (i, (shards, secs, stream_rate)) in shard_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"ingest_seconds\": {secs:.6}, \
+             \"stream_edges_per_sec\": {stream_rate:.1}}}{}\n",
+            if i + 1 < shard_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
 
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

@@ -14,6 +14,16 @@
 //! purely an execution-layout concern. What the simulation adds is
 //! fidelity on the operational side: batching, backpressure and memory
 //! accounting.
+//!
+//! **This module is the in-process model, not the deployment tier.**
+//! The real multi-process implementation is the `rept-shard`
+//! coordinator crate: shard servers run group-sliced cores
+//! ([`crate::engine::GroupSlice`]) behind the serving tier's v2 wire
+//! protocol, with per-shard checkpoints, journals and degraded-mode
+//! health — this simulation stays as the dependency-free reference for
+//! the partitioning arithmetic (machines here own contiguous *worker*
+//! ranges; shards own round-robin *group* slices — both recombine
+//! exactly for the same reason: groups never communicate mid-stream).
 
 use std::sync::mpsc::{sync_channel, SyncSender};
 

@@ -105,6 +105,18 @@ impl ReptConfig {
     pub fn needs_eta(&self) -> bool {
         self.track_eta || (self.c > self.m && self.c2() != 0)
     }
+
+    /// Number of hash groups the processors form: one for `c ≤ m`,
+    /// otherwise `c₁` full groups plus a remainder group when `c₂ ≠ 0`.
+    /// This is the unit of distribution — groups never communicate
+    /// mid-stream, so a cluster can hold at most this many shards.
+    pub fn group_count(&self) -> u64 {
+        if self.c <= self.m {
+            1
+        } else {
+            self.c1() + u64::from(self.c2() != 0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,16 +129,19 @@ mod tests {
         assert_eq!(cfg.c1(), 3);
         assert_eq!(cfg.c2(), 2);
         assert!(cfg.needs_eta());
+        assert_eq!(cfg.group_count(), 4);
 
         let exact = ReptConfig::new(10, 30);
         assert_eq!(exact.c1(), 3);
         assert_eq!(exact.c2(), 0);
         assert!(!exact.needs_eta());
+        assert_eq!(exact.group_count(), 3);
 
         let small = ReptConfig::new(10, 7);
         assert_eq!(small.c1(), 0);
         assert_eq!(small.c2(), 7);
         assert!(!small.needs_eta(), "c ≤ m needs no η for combining");
+        assert_eq!(small.group_count(), 1);
     }
 
     #[test]

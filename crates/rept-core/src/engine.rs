@@ -182,6 +182,61 @@ pub(crate) enum CoreState {
     },
 }
 
+/// A round-robin slice of a layout's hash groups — which groups a core
+/// owns. `GroupSlice::new(i, n)` keeps every group whose layout index
+/// is congruent to `i` modulo `n`: the rule the threaded batch driver
+/// has always used to spread groups over threads, public so a sharded
+/// deployment can split one configuration's processors across
+/// processes the same way. REPT groups never communicate mid-stream,
+/// so cores over disjoint slices of the same layout reproduce the
+/// single-core run exactly — collect every slice's
+/// [`EngineCore::snapshot_counters`] and combine them with
+/// [`Rept::finalize_groups`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSlice {
+    index: u32,
+    count: u32,
+}
+
+impl GroupSlice {
+    /// The full slice: every group — a standalone, unsharded core.
+    pub const FULL: Self = Self { index: 0, count: 1 };
+
+    /// Slice `index` of `count`: keeps groups `index, index + count, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `index >= count`.
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(count > 0, "a slice needs at least one part");
+        assert!(
+            index < count,
+            "slice index {index} out of range for count {count}"
+        );
+        Self { index, count }
+    }
+
+    /// Whether this slice owns layout group `gi`.
+    pub fn keeps(&self, gi: usize) -> bool {
+        gi % (self.count as usize) == self.index as usize
+    }
+
+    /// Whether this is the full (unsliced) view.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// This slice's index in `0..count`.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// How many slices the layout is split into.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+}
+
 /// One run of the REPT estimator on one execution [`Engine`] — the
 /// single driver behind the batch methods on [`Rept`], the resumable
 /// incremental runs, and the serving subsystem.
@@ -209,6 +264,7 @@ pub struct EngineCore {
     engine: Engine,
     pub(crate) state: CoreState,
     position: u64,
+    slice: GroupSlice,
 }
 
 impl EngineCore {
@@ -226,48 +282,63 @@ impl EngineCore {
 
     /// Creates a core with explicit [`CoreOptions`].
     pub fn with_options(rept: Rept, engine: Engine, opts: CoreOptions) -> Self {
-        Self::with_group_filter(rept, engine, opts, |_| true)
+        Self::with_slice(rept, engine, opts, GroupSlice::FULL)
     }
 
     /// Assembles a core from restored parts — the checkpoint decoder's
     /// constructor ([`crate::resume`]).
-    pub(crate) fn from_parts(rept: Rept, engine: Engine, state: CoreState, position: u64) -> Self {
+    pub(crate) fn from_parts(
+        rept: Rept,
+        engine: Engine,
+        state: CoreState,
+        position: u64,
+        slice: GroupSlice,
+    ) -> Self {
         Self {
             rept,
             engine,
             state,
             position,
+            slice,
         }
     }
 
-    /// Creates a core owning only the groups whose layout index passes
-    /// `keep` — the construction the threaded batch driver uses to
-    /// spread groups over threads. Fused engines only.
-    pub(crate) fn with_group_filter(
-        rept: Rept,
-        engine: Engine,
-        opts: CoreOptions,
-        keep: impl Fn(usize) -> bool,
-    ) -> Self {
+    /// Creates a core owning only the groups its [`GroupSlice`] keeps —
+    /// the construction the threaded batch driver uses to spread groups
+    /// over threads, and a sharded deployment uses to split one
+    /// configuration's processors across processes. All four engines
+    /// slice (the per-worker engine allocates its full worker vector
+    /// but only drives the kept groups' workers).
+    ///
+    /// A sliced core's own [`Self::estimate`] is a *local view*: groups
+    /// it does not own contribute zero, so the value is biased low.
+    /// The true estimate combines every slice's
+    /// [`Self::snapshot_counters`] through [`Rept::finalize_groups`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice keeps none of the layout's groups (more
+    /// slices than groups at this index).
+    pub fn with_slice(rept: Rept, engine: Engine, opts: CoreOptions, slice: GroupSlice) -> Self {
         let cfg = *rept.config();
         let kept: Vec<GroupSpec> = rept
             .groups()
             .iter()
             .enumerate()
-            .filter(|(gi, _)| keep(*gi))
+            .filter(|(gi, _)| slice.keeps(*gi))
             .map(|(_, g)| *g)
             .collect();
+        assert!(
+            !kept.is_empty(),
+            "slice {}/{} keeps none of the {} groups",
+            slice.index(),
+            slice.count(),
+            rept.groups().len()
+        );
         let state = match engine {
-            Engine::PerWorker => {
-                debug_assert_eq!(
-                    kept.len(),
-                    rept.groups().len(),
-                    "the per-worker engine is never group-filtered"
-                );
-                CoreState::PerWorker {
-                    workers: make_workers(&cfg),
-                }
-            }
+            Engine::PerWorker => CoreState::PerWorker {
+                workers: make_workers(&cfg),
+            },
             Engine::FusedHash => {
                 CoreState::FusedHash(kept.iter().map(|g| FusedGroup::new(*g, &cfg)).collect())
             }
@@ -285,6 +356,7 @@ impl EngineCore {
             engine,
             state,
             position: 0,
+            slice,
         }
     }
 
@@ -308,16 +380,27 @@ impl EngineCore {
         self.position
     }
 
+    /// The group slice this core owns ([`GroupSlice::FULL`] for a
+    /// standalone, unsharded run).
+    pub fn group_slice(&self) -> GroupSlice {
+        self.slice
+    }
+
     /// Processes one arriving edge on every group (no compaction — call
     /// [`Self::compact`] or use [`Self::ingest_batch`] for batched
     /// streams).
     pub fn ingest(&mut self, e: Edge) {
         self.position += 1;
-        let Self { rept, state, .. } = self;
+        let Self {
+            rept, state, slice, ..
+        } = self;
         match state {
             CoreState::PerWorker { workers } => {
                 let (u, v) = e.as_u64_pair();
-                for g in rept.groups() {
+                for (gi, g) in rept.groups().iter().enumerate() {
+                    if !slice.keeps(gi) {
+                        continue;
+                    }
                     // Every processor in the group observes the edge …
                     let cell = g.hasher.cell(u, v) as usize;
                     for (off, w) in workers[g.start..g.start + g.size].iter_mut().enumerate() {
@@ -465,7 +548,9 @@ impl EngineCore {
     /// [`Self::estimate`] which does exactly that.
     pub fn snapshot_counters(&self) -> Vec<GroupAggregate> {
         match &self.state {
-            CoreState::PerWorker { workers } => self.rept.aggregate_workers(workers),
+            CoreState::PerWorker { workers } => self
+                .rept
+                .aggregate_workers_for(workers, |gi| self.slice.keeps(gi)),
             CoreState::FusedHash(groups) => {
                 groups.iter().map(FusedGroup::snapshot_aggregate).collect()
             }
@@ -488,15 +573,20 @@ impl EngineCore {
         }
     }
 
-    /// Consumes the core, yielding the final per-group aggregates.
+    /// Consumes the core, yielding the final per-group aggregates (the
+    /// kept groups only, for a sliced core).
     pub fn finalize(self) -> Vec<GroupAggregate> {
-        let Self { rept, state, .. } = self;
-        Self::finalize_state(&rept, state)
+        let Self {
+            rept, state, slice, ..
+        } = self;
+        Self::finalize_state(&rept, state, slice)
     }
 
-    fn finalize_state(rept: &Rept, state: CoreState) -> Vec<GroupAggregate> {
+    fn finalize_state(rept: &Rept, state: CoreState, slice: GroupSlice) -> Vec<GroupAggregate> {
         match state {
-            CoreState::PerWorker { workers } => rept.aggregate_workers(&workers),
+            CoreState::PerWorker { workers } => {
+                rept.aggregate_workers_for(&workers, |gi| slice.keeps(gi))
+            }
             CoreState::FusedHash(groups) => {
                 groups.into_iter().map(FusedGroup::into_aggregate).collect()
             }
@@ -545,17 +635,53 @@ impl EngineCore {
     }
 
     /// The estimate for the stream seen so far (anytime,
-    /// non-consuming).
+    /// non-consuming). On a sliced core this is the *local view*:
+    /// unowned groups contribute zero aggregates, so the value is
+    /// biased low — combine every slice's [`Self::snapshot_counters`]
+    /// for the true estimate.
     pub fn estimate(&self) -> ReptEstimate {
-        self.rept.finalize_groups(self.snapshot_counters())
+        let aggregates = pad_unkept(&self.rept, self.slice, self.snapshot_counters());
+        self.rept.finalize_groups(aggregates)
     }
 
-    /// Consumes the core and produces the final estimate.
+    /// Consumes the core and produces the final estimate (the local
+    /// view, for a sliced core — see [`Self::estimate`]).
     pub fn into_estimate(self) -> ReptEstimate {
-        let Self { rept, state, .. } = self;
-        let aggregates = Self::finalize_state(&rept, state);
+        let Self {
+            rept, state, slice, ..
+        } = self;
+        let aggregates = pad_unkept(&rept, slice, Self::finalize_state(&rept, state, slice));
         rept.finalize_groups(aggregates)
     }
+}
+
+/// Pads a sliced core's kept-group aggregates with zero aggregates for
+/// the groups it does not own, so [`Rept::finalize_groups`] — whose
+/// combination arithmetic indexes the *full* processor layout — sees a
+/// complete set. The padded groups' counter maps stay `None`; the
+/// combination only reads maps that are present.
+fn pad_unkept(
+    rept: &Rept,
+    slice: GroupSlice,
+    mut aggregates: Vec<GroupAggregate>,
+) -> Vec<GroupAggregate> {
+    if slice.is_full() {
+        return aggregates;
+    }
+    for (gi, g) in rept.groups().iter().enumerate() {
+        if !slice.keeps(gi) {
+            aggregates.push(GroupAggregate {
+                start: g.start,
+                tau: vec![0; g.size],
+                stored: vec![0; g.size],
+                bytes: 0,
+                eta_total: 0,
+                tau_v: None,
+                eta_v: None,
+            });
+        }
+    }
+    aggregates
 }
 
 /// Fresh per-processor workers for a configuration.
@@ -700,9 +826,12 @@ pub(crate) fn drive(rept: &Rept, engine: Engine, stream: &[Edge], threads: usize
         let aggregates: Vec<GroupAggregate> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_threads);
             for t in 0..n_threads {
-                let mut core = EngineCore::with_group_filter(rept.clone(), engine, opts, |gi| {
-                    gi % n_threads == t
-                });
+                let mut core = EngineCore::with_slice(
+                    rept.clone(),
+                    engine,
+                    opts,
+                    GroupSlice::new(t as u32, n_threads as u32),
+                );
                 handles.push(scope.spawn(move || {
                     core.ingest_batch(stream);
                     core.finalize()
@@ -747,6 +876,52 @@ mod tests {
                     assert_eq!(chunked.position(), stream.len() as u64);
                     let est = chunked.estimate();
                     assert_eq!(oracle.global, est.global, "{} b={batch_len}", engine.name());
+                    assert_eq!(oracle.locals, est.locals);
+                    assert_eq!(oracle.eta_hat, est.eta_hat);
+                    assert_eq!(
+                        oracle.diagnostics.per_processor_tau,
+                        est.diagnostics.per_processor_tau
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_slices_recombine_to_the_full_run() {
+        // The sharding contract: cores over disjoint slices of one
+        // layout, each fed the whole stream, recombine bit-identically
+        // to the single full-slice core — on every engine, including
+        // per-worker (whose unkept workers stay inert).
+        let stream = barabasi_albert(&GeneratorConfig::new(250, 5), 4);
+        for (m, c) in [(3u64, 7u64), (2, 11), (4, 12)] {
+            let cfg = ReptConfig::new(m, c).with_seed(5).with_eta(true);
+            let rept = Rept::new(cfg);
+            let n_groups = rept.groups().len();
+            for engine in Engine::all() {
+                let mut whole = EngineCore::with_engine(rept.clone(), engine);
+                whole.ingest_batch(&stream);
+                let oracle = whole.into_estimate();
+                for count in [2u32, 3] {
+                    assert!((count as usize) <= n_groups, "m={m} c={c}");
+                    let mut aggregates = Vec::new();
+                    for index in 0..count {
+                        let mut shard = EngineCore::with_slice(
+                            rept.clone(),
+                            engine,
+                            CoreOptions::default(),
+                            GroupSlice::new(index, count),
+                        );
+                        shard.ingest_batch(&stream);
+                        // The shard's own estimate is the padded local
+                        // view — it must be *defined* (no panic) on
+                        // every layout, full, exact, and mixed.
+                        let local = shard.estimate();
+                        assert!(local.global.is_finite());
+                        aggregates.extend(shard.finalize());
+                    }
+                    let est = rept.finalize_groups(aggregates);
+                    assert_eq!(oracle.global, est.global, "{} n={count}", engine.name());
                     assert_eq!(oracle.locals, est.locals);
                     assert_eq!(oracle.eta_hat, est.eta_hat);
                     assert_eq!(

@@ -77,7 +77,7 @@ pub(crate) struct GroupSpec {
 /// and the exchange format between an
 /// [`EngineCore`] and the combination
 /// arithmetic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupAggregate {
     /// Index of the group's first worker (orders groups in diagnostics).
     pub start: usize,
@@ -376,9 +376,23 @@ impl Rept {
     /// the per-worker engine's half of [`Self::finalize`], non-consuming
     /// so anytime snapshots can reuse it.
     pub(crate) fn aggregate_workers(&self, workers: &[SemiTriangleWorker]) -> Vec<GroupAggregate> {
+        self.aggregate_workers_for(workers, |_| true)
+    }
+
+    /// [`Self::aggregate_workers`] restricted to the groups `keep`
+    /// selects (by group index) — what a group-sliced per-worker core
+    /// reports: its untouched workers would contribute misleading
+    /// zero aggregates otherwise.
+    pub(crate) fn aggregate_workers_for(
+        &self,
+        workers: &[SemiTriangleWorker],
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<GroupAggregate> {
         self.groups
             .iter()
-            .map(|g| {
+            .enumerate()
+            .filter(|(gi, _)| keep(*gi))
+            .map(|(_, g)| {
                 let members = &workers[g.start..g.start + g.size];
                 let merge = |maps: Vec<&FxHashMap<NodeId, u64>>| {
                     let mut acc: FxHashMap<NodeId, u64> = FxHashMap::default();

@@ -84,7 +84,7 @@ pub mod variance;
 pub mod worker;
 
 pub use config::{EtaMode, ReptConfig};
-pub use engine::{CoreOptions, EngineCore};
+pub use engine::{CoreOptions, EngineCore, GroupSlice};
 pub use estimate::ReptEstimate;
 pub use estimator::{Engine, GroupAggregate, Rept};
 pub use reservoir::ReservoirRun;

@@ -45,7 +45,7 @@
 //! (primary blob plus position-stamped rotated siblings) — all in this
 //! same format, so a tenant checkpoint is readable by
 //! [`ResumableRun::from_checkpoint_file`] like any other. The full
-//! lineage (v1 → v4, with sizes and compatibility guarantees) is
+//! lineage (v1 → v6, with sizes and compatibility guarantees) is
 //! documented in `docs/ARCHITECTURE.md` at the repository root.
 
 use std::path::{Path, PathBuf};
@@ -54,9 +54,9 @@ use rept_graph::cell_tagged::{CellTag, CellTaggedAdjacency, TaggedAdjacency};
 use rept_graph::edge::{Edge, NodeId};
 
 use crate::config::{EtaMode, ReptConfig};
-use crate::engine::{CoreState, EngineCore, SharedState};
+use crate::engine::{CoreOptions, CoreState, EngineCore, GroupSlice, SharedState};
 use crate::estimate::ReptEstimate;
-use crate::estimator::{Engine, GroupSpec, Rept};
+use crate::estimator::{Engine, GroupAggregate, GroupSpec, Rept};
 use crate::fused::{
     FusedEtaCounters, FusedFullGroups, FusedGroup, FusedMaskedGroups, GroupCounters,
     SharedMaskedAdjacency, SharedMultiAdjacency,
@@ -67,21 +67,31 @@ use crate::worker::SemiTriangleWorker;
 /// Magic bytes of the checkpoint format.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RPCK";
 /// Newest checkpoint format version this codec reads and writes.
-/// Version 5 adds the bounded-memory reservoir section (engine code 3)
-/// — only reservoir-mode runs write it; engine runs keep writing
-/// version 4, so their blobs stay readable by pre-v5 releases. Version
-/// 4 adds the journal truncation position to the header — the stream
-/// position up to which a write-ahead edge journal (if the deployment
-/// keeps one) has been made redundant by this checkpoint, so recovery
-/// knows which journal records are stale. Version 3 stores the sorted
-/// engine's shared full-group edge set once and the masked remainder
-/// section; versions 1 (per-worker only) and 2 (per-group fused
-/// sections) are still readable, and restore with a truncation
-/// position equal to their stream position.
-pub const CHECKPOINT_VERSION: u32 = 5;
-/// The header version engine-state checkpoints are written at (see
-/// [`CHECKPOINT_VERSION`]: the v5 additions are reservoir-only).
+/// Version 6 adds the group-slice fields (slice index and count, after
+/// the journal truncation) — only *sliced* engine runs, the shards of
+/// a distributed deployment, write it; full-slice engine runs keep
+/// writing version 4 and reservoir runs version 5, so their blobs stay
+/// readable by earlier releases. Version 5 adds the bounded-memory
+/// reservoir section (engine code 3). Version 4 adds the journal
+/// truncation position to the header — the stream position up to which
+/// a write-ahead edge journal (if the deployment keeps one) has been
+/// made redundant by this checkpoint, so recovery knows which journal
+/// records are stale. Version 3 stores the sorted engine's shared
+/// full-group edge set once and the masked remainder section; versions
+/// 1 (per-worker only) and 2 (per-group fused sections) are still
+/// readable, and restore with a truncation position equal to their
+/// stream position.
+pub const CHECKPOINT_VERSION: u32 = 6;
+/// The header version full-slice engine-state checkpoints are written
+/// at (see [`CHECKPOINT_VERSION`]: the v5/v6 additions don't apply to
+/// them).
 const ENGINE_CHECKPOINT_VERSION: u32 = 4;
+/// The header version reservoir checkpoints are written at — pinned,
+/// not [`CHECKPOINT_VERSION`]: the v6 slice fields never apply to
+/// reservoir runs (bounded-memory mode has no group layout to slice).
+const RESERVOIR_CHECKPOINT_VERSION: u32 = 5;
+/// The header version group-sliced engine checkpoints are written at.
+const SLICED_ENGINE_CHECKPOINT_VERSION: u32 = 6;
 /// On-disk engine code of the reservoir run mode (format field, must
 /// never change). Codes 0–2 are the [`Engine`] variants; reservoir
 /// mode is not an `Engine` — `Engine::all()` sweeps must not see it —
@@ -302,6 +312,27 @@ impl ResumableRun {
         }
     }
 
+    /// Starts a fresh run owning only one [`GroupSlice`] of the
+    /// layout's hash groups — a shard of a distributed deployment.
+    /// Checkpoints of a sliced run record the slice (format version 6)
+    /// and restore refuses a blob whose slice disagrees with the
+    /// deployment resuming it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice keeps none of the layout's groups.
+    pub fn with_sliced_engine(rept: Rept, engine: Engine, slice: GroupSlice) -> Self {
+        Self {
+            state: RunState::Engine(EngineCore::with_slice(
+                rept,
+                engine,
+                CoreOptions::default(),
+                slice,
+            )),
+            journal_truncation: 0,
+        }
+    }
+
     /// Starts a fresh bounded-memory run: the reservoir mode never
     /// stores more than `memory_budget` bytes of edge state (see
     /// [`crate::reservoir`]).
@@ -334,6 +365,29 @@ impl ResumableRun {
         match &self.state {
             RunState::Engine(_) => None,
             RunState::Reservoir(run) => Some(run.memory_budget()),
+        }
+    }
+
+    /// The group slice this run owns ([`GroupSlice::FULL`] for
+    /// standalone engine runs and for reservoir runs, which have no
+    /// group layout to slice).
+    pub fn group_slice(&self) -> GroupSlice {
+        match &self.state {
+            RunState::Engine(core) => core.group_slice(),
+            RunState::Reservoir(_) => GroupSlice::FULL,
+        }
+    }
+
+    /// The per-group aggregates of the stream seen so far — the kept
+    /// groups only, for a sliced run. This is the aggregate-exchange
+    /// payload of a distributed deployment: collect every shard's
+    /// aggregates and combine them with [`Rept::finalize_groups`].
+    /// `None` for reservoir runs, whose subsampled state admits no
+    /// exact cross-shard combination.
+    pub fn group_aggregates(&self) -> Option<Vec<GroupAggregate>> {
+        match &self.state {
+            RunState::Engine(core) => Some(core.snapshot_counters()),
+            RunState::Reservoir(_) => None,
         }
     }
 
@@ -422,19 +476,30 @@ impl ResumableRun {
         }
     }
 
-    /// Serialises the complete state (format version 4 for engine runs,
-    /// 5 for reservoir runs — see [`CHECKPOINT_VERSION`]).
+    /// Serialises the complete state (format version 4 for full-slice
+    /// engine runs, 5 for reservoir runs, 6 for sliced engine runs —
+    /// see [`CHECKPOINT_VERSION`]).
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match &self.state {
             RunState::Engine(core) => {
+                let slice = core.group_slice();
+                let version = if slice.is_full() {
+                    ENGINE_CHECKPOINT_VERSION
+                } else {
+                    SLICED_ENGINE_CHECKPOINT_VERSION
+                };
                 write_header(
                     &mut out,
                     core.config(),
-                    ENGINE_CHECKPOINT_VERSION,
+                    version,
                     engine_code(core.engine()),
                     core.position(),
                 );
+                if !slice.is_full() {
+                    out.extend_from_slice(&u64::from(slice.index()).to_le_bytes());
+                    out.extend_from_slice(&u64::from(slice.count()).to_le_bytes());
+                }
                 match &core.state {
                     CoreState::PerWorker { workers } => {
                         for w in workers {
@@ -459,7 +524,7 @@ impl ResumableRun {
                 write_header(
                     &mut out,
                     run.config(),
-                    CHECKPOINT_VERSION,
+                    RESERVOIR_CHECKPOINT_VERSION,
                     RESERVOIR_ENGINE_CODE,
                     run.position(),
                 );
@@ -516,9 +581,11 @@ impl ResumableRun {
             eta_mode,
         };
         if code == RESERVOIR_ENGINE_CODE {
-            // The reservoir section exists only from version 5 on; an
-            // older blob carrying code 3 is corrupt, not early.
-            if version < 5 {
+            // The reservoir section exists only at version 5 — an older
+            // blob carrying code 3 is corrupt, not early, and a newer
+            // (sliced, v6) one is impossible: bounded-memory mode has
+            // no group layout to slice.
+            if version != RESERVOIR_CHECKPOINT_VERSION {
                 return Err(SnapshotError::Invalid("engine code"));
             }
             let run = read_reservoir_section(&mut r, &cfg, position)?;
@@ -530,10 +597,35 @@ impl ResumableRun {
                 journal_truncation,
             });
         }
+        // Version 6 records the group slice this blob's core owned;
+        // everything older is a full-slice run.
+        let slice = if version >= 6 {
+            let index = r.u64()?;
+            let count = r.u64()?;
+            if count == 0 || count > u64::from(u32::MAX) || index >= count {
+                return Err(SnapshotError::Invalid("group slice"));
+            }
+            GroupSlice::new(index as u32, count as u32)
+        } else {
+            GroupSlice::FULL
+        };
         let engine = engine_from_code(code)?;
         let rept = Rept::new(cfg);
+        let kept: Vec<GroupSpec> = rept
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| slice.keeps(*gi))
+            .map(|(_, g)| *g)
+            .collect();
+        if kept.is_empty() {
+            return Err(SnapshotError::Invalid("slice keeps no groups"));
+        }
         let state = match engine {
             Engine::PerWorker => {
+                // The per-worker engine always serialises its full
+                // worker vector — a sliced run's unkept workers are
+                // simply never driven, so they round-trip as empty.
                 let mut workers = Vec::with_capacity(c as usize);
                 for _ in 0..c {
                     workers.push(SemiTriangleWorker::read_snapshot(
@@ -545,14 +637,14 @@ impl ResumableRun {
                 }
                 CoreState::PerWorker { workers }
             }
-            Engine::FusedHash => CoreState::FusedHash(read_fused_groups(&mut r, &rept)?),
+            Engine::FusedHash => CoreState::FusedHash(read_fused_groups(&mut r, &rept, &kept)?),
             Engine::FusedSorted => {
                 let decoded = if version == 2 {
-                    read_sorted_sections_v2(&mut r, &rept)?
+                    read_sorted_sections_v2(&mut r, &rept, &kept)?
                 } else {
-                    read_sorted_sections_v3(&mut r, &rept)?
+                    read_sorted_sections_v3(&mut r, &rept, &kept)?
                 };
-                let (shared, rest) = build_shared_groups(&rept, decoded)?;
+                let (shared, rest) = build_shared_groups(&rept, &kept, decoded)?;
                 CoreState::FusedSorted { shared, rest }
             }
             Engine::FusedHybrid => {
@@ -560,11 +652,11 @@ impl ResumableRun {
                 // are the same sorted-layout sections — only the rebuild
                 // target differs, so both readers remain usable.
                 let decoded = if version == 2 {
-                    read_sorted_sections_v2(&mut r, &rept)?
+                    read_sorted_sections_v2(&mut r, &rept, &kept)?
                 } else {
-                    read_sorted_sections_v3(&mut r, &rept)?
+                    read_sorted_sections_v3(&mut r, &rept, &kept)?
                 };
-                let (shared, rest) = build_shared_groups(&rept, decoded)?;
+                let (shared, rest) = build_shared_groups(&rept, &kept, decoded)?;
                 CoreState::FusedHybrid { shared, rest }
             }
         };
@@ -572,7 +664,7 @@ impl ResumableRun {
             return Err(SnapshotError::Invalid("trailing bytes"));
         }
         Ok(Self {
-            state: RunState::Engine(EngineCore::from_parts(rept, engine, state, position)),
+            state: RunState::Engine(EngineCore::from_parts(rept, engine, state, position, slice)),
             journal_truncation,
         })
     }
@@ -934,20 +1026,21 @@ fn read_one_group<A: TaggedAdjacency>(
     group_from_section(cfg, spec, &edges, counters)
 }
 
-/// Counterpart of the fused-hash section list (identical in v2 and v3).
+/// Counterpart of the fused-hash section list (identical in v2 and v3;
+/// `kept` is the slice's group subset — the full layout for unsliced
+/// blobs).
 fn read_fused_groups(
     r: &mut Reader<'_>,
     rept: &Rept,
+    kept: &[GroupSpec],
 ) -> Result<Vec<FusedGroup<CellTaggedAdjacency>>, SnapshotError> {
     let cfg = *rept.config();
     let n = r.u64()? as usize;
-    if n != rept.groups().len() {
+    if n != kept.len() {
         return Err(SnapshotError::Invalid("group count/config mismatch"));
     }
-    rept.groups()
-        .to_vec()
-        .into_iter()
-        .map(|spec| read_one_group(r, &cfg, spec))
+    kept.iter()
+        .map(|spec| read_one_group(r, &cfg, *spec))
         .collect()
 }
 
@@ -976,12 +1069,12 @@ struct SortedDecoded {
     rest: Vec<(GroupSpec, Vec<Edge>, GroupCounters)>,
 }
 
-/// Splits the layout into its full groups (size = `m`) and the rest —
-/// the same classification the core's construction uses
+/// Splits a kept-group set into its full groups (size = `m`) and the
+/// rest — the same classification the core's construction uses
 /// ([`crate::engine::split_full_partial`]), so restore and fresh
 /// construction can never disagree about a layout.
-fn split_specs(rept: &Rept) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
-    crate::engine::split_full_partial(rept.config().m, rept.groups())
+fn split_specs(rept: &Rept, kept: &[GroupSpec]) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
+    crate::engine::split_full_partial(rept.config().m, kept)
 }
 
 /// Reads a version-2 sorted section list: one section per group in
@@ -989,20 +1082,20 @@ fn split_specs(rept: &Rept) -> (Vec<GroupSpec>, Vec<GroupSpec>) {
 fn read_sorted_sections_v2(
     r: &mut Reader<'_>,
     rept: &Rept,
+    kept: &[GroupSpec],
 ) -> Result<SortedDecoded, SnapshotError> {
     let cfg = *rept.config();
     let n = r.u64()? as usize;
-    if n != rept.groups().len() {
+    if n != kept.len() {
         return Err(SnapshotError::Invalid("group count/config mismatch"));
     }
-    let (full, partial) = split_specs(rept);
+    let (full, partial) = split_specs(rept, kept);
     // Sharing applies exactly when the current core would share — the
     // one layout rule, consulted through `engine::sorted_layout`.
     if crate::engine::sorted_layout(full.len(), partial.len(), true)
         == crate::engine::SortedLayout::Independent
     {
-        let rest = rept
-            .groups()
+        let rest = kept
             .iter()
             .map(|spec| {
                 let edges = read_group_edges(r, spec)?;
@@ -1060,9 +1153,10 @@ fn read_sorted_sections_v2(
 fn read_sorted_sections_v3(
     r: &mut Reader<'_>,
     rept: &Rept,
+    kept: &[GroupSpec],
 ) -> Result<SortedDecoded, SnapshotError> {
     let cfg = *rept.config();
-    let (full, partial) = split_specs(rept);
+    let (full, partial) = split_specs(rept, kept);
     let tag = r.u8()?;
     let mut decoded = SortedDecoded {
         union: Vec::new(),
@@ -1073,10 +1167,10 @@ fn read_sorted_sections_v3(
     let rest_specs: Vec<GroupSpec> = match tag {
         layout_tag::INDEPENDENT => {
             let n = r.u64()? as usize;
-            if n != rept.groups().len() {
+            if n != kept.len() {
                 return Err(SnapshotError::Invalid("group count/config mismatch"));
             }
-            rept.groups().to_vec()
+            kept.to_vec()
         }
         layout_tag::SHARED_FULL | layout_tag::MASKED => {
             let full_count = r.u64()? as usize;
@@ -1135,6 +1229,7 @@ type SharedGroups<M, K, A> = (Option<SharedState<M, K>>, Vec<FusedGroup<A>>);
 /// edge set a sorted restore would consume.
 fn build_shared_groups<M, K, A>(
     rept: &Rept,
+    kept: &[GroupSpec],
     decoded: SortedDecoded,
 ) -> Result<SharedGroups<M, K, A>, SnapshotError>
 where
@@ -1143,7 +1238,7 @@ where
     A: TaggedAdjacency,
 {
     let cfg = *rept.config();
-    let (full, partial) = split_specs(rept);
+    let (full, partial) = split_specs(rept, kept);
     let SortedDecoded {
         union,
         full_counters,
@@ -1261,7 +1356,7 @@ where
     }
 
     // No sharing: independent groups only.
-    if rest.len() != rept.groups().len() {
+    if rest.len() != kept.len() {
         return Err(SnapshotError::Invalid("group count/config mismatch"));
     }
     let rest = rest
@@ -1628,6 +1723,76 @@ mod tests {
             let final_est = resumed.finalize();
             assert_estimates_equal(&final_est, &uninterrupted, engine.name());
         }
+    }
+
+    #[test]
+    fn sliced_checkpoint_resume_is_bit_identical_on_every_engine() {
+        // The distributed contract end to end inside one process: each
+        // slice runs, checkpoints (format v6), restores, finishes — and
+        // the recombined shards are bit-identical to the single
+        // full-slice oracle. Exercised on every engine and on both an
+        // exact (c = c₁m) and a mixed (c₂ ≠ 0) layout.
+        let stream = stream();
+        for c in [6u64, 7] {
+            let cfg = ReptConfig::new(3, c).with_seed(11).with_eta(true);
+            let rept = Rept::new(cfg);
+            let uninterrupted = rept.run_sequential(stream.iter().copied());
+            let split = stream.len() / 2;
+            for engine in Engine::all() {
+                let mut aggregates = Vec::new();
+                for index in 0..2u32 {
+                    let slice = GroupSlice::new(index, 2);
+                    let mut shard = ResumableRun::with_sliced_engine(rept.clone(), engine, slice);
+                    shard.process_batch(&stream[..split]);
+                    let blob = shard.checkpoint_bytes();
+                    drop(shard);
+                    let mut resumed =
+                        ResumableRun::from_checkpoint_bytes(&blob).expect("valid sliced blob");
+                    assert_eq!(resumed.group_slice(), slice, "slice survives the roundtrip");
+                    assert_eq!(resumed.position(), split as u64);
+                    assert_eq!(resumed.engine(), engine);
+                    // The shard's own estimate (the padded local view)
+                    // must be defined right after restore.
+                    assert!(resumed.estimate().global.is_finite());
+                    resumed.process_batch(&stream[split..]);
+                    aggregates.extend(
+                        resumed
+                            .group_aggregates()
+                            .expect("engine runs have aggregates"),
+                    );
+                }
+                let est = rept.finalize_groups(aggregates);
+                assert_estimates_equal(
+                    &est,
+                    &uninterrupted,
+                    &format!("{} c={c} sharded resume", engine.name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_blob_slice_fields_are_validated() {
+        let rept = Rept::new(cfg());
+        let run =
+            ResumableRun::with_sliced_engine(rept, Engine::FusedSorted, GroupSlice::new(1, 2));
+        let blob = run.checkpoint_bytes();
+        // The slice fields sit right after the 46-byte header (magic 4 +
+        // version 4 + m/c/seed 24 + flags 3 + engine 1 + position 8 +
+        // truncation 8): index u64, count u64.
+        let slice_at = 4 + 4 + 24 + 3 + 1 + 8 + 8;
+        let mut bad = blob.clone();
+        bad[slice_at + 8..slice_at + 16].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            ResumableRun::from_checkpoint_bytes(&bad),
+            Err(SnapshotError::Invalid("group slice"))
+        ));
+        let mut swapped = blob;
+        swapped[slice_at..slice_at + 8].copy_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            ResumableRun::from_checkpoint_bytes(&swapped),
+            Err(SnapshotError::Invalid("group slice"))
+        ));
     }
 
     #[test]

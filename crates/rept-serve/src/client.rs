@@ -26,6 +26,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rept_core::GroupAggregate;
 use rept_graph::edge::{Edge, NodeId};
 use rept_hash::SplitMix64;
 
@@ -567,14 +568,14 @@ impl Client {
         self.request("HEALTH")
     }
 
-    /// Sends a request whose reply is `OK <verb> lines=<n>` followed by
-    /// `n` body lines, and returns those body lines.
+    /// Sends a request whose reply is `OK <verb> … lines=<n>` followed
+    /// by `n` body lines, and returns the header and those body lines.
     ///
     /// # Errors
     ///
     /// Socket/protocol errors, a malformed header, or a connection
     /// closed mid-body.
-    fn request_block(&mut self, line: &str) -> std::io::Result<Vec<String>> {
+    fn request_block(&mut self, line: &str) -> std::io::Result<(String, Vec<String>)> {
         let header = self.request(line)?;
         let n: usize = Self::field(&header, "lines")?;
         let mut body = Vec::with_capacity(n);
@@ -588,7 +589,22 @@ impl Client {
             }
             body.push(l.trim_end().to_string());
         }
-        Ok(body)
+        Ok((header, body))
+    }
+
+    /// `AGGREGATE` — barrier, then the server's raw per-group counters
+    /// ([`GroupAggregate`]) and the position they cover. The wire
+    /// carries only integers, so the returned aggregates are exactly
+    /// the ones the server held — the `rept-shard` coordinator's
+    /// exchange primitive.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or `ERR …` for reservoir tenants (no
+    /// group structure).
+    pub fn aggregates(&mut self) -> std::io::Result<(u64, Vec<GroupAggregate>)> {
+        let (header, body) = self.request_block("AGGREGATE")?;
+        crate::protocol::parse_aggregate_reply(&header, &body).map_err(std::io::Error::other)
     }
 
     /// `METRICS` — the current tenant's Prometheus-style exposition as
@@ -598,7 +614,7 @@ impl Client {
     ///
     /// Socket/protocol errors.
     pub fn metrics(&mut self) -> std::io::Result<String> {
-        Ok(self.request_block("METRICS")?.join("\n"))
+        Ok(self.request_block("METRICS")?.1.join("\n"))
     }
 
     /// `METRICS *` — the exposition for every tenant, including the
@@ -608,7 +624,7 @@ impl Client {
     ///
     /// Socket/protocol errors.
     pub fn metrics_all(&mut self) -> std::io::Result<String> {
-        Ok(self.request_block("METRICS *")?.join("\n"))
+        Ok(self.request_block("METRICS *")?.1.join("\n"))
     }
 
     /// `TRACE TAIL n` — drains the current tenant's slow-op trace ring:
@@ -619,7 +635,7 @@ impl Client {
     ///
     /// Socket/protocol errors.
     pub fn trace_tail(&mut self, n: usize) -> std::io::Result<Vec<String>> {
-        self.request_block(&format!("TRACE TAIL {n}"))
+        Ok(self.request_block(&format!("TRACE TAIL {n}"))?.1)
     }
 
     /// `DLQ REPLAY` — drains the current tenant's dead-letter file back

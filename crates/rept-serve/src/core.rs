@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 
 use rept_core::reservoir::MIN_MEMORY_BUDGET;
 use rept_core::resume::{ResumableRun, SnapshotError};
-use rept_core::{Engine, Rept, ReptConfig, ReptEstimate};
+use rept_core::{Engine, GroupAggregate, GroupSlice, Rept, ReptConfig, ReptEstimate};
 use rept_graph::edge::Edge;
 
 use crate::dlq::DeadLetterQueue;
@@ -258,6 +258,15 @@ pub struct ServeConfig {
     /// Operations at or above this duration land in the slow-op trace
     /// ring drained by `TRACE TAIL` (default 50 ms).
     pub slow_op_threshold: Duration,
+    /// Run only this round-robin slice of the configuration's hash
+    /// groups (`None` = all of them) — the shard-server mode the
+    /// `rept-shard` coordinator deploys. A sliced core ingests the full
+    /// stream but maintains counters only for its kept groups; its
+    /// `AGGREGATE` reply carries those groups' raw counters for the
+    /// coordinator to recombine. Incompatible with a reservoir budget
+    /// ([`QuotaPolicy::Shed`] + [`Self::memory_budget`]): the reservoir
+    /// has no group structure to slice.
+    pub group_slice: Option<GroupSlice>,
 }
 
 impl ServeConfig {
@@ -281,7 +290,15 @@ impl ServeConfig {
             quota: QuotaPolicy::default(),
             metrics: true,
             slow_op_threshold: Duration::from_millis(50),
+            group_slice: None,
         }
+    }
+
+    /// Restricts the core to one round-robin group slice (see
+    /// [`Self::group_slice`]). A full slice is normalised to `None`.
+    pub fn with_group_slice(mut self, slice: GroupSlice) -> Self {
+        self.group_slice = (!slice.is_full()).then_some(slice);
+        self
     }
 
     /// Enables or disables timing instrumentation (see [`Self::metrics`]).
@@ -397,9 +414,17 @@ enum Control {
     Flush(SyncSender<u64>),
     /// Write a checkpoint (and publish), then reply with the position.
     Checkpoint(SyncSender<Result<u64, String>>),
+    /// Barrier like [`Self::Flush`], then reply with the position and
+    /// the run's raw per-group counters — the shard tier's
+    /// aggregate-exchange payload. `Err` for reservoir runs, which have
+    /// no group structure.
+    Aggregate(AggregateReply),
     /// Drain and exit the ingest loop.
     Shutdown,
 }
+
+/// Reply channel of [`Control::Aggregate`].
+type AggregateReply = SyncSender<Result<(u64, Vec<GroupAggregate>), String>>;
 
 /// The running serving core. Dropping it (or calling
 /// [`Self::shutdown`]) stops the ingest thread, writing a final
@@ -442,6 +467,17 @@ impl ServeCore {
                 "memory budget below the reservoir minimum",
             ));
         }
+        let slice = cfg.group_slice.unwrap_or(GroupSlice::FULL);
+        if !slice.is_full() {
+            if cfg.reservoir_budget().is_some() {
+                return Err(SnapshotError::Invalid(
+                    "group slice is incompatible with a reservoir budget",
+                ));
+            }
+            if u64::from(slice.index()) >= cfg.rept.group_count() {
+                return Err(SnapshotError::Invalid("group slice keeps no groups"));
+            }
+        }
         let mut run = match &cfg.checkpoint_path {
             Some(path) if path.exists() => {
                 let run = ResumableRun::from_checkpoint_file(path)?;
@@ -463,11 +499,20 @@ impl ServeCore {
                         }
                     }
                 }
+                // A sliced core resuming a differently-sliced blob (or a
+                // full blob, or vice versa) would silently count the
+                // wrong groups — refused like any other config drift.
+                if run.group_slice() != slice {
+                    return Err(SnapshotError::Invalid("checkpoint/slice mismatch"));
+                }
                 run
             }
             _ => match cfg.reservoir_budget() {
                 Some(budget) => ResumableRun::with_reservoir(cfg.rept, budget),
-                None => ResumableRun::with_engine(Rept::new(cfg.rept), cfg.engine),
+                None if slice.is_full() => {
+                    ResumableRun::with_engine(Rept::new(cfg.rept), cfg.engine)
+                }
+                None => ResumableRun::with_sliced_engine(Rept::new(cfg.rept), cfg.engine, slice),
             },
         };
 
@@ -761,6 +806,33 @@ impl ServeCore {
             .send(Control::Checkpoint(reply_tx))
             .expect("ingest thread alive");
         reply_rx.recv().expect("ingest thread replies")
+    }
+
+    /// Barrier: waits until everything queued so far is applied, then
+    /// returns the stream position and the run's raw per-group counters
+    /// ([`GroupAggregate`]) — for a full core all of them, for a sliced
+    /// core exactly the kept groups. This is the shard tier's exchange
+    /// payload: a coordinator collects every shard's reply and
+    /// recombines through [`Rept::finalize_groups`] into the
+    /// bit-identical single-process estimate (all counters are
+    /// integers, so the wire loses nothing).
+    ///
+    /// # Errors
+    ///
+    /// A description for reservoir (memory-budget) runs, whose samples
+    /// have no group structure to exchange.
+    pub fn aggregates(&self) -> Result<(u64, Vec<GroupAggregate>), String> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx
+            .send(Control::Aggregate(reply_tx))
+            .expect("ingest thread alive");
+        reply_rx.recv().expect("ingest thread replies")
+    }
+
+    /// The group slice this core maintains ([`GroupSlice::FULL`] unless
+    /// configured as a shard server).
+    pub fn group_slice(&self) -> GroupSlice {
+        self.cfg.group_slice.unwrap_or(GroupSlice::FULL)
     }
 
     /// The position of the last published snapshot. After
@@ -1214,6 +1286,13 @@ fn ingest_loop(
                 );
                 since_snapshot = 0;
                 since_checkpoint = 0;
+                let _ = reply.send(result);
+            }
+            Control::Aggregate(reply) => {
+                let result = match run.group_aggregates() {
+                    Some(aggregates) => Ok((run.position(), aggregates)),
+                    None => Err("reservoir runs have no group aggregates".to_string()),
+                };
                 let _ = reply.send(result);
             }
             Control::Shutdown => break,

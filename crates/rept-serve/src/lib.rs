@@ -93,6 +93,7 @@
 //! | `STATS *`                  | `OK STATS ALL tenants= position= stored_edges= bytes= checkpoints= tracked_nodes= journal_bytes= dlq=` |
 //! | `JOURNAL STATS`            | `OK JOURNAL enabled= position= bytes= segments= replayed= dlq=` — current tenant's durability state |
 //! | `FLUSH`                    | `OK FLUSH position=<p>` — barrier: everything queued is applied and republished |
+//! | `AGGREGATE`                | `OK AGGREGATE position=<p> groups=<g> lines=<n>` + n lines of raw per-group counters — the shard tier's exchange verb |
 //! | `CHECKPOINT`               | `OK CHECKPOINT position=<p>` — state durably on disk          |
 //! | `TENANT CREATE <t> [k=v …]`| `OK TENANT CREATED <t>` — options: engine, m, c, seed, interval, memory_budget, quota |
 //! | `TENANT LIST`              | `OK TENANTS n=<n> <t>=<pos>[:interval=<i>] …`                 |

@@ -28,7 +28,9 @@
 //! server computed — the serve smoke test's exactness assertions go
 //! through the wire and still compare with `==`.
 
+use rept_core::GroupAggregate;
 use rept_graph::edge::{Edge, NodeId};
+use rept_hash::fx::FxHashMap;
 
 use crate::core::{Health, LiveStats, QuotaPolicy};
 use crate::snapshot::Snapshot;
@@ -135,6 +137,16 @@ pub enum Command {
     /// `TRACE TAIL n` — drain the current tenant's slow-op trace ring:
     /// the newest `n` events, oldest first, framed like `METRICS`.
     TraceTail(usize),
+    /// `AGGREGATE` — the aggregate-exchange verb the shard tier is
+    /// built on: a barrier (everything queued is applied first), then
+    /// the current tenant's raw per-group counters
+    /// ([`rept_core::GroupAggregate`]) over the wire, framed like
+    /// `METRICS` by `OK AGGREGATE position=<p> groups=<g> lines=<n>`.
+    /// All counters are integers, so the exchange is exact — a
+    /// coordinator recombines shard replies through
+    /// `Rept::finalize_groups` into the bit-identical single-process
+    /// estimate.
+    Aggregate,
 }
 
 /// One documented wire form per [`Command`] variant, in declaration
@@ -162,6 +174,7 @@ pub const COMMAND_FORMS: &[(&str, &str)] = &[
     ("Metrics", "METRICS"),
     ("MetricsAll", "METRICS *"),
     ("TraceTail", "TRACE TAIL"),
+    ("Aggregate", "AGGREGATE"),
 ];
 
 /// Checks a tenant name: starts with an ASCII letter, continues with
@@ -305,6 +318,7 @@ pub fn parse(line: &str) -> Result<Command, String> {
             }
             _ => Err("TRACE needs TAIL <n>".into()),
         },
+        "AGGREGATE" => expect_end(tokens, Command::Aggregate),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -538,6 +552,145 @@ pub fn format_dlq_replayed(n: u64, failed: u64) -> String {
     format!("OK DLQ REPLAYED n={n} failed={failed}")
 }
 
+/// `OK AGGREGATE position=<p> groups=<g> lines=<n>` reply for
+/// `AGGREGATE`: the header followed by exactly three lines per group —
+///
+/// ```text
+/// G start=<s> bytes=<b> eta=<e> tau=<t0,t1,…> stored=<s0,s1,…>
+/// TV none | TV <node>:<count> …
+/// EV none | EV <node>:<count> …
+/// ```
+///
+/// Every field is an integer, so parsing a reply recovers the exact
+/// [`GroupAggregate`]s the server held. The per-node maps are emitted
+/// sorted by node id, making the reply deterministic (the maps
+/// themselves iterate in hash order).
+pub fn format_aggregate(position: u64, groups: &[GroupAggregate]) -> String {
+    let csv = |it: &mut dyn Iterator<Item = u64>| {
+        let mut s = String::new();
+        for (i, x) in it.enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&x.to_string());
+        }
+        s
+    };
+    let map_line = |tag: &str, map: Option<&FxHashMap<NodeId, u64>>| match map {
+        None => format!("\n{tag} none"),
+        Some(m) => {
+            let mut entries: Vec<(NodeId, u64)> = m.iter().map(|(&v, &t)| (v, t)).collect();
+            entries.sort_unstable();
+            let mut line = format!("\n{tag}");
+            for (v, t) in entries {
+                line.push_str(&format!(" {v}:{t}"));
+            }
+            line
+        }
+    };
+    let mut out = format!(
+        "OK AGGREGATE position={position} groups={} lines={}",
+        groups.len(),
+        groups.len() * 3
+    );
+    for g in groups {
+        out.push_str(&format!(
+            "\nG start={} bytes={} eta={} tau={} stored={}",
+            g.start,
+            g.bytes,
+            g.eta_total,
+            csv(&mut g.tau.iter().copied()),
+            csv(&mut g.stored.iter().map(|&s| s as u64)),
+        ));
+        out.push_str(&map_line("TV", g.tau_v.as_ref()));
+        out.push_str(&map_line("EV", g.eta_v.as_ref()));
+    }
+    out
+}
+
+/// Parses an `AGGREGATE` reply — the client half of
+/// [`format_aggregate`]. `header` is the `OK AGGREGATE …` line, `body`
+/// the `lines=<n>` lines that followed it.
+///
+/// # Errors
+///
+/// A description of the framing or field violation.
+pub fn parse_aggregate_reply(
+    header: &str,
+    body: &[String],
+) -> Result<(u64, Vec<GroupAggregate>), String> {
+    let field = |key: &str| -> Result<u64, String> {
+        reply_field(header, key)
+            .ok_or_else(|| format!("AGGREGATE header missing {key}="))?
+            .parse::<u64>()
+            .map_err(|_| format!("bad {key} in AGGREGATE header"))
+    };
+    let position = field("position")?;
+    let n_groups = field("groups")? as usize;
+    if body.len() != n_groups * 3 {
+        return Err(format!(
+            "AGGREGATE body has {} lines, expected {}",
+            body.len(),
+            n_groups * 3
+        ));
+    }
+    let parse_csv = |s: &str| -> Result<Vec<u64>, String> {
+        if s.is_empty() {
+            return Ok(Vec::new());
+        }
+        s.split(',')
+            .map(|t| t.parse::<u64>().map_err(|_| format!("bad counter {t:?}")))
+            .collect()
+    };
+    let parse_map = |line: &str, tag: &str| -> Result<Option<FxHashMap<NodeId, u64>>, String> {
+        let rest = line
+            .strip_prefix(tag)
+            .ok_or_else(|| format!("expected {tag} line, got {line:?}"))?;
+        let rest = rest.trim_start();
+        if rest == "none" {
+            return Ok(None);
+        }
+        let mut map = FxHashMap::default();
+        for tok in rest.split_ascii_whitespace() {
+            let (v, t) = tok
+                .split_once(':')
+                .ok_or_else(|| format!("bad {tag} entry {tok:?}"))?;
+            let v: NodeId = v.parse().map_err(|_| format!("bad node id {v:?}"))?;
+            let t: u64 = t.parse().map_err(|_| format!("bad count {t:?}"))?;
+            map.insert(v, t);
+        }
+        Ok(Some(map))
+    };
+    let mut groups = Vec::with_capacity(n_groups);
+    for chunk in body.chunks(3) {
+        let g = &chunk[0];
+        if !g.starts_with("G ") {
+            return Err(format!("expected G line, got {g:?}"));
+        }
+        let gfield = |key: &str| -> Result<u64, String> {
+            reply_field(g, key)
+                .ok_or_else(|| format!("G line missing {key}="))?
+                .parse::<u64>()
+                .map_err(|_| format!("bad {key} in G line"))
+        };
+        let tau = parse_csv(reply_field(g, "tau").ok_or("G line missing tau=")?)?;
+        let stored = parse_csv(reply_field(g, "stored").ok_or("G line missing stored=")?)?;
+        if tau.len() != stored.len() {
+            return Err("tau and stored lengths differ".into());
+        }
+        groups.push(GroupAggregate {
+            start: gfield("start")? as usize,
+            tau,
+            stored: stored.into_iter().map(|s| s as usize).collect(),
+            bytes: gfield("bytes")? as usize,
+            eta_total: gfield("eta")?,
+            tau_v: parse_map(&chunk[1], "TV")?,
+            eta_v: parse_map(&chunk[2], "EV")?,
+        });
+    }
+    Ok((position, groups))
+}
+
 /// Extracts the value of a `key=value` token from a reply line — the
 /// client-side accessor for every `OK` payload.
 pub fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
@@ -706,6 +859,7 @@ mod tests {
             "Metrics",
             "MetricsAll",
             "TraceTail",
+            "Aggregate",
         ];
         assert_eq!(
             COMMAND_FORMS.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
@@ -882,6 +1036,60 @@ mod tests {
             "OK TOPK ALL k=2 alpha/3=5.5 beta/1=2.25"
         );
         assert_eq!(format_top_k_all(&entries, 1), "OK TOPK ALL k=1 alpha/3=5.5");
+    }
+
+    #[test]
+    fn parses_aggregate() {
+        assert_eq!(parse("AGGREGATE"), Ok(Command::Aggregate));
+        assert!(parse("AGGREGATE now").is_err(), "trailing token");
+    }
+
+    #[test]
+    fn aggregate_reply_roundtrips_exactly() {
+        let mut tau_v = FxHashMap::default();
+        tau_v.insert(7u32, 3u64);
+        tau_v.insert(2u32, 9u64);
+        let groups = vec![
+            GroupAggregate {
+                start: 0,
+                tau: vec![4, 0, 11],
+                stored: vec![120, 98, 130],
+                bytes: 4096,
+                eta_total: 17,
+                tau_v: Some(tau_v),
+                eta_v: None,
+            },
+            GroupAggregate {
+                start: 6,
+                tau: vec![2],
+                stored: vec![40],
+                bytes: 512,
+                eta_total: 0,
+                tau_v: None,
+                eta_v: Some(FxHashMap::default()),
+            },
+        ];
+        let reply = format_aggregate(314, &groups);
+        let mut lines = reply.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header, "OK AGGREGATE position=314 groups=2 lines=6");
+        // Sorted-by-node map serialisation keeps the wire deterministic.
+        let body: Vec<String> = lines.map(str::to_string).collect();
+        assert_eq!(body[1], "TV 2:9 7:3");
+        assert_eq!(body[5], "EV");
+        let (position, parsed) = parse_aggregate_reply(header, &body).unwrap();
+        assert_eq!(position, 314);
+        assert_eq!(parsed, groups);
+
+        // Framing violations are rejected, not mis-parsed.
+        assert!(parse_aggregate_reply(header, &body[..3]).is_err());
+        assert!(parse_aggregate_reply("OK AGGREGATE position=1", &[]).is_err());
+        let mut bad = body.clone();
+        bad[0] = "G start=0 bytes=1 eta=0 tau=1,2 stored=3".into();
+        assert!(
+            parse_aggregate_reply(header, &bad).is_err(),
+            "tau/stored length mismatch"
+        );
     }
 
     #[test]

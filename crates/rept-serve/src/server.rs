@@ -392,6 +392,10 @@ fn execute(
             protocol::format_journal_stats(&core.snapshot(), &core.live_stats())
         }),
         Ok(Command::Flush) => with_current(&|core| format!("OK FLUSH position={}", core.flush())),
+        Ok(Command::Aggregate) => with_query("aggregate", &|core| match core.aggregates() {
+            Ok((position, groups)) => protocol::format_aggregate(position, &groups),
+            Err(msg) => format!("ERR {msg}"),
+        }),
         Ok(Command::Checkpoint) => with_current(&|core| match core.checkpoint() {
             Ok(pos) => format!("OK CHECKPOINT position={pos}"),
             Err(msg) => format!("ERR {msg}"),

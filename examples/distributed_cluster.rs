@@ -1,10 +1,24 @@
-//! REPT on a simulated cluster — the paper's future-work extension.
+//! REPT on a simulated cluster: an in-process *model* of distributing
+//! the paper's future-work extension, for studying the operational
+//! envelope (broadcast batching, channel backpressure, per-machine
+//! memory budgets) without sockets.
 //!
 //! Spreads `c = 12` processors over 4 simulated machines connected to a
 //! broadcasting coordinator by bounded channels, enforces a per-machine
 //! memory budget, and shows the estimate matches the single-process
 //! driver exactly (REPT processors never communicate mid-stream, so
 //! distribution cannot change the math — only the operational envelope).
+//!
+//! The *deployable* counterpart is the `rept-shard` tier
+//! (`examples/sharded_cluster.rs`): real shard servers over the v2
+//! wire protocol behind a coordinator, with per-shard durability,
+//! degraded health and shard rejoin. The differences to keep straight:
+//! machines here own **contiguous worker ranges** and exist only for
+//! the lifetime of one `run_cluster` call, while shards own
+//! **round-robin group slices** ([`rept::core::GroupSlice`]), serve
+//! queries mid-stream, and survive kills via checkpoint + journal.
+//! Both obey the same invariant demonstrated below: distribution never
+//! changes the estimate's bytes.
 //!
 //! Run: `cargo run --release --example distributed_cluster`
 

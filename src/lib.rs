@@ -20,6 +20,9 @@
 //! * [`metrics`] — NRMSE & Monte-Carlo experiment harness ([`rept_metrics`])
 //! * [`serve`] — concurrent serving subsystem: streaming ingest,
 //!   snapshot-isolated queries, crash-safe resume ([`rept_serve`])
+//! * [`shard`] — sharded distributed tier: a coordinator over
+//!   group-sliced shard servers, bit-identical to one server
+//!   ([`rept_shard`])
 //!
 //! ## Architecture: one incremental execution core
 //!
@@ -134,6 +137,7 @@ pub use rept_graph as graph;
 pub use rept_hash as hash;
 pub use rept_metrics as metrics;
 pub use rept_serve as serve;
+pub use rept_shard as shard;
 
 // Compile-and-run the code blocks of the hand-written docs as doctests
 // (`cargo test --doc`): `rust` fences must build against the public API,

@@ -159,6 +159,10 @@ fn readme_bench_tables_cite_committed_results() {
         serve.contains("\"metrics_overhead\""),
         "BENCH_serve.json lost its metrics_overhead section"
     );
+    assert!(
+        serve.contains("\"shard_scaling\""),
+        "BENCH_serve.json lost its shard_scaling section"
+    );
     let throughput = read("BENCH_throughput.json");
     assert!(throughput.contains("\"host_cores\""));
 }

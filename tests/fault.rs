@@ -6,7 +6,10 @@
 //! three engines and multi-tenant routers. Plus byte-level torn-write
 //! sweeps: the journal's final record truncated at every byte boundary
 //! and CRC-corrupted mid-file, and the tenant manifest truncated at
-//! every byte boundary (checkpoint-header fallback).
+//! every byte boundary (checkpoint-header fallback). The shard tier
+//! rides the same contract: a kill-point sweep shuts a TCP shard server
+//! down at arbitrary batch boundaries and proves degraded-but-answering
+//! health, journal-replay restart, and bit-identical rejoin.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -512,4 +515,129 @@ fn torn_tenant_manifest_falls_back_to_the_checkpoint_header() {
         resumed.shutdown();
     }
     std::fs::remove_dir_all(&root).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shard-loss kill-point sweep over real TCP: a shard server
+    /// (journaled, checkpointed) is shut down at an arbitrary batch
+    /// boundary. The coordinator discovers the loss on the next
+    /// exchange, keeps acking ingest, and reports `degraded` health
+    /// while answering queries from the surviving (smaller but valid)
+    /// configuration. Restarting the shard server resumes it from its
+    /// own checkpoint + journal tail; reviving it replays the
+    /// coordinator's buffered batches above that position — and the
+    /// rejoined cluster's query replies are bit-identical to an
+    /// uninterrupted standalone core fed the same batches.
+    #[test]
+    fn shard_loss_degrades_then_rejoins_losslessly(
+        stream in arb_stream_with_dups(20, 80),
+        seed in any::<u64>(),
+        kill_sel in any::<u64>(),
+        batch_sel in any::<u64>(),
+    ) {
+        use rept::core::GroupSlice;
+        use rept::serve::{protocol, Server};
+        use rept::shard::{CoordinatorConfig, ShardCoordinator, ShardLink};
+
+        // c=9, m=2 → 4 full groups + a remainder group = 5 groups over
+        // 3 shards; shard 2 owns group 2 (2 workers), so the degraded
+        // survivor configuration has c' = 7. Engines are swept by
+        // tests/shard.rs; this sweep varies the kill point.
+        let cfg = ReptConfig::new(2, 9).with_seed(seed).with_eta(true).with_locals(true);
+        let engine = Engine::default();
+        let batch = 1 + (batch_sel % 11) as usize;
+        let batches: Vec<&[Edge]> = stream.chunks(batch).collect();
+        let kill_at = (kill_sel as usize) % (batches.len() + 1);
+
+        let root = unique_root("shard-loss");
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).expect("mk root");
+        let mk_server = |i: u32| {
+            Server::start(
+                ServeConfig::new(cfg)
+                    .with_engine(engine)
+                    .with_snapshot_every(16)
+                    .with_group_slice(GroupSlice::new(i, 3))
+                    .with_checkpoint(root.join(format!("shard{i}.rpck")), None)
+                    .with_journal(),
+                "127.0.0.1:0",
+                1,
+            )
+            .expect("shard server")
+        };
+        let mut servers: Vec<Option<Server>> = (0..3).map(mk_server).map(Some).collect();
+        let links = servers
+            .iter()
+            .map(|s| ShardLink::connect(s.as_ref().expect("live").local_addr()).expect("link"))
+            .collect();
+        let mut coord = ShardCoordinator::start(
+            CoordinatorConfig::new(cfg).with_engine(engine).with_snapshot_every(16),
+            links,
+        )
+        .expect("coordinator");
+
+        for (bi, chunk) in batches.iter().enumerate() {
+            if bi == kill_at {
+                servers[2].take().expect("not yet killed").shutdown();
+            }
+            coord.ingest(chunk.to_vec()).expect("ingest survives shard loss");
+        }
+        if kill_at == batches.len() {
+            servers[2].take().expect("not yet killed").shutdown();
+        }
+        let position = coord.flush();
+        prop_assert_eq!(position, stream.len() as u64);
+        // Force one exchange so an end-of-stream kill is discovered too.
+        let _ = coord.aggregates();
+        let health = coord.health();
+        prop_assert!(health.degraded(), "kill at batch {}/{}", kill_at, batches.len());
+        prop_assert_eq!((health.alive, health.total), (2, 3));
+        let degraded = coord.snapshot();
+        prop_assert_eq!(degraded.c, 7, "survivors re-based to c' = 7");
+        prop_assert!(degraded.global >= 0.0);
+
+        // Restart the shard: checkpoint + journal bring back exactly
+        // what it acked; the coordinator's buffer covers the rest.
+        let revived_server = mk_server(2);
+        coord
+            .revive_shard(2, ShardLink::connect(revived_server.local_addr()).expect("link"))
+            .expect("rejoin");
+        servers[2] = Some(revived_server);
+        prop_assert!(!coord.health().degraded());
+        prop_assert_eq!(coord.flush(), stream.len() as u64);
+        let rejoined = coord.snapshot();
+        prop_assert_eq!(rejoined.c, 9);
+
+        let standalone = ServeCore::start(
+            ServeConfig::new(cfg).with_engine(engine).with_snapshot_every(16),
+        )
+        .expect("standalone");
+        for chunk in &batches {
+            standalone.ingest(chunk.to_vec()).expect("ingest");
+        }
+        standalone.flush();
+        let want = standalone.snapshot();
+        standalone.shutdown();
+        prop_assert_eq!(
+            protocol::format_global(&rejoined),
+            protocol::format_global(&want)
+        );
+        prop_assert_eq!(
+            protocol::format_top_k(&rejoined, 8),
+            protocol::format_top_k(&want, 8)
+        );
+        for v in [0u32, 5, 11] {
+            prop_assert_eq!(
+                protocol::format_local(&rejoined, v),
+                protocol::format_local(&want, v)
+            );
+        }
+
+        for server in servers.into_iter().flatten() {
+            server.shutdown();
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
 }

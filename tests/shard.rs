@@ -1,0 +1,582 @@
+//! Shard-equivalence suite: the `rept-shard` coordinator over sliced
+//! shard cores is **bit-identical** to a standalone `ServeCore` — the
+//! same query reply lines, byte for byte — across all engines, shard
+//! counts {1, 2, 3, 5}, duplicate-edge streams, and through
+//! coordinator-orchestrated checkpoints, whole-cluster kills and
+//! all-shard journal-replay resume. Plus the degradation contract: a
+//! killed shard turns `HEALTH` into `state=degraded shards=<k>/<n>`
+//! while queries keep answering from the survivors, and a revived
+//! shard replays the buffered tail and restores bit-identicality.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rept::core::{Engine, GroupSlice, ReptConfig};
+use rept::graph::edge::Edge;
+use rept::serve::protocol;
+use rept::serve::{LiveStats, ServeConfig, ServeCore, Server, Snapshot};
+use rept::shard::{
+    format_cluster_health, CoordinatorConfig, CoordinatorServer, ShardCoordinator, ShardLink,
+};
+
+/// Every shard count the equivalence contract is proven for (1 is the
+/// degenerate cluster a client must also not be able to distinguish).
+const SHARD_COUNTS: [u32; 4] = [1, 2, 3, 5];
+
+/// Strategy: a raw stream that KEEPS duplicate edges (only self-loops
+/// are dropped) — duplicate handling must shard exactly too.
+fn arb_stream_with_dups(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    vec((0..n, 0..n), 1..max_edges).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(u, v)| Edge::try_new(u, v))
+            .collect()
+    })
+}
+
+/// A per-test-case unique cluster root directory.
+fn unique_root(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rept-shard-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Recursively snapshots every file under `root` — twin of the helper
+/// in `tests/fault.rs`; keep their crash semantics in sync. (Valid for
+/// acked writes because journaled ingest fsyncs before the ack.)
+fn freeze_dir(root: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let bytes = std::fs::read(&path).expect("freeze file");
+                files.push((path, bytes));
+            }
+        }
+    }
+    files
+}
+
+/// Restores a frozen directory image, discarding whatever was written
+/// after the freeze.
+fn restore_dir(root: &Path, frozen: &[(PathBuf, Vec<u8>)]) {
+    std::fs::remove_dir_all(root).ok();
+    std::fs::create_dir_all(root).expect("recreate root");
+    for (path, bytes) in frozen {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("recreate dir");
+        }
+        std::fs::write(path, bytes).expect("restore frozen file");
+    }
+}
+
+/// One sliced shard core per shard, round-robin over the groups. With
+/// a root, each shard gets its own checkpoint file + journal under it.
+fn sliced_cores(
+    cfg: ReptConfig,
+    engine: Engine,
+    shards: u32,
+    snapshot_every: u64,
+    root: Option<&Path>,
+) -> Vec<Arc<ServeCore>> {
+    (0..shards)
+        .map(|i| {
+            let mut sc = ServeConfig::new(cfg)
+                .with_engine(engine)
+                .with_snapshot_every(snapshot_every)
+                .with_group_slice(GroupSlice::new(i, shards));
+            if let Some(root) = root {
+                sc = sc
+                    .with_checkpoint(root.join(format!("shard{i}.rpck")), None)
+                    .with_journal();
+            }
+            Arc::new(ServeCore::start(sc).expect("shard core"))
+        })
+        .collect()
+}
+
+fn coordinator_over(
+    cores: &[Arc<ServeCore>],
+    cfg: ReptConfig,
+    engine: Engine,
+    snapshot_every: u64,
+) -> ShardCoordinator {
+    let links = cores
+        .iter()
+        .map(|c| ShardLink::local(Arc::clone(c)))
+        .collect();
+    let ccfg = CoordinatorConfig::new(cfg)
+        .with_engine(engine)
+        .with_snapshot_every(snapshot_every);
+    ShardCoordinator::start(ccfg, links).expect("coordinator")
+}
+
+/// The query surface whose reply lines must match byte for byte.
+fn query_replies(snap: &Snapshot, nodes: &[u32]) -> Vec<String> {
+    let mut out = vec![
+        protocol::format_global(snap),
+        protocol::format_top_k(snap, 8),
+    ];
+    for &v in nodes {
+        out.push(protocol::format_local(snap, v));
+    }
+    out
+}
+
+/// `STATS` with the *physical* fields stripped: `bytes=` differs
+/// because fused shared structures split across shard processes, and
+/// the journal/DLQ gauges are per-node state the coordinator does not
+/// own. Everything logical (position, seq, checkpoints, engine, m, c,
+/// stored_edges, tracked_nodes) must still match byte for byte — with
+/// `strip_counters` the seq/checkpoints fields go too (used after a
+/// cluster restart, which legitimately resets the coordinator's
+/// publication counters).
+fn canonical_stats(reply: &str, strip_counters: bool) -> String {
+    reply
+        .split(' ')
+        .filter(|tok| {
+            let physical = tok.starts_with("bytes=")
+                || tok.starts_with("journal_bytes=")
+                || tok.starts_with("journal_segments=")
+                || tok.starts_with("replayed=")
+                || tok.starts_with("dlq=");
+            let counter = tok.starts_with("seq=") || tok.starts_with("checkpoints=");
+            !(physical || (strip_counters && counter))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn stats_reply(snap: &Snapshot) -> String {
+    let live = LiveStats {
+        stored_bytes: 0,
+        journal_bytes: 0,
+        journal_segments: 0,
+        dlq: 0,
+    };
+    protocol::format_stats(snap, &live)
+}
+
+const QUERY_NODES: [u32; 4] = [0, 3, 7, 23];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole equivalence: for every engine and shard count, a
+    /// cluster fed the same batches as a standalone core produces
+    /// byte-identical `QUERY GLOBAL` / `QUERY LOCAL` / `TOPK` replies,
+    /// byte-identical canonicalized `STATS` (including the `seq=`
+    /// cadence counter — the coordinator replicates the standalone
+    /// publication arithmetic), and the same merged raw aggregates.
+    #[test]
+    fn coordinator_replies_are_byte_identical_to_standalone(
+        stream in arb_stream_with_dups(24, 100),
+        m in 2u64..4,
+        rem_sel in 0u64..4,
+        seed in any::<u64>(),
+        batch_sel in any::<u64>(),
+    ) {
+        // ≥ 5 hash groups so every shard count in SHARD_COUNTS has work;
+        // rem > 0 adds a remainder group (the c₂ = c mod m layout).
+        let c = m * 5 + (rem_sel % m);
+        let cfg = ReptConfig::new(m, c)
+            .with_seed(seed)
+            .with_eta(true)
+            .with_locals(true);
+        let batch = 1 + (batch_sel % 23) as usize;
+        let every = 16u64;
+
+        for engine in Engine::all() {
+            let standalone =
+                ServeCore::start(ServeConfig::new(cfg).with_engine(engine).with_snapshot_every(every))
+                    .expect("standalone");
+            for chunk in stream.chunks(batch) {
+                standalone.ingest(chunk.to_vec()).expect("ingest");
+            }
+            standalone.flush();
+            let want_snap = standalone.snapshot();
+            let want = query_replies(&want_snap, &QUERY_NODES);
+            let want_stats = canonical_stats(&stats_reply(&want_snap), false);
+            let (want_pos, want_aggs) = standalone.aggregates().expect("aggregates");
+            standalone.shutdown();
+
+            for &shards in &SHARD_COUNTS {
+                let cores = sliced_cores(cfg, engine, shards, every, None);
+                let mut coord = coordinator_over(&cores, cfg, engine, every);
+                for chunk in stream.chunks(batch) {
+                    coord.ingest(chunk.to_vec()).expect("ingest");
+                }
+                prop_assert_eq!(coord.flush(), stream.len() as u64);
+                let snap = coord.snapshot();
+                prop_assert_eq!(
+                    &query_replies(&snap, &QUERY_NODES),
+                    &want,
+                    "engine {} shards {}",
+                    engine.name(),
+                    shards
+                );
+                prop_assert_eq!(
+                    canonical_stats(&stats_reply(&snap), false),
+                    want_stats.clone(),
+                    "engine {} shards {}",
+                    engine.name(),
+                    shards
+                );
+                // The merged aggregate exchange equals the standalone
+                // one field-for-field (bytes excluded: physical layout).
+                let (pos, aggs) = coord.aggregates().expect("merged aggregates");
+                prop_assert_eq!(pos, want_pos);
+                prop_assert_eq!(aggs.len(), want_aggs.len());
+                for (got, want) in aggs.iter().zip(&want_aggs) {
+                    prop_assert_eq!(got.start, want.start);
+                    prop_assert_eq!(&got.tau, &want.tau);
+                    prop_assert_eq!(&got.stored, &want.stored);
+                    prop_assert_eq!(got.eta_total, want.eta_total);
+                    prop_assert_eq!(&got.tau_v, &want.tau_v);
+                    prop_assert_eq!(&got.eta_v, &want.eta_v);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Orchestrated durability: checkpoint the whole cluster mid-stream,
+    /// keep ingesting, kill **every** shard at once (freeze each shard's
+    /// acked disk image, drop the cluster, restore), resume all shards —
+    /// journal replay recovers each slice losslessly — and restart the
+    /// coordinator over them. The resumed cluster's query replies are
+    /// byte-identical to an uninterrupted standalone run.
+    #[test]
+    fn cluster_kill_and_all_shard_resume_is_bit_identical(
+        stream in arb_stream_with_dups(20, 80),
+        seed in any::<u64>(),
+        ckpt_sel in any::<u64>(),
+        batch_sel in any::<u64>(),
+    ) {
+        let cfg = ReptConfig::new(2, 11) // 5 full groups + remainder = 6
+            .with_seed(seed)
+            .with_eta(true)
+            .with_locals(true);
+        let batch = 1 + (batch_sel % 13) as usize;
+        let ckpt_at = (ckpt_sel as usize) % (stream.len() + 1);
+
+        for engine in Engine::all() {
+            for &shards in &[2u32, 3, 5] {
+                let root = unique_root(&format!("kill-{}-{shards}", engine.name()));
+                std::fs::remove_dir_all(&root).ok();
+                std::fs::create_dir_all(&root).expect("mk root");
+
+                let cores = sliced_cores(cfg, engine, shards, 16, Some(&root));
+                let mut coord = coordinator_over(&cores, cfg, engine, 16);
+                for chunk in stream[..ckpt_at].chunks(batch) {
+                    coord.ingest(chunk.to_vec()).expect("ingest");
+                }
+                let pos = coord.checkpoint().expect("orchestrated checkpoint");
+                prop_assert_eq!(pos, ckpt_at as u64);
+                for chunk in stream[ckpt_at..].chunks(batch) {
+                    coord.ingest(chunk.to_vec()).expect("ingest");
+                }
+                // Whole-cluster kill: the shutdown checkpoints the drop
+                // would write are part of what the crash destroys.
+                let frozen = freeze_dir(&root);
+                drop(coord);
+                drop(cores);
+                restore_dir(&root, &frozen);
+
+                // All-shard resume: per-shard checkpoint + journal tail.
+                let cores = sliced_cores(cfg, engine, shards, 16, Some(&root));
+                for core in &cores {
+                    prop_assert_eq!(
+                        core.position(),
+                        stream.len() as u64,
+                        "journaled slice recovered losslessly ({} shards={shards})",
+                        engine.name()
+                    );
+                }
+                let mut coord = coordinator_over(&cores, cfg, engine, 16);
+                prop_assert_eq!(coord.flush(), stream.len() as u64);
+                let snap = coord.snapshot();
+
+                let standalone = ServeCore::start(
+                    ServeConfig::new(cfg).with_engine(engine).with_snapshot_every(16),
+                )
+                .expect("standalone");
+                for chunk in stream.chunks(batch) {
+                    standalone.ingest(chunk.to_vec()).expect("ingest");
+                }
+                standalone.flush();
+                let want_snap = standalone.snapshot();
+                standalone.shutdown();
+
+                prop_assert_eq!(
+                    &query_replies(&snap, &QUERY_NODES),
+                    &query_replies(&want_snap, &QUERY_NODES),
+                    "engine {} shards {}",
+                    engine.name(),
+                    shards
+                );
+                // Position and config survive; the publication counters
+                // legitimately restarted with the coordinator.
+                prop_assert_eq!(
+                    canonical_stats(&stats_reply(&snap), true),
+                    canonical_stats(&stats_reply(&want_snap), true)
+                );
+                std::fs::remove_dir_all(&root).ok();
+            }
+        }
+    }
+}
+
+/// A fixed deterministic stream with triangles and duplicates.
+fn fixed_stream(len: u32) -> Vec<Edge> {
+    (0..len)
+        .flat_map(|i| {
+            [
+                Edge::try_new(i % 17, (i * 3 + 1) % 17),
+                Edge::try_new((i * 3 + 1) % 17, (i * 5 + 2) % 17),
+                Edge::try_new(i % 17, (i * 5 + 2) % 17),
+            ]
+        })
+        .flatten()
+        .collect()
+}
+
+/// The degradation contract end to end: killing a shard mid-stream
+/// flips `HEALTH` to `state=degraded shards=2/3` while queries keep
+/// answering from the survivors (as the smaller, still-valid REPT
+/// configuration), and reviving the shard replays the buffered tail
+/// and restores bit-identical equality with a standalone core.
+#[test]
+fn killed_shard_degrades_health_and_rejoins_bit_identically() {
+    let cfg = ReptConfig::new(2, 11)
+        .with_seed(42)
+        .with_eta(true)
+        .with_locals(true);
+    let engine = Engine::default();
+    let stream = fixed_stream(120);
+    let split = stream.len() / 2;
+
+    let cores = sliced_cores(cfg, engine, 3, 16, None);
+    let mut coord = coordinator_over(&cores, cfg, engine, 16);
+    for chunk in stream[..split].chunks(7) {
+        coord.ingest(chunk.to_vec()).expect("ingest");
+    }
+    coord.flush();
+    assert!(!coord.health().degraded());
+
+    // Kill shard 1: the coordinator stops fanning to it and buffers.
+    coord.kill_shard(1);
+    for chunk in stream[split..].chunks(7) {
+        coord
+            .ingest(chunk.to_vec())
+            .expect("degraded ingest still acks");
+    }
+    let position = coord.flush();
+    assert_eq!(position, stream.len() as u64);
+    let health = coord.health();
+    assert!(health.degraded());
+    assert_eq!((health.alive, health.total), (2, 3));
+    assert_eq!(
+        format_cluster_health(&health),
+        format!("OK HEALTH tenant=default state=degraded shards=2/3 position={position}")
+    );
+    // Queries answer from the survivors: a valid smaller configuration
+    // (shard 1 owned 2 of the 6 groups → 4 of the 11 processors).
+    let degraded = coord.snapshot();
+    assert_eq!(degraded.position, position);
+    assert_eq!(degraded.c, 7);
+    assert!(degraded.global >= 0.0);
+
+    // Revive: shard 1's core never saw the buffered second half; the
+    // replay buffer starts exactly at its position and closes the gap.
+    coord
+        .revive_shard(1, ShardLink::local(Arc::clone(&cores[1])))
+        .expect("rejoin");
+    assert!(!coord.health().degraded());
+    assert_eq!(coord.flush(), stream.len() as u64);
+    let rejoined = coord.snapshot();
+    assert_eq!(rejoined.c, 11);
+
+    let standalone = ServeCore::start(
+        ServeConfig::new(cfg)
+            .with_engine(engine)
+            .with_snapshot_every(16),
+    )
+    .expect("standalone");
+    for chunk in stream.chunks(7) {
+        standalone.ingest(chunk.to_vec()).expect("ingest");
+    }
+    standalone.flush();
+    let want = standalone.snapshot();
+    standalone.shutdown();
+    assert_eq!(
+        query_replies(&rejoined, &QUERY_NODES),
+        query_replies(&want, &QUERY_NODES)
+    );
+}
+
+/// A revived shard that is too far behind the replay buffer is refused
+/// with a typed error instead of silently serving a gap.
+#[test]
+fn revive_refuses_a_shard_behind_the_replay_buffer() {
+    let cfg = ReptConfig::new(2, 8).with_seed(5);
+    let engine = Engine::default();
+    let cores = sliced_cores(cfg, engine, 2, 16, None);
+    let mut coord = coordinator_over(&cores, cfg, engine, 16);
+    coord
+        .ingest(fixed_stream(20))
+        .expect("pre-kill ingest reaches both shards");
+    coord.kill_shard(1);
+    coord.ingest(fixed_stream(10)).expect("buffered");
+
+    // A fresh empty shard (position 0) predates the buffer entirely.
+    let fresh = ServeCore::start(
+        ServeConfig::new(cfg)
+            .with_engine(engine)
+            .with_group_slice(GroupSlice::new(1, 2)),
+    )
+    .expect("fresh shard");
+    let err = coord
+        .revive_shard(1, ShardLink::local(Arc::new(fresh)))
+        .expect_err("gap below the buffer");
+    assert!(err.contains("replay buffer"), "{err}");
+    // The cluster stays degraded-but-answering.
+    assert!(coord.health().degraded());
+    assert!(coord.snapshot().global >= 0.0);
+}
+
+/// One raw line-protocol connection (no client-side retries or
+/// parsing — the point is byte comparison of reply lines).
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone");
+        Self {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply.trim_end_matches('\n').to_string()
+    }
+}
+
+/// The front-end proof over real TCP: a v2 client speaking raw lines to
+/// the coordinator server gets byte-identical replies to a standalone
+/// `rept-serve` server, for every distributed verb — including shared
+/// grammar errors. Cluster-specific surface (`HEALTH`) is asserted in
+/// its own format.
+#[test]
+fn tcp_front_end_is_indistinguishable_from_a_standalone_server() {
+    let cfg = ReptConfig::new(2, 8)
+        .with_seed(7)
+        .with_eta(true)
+        .with_locals(true);
+    let every = 8u64;
+
+    let shard_servers: Vec<Server> = (0..2u32)
+        .map(|i| {
+            Server::start(
+                ServeConfig::new(cfg)
+                    .with_snapshot_every(every)
+                    .with_group_slice(GroupSlice::new(i, 2)),
+                "127.0.0.1:0",
+                1,
+            )
+            .expect("shard server")
+        })
+        .collect();
+    let links = shard_servers
+        .iter()
+        .map(|s| ShardLink::connect(s.local_addr()).expect("link"))
+        .collect();
+    let coord = ShardCoordinator::start(
+        CoordinatorConfig::new(cfg).with_snapshot_every(every),
+        links,
+    )
+    .expect("coordinator");
+    let front = CoordinatorServer::start(coord, "127.0.0.1:0", 2).expect("front-end");
+    let standalone = Server::start(
+        ServeConfig::new(cfg).with_snapshot_every(every),
+        "127.0.0.1:0",
+        1,
+    )
+    .expect("standalone server");
+
+    let mut to_cluster = RawConn::connect(front.local_addr());
+    let mut to_single = RawConn::connect(standalone.local_addr());
+
+    let stream = fixed_stream(40);
+    let mut ingest_lines: Vec<String> = Vec::new();
+    for chunk in stream.chunks(9) {
+        let mut line = "INGEST".to_string();
+        for e in chunk {
+            line.push_str(&format!(" {} {}", e.u(), e.v()));
+        }
+        ingest_lines.push(line);
+    }
+    let probes: Vec<&str> = ingest_lines
+        .iter()
+        .map(String::as_str)
+        .chain([
+            "FLUSH",
+            "QUERY GLOBAL",
+            "QUERY LOCAL 1",
+            "QUERY LOCAL 5",
+            "TOPK 4",
+            "USE default",
+            // Shared grammar errors come from the same parser.
+            "QUERY LOCAL x",
+            "INGEST 1 2 3",
+            "NONSENSE",
+        ])
+        .collect();
+    for line in probes {
+        assert_eq!(
+            to_cluster.send(line),
+            to_single.send(line),
+            "diverged on {line:?}"
+        );
+    }
+    // The one intentionally cluster-specific reply.
+    let health = to_cluster.send("HEALTH");
+    assert!(
+        health.starts_with("OK HEALTH tenant=default state=ok shards=2/2"),
+        "{health}"
+    );
+
+    drop(to_cluster);
+    drop(to_single);
+    let coord = front.shutdown();
+    assert_eq!(coord.position(), stream.len() as u64);
+    standalone.shutdown();
+    for server in shard_servers {
+        server.shutdown();
+    }
+}
